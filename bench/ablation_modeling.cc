@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Ablations of the modeling decisions documented in DESIGN.md, each
+ * measured head-to-head on the same computation:
+ *
+ *  1. Gromacs cluster-pair modeling: the same protein system run with
+ *     the plain CHARMM-style atom-pair kernel versus the nbnxn
+ *     cluster kernel — the cluster list + amortized loads are what
+ *     move the pair kernel across the roofline elbow.
+ *  2. TF32 tensor-core accounting: the same GEMM through the scalar
+ *     Parboil-style kernel versus the library kernel — scalar
+ *     accounting inflates instruction counts ~4x and misplaces ML
+ *     kernels on the instruction roofline.
+ *  3. Cache scaling: the same streaming stencil under the full RTX
+ *     3080 caches versus the scaled experiment caches — at reduced
+ *     input sizes the full L2 absorbs the working set and hides the
+ *     kernel's memory-bound nature.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "analysis/roofline.hh"
+#include "common/logging.hh"
+#include "dnn/ops.hh"
+#include "gpu/profiler.hh"
+#include "md/engine.hh"
+
+namespace {
+
+using namespace cactus;
+
+/** Aggregate profile of one kernel name from a device history. */
+gpu::KernelProfile
+profileOf(const gpu::Device &dev, const std::string &name)
+{
+    for (const auto &kp :
+         gpu::aggregateLaunches(dev.launches(), dev.config()))
+        if (kp.name == name)
+            return kp;
+    fatal("kernel '", name, "' not found in launch history");
+}
+
+void
+pairStyleAblation()
+{
+    std::printf("--- ablation 1: atom-pair vs nbnxn cluster-pair "
+                "kernel ---\n");
+    const analysis::Roofline roof(
+        gpu::DeviceConfig::scaledExperiment());
+    analysis::TextTable table(
+        {"pair kernel", "warp insts", "DRAM sectors", "II", "class"});
+    for (const auto style : {md::PairStyle::LjCutCoul,
+                             md::PairStyle::NbnxnEwald}) {
+        Rng rng(2021);
+        auto sys = md::ParticleSystem::proteinLike(3000, rng);
+        md::MdConfig cfg;
+        cfg.steps = 5;
+        cfg.pairStyle = style;
+        cfg.ensemble = md::Ensemble::NVE;
+        gpu::Device dev(gpu::DeviceConfig::scaledExperiment());
+        md::Simulation sim(std::move(sys), cfg);
+        sim.run(dev);
+        const char *kname = style == md::PairStyle::NbnxnEwald
+            ? "nbnxn_kernel_elec_ew" : "pair_lj_charmm_coul";
+        const auto kp = profileOf(dev, kname);
+        table.addRow(
+            {kname, analysis::fmtCount(kp.warpInsts),
+             analysis::fmtCount(kp.dramReadSectors +
+                                kp.dramWriteSectors),
+             analysis::fmt(kp.metrics.instIntensity, 2),
+             analysis::intensityClassName(roof.classifyIntensity(
+                 kp.metrics.instIntensity))});
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+void
+tensorCoreAblation()
+{
+    std::printf("--- ablation 2: scalar vs tensor-core GEMM "
+                "accounting ---\n");
+    const int n = 192;
+    std::vector<float> a(static_cast<std::size_t>(n) * n, 1.f);
+    std::vector<float> b(a.size(), 0.5f);
+    std::vector<float> c(a.size(), 0.f);
+    const analysis::Roofline roof(
+        gpu::DeviceConfig::scaledExperiment());
+    analysis::TextTable table(
+        {"GEMM kernel", "warp insts", "II", "GIPS", "class"});
+
+    // Scalar accounting: a Parboil-style naive kernel.
+    {
+        gpu::Device dev(gpu::DeviceConfig::scaledExperiment());
+        dev.launchLinear(
+            gpu::KernelDesc("sgemm_scalar", 64), c.size(), 128,
+            [&](gpu::ThreadCtx &ctx) {
+                const auto t = ctx.globalId();
+                const int i = static_cast<int>(t / n);
+                const int j = static_cast<int>(t % n);
+                float acc = 0.f;
+                for (int k = 0; k < n; ++k) {
+                    acc += ctx.ld(&a[static_cast<std::size_t>(i) * n +
+                                     k]) *
+                           ctx.ld(&b[static_cast<std::size_t>(k) * n +
+                                     j]);
+                }
+                ctx.fp32(n);
+                ctx.intOp(2 * n);
+                ctx.st(&c[t], acc);
+            });
+        const auto kp = profileOf(dev, "sgemm_scalar");
+        table.addRow(
+            {"scalar (Parboil-style)", analysis::fmtCount(kp.warpInsts),
+             analysis::fmt(kp.metrics.instIntensity, 2),
+             analysis::fmt(kp.metrics.gips, 2),
+             analysis::intensityClassName(roof.classifyIntensity(
+                 kp.metrics.instIntensity))});
+    }
+    // Tensor-core accounting: the library kernel.
+    {
+        gpu::Device dev(gpu::DeviceConfig::scaledExperiment());
+        dnn::gemm(dev, false, false, n, n, n, 1.f, a.data(), b.data(),
+                  0.f, c.data());
+        const auto &launch = dev.launches().back();
+        table.addRow(
+            {launch.desc.name,
+             analysis::fmtCount(launch.counts.total()),
+             analysis::fmt(launch.metrics.instIntensity, 2),
+             analysis::fmt(launch.metrics.gips, 2),
+             analysis::intensityClassName(roof.classifyIntensity(
+                 launch.metrics.instIntensity))});
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+void
+cacheScalingAblation()
+{
+    std::printf("--- ablation 3: full vs scaled caches on a re-read "
+                "working set ---\n");
+    analysis::TextTable table(
+        {"configuration", "L2", "DRAM sectors", "II", "class"});
+    const std::size_t words = 1 << 18; // 1 MiB, re-read twice.
+    std::vector<float> data(words, 1.f);
+    for (const bool scaled : {false, true}) {
+        const auto cfg = scaled
+            ? gpu::DeviceConfig::scaledExperiment()
+            : gpu::DeviceConfig{};
+        gpu::Device dev(cfg);
+        float sink = 0;
+        for (int pass = 0; pass < 2; ++pass) {
+            dev.launchLinear(
+                gpu::KernelDesc("reread_stencilish", 24), words, 256,
+                [&](gpu::ThreadCtx &ctx) {
+                    sink += ctx.ld(&data[ctx.globalId()]);
+                    ctx.fp32(4);
+                });
+        }
+        const auto &launch = dev.launches().back();
+        const analysis::Roofline roof(cfg);
+        table.addRow(
+            {scaled ? "scaled (16K/256K)" : "full (128K/5M)",
+             std::to_string(cfg.l2SizeBytes / 1024) + "K",
+             analysis::fmtCount(launch.dramReadSectors),
+             analysis::fmt(launch.metrics.instIntensity, 2),
+             analysis::intensityClassName(roof.classifyIntensity(
+                 launch.metrics.instIntensity))});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("At paper scale the working set exceeds even the full "
+                "L2; scaling the caches\nwith the inputs restores "
+                "that relationship (DESIGN.md).\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Modeling-decision ablations (see DESIGN.md) "
+                "===\n\n");
+    pairStyleAblation();
+    tensorCoreAblation();
+    cacheScalingAblation();
+    return 0;
+}

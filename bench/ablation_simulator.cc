@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Google-benchmark ablations for the design choices DESIGN.md calls
+ * out in the simulator substrate:
+ *
+ *  - warp-sampling rate: simulation throughput and the accuracy of
+ *    extrapolated DRAM traffic versus full tracing,
+ *  - cache geometry: how the L2 capacity moves a streaming kernel's
+ *    instruction intensity,
+ *  - DRAM bandwidth: the memory roof's effect on a bandwidth-bound
+ *    kernel's runtime,
+ *  - launch overhead: the latency floor of tiny kernels.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "gpu/device.hh"
+
+namespace {
+
+using namespace cactus::gpu;
+
+/** One streaming pass of n floats under the given config. */
+LaunchStats
+streamOnce(const DeviceConfig &cfg, std::size_t n)
+{
+    Device dev(cfg);
+    std::vector<float> a(n, 1.f), b(n, 0.f);
+    dev.launchLinear(KernelDesc("stream"), n, 256,
+                     [&](ThreadCtx &ctx) {
+                         const auto i = ctx.globalId();
+                         ctx.st(&b[i], ctx.ld(&a[i]) + 1.f);
+                     });
+    return dev.launches().back();
+}
+
+void
+BM_SamplingRate(benchmark::State &state)
+{
+    DeviceConfig cfg;
+    cfg.maxSampledWarps = static_cast<int>(state.range(0));
+    const std::size_t n = 1 << 21;
+    double dram = 0;
+    for (auto _ : state) {
+        const auto stats = streamOnce(cfg, n);
+        dram = static_cast<double>(stats.dramReadSectors);
+        benchmark::DoNotOptimize(dram);
+    }
+    state.counters["dram_sectors"] = dram;
+}
+BENCHMARK(BM_SamplingRate)->Arg(64)->Arg(512)->Arg(4096)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_L2Capacity(benchmark::State &state)
+{
+    DeviceConfig cfg;
+    cfg.l2SizeBytes = static_cast<int>(state.range(0)) * 1024;
+    // Footprint of 2 MiB re-read twice: fits in large L2 only.
+    const std::size_t n = 1 << 19;
+    double ii = 0;
+    for (auto _ : state) {
+        Device dev(cfg);
+        std::vector<float> a(n, 1.f);
+        float sink = 0;
+        for (int pass = 0; pass < 2; ++pass) {
+            dev.launchLinear(KernelDesc("reread"), n, 256,
+                             [&](ThreadCtx &ctx) {
+                                 sink += ctx.ld(&a[ctx.globalId()]);
+                                 ctx.fp32(1);
+                             });
+        }
+        ii = dev.launches().back().metrics.instIntensity;
+        benchmark::DoNotOptimize(ii);
+    }
+    state.counters["inst_intensity"] = ii;
+}
+BENCHMARK(BM_L2Capacity)->Arg(512)->Arg(2048)->Arg(5120)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_DramBandwidth(benchmark::State &state)
+{
+    DeviceConfig cfg;
+    cfg.dramBandwidthGBps = static_cast<double>(state.range(0));
+    const std::size_t n = 1 << 21;
+    double sim_us = 0;
+    for (auto _ : state) {
+        const auto stats = streamOnce(cfg, n);
+        sim_us = stats.timing.seconds * 1e6;
+        benchmark::DoNotOptimize(sim_us);
+    }
+    state.counters["sim_kernel_us"] = sim_us;
+}
+BENCHMARK(BM_DramBandwidth)->Arg(190)->Arg(380)->Arg(760)->Arg(1520)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_LaunchOverheadFloor(benchmark::State &state)
+{
+    DeviceConfig cfg;
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    double gips = 0;
+    for (auto _ : state) {
+        Device dev(cfg);
+        std::vector<float> a(n, 1.f);
+        dev.launchLinear(KernelDesc("tiny"), n, 128,
+                         [&](ThreadCtx &ctx) {
+                             ctx.fp32(16);
+                             benchmark::DoNotOptimize(
+                                 a[ctx.globalId() % a.size()]);
+                         });
+        gips = dev.launches().back().metrics.gips;
+        benchmark::DoNotOptimize(gips);
+    }
+    state.counters["sim_gips"] = gips;
+}
+BENCHMARK(BM_LaunchOverheadFloor)->Arg(128)->Arg(4096)->Arg(1 << 17)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

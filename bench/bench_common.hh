@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared helpers for the reproduction harnesses in bench/: run suites
+ * of benchmarks under the profiler and render the roofline scatter
+ * plots the paper's figures use.
+ */
+
+#ifndef CACTUS_BENCH_COMMON_HH
+#define CACTUS_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "analysis/roofline.hh"
+#include "core/harness.hh"
+
+namespace cactus::bench {
+
+/** Run every benchmark of a suite at Small scale, printing progress. */
+inline std::vector<core::BenchmarkProfile>
+runSuite(const std::string &suite)
+{
+    std::vector<core::BenchmarkProfile> profiles;
+    for (const auto *info : core::Registry::instance().list(suite)) {
+        std::fprintf(stderr, "  running %-14s (%s)...\n",
+                     info->name.c_str(), info->suite.c_str());
+        profiles.push_back(
+            core::runProfiled(info->name, core::Scale::Small,
+                              gpu::DeviceConfig::scaledExperiment()));
+    }
+    return profiles;
+}
+
+/** Run a named list of benchmarks at Small scale. */
+inline std::vector<core::BenchmarkProfile>
+runBenchmarks(const std::vector<std::string> &names)
+{
+    std::vector<core::BenchmarkProfile> profiles;
+    for (const auto &name : names) {
+        std::fprintf(stderr, "  running %-14s...\n", name.c_str());
+        profiles.push_back(
+            core::runProfiled(name, core::Scale::Small,
+                              gpu::DeviceConfig::scaledExperiment()));
+    }
+    return profiles;
+}
+
+/** Standard roofline scatter options for the paper's axis ranges. */
+inline analysis::ScatterOptions
+rooflineScatterOptions(const gpu::DeviceConfig &cfg)
+{
+    analysis::ScatterOptions opts;
+    opts.width = 76;
+    opts.height = 22;
+    opts.xMin = 0.01;
+    opts.xMax = 1e5;
+    opts.yMin = 0.01;
+    opts.yMax = 1e3;
+    opts.roofPeakY = cfg.peakGips();
+    opts.roofSlope = cfg.peakGtxnPerSec();
+    return opts;
+}
+
+/** Render one roofline plot from labeled point sets. */
+inline void
+printRoofline(const std::vector<analysis::ScatterSeries> &series,
+              const gpu::DeviceConfig &cfg)
+{
+    std::printf("%s",
+                analysis::asciiScatter(
+                    series, rooflineScatterOptions(cfg)).c_str());
+    std::printf("x: instruction intensity (warp insts / 32B txn, log), "
+                "elbow at %.2f\n"
+                "y: performance (GIPS, log), peak %.1f\n",
+                cfg.elbowIntensity(), cfg.peakGips());
+}
+
+} // namespace cactus::bench
+
+#endif // CACTUS_BENCH_COMMON_HH

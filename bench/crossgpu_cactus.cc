@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Extension experiment (the paper's future work: "evaluating Cactus
+ * across a broader range of GPU platforms"): run the Cactus suite on
+ * three simulated devices — RTX 2080 Ti (Turing), RTX 3080 (Ampere,
+ * the paper's platform) and A100 (Ampere data-center) — and compare
+ * aggregate performance. The expected shape: the A100's FP32 CUDA-core
+ * rate is *lower* than the RTX 3080's (19.5 vs 29.8 TFLOPS), so
+ * arithmetic-bound workloads slow down, while its 2x HBM bandwidth
+ * cushions the memory-intensive ones; and the A100's lower roofline
+ * elbow (12.5 vs 21.8) moves boundary workloads into the
+ * compute-bound region.
+ */
+
+#include <cstdio>
+
+#include "analysis/report.hh"
+#include "analysis/roofline.hh"
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace cactus;
+    using analysis::fmt;
+
+    struct Platform
+    {
+        const char *label;
+        gpu::DeviceConfig cfg;
+    };
+    // Cache capacities scale with the reduced inputs on every
+    // platform (same factor as DeviceConfig::scaledExperiment()).
+    const Platform platforms[] = {
+        {"2080Ti", gpu::DeviceConfig::rtx2080Ti().withScaledCaches(16)},
+        {"3080", gpu::DeviceConfig::scaledExperiment()},
+        {"A100", gpu::DeviceConfig::a100().withScaledCaches(16)},
+    };
+
+    std::printf("=== Cross-GPU comparison of the Cactus suite ===\n");
+    for (const auto &p : platforms) {
+        std::printf("  %-7s peak %6.1f GIPS, %5.2f GTXN/s, elbow "
+                    "%5.2f\n",
+                    p.label, p.cfg.peakGips(), p.cfg.peakGtxnPerSec(),
+                    p.cfg.elbowIntensity());
+    }
+    std::printf("\n");
+
+    // Profile every Cactus workload on every platform.
+    std::vector<std::vector<core::BenchmarkProfile>> results;
+    for (const auto &p : platforms) {
+        std::fprintf(stderr, "--- platform %s ---\n", p.label);
+        std::vector<core::BenchmarkProfile> profiles;
+        for (const auto *info :
+             core::Registry::instance().list("Cactus")) {
+            std::fprintf(stderr, "  running %s...\n",
+                         info->name.c_str());
+            profiles.push_back(core::runProfiled(
+                info->name, core::Scale::Small, p.cfg));
+        }
+        results.push_back(std::move(profiles));
+    }
+
+    analysis::TextTable table(
+        {"Workload", "2080Ti GIPS", "3080 GIPS", "A100 GIPS",
+         "A100/3080", "3080 class", "A100 class"});
+    const analysis::Roofline roof3080(platforms[1].cfg);
+    const analysis::Roofline roofA100(platforms[2].cfg);
+    int class_flips = 0;
+    double mem_speedup = 0, cmp_speedup = 0;
+    int mem_n = 0, cmp_n = 0;
+    for (std::size_t w = 0; w < results[0].size(); ++w) {
+        const double g2080 = results[0][w].aggregateGips();
+        const double g3080 = results[1][w].aggregateGips();
+        const double gA100 = results[2][w].aggregateGips();
+        const auto cls3080 = roof3080.classifyIntensity(
+            results[1][w].aggregateIntensity());
+        const auto clsA100 = roofA100.classifyIntensity(
+            results[2][w].aggregateIntensity());
+        class_flips += cls3080 != clsA100;
+        const double speedup = g3080 > 0 ? gA100 / g3080 : 0;
+        if (cls3080 == analysis::IntensityClass::MemoryIntensive) {
+            mem_speedup += speedup;
+            ++mem_n;
+        } else {
+            cmp_speedup += speedup;
+            ++cmp_n;
+        }
+        table.addRow({results[0][w].name, fmt(g2080, 2),
+                      fmt(g3080, 2), fmt(gA100, 2), fmt(speedup, 2),
+                      analysis::intensityClassName(cls3080),
+                      analysis::intensityClassName(clsA100)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    mem_speedup /= std::max(mem_n, 1);
+    cmp_speedup /= std::max(cmp_n, 1);
+    const double bw_ratio = platforms[2].cfg.dramBandwidthGBps /
+                            platforms[1].cfg.dramBandwidthGBps;
+    std::printf("A100/3080 DRAM bandwidth ratio: %.2fx\n", bw_ratio);
+    std::printf("avg A100/3080 speedup: %.2fx (memory-intensive, n=%d)"
+                " vs %.2fx (compute-intensive, n=%d)\n",
+                mem_speedup, mem_n, cmp_speedup, cmp_n);
+    std::printf("workloads whose intensity class flips on the A100's "
+                "lower elbow: %d\n",
+                class_flips);
+    std::printf("  [%s] memory-intensive workloads gain more from the "
+                "A100's bandwidth than compute-intensive ones\n",
+                mem_speedup > cmp_speedup ? "ok" : "MISS");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces Figure 5: the aggregate (all-kernel) roofline position of
+ * each Cactus application, plus Observation #5 — the Cactus workloads
+ * are primarily memory-intensive, the graph workloads achieve the
+ * lowest performance, and GMS is the clearest compute-side application.
+ */
+
+#include <cstdio>
+
+#include "analysis/report.hh"
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace cactus;
+    using analysis::fmt;
+    using analysis::IntensityClass;
+    using analysis::Roofline;
+
+    const gpu::DeviceConfig cfg;
+    const Roofline roof(cfg);
+
+    std::printf("=== Figure 5: Cactus aggregate roofline ===\n");
+    const auto profiles = bench::runSuite("Cactus");
+
+    analysis::ScatterSeries mol{'m', {}}, graph{'g', {}}, ml{'l', {}};
+    analysis::TextTable table(
+        {"Workload", "Domain", "II", "GIPS", "Class"});
+    int memory_side = 0;
+    double graph_min_gips = 1e30, graph_avg = 0, other_avg = 0;
+    int graph_n = 0, other_n = 0;
+    double global_min_gips = 1e30;
+    std::string global_min_name;
+    double gms_ii = 0;
+    for (const auto &p : profiles) {
+        const double ii = p.aggregateIntensity();
+        const double gips = p.aggregateGips();
+        const auto cls = roof.classifyIntensity(ii);
+        if (cls == IntensityClass::MemoryIntensive)
+            ++memory_side;
+        if (p.domain == "Molecular")
+            mol.points.emplace_back(ii, gips);
+        else if (p.domain == "Graph")
+            graph.points.emplace_back(ii, gips);
+        else
+            ml.points.emplace_back(ii, gips);
+        if (p.domain == "Graph") {
+            graph_min_gips = std::min(graph_min_gips, gips);
+            graph_avg += gips;
+            ++graph_n;
+        } else {
+            other_avg += gips;
+            ++other_n;
+        }
+        if (gips < global_min_gips) {
+            global_min_gips = gips;
+            global_min_name = p.name;
+        }
+        if (p.name == "GMS")
+            gms_ii = ii;
+        table.addRow({p.name, p.domain, fmt(ii, 2), fmt(gips, 2),
+                      analysis::intensityClassName(cls)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("(m = molecular, g = graph, l = machine learning)\n");
+    bench::printRoofline({mol, graph, ml}, cfg);
+
+    std::printf("\nObs#5 checks:\n");
+    std::printf("  [%s] most Cactus applications are memory-intensive "
+                "(%d/10)\n",
+                memory_side >= 6 ? "ok" : "MISS", memory_side);
+    graph_avg /= std::max(graph_n, 1);
+    other_avg /= std::max(other_n, 1);
+    const bool graph_lowest =
+        global_min_name == "GRU" && graph_avg < other_avg;
+    std::printf("  [%s] graph workloads sit at the bottom of the "
+                "performance range (min=%s, avg %.2f vs %.2f GIPS)\n",
+                graph_lowest ? "ok" : "MISS", global_min_name.c_str(),
+                graph_avg, other_avg);
+    std::printf("  [%s] GMS sits on the compute-intensive side "
+                "(II %.1f, elbow %.1f)\n",
+                gms_ii >= roof.elbow() ? "ok" : "MISS", gms_ii,
+                roof.elbow());
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Reproduces Figure 6: per-kernel rooflines for the Cactus molecular
+ * simulation (a) and graph analytics (b) workloads, and the dominant
+ * kernels of both (c), plus Observation #6 — these applications feature
+ * both memory-intensive and compute-intensive kernels, with the graph
+ * dominants all memory-side.
+ */
+
+#include <cstdio>
+#include <set>
+
+#include "analysis/report.hh"
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace cactus;
+    using analysis::fmt;
+    using analysis::IntensityClass;
+    using analysis::Roofline;
+
+    const gpu::DeviceConfig cfg;
+    const Roofline roof(cfg);
+
+    const auto mol =
+        bench::runBenchmarks({"GMS", "LMR", "LMC"});
+    const auto gra = bench::runBenchmarks({"GST", "GRU"});
+
+    auto plotAllKernels = [&](const char *title,
+                              const std::vector<core::BenchmarkProfile>
+                                  &profiles) {
+        std::printf("=== Figure 6: %s, all kernels ===\n", title);
+        analysis::ScatterSeries mem{'M', {}}, comp{'C', {}};
+        analysis::TextTable table(
+            {"Workload", "Kernel", "II", "GIPS", "Class"});
+        for (const auto &p : profiles) {
+            for (const auto &kp : p.kernels) {
+                const auto cls = roof.classifyIntensity(
+                    kp.metrics.instIntensity);
+                (cls == IntensityClass::ComputeIntensive ? comp : mem)
+                    .points.emplace_back(kp.metrics.instIntensity,
+                                         kp.metrics.gips);
+                table.addRow({p.name, kp.name,
+                              fmt(kp.metrics.instIntensity, 2),
+                              fmt(kp.metrics.gips, 2),
+                              analysis::intensityClassName(cls)});
+            }
+        }
+        std::printf("%s", table.render().c_str());
+        bench::printRoofline({mem, comp}, cfg);
+        std::printf("\n");
+    };
+
+    plotAllKernels("molecular simulation", mol);
+    plotAllKernels("graph analytics", gra);
+
+    // Panel (c): dominant kernels only.
+    std::printf("=== Figure 6c: dominant kernels (70%% of time) ===\n");
+    std::vector<core::BenchmarkProfile> all = mol;
+    for (const auto &p : gra)
+        all.push_back(p);
+    const auto dominant = core::dominantKernelObservations(all, 0.70);
+    analysis::ScatterSeries mem{'M', {}}, comp{'C', {}};
+    for (const auto &obs : dominant) {
+        const auto cls =
+            roof.classifyIntensity(obs.metrics.instIntensity);
+        (cls == IntensityClass::ComputeIntensive ? comp : mem)
+            .points.emplace_back(obs.metrics.instIntensity,
+                                 obs.metrics.gips);
+    }
+    bench::printRoofline({mem, comp}, cfg);
+
+    // Obs#6 checks.
+    auto classesOf = [&](const core::BenchmarkProfile &p) {
+        std::set<IntensityClass> classes;
+        for (const auto &kp : p.kernels)
+            classes.insert(
+                roof.classifyIntensity(kp.metrics.instIntensity));
+        return classes;
+    };
+    std::printf("\nObs#6 checks:\n");
+    for (const auto &p : mol) {
+        const bool mixed = classesOf(p).size() == 2;
+        std::printf("  [%s] %s has both kernel classes\n",
+                    mixed ? "ok" : "MISS", p.name.c_str());
+    }
+    bool graph_dominants_memory = true;
+    for (const auto &obs : dominant) {
+        if (obs.benchmark != "GST" && obs.benchmark != "GRU")
+            continue;
+        graph_dominants_memory &=
+            roof.classifyIntensity(obs.metrics.instIntensity) ==
+            IntensityClass::MemoryIntensive;
+    }
+    std::printf("  [%s] all graph dominant kernels are "
+                "memory-intensive\n",
+                graph_dominants_memory ? "ok" : "MISS");
+    return 0;
+}

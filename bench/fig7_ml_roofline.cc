@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Reproduces Figure 7: per-kernel rooflines for the Cactus machine-
+ * learning workloads — (a) all kernels by benchmark, (b) all kernels by
+ * execution-time contribution, (c) dominant kernels — plus Observations
+ * #7 and #8: wide diversity in intensity and performance, and dominant
+ * kernels running close to the memory roof (bandwidth-bound).
+ */
+
+#include <cstdio>
+
+#include "analysis/report.hh"
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace cactus;
+    using analysis::fmt;
+    using analysis::IntensityClass;
+    using analysis::Roofline;
+
+    const gpu::DeviceConfig cfg;
+    const Roofline roof(cfg);
+
+    const auto profiles =
+        bench::runBenchmarks({"DCG", "NST", "RFL", "SPT", "LGT"});
+
+    // (a) All kernels color-coded by benchmark.
+    std::printf("=== Figure 7a: ML kernels by benchmark ===\n");
+    const char glyphs[5] = {'D', 'N', 'R', 'S', 'L'};
+    std::vector<analysis::ScatterSeries> by_bench;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        analysis::ScatterSeries s{glyphs[i], {}};
+        for (const auto &kp : profiles[i].kernels)
+            s.points.emplace_back(kp.metrics.instIntensity,
+                                  kp.metrics.gips);
+        by_bench.push_back(std::move(s));
+    }
+    std::printf("(D=DCG N=NST R=RFL S=SPT L=LGT)\n");
+    bench::printRoofline(by_bench, cfg);
+
+    // (b) All kernels by contribution (<10% vs >=10%).
+    std::printf("\n=== Figure 7b: ML kernels by contribution ===\n");
+    analysis::ScatterSeries minor{'.', {}}, major{'#', {}};
+    int minor_count = 0, total_count = 0;
+    for (const auto &p : profiles) {
+        for (const auto &kp : p.kernels) {
+            const double share =
+                p.totalSeconds > 0 ? kp.seconds / p.totalSeconds : 0;
+            ++total_count;
+            if (share < 0.10) {
+                ++minor_count;
+                minor.points.emplace_back(kp.metrics.instIntensity,
+                                          kp.metrics.gips);
+            } else {
+                major.points.emplace_back(kp.metrics.instIntensity,
+                                          kp.metrics.gips);
+            }
+        }
+    }
+    std::printf("('.' = <10%% of app time, '#' = >=10%%)\n");
+    bench::printRoofline({minor, major}, cfg);
+    std::printf("  %d/%d kernels contribute <10%% each (paper: a "
+                "large fraction)\n",
+                minor_count, total_count);
+
+    // (c) Dominant kernels with the bandwidth/latency label.
+    std::printf("\n=== Figure 7c: ML dominant kernels ===\n");
+    const auto dominant =
+        core::dominantKernelObservations(profiles, 0.70);
+    analysis::ScatterSeries bw{'B', {}}, lat{'l', {}};
+    int bw_count = 0, mem_count = 0, comp_count = 0;
+    analysis::TextTable table({"Workload", "Kernel", "Share", "II",
+                               "GIPS", "Intensity", "Bound"});
+    for (const auto &obs : dominant) {
+        const auto icls =
+            roof.classifyIntensity(obs.metrics.instIntensity);
+        const auto bcls = roof.classifyBound(obs.metrics.gips);
+        (bcls == analysis::BoundClass::BandwidthBound ? bw : lat)
+            .points.emplace_back(obs.metrics.instIntensity,
+                                 obs.metrics.gips);
+        bw_count += bcls == analysis::BoundClass::BandwidthBound;
+        mem_count += icls == IntensityClass::MemoryIntensive;
+        comp_count += icls == IntensityClass::ComputeIntensive;
+        table.addRow({obs.benchmark, obs.kernel, fmt(obs.timeShare, 2),
+                      fmt(obs.metrics.instIntensity, 2),
+                      fmt(obs.metrics.gips, 2),
+                      analysis::intensityClassName(icls),
+                      analysis::boundClassName(bcls)});
+    }
+    std::printf("%s", table.render().c_str());
+    bench::printRoofline({bw, lat}, cfg);
+
+    std::printf("\nObs#7/#8 checks:\n");
+    std::printf("  [%s] ML dominant kernels span both intensity "
+                "classes (%d memory, %d compute)\n",
+                mem_count > 0 && comp_count > 0 ? "ok" : "MISS",
+                mem_count, comp_count);
+    std::printf("  [%s] a majority of ML dominant kernels are "
+                "bandwidth-bound (%d/%zu)\n",
+                bw_count * 2 >= static_cast<int>(dominant.size())
+                    ? "ok" : "MISS",
+                bw_count, dominant.size());
+    return 0;
+}

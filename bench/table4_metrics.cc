@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces Table IV: the profiler's performance-metric vector, with
+ * definitions and measured values for one representative kernel of
+ * each Cactus domain (the most dominant kernel of GMS, GST and DCG).
+ */
+
+#include <cstdio>
+
+#include "analysis/report.hh"
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace cactus;
+    using analysis::fmt;
+
+    std::printf("=== Table IV: performance metrics ===\n");
+    static const char *descriptions[] = {
+        "Average no. of active warps across all SMs",
+        "Fraction of time w/ at least one active warp per SM",
+        "Fraction of accesses that hit in L1",
+        "Fraction of accesses that hit in L2",
+        "Total DRAM read bytes per second",
+        "Average load/store functional unit utilization",
+        "Average FP32 pipeline utilization",
+        "Fraction branch instructions",
+        "Fraction memory operations",
+        "Stall ratio due to execution dependencies",
+        "Stall ratio due to busy pipeline",
+        "Stall ratio due to synchronization",
+        "Stall ratio due to memory accesses",
+        "Giga warp instructions per second",
+        "Warp instructions per 32B DRAM transaction",
+    };
+
+    const auto profiles =
+        bench::runBenchmarks({"GMS", "GST", "DCG"});
+
+    analysis::TextTable table({"Metric", "Description", "GMS-top",
+                               "GST-top", "DCG-top"});
+    std::vector<std::vector<double>> top_metrics;
+    for (const auto &p : profiles)
+        top_metrics.push_back(p.kernels[0].metrics.toVector());
+    for (int j = 0; j < gpu::KernelMetrics::kNumColumns; ++j) {
+        table.addRow({gpu::KernelMetrics::columnName(j),
+                      descriptions[j], fmt(top_metrics[0][j], 3),
+                      fmt(top_metrics[1][j], 3),
+                      fmt(top_metrics[2][j], 3)});
+    }
+    std::printf("%s", table.render().c_str());
+    for (std::size_t i = 0; i < profiles.size(); ++i)
+        std::printf("top kernel of %s: %s\n",
+                    profiles[i].name.c_str(),
+                    profiles[i].kernels[0].name.c_str());
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Extending the suite: define a new benchmark, register it, run it
+ * under the profiling harness next to the built-in suites, and place
+ * it on the roofline. This is the workflow for adding the "additional
+ * modern-day applications" the paper lists as future work.
+ *
+ * Build & run:  ./build/examples/custom_benchmark
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/roofline.hh"
+#include "core/harness.hh"
+
+namespace {
+
+using namespace cactus;
+
+/**
+ * A made-up two-phase application: a gather-heavy sparse phase and a
+ * dense compute phase - enough to get a mixed kernel profile.
+ */
+class MySparseDense : public core::Benchmark
+{
+  public:
+    explicit MySparseDense(core::Scale) {}
+
+    std::string name() const override { return "my_sparse_dense"; }
+    std::string suite() const override { return "Custom"; }
+    std::string domain() const override { return "Demo"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        const int n = 1 << 18;
+        std::vector<float> data(n, 1.f), out(n, 0.f);
+        std::vector<int> idx(n);
+        for (int i = 0; i < n; ++i)
+            idx[i] = (i * 2654435761u) % n;
+
+        // Phase 1: random gather (memory-intensive).
+        dev.launchLinear(
+            gpu::KernelDesc("sparse_gather", 24), n, 256,
+            [&](gpu::ThreadCtx &ctx) {
+                const auto i = ctx.globalId();
+                const int j = ctx.ld(&idx[i]);
+                ctx.fp32(2);
+                ctx.st(&out[i], ctx.ld(&data[j]) * 1.5f + 0.5f);
+            });
+
+        // Phase 2: dense iteration (compute-intensive).
+        dev.launchLinear(
+            gpu::KernelDesc("dense_iterate", 40), n, 256,
+            [&](gpu::ThreadCtx &ctx) {
+                const auto i = ctx.globalId();
+                float v = ctx.ld(&out[i]);
+                for (int k = 0; k < 200; ++k)
+                    v = v * 0.999f + 0.001f;
+                ctx.fp32(200);
+                ctx.st(&out[i], v);
+            });
+    }
+};
+
+// One macro call adds it to the global registry.
+CACTUS_REGISTER_BENCHMARK(MySparseDense, "my_sparse_dense", "Custom",
+                          "Demo");
+
+} // namespace
+
+int
+main()
+{
+    using namespace cactus;
+
+    // The registry now contains the built-in suites plus ours.
+    std::printf("registered suites:\n");
+    for (const char *suite : {"Cactus", "Parboil", "Rodinia", "Tango",
+                              "Custom"}) {
+        std::printf("  %-8s %2zu benchmarks\n", suite,
+                    core::Registry::instance().list(suite).size());
+    }
+
+    // Run ours through the same harness the paper's analyses use.
+    const auto profile = core::runProfiled("my_sparse_dense",
+                                           core::Scale::Small);
+    const analysis::Roofline roof(profile.config);
+    std::printf("\nprofile of %s: %d kernels, %.3f ms\n",
+                profile.name.c_str(), profile.kernelCount(),
+                profile.totalSeconds * 1e3);
+    for (const auto &kp : profile.kernels) {
+        std::printf("  %-16s II %8.2f  GIPS %8.2f  -> %s-intensive\n",
+                    kp.name.c_str(), kp.metrics.instIntensity,
+                    kp.metrics.gips,
+                    analysis::intensityClassName(roof.classifyIntensity(
+                        kp.metrics.instIntensity)));
+    }
+    std::printf("\naggregate: II %.2f, %.2f GIPS -> a mixed-kernel "
+                "application,\nlike the real-life workloads Cactus "
+                "argues for.\n",
+                profile.aggregateIntensity(), profile.aggregateGips());
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Graph-analytics example: run the Gunrock-style BFS on a social-
+ * network graph and on a road network, and show how the input shape
+ * changes which kernels execute (the paper's Observation #3).
+ *
+ * Build & run:  ./build/examples/graph_bfs
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "gpu/profiler.hh"
+#include "graph/bfs.hh"
+
+namespace {
+
+void
+runOne(const char *title, const cactus::graph::CsrGraph &g, int source)
+{
+    using namespace cactus;
+
+    gpu::Device dev;
+    const auto result = graph::gunrockBfs(dev, g, source);
+
+    int depth = 0;
+    std::int64_t reached = 0;
+    for (int l : result.levels) {
+        depth = std::max(depth, l);
+        reached += l >= 0;
+    }
+    std::printf("=== %s ===\n", title);
+    std::printf("  %d vertices, %lld directed edges, max degree %d\n",
+                g.numVertices(),
+                static_cast<long long>(g.numDirectedEdges()),
+                g.maxDegree());
+    std::printf("  BFS depth %d, reached %lld vertices in %d "
+                "iterations\n",
+                depth, static_cast<long long>(reached),
+                result.iterations);
+
+    // Which advance strategy ran per iteration?
+    std::map<std::string, int> strategy_count;
+    for (const auto &k : result.kernelSequence)
+        ++strategy_count[k];
+    std::printf("  advance strategies:");
+    for (const auto &[name, count] : strategy_count)
+        std::printf(" %s x%d", name.c_str(), count);
+    std::printf("\n");
+
+    const auto profiles =
+        gpu::aggregateLaunches(dev.launches(), dev.config());
+    std::printf("  %zu distinct kernels, %.3f ms simulated GPU "
+                "time\n\n",
+                profiles.size(), dev.elapsedSeconds() * 1e3);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace cactus;
+
+    Rng rng(7);
+    // SOC-Twitter10 stand-in: heavy-tailed RMAT graph.
+    auto social = graph::CsrGraph::rmat(14, 16, rng);
+    runOne("social network (RMAT)", social,
+           social.highestDegreeVertex());
+
+    // Road-USA stand-in: large-diameter grid road network.
+    auto road = graph::CsrGraph::roadGrid(128, 128, rng);
+    runOne("road network (grid)", road, 0);
+
+    std::printf("The social graph's hub frontiers trigger the "
+                "CTA/bottom-up kernels;\nthe road network's tiny "
+                "frontiers run thread-mapped advance for hundreds\n"
+                "of iterations - same code, different kernels "
+                "(Observation #3).\n");
+    return 0;
+}

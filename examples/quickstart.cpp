@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: write a GPU kernel against the simulator's public API,
+ * launch it, and read the profiler metrics — the 60-second tour of the
+ * library.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/roofline.hh"
+#include "gpu/device.hh"
+
+int
+main()
+{
+    using namespace cactus;
+
+    // A simulated RTX 3080-class device.
+    gpu::Device dev;
+    std::printf("device: %s\n", dev.config().name.c_str());
+    std::printf("peak %.1f GIPS, %.2f GTXN/s, roofline elbow %.2f\n\n",
+                dev.config().peakGips(), dev.config().peakGtxnPerSec(),
+                dev.config().elbowIntensity());
+
+    // Kernels are ordinary C++ callables, one invocation per thread.
+    // Loads/stores are functional *and* instrumented; arithmetic is
+    // accounted with fp32()/intOp()/sfu().
+    const std::size_t n = 1 << 20;
+    std::vector<float> x(n, 1.0f), y(n, 2.0f), z(n, 0.0f);
+    const float a = 3.5f;
+
+    dev.launchLinear(
+        gpu::KernelDesc("saxpy", /*regs=*/24), n, /*block=*/256,
+        [&](gpu::ThreadCtx &ctx) {
+            const auto i = ctx.globalId();
+            const float xv = ctx.ld(&x[i]);
+            const float yv = ctx.ld(&y[i]);
+            ctx.fp32(1); // One FMA.
+            ctx.st(&z[i], a * xv + yv);
+        });
+
+    // Results are real: the kernel actually computed.
+    std::printf("z[42] = %.1f (expect %.1f)\n\n", z[42], a * 1.f + 2.f);
+
+    // Every launch is profiled.
+    const gpu::LaunchStats &stats = dev.launches().back();
+    std::printf("kernel %s:\n", stats.desc.name.c_str());
+    std::printf("  warp instructions : %llu\n",
+                static_cast<unsigned long long>(stats.counts.total()));
+    std::printf("  simulated runtime : %.1f us\n",
+                stats.timing.seconds * 1e6);
+    std::printf("  GIPS              : %.1f\n", stats.metrics.gips);
+    std::printf("  inst intensity    : %.2f warp insts / 32B txn\n",
+                stats.metrics.instIntensity);
+    std::printf("  L1 / L2 hit rate  : %.2f / %.2f\n",
+                stats.metrics.l1HitRate, stats.metrics.l2HitRate);
+    std::printf("  DRAM read         : %.1f GB/s\n",
+                stats.metrics.dramReadBps / 1e9);
+
+    // Classify it on the instruction roofline, as the paper does.
+    const analysis::Roofline roof(dev.config());
+    std::printf("  class             : %s-intensive, %s-bound\n",
+                analysis::intensityClassName(roof.classifyIntensity(
+                    stats.metrics.instIntensity)),
+                analysis::boundClassName(
+                    roof.classifyBound(stats.metrics.gips)));
+    std::printf("\nA streaming SAXPY sits far left of the elbow "
+                "(memory-intensive), as expected.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+#include "analysis/eigen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace cactus::analysis {
+
+EigenResult
+jacobiEigen(const Matrix &sym, int max_sweeps)
+{
+    const std::size_t n = sym.rows();
+    if (n != sym.cols())
+        panic("jacobiEigen requires a square matrix");
+
+    Matrix a = sym;
+    Matrix v(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        v(i, i) = 1.0;
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (std::size_t p = 0; p < n; ++p)
+            for (std::size_t q = p + 1; q < n; ++q)
+                off += a(p, q) * a(p, q);
+        if (off < 1e-24)
+            break;
+
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = a(p, q);
+                if (std::fabs(apq) < 1e-300)
+                    continue;
+                const double app = a(p, p);
+                const double aqq = a(q, q);
+                const double theta = (aqq - app) / (2.0 * apq);
+                const double t = (theta >= 0 ? 1.0 : -1.0) /
+                    (std::fabs(theta) +
+                     std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a(k, p);
+                    const double akq = a(k, q);
+                    a(k, p) = c * akp - s * akq;
+                    a(k, q) = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a(p, k);
+                    const double aqk = a(q, k);
+                    a(p, k) = c * apk - s * aqk;
+                    a(q, k) = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v(k, p);
+                    const double vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort by descending eigenvalue.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        return a(x, x) > a(y, y);
+    });
+
+    EigenResult result;
+    result.values.resize(n);
+    result.vectors = Matrix(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        result.values[j] = a(order[j], order[j]);
+        for (std::size_t i = 0; i < n; ++i)
+            result.vectors(i, j) = v(i, order[j]);
+    }
+    return result;
+}
+
+} // namespace cactus::analysis

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Symmetric eigendecomposition via the cyclic Jacobi rotation method:
+ * robust, dependency-free, and exact enough for the small covariance
+ * matrices (tens of columns) the FAMD pipeline produces.
+ */
+
+#ifndef CACTUS_ANALYSIS_EIGEN_HH
+#define CACTUS_ANALYSIS_EIGEN_HH
+
+#include <vector>
+
+#include "analysis/matrix.hh"
+
+namespace cactus::analysis {
+
+/** Eigendecomposition of a symmetric matrix. */
+struct EigenResult
+{
+    /** Eigenvalues sorted in descending order. */
+    std::vector<double> values;
+    /** Eigenvectors as columns, index-aligned with values. */
+    Matrix vectors;
+};
+
+/**
+ * Decompose a symmetric matrix.
+ * @param sym Symmetric input; asymmetry beyond round-off is a caller bug.
+ * @param max_sweeps Jacobi sweeps before giving up (converges in ~10).
+ */
+EigenResult jacobiEigen(const Matrix &sym, int max_sweeps = 64);
+
+} // namespace cactus::analysis
+
+#endif // CACTUS_ANALYSIS_EIGEN_HH

@@ -1,0 +1,119 @@
+#include "analysis/famd.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/eigen.hh"
+#include "common/logging.hh"
+
+namespace cactus::analysis {
+
+FamdResult
+famd(const MixedData &data, std::size_t n_components)
+{
+    const std::size_t n = data.quantitative.rows();
+    if (n == 0)
+        fatal("famd: empty observation table");
+    for (const auto &q : data.qualitative)
+        if (q.size() != n)
+            fatal("famd: qualitative column length mismatch");
+
+    // Count indicator columns.
+    std::size_t m = 0;
+    std::vector<int> n_cats(data.qualitative.size(), 0);
+    for (std::size_t v = 0; v < data.qualitative.size(); ++v) {
+        int max_cat = -1;
+        for (int c : data.qualitative[v]) {
+            if (c < 0)
+                fatal("famd: negative category index");
+            max_cat = std::max(max_cat, c);
+        }
+        n_cats[v] = max_cat + 1;
+        m += static_cast<std::size_t>(n_cats[v]);
+    }
+    const std::size_t p = data.quantitative.cols();
+    Matrix z(n, p + m);
+
+    // Quantitative block: z-scores. Zero-variance columns stay zero so
+    // they contribute no inertia.
+    const auto means = data.quantitative.columnMeans();
+    const auto sds = data.quantitative.columnStddevs();
+    for (std::size_t j = 0; j < p; ++j) {
+        if (sds[j] <= 0.0)
+            continue;
+        for (std::size_t i = 0; i < n; ++i)
+            z(i, j) = (data.quantitative(i, j) - means[j]) / sds[j];
+    }
+
+    // Qualitative block: indicator columns weighted by 1/sqrt(p_k) and
+    // centered (the MCA weighting FAMD uses).
+    std::size_t col = p;
+    for (std::size_t v = 0; v < data.qualitative.size(); ++v) {
+        for (int k = 0; k < n_cats[v]; ++k) {
+            std::size_t count = 0;
+            for (int c : data.qualitative[v])
+                if (c == k)
+                    ++count;
+            if (count == 0) {
+                ++col;
+                continue;
+            }
+            const double pk = static_cast<double>(count) /
+                              static_cast<double>(n);
+            const double w = 1.0 / std::sqrt(pk);
+            for (std::size_t i = 0; i < n; ++i) {
+                const double ind = data.qualitative[v][i] == k ? 1.0 : 0.0;
+                z(i, col) = (ind - pk) * w;
+            }
+            ++col;
+        }
+    }
+
+    // PCA on Z: eigen decomposition of Z'Z / n.
+    Matrix cov = z.transpose().multiply(z);
+    for (std::size_t i = 0; i < cov.rows(); ++i)
+        for (std::size_t j = 0; j < cov.cols(); ++j)
+            cov(i, j) /= static_cast<double>(n);
+    const EigenResult eig = jacobiEigen(cov);
+
+    double total = 0.0;
+    for (double ev : eig.values)
+        total += std::max(ev, 0.0);
+
+    const std::size_t keep =
+        std::min(n_components, eig.values.size());
+
+    FamdResult result;
+    result.eigenvalues.assign(eig.values.begin(),
+                              eig.values.begin() + keep);
+    result.explained.resize(keep);
+    for (std::size_t j = 0; j < keep; ++j)
+        result.explained[j] = total > 0
+            ? std::max(eig.values[j], 0.0) / total : 0.0;
+
+    // Row coordinates: Z * V_keep.
+    result.coordinates = Matrix(n, keep);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < keep; ++j) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < z.cols(); ++k)
+                acc += z(i, k) * eig.vectors(k, j);
+            result.coordinates(i, j) = acc;
+        }
+    }
+    return result;
+}
+
+std::size_t
+componentsForVariance(const FamdResult &result, double target_fraction)
+{
+    double cum = 0.0;
+    for (std::size_t j = 0; j < result.explained.size(); ++j) {
+        cum += result.explained[j];
+        if (cum >= target_fraction)
+            return j + 1;
+    }
+    return result.explained.size();
+}
+
+} // namespace cactus::analysis

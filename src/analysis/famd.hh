@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Factor Analysis of Mixed Data (FAMD), after Pages / the FactoMineR
+ * implementation the paper uses: a PCA over a matrix combining
+ * standardized quantitative variables with MCA-weighted indicator columns
+ * for qualitative variables. The first few principal coordinates act as a
+ * denoised space for hierarchical clustering (paper Section V-D).
+ */
+
+#ifndef CACTUS_ANALYSIS_FAMD_HH
+#define CACTUS_ANALYSIS_FAMD_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/matrix.hh"
+
+namespace cactus::analysis {
+
+/** A mixed-type observation table. */
+struct MixedData
+{
+    /** Quantitative block: rows = observations, cols = variables. */
+    Matrix quantitative;
+    /**
+     * Qualitative block: one vector per variable, each holding the
+     * category index of every observation (same row count as the
+     * quantitative block).
+     */
+    std::vector<std::vector<int>> qualitative;
+    std::vector<std::string> quantNames;
+    std::vector<std::string> qualNames;
+};
+
+/** FAMD decomposition output. */
+struct FamdResult
+{
+    /** Row principal coordinates, rows = observations. */
+    Matrix coordinates;
+    /** Eigenvalues of the combined correlation structure, descending. */
+    std::vector<double> eigenvalues;
+    /** Fraction of total inertia explained per component. */
+    std::vector<double> explained;
+};
+
+/**
+ * Run FAMD.
+ * @param data Mixed observation table.
+ * @param n_components Number of leading components to keep; clamped to
+ *        the available rank.
+ */
+FamdResult famd(const MixedData &data, std::size_t n_components);
+
+/**
+ * Smallest number of leading components explaining at least
+ * @p target_fraction of the inertia.
+ */
+std::size_t componentsForVariance(const FamdResult &result,
+                                  double target_fraction);
+
+} // namespace cactus::analysis
+
+#endif // CACTUS_ANALYSIS_FAMD_HH

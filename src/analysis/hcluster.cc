@@ -1,0 +1,192 @@
+#include "analysis/hcluster.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cactus::analysis {
+
+Linkage
+wardLinkage(const Matrix &points)
+{
+    const std::size_t n = points.rows();
+    Linkage linkage;
+    linkage.numLeaves = n;
+    if (n < 2)
+        return linkage;
+
+    // Active cluster list: node id and size. Distances kept as a dense
+    // symmetric matrix over active indices (O(n^2) memory, n is small).
+    std::vector<std::size_t> node(n);
+    std::vector<std::size_t> size(n, 1);
+    for (std::size_t i = 0; i < n; ++i)
+        node[i] = i;
+
+    std::vector<std::vector<double>> d2(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            double acc = 0.0;
+            for (std::size_t c = 0; c < points.cols(); ++c) {
+                const double diff = points(i, c) - points(j, c);
+                acc += diff * diff;
+            }
+            d2[i][j] = acc;
+            d2[j][i] = acc;
+        }
+    }
+
+    std::vector<bool> alive(n, true);
+    std::size_t next_node = n;
+    for (std::size_t step = 0; step + 1 < n; ++step) {
+        // Find the closest active pair.
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t bi = 0, bj = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!alive[i])
+                continue;
+            for (std::size_t j = i + 1; j < n; ++j) {
+                if (!alive[j])
+                    continue;
+                if (d2[i][j] < best) {
+                    best = d2[i][j];
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+
+        MergeStep merge;
+        merge.left = node[bi];
+        merge.right = node[bj];
+        merge.height = std::sqrt(std::max(0.0, best));
+        merge.size = size[bi] + size[bj];
+        linkage.merges.push_back(merge);
+
+        // Lance-Williams Ward update into slot bi.
+        const double ni = static_cast<double>(size[bi]);
+        const double nj = static_cast<double>(size[bj]);
+        for (std::size_t k = 0; k < n; ++k) {
+            if (!alive[k] || k == bi || k == bj)
+                continue;
+            const double nk = static_cast<double>(size[k]);
+            const double updated =
+                ((ni + nk) * d2[bi][k] + (nj + nk) * d2[bj][k] -
+                 nk * d2[bi][bj]) / (ni + nj + nk);
+            d2[bi][k] = updated;
+            d2[k][bi] = updated;
+        }
+        node[bi] = next_node++;
+        size[bi] += size[bj];
+        alive[bj] = false;
+    }
+    return linkage;
+}
+
+std::vector<int>
+cutTree(const Linkage &linkage, std::size_t k)
+{
+    const std::size_t n = linkage.numLeaves;
+    if (k == 0 || n == 0)
+        return {};
+    k = std::min(k, n);
+
+    // Union-find over leaves; apply the first n-k merges.
+    std::vector<std::size_t> parent(n);
+    for (std::size_t i = 0; i < n; ++i)
+        parent[i] = i;
+    auto find = [&](std::size_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+
+    // Map internal node id -> a representative leaf.
+    std::vector<std::size_t> rep(n + linkage.merges.size());
+    for (std::size_t i = 0; i < n; ++i)
+        rep[i] = i;
+    const std::size_t merges_to_apply = n - k;
+    for (std::size_t s = 0; s < merges_to_apply; ++s) {
+        const auto &m = linkage.merges[s];
+        const std::size_t a = find(rep[m.left]);
+        const std::size_t b = find(rep[m.right]);
+        parent[b] = a;
+        rep[n + s] = a;
+    }
+    // Representatives for un-applied merges still need definitions so
+    // later cuts don't read garbage (not used in this cut).
+    for (std::size_t s = merges_to_apply; s < linkage.merges.size(); ++s)
+        rep[n + s] = find(rep[linkage.merges[s].left]);
+
+    // Renumber roots by first appearance.
+    std::vector<int> labels(n, -1);
+    std::vector<std::size_t> roots;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t r = find(i);
+        std::size_t idx = 0;
+        for (; idx < roots.size(); ++idx)
+            if (roots[idx] == r)
+                break;
+        if (idx == roots.size())
+            roots.push_back(r);
+        labels[i] = static_cast<int>(idx);
+    }
+    return labels;
+}
+
+namespace {
+
+/** Recursive sideways dendrogram printer. */
+struct Renderer
+{
+    const Linkage &linkage;
+    const std::vector<std::string> &labels;
+    std::ostringstream out;
+
+    /** Emit the subtree rooted at @p id with @p prefix indentation. */
+    void
+    emit(std::size_t id, const std::string &prefix, bool is_last)
+    {
+        const std::string branch = is_last ? "`-- " : "|-- ";
+        const std::string child_prefix =
+            prefix + (is_last ? "    " : "|   ");
+        if (id < linkage.numLeaves) {
+            out << prefix << branch << labels[id] << "\n";
+            return;
+        }
+        const MergeStep &m = linkage.merges[id - linkage.numLeaves];
+        out << prefix << branch << "+ (h=" << m.height << ")\n";
+        emit(m.left, child_prefix, false);
+        emit(m.right, child_prefix, true);
+    }
+};
+
+} // namespace
+
+std::string
+renderDendrogram(const Linkage &linkage,
+                 const std::vector<std::string> &labels)
+{
+    if (labels.size() != linkage.numLeaves)
+        panic("renderDendrogram: ", labels.size(), " labels for ",
+              linkage.numLeaves, " leaves");
+    if (linkage.numLeaves == 0)
+        return "";
+    if (linkage.merges.empty())
+        return labels[0] + "\n";
+
+    Renderer r{linkage, labels, {}};
+    const std::size_t root =
+        linkage.numLeaves + linkage.merges.size() - 1;
+    r.out << "root\n";
+    const MergeStep &m = r.linkage.merges[root - linkage.numLeaves];
+    r.emit(m.left, "", false);
+    r.emit(m.right, "", true);
+    return r.out.str();
+}
+
+} // namespace cactus::analysis

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Agglomerative hierarchical clustering with Ward linkage (the method
+ * behind the paper's Figure 9 dendrogram), implemented via the
+ * Lance-Williams recurrence on squared Euclidean distances. Provides the
+ * merge tree, flat cluster extraction, and an ASCII dendrogram renderer.
+ */
+
+#ifndef CACTUS_ANALYSIS_HCLUSTER_HH
+#define CACTUS_ANALYSIS_HCLUSTER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/matrix.hh"
+
+namespace cactus::analysis {
+
+/**
+ * One agglomeration step. Node ids follow the scipy convention: leaves
+ * are 0..n-1; the i-th merge creates node n+i.
+ */
+struct MergeStep
+{
+    std::size_t left = 0;
+    std::size_t right = 0;
+    double height = 0;      ///< Ward distance at which the merge happens.
+    std::size_t size = 0;   ///< Observations in the merged cluster.
+};
+
+/** Result of a clustering run. */
+struct Linkage
+{
+    std::size_t numLeaves = 0;
+    std::vector<MergeStep> merges; ///< numLeaves - 1 steps, by height.
+};
+
+/**
+ * Ward agglomerative clustering of row vectors.
+ * @param points Rows = observations, cols = (FAMD) coordinates.
+ */
+Linkage wardLinkage(const Matrix &points);
+
+/**
+ * Cut the tree into @p k flat clusters.
+ * @return Per-leaf cluster labels in [0, k), renumbered by first
+ *         appearance.
+ */
+std::vector<int> cutTree(const Linkage &linkage, std::size_t k);
+
+/**
+ * Render a sideways ASCII dendrogram.
+ * @param labels One label per leaf.
+ */
+std::string renderDendrogram(const Linkage &linkage,
+                             const std::vector<std::string> &labels);
+
+} // namespace cactus::analysis
+
+#endif // CACTUS_ANALYSIS_HCLUSTER_HH

@@ -1,0 +1,79 @@
+#include "analysis/matrix.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cactus::analysis {
+
+Matrix
+Matrix::multiply(const Matrix &rhs) const
+{
+    if (cols_ != rhs.rows_)
+        panic("matrix multiply dimension mismatch: ", rows_, "x", cols_,
+              " * ", rhs.rows_, "x", rhs.cols_);
+    Matrix out(rows_, rhs.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(i, k);
+            if (a == 0.0)
+                continue;
+            for (std::size_t j = 0; j < rhs.cols_; ++j)
+                out(i, j) += a * rhs(k, j);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            out(j, i) = (*this)(i, j);
+    return out;
+}
+
+std::vector<double>
+Matrix::columnMeans() const
+{
+    std::vector<double> means(cols_, 0.0);
+    if (rows_ == 0)
+        return means;
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            means[j] += (*this)(i, j);
+    for (auto &m : means)
+        m /= static_cast<double>(rows_);
+    return means;
+}
+
+std::vector<double>
+Matrix::columnStddevs() const
+{
+    std::vector<double> sd(cols_, 0.0);
+    if (rows_ == 0)
+        return sd;
+    const auto means = columnMeans();
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < cols_; ++j) {
+            const double d = (*this)(i, j) - means[j];
+            sd[j] += d * d;
+        }
+    }
+    for (auto &s : sd)
+        s = std::sqrt(s / static_cast<double>(rows_));
+    return sd;
+}
+
+std::vector<double>
+Matrix::row(std::size_t r) const
+{
+    std::vector<double> out(cols_);
+    for (std::size_t j = 0; j < cols_; ++j)
+        out[j] = (*this)(r, j);
+    return out;
+}
+
+} // namespace cactus::analysis

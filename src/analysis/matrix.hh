@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal dense row-major matrix used by the statistics pipeline
+ * (correlation analysis, FAMD, clustering). Only the operations the
+ * pipeline needs are provided; this is not a general linear-algebra
+ * library.
+ */
+
+#ifndef CACTUS_ANALYSIS_MATRIX_HH
+#define CACTUS_ANALYSIS_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace cactus::analysis {
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Zero-initialized rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+    {
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double &
+    operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+
+    double
+    operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Matrix product this * rhs. Dimensions must agree. */
+    Matrix multiply(const Matrix &rhs) const;
+
+    /** Transpose. */
+    Matrix transpose() const;
+
+    /** Column means. */
+    std::vector<double> columnMeans() const;
+
+    /** Column standard deviations (population, i.e., divide by n). */
+    std::vector<double> columnStddevs() const;
+
+    /** One row as a vector. */
+    std::vector<double> row(std::size_t r) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace cactus::analysis
+
+#endif // CACTUS_ANALYSIS_MATRIX_HH

@@ -1,0 +1,83 @@
+#include "analysis/pearson.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cactus::analysis {
+
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    if (x.size() != y.size())
+        panic("pearson: sample size mismatch ", x.size(), " vs ",
+              y.size());
+    const std::size_t n = x.size();
+    if (n < 2)
+        return 0.0;
+
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mx += x[i];
+        my += y[i];
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+Matrix
+correlationMatrix(const Matrix &samples)
+{
+    const std::size_t p = samples.cols();
+    const std::size_t n = samples.rows();
+    Matrix corr(p, p);
+    std::vector<std::vector<double>> cols(p, std::vector<double>(n));
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < p; ++j)
+            cols[j][i] = samples(i, j);
+    for (std::size_t a = 0; a < p; ++a) {
+        corr(a, a) = 1.0;
+        for (std::size_t b = a + 1; b < p; ++b) {
+            const double r = pearson(cols[a], cols[b]);
+            corr(a, b) = r;
+            corr(b, a) = r;
+        }
+    }
+    return corr;
+}
+
+CorrelationStrength
+classifyCorrelation(double pcc)
+{
+    const double a = std::fabs(pcc);
+    if (a >= 0.5)
+        return CorrelationStrength::Strong;
+    if (a >= 0.2)
+        return CorrelationStrength::Weak;
+    return CorrelationStrength::None;
+}
+
+const char *
+correlationStrengthName(CorrelationStrength s)
+{
+    switch (s) {
+      case CorrelationStrength::None: return "none";
+      case CorrelationStrength::Weak: return "weak";
+      case CorrelationStrength::Strong: return "strong";
+      default: panic("invalid correlation strength");
+    }
+}
+
+} // namespace cactus::analysis

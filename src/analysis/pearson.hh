@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Pearson correlation analysis, as used in the paper's Figure 8: the
+ * correlation between primary performance metrics and the remaining
+ * profiler metrics, bucketed into strong / weak / none.
+ */
+
+#ifndef CACTUS_ANALYSIS_PEARSON_HH
+#define CACTUS_ANALYSIS_PEARSON_HH
+
+#include <vector>
+
+#include "analysis/matrix.hh"
+
+namespace cactus::analysis {
+
+/**
+ * Pearson correlation coefficient between two equally sized samples.
+ * Returns 0 when either sample has zero variance.
+ */
+double pearson(const std::vector<double> &x, const std::vector<double> &y);
+
+/**
+ * Full correlation matrix between the columns of a sample matrix
+ * (rows = observations, cols = variables).
+ */
+Matrix correlationMatrix(const Matrix &samples);
+
+/** The paper's Figure 8 color-code buckets for |PCC|. */
+enum class CorrelationStrength
+{
+    None,   ///< |PCC| in [0, 0.2)
+    Weak,   ///< |PCC| in [0.2, 0.5)
+    Strong  ///< |PCC| in [0.5, 1]
+};
+
+/** Bucket a correlation coefficient per the paper's thresholds. */
+CorrelationStrength classifyCorrelation(double pcc);
+
+/** Short label for a bucket ("none"/"weak"/"strong"). */
+const char *correlationStrengthName(CorrelationStrength s);
+
+} // namespace cactus::analysis
+
+#endif // CACTUS_ANALYSIS_PEARSON_HH

@@ -1,0 +1,176 @@
+#include "analysis/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cactus::analysis {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size())
+        panic("TextTable row width ", row.size(), " != header width ",
+              header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t j = 0; j < header_.size(); ++j)
+        widths[j] = header_[j].size();
+    for (const auto &row : rows_)
+        for (std::size_t j = 0; j < row.size(); ++j)
+            widths[j] = std::max(widths[j], row[j].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t j = 0; j < row.size(); ++j) {
+            os << row[j];
+            if (j + 1 < row.size())
+                os << std::string(widths[j] - row[j].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t j = 0; j < widths.size(); ++j)
+        total += widths[j] + (j + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t j = 0; j < row.size(); ++j) {
+            const bool quote =
+                row[j].find_first_of(",\"\n") != std::string::npos;
+            if (quote) {
+                os << '"';
+                for (char c : row[j]) {
+                    if (c == '"')
+                        os << "\"\"";
+                    else
+                        os << c;
+                }
+                os << '"';
+            } else {
+                os << row[j];
+            }
+            if (j + 1 < row.size())
+                os << ',';
+        }
+        os << "\n";
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+fmtCount(unsigned long long value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    int seen = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (seen && seen % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++seen;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+asciiScatter(const std::vector<ScatterSeries> &series,
+             const ScatterOptions &opts)
+{
+    const int w = std::max(8, opts.width);
+    const int h = std::max(4, opts.height);
+    std::vector<std::string> grid(h, std::string(w, ' '));
+
+    auto xPos = [&](double x) -> int {
+        double lo = opts.xMin, hi = opts.xMax, v = x;
+        if (opts.logX) {
+            lo = std::log10(std::max(lo, 1e-12));
+            hi = std::log10(std::max(hi, 1e-12));
+            v = std::log10(std::max(v, 1e-12));
+        }
+        const double t = (v - lo) / (hi - lo);
+        return static_cast<int>(std::lround(t * (w - 1)));
+    };
+    auto yPos = [&](double y) -> int {
+        double lo = opts.yMin, hi = opts.yMax, v = y;
+        if (opts.logY) {
+            lo = std::log10(std::max(lo, 1e-12));
+            hi = std::log10(std::max(hi, 1e-12));
+            v = std::log10(std::max(v, 1e-12));
+        }
+        const double t = (v - lo) / (hi - lo);
+        return (h - 1) - static_cast<int>(std::lround(t * (h - 1)));
+    };
+    auto plot = [&](double x, double y, char glyph) {
+        const int cx = xPos(x);
+        const int cy = yPos(y);
+        if (cx < 0 || cx >= w || cy < 0 || cy >= h)
+            return;
+        grid[cy][cx] = glyph;
+    };
+
+    // Roof first so points overwrite it.
+    if (opts.roofPeakY > 0 && opts.roofSlope > 0) {
+        for (int cx = 0; cx < w; ++cx) {
+            double x;
+            if (opts.logX) {
+                const double lo = std::log10(opts.xMin);
+                const double hi = std::log10(opts.xMax);
+                x = std::pow(10.0,
+                             lo + (hi - lo) * cx / (w - 1));
+            } else {
+                x = opts.xMin +
+                    (opts.xMax - opts.xMin) * cx / (w - 1);
+            }
+            const double roof =
+                std::min(opts.roofPeakY, x * opts.roofSlope);
+            plot(x, roof, '.');
+        }
+    }
+
+    for (const auto &s : series)
+        for (const auto &[x, y] : s.points)
+            plot(x, y, s.glyph);
+
+    std::ostringstream os;
+    for (const auto &line : grid)
+        os << "|" << line << "|\n";
+    os << "+" << std::string(w, '-') << "+\n";
+    return os.str();
+}
+
+} // namespace cactus::analysis

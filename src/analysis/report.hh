@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Report rendering helpers used by the benchmark harnesses: fixed-width
+ * text tables, CSV emission, and an ASCII scatter plot for the roofline
+ * figures (log-log, with the roof drawn in).
+ */
+
+#ifndef CACTUS_ANALYSIS_REPORT_HH
+#define CACTUS_ANALYSIS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace cactus::analysis {
+
+/** A fixed-width text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns and a separator under the header. */
+    std::string render() const;
+
+    /** Render as CSV (comma-separated, quoted when needed). */
+    std::string renderCsv() const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string fmt(double value, int precision = 3);
+
+/** Format a count with thousands separators ("1,234,567"). */
+std::string fmtCount(unsigned long long value);
+
+/** Options for the ASCII scatter plot. */
+struct ScatterOptions
+{
+    int width = 72;
+    int height = 20;
+    bool logX = true;
+    bool logY = true;
+    double xMin = 0.01;
+    double xMax = 1e4;
+    double yMin = 0.01;
+    double yMax = 1e3;
+    /** If positive, draw the roofline min(peakY, x * slope). */
+    double roofPeakY = 0;
+    double roofSlope = 0;
+};
+
+/** One scatter series: points drawn with the same glyph. */
+struct ScatterSeries
+{
+    char glyph = '*';
+    std::vector<std::pair<double, double>> points;
+};
+
+/** Render an ASCII scatter plot (roofline-style when a roof is set). */
+std::string asciiScatter(const std::vector<ScatterSeries> &series,
+                         const ScatterOptions &opts);
+
+} // namespace cactus::analysis
+
+#endif // CACTUS_ANALYSIS_REPORT_HH

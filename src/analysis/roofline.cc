@@ -1,0 +1,69 @@
+#include "analysis/roofline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cactus::analysis {
+
+Roofline::Roofline(const gpu::DeviceConfig &cfg)
+    : peakGips_(cfg.peakGips()), peakGtxn_(cfg.peakGtxnPerSec()),
+      elbow_(cfg.elbowIntensity())
+{
+}
+
+double
+Roofline::roofGips(double intensity) const
+{
+    return std::min(peakGips_, intensity * peakGtxn_);
+}
+
+IntensityClass
+Roofline::classifyIntensity(double intensity) const
+{
+    return intensity < elbow_ ? IntensityClass::MemoryIntensive
+                              : IntensityClass::ComputeIntensive;
+}
+
+BoundClass
+Roofline::classifyBound(double gips) const
+{
+    return gips < latencyThresholdGips() ? BoundClass::LatencyBound
+                                         : BoundClass::BandwidthBound;
+}
+
+RooflinePoint
+Roofline::makePoint(const std::string &label, double intensity,
+                    double gips, double time_share) const
+{
+    RooflinePoint p;
+    p.label = label;
+    p.intensity = intensity;
+    p.gips = gips;
+    p.timeShare = time_share;
+    p.intensityClass = classifyIntensity(intensity);
+    p.boundClass = classifyBound(gips);
+    return p;
+}
+
+const char *
+intensityClassName(IntensityClass c)
+{
+    switch (c) {
+      case IntensityClass::MemoryIntensive: return "memory";
+      case IntensityClass::ComputeIntensive: return "compute";
+      default: panic("invalid intensity class");
+    }
+}
+
+const char *
+boundClassName(BoundClass c)
+{
+    switch (c) {
+      case BoundClass::LatencyBound: return "latency";
+      case BoundClass::BandwidthBound: return "bandwidth";
+      default: panic("invalid bound class");
+    }
+}
+
+} // namespace cactus::analysis

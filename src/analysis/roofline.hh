@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The instruction roofline model of the paper (after Ding & Williams):
+ * performance in GIPS versus instruction intensity in warp instructions
+ * per 32-byte DRAM transaction, with the memory roof GIPS = II x GTXN/s
+ * meeting the compute roof at the elbow. Also provides the two
+ * qualitative labels the paper feeds into FAMD: memory- vs.
+ * compute-intensive (position relative to the elbow) and bandwidth- vs.
+ * latency-bound (achieved performance relative to 1% of peak).
+ */
+
+#ifndef CACTUS_ANALYSIS_ROOFLINE_HH
+#define CACTUS_ANALYSIS_ROOFLINE_HH
+
+#include <string>
+
+#include "gpu/config.hh"
+
+namespace cactus::analysis {
+
+/** Position relative to the roofline elbow. */
+enum class IntensityClass
+{
+    MemoryIntensive,
+    ComputeIntensive
+};
+
+/** Achieved-performance label per the paper's 1%-of-peak threshold. */
+enum class BoundClass
+{
+    LatencyBound,
+    BandwidthBound
+};
+
+/** A point in the roofline plane plus its qualitative labels. */
+struct RooflinePoint
+{
+    std::string label;
+    double intensity = 0;   ///< Warp insts per DRAM transaction.
+    double gips = 0;
+    double timeShare = 0;   ///< Fraction of the application GPU time.
+    IntensityClass intensityClass = IntensityClass::MemoryIntensive;
+    BoundClass boundClass = BoundClass::LatencyBound;
+};
+
+/** Evaluates roofline geometry for a device configuration. */
+class Roofline
+{
+  public:
+    explicit Roofline(const gpu::DeviceConfig &cfg);
+
+    /** Roof performance at a given intensity: min(peak, II x GTXN/s). */
+    double roofGips(double intensity) const;
+
+    /** Elbow intensity where the memory roof meets the compute roof. */
+    double elbow() const { return elbow_; }
+
+    double peakGips() const { return peakGips_; }
+
+    /** The paper's latency/bandwidth threshold: 1% of peak GIPS. */
+    double latencyThresholdGips() const { return 0.01 * peakGips_; }
+
+    IntensityClass classifyIntensity(double intensity) const;
+    BoundClass classifyBound(double gips) const;
+
+    /** Build a labeled point with both qualitative classes filled in. */
+    RooflinePoint
+    makePoint(const std::string &label, double intensity, double gips,
+              double time_share = 0.0) const;
+
+  private:
+    double peakGips_;
+    double peakGtxn_;
+    double elbow_;
+};
+
+/** Short label for an intensity class ("memory"/"compute"). */
+const char *intensityClassName(IntensityClass c);
+
+/** Short label for a bound class ("latency"/"bandwidth"). */
+const char *boundClassName(BoundClass c);
+
+} // namespace cactus::analysis
+
+#endif // CACTUS_ANALYSIS_ROOFLINE_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Error and status reporting helpers, following the gem5 discipline:
+ * panic() for internal invariant violations (simulator bugs), fatal() for
+ * unrecoverable user errors (bad configuration or inputs), warn()/inform()
+ * for status messages that do not stop the run.
+ */
+
+#ifndef CACTUS_COMMON_LOGGING_HH
+#define CACTUS_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cactus {
+
+namespace detail {
+
+inline void
+appendAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    appendAll(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatMessage(const Args &...args)
+{
+    std::ostringstream os;
+    appendAll(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Abort the process: an internal invariant was violated. Use only for
+ * conditions that indicate a bug in the simulator itself.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::fprintf(stderr, "panic: %s\n",
+                 detail::formatMessage(args...).c_str());
+    std::abort();
+}
+
+/**
+ * Exit with an error code: the simulation cannot continue due to a user
+ * error (bad configuration, invalid arguments), not a simulator bug.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::fprintf(stderr, "fatal: %s\n",
+                 detail::formatMessage(args...).c_str());
+    std::exit(1);
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::formatMessage(args...).c_str());
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::fprintf(stdout, "info: %s\n",
+                 detail::formatMessage(args...).c_str());
+}
+
+} // namespace cactus
+
+#endif // CACTUS_COMMON_LOGGING_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A small, fast, deterministic pseudo-random number generator shared by
+ * the workload generators and the data-set synthesizers. xoshiro256**
+ * seeded by splitmix64; deterministic across platforms so every experiment
+ * in the repository is reproducible bit-for-bit.
+ */
+
+#ifndef CACTUS_COMMON_RNG_HH
+#define CACTUS_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace cactus {
+
+/** Deterministic xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 seeding: decorrelates nearby seeds.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t
+    uniformInt(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Standard normal via Box-Muller. */
+    double
+    normal()
+    {
+        if (hasSpare_) {
+            hasSpare_ = false;
+            return spare_;
+        }
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        const double mag = std::sqrt(-2.0 * std::log(u1));
+        spare_ = mag * std::sin(6.283185307179586 * u2);
+        hasSpare_ = true;
+        return mag * std::cos(6.283185307179586 * u2);
+    }
+
+    /** Normal with given mean and standard deviation. */
+    double
+    normal(double mean, double stddev)
+    {
+        return mean + stddev * normal();
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+    double spare_ = 0.0;
+    bool hasSpare_ = false;
+};
+
+} // namespace cactus
+
+#endif // CACTUS_COMMON_RNG_HH

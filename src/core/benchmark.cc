@@ -1,0 +1,59 @@
+#include "core/benchmark.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cactus::core {
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+void
+Registry::add(BenchmarkInfo info)
+{
+    for (const auto &existing : benchmarks_)
+        if (existing.name == info.name)
+            panic("duplicate benchmark registration: ", info.name);
+    benchmarks_.push_back(std::move(info));
+}
+
+std::vector<const BenchmarkInfo *>
+Registry::list(const std::string &suite) const
+{
+    std::vector<const BenchmarkInfo *> out;
+    for (const auto &info : benchmarks_)
+        if (suite.empty() || info.suite == suite)
+            out.push_back(&info);
+    std::sort(out.begin(), out.end(),
+              [](const BenchmarkInfo *a, const BenchmarkInfo *b) {
+                  if (a->suite != b->suite)
+                      return a->suite < b->suite;
+                  return a->name < b->name;
+              });
+    return out;
+}
+
+std::unique_ptr<Benchmark>
+Registry::create(const std::string &name, Scale scale) const
+{
+    for (const auto &info : benchmarks_)
+        if (info.name == name)
+            return info.factory(scale);
+    fatal("unknown benchmark '", name, "'");
+}
+
+bool
+Registry::contains(const std::string &name) const
+{
+    for (const auto &info : benchmarks_)
+        if (info.name == name)
+            return true;
+    return false;
+}
+
+} // namespace cactus::core

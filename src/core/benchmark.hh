@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The benchmark abstraction at the heart of the suite: a Benchmark runs
+ * a complete application on a simulated device; the Registry holds
+ * factories for every benchmark in every suite (Cactus, Parboil,
+ * Rodinia, Tango) so harnesses and tests can enumerate them.
+ */
+
+#ifndef CACTUS_CORE_BENCHMARK_HH
+#define CACTUS_CORE_BENCHMARK_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/device.hh"
+
+namespace cactus::core {
+
+/** Workload scale: Tiny for unit tests, Small for the experiments. */
+enum class Scale
+{
+    Tiny,
+    Small
+};
+
+/** A runnable GPU-compute application. */
+class Benchmark
+{
+  public:
+    virtual ~Benchmark() = default;
+
+    /** Short name, e.g. "GMS" or "sgemm". */
+    virtual std::string name() const = 0;
+
+    /** Owning suite: "Cactus", "Parboil", "Rodinia", or "Tango". */
+    virtual std::string suite() const = 0;
+
+    /** Application domain, e.g. "Molecular", "Graph", "ML". */
+    virtual std::string domain() const = 0;
+
+    /** Execute the full application on @p dev. */
+    virtual void run(gpu::Device &dev) = 0;
+};
+
+/** Descriptor + factory for one registered benchmark. */
+struct BenchmarkInfo
+{
+    std::string name;
+    std::string suite;
+    std::string domain;
+    std::function<std::unique_ptr<Benchmark>(Scale)> factory;
+};
+
+/** Global benchmark registry (populated by static registrars). */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    void add(BenchmarkInfo info);
+
+    /** All registered benchmarks, optionally filtered by suite. */
+    std::vector<const BenchmarkInfo *> list(
+        const std::string &suite = "") const;
+
+    /** Create a benchmark by name; fatal if unknown. */
+    std::unique_ptr<Benchmark> create(const std::string &name,
+                                      Scale scale = Scale::Small) const;
+
+    bool contains(const std::string &name) const;
+
+  private:
+    std::vector<BenchmarkInfo> benchmarks_;
+};
+
+/** Static-initialization helper used by the registration macro. */
+struct Registrar
+{
+    explicit Registrar(BenchmarkInfo info)
+    {
+        Registry::instance().add(std::move(info));
+    }
+};
+
+/**
+ * Register a benchmark class constructible as cls(Scale).
+ * Usage: CACTUS_REGISTER_BENCHMARK(GmsBenchmark, "GMS", "Cactus",
+ *                                  "Molecular");
+ */
+#define CACTUS_REGISTER_BENCHMARK(cls, bench_name, bench_suite,          \
+                                  bench_domain)                          \
+    static ::cactus::core::Registrar registrar_##cls(                    \
+        ::cactus::core::BenchmarkInfo{                                   \
+            bench_name, bench_suite, bench_domain,                       \
+            [](::cactus::core::Scale s) {                                \
+                return std::unique_ptr<::cactus::core::Benchmark>(       \
+                    new cls(s));                                         \
+            }})
+
+} // namespace cactus::core
+
+#endif // CACTUS_CORE_BENCHMARK_HH

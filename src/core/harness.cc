@@ -1,0 +1,158 @@
+#include "core/harness.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cactus::core {
+
+int
+BenchmarkProfile::kernelsForTimeFraction(double fraction) const
+{
+    if (totalSeconds <= 0)
+        return 0;
+    double cum = 0;
+    int count = 0;
+    for (const auto &kp : kernels) {
+        cum += kp.seconds;
+        ++count;
+        if (cum / totalSeconds >= fraction)
+            return count;
+    }
+    return count;
+}
+
+std::vector<double>
+BenchmarkProfile::cumulativeTimeShares() const
+{
+    std::vector<double> shares;
+    shares.reserve(kernels.size());
+    double cum = 0;
+    for (const auto &kp : kernels) {
+        cum += kp.seconds;
+        shares.push_back(totalSeconds > 0 ? cum / totalSeconds : 0.0);
+    }
+    return shares;
+}
+
+double
+BenchmarkProfile::aggregateGips() const
+{
+    return totalSeconds > 0
+        ? static_cast<double>(totalWarpInsts) / totalSeconds / 1e9
+        : 0.0;
+}
+
+double
+BenchmarkProfile::aggregateIntensity() const
+{
+    return totalDramSectors > 0
+        ? static_cast<double>(totalWarpInsts) / totalDramSectors
+        : 1e6;
+}
+
+double
+BenchmarkProfile::weightedAvgWarpInstsPerKernel() const
+{
+    return kernels.empty()
+        ? 0.0
+        : static_cast<double>(totalWarpInsts) / kernels.size();
+}
+
+BenchmarkProfile
+runProfiled(Benchmark &bench, const gpu::DeviceConfig &cfg)
+{
+    gpu::Device dev(cfg);
+    bench.run(dev);
+
+    BenchmarkProfile profile;
+    profile.name = bench.name();
+    profile.suite = bench.suite();
+    profile.domain = bench.domain();
+    profile.config = cfg;
+    profile.kernels = gpu::aggregateLaunches(dev.launches(), cfg);
+    profile.launches = dev.launches().size();
+    for (const auto &kp : profile.kernels) {
+        profile.totalSeconds += kp.seconds;
+        profile.totalWarpInsts += kp.warpInsts;
+        profile.totalDramSectors +=
+            kp.dramReadSectors + kp.dramWriteSectors;
+    }
+    return profile;
+}
+
+BenchmarkProfile
+runProfiled(const std::string &name, Scale scale,
+            const gpu::DeviceConfig &cfg)
+{
+    auto bench = Registry::instance().create(name, scale);
+    return runProfiled(*bench, cfg);
+}
+
+std::vector<KernelObservation>
+dominantKernelObservations(const std::vector<BenchmarkProfile> &profiles,
+                           double time_fraction)
+{
+    std::vector<KernelObservation> observations;
+    for (const auto &profile : profiles) {
+        const int dominant =
+            profile.kernelsForTimeFraction(time_fraction);
+        for (int k = 0; k < dominant; ++k) {
+            const auto &kp = profile.kernels[k];
+            KernelObservation obs;
+            obs.benchmark = profile.name;
+            obs.suite = profile.suite;
+            obs.kernel = kp.name;
+            obs.metrics = kp.metrics;
+            obs.timeShare = profile.totalSeconds > 0
+                ? kp.seconds / profile.totalSeconds : 0.0;
+            observations.push_back(std::move(obs));
+        }
+    }
+    return observations;
+}
+
+analysis::MixedData
+buildMixedData(const std::vector<KernelObservation> &observations,
+               const gpu::DeviceConfig &cfg)
+{
+    const analysis::Roofline roof(cfg);
+    const int n = static_cast<int>(observations.size());
+    const int p = gpu::KernelMetrics::kNumColumns;
+
+    analysis::MixedData data;
+    data.quantitative = analysis::Matrix(n, p);
+    for (int j = 0; j < p; ++j)
+        data.quantNames.push_back(gpu::KernelMetrics::columnName(j));
+
+    std::vector<int> intensity_label(n), bound_label(n);
+    for (int i = 0; i < n; ++i) {
+        const auto row = observations[i].metrics.toVector();
+        for (int j = 0; j < p; ++j) {
+            double v = row[j];
+            // Compress the two unbounded columns to log scale so a
+            // single extreme kernel does not dominate the factors.
+            if (std::string(gpu::KernelMetrics::columnName(j)) ==
+                    "dram_read_bps" ||
+                std::string(gpu::KernelMetrics::columnName(j)) ==
+                    "inst_intensity")
+                v = std::log10(std::max(v, 1e-3));
+            data.quantitative(i, j) = v;
+        }
+        intensity_label[i] =
+            roof.classifyIntensity(observations[i].metrics
+                                       .instIntensity) ==
+                analysis::IntensityClass::ComputeIntensive ? 1 : 0;
+        bound_label[i] =
+            roof.classifyBound(observations[i].metrics.gips) ==
+                analysis::BoundClass::BandwidthBound ? 1 : 0;
+    }
+    data.qualitative.push_back(std::move(intensity_label));
+    data.qualNames.push_back("intensity_class");
+    data.qualitative.push_back(std::move(bound_label));
+    data.qualNames.push_back("bound_class");
+    return data;
+}
+
+} // namespace cactus::core

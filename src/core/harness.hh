@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The profiling harness: run a benchmark on a fresh simulated device,
+ * aggregate its launches into per-kernel profiles, and expose the
+ * quantities the paper's analyses consume — dominant-kernel sets
+ * (r_i x t_i ranking with the 70% cumulative-time rule), cumulative
+ * time distributions, aggregate roofline coordinates, and FAMD-ready
+ * mixed observations per kernel.
+ */
+
+#ifndef CACTUS_CORE_HARNESS_HH
+#define CACTUS_CORE_HARNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/famd.hh"
+#include "analysis/roofline.hh"
+#include "core/benchmark.hh"
+#include "gpu/profiler.hh"
+
+namespace cactus::core {
+
+/** Full profile of one benchmark run. */
+struct BenchmarkProfile
+{
+    std::string name;
+    std::string suite;
+    std::string domain;
+    gpu::DeviceConfig config;
+
+    /** Per-kernel profiles, sorted by descending total GPU time. */
+    std::vector<gpu::KernelProfile> kernels;
+
+    double totalSeconds = 0;
+    std::uint64_t totalWarpInsts = 0;
+    std::uint64_t totalDramSectors = 0;
+    std::uint64_t launches = 0;
+
+    /** Number of distinct kernels executed (100% of time). */
+    int kernelCount() const { return static_cast<int>(kernels.size()); }
+
+    /**
+     * Smallest number of dominant kernels covering at least
+     * @p fraction of total GPU time (the paper's 70% rule).
+     */
+    int kernelsForTimeFraction(double fraction) const;
+
+    /** Cumulative time share after the k most dominant kernels. */
+    std::vector<double> cumulativeTimeShares() const;
+
+    /** Application-aggregate GIPS over all kernels. */
+    double aggregateGips() const;
+
+    /** Application-aggregate instruction intensity. */
+    double aggregateIntensity() const;
+
+    /** Average warp instructions per kernel, weighted as in Table I
+     *  (total instructions divided by kernel count). */
+    double weightedAvgWarpInstsPerKernel() const;
+};
+
+/** Run one benchmark under the profiler on a fresh device. */
+BenchmarkProfile runProfiled(Benchmark &bench,
+                             const gpu::DeviceConfig &cfg =
+                                 gpu::DeviceConfig{});
+
+/** Create-by-name convenience wrapper. */
+BenchmarkProfile runProfiled(const std::string &name, Scale scale,
+                             const gpu::DeviceConfig &cfg =
+                                 gpu::DeviceConfig{});
+
+/** One FAMD observation: a dominant kernel with its labels. */
+struct KernelObservation
+{
+    std::string benchmark;
+    std::string suite;
+    std::string kernel;
+    gpu::KernelMetrics metrics;
+    double timeShare = 0;
+};
+
+/**
+ * Collect the dominant kernels (covering @p time_fraction of each
+ * benchmark's GPU time) of every profile as analysis observations.
+ */
+std::vector<KernelObservation>
+dominantKernelObservations(const std::vector<BenchmarkProfile> &profiles,
+                           double time_fraction = 0.7);
+
+/**
+ * Build the FAMD input from kernel observations: the Table IV metric
+ * columns as quantitative variables plus the two roofline labels
+ * (memory/compute-intensive and latency/bandwidth-bound) as
+ * qualitative variables.
+ */
+analysis::MixedData
+buildMixedData(const std::vector<KernelObservation> &observations,
+               const gpu::DeviceConfig &cfg);
+
+} // namespace cactus::core
+
+#endif // CACTUS_CORE_HARNESS_HH

@@ -1,0 +1,445 @@
+#include "dnn/layers.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cactus::dnn {
+
+using gpu::KernelDesc;
+using gpu::ThreadCtx;
+
+// --- Conv2d -----------------------------------------------------------------
+
+Conv2d::Conv2d(int in_ch, int out_ch, int kernel, int stride, int pad,
+               Rng &rng)
+    : inCh_(in_ch), outCh_(out_ch), kernel_(kernel), stride_(stride),
+      pad_(pad),
+      weight_(Tensor::randn(
+          {out_ch, in_ch, kernel, kernel}, rng,
+          std::sqrt(2.f / (in_ch * kernel * kernel)))),
+      bias_(Tensor::zeros({out_ch}))
+{
+}
+
+Tensor
+Conv2d::forward(gpu::Device &dev, const Tensor &x, bool)
+{
+    if (x.ndim() != 4 || x.dim(1) != inCh_)
+        panic("Conv2d: bad input shape");
+    geom_ = ConvGeom{x.dim(0), inCh_, x.dim(2), x.dim(3), outCh_,
+                     kernel_, stride_, pad_};
+    input_ = x;
+    Tensor y({geom_.n, geom_.f, geom_.outH(), geom_.outW()});
+    conv2dForward(dev, geom_, x.data(), weight_.value.data(),
+                  bias_.value.data(), y.data());
+    return y;
+}
+
+Tensor
+Conv2d::backward(gpu::Device &dev, const Tensor &dy)
+{
+    Tensor dx(input_.shape());
+    conv2dBackwardData(dev, geom_, dy.data(), weight_.value.data(),
+                       dx.data());
+    conv2dBackwardFilter(dev, geom_, input_.data(), dy.data(),
+                         weight_.grad.data(), bias_.grad.data());
+    return dx;
+}
+
+// --- ConvTranspose2d -----------------------------------------------------------
+
+ConvTranspose2d::ConvTranspose2d(int in_ch, int out_ch, int kernel,
+                                 int stride, int pad, Rng &rng)
+    : inCh_(in_ch), outCh_(out_ch), kernel_(kernel), stride_(stride),
+      pad_(pad),
+      weight_(Tensor::randn(
+          {in_ch, out_ch, kernel, kernel}, rng,
+          std::sqrt(2.f / (in_ch * kernel * kernel)))),
+      bias_(Tensor::zeros({out_ch}))
+{
+}
+
+Tensor
+ConvTranspose2d::forward(gpu::Device &dev, const Tensor &x, bool)
+{
+    if (x.ndim() != 4 || x.dim(1) != inCh_)
+        panic("ConvTranspose2d: bad input shape");
+    geom_ = ConvTransGeom{x.dim(0), inCh_, x.dim(2), x.dim(3), outCh_,
+                          kernel_, stride_, pad_};
+    input_ = x;
+    Tensor y({geom_.n, geom_.f, geom_.outH(), geom_.outW()});
+    convTranspose2dForward(dev, geom_, x.data(), weight_.value.data(),
+                           bias_.value.data(), y.data());
+    return y;
+}
+
+Tensor
+ConvTranspose2d::backward(gpu::Device &dev, const Tensor &dy)
+{
+    Tensor dx(input_.shape());
+    convTranspose2dBackwardData(dev, geom_, dy.data(),
+                                weight_.value.data(), dx.data());
+    convTranspose2dBackwardFilter(dev, geom_, input_.data(), dy.data(),
+                                  weight_.grad.data(),
+                                  bias_.grad.data());
+    return dx;
+}
+
+// --- Linear ---------------------------------------------------------------
+
+Linear::Linear(int in_features, int out_features, Rng &rng)
+    : inF_(in_features), outF_(out_features),
+      weight_(Tensor::randn({out_features, in_features}, rng,
+                            std::sqrt(2.f / in_features))),
+      bias_(Tensor::zeros({out_features}))
+{
+}
+
+Tensor
+Linear::forward(gpu::Device &dev, const Tensor &x, bool)
+{
+    const int rows = x.size() / inF_;
+    if (rows * inF_ != x.size())
+        panic("Linear: input size not divisible by in_features");
+    input_ = x;
+    Tensor y({rows, outF_});
+    gemm(dev, false, true, rows, outF_, inF_, 1.f, x.data(),
+         weight_.value.data(), 0.f, y.data());
+    biasAdd(dev, y.data(), bias_.value.data(), rows, outF_);
+    return y;
+}
+
+Tensor
+Linear::backward(gpu::Device &dev, const Tensor &dy)
+{
+    const int rows = input_.size() / inF_;
+    Tensor dx(input_.shape());
+    // dx = dy @ W.
+    gemm(dev, false, false, rows, inF_, outF_, 1.f, dy.data(),
+         weight_.value.data(), 0.f, dx.data());
+    // dW += dy^T @ x.
+    gemm(dev, true, false, outF_, inF_, rows, 1.f, dy.data(),
+         input_.data(), 1.f, weight_.grad.data());
+    biasReduce(dev, dy.data(), bias_.grad.data(), rows, outF_);
+    return dx;
+}
+
+// --- BatchNorm2d ----------------------------------------------------------
+
+BatchNorm2d::BatchNorm2d(int channels, float eps)
+    : channels_(channels), eps_(eps),
+      gamma_(Tensor::full({channels}, 1.f)),
+      beta_(Tensor::zeros({channels}))
+{
+}
+
+Tensor
+BatchNorm2d::forward(gpu::Device &dev, const Tensor &x, bool)
+{
+    inShape_ = x.shape();
+    const int n = x.dim(0);
+    const int c = x.ndim() > 1 ? x.dim(1) : 1;
+    if (c != channels_)
+        panic("BatchNorm2d: channel mismatch");
+    const int hw = x.size() / (n * c);
+    mean_ = Tensor::zeros({c});
+    var_ = Tensor::zeros({c});
+    bnReduceStats(dev, n, c, hw, x.data(), mean_.data(), var_.data());
+    Tensor y(x.shape());
+    xhat_ = Tensor(x.shape());
+    bnNormalizeForward(dev, n, c, hw, x.data(), mean_.data(),
+                       var_.data(), gamma_.value.data(),
+                       beta_.value.data(), y.data(), xhat_.data(), eps_);
+    return y;
+}
+
+Tensor
+BatchNorm2d::backward(gpu::Device &dev, const Tensor &dy)
+{
+    const int n = inShape_[0];
+    const int c = channels_;
+    const int hw = dy.size() / (n * c);
+    Tensor dgamma = Tensor::zeros({c});
+    Tensor dbeta = Tensor::zeros({c});
+    bnBackwardReduce(dev, n, c, hw, dy.data(), xhat_.data(),
+                     dgamma.data(), dbeta.data());
+    Tensor dx(dy.shape());
+    bnBackwardInput(dev, n, c, hw, dy.data(), xhat_.data(),
+                    gamma_.value.data(), var_.data(), dgamma.data(),
+                    dbeta.data(), dx.data(), eps_);
+    // Accumulate parameter grads.
+    for (int ch = 0; ch < c; ++ch) {
+        gamma_.grad[ch] += dgamma[ch];
+        beta_.grad[ch] += dbeta[ch];
+    }
+    return dx;
+}
+
+// --- ActivationLayer -----------------------------------------------------------
+
+Tensor
+ActivationLayer::forward(gpu::Device &dev, const Tensor &x, bool)
+{
+    input_ = x;
+    Tensor y(x.shape());
+    activationForward(dev, act_, x.data(), y.data(), x.size(), slope_);
+    output_ = y;
+    return y;
+}
+
+Tensor
+ActivationLayer::backward(gpu::Device &dev, const Tensor &dy)
+{
+    Tensor dx(dy.shape());
+    activationBackward(dev, act_, input_.data(), output_.data(),
+                       dy.data(), dx.data(), dy.size(), slope_);
+    return dx;
+}
+
+// --- MaxPool2d -----------------------------------------------------------------
+
+Tensor
+MaxPool2d::forward(gpu::Device &dev, const Tensor &x, bool)
+{
+    inShape_ = x.shape();
+    const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+    Tensor y({n, c, h / 2, w / 2});
+    argmax_.assign(y.size(), 0);
+    maxPool2x2Forward(dev, n, c, h, w, x.data(), y.data(),
+                      argmax_.data());
+    return y;
+}
+
+Tensor
+MaxPool2d::backward(gpu::Device &dev, const Tensor &dy)
+{
+    Tensor dx(inShape_);
+    maxPool2x2Backward(dev, inShape_[0], inShape_[1], inShape_[2],
+                       inShape_[3], dy.data(), argmax_.data(),
+                       dx.data());
+    return dx;
+}
+
+// --- Dropout ----------------------------------------------------------------
+
+Tensor
+Dropout::forward(gpu::Device &dev, const Tensor &x, bool train)
+{
+    active_ = train && p_ > 0.f;
+    if (!active_)
+        return x;
+    mask_.assign(x.size(), 1);
+    Tensor y(x.shape());
+    dropoutForward(dev, x.data(), y.data(), mask_.data(), x.size(), p_,
+                   *rng_);
+    return y;
+}
+
+Tensor
+Dropout::backward(gpu::Device &dev, const Tensor &dy)
+{
+    if (!active_)
+        return dy;
+    Tensor dx(dy.shape());
+    dropoutBackward(dev, dy.data(), mask_.data(), dx.data(), dy.size(),
+                    p_);
+    return dx;
+}
+
+// --- Sequential -----------------------------------------------------------------
+
+Tensor
+Sequential::forward(gpu::Device &dev, const Tensor &x, bool train)
+{
+    Tensor cur = x;
+    for (auto &layer : layers_)
+        cur = layer->forward(dev, cur, train);
+    return cur;
+}
+
+Tensor
+Sequential::backward(gpu::Device &dev, const Tensor &dy)
+{
+    Tensor cur = dy;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        cur = (*it)->backward(dev, cur);
+    return cur;
+}
+
+std::vector<Param *>
+Sequential::params()
+{
+    std::vector<Param *> all;
+    for (auto &layer : layers_)
+        for (Param *p : layer->params())
+            all.push_back(p);
+    return all;
+}
+
+// --- GruCell -----------------------------------------------------------------
+
+GruCell::GruCell(int input_size, int hidden_size, Rng &rng)
+    : input_(input_size), hidden_(hidden_size),
+      wIh_(Tensor::randn({3 * hidden_size, input_size}, rng,
+                         std::sqrt(1.f / input_size))),
+      wHh_(Tensor::randn({3 * hidden_size, hidden_size}, rng,
+                         std::sqrt(1.f / hidden_size))),
+      bIh_(Tensor::zeros({3 * hidden_size})),
+      bHh_(Tensor::zeros({3 * hidden_size}))
+{
+}
+
+Tensor
+GruCell::stepForward(gpu::Device &dev, const Tensor &x, const Tensor &h)
+{
+    const int rows = x.size() / input_;
+    const int hs = hidden_;
+
+    Tensor gi({rows, 3 * hs});
+    gemm(dev, false, true, rows, 3 * hs, input_, 1.f, x.data(),
+         wIh_.value.data(), 0.f, gi.data());
+    biasAdd(dev, gi.data(), bIh_.value.data(), rows, 3 * hs);
+    Tensor gh({rows, 3 * hs});
+    gemm(dev, false, true, rows, 3 * hs, hs, 1.f, h.data(),
+         wHh_.value.data(), 0.f, gh.data());
+    biasAdd(dev, gh.data(), bHh_.value.data(), rows, 3 * hs);
+
+    StepCache sc;
+    sc.x = x;
+    sc.h = h;
+    sc.r = Tensor({rows, hs});
+    sc.z = Tensor({rows, hs});
+    sc.n = Tensor({rows, hs});
+    sc.hx = Tensor({rows, hs}); ///< h-side candidate pre-activation.
+    Tensor out({rows, hs});
+
+    const float *gip = gi.data();
+    const float *ghp = gh.data();
+    const float *hp = sc.h.data();
+    float *rp = sc.r.data();
+    float *zp = sc.z.data();
+    float *np = sc.n.data();
+    float *hxp = sc.hx.data();
+    float *outp = out.data();
+    dev.launchLinear(
+        KernelDesc("gru_pointwise_fwd", 40),
+        static_cast<std::uint64_t>(rows) * hs, 256,
+        [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const int row = static_cast<int>(t / hs);
+            const int j = static_cast<int>(t % hs);
+            const std::size_t base =
+                static_cast<std::size_t>(row) * 3 * hs;
+            ctx.intOp(4);
+            const float ir = ctx.ld(&gip[base + j]);
+            const float iz = ctx.ld(&gip[base + hs + j]);
+            const float in_g = ctx.ld(&gip[base + 2 * hs + j]);
+            const float hr = ctx.ld(&ghp[base + j]);
+            const float hz = ctx.ld(&ghp[base + hs + j]);
+            const float hn = ctx.ld(&ghp[base + 2 * hs + j]);
+            const float r = 1.f / (1.f + std::exp(-(ir + hr)));
+            const float z = 1.f / (1.f + std::exp(-(iz + hz)));
+            const float nn = std::tanh(in_g + r * hn);
+            ctx.sfu(3);
+            ctx.fp32(12);
+            const float hv = ctx.ld(&hp[t]);
+            ctx.st(&rp[t], r);
+            ctx.st(&zp[t], z);
+            ctx.st(&np[t], nn);
+            ctx.st(&hxp[t], hn);
+            ctx.st(&outp[t], (1.f - z) * nn + z * hv);
+        });
+
+    cache_.push_back(std::move(sc));
+    return out;
+}
+
+void
+GruCell::stepBackward(gpu::Device &dev, const Tensor &dh_next, Tensor &dx,
+                      Tensor &dh_prev)
+{
+    if (cache_.empty())
+        panic("GruCell::stepBackward without cached forward step");
+    StepCache sc = std::move(cache_.back());
+    cache_.pop_back();
+
+    const int hs = hidden_;
+    const int rows = sc.h.size() / hs;
+
+    Tensor dgi({rows, 3 * hs});
+    Tensor dgh({rows, 3 * hs});
+    Tensor dh_direct({rows, hs});
+
+    const float *gdp = dh_next.data();
+    const float *rp = sc.r.data();
+    const float *zp = sc.z.data();
+    const float *np = sc.n.data();
+    const float *hxp = sc.hx.data();
+    const float *hp = sc.h.data();
+    float *dgip = dgi.data();
+    float *dghp = dgh.data();
+    float *dhdp = dh_direct.data();
+    dev.launchLinear(
+        KernelDesc("gru_pointwise_bwd", 48),
+        static_cast<std::uint64_t>(rows) * hs, 256,
+        [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const int row = static_cast<int>(t / hs);
+            const int j = static_cast<int>(t % hs);
+            const std::size_t base =
+                static_cast<std::size_t>(row) * 3 * hs;
+            ctx.intOp(4);
+            const float g = ctx.ld(&gdp[t]);
+            const float r = ctx.ld(&rp[t]);
+            const float z = ctx.ld(&zp[t]);
+            const float nn = ctx.ld(&np[t]);
+            const float hn = ctx.ld(&hxp[t]);
+            const float hv = ctx.ld(&hp[t]);
+
+            const float dn = g * (1.f - z);
+            const float dz = g * (hv - nn);
+            const float dh = g * z;
+            const float dn_pre = dn * (1.f - nn * nn);
+            const float dr = dn_pre * hn;
+            const float dhn = dn_pre * r;
+            const float dr_pre = dr * r * (1.f - r);
+            const float dz_pre = dz * z * (1.f - z);
+            ctx.fp32(20);
+
+            ctx.st(&dgip[base + j], dr_pre);
+            ctx.st(&dgip[base + hs + j], dz_pre);
+            ctx.st(&dgip[base + 2 * hs + j], dn_pre);
+            ctx.st(&dghp[base + j], dr_pre);
+            ctx.st(&dghp[base + hs + j], dz_pre);
+            ctx.st(&dghp[base + 2 * hs + j], dhn);
+            ctx.st(&dhdp[t], dh);
+        });
+
+    // dx = dgi @ wIh.
+    dx = Tensor({rows, input_});
+    gemm(dev, false, false, rows, input_, 3 * hs, 1.f, dgi.data(),
+         wIh_.value.data(), 0.f, dx.data());
+    // dh_prev = dgh @ wHh + dh_direct.
+    dh_prev = Tensor({rows, hs});
+    gemm(dev, false, false, rows, hs, 3 * hs, 1.f, dgh.data(),
+         wHh_.value.data(), 0.f, dh_prev.data());
+    elementwiseAxpy(dev, dh_direct.data(), 1.f, dh_prev.data(),
+                    dh_prev.size());
+
+    // Weight/bias gradients.
+    gemm(dev, true, false, 3 * hs, input_, rows, 1.f, dgi.data(),
+         sc.x.data(), 1.f, wIh_.grad.data());
+    gemm(dev, true, false, 3 * hs, hs, rows, 1.f, dgh.data(),
+         sc.h.data(), 1.f, wHh_.grad.data());
+    biasReduce(dev, dgi.data(), bIh_.grad.data(), rows, 3 * hs);
+    biasReduce(dev, dgh.data(), bHh_.grad.data(), rows, 3 * hs);
+}
+
+std::vector<Param *>
+GruCell::params()
+{
+    return {&wIh_, &wHh_, &bIh_, &bHh_};
+}
+
+} // namespace cactus::dnn

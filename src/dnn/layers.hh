@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Neural-network layers composing the raw kernels in ops.hh/spatial.hh.
+ * Each layer caches what its backward pass needs (define-by-run, like a
+ * tape of depth one); models chain layers explicitly or through
+ * Sequential. Parameters carry their gradient and the optimizer slots.
+ */
+
+#ifndef CACTUS_DNN_LAYERS_HH
+#define CACTUS_DNN_LAYERS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dnn/ops.hh"
+#include "dnn/spatial.hh"
+#include "dnn/tensor.hh"
+
+namespace cactus::dnn {
+
+/** A learnable parameter with gradient and optimizer state. */
+struct Param
+{
+    Tensor value;
+    Tensor grad;
+    Tensor m; ///< First-moment / momentum slot.
+    Tensor v; ///< Second-moment slot.
+
+    explicit Param(Tensor init)
+        : value(std::move(init)), grad(value.shape()),
+          m(value.shape()), v(value.shape())
+    {
+    }
+
+    void
+    zeroGrad()
+    {
+        std::fill(grad.data(), grad.data() + grad.size(), 0.f);
+    }
+};
+
+/** Abstract layer with explicit forward/backward. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+    virtual Tensor forward(gpu::Device &dev, const Tensor &x,
+                           bool train = true) = 0;
+    virtual Tensor backward(gpu::Device &dev, const Tensor &dy) = 0;
+    virtual std::vector<Param *> params() { return {}; }
+};
+
+/** 2-D convolution (square kernel). */
+class Conv2d : public Layer
+{
+  public:
+    Conv2d(int in_ch, int out_ch, int kernel, int stride, int pad,
+           Rng &rng);
+    Tensor forward(gpu::Device &dev, const Tensor &x, bool train) override;
+    Tensor backward(gpu::Device &dev, const Tensor &dy) override;
+    std::vector<Param *> params() override { return {&weight_, &bias_}; }
+
+  private:
+    int inCh_, outCh_, kernel_, stride_, pad_;
+    Param weight_, bias_;
+    Tensor input_;
+    ConvGeom geom_;
+};
+
+/** 2-D transposed convolution (square kernel). */
+class ConvTranspose2d : public Layer
+{
+  public:
+    ConvTranspose2d(int in_ch, int out_ch, int kernel, int stride,
+                    int pad, Rng &rng);
+    Tensor forward(gpu::Device &dev, const Tensor &x, bool train) override;
+    Tensor backward(gpu::Device &dev, const Tensor &dy) override;
+    std::vector<Param *> params() override { return {&weight_, &bias_}; }
+
+  private:
+    int inCh_, outCh_, kernel_, stride_, pad_;
+    Param weight_, bias_;
+    Tensor input_;
+    ConvTransGeom geom_;
+};
+
+/** Fully connected layer: y = x W^T + b over [rows, in] input. */
+class Linear : public Layer
+{
+  public:
+    Linear(int in_features, int out_features, Rng &rng);
+    Tensor forward(gpu::Device &dev, const Tensor &x, bool train) override;
+    Tensor backward(gpu::Device &dev, const Tensor &dy) override;
+    std::vector<Param *> params() override { return {&weight_, &bias_}; }
+
+  private:
+    int inF_, outF_;
+    Param weight_, bias_;
+    Tensor input_;
+};
+
+/** Batch normalization over NCHW (or [N, C] with hw = 1). */
+class BatchNorm2d : public Layer
+{
+  public:
+    explicit BatchNorm2d(int channels, float eps = 1e-5f);
+    Tensor forward(gpu::Device &dev, const Tensor &x, bool train) override;
+    Tensor backward(gpu::Device &dev, const Tensor &dy) override;
+    std::vector<Param *> params() override { return {&gamma_, &beta_}; }
+
+  private:
+    int channels_;
+    float eps_;
+    Param gamma_, beta_;
+    Tensor xhat_, mean_, var_;
+    std::vector<int> inShape_;
+};
+
+/** Pointwise activation layer. */
+class ActivationLayer : public Layer
+{
+  public:
+    explicit ActivationLayer(Activation act, float slope = 0.2f)
+        : act_(act), slope_(slope)
+    {
+    }
+    Tensor forward(gpu::Device &dev, const Tensor &x, bool train) override;
+    Tensor backward(gpu::Device &dev, const Tensor &dy) override;
+
+  private:
+    Activation act_;
+    float slope_;
+    Tensor input_, output_;
+};
+
+/** 2x2 max pooling. */
+class MaxPool2d : public Layer
+{
+  public:
+    Tensor forward(gpu::Device &dev, const Tensor &x, bool train) override;
+    Tensor backward(gpu::Device &dev, const Tensor &dy) override;
+
+  private:
+    std::vector<int> inShape_;
+    std::vector<int> argmax_;
+};
+
+/** Inverted dropout. */
+class Dropout : public Layer
+{
+  public:
+    Dropout(float p, Rng &rng) : p_(p), rng_(&rng) {}
+    Tensor forward(gpu::Device &dev, const Tensor &x, bool train) override;
+    Tensor backward(gpu::Device &dev, const Tensor &dy) override;
+
+  private:
+    float p_;
+    Rng *rng_;
+    std::vector<std::uint8_t> mask_;
+    bool active_ = false;
+};
+
+/** A simple layer chain. */
+class Sequential : public Layer
+{
+  public:
+    Sequential() = default;
+
+    template <typename L, typename... Args>
+    L *
+    add(Args &&...args)
+    {
+        auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+        L *raw = layer.get();
+        layers_.push_back(std::move(layer));
+        return raw;
+    }
+
+    Tensor forward(gpu::Device &dev, const Tensor &x, bool train) override;
+    Tensor backward(gpu::Device &dev, const Tensor &dy) override;
+    std::vector<Param *> params() override;
+
+    std::size_t size() const { return layers_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/**
+ * Gated-recurrent-unit cell. forward() consumes the concatenation
+ * conventionally split as x [rows, inF] with the hidden state held by
+ * the cell; step-by-step usage for BPTT is via stepForward/stepBackward.
+ */
+class GruCell
+{
+  public:
+    GruCell(int input_size, int hidden_size, Rng &rng);
+
+    /** One timestep: h' = GRU(x, h). Caches for the backward pass. */
+    Tensor stepForward(gpu::Device &dev, const Tensor &x,
+                       const Tensor &h);
+
+    /**
+     * Backward through one timestep (call in reverse step order).
+     * @param dh_next Gradient wrt the produced hidden state.
+     * @param dx Output: gradient wrt x.
+     * @param dh_prev Output: gradient wrt the incoming hidden state.
+     */
+    void stepBackward(gpu::Device &dev, const Tensor &dh_next, Tensor &dx,
+                      Tensor &dh_prev);
+
+    std::vector<Param *> params();
+
+    int hiddenSize() const { return hidden_; }
+
+    /** Drop cached steps (e.g., between forward-only evaluations). */
+    void clearCache() { cache_.clear(); }
+
+  private:
+    struct StepCache
+    {
+        Tensor x, h, r, z, n, hx; ///< hx: candidate pre-activation input.
+    };
+
+    int input_, hidden_;
+    Param wIh_, wHh_, bIh_, bHh_; ///< [3H, in], [3H, H], [3H], [3H].
+    std::vector<StepCache> cache_;
+};
+
+} // namespace cactus::dnn
+
+#endif // CACTUS_DNN_LAYERS_HH

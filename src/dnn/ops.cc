@@ -1,0 +1,398 @@
+#include "dnn/ops.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cactus::dnn {
+
+using gpu::KernelDesc;
+using gpu::ThreadCtx;
+
+namespace {
+
+constexpr int kBlock = 256;
+
+} // namespace
+
+void
+gemm(gpu::Device &dev, bool ta, bool tb, int m, int n, int k, float alpha,
+     const float *a, const float *b, float beta, float *c)
+{
+    if (m <= 0 || n <= 0 || k <= 0)
+        panic("gemm with non-positive dimensions");
+
+    // One SASS-style kernel name per transpose mode and tile bucket, as
+    // vendor BLAS libraries dispatch distinct kernels per shape class.
+    const char *mode = ta ? (tb ? "ampere_sgemm_tt" : "ampere_sgemm_tn")
+                          : (tb ? "ampere_sgemm_nt" : "ampere_sgemm_nn");
+    const char *tile =
+        n >= 256 ? "_128x64" : n >= 64 ? "_64x32" : "_32x32";
+    const std::string name = std::string(mode) + tile;
+    const std::uint64_t total = static_cast<std::uint64_t>(m) * n;
+    dev.launchLinear(
+        KernelDesc(name, 64, 16 * 1024), total, kBlock,
+        [&](ThreadCtx &ctx) {
+            const std::uint64_t t = ctx.globalId();
+            const int i = static_cast<int>(t / n);
+            const int j = static_cast<int>(t % n);
+            ctx.intOp(4);
+            float acc = 0.f;
+            // TF32 tensor-core modeling (cuDNN/cuBLAS on Ampere): the
+            // contiguous operand is fetched with 128-bit vector loads
+            // (one instruction per four elements; uncounted elements
+            // share the counted sector), the strided operand is
+            // coalesced across lanes, and the FMAs execute as HMMA
+            // bundles of ~8 scalar MACs per warp instruction with the
+            // address arithmetic amortized by unrolling.
+            for (int p = 0; p < k; ++p) {
+                const bool vec = (p & 3) == 0;
+                const std::size_t ai = ta
+                    ? static_cast<std::size_t>(p) * m + i
+                    : static_cast<std::size_t>(i) * k + p;
+                const std::size_t bi = tb
+                    ? static_cast<std::size_t>(j) * k + p
+                    : static_cast<std::size_t>(p) * n + j;
+                const float av =
+                    ta ? ctx.ld(&a[ai]) : (vec ? ctx.ld(&a[ai]) : a[ai]);
+                const float bv =
+                    tb ? (vec ? ctx.ld(&b[bi]) : b[bi]) : ctx.ld(&b[bi]);
+                acc += av * bv;
+            }
+            ctx.fp32(std::max(1, k / 8));
+            ctx.intOp(std::max(1, k / 4));
+            float *cp = &c[static_cast<std::size_t>(i) * n + j];
+            const float prev = beta != 0.f ? ctx.ld(cp) : 0.f;
+            ctx.st(cp, alpha * acc + beta * prev);
+            ctx.fp32(3);
+        });
+}
+
+void
+elementwiseAdd(gpu::Device &dev, const float *a, const float *b,
+               float *out, int n)
+{
+    dev.launchLinear(
+        KernelDesc("elementwise_add", 16), n, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto i = ctx.globalId();
+            ctx.st(&out[i], ctx.ld(&a[i]) + ctx.ld(&b[i]));
+            ctx.fp32(1);
+        });
+}
+
+void
+elementwiseScale(gpu::Device &dev, const float *a, float s, float *out,
+                 int n)
+{
+    dev.launchLinear(
+        KernelDesc("elementwise_scale", 16), n, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto i = ctx.globalId();
+            ctx.st(&out[i], ctx.ld(&a[i]) * s);
+            ctx.fp32(1);
+        });
+}
+
+void
+elementwiseAxpy(gpu::Device &dev, const float *a, float s, float *out,
+                int n)
+{
+    dev.launchLinear(
+        KernelDesc("elementwise_axpy", 16), n, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto i = ctx.globalId();
+            ctx.st(&out[i], ctx.ld(&out[i]) + s * ctx.ld(&a[i]));
+            ctx.fp32(2);
+        });
+}
+
+void
+biasAdd(gpu::Device &dev, float *out, const float *bias, int rows,
+        int features)
+{
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(rows) * features;
+    dev.launchLinear(
+        KernelDesc("bias_add", 16), total, kBlock, [&](ThreadCtx &ctx) {
+            const auto i = ctx.globalId();
+            const int f = static_cast<int>(i % features);
+            ctx.intOp(1);
+            ctx.st(&out[i], ctx.ld(&out[i]) + ctx.ld(&bias[f]));
+            ctx.fp32(1);
+        });
+}
+
+void
+biasReduce(gpu::Device &dev, const float *grad, float *dbias, int rows,
+           int features)
+{
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(rows) * features;
+    dev.launchLinear(
+        KernelDesc("bias_reduce", 16), total, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto i = ctx.globalId();
+            const int f = static_cast<int>(i % features);
+            ctx.intOp(1);
+            ctx.atomicAdd(&dbias[f], ctx.ld(&grad[i]));
+        });
+}
+
+namespace {
+
+const char *
+activationName(Activation act, bool backward)
+{
+    switch (act) {
+      case Activation::ReLU: return backward ? "relu_bwd" : "relu_fwd";
+      case Activation::LeakyReLU:
+        return backward ? "lrelu_bwd" : "lrelu_fwd";
+      case Activation::Tanh: return backward ? "tanh_bwd" : "tanh_fwd";
+      case Activation::Sigmoid:
+        return backward ? "sigmoid_bwd" : "sigmoid_fwd";
+      default: panic("invalid activation");
+    }
+}
+
+} // namespace
+
+void
+activationForward(gpu::Device &dev, Activation act, const float *x,
+                  float *out, int n, float slope)
+{
+    dev.launchLinear(
+        KernelDesc(activationName(act, false), 16), n, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto i = ctx.globalId();
+            const float v = ctx.ld(&x[i]);
+            float r = v;
+            switch (act) {
+              case Activation::ReLU:
+                r = v > 0 ? v : 0;
+                ctx.branch(1);
+                break;
+              case Activation::LeakyReLU:
+                r = v > 0 ? v : slope * v;
+                ctx.branch(1);
+                ctx.fp32(1);
+                break;
+              case Activation::Tanh:
+                r = std::tanh(v);
+                ctx.sfu(1);
+                break;
+              case Activation::Sigmoid:
+                r = 1.f / (1.f + std::exp(-v));
+                ctx.sfu(1);
+                ctx.fp32(2);
+                break;
+            }
+            ctx.st(&out[i], r);
+        });
+}
+
+void
+activationBackward(gpu::Device &dev, Activation act, const float *x,
+                   const float *y, const float *dy, float *dx, int n,
+                   float slope)
+{
+    dev.launchLinear(
+        KernelDesc(activationName(act, true), 16), n, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto i = ctx.globalId();
+            const float g = ctx.ld(&dy[i]);
+            float d = 0.f;
+            switch (act) {
+              case Activation::ReLU: {
+                const float v = ctx.ld(&x[i]);
+                d = v > 0 ? g : 0.f;
+                ctx.branch(1);
+                break;
+              }
+              case Activation::LeakyReLU: {
+                const float v = ctx.ld(&x[i]);
+                d = v > 0 ? g : slope * g;
+                ctx.branch(1);
+                ctx.fp32(1);
+                break;
+              }
+              case Activation::Tanh: {
+                const float t = ctx.ld(&y[i]);
+                d = g * (1.f - t * t);
+                ctx.fp32(3);
+                break;
+              }
+              case Activation::Sigmoid: {
+                const float s = ctx.ld(&y[i]);
+                d = g * s * (1.f - s);
+                ctx.fp32(3);
+                break;
+              }
+            }
+            ctx.st(&dx[i], d);
+        });
+}
+
+void
+softmaxForward(gpu::Device &dev, const float *x, float *out, int rows,
+               int cols)
+{
+    // Kernel 1: per-row max and exp-sum (thread per row).
+    std::vector<float> row_max(rows, 0.f), row_sum(rows, 0.f);
+    dev.launchLinear(
+        KernelDesc("softmax_reduce", 32), rows, kBlock,
+        [&](ThreadCtx &ctx) {
+            const int r = static_cast<int>(ctx.globalId());
+            float mx = -3.4e38f;
+            for (int j = 0; j < cols; ++j) {
+                const float v =
+                    ctx.ld(&x[static_cast<std::size_t>(r) * cols + j]);
+                mx = std::fmax(mx, v);
+            }
+            ctx.fp32(cols);
+            float sum = 0.f;
+            for (int j = 0; j < cols; ++j) {
+                sum += std::exp(
+                    ctx.ld(&x[static_cast<std::size_t>(r) * cols + j]) -
+                    mx);
+            }
+            ctx.sfu(cols);
+            ctx.fp32(2 * cols);
+            ctx.st(&row_max[r], mx);
+            ctx.st(&row_sum[r], sum);
+        });
+
+    // Kernel 2: normalize (thread per element).
+    const std::uint64_t total = static_cast<std::uint64_t>(rows) * cols;
+    dev.launchLinear(
+        KernelDesc("softmax_norm", 24), total, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto i = ctx.globalId();
+            const int r = static_cast<int>(i / cols);
+            ctx.intOp(2);
+            const float v = ctx.ld(&x[i]);
+            const float mx = ctx.ld(&row_max[r]);
+            const float s = ctx.ld(&row_sum[r]);
+            ctx.sfu(1);
+            ctx.fp32(2);
+            ctx.st(&out[i], std::exp(v - mx) / s);
+        });
+}
+
+double
+crossEntropyBackward(gpu::Device &dev, const float *probs,
+                     const int *targets, float *dlogits, int rows,
+                     int cols)
+{
+    double loss = 0;
+    const std::uint64_t total = static_cast<std::uint64_t>(rows) * cols;
+    dev.launchLinear(
+        KernelDesc("xent_loss_grad", 24), total, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto i = ctx.globalId();
+            const int r = static_cast<int>(i / cols);
+            const int j = static_cast<int>(i % cols);
+            ctx.intOp(3);
+            const float p = ctx.ld(&probs[i]);
+            const int t = ctx.ld(&targets[r]);
+            const float onehot = j == t ? 1.f : 0.f;
+            ctx.branch(1);
+            ctx.fp32(2);
+            ctx.st(&dlogits[i], (p - onehot) / rows);
+            if (j == t) {
+                ctx.sfu(1);
+                ctx.atomicAdd(&loss,
+                              -std::log(static_cast<double>(
+                                  std::max(p, 1e-12f))) / rows);
+            }
+        });
+    return loss;
+}
+
+double
+mseLossBackward(gpu::Device &dev, const float *x, const float *target,
+                float *dx, int n)
+{
+    double loss = 0;
+    dev.launchLinear(
+        KernelDesc("mse_loss_grad", 16), n, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto i = ctx.globalId();
+            const float d = ctx.ld(&x[i]) - ctx.ld(&target[i]);
+            ctx.fp32(3);
+            ctx.st(&dx[i], 2.f * d / n);
+            ctx.atomicAdd(&loss, static_cast<double>(d) * d / n);
+        });
+    return loss;
+}
+
+void
+dropoutForward(gpu::Device &dev, const float *x, float *out,
+               std::uint8_t *mask, int n, float p, Rng &rng)
+{
+    for (int i = 0; i < n; ++i)
+        mask[i] = rng.uniform() >= p ? 1 : 0;
+    const float scale = 1.f / (1.f - p);
+    dev.launchLinear(
+        KernelDesc("dropout_fwd", 16), n, kBlock, [&](ThreadCtx &ctx) {
+            const auto i = ctx.globalId();
+            const auto m = ctx.ld(&mask[i]);
+            ctx.branch(1);
+            ctx.fp32(1);
+            ctx.st(&out[i], m ? ctx.ld(&x[i]) * scale : 0.f);
+        });
+}
+
+void
+dropoutBackward(gpu::Device &dev, const float *dy,
+                const std::uint8_t *mask, float *dx, int n, float p)
+{
+    const float scale = 1.f / (1.f - p);
+    dev.launchLinear(
+        KernelDesc("dropout_bwd", 16), n, kBlock, [&](ThreadCtx &ctx) {
+            const auto i = ctx.globalId();
+            const auto m = ctx.ld(&mask[i]);
+            ctx.branch(1);
+            ctx.fp32(1);
+            ctx.st(&dx[i], m ? ctx.ld(&dy[i]) * scale : 0.f);
+        });
+}
+
+void
+embeddingForward(gpu::Device &dev, const float *table, const int *ids,
+                 float *out, int rows, int dim)
+{
+    const std::uint64_t total = static_cast<std::uint64_t>(rows) * dim;
+    dev.launchLinear(
+        KernelDesc("embedding_fwd", 16), total, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto i = ctx.globalId();
+            const int r = static_cast<int>(i / dim);
+            const int d = static_cast<int>(i % dim);
+            ctx.intOp(3);
+            const int id = ctx.ld(&ids[r]);
+            ctx.st(&out[i],
+                   ctx.ld(&table[static_cast<std::size_t>(id) * dim +
+                                 d]));
+        });
+}
+
+void
+embeddingBackward(gpu::Device &dev, const float *dy, const int *ids,
+                  float *dtable, int rows, int dim)
+{
+    const std::uint64_t total = static_cast<std::uint64_t>(rows) * dim;
+    dev.launchLinear(
+        KernelDesc("embedding_bwd", 16), total, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto i = ctx.globalId();
+            const int r = static_cast<int>(i / dim);
+            const int d = static_cast<int>(i % dim);
+            ctx.intOp(3);
+            const int id = ctx.ld(&ids[r]);
+            ctx.atomicAdd(&dtable[static_cast<std::size_t>(id) * dim + d],
+                          ctx.ld(&dy[i]));
+        });
+}
+
+} // namespace cactus::dnn

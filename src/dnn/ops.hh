@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Raw GPU kernels for the deep-learning framework: GEMM in the three
+ * transpose modes (named like vendor-library SASS kernels), element-wise
+ * and activation kernels with their backward passes, reductions,
+ * softmax/cross-entropy, dropout, and embedding lookups. Layers
+ * (layers.hh) compose these; everything runs on the simulated device.
+ */
+
+#ifndef CACTUS_DNN_OPS_HH
+#define CACTUS_DNN_OPS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "gpu/device.hh"
+
+namespace cactus::dnn {
+
+// --- GEMM ----------------------------------------------------------------
+
+/**
+ * C = alpha * op(A) @ op(B) + beta * C with row-major storage.
+ * op(A) is M x K, op(B) is K x N, C is M x N.
+ * @param ta Transpose A (A stored K x M when true... see note).
+ *
+ * Note: when ta is false A is stored M x K; when true A is stored K x M
+ * and read transposed. Same convention for B.
+ */
+void gemm(gpu::Device &dev, bool ta, bool tb, int m, int n, int k,
+          float alpha, const float *a, const float *b, float beta,
+          float *c);
+
+// --- Element-wise --------------------------------------------------------
+
+/** out[i] = a[i] + b[i]. */
+void elementwiseAdd(gpu::Device &dev, const float *a, const float *b,
+                    float *out, int n);
+
+/** out[i] = a[i] * s. */
+void elementwiseScale(gpu::Device &dev, const float *a, float s,
+                      float *out, int n);
+
+/** out[i] += a[i] * s (axpy). */
+void elementwiseAxpy(gpu::Device &dev, const float *a, float s,
+                     float *out, int n);
+
+/** Broadcast-add a bias over the trailing feature dimension:
+ *  out[r * features + f] += bias[f]. */
+void biasAdd(gpu::Device &dev, float *out, const float *bias, int rows,
+             int features);
+
+/** Reduce rows into the bias gradient: dbias[f] = sum_r grad[r, f]. */
+void biasReduce(gpu::Device &dev, const float *grad, float *dbias,
+                int rows, int features);
+
+// --- Activations ----------------------------------------------------------
+
+enum class Activation
+{
+    ReLU,
+    LeakyReLU,
+    Tanh,
+    Sigmoid
+};
+
+/** Forward activation, out may alias x. */
+void activationForward(gpu::Device &dev, Activation act, const float *x,
+                       float *out, int n, float slope = 0.2f);
+
+/**
+ * Backward activation: dx[i] = dy[i] * act'(x[i]).
+ * @param y Forward output (used by tanh/sigmoid), may be null for ReLU
+ *        family if @p x is given.
+ */
+void activationBackward(gpu::Device &dev, Activation act, const float *x,
+                        const float *y, const float *dy, float *dx, int n,
+                        float slope = 0.2f);
+
+// --- Softmax and losses -----------------------------------------------------
+
+/** Row-wise softmax over [rows, cols] (two-kernel reduce + normalize). */
+void softmaxForward(gpu::Device &dev, const float *x, float *out,
+                    int rows, int cols);
+
+/**
+ * Softmax + cross-entropy against integer targets.
+ * @param probs Softmax output [rows, cols].
+ * @param targets Row labels.
+ * @param dlogits Gradient wrt logits, scaled by 1/rows.
+ * @return Mean negative log-likelihood.
+ */
+double crossEntropyBackward(gpu::Device &dev, const float *probs,
+                            const int *targets, float *dlogits, int rows,
+                            int cols);
+
+/**
+ * Mean-squared-error loss and gradient: dx = 2 (x - target) / n.
+ * @return Mean squared error.
+ */
+double mseLossBackward(gpu::Device &dev, const float *x,
+                       const float *target, float *dx, int n);
+
+// --- Dropout ----------------------------------------------------------------
+
+/** Forward dropout with the mask generated host-side into @p mask. */
+void dropoutForward(gpu::Device &dev, const float *x, float *out,
+                    std::uint8_t *mask, int n, float p, Rng &rng);
+
+/** Backward dropout using the saved mask. */
+void dropoutBackward(gpu::Device &dev, const float *dy,
+                     const std::uint8_t *mask, float *dx, int n, float p);
+
+// --- Embedding ----------------------------------------------------------------
+
+/** out[r] = table[ids[r]] for @p rows rows of width @p dim. */
+void embeddingForward(gpu::Device &dev, const float *table,
+                      const int *ids, float *out, int rows, int dim);
+
+/** Scatter-accumulate gradients into the table. */
+void embeddingBackward(gpu::Device &dev, const float *dy, const int *ids,
+                       float *dtable, int rows, int dim);
+
+} // namespace cactus::dnn
+
+#endif // CACTUS_DNN_OPS_HH

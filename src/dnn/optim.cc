@@ -1,0 +1,97 @@
+#include "dnn/optim.hh"
+
+#include <cmath>
+
+namespace cactus::dnn {
+
+using gpu::KernelDesc;
+using gpu::ThreadCtx;
+
+void
+Optimizer::zeroGrad()
+{
+    for (Param *p : params_)
+        p->zeroGrad();
+}
+
+void
+Sgd::step(gpu::Device &dev)
+{
+    for (Param *p : params_) {
+        float *value = p->value.data();
+        float *grad = p->grad.data();
+        float *mom = p->m.data();
+        const float lr = lr_, mu = momentum_;
+        dev.launchLinear(
+            KernelDesc("sgd_momentum_step", 24), p->value.size(), 256,
+            [&](ThreadCtx &ctx) {
+                const auto i = ctx.globalId();
+                const float g = ctx.ld(&grad[i]);
+                const float m_new = mu * ctx.ld(&mom[i]) + g;
+                ctx.fp32(4);
+                ctx.st(&mom[i], m_new);
+                ctx.st(&value[i], ctx.ld(&value[i]) - lr * m_new);
+            });
+    }
+}
+
+void
+Adam::step(gpu::Device &dev)
+{
+    ++t_;
+    const float bc1 = 1.f - std::pow(beta1_, static_cast<float>(t_));
+    const float bc2 = 1.f - std::pow(beta2_, static_cast<float>(t_));
+    for (Param *p : params_) {
+        float *value = p->value.data();
+        float *grad = p->grad.data();
+        float *m = p->m.data();
+        float *v = p->v.data();
+        const float lr = lr_, b1 = beta1_, b2 = beta2_, eps = eps_;
+        dev.launchLinear(
+            KernelDesc("adam_step", 32), p->value.size(), 256,
+            [&](ThreadCtx &ctx) {
+                const auto i = ctx.globalId();
+                const float g = ctx.ld(&grad[i]);
+                const float m_new =
+                    b1 * ctx.ld(&m[i]) + (1.f - b1) * g;
+                const float v_new =
+                    b2 * ctx.ld(&v[i]) + (1.f - b2) * g * g;
+                const float mhat = m_new / bc1;
+                const float vhat = v_new / bc2;
+                ctx.fp32(10);
+                ctx.sfu(1);
+                ctx.st(&m[i], m_new);
+                ctx.st(&v[i], v_new);
+                ctx.st(&value[i],
+                       ctx.ld(&value[i]) -
+                           lr * mhat / (std::sqrt(vhat) + eps));
+            });
+    }
+}
+
+void
+RmsProp::step(gpu::Device &dev)
+{
+    for (Param *p : params_) {
+        float *value = p->value.data();
+        float *grad = p->grad.data();
+        float *v = p->v.data();
+        const float lr = lr_, a = alpha_, eps = eps_;
+        dev.launchLinear(
+            KernelDesc("rmsprop_step", 24), p->value.size(), 256,
+            [&](ThreadCtx &ctx) {
+                const auto i = ctx.globalId();
+                const float g = ctx.ld(&grad[i]);
+                const float v_new =
+                    a * ctx.ld(&v[i]) + (1.f - a) * g * g;
+                ctx.fp32(6);
+                ctx.sfu(1);
+                ctx.st(&v[i], v_new);
+                ctx.st(&value[i],
+                       ctx.ld(&value[i]) -
+                           lr * g / (std::sqrt(v_new) + eps));
+            });
+    }
+}
+
+} // namespace cactus::dnn

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Optimizers updating Param tensors with GPU kernels: SGD with momentum,
+ * Adam, and RMSprop (the three used across the Cactus ML workloads).
+ */
+
+#ifndef CACTUS_DNN_OPTIM_HH
+#define CACTUS_DNN_OPTIM_HH
+
+#include <vector>
+
+#include "dnn/layers.hh"
+#include "gpu/device.hh"
+
+namespace cactus::dnn {
+
+/** Abstract parameter-update rule. */
+class Optimizer
+{
+  public:
+    explicit Optimizer(std::vector<Param *> params)
+        : params_(std::move(params))
+    {
+    }
+    virtual ~Optimizer() = default;
+
+    /** Apply one update step on every parameter. */
+    virtual void step(gpu::Device &dev) = 0;
+
+    /** Clear all parameter gradients. */
+    void zeroGrad();
+
+  protected:
+    std::vector<Param *> params_;
+};
+
+/** SGD with classical momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    Sgd(std::vector<Param *> params, float lr, float momentum = 0.9f)
+        : Optimizer(std::move(params)), lr_(lr), momentum_(momentum)
+    {
+    }
+    void step(gpu::Device &dev) override;
+
+  private:
+    float lr_, momentum_;
+};
+
+/** Adam (Kingma & Ba). */
+class Adam : public Optimizer
+{
+  public:
+    Adam(std::vector<Param *> params, float lr, float beta1 = 0.9f,
+         float beta2 = 0.999f, float eps = 1e-8f)
+        : Optimizer(std::move(params)), lr_(lr), beta1_(beta1),
+          beta2_(beta2), eps_(eps)
+    {
+    }
+    void step(gpu::Device &dev) override;
+
+  private:
+    float lr_, beta1_, beta2_, eps_;
+    int t_ = 0;
+};
+
+/** RMSprop. */
+class RmsProp : public Optimizer
+{
+  public:
+    RmsProp(std::vector<Param *> params, float lr, float alpha = 0.99f,
+            float eps = 1e-8f)
+        : Optimizer(std::move(params)), lr_(lr), alpha_(alpha), eps_(eps)
+    {
+    }
+    void step(gpu::Device &dev) override;
+
+  private:
+    float lr_, alpha_, eps_;
+};
+
+} // namespace cactus::dnn
+
+#endif // CACTUS_DNN_OPTIM_HH

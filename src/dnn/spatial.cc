@@ -1,0 +1,786 @@
+#include "dnn/spatial.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "dnn/ops.hh"
+
+namespace cactus::dnn {
+
+using gpu::KernelDesc;
+using gpu::ThreadCtx;
+
+namespace {
+
+constexpr int kBlock = 256;
+
+/**
+ * Shape-specialized kernel name, mirroring how vendor libraries
+ * dispatch differently parameterized convolutions to distinct SASS
+ * kernels (e.g. k3s1 vs k4s2 variants).
+ */
+std::string
+convKernelName(const char *base, int k, int stride)
+{
+    return std::string(base) + "_k" + std::to_string(k) + "s" +
+           std::to_string(stride);
+}
+
+} // namespace
+
+void
+conv2dForward(gpu::Device &dev, const ConvGeom &g, const float *x,
+              const float *w, const float *bias, float *y)
+{
+    const int oh = g.outH(), ow = g.outW();
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(g.n) * g.f * oh * ow;
+    dev.launchLinear(
+        KernelDesc(convKernelName("implicit_gemm_conv_fwd", g.k, g.stride), 72, 24 * 1024), total,
+        kBlock, [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const int ox = static_cast<int>(t % ow);
+            const int oy = static_cast<int>((t / ow) % oh);
+            const int f = static_cast<int>((t / (ow * oh)) % g.f);
+            const int b = static_cast<int>(t / (static_cast<
+                std::uint64_t>(ow) * oh * g.f));
+            ctx.intOp(8);
+            float acc = bias ? ctx.ld(&bias[f]) : 0.f;
+            // TF32 tensor-core modeling (see ops.cc): vectorized loads
+            // along kx, HMMA-bundled FMAs, amortized addressing.
+            std::uint64_t fmas = 0;
+            for (int c = 0; c < g.c; ++c) {
+                for (int ky = 0; ky < g.k; ++ky) {
+                    const int iy = oy * g.stride + ky - g.pad;
+                    ctx.branch(1);
+                    if (iy < 0 || iy >= g.h)
+                        continue;
+                    for (int kx = 0; kx < g.k; ++kx) {
+                        const int ix = ox * g.stride + kx - g.pad;
+                        if (ix < 0 || ix >= g.w)
+                            continue;
+                        const std::size_t xi =
+                            ((static_cast<std::size_t>(b) * g.c + c) *
+                             g.h + iy) * g.w + ix;
+                        const std::size_t wi =
+                            ((static_cast<std::size_t>(f) * g.c + c) *
+                             g.k + ky) * g.k + kx;
+                        const bool vec = (kx & 3) == 0;
+                        const float xv = vec ? ctx.ld(&x[xi]) : x[xi];
+                        const float wv = vec ? ctx.ld(&w[wi]) : w[wi];
+                        acc += xv * wv;
+                        ++fmas;
+                    }
+                }
+            }
+            ctx.fp32(std::max<std::uint64_t>(1, fmas / 8));
+            ctx.intOp(std::max<std::uint64_t>(1, fmas / 4));
+            ctx.st(&y[t], acc);
+        });
+}
+
+void
+im2col(gpu::Device &dev, const ConvGeom &g, const float *x, float *col)
+{
+    const int oh = g.outH(), ow = g.outW();
+    const std::uint64_t np = static_cast<std::uint64_t>(g.n) * oh * ow;
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(g.c) * g.k * g.k * np;
+    dev.launchLinear(
+        KernelDesc("im2col", 32), total, kBlock, [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const std::uint64_t colidx = t % np;
+            const std::uint64_t row = t / np;
+            const int kx = static_cast<int>(row % g.k);
+            const int ky = static_cast<int>((row / g.k) % g.k);
+            const int c = static_cast<int>(row / (g.k * g.k));
+            const int ox = static_cast<int>(colidx % ow);
+            const int oy = static_cast<int>((colidx / ow) % oh);
+            const int b = static_cast<int>(
+                colidx / (static_cast<std::uint64_t>(ow) * oh));
+            const int iy = oy * g.stride + ky - g.pad;
+            const int ix = ox * g.stride + kx - g.pad;
+            ctx.intOp(12);
+            ctx.branch(1);
+            float v = 0.f;
+            if (iy >= 0 && iy < g.h && ix >= 0 && ix < g.w) {
+                v = ctx.ld(&x[((static_cast<std::size_t>(b) * g.c +
+                                c) * g.h + iy) * g.w + ix]);
+            }
+            ctx.st(&col[t], v);
+        });
+}
+
+void
+col2im(gpu::Device &dev, const ConvGeom &g, const float *col, float *dx)
+{
+    const int oh = g.outH(), ow = g.outW();
+    const std::uint64_t np = static_cast<std::uint64_t>(g.n) * oh * ow;
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(g.c) * g.k * g.k * np;
+    dev.launchLinear(
+        KernelDesc("col2im", 32), total, kBlock, [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const std::uint64_t colidx = t % np;
+            const std::uint64_t row = t / np;
+            const int kx = static_cast<int>(row % g.k);
+            const int ky = static_cast<int>((row / g.k) % g.k);
+            const int c = static_cast<int>(row / (g.k * g.k));
+            const int ox = static_cast<int>(colidx % ow);
+            const int oy = static_cast<int>((colidx / ow) % oh);
+            const int b = static_cast<int>(
+                colidx / (static_cast<std::uint64_t>(ow) * oh));
+            const int iy = oy * g.stride + ky - g.pad;
+            const int ix = ox * g.stride + kx - g.pad;
+            ctx.intOp(12);
+            ctx.branch(1);
+            if (iy < 0 || iy >= g.h || ix < 0 || ix >= g.w)
+                return;
+            ctx.atomicAdd(&dx[((static_cast<std::size_t>(b) * g.c +
+                                c) * g.h + iy) * g.w + ix],
+                          ctx.ld(&col[t]));
+        });
+}
+
+void
+conv2dForwardIm2col(gpu::Device &dev, const ConvGeom &g, const float *x,
+                    const float *w, const float *bias, float *y)
+{
+    const int oh = g.outH(), ow = g.outW();
+    const std::uint64_t np = static_cast<std::uint64_t>(g.n) * oh * ow;
+    const int ckk = g.c * g.k * g.k;
+    std::vector<float> col(static_cast<std::size_t>(ckk) * np);
+    im2col(dev, g, x, col.data());
+
+    // out[F, N*P] = W[F, CKK] @ col[CKK, N*P].
+    std::vector<float> out(static_cast<std::size_t>(g.f) * np);
+    gemm(dev, false, false, g.f, static_cast<int>(np), ckk, 1.f, w,
+         col.data(), 0.f, out.data());
+
+    // Permute [F, (b,oy,ox)] -> [N,F,OH,OW] and add bias.
+    dev.launchLinear(
+        KernelDesc("tensor_permute_bias", 24),
+        static_cast<std::uint64_t>(g.f) * np, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const std::uint64_t colidx = t % np;
+            const int f = static_cast<int>(t / np);
+            const int ox = static_cast<int>(colidx % ow);
+            const int oy = static_cast<int>((colidx / ow) % oh);
+            const int b = static_cast<int>(
+                colidx / (static_cast<std::uint64_t>(ow) * oh));
+            ctx.intOp(8);
+            const float v = ctx.ld(&out[t]) +
+                            (bias ? ctx.ld(&bias[f]) : 0.f);
+            ctx.fp32(1);
+            ctx.st(&y[((static_cast<std::size_t>(b) * g.f + f) * oh +
+                       oy) * ow + ox],
+                   v);
+        });
+}
+
+void
+conv2dBackwardData(gpu::Device &dev, const ConvGeom &g, const float *dy,
+                   const float *w, float *dx)
+{
+    const int oh = g.outH(), ow = g.outW();
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(g.n) * g.c * g.h * g.w;
+    dev.launchLinear(
+        KernelDesc(convKernelName("implicit_gemm_conv_bwd_data", g.k, g.stride), 72, 24 * 1024), total,
+        kBlock, [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const int ix = static_cast<int>(t % g.w);
+            const int iy = static_cast<int>((t / g.w) % g.h);
+            const int c = static_cast<int>((t / (g.w * g.h)) % g.c);
+            const int b = static_cast<int>(t / (static_cast<
+                std::uint64_t>(g.w) * g.h * g.c));
+            ctx.intOp(8);
+            float acc = 0.f;
+            std::uint64_t fmas = 0;
+            for (int f = 0; f < g.f; ++f) {
+                for (int ky = 0; ky < g.k; ++ky) {
+                    const int num_y = iy + g.pad - ky;
+                    ctx.branch(1);
+                    if (num_y % g.stride != 0)
+                        continue;
+                    const int oy = num_y / g.stride;
+                    if (oy < 0 || oy >= oh)
+                        continue;
+                    for (int kx = 0; kx < g.k; ++kx) {
+                        const int num_x = ix + g.pad - kx;
+                        if (num_x % g.stride != 0)
+                            continue;
+                        const int ox = num_x / g.stride;
+                        if (ox < 0 || ox >= ow)
+                            continue;
+                        const std::size_t gi =
+                            ((static_cast<std::size_t>(b) * g.f + f) *
+                             oh + oy) * ow + ox;
+                        const std::size_t wi =
+                            ((static_cast<std::size_t>(f) * g.c + c) *
+                             g.k + ky) * g.k + kx;
+                        const bool vec = (kx & 3) == 0;
+                        const float gv = vec ? ctx.ld(&dy[gi]) : dy[gi];
+                        const float wv = vec ? ctx.ld(&w[wi]) : w[wi];
+                        acc += gv * wv;
+                        ++fmas;
+                    }
+                }
+            }
+            ctx.fp32(std::max<std::uint64_t>(1, fmas / 8));
+            ctx.intOp(std::max<std::uint64_t>(1, fmas / 4));
+            ctx.st(&dx[t], acc);
+        });
+}
+
+void
+conv2dBackwardFilter(gpu::Device &dev, const ConvGeom &g, const float *x,
+                     const float *dy, float *dw, float *dbias)
+{
+    const int oh = g.outH(), ow = g.outW();
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(g.f) * g.c * g.k * g.k;
+    dev.launchLinear(
+        KernelDesc(convKernelName("implicit_gemm_conv_bwd_filter", g.k, g.stride), 64, 16 * 1024),
+        total, kBlock, [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const int kx = static_cast<int>(t % g.k);
+            const int ky = static_cast<int>((t / g.k) % g.k);
+            const int c = static_cast<int>((t / (g.k * g.k)) % g.c);
+            const int f = static_cast<int>(t / (static_cast<
+                std::uint64_t>(g.k) * g.k * g.c));
+            ctx.intOp(8);
+            float acc = 0.f;
+            std::uint64_t fmas = 0;
+            for (int b = 0; b < g.n; ++b) {
+                for (int oy = 0; oy < oh; ++oy) {
+                    const int iy = oy * g.stride + ky - g.pad;
+                    ctx.branch(1);
+                    if (iy < 0 || iy >= g.h)
+                        continue;
+                    for (int ox = 0; ox < ow; ++ox) {
+                        const int ix = ox * g.stride + kx - g.pad;
+                        if (ix < 0 || ix >= g.w)
+                            continue;
+                        const std::size_t gi =
+                            ((static_cast<std::size_t>(b) * g.f + f) *
+                             oh + oy) * ow + ox;
+                        const std::size_t xi =
+                            ((static_cast<std::size_t>(b) * g.c + c) *
+                             g.h + iy) * g.w + ix;
+                        const bool vec = (ox & 3) == 0;
+                        const float gv = vec ? ctx.ld(&dy[gi]) : dy[gi];
+                        const float xv = vec ? ctx.ld(&x[xi]) : x[xi];
+                        acc += gv * xv;
+                        ++fmas;
+                    }
+                }
+            }
+            ctx.fp32(std::max<std::uint64_t>(1, fmas / 8));
+            ctx.intOp(std::max<std::uint64_t>(1, fmas / 4));
+            ctx.atomicAdd(&dw[t], acc);
+            ctx.branch(1);
+            if (dbias && c == 0 && ky == 0 && kx == 0) {
+                // The bias gradient needs every output position,
+                // including those whose input window was clipped.
+                float btotal = 0.f;
+                for (int b = 0; b < g.n; ++b)
+                    for (int p = 0; p < oh * ow; ++p)
+                        btotal += ctx.ld(
+                            &dy[(static_cast<std::size_t>(b) * g.f +
+                                 f) * oh * ow + p]);
+                ctx.fp32(static_cast<std::uint64_t>(g.n) * oh * ow);
+                ctx.atomicAdd(&dbias[f], btotal);
+            }
+        });
+}
+
+void
+convTranspose2dForward(gpu::Device &dev, const ConvTransGeom &g,
+                       const float *x, const float *w, const float *bias,
+                       float *y)
+{
+    const int oh = g.outH(), ow = g.outW();
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(g.n) * g.f * oh * ow;
+    dev.launchLinear(
+        KernelDesc(convKernelName("conv_transpose2d_fwd", g.k, g.stride), 72, 24 * 1024), total, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const int ox = static_cast<int>(t % ow);
+            const int oy = static_cast<int>((t / ow) % oh);
+            const int f = static_cast<int>((t / (ow * oh)) % g.f);
+            const int b = static_cast<int>(t / (static_cast<
+                std::uint64_t>(ow) * oh * g.f));
+            ctx.intOp(8);
+            float acc = bias ? ctx.ld(&bias[f]) : 0.f;
+            std::uint64_t fmas = 0;
+            for (int c = 0; c < g.c; ++c) {
+                for (int ky = 0; ky < g.k; ++ky) {
+                    const int num_y = oy + g.pad - ky;
+                    ctx.branch(1);
+                    if (num_y % g.stride != 0)
+                        continue;
+                    const int iy = num_y / g.stride;
+                    if (iy < 0 || iy >= g.h)
+                        continue;
+                    for (int kx = 0; kx < g.k; ++kx) {
+                        const int num_x = ox + g.pad - kx;
+                        if (num_x % g.stride != 0)
+                            continue;
+                        const int ix = num_x / g.stride;
+                        if (ix < 0 || ix >= g.w)
+                            continue;
+                        const std::size_t xi =
+                            ((static_cast<std::size_t>(b) * g.c + c) *
+                             g.h + iy) * g.w + ix;
+                        const std::size_t wi =
+                            ((static_cast<std::size_t>(c) * g.f + f) *
+                             g.k + ky) * g.k + kx;
+                        const bool vec = (kx & 3) == 0;
+                        const float xv = vec ? ctx.ld(&x[xi]) : x[xi];
+                        const float wv = vec ? ctx.ld(&w[wi]) : w[wi];
+                        acc += xv * wv;
+                        ++fmas;
+                    }
+                }
+            }
+            ctx.fp32(std::max<std::uint64_t>(1, fmas / 8));
+            ctx.intOp(std::max<std::uint64_t>(1, fmas / 4));
+            ctx.st(&y[t], acc);
+        });
+}
+
+void
+convTranspose2dBackwardData(gpu::Device &dev, const ConvTransGeom &g,
+                            const float *dy, const float *w, float *dx)
+{
+    const int oh = g.outH(), ow = g.outW();
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(g.n) * g.c * g.h * g.w;
+    dev.launchLinear(
+        KernelDesc(convKernelName("conv_transpose2d_bwd_data", g.k, g.stride), 64, 16 * 1024), total,
+        kBlock, [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const int ix = static_cast<int>(t % g.w);
+            const int iy = static_cast<int>((t / g.w) % g.h);
+            const int c = static_cast<int>((t / (g.w * g.h)) % g.c);
+            const int b = static_cast<int>(t / (static_cast<
+                std::uint64_t>(g.w) * g.h * g.c));
+            ctx.intOp(8);
+            float acc = 0.f;
+            // dx = standard convolution of dy with the same weights.
+            std::uint64_t fmas = 0;
+            for (int f = 0; f < g.f; ++f) {
+                for (int ky = 0; ky < g.k; ++ky) {
+                    const int oy = iy * g.stride + ky - g.pad;
+                    ctx.branch(1);
+                    if (oy < 0 || oy >= oh)
+                        continue;
+                    for (int kx = 0; kx < g.k; ++kx) {
+                        const int ox = ix * g.stride + kx - g.pad;
+                        if (ox < 0 || ox >= ow)
+                            continue;
+                        const std::size_t gi =
+                            ((static_cast<std::size_t>(b) * g.f + f) *
+                             oh + oy) * ow + ox;
+                        const std::size_t wi =
+                            ((static_cast<std::size_t>(c) * g.f + f) *
+                             g.k + ky) * g.k + kx;
+                        const bool vec = (kx & 3) == 0;
+                        const float gv = vec ? ctx.ld(&dy[gi]) : dy[gi];
+                        const float wv = vec ? ctx.ld(&w[wi]) : w[wi];
+                        acc += gv * wv;
+                        ++fmas;
+                    }
+                }
+            }
+            ctx.fp32(std::max<std::uint64_t>(1, fmas / 8));
+            ctx.intOp(std::max<std::uint64_t>(1, fmas / 4));
+            ctx.st(&dx[t], acc);
+        });
+}
+
+void
+convTranspose2dBackwardFilter(gpu::Device &dev, const ConvTransGeom &g,
+                              const float *x, const float *dy, float *dw,
+                              float *dbias)
+{
+    const int oh = g.outH(), ow = g.outW();
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(g.c) * g.f * g.k * g.k;
+    dev.launchLinear(
+        KernelDesc(convKernelName("conv_transpose2d_bwd_filter", g.k, g.stride), 64, 16 * 1024), total,
+        kBlock, [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const int kx = static_cast<int>(t % g.k);
+            const int ky = static_cast<int>((t / g.k) % g.k);
+            const int f = static_cast<int>((t / (g.k * g.k)) % g.f);
+            const int c = static_cast<int>(t / (static_cast<
+                std::uint64_t>(g.k) * g.k * g.f));
+            ctx.intOp(8);
+            float acc = 0.f;
+            std::uint64_t fmas = 0;
+            for (int b = 0; b < g.n; ++b) {
+                for (int iy = 0; iy < g.h; ++iy) {
+                    const int oy = iy * g.stride + ky - g.pad;
+                    ctx.branch(1);
+                    if (oy < 0 || oy >= oh)
+                        continue;
+                    for (int ix = 0; ix < g.w; ++ix) {
+                        const int ox = ix * g.stride + kx - g.pad;
+                        if (ox < 0 || ox >= ow)
+                            continue;
+                        const std::size_t xi =
+                            ((static_cast<std::size_t>(b) * g.c + c) *
+                             g.h + iy) * g.w + ix;
+                        const std::size_t gi =
+                            ((static_cast<std::size_t>(b) * g.f + f) *
+                             oh + oy) * ow + ox;
+                        const bool vec = (ix & 3) == 0;
+                        const float xv = vec ? ctx.ld(&x[xi]) : x[xi];
+                        const float gv = vec ? ctx.ld(&dy[gi]) : dy[gi];
+                        acc += xv * gv;
+                        ++fmas;
+                    }
+                }
+            }
+            ctx.fp32(std::max<std::uint64_t>(1, fmas / 8));
+            ctx.intOp(std::max<std::uint64_t>(1, fmas / 4));
+            ctx.atomicAdd(&dw[t], acc);
+            ctx.branch(1);
+            if (dbias && c == 0 && ky == 0 && kx == 0) {
+                float btotal = 0.f;
+                for (int b = 0; b < g.n; ++b)
+                    for (int p = 0; p < oh * ow; ++p)
+                        btotal += ctx.ld(
+                            &dy[(static_cast<std::size_t>(b) * g.f +
+                                 f) * oh * ow + p]);
+                ctx.fp32(static_cast<std::uint64_t>(g.n) * oh * ow);
+                ctx.atomicAdd(&dbias[f], btotal);
+            }
+        });
+}
+
+void
+maxPool2x2Forward(gpu::Device &dev, int n, int c, int h, int w,
+                  const float *x, float *y, int *argmax)
+{
+    const int oh = h / 2, ow = w / 2;
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(n) * c * oh * ow;
+    dev.launchLinear(
+        KernelDesc("maxpool_fwd", 32), total, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const int ox = static_cast<int>(t % ow);
+            const int oy = static_cast<int>((t / ow) % oh);
+            const int ch = static_cast<int>((t / (ow * oh)) % c);
+            const int b = static_cast<int>(t / (static_cast<
+                std::uint64_t>(ow) * oh * c));
+            ctx.intOp(8);
+            float best = -3.4e38f;
+            int best_idx = 0;
+            for (int dy = 0; dy < 2; ++dy) {
+                for (int dx = 0; dx < 2; ++dx) {
+                    const std::size_t idx =
+                        ((static_cast<std::size_t>(b) * c + ch) * h +
+                         oy * 2 + dy) * w + ox * 2 + dx;
+                    const float v = ctx.ld(&x[idx]);
+                    ctx.branch(1);
+                    ctx.fp32(1);
+                    if (v > best) {
+                        best = v;
+                        best_idx = static_cast<int>(idx);
+                    }
+                }
+            }
+            ctx.st(&y[t], best);
+            ctx.st(&argmax[t], best_idx);
+        });
+}
+
+void
+maxPool2x2Backward(gpu::Device &dev, int n, int c, int h, int w,
+                   const float *dy, const int *argmax, float *dx)
+{
+    const int oh = h / 2, ow = w / 2;
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(n) * c * oh * ow;
+    dev.launchLinear(
+        KernelDesc("maxpool_bwd", 24), total, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const int idx = ctx.ld(&argmax[t]);
+            ctx.atomicAdd(&dx[idx], ctx.ld(&dy[t]));
+        });
+}
+
+void
+bnReduceStats(gpu::Device &dev, int n, int c, int hw, const float *x,
+              float *mean, float *var)
+{
+    const std::uint64_t total = static_cast<std::uint64_t>(n) * c * hw;
+    const float inv_count = 1.f / (static_cast<float>(n) * hw);
+    dev.launchLinear(
+        KernelDesc("bn_reduce_stats", 24), total, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const int ch = static_cast<int>((t / hw) % c);
+            ctx.intOp(3);
+            const float v = ctx.ld(&x[t]);
+            ctx.fp32(3);
+            ctx.atomicAdd(&mean[ch], v * inv_count);
+            ctx.atomicAdd(&var[ch], v * v * inv_count);
+        });
+    // Finalize: var = E[x^2] - E[x]^2 (tiny per-channel kernel).
+    dev.launchLinear(
+        KernelDesc("bn_finalize_stats", 16), c, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto ch = ctx.globalId();
+            const float m = ctx.ld(&mean[ch]);
+            const float e2 = ctx.ld(&var[ch]);
+            ctx.fp32(3);
+            ctx.st(&var[ch], std::fmax(e2 - m * m, 0.f));
+        });
+}
+
+void
+bnNormalizeForward(gpu::Device &dev, int n, int c, int hw,
+                   const float *x, const float *mean, const float *var,
+                   const float *gamma, const float *beta, float *y,
+                   float *xhat, float eps)
+{
+    const std::uint64_t total = static_cast<std::uint64_t>(n) * c * hw;
+    dev.launchLinear(
+        KernelDesc("bn_normalize_fwd", 32), total, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const int ch = static_cast<int>((t / hw) % c);
+            ctx.intOp(3);
+            const float m = ctx.ld(&mean[ch]);
+            const float v = ctx.ld(&var[ch]);
+            const float inv_sd = 1.f / std::sqrt(v + eps);
+            ctx.sfu(1);
+            const float xh = (ctx.ld(&x[t]) - m) * inv_sd;
+            ctx.fp32(5);
+            ctx.st(&xhat[t], xh);
+            ctx.st(&y[t],
+                   ctx.ld(&gamma[ch]) * xh + ctx.ld(&beta[ch]));
+        });
+}
+
+void
+bnBackwardReduce(gpu::Device &dev, int n, int c, int hw, const float *dy,
+                 const float *xhat, float *dgamma, float *dbeta)
+{
+    const std::uint64_t total = static_cast<std::uint64_t>(n) * c * hw;
+    dev.launchLinear(
+        KernelDesc("bn_bwd_reduce", 24), total, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const int ch = static_cast<int>((t / hw) % c);
+            ctx.intOp(3);
+            const float g = ctx.ld(&dy[t]);
+            ctx.fp32(1);
+            ctx.atomicAdd(&dgamma[ch], g * ctx.ld(&xhat[t]));
+            ctx.atomicAdd(&dbeta[ch], g);
+        });
+}
+
+void
+bnBackwardInput(gpu::Device &dev, int n, int c, int hw, const float *dy,
+                const float *xhat, const float *gamma, const float *var,
+                const float *dgamma, const float *dbeta, float *dx,
+                float eps)
+{
+    const std::uint64_t total = static_cast<std::uint64_t>(n) * c * hw;
+    const float inv_count = 1.f / (static_cast<float>(n) * hw);
+    dev.launchLinear(
+        KernelDesc("bn_bwd_input", 40), total, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const int ch = static_cast<int>((t / hw) % c);
+            ctx.intOp(3);
+            const float inv_sd =
+                1.f / std::sqrt(ctx.ld(&var[ch]) + eps);
+            ctx.sfu(1);
+            const float g = ctx.ld(&dy[t]);
+            const float xh = ctx.ld(&xhat[t]);
+            const float dg = ctx.ld(&dgamma[ch]);
+            const float db = ctx.ld(&dbeta[ch]);
+            const float gm = ctx.ld(&gamma[ch]);
+            ctx.fp32(8);
+            ctx.st(&dx[t],
+                   gm * inv_sd *
+                       (g - inv_count * (db + xh * dg)));
+        });
+}
+
+void
+affineGrid(gpu::Device &dev, int n, int h, int w, const float *theta,
+           float *grid)
+{
+    const std::uint64_t total = static_cast<std::uint64_t>(n) * h * w;
+    dev.launchLinear(
+        KernelDesc("affine_grid", 32), total, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const int x = static_cast<int>(t % w);
+            const int y = static_cast<int>((t / w) % h);
+            const int b = static_cast<int>(t / (static_cast<
+                std::uint64_t>(w) * h));
+            ctx.intOp(6);
+            const float xs = w > 1
+                ? 2.f * x / (w - 1) - 1.f : 0.f;
+            const float ys = h > 1
+                ? 2.f * y / (h - 1) - 1.f : 0.f;
+            const float *th = &theta[static_cast<std::size_t>(b) * 6];
+            const float gx = ctx.ld(&th[0]) * xs + ctx.ld(&th[1]) * ys +
+                             ctx.ld(&th[2]);
+            const float gy = ctx.ld(&th[3]) * xs + ctx.ld(&th[4]) * ys +
+                             ctx.ld(&th[5]);
+            ctx.fp32(12);
+            ctx.st(&grid[t * 2], gx);
+            ctx.st(&grid[t * 2 + 1], gy);
+        });
+}
+
+void
+gridSampleForward(gpu::Device &dev, int n, int c, int h, int w, int oh,
+                  int ow, const float *x, const float *grid, float *y)
+{
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(n) * c * oh * ow;
+    dev.launchLinear(
+        KernelDesc("grid_sample_fwd", 48), total, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const int ox = static_cast<int>(t % ow);
+            const int oy = static_cast<int>((t / ow) % oh);
+            const int ch = static_cast<int>((t / (ow * oh)) % c);
+            const int b = static_cast<int>(t / (static_cast<
+                std::uint64_t>(ow) * oh * c));
+            ctx.intOp(8);
+            const std::size_t gidx =
+                ((static_cast<std::size_t>(b) * oh + oy) * ow + ox) * 2;
+            const float gx = ctx.ld(&grid[gidx]);
+            const float gy = ctx.ld(&grid[gidx + 1]);
+            // Map [-1,1] to pixel coordinates.
+            const float fx = (gx + 1.f) * 0.5f * (w - 1);
+            const float fy = (gy + 1.f) * 0.5f * (h - 1);
+            const int x0 = static_cast<int>(std::floor(fx));
+            const int y0 = static_cast<int>(std::floor(fy));
+            const float ax = fx - x0;
+            const float ay = fy - y0;
+            ctx.fp32(10);
+            float acc = 0.f;
+            for (int dy = 0; dy < 2; ++dy) {
+                for (int dx = 0; dx < 2; ++dx) {
+                    const int xi = x0 + dx;
+                    const int yi = y0 + dy;
+                    ctx.branch(1);
+                    if (xi < 0 || xi >= w || yi < 0 || yi >= h)
+                        continue;
+                    const float wgt = (dx ? ax : 1.f - ax) *
+                                      (dy ? ay : 1.f - ay);
+                    acc += wgt * ctx.ld(
+                        &x[((static_cast<std::size_t>(b) * c + ch) *
+                            h + yi) * w + xi]);
+                    ctx.fp32(4);
+                }
+            }
+            ctx.st(&y[t], acc);
+        });
+}
+
+void
+gridSampleBackward(gpu::Device &dev, int n, int c, int h, int w, int oh,
+                   int ow, const float *x, const float *grid,
+                   const float *dy, float *dx, float *dgrid)
+{
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(n) * c * oh * ow;
+    dev.launchLinear(
+        KernelDesc("grid_sample_bwd", 56), total, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const int ox = static_cast<int>(t % ow);
+            const int oy = static_cast<int>((t / ow) % oh);
+            const int ch = static_cast<int>((t / (ow * oh)) % c);
+            const int b = static_cast<int>(t / (static_cast<
+                std::uint64_t>(ow) * oh * c));
+            ctx.intOp(8);
+            const std::size_t gidx =
+                ((static_cast<std::size_t>(b) * oh + oy) * ow + ox) * 2;
+            const float gx = ctx.ld(&grid[gidx]);
+            const float gy = ctx.ld(&grid[gidx + 1]);
+            const float fx = (gx + 1.f) * 0.5f * (w - 1);
+            const float fy = (gy + 1.f) * 0.5f * (h - 1);
+            const int x0 = static_cast<int>(std::floor(fx));
+            const int y0 = static_cast<int>(std::floor(fy));
+            const float ax = fx - x0;
+            const float ay = fy - y0;
+            const float g = ctx.ld(&dy[t]);
+            ctx.fp32(10);
+            float d_fx = 0.f, d_fy = 0.f;
+            for (int dyy = 0; dyy < 2; ++dyy) {
+                for (int dxx = 0; dxx < 2; ++dxx) {
+                    const int xi = x0 + dxx;
+                    const int yi = y0 + dyy;
+                    ctx.branch(1);
+                    if (xi < 0 || xi >= w || yi < 0 || yi >= h)
+                        continue;
+                    const float wgt = (dxx ? ax : 1.f - ax) *
+                                      (dyy ? ay : 1.f - ay);
+                    const std::size_t xidx =
+                        ((static_cast<std::size_t>(b) * c + ch) * h +
+                         yi) * w + xi;
+                    ctx.atomicAdd(&dx[xidx], g * wgt);
+                    const float xv = ctx.ld(&x[xidx]);
+                    d_fx += g * xv * (dxx ? 1.f : -1.f) *
+                            (dyy ? ay : 1.f - ay);
+                    d_fy += g * xv * (dyy ? 1.f : -1.f) *
+                            (dxx ? ax : 1.f - ax);
+                    ctx.fp32(10);
+                }
+            }
+            // Chain through the pixel-coordinate mapping.
+            ctx.fp32(4);
+            ctx.atomicAdd(&dgrid[gidx], d_fx * 0.5f * (w - 1));
+            ctx.atomicAdd(&dgrid[gidx + 1], d_fy * 0.5f * (h - 1));
+        });
+}
+
+void
+affineGridBackward(gpu::Device &dev, int n, int h, int w,
+                   const float *dgrid, float *dtheta)
+{
+    const std::uint64_t total = static_cast<std::uint64_t>(n) * h * w;
+    dev.launchLinear(
+        KernelDesc("affine_grid_bwd", 32), total, kBlock,
+        [&](ThreadCtx &ctx) {
+            const auto t = ctx.globalId();
+            const int x = static_cast<int>(t % w);
+            const int y = static_cast<int>((t / w) % h);
+            const int b = static_cast<int>(t / (static_cast<
+                std::uint64_t>(w) * h));
+            ctx.intOp(6);
+            const float xs = w > 1 ? 2.f * x / (w - 1) - 1.f : 0.f;
+            const float ys = h > 1 ? 2.f * y / (h - 1) - 1.f : 0.f;
+            const float dgx = ctx.ld(&dgrid[t * 2]);
+            const float dgy = ctx.ld(&dgrid[t * 2 + 1]);
+            float *th = &dtheta[static_cast<std::size_t>(b) * 6];
+            ctx.fp32(10);
+            ctx.atomicAdd(&th[0], dgx * xs);
+            ctx.atomicAdd(&th[1], dgx * ys);
+            ctx.atomicAdd(&th[2], dgx);
+            ctx.atomicAdd(&th[3], dgy * xs);
+            ctx.atomicAdd(&th[4], dgy * ys);
+            ctx.atomicAdd(&th[5], dgy);
+        });
+}
+
+} // namespace cactus::dnn

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Spatial GPU kernels: convolution (implicit-GEMM style forward and the
+ * two backward passes), transposed convolution, max pooling, batch-norm
+ * statistics/normalization, and the spatial-transformer pair
+ * (affine grid generation + bilinear grid sampling).
+ *
+ * Tensor layout is NCHW throughout. Convolution weights are
+ * [F, C, kh, kw]; transposed-convolution weights are [C, F, kh, kw]
+ * (PyTorch convention).
+ */
+
+#ifndef CACTUS_DNN_SPATIAL_HH
+#define CACTUS_DNN_SPATIAL_HH
+
+#include "gpu/device.hh"
+
+namespace cactus::dnn {
+
+/** Geometry of a convolution. */
+struct ConvGeom
+{
+    int n = 1;        ///< Batch.
+    int c = 1;        ///< Input channels.
+    int h = 1, w = 1; ///< Input spatial size.
+    int f = 1;        ///< Output channels.
+    int k = 3;        ///< Kernel size (square).
+    int stride = 1;
+    int pad = 1;
+
+    int outH() const { return (h + 2 * pad - k) / stride + 1; }
+    int outW() const { return (w + 2 * pad - k) / stride + 1; }
+};
+
+/** y[N,F,OH,OW] = conv(x[N,C,H,W], w[F,C,k,k]) + bias. */
+void conv2dForward(gpu::Device &dev, const ConvGeom &g, const float *x,
+                   const float *w, const float *bias, float *y);
+
+/**
+ * Alternative explicit-GEMM convolution path (the other algorithm
+ * cuDNN dispatches): unfold the input into a column matrix
+ * [C*k*k, N*OH*OW] with an im2col kernel, multiply by the weight
+ * matrix with the library GEMM, then add bias. Numerically identical
+ * to conv2dForward; used for cross-validation and as a distinct
+ * kernel-mix alternative.
+ */
+void conv2dForwardIm2col(gpu::Device &dev, const ConvGeom &g,
+                         const float *x, const float *w,
+                         const float *bias, float *y);
+
+/** Unfold x[N,C,H,W] into col[C*k*k, N*OH*OW] (zero-padded taps). */
+void im2col(gpu::Device &dev, const ConvGeom &g, const float *x,
+            float *col);
+
+/** Fold col[C*k*k, N*OH*OW] back into x-shaped gradients
+ *  (atomic scatter-add); dx must be zeroed by the caller. */
+void col2im(gpu::Device &dev, const ConvGeom &g, const float *col,
+            float *dx);
+
+/** dx = conv2d backward wrt data. */
+void conv2dBackwardData(gpu::Device &dev, const ConvGeom &g,
+                        const float *dy, const float *w, float *dx);
+
+/** dw/dbias accumulation (buffers must be zeroed by the caller). */
+void conv2dBackwardFilter(gpu::Device &dev, const ConvGeom &g,
+                          const float *x, const float *dy, float *dw,
+                          float *dbias);
+
+/** Geometry of a transposed convolution. */
+struct ConvTransGeom
+{
+    int n = 1;
+    int c = 1;        ///< Input channels.
+    int h = 1, w = 1;
+    int f = 1;        ///< Output channels.
+    int k = 4;
+    int stride = 2;
+    int pad = 1;
+
+    int outH() const { return (h - 1) * stride + k - 2 * pad; }
+    int outW() const { return (w - 1) * stride + k - 2 * pad; }
+};
+
+/** y[N,F,OH,OW] = convT(x[N,C,H,W], w[C,F,k,k]) + bias. */
+void convTranspose2dForward(gpu::Device &dev, const ConvTransGeom &g,
+                            const float *x, const float *w,
+                            const float *bias, float *y);
+
+void convTranspose2dBackwardData(gpu::Device &dev, const ConvTransGeom &g,
+                                 const float *dy, const float *w,
+                                 float *dx);
+
+void convTranspose2dBackwardFilter(gpu::Device &dev,
+                                   const ConvTransGeom &g, const float *x,
+                                   const float *dy, float *dw,
+                                   float *dbias);
+
+/** 2x2 stride-2 max pooling; argmax saved for the backward pass. */
+void maxPool2x2Forward(gpu::Device &dev, int n, int c, int h, int w,
+                       const float *x, float *y, int *argmax);
+
+void maxPool2x2Backward(gpu::Device &dev, int n, int c, int h, int w,
+                        const float *dy, const int *argmax, float *dx);
+
+// --- Batch normalization ------------------------------------------------------
+
+/** Per-channel mean/variance over N*H*W (reduce kernel). */
+void bnReduceStats(gpu::Device &dev, int n, int c, int hw,
+                   const float *x, float *mean, float *var);
+
+/** Normalize + scale/shift: y = gamma * (x - mean)/sqrt(var+eps) + beta;
+ *  also emits xhat for the backward pass. */
+void bnNormalizeForward(gpu::Device &dev, int n, int c, int hw,
+                        const float *x, const float *mean,
+                        const float *var, const float *gamma,
+                        const float *beta, float *y, float *xhat,
+                        float eps);
+
+/** Reduce dgamma = sum(dy*xhat), dbeta = sum(dy) per channel. */
+void bnBackwardReduce(gpu::Device &dev, int n, int c, int hw,
+                      const float *dy, const float *xhat, float *dgamma,
+                      float *dbeta);
+
+/** Input gradient from the standard BN backward formula. */
+void bnBackwardInput(gpu::Device &dev, int n, int c, int hw,
+                     const float *dy, const float *xhat,
+                     const float *gamma, const float *var,
+                     const float *dgamma, const float *dbeta, float *dx,
+                     float eps);
+
+// --- Spatial transformer ---------------------------------------------------------
+
+/**
+ * Generate normalized sampling coordinates from per-sample affine
+ * matrices theta [N, 2, 3]: grid [N, H, W, 2] in [-1, 1].
+ */
+void affineGrid(gpu::Device &dev, int n, int h, int w,
+                const float *theta, float *grid);
+
+/** Bilinear sampling of x [N,C,H,W] at grid [N,OH,OW,2] -> y. */
+void gridSampleForward(gpu::Device &dev, int n, int c, int h, int w,
+                       int oh, int ow, const float *x, const float *grid,
+                       float *y);
+
+/**
+ * Backward of bilinear sampling: gradients wrt the input image and the
+ * grid coordinates. dx must be zeroed by the caller.
+ */
+void gridSampleBackward(gpu::Device &dev, int n, int c, int h, int w,
+                        int oh, int ow, const float *x, const float *grid,
+                        const float *dy, float *dx, float *dgrid);
+
+/** dtheta [N,2,3] from dgrid [N,H,W,2] (reduce). */
+void affineGridBackward(gpu::Device &dev, int n, int h, int w,
+                        const float *dgrid, float *dtheta);
+
+} // namespace cactus::dnn
+
+#endif // CACTUS_DNN_SPATIAL_HH

@@ -1,0 +1,70 @@
+#include "dnn/tensor.hh"
+
+#include "common/logging.hh"
+
+namespace cactus::dnn {
+
+namespace {
+
+int
+shapeSize(const std::vector<int> &shape)
+{
+    int n = 1;
+    for (int d : shape) {
+        if (d <= 0)
+            fatal("tensor dimension must be positive, got ", d);
+        n *= d;
+    }
+    return n;
+}
+
+} // namespace
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), values_(shapeSize(shape_), 0.f)
+{
+}
+
+Tensor
+Tensor::randn(std::vector<int> shape, Rng &rng, float stddev)
+{
+    Tensor t(std::move(shape));
+    for (auto &v : t.values_)
+        v = stddev * static_cast<float>(rng.normal());
+    return t;
+}
+
+Tensor
+Tensor::zeros(std::vector<int> shape)
+{
+    return Tensor(std::move(shape));
+}
+
+Tensor
+Tensor::full(std::vector<int> shape, float value)
+{
+    Tensor t(std::move(shape));
+    for (auto &v : t.values_)
+        v = value;
+    return t;
+}
+
+Tensor &
+Tensor::reshape(std::vector<int> new_shape)
+{
+    if (shapeSize(new_shape) != size())
+        panic("reshape changes element count");
+    shape_ = std::move(new_shape);
+    return *this;
+}
+
+double
+Tensor::sum() const
+{
+    double acc = 0;
+    for (float v : values_)
+        acc += v;
+    return acc;
+}
+
+} // namespace cactus::dnn

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A minimal dense float tensor for the deep-learning framework:
+ * contiguous row-major storage with a shape vector, plus the
+ * initializers training needs. All math happens in GPU kernels
+ * (ops.hh / conv.hh); the tensor itself is plain storage.
+ */
+
+#ifndef CACTUS_DNN_TENSOR_HH
+#define CACTUS_DNN_TENSOR_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace cactus::dnn {
+
+/** Dense row-major float tensor. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Zero-initialized tensor of the given shape. */
+    explicit Tensor(std::vector<int> shape);
+
+    /** Gaussian-initialized tensor (mean 0). */
+    static Tensor randn(std::vector<int> shape, Rng &rng,
+                        float stddev = 0.02f);
+
+    /** All-zeros / all-constant tensors. */
+    static Tensor zeros(std::vector<int> shape);
+    static Tensor full(std::vector<int> shape, float value);
+
+    int size() const { return static_cast<int>(values_.size()); }
+    int ndim() const { return static_cast<int>(shape_.size()); }
+    int dim(int i) const { return shape_[i]; }
+    const std::vector<int> &shape() const { return shape_; }
+
+    float *data() { return values_.data(); }
+    const float *data() const { return values_.data(); }
+
+    float &operator[](int i) { return values_[i]; }
+    float operator[](int i) const { return values_[i]; }
+
+    /** Reinterpret the shape; element count must match. */
+    Tensor &reshape(std::vector<int> new_shape);
+
+    /** True if shapes are identical. */
+    bool sameShape(const Tensor &other) const
+    {
+        return shape_ == other.shape_;
+    }
+
+    /** Sum of all elements (host-side, double accumulation). */
+    double sum() const;
+
+  private:
+    std::vector<int> shape_;
+    std::vector<float> values_;
+};
+
+} // namespace cactus::dnn
+
+#endif // CACTUS_DNN_TENSOR_HH

@@ -1,0 +1,125 @@
+#include "gpu/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace cactus::gpu {
+
+namespace {
+
+int
+log2Exact(int v)
+{
+    if (v <= 0 || (v & (v - 1)) != 0)
+        panic("cache geometry must be a power of two, got ", v);
+    return std::countr_zero(static_cast<unsigned>(v));
+}
+
+} // namespace
+
+SectorCache::SectorCache(int size_bytes, int assoc, int line_bytes,
+                         int sector_bytes)
+    : assoc_(assoc), lineBytes_(line_bytes), sectorBytes_(sector_bytes),
+      sectorsPerLine_(line_bytes / sector_bytes),
+      numSets_(size_bytes / (line_bytes * assoc)),
+      lineShift_(log2Exact(line_bytes))
+{
+    if (assoc <= 0 || size_bytes < line_bytes * assoc)
+        fatal("invalid cache geometry: size=", size_bytes,
+              " assoc=", assoc, " line=", line_bytes);
+    if (line_bytes % sector_bytes != 0)
+        fatal("line size must be a multiple of the sector size");
+    if (numSets_ == 0)
+        numSets_ = 1;
+    // Round set count down to a power of two for cheap indexing.
+    while ((numSets_ & (numSets_ - 1)) != 0)
+        numSets_ &= numSets_ - 1;
+    ways_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+}
+
+CacheOutcome
+SectorCache::access(std::uint64_t addr, bool is_write)
+{
+    ++stats_.accesses;
+    ++stamp_;
+
+    const std::uint64_t line_addr = addr >> lineShift_;
+    const int sector =
+        static_cast<int>((addr >> log2Exact(sectorBytes_)) &
+                         (sectorsPerLine_ - 1));
+    const std::uint32_t sector_bit = 1u << sector;
+    const int set = static_cast<int>(line_addr & (numSets_ - 1));
+    Way *base = &ways_[static_cast<std::size_t>(set) * assoc_];
+
+    // Lookup.
+    for (int w = 0; w < assoc_; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == line_addr) {
+            way.lruStamp = stamp_;
+            if (is_write)
+                way.dirty = true;
+            if (way.sectorValid & sector_bit) {
+                ++stats_.hits;
+                return CacheOutcome::Hit;
+            }
+            way.sectorValid |= sector_bit;
+            ++stats_.sectorMisses;
+            return CacheOutcome::SectorMiss;
+        }
+    }
+
+    // Miss: evict the LRU way.
+    Way *victim = base;
+    for (int w = 1; w < assoc_; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lruStamp < victim->lruStamp)
+            victim = &base[w];
+    }
+    if (victim->valid && victim->dirty) {
+        stats_.writebackSectors += static_cast<std::uint64_t>(
+            std::popcount(victim->sectorValid));
+    }
+    victim->valid = true;
+    victim->tag = line_addr;
+    victim->sectorValid = sector_bit;
+    victim->dirty = is_write;
+    victim->lruStamp = stamp_;
+    ++stats_.lineMisses;
+    return CacheOutcome::LineMiss;
+}
+
+void
+SectorCache::flush()
+{
+    for (auto &way : ways_) {
+        way.valid = false;
+        way.sectorValid = 0;
+        way.dirty = false;
+    }
+}
+
+std::uint64_t
+SectorCache::drainDirty()
+{
+    std::uint64_t drained = 0;
+    for (auto &way : ways_) {
+        if (way.valid && way.dirty) {
+            drained += static_cast<std::uint64_t>(
+                std::popcount(way.sectorValid));
+            way.dirty = false;
+        }
+    }
+    return drained;
+}
+
+void
+SectorCache::resetStats()
+{
+    stats_ = CacheStats{};
+}
+
+} // namespace cactus::gpu

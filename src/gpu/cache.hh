@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Sectored set-associative cache model. Modern Nvidia caches track 128-byte
+ * lines split into four 32-byte sectors: a tag is allocated per line but
+ * data is filled per sector, so a hit requires both the line tag and the
+ * referenced sector to be present. The model is trace-driven and LRU.
+ */
+
+#ifndef CACTUS_GPU_CACHE_HH
+#define CACTUS_GPU_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cactus::gpu {
+
+/** Outcome of a single sector access. */
+enum class CacheOutcome
+{
+    Hit,        ///< Line and sector present.
+    SectorMiss, ///< Line present, sector needs a fill from below.
+    LineMiss    ///< Line absent; allocate and fill the sector.
+};
+
+/** Aggregate hit/miss statistics for a cache instance. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t sectorMisses = 0;
+    std::uint64_t lineMisses = 0;
+    /** Dirty sectors evicted: write-back traffic to the next level. */
+    std::uint64_t writebackSectors = 0;
+
+    std::uint64_t
+    misses() const
+    {
+        return sectorMisses + lineMisses;
+    }
+
+    double
+    hitRate() const
+    {
+        return accesses ? static_cast<double>(hits) / accesses : 0.0;
+    }
+};
+
+/**
+ * A sectored, set-associative, write-allocate cache with LRU replacement.
+ * Addresses are byte addresses; the cache operates on sector granularity.
+ */
+class SectorCache
+{
+  public:
+    /**
+     * @param size_bytes Total capacity in bytes.
+     * @param assoc Ways per set.
+     * @param line_bytes Line (tag) granularity in bytes; power of two.
+     * @param sector_bytes Fill granularity in bytes; divides line_bytes.
+     */
+    SectorCache(int size_bytes, int assoc, int line_bytes, int sector_bytes);
+
+    /**
+     * Access one sector-aligned address.
+     * @param addr Byte address (any alignment; truncated to sector).
+     * @param is_write True for stores (write-allocate, mark dirty).
+     * @return The access outcome.
+     */
+    CacheOutcome access(std::uint64_t addr, bool is_write);
+
+    /** Invalidate all contents; statistics are preserved. */
+    void flush();
+
+    /**
+     * Count resident dirty sectors and clear their dirty bits (data
+     * stays valid). Models draining pending write-backs at a kernel
+     * boundary without double-counting them on later evictions.
+     */
+    std::uint64_t drainDirty();
+
+    /** Reset statistics; contents are preserved. */
+    void resetStats();
+
+    const CacheStats &stats() const { return stats_; }
+    int numSets() const { return numSets_; }
+    int assoc() const { return assoc_; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        std::uint32_t sectorValid = 0; ///< Bit per sector.
+        std::uint64_t lruStamp = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    int assoc_;
+    int lineBytes_;
+    int sectorBytes_;
+    int sectorsPerLine_;
+    int numSets_;
+    int lineShift_;
+    std::uint64_t stamp_ = 0;
+    std::vector<Way> ways_; ///< numSets_ * assoc_, row-major by set.
+    CacheStats stats_;
+};
+
+} // namespace cactus::gpu
+
+#endif // CACTUS_GPU_CACHE_HH

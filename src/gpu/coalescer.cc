@@ -1,0 +1,59 @@
+#include "gpu/coalescer.hh"
+
+#include <algorithm>
+
+namespace cactus::gpu {
+
+std::vector<CoalescedAccess>
+Coalescer::coalesce(
+    const std::vector<std::vector<MemAccess>> &lane_accesses) const
+{
+    // Align the k-th access *of each kind* across lanes: under
+    // divergence, lanes may interleave loads, streaming loads and
+    // stores differently, and mixing kinds in one warp instruction
+    // would mis-route sectors in the memory hierarchy.
+    constexpr int kNumKinds = 4;
+    std::vector<std::vector<const MemAccess *>> per_kind[kNumKinds];
+    for (auto &v : per_kind)
+        v.resize(lane_accesses.size());
+    for (std::size_t lane = 0; lane < lane_accesses.size(); ++lane)
+        for (const MemAccess &acc : lane_accesses[lane])
+            per_kind[static_cast<int>(acc.kind)][lane].push_back(&acc);
+
+    std::vector<CoalescedAccess> result;
+    std::vector<std::uint64_t> sectors;
+    for (int kind = 0; kind < kNumKinds; ++kind) {
+        const auto &lanes = per_kind[kind];
+        std::size_t max_len = 0;
+        for (const auto &lane : lanes)
+            max_len = std::max(max_len, lane.size());
+        for (std::size_t k = 0; k < max_len; ++k) {
+            sectors.clear();
+            for (const auto &lane : lanes) {
+                if (k >= lane.size())
+                    continue;
+                const MemAccess &acc = *lane[k];
+                // A lane reference may straddle sector boundaries.
+                const std::uint64_t first = acc.addr / sectorBytes_;
+                const std::uint64_t last =
+                    (acc.addr + (acc.size ? acc.size - 1 : 0)) /
+                    sectorBytes_;
+                for (std::uint64_t s = first; s <= last; ++s)
+                    sectors.push_back(s * sectorBytes_);
+            }
+            if (sectors.empty())
+                continue;
+            std::sort(sectors.begin(), sectors.end());
+            sectors.erase(
+                std::unique(sectors.begin(), sectors.end()),
+                sectors.end());
+            CoalescedAccess ca;
+            ca.sectors = sectors;
+            ca.kind = static_cast<AccessKind>(kind);
+            result.push_back(std::move(ca));
+        }
+    }
+    return result;
+}
+
+} // namespace cactus::gpu

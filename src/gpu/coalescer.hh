@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Warp-level memory coalescer. The 32 lanes of a warp issue one logical
+ * memory instruction together; the coalescer merges the per-lane byte
+ * ranges into the minimal set of 32-byte sectors, which is exactly the
+ * unit the paper's instruction-roofline model counts ("warp instructions
+ * per DRAM transaction", 32-byte transactions).
+ */
+
+#ifndef CACTUS_GPU_COALESCER_HH
+#define CACTUS_GPU_COALESCER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/types.hh"
+
+namespace cactus::gpu {
+
+/** One coalesced warp-level memory instruction. */
+struct CoalescedAccess
+{
+    /** Distinct sector-aligned addresses touched by the warp. */
+    std::vector<std::uint64_t> sectors;
+    AccessKind kind = AccessKind::Load;
+};
+
+/**
+ * Groups the sampled per-lane accesses of one warp into warp-level memory
+ * instructions and coalesces each into sectors.
+ *
+ * Lanes record an ordered access list; the k-th access of every lane is
+ * assumed to belong to the same warp-level instruction (exact under
+ * converged control flow, a standard approximation under divergence).
+ */
+class Coalescer
+{
+  public:
+    explicit Coalescer(int sector_bytes) : sectorBytes_(sector_bytes) {}
+
+    /**
+     * Coalesce one warp's sampled accesses.
+     * @param lane_accesses Per-lane ordered access lists (up to 32 lanes).
+     * @return One CoalescedAccess per warp-level memory instruction.
+     */
+    std::vector<CoalescedAccess>
+    coalesce(const std::vector<std::vector<MemAccess>> &lane_accesses) const;
+
+  private:
+    int sectorBytes_;
+};
+
+} // namespace cactus::gpu
+
+#endif // CACTUS_GPU_COALESCER_HH

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Device configuration for the GPU-compute simulator. The defaults model
+ * the Nvidia RTX 3080 used in the Cactus paper (Table II): 68 SMs with
+ * 128 CUDA cores each at 1.9 GHz, 5 MB L2, 10 GB GDDR6X at 760.3 GB/s
+ * with 32-byte transactions. The derived peak rates reproduce the paper's
+ * roofline geometry exactly: 516.8 peak GIPS, 23.75 peak GTXN/s, and an
+ * elbow at 21.76 warp instructions per DRAM transaction.
+ */
+
+#ifndef CACTUS_GPU_CONFIG_HH
+#define CACTUS_GPU_CONFIG_HH
+
+#include <algorithm>
+#include <string>
+
+namespace cactus::gpu {
+
+/** Architectural parameters of the simulated device. */
+struct DeviceConfig
+{
+    std::string name = "Simulated RTX 3080 (Ampere-class)";
+
+    // --- Compute organization -------------------------------------------
+    int numSms = 68;
+    int warpSchedulersPerSm = 4;
+    int warpSize = 32;
+    double clockGhz = 1.9;
+
+    // --- Occupancy limits (Ampere GA102) --------------------------------
+    int maxWarpsPerSm = 48;
+    int maxThreadsPerSm = 1536;
+    int maxBlocksPerSm = 16;
+    int regsPerSm = 65536;
+    int sharedBytesPerSm = 100 * 1024;
+
+    // --- Per-class issue throughput, warp instructions per SM per cycle --
+    double fp32PerCycle = 4.0;   ///< 128 FP32 lanes = 4 warps/cycle.
+    double intPerCycle = 2.0;    ///< 64 INT32 lanes on GA102.
+    double sfuPerCycle = 0.5;    ///< 16 SFUs.
+    double ldstPerCycle = 4.0;   ///< LSU ports.
+    double sharedPerCycle = 4.0;
+    double branchPerCycle = 4.0;
+
+    // --- Memory hierarchy ------------------------------------------------
+    int l1SizeBytes = 128 * 1024;  ///< Unified L1/shared per SM.
+    int l1Assoc = 4;
+    int l2SizeBytes = 5 * 1024 * 1024;
+    int l2Assoc = 16;
+    int lineBytes = 128;
+    int sectorBytes = 32;          ///< DRAM transaction granularity.
+
+    double l1LatencyCycles = 32.0;
+    double l2LatencyCycles = 210.0;
+    double dramLatencyCycles = 440.0;
+
+    double dramBandwidthGBps = 760.3;
+    /** L2-to-SM aggregate bandwidth, bytes per core cycle. */
+    double l2BytesPerCycle = 1600.0;
+
+    // --- Launch / wave overheads ----------------------------------------
+    double launchOverheadCycles = 2200.0; ///< Driver+front-end per launch.
+
+    // --- Sampling --------------------------------------------------------
+    /** Blocks whose warps record full address traces are sampled with a
+     *  stride so that at most this many warps are traced per launch. */
+    int maxSampledWarps = 4096;
+
+    // --- Derived rates ----------------------------------------------------
+
+    /** Peak warp-instruction rate in Giga instructions per second. */
+    double
+    peakGips() const
+    {
+        return numSms * warpSchedulersPerSm * clockGhz;
+    }
+
+    /** Peak DRAM transaction rate in Giga transactions per second. */
+    double
+    peakGtxnPerSec() const
+    {
+        return dramBandwidthGBps / sectorBytes;
+    }
+
+    /** Roofline elbow in warp instructions per DRAM transaction. */
+    double
+    elbowIntensity() const
+    {
+        return peakGips() / peakGtxnPerSec();
+    }
+
+    /** DRAM bandwidth expressed in bytes per core clock cycle. */
+    double
+    dramBytesPerCycle() const
+    {
+        return dramBandwidthGBps / clockGhz;
+    }
+
+    /** Core clock in Hz. */
+    double
+    clockHz() const
+    {
+        return clockGhz * 1e9;
+    }
+
+    /**
+     * The configuration used by the reproduction experiments. The
+     * workloads run at inputs scaled down by roughly two to three
+     * orders of magnitude from the paper's (see DESIGN.md), so the
+     * cache capacities are scaled down with them to keep the
+     * working-set-to-cache ratios — and hence the memory- versus
+     * compute-intensity of each kernel — representative. The compute
+     * and bandwidth roofs are untouched: the roofline geometry
+     * (516.8 GIPS, 23.76 GTXN/s, elbow 21.76) is identical to the
+     * full-size device.
+     */
+    static DeviceConfig
+    scaledExperiment()
+    {
+        DeviceConfig cfg;
+        cfg.name = "Simulated RTX 3080 (scaled caches for reduced-"
+                   "scale inputs)";
+        cfg.l1SizeBytes = 16 * 1024;
+        cfg.l2SizeBytes = 256 * 1024;
+        return cfg;
+    }
+
+    /** Copy of this config with L1/L2 capacities divided by
+     *  @p factor (floored at one line per way). Used to evaluate other
+     *  GPU platforms at the same reduced input scale. */
+    DeviceConfig
+    withScaledCaches(int factor) const
+    {
+        DeviceConfig cfg = *this;
+        cfg.l1SizeBytes =
+            std::max(cfg.l1SizeBytes / factor, cfg.l1Assoc * 128);
+        cfg.l2SizeBytes =
+            std::max(cfg.l2SizeBytes / factor, cfg.l2Assoc * 128);
+        return cfg;
+    }
+
+    /**
+     * Turing-generation preset (RTX 2080 Ti): same SM count as the
+     * RTX 3080 but lower clock, narrower FP32 (64 lanes/SM), and
+     * GDDR6 bandwidth. Peak 420.2 GIPS, 19.25 GTXN/s.
+     */
+    static DeviceConfig
+    rtx2080Ti()
+    {
+        DeviceConfig cfg;
+        cfg.name = "Simulated RTX 2080 Ti (Turing-class)";
+        cfg.numSms = 68;
+        cfg.clockGhz = 1.545;
+        cfg.fp32PerCycle = 2.0; // 64 FP32 lanes per Turing SM.
+        cfg.intPerCycle = 2.0;
+        cfg.l2SizeBytes = 5632 * 1024;
+        cfg.dramBandwidthGBps = 616.0;
+        cfg.maxWarpsPerSm = 32;
+        cfg.maxThreadsPerSm = 1024;
+        return cfg;
+    }
+
+    /**
+     * Data-center preset (A100-SXM4-40GB): more SMs at a lower clock
+     * with HBM2 bandwidth and a large L2. Peak 609.1 GIPS,
+     * 48.6 GTXN/s — the roofline elbow moves to 12.5, so workloads
+     * that are memory-bound on the RTX 3080 may become compute-bound.
+     */
+    static DeviceConfig
+    a100()
+    {
+        DeviceConfig cfg;
+        cfg.name = "Simulated A100 (Ampere data-center)";
+        cfg.numSms = 108;
+        cfg.clockGhz = 1.41;
+        cfg.fp32PerCycle = 2.0; // 64 FP32 + 64 INT lanes on GA100.
+        cfg.l1SizeBytes = 192 * 1024;
+        cfg.l2SizeBytes = 40 * 1024 * 1024;
+        cfg.dramBandwidthGBps = 1555.0;
+        cfg.regsPerSm = 65536;
+        cfg.maxWarpsPerSm = 64;
+        cfg.maxThreadsPerSm = 2048;
+        return cfg;
+    }
+};
+
+} // namespace cactus::gpu
+
+#endif // CACTUS_GPU_CONFIG_HH

@@ -1,0 +1,200 @@
+#include "gpu/device.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cactus::gpu {
+
+Device::Device(DeviceConfig cfg)
+    : config_(std::move(cfg)),
+      coalescer_(config_.sectorBytes),
+      l1_(config_.l1SizeBytes, config_.l1Assoc, config_.lineBytes,
+          config_.sectorBytes),
+      l2_(config_.l2SizeBytes, config_.l2Assoc, config_.lineBytes,
+          config_.sectorBytes),
+      streamBuffer_(8 * 1024, 4, config_.lineBytes,
+                    config_.sectorBytes),
+      laneCounters_(config_.warpSize),
+      laneTraces_(config_.warpSize)
+{
+}
+
+void
+Device::clearHistory()
+{
+    launches_.clear();
+    elapsedSeconds_ = 0.0;
+}
+
+Device::LaunchState
+Device::beginLaunch(const KernelDesc &desc, Dim3 grid, Dim3 block)
+{
+    if (grid.count() == 0)
+        fatal("kernel '", desc.name, "' launched with an empty grid");
+
+    LaunchState state;
+    state.desc = desc;
+    state.grid = grid;
+    state.block = block;
+    state.warpsPerBlock = static_cast<int>(
+        (block.count() + config_.warpSize - 1) / config_.warpSize);
+    state.occ = computeOccupancy(config_, desc, block);
+
+    const std::uint64_t total_warps = grid.count() * state.warpsPerBlock;
+    const std::uint64_t max_sampled =
+        std::max<std::uint64_t>(1, config_.maxSampledWarps);
+    if (total_warps <= max_sampled) {
+        state.blockSampleStride = 1;
+    } else {
+        const std::uint64_t sampled_blocks = std::max<std::uint64_t>(
+            1, max_sampled / state.warpsPerBlock);
+        state.blockSampleStride =
+            std::max<std::uint64_t>(1, grid.count() / sampled_blocks);
+    }
+    state.sampledBlockBudget = static_cast<std::int64_t>(
+        std::max<std::uint64_t>(1, max_sampled / std::max(
+            1, state.warpsPerBlock)));
+
+    // L1 contents do not survive kernel boundaries; L2 does.
+    l1_.flush();
+    l1_.resetStats();
+    l2_.resetStats();
+    return state;
+}
+
+void
+Device::prepareWarp(bool sampled)
+{
+    for (auto &c : laneCounters_)
+        c = LaneCounters{};
+    if (sampled) {
+        for (auto &t : laneTraces_)
+            t.clear();
+    }
+}
+
+void
+Device::bindLane(ThreadCtx &ctx, int lane, bool sampled)
+{
+    ctx.lane_ = lane;
+    ctx.counters_ = &laneCounters_[lane];
+    ctx.trace_ = sampled ? &laneTraces_[lane] : nullptr;
+}
+
+void
+Device::finishWarp(LaunchState &state, int lanes, bool sampled)
+{
+    WarpCounts wc;
+    for (int cls = 0; cls < kNumOpClasses; ++cls) {
+        std::uint64_t max_count = 0;
+        for (int lane = 0; lane < lanes; ++lane)
+            max_count = std::max(max_count,
+                                 laneCounters_[lane].counts[cls]);
+        wc.warpInsts[cls] = max_count;
+    }
+    for (int lane = 0; lane < lanes; ++lane)
+        wc.threadInsts += laneCounters_[lane].total();
+    wc.activeLanes = static_cast<std::uint32_t>(lanes);
+
+    state.totals.accumulate(wc);
+    ++state.totalWarps;
+
+    if (!sampled)
+        return;
+    ++state.sampledWarps;
+
+    // Replay this warp's coalesced accesses through the hierarchy.
+    const auto warp_insts = coalescer_.coalesce(laneTraces_);
+    state.sampledMemInsts += warp_insts.size();
+    for (const auto &wi : warp_insts) {
+        // Streaming (evict-first) loads run through a small dedicated
+        // buffer: within-line spatial reuse is captured, but the
+        // stream never displaces reused data from L1/L2.
+        if (wi.kind == AccessKind::StreamLoad) {
+            for (std::uint64_t sector : wi.sectors) {
+                if (streamBuffer_.access(sector, false) !=
+                    CacheOutcome::Hit)
+                    ++state.sampledDramRead;
+            }
+            continue;
+        }
+        const bool is_write = wi.kind == AccessKind::Store;
+        for (std::uint64_t sector : wi.sectors) {
+            ++state.sampledL1Accesses;
+            const CacheOutcome l1_out = l1_.access(sector, is_write);
+            if (l1_out == CacheOutcome::Hit)
+                continue;
+            ++state.sampledL1Misses;
+            ++state.sampledL2Accesses;
+            const CacheOutcome l2_out = l2_.access(sector, is_write);
+            if (l2_out == CacheOutcome::Hit)
+                continue;
+            ++state.sampledL2Misses;
+            // Write-allocate-no-fetch: a missing store dirties the
+            // sector and reaches DRAM later as a write-back (counted
+            // via the L2 eviction/drain statistics).
+            if (!is_write)
+                ++state.sampledDramRead;
+        }
+    }
+}
+
+const LaunchStats &
+Device::endLaunch(LaunchState &state)
+{
+    LaunchStats stats;
+    stats.desc = state.desc;
+    stats.grid = state.grid;
+    stats.block = state.block;
+    stats.counts = state.totals;
+    stats.totalWarps = state.totalWarps;
+    stats.sampledWarps = state.sampledWarps;
+    stats.occupancyFraction = state.occ.occupancy;
+    stats.residentWarpsPerSm = state.occ.warpsPerSm;
+
+    // Extrapolate sampled traffic to the whole launch. The scale factor
+    // is the ratio of total to sampled warp-level memory instructions.
+    const std::uint64_t total_mem_insts = state.totals.memInsts();
+    double scale = 1.0;
+    if (state.sampledMemInsts > 0) {
+        scale = static_cast<double>(total_mem_insts) /
+                static_cast<double>(state.sampledMemInsts);
+    }
+    auto scaled = [scale](std::uint64_t v) {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(v) * scale + 0.5);
+    };
+    stats.l1Accesses = scaled(state.sampledL1Accesses);
+    stats.l1Misses = scaled(state.sampledL1Misses);
+    stats.l2Accesses = scaled(state.sampledL2Accesses);
+    stats.l2Misses = scaled(state.sampledL2Misses);
+    stats.dramReadSectors = scaled(state.sampledDramRead);
+    // DRAM writes are the L2 write-backs: dirty evictions during the
+    // launch plus the dirty sectors drained at the kernel boundary.
+    stats.dramWriteSectors = scaled(l2_.stats().writebackSectors +
+                                    l2_.drainDirty());
+
+    TimingInputs in;
+    in.counts = state.totals;
+    in.numBlocks = state.grid.count();
+    in.warpsPerBlock = state.warpsPerBlock;
+    in.residentWarpsPerSm = state.occ.warpsPerSm;
+    in.residentBlocksPerSm = state.occ.blocksPerSm;
+    in.l1Accesses = stats.l1Accesses;
+    in.l1Misses = stats.l1Misses;
+    in.l2Accesses = stats.l2Accesses;
+    in.l2Misses = stats.l2Misses;
+    in.dramReadSectors = stats.dramReadSectors;
+    in.dramWriteSectors = stats.dramWriteSectors;
+
+    const TimingOutputs out = evaluateTiming(config_, in);
+    stats.timing = out.timing;
+    stats.metrics = out.metrics;
+
+    elapsedSeconds_ += stats.timing.seconds;
+    launches_.push_back(std::move(stats));
+    return launches_.back();
+}
+
+} // namespace cactus::gpu

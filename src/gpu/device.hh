@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The simulated GPU device. Kernel bodies are ordinary C++ callables
+ * invoked once per thread with a ThreadCtx; the device executes every
+ * thread functionally, aggregates warp-level instruction counts, replays
+ * sampled warps' memory traces through the coalescer and the L1/L2/DRAM
+ * hierarchy, and evaluates the interval timing model to produce a
+ * LaunchStats record per launch.
+ *
+ * The L2 cache persists across launches within a device (modeling
+ * producer-consumer reuse between dependent kernels); the L1 is flushed
+ * at each launch boundary.
+ */
+
+#ifndef CACTUS_GPU_DEVICE_HH
+#define CACTUS_GPU_DEVICE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "gpu/cache.hh"
+#include "gpu/coalescer.hh"
+#include "gpu/config.hh"
+#include "gpu/metrics.hh"
+#include "gpu/occupancy.hh"
+#include "gpu/thread_ctx.hh"
+#include "gpu/timing.hh"
+#include "gpu/types.hh"
+
+namespace cactus::gpu {
+
+/** A simulated GPU-compute device. */
+class Device
+{
+  public:
+    explicit Device(DeviceConfig cfg = DeviceConfig{});
+
+    /**
+     * Launch a kernel: invoke @p body once per thread.
+     * @param desc Kernel metadata (name, registers, shared memory).
+     * @param grid Grid dimensions in blocks.
+     * @param block Block dimensions in threads.
+     * @param body Callable with signature void(ThreadCtx &).
+     * @return The recorded launch statistics.
+     */
+    template <typename F>
+    const LaunchStats &
+    launch(const KernelDesc &desc, Dim3 grid, Dim3 block, F &&body)
+    {
+        LaunchState state = beginLaunch(desc, grid, block);
+
+        const std::uint64_t num_blocks = grid.count();
+        const int threads_per_block = static_cast<int>(block.count());
+        const int warps_per_block = state.warpsPerBlock;
+
+        ThreadCtx ctx;
+        ctx.blockDim = block;
+        ctx.gridDim = grid;
+
+        for (std::uint64_t b = 0; b < num_blocks; ++b) {
+            ctx.blockIdx.x = static_cast<unsigned>(b % grid.x);
+            ctx.blockIdx.y = static_cast<unsigned>((b / grid.x) % grid.y);
+            ctx.blockIdx.z =
+                static_cast<unsigned>(b / (static_cast<std::uint64_t>(
+                    grid.x) * grid.y));
+            const bool sampled = (b % state.blockSampleStride) == 0 &&
+                                 state.sampledBlockBudget > 0;
+            if (sampled)
+                --state.sampledBlockBudget;
+            for (int w = 0; w < warps_per_block; ++w) {
+                prepareWarp(sampled);
+                const int lane_base = w * config_.warpSize;
+                const int lanes = std::min(config_.warpSize,
+                                           threads_per_block - lane_base);
+                for (int lane = 0; lane < lanes; ++lane) {
+                    const int t = lane_base + lane;
+                    ctx.threadIdx.x = static_cast<unsigned>(t % block.x);
+                    ctx.threadIdx.y =
+                        static_cast<unsigned>((t / block.x) % block.y);
+                    ctx.threadIdx.z = static_cast<unsigned>(
+                        t / (static_cast<std::uint64_t>(block.x) *
+                             block.y));
+                    bindLane(ctx, lane, sampled);
+                    body(ctx);
+                }
+                finishWarp(state, lanes, sampled);
+            }
+        }
+        return endLaunch(state);
+    }
+
+    /** Convenience 1-D launch over @p n threads with given block size. */
+    template <typename F>
+    const LaunchStats &
+    launchLinear(const KernelDesc &desc, std::uint64_t n, int block_size,
+                 F &&body)
+    {
+        const std::uint64_t blocks =
+            (n + block_size - 1) / std::max(1, block_size);
+        return launch(desc, Dim3(static_cast<unsigned>(blocks)),
+                      Dim3(static_cast<unsigned>(block_size)),
+                      [&](ThreadCtx &ctx) {
+                          if (ctx.globalId() < n)
+                              body(ctx);
+                      });
+    }
+
+    const DeviceConfig &config() const { return config_; }
+
+    /** All launches recorded since construction or clearHistory(). */
+    const std::vector<LaunchStats> &launches() const { return launches_; }
+
+    /** Total simulated GPU seconds across recorded launches. */
+    double elapsedSeconds() const { return elapsedSeconds_; }
+
+    /** Forget recorded launches (e.g., after a warm-up phase). */
+    void clearHistory();
+
+  private:
+    /** Per-launch bookkeeping shared between begin/finish/end. */
+    struct LaunchState
+    {
+        KernelDesc desc;
+        Dim3 grid;
+        Dim3 block;
+        int warpsPerBlock = 0;
+        std::uint64_t blockSampleStride = 1;
+        std::int64_t sampledBlockBudget = 0;
+        Occupancy occ;
+
+        WarpCounts totals;
+        std::uint64_t totalWarps = 0;
+        std::uint64_t sampledWarps = 0;
+
+        // Sampled-warp traffic, in sectors.
+        std::uint64_t sampledMemInsts = 0; ///< Coalesced warp-level insts.
+        std::uint64_t sampledL1Accesses = 0;
+        std::uint64_t sampledL1Misses = 0;
+        std::uint64_t sampledL2Accesses = 0;
+        std::uint64_t sampledL2Misses = 0;
+        std::uint64_t sampledDramRead = 0;
+        std::uint64_t sampledDramWrite = 0;
+    };
+
+    LaunchState beginLaunch(const KernelDesc &desc, Dim3 grid, Dim3 block);
+    void prepareWarp(bool sampled);
+    void bindLane(ThreadCtx &ctx, int lane, bool sampled);
+    void finishWarp(LaunchState &state, int lanes, bool sampled);
+    const LaunchStats &endLaunch(LaunchState &state);
+
+    DeviceConfig config_;
+    Coalescer coalescer_;
+    SectorCache l1_;
+    SectorCache l2_;
+    /** Small evict-first buffer for streaming (__ldcs) loads: captures
+     *  their within-line spatial reuse without polluting L1/L2. */
+    SectorCache streamBuffer_;
+
+    // Reused per-warp scratch.
+    std::vector<LaneCounters> laneCounters_;
+    std::vector<std::vector<MemAccess>> laneTraces_;
+
+    std::vector<LaunchStats> launches_;
+    double elapsedSeconds_ = 0.0;
+};
+
+} // namespace cactus::gpu
+
+#endif // CACTUS_GPU_DEVICE_HH

@@ -1,0 +1,47 @@
+#include "gpu/metrics.hh"
+
+#include "common/logging.hh"
+
+namespace cactus::gpu {
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::FP32: return "fp32";
+      case OpClass::INT: return "int";
+      case OpClass::SFU: return "sfu";
+      case OpClass::LOAD: return "load";
+      case OpClass::STORE: return "store";
+      case OpClass::SHARED: return "shared";
+      case OpClass::ATOMIC: return "atomic";
+      case OpClass::BRANCH: return "branch";
+      case OpClass::SYNC: return "sync";
+      default: panic("invalid op class");
+    }
+}
+
+const char *
+KernelMetrics::columnName(int i)
+{
+    static const char *names[kNumColumns] = {
+        "warp_occupancy", "sm_efficiency", "l1_hit_rate", "l2_hit_rate",
+        "dram_read_bps", "ldst_utilization", "sp_utilization",
+        "frac_branch", "frac_ldst", "exec_stall", "pipe_stall",
+        "sync_stall", "mem_stall", "gips", "inst_intensity",
+    };
+    if (i < 0 || i >= kNumColumns)
+        panic("metric column index ", i, " out of range");
+    return names[i];
+}
+
+std::vector<double>
+KernelMetrics::toVector() const
+{
+    return {warpOccupancy, smEfficiency, l1HitRate, l2HitRate, dramReadBps,
+            ldstUtilization, spUtilization, fracBranch, fracLdst,
+            execStall, pipeStall, syncStall, memStall, gips,
+            instIntensity};
+}
+
+} // namespace cactus::gpu

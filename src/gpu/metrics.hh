@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Per-launch performance metrics. KernelMetrics carries exactly the
+ * profiler metrics of the paper's Table IV plus the two roofline
+ * coordinates (GIPS and instruction intensity).
+ */
+
+#ifndef CACTUS_GPU_METRICS_HH
+#define CACTUS_GPU_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/types.hh"
+
+namespace cactus::gpu {
+
+/** Timing-model decomposition of one kernel launch. */
+struct KernelTiming
+{
+    double pureIssueCycles = 0;  ///< W_sm / schedulers, no constraints.
+    double issueCycles = 0;      ///< Pipe-constrained issue time.
+    double dramCycles = 0;       ///< DRAM-bandwidth-bound time.
+    double l2Cycles = 0;         ///< L2-bandwidth-bound time.
+    double latencyCycles = 0;    ///< Latency-exposure-bound time.
+    double execCycles = 0;       ///< max of the above.
+    double totalCycles = 0;      ///< execCycles + launch overhead.
+    double seconds = 0;
+};
+
+/** The Table IV metric vector, plus the roofline coordinates. */
+struct KernelMetrics
+{
+    double warpOccupancy = 0;    ///< Avg active warps across all SMs.
+    double smEfficiency = 0;     ///< Fraction of time an SM has work.
+    double l1HitRate = 0;
+    double l2HitRate = 0;
+    double dramReadBps = 0;      ///< DRAM read bytes per second.
+    double ldstUtilization = 0;  ///< LSU issue-capacity utilization.
+    double spUtilization = 0;    ///< FP32 pipe utilization.
+    double fracBranch = 0;       ///< Branch fraction of warp insts.
+    double fracLdst = 0;         ///< Memory fraction of warp insts.
+    double execStall = 0;        ///< Execution-dependency stall ratio.
+    double pipeStall = 0;        ///< Busy-pipeline stall ratio.
+    double syncStall = 0;        ///< Barrier stall ratio.
+    double memStall = 0;         ///< Memory stall ratio.
+
+    double gips = 0;             ///< Giga warp-instructions per second.
+    double instIntensity = 0;    ///< Warp insts per 32 B DRAM transaction.
+
+    /** Number of quantitative metric columns exported for analysis. */
+    static constexpr int kNumColumns = 15;
+    /** Column names, index-aligned with toVector(). */
+    static const char *columnName(int i);
+    /** Export as a flat vector for the statistics pipeline. */
+    std::vector<double> toVector() const;
+};
+
+/** Complete record of one kernel launch. */
+struct LaunchStats
+{
+    KernelDesc desc;
+    Dim3 grid;
+    Dim3 block;
+
+    WarpCounts counts;           ///< Aggregated over every warp.
+    std::uint64_t totalWarps = 0;
+    std::uint64_t sampledWarps = 0;
+
+    // Extrapolated sector traffic (32 B units).
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t dramReadSectors = 0;
+    std::uint64_t dramWriteSectors = 0;
+
+    double occupancyFraction = 0;
+    int residentWarpsPerSm = 0;
+
+    KernelTiming timing;
+    KernelMetrics metrics;
+};
+
+} // namespace cactus::gpu
+
+#endif // CACTUS_GPU_METRICS_HH

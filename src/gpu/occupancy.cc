@@ -1,0 +1,71 @@
+#include "gpu/occupancy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cactus::gpu {
+
+Occupancy
+computeOccupancy(const DeviceConfig &cfg, const KernelDesc &desc,
+                 const Dim3 &block)
+{
+    const std::uint64_t threads_per_block = block.count();
+    if (threads_per_block == 0)
+        fatal("kernel '", desc.name, "' launched with an empty block");
+    if (threads_per_block > static_cast<std::uint64_t>(cfg.maxThreadsPerSm))
+        fatal("kernel '", desc.name, "' block of ", threads_per_block,
+              " threads exceeds the per-SM thread limit");
+
+    const int warps_per_block = static_cast<int>(
+        (threads_per_block + cfg.warpSize - 1) / cfg.warpSize);
+
+    Occupancy occ;
+    occ.limiter = Occupancy::Limiter::Blocks;
+    int blocks = cfg.maxBlocksPerSm;
+
+    const int by_threads = static_cast<int>(
+        cfg.maxThreadsPerSm / threads_per_block);
+    if (by_threads < blocks) {
+        blocks = by_threads;
+        occ.limiter = Occupancy::Limiter::Threads;
+    }
+
+    const int by_warps = cfg.maxWarpsPerSm / warps_per_block;
+    if (by_warps < blocks) {
+        blocks = by_warps;
+        occ.limiter = Occupancy::Limiter::Warps;
+    }
+
+    // Registers are allocated per warp in practice; model per block.
+    const std::uint64_t regs_per_block =
+        static_cast<std::uint64_t>(desc.regsPerThread) * threads_per_block;
+    if (regs_per_block > 0) {
+        const int by_regs = static_cast<int>(cfg.regsPerSm / regs_per_block);
+        if (by_regs < blocks) {
+            blocks = by_regs;
+            occ.limiter = Occupancy::Limiter::Registers;
+        }
+    }
+
+    if (desc.sharedBytesPerBlock > 0) {
+        const int by_smem = cfg.sharedBytesPerSm / desc.sharedBytesPerBlock;
+        if (by_smem < blocks) {
+            blocks = by_smem;
+            occ.limiter = Occupancy::Limiter::SharedMem;
+        }
+    }
+
+    blocks = std::max(blocks, 0);
+    occ.blocksPerSm = blocks;
+    occ.warpsPerSm = blocks * warps_per_block;
+    occ.occupancy =
+        static_cast<double>(occ.warpsPerSm) / cfg.maxWarpsPerSm;
+    if (blocks == 0)
+        fatal("kernel '", desc.name,
+              "' cannot fit a single block on an SM (regs=",
+              desc.regsPerThread, ", smem=", desc.sharedBytesPerBlock, ")");
+    return occ;
+}
+
+} // namespace cactus::gpu

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * CUDA-style occupancy calculator: given a kernel's per-thread register
+ * count, per-block shared memory, and block size, computes how many
+ * blocks and warps can be resident on one SM.
+ */
+
+#ifndef CACTUS_GPU_OCCUPANCY_HH
+#define CACTUS_GPU_OCCUPANCY_HH
+
+#include "gpu/config.hh"
+#include "gpu/types.hh"
+
+namespace cactus::gpu {
+
+/** Result of the occupancy computation for one kernel launch. */
+struct Occupancy
+{
+    int blocksPerSm = 0;
+    int warpsPerSm = 0;
+    /** Fraction of the SM's warp slots occupied, in [0, 1]. */
+    double occupancy = 0.0;
+    /** The resource that bounds residency, for diagnostics. */
+    enum class Limiter { Blocks, Threads, Warps, Registers, SharedMem }
+        limiter = Limiter::Warps;
+};
+
+/**
+ * Compute theoretical occupancy for a launch.
+ * @param cfg Device configuration.
+ * @param desc Kernel resource usage.
+ * @param block Thread-block dimensions.
+ */
+Occupancy computeOccupancy(const DeviceConfig &cfg, const KernelDesc &desc,
+                           const Dim3 &block);
+
+} // namespace cactus::gpu
+
+#endif // CACTUS_GPU_OCCUPANCY_HH

@@ -1,0 +1,78 @@
+#include "gpu/profiler.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace cactus::gpu {
+
+std::vector<KernelProfile>
+aggregateLaunches(const std::vector<LaunchStats> &launches,
+                  const DeviceConfig &cfg)
+{
+    std::map<std::string, KernelProfile> by_name;
+    std::map<std::string, std::vector<double>> weighted;
+
+    for (const auto &launch : launches) {
+        KernelProfile &kp = by_name[launch.desc.name];
+        kp.name = launch.desc.name;
+        ++kp.invocations;
+        kp.seconds += launch.timing.seconds;
+        kp.warpInsts += launch.counts.total();
+        kp.dramReadSectors += launch.dramReadSectors;
+        kp.dramWriteSectors += launch.dramWriteSectors;
+        kp.l1Accesses += launch.l1Accesses;
+        kp.l1Misses += launch.l1Misses;
+        kp.l2Accesses += launch.l2Accesses;
+        kp.l2Misses += launch.l2Misses;
+
+        auto &acc = weighted[launch.desc.name];
+        const std::vector<double> row = launch.metrics.toVector();
+        if (acc.empty())
+            acc.assign(row.size(), 0.0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            acc[i] += row[i] * launch.timing.seconds;
+    }
+
+    std::vector<KernelProfile> result;
+    result.reserve(by_name.size());
+    for (auto &[name, kp] : by_name) {
+        const auto &acc = weighted[name];
+        const double w = kp.seconds > 0 ? kp.seconds : 1.0;
+        KernelMetrics &m = kp.metrics;
+        m.warpOccupancy = acc[0] / w;
+        m.smEfficiency = acc[1] / w;
+        m.l1HitRate = kp.l1Accesses
+            ? 1.0 - static_cast<double>(kp.l1Misses) / kp.l1Accesses
+            : acc[2] / w;
+        m.l2HitRate = kp.l2Accesses
+            ? 1.0 - static_cast<double>(kp.l2Misses) / kp.l2Accesses
+            : acc[3] / w;
+        m.dramReadBps = static_cast<double>(kp.dramReadSectors) *
+                        cfg.sectorBytes / w;
+        m.ldstUtilization = acc[5] / w;
+        m.spUtilization = acc[6] / w;
+        m.fracBranch = acc[7] / w;
+        m.fracLdst = acc[8] / w;
+        m.execStall = acc[9] / w;
+        m.pipeStall = acc[10] / w;
+        m.syncStall = acc[11] / w;
+        m.memStall = acc[12] / w;
+        m.gips = static_cast<double>(kp.warpInsts) / w / 1e9;
+        const std::uint64_t txn = kp.dramReadSectors + kp.dramWriteSectors;
+        m.instIntensity = txn
+            ? static_cast<double>(kp.warpInsts) / txn
+            : 1e6;
+        m.instIntensity = std::min(m.instIntensity, 1e6);
+        result.push_back(std::move(kp));
+    }
+
+    std::sort(result.begin(), result.end(),
+              [](const KernelProfile &a, const KernelProfile &b) {
+                  if (a.seconds != b.seconds)
+                      return a.seconds > b.seconds;
+                  return a.name < b.name;
+              });
+    return result;
+}
+
+} // namespace cactus::gpu

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Nsight-Compute-style profile aggregation: collapse the per-launch
+ * records of a device into one KernelProfile per kernel name, with raw
+ * quantities summed and ratio metrics time-weighted. The dominant-kernel
+ * definition of the paper (rank by r_i x t_i, i.e., total time across all
+ * invocations) falls out directly from the aggregation.
+ */
+
+#ifndef CACTUS_GPU_PROFILER_HH
+#define CACTUS_GPU_PROFILER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/config.hh"
+#include "gpu/metrics.hh"
+
+namespace cactus::gpu {
+
+/** Aggregated statistics for one kernel across all its invocations. */
+struct KernelProfile
+{
+    std::string name;
+    std::uint64_t invocations = 0;
+    double seconds = 0;              ///< Total GPU time (r_i x t_i).
+    std::uint64_t warpInsts = 0;     ///< Total dynamic warp instructions.
+    std::uint64_t dramReadSectors = 0;
+    std::uint64_t dramWriteSectors = 0;
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+
+    /** Time-weighted average metrics; gips/intIntensity recomputed from
+     *  the summed raw quantities. */
+    KernelMetrics metrics;
+
+    /** Warp instructions per invocation. */
+    double
+    warpInstsPerInvocation() const
+    {
+        return invocations ? static_cast<double>(warpInsts) / invocations
+                           : 0.0;
+    }
+};
+
+/**
+ * Aggregate a launch history into per-kernel profiles, sorted by
+ * descending total GPU time (the paper's dominance order).
+ */
+std::vector<KernelProfile>
+aggregateLaunches(const std::vector<LaunchStats> &launches,
+                  const DeviceConfig &cfg);
+
+} // namespace cactus::gpu
+
+#endif // CACTUS_GPU_PROFILER_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * ThreadCtx: the view one GPU thread (lane) has of the simulator. Kernel
+ * bodies are ordinary C++ callables invoked once per thread; they perform
+ * their computation on host memory and account for the dynamic
+ * instructions they would execute on the device through this interface.
+ *
+ * Loads and stores are functional *and* instrumented: ld()/st() return or
+ * write the value and record the byte address, which the simulator
+ * coalesces per warp and replays through the cache hierarchy for sampled
+ * warps. Arithmetic is accounted with fp32()/intOp()/sfu() bulk counters
+ * so the functional math can stay ordinary C++ expressions.
+ *
+ * Execution-model contract (see DESIGN.md): kernels are written
+ * thread-independent; block-level cooperation uses multi-kernel patterns
+ * or atomics. atomicAdd() is functionally exact because lanes execute
+ * sequentially in the simulator.
+ */
+
+#ifndef CACTUS_GPU_THREAD_CTX_HH
+#define CACTUS_GPU_THREAD_CTX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/types.hh"
+
+namespace cactus::gpu {
+
+class Device;
+
+/** Per-thread execution context handed to kernel bodies. */
+class ThreadCtx
+{
+  public:
+    Dim3 threadIdx;
+    Dim3 blockIdx;
+    Dim3 blockDim;
+    Dim3 gridDim;
+
+    /** Flattened global thread id (x-major). */
+    std::uint64_t
+    globalId() const
+    {
+        const std::uint64_t threads_per_block = blockDim.count();
+        const std::uint64_t block_linear =
+            (static_cast<std::uint64_t>(blockIdx.z) * gridDim.y +
+             blockIdx.y) * gridDim.x + blockIdx.x;
+        const std::uint64_t thread_linear =
+            (static_cast<std::uint64_t>(threadIdx.z) * blockDim.y +
+             threadIdx.y) * blockDim.x + threadIdx.x;
+        return block_linear * threads_per_block + thread_linear;
+    }
+
+    /** Lane index within the warp, [0, 32). */
+    int lane() const { return lane_; }
+
+    /** Whether this thread's warp records a full address trace. */
+    bool sampled() const { return trace_ != nullptr; }
+
+    // --- Global memory ----------------------------------------------------
+
+    /** Functional global load: returns *p and accounts one load. */
+    template <typename T>
+    T
+    ld(const T *p)
+    {
+        counters_->add(OpClass::LOAD, 1);
+        record(reinterpret_cast<std::uint64_t>(p), sizeof(T),
+               AccessKind::Load);
+        return *p;
+    }
+
+    /**
+     * Functional streaming load (__ldcs-style): like ld() but marked
+     * evict-first, so the simulator routes it straight to DRAM instead
+     * of letting a one-shot stream thrash the caches.
+     */
+    template <typename T>
+    T
+    ldStream(const T *p)
+    {
+        counters_->add(OpClass::LOAD, 1);
+        record(reinterpret_cast<std::uint64_t>(p), sizeof(T),
+               AccessKind::StreamLoad);
+        return *p;
+    }
+
+    /** Functional global store: writes *p and accounts one store. */
+    template <typename T>
+    void
+    st(T *p, T v)
+    {
+        counters_->add(OpClass::STORE, 1);
+        record(reinterpret_cast<std::uint64_t>(p), sizeof(T),
+               AccessKind::Store);
+        *p = v;
+    }
+
+    /**
+     * Functional atomic add returning the old value. Lanes execute
+     * sequentially in the simulator, so a plain read-modify-write is
+     * linearizable.
+     */
+    template <typename T>
+    T
+    atomicAdd(T *p, T v)
+    {
+        counters_->add(OpClass::ATOMIC, 1);
+        record(reinterpret_cast<std::uint64_t>(p), sizeof(T),
+               AccessKind::Atomic);
+        T old = *p;
+        *p = old + v;
+        return old;
+    }
+
+    /** Atomic max returning the old value. */
+    template <typename T>
+    T
+    atomicMax(T *p, T v)
+    {
+        counters_->add(OpClass::ATOMIC, 1);
+        record(reinterpret_cast<std::uint64_t>(p), sizeof(T),
+               AccessKind::Atomic);
+        T old = *p;
+        if (v > old)
+            *p = v;
+        return old;
+    }
+
+    /** Atomic compare-and-swap returning the old value. */
+    template <typename T>
+    T
+    atomicCAS(T *p, T expected, T desired)
+    {
+        counters_->add(OpClass::ATOMIC, 1);
+        record(reinterpret_cast<std::uint64_t>(p), sizeof(T),
+               AccessKind::Atomic);
+        T old = *p;
+        if (old == expected)
+            *p = desired;
+        return old;
+    }
+
+    // --- Arithmetic accounting ---------------------------------------------
+
+    /** Account n FP32 instructions (an FMA counts as one). */
+    void fp32(std::uint64_t n = 1) { counters_->add(OpClass::FP32, n); }
+
+    /** Account n integer ALU instructions (address math, loop control). */
+    void intOp(std::uint64_t n = 1) { counters_->add(OpClass::INT, n); }
+
+    /** Account n special-function instructions (exp, rsqrt, sin...). */
+    void sfu(std::uint64_t n = 1) { counters_->add(OpClass::SFU, n); }
+
+    /** Account n branch instructions. */
+    void branch(std::uint64_t n = 1) { counters_->add(OpClass::BRANCH, n); }
+
+    /** Account a block-wide barrier. */
+    void sync(std::uint64_t n = 1) { counters_->add(OpClass::SYNC, n); }
+
+    /** Account n shared-memory accesses (modeled, not simulated). */
+    void shared(std::uint64_t n = 1) { counters_->add(OpClass::SHARED, n); }
+
+  private:
+    friend class Device;
+
+    void
+    record(std::uint64_t addr, std::uint32_t size, AccessKind kind)
+    {
+        if (!trace_)
+            return;
+        MemAccess acc;
+        acc.addr = addr;
+        acc.size = size;
+        acc.kind = kind;
+        acc.index = static_cast<std::uint32_t>(trace_->size());
+        trace_->push_back(acc);
+    }
+
+    LaneCounters *counters_ = nullptr;
+    std::vector<MemAccess> *trace_ = nullptr; ///< Null if not sampled.
+    int lane_ = 0;
+};
+
+} // namespace cactus::gpu
+
+#endif // CACTUS_GPU_THREAD_CTX_HH

@@ -1,0 +1,142 @@
+#include "gpu/timing.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cactus::gpu {
+
+namespace {
+
+/** Cost in cycles charged per barrier warp-instruction. */
+constexpr double kSyncCostCycles = 25.0;
+
+/** Cap reported instruction intensity for kernels with no DRAM traffic. */
+constexpr double kMaxIntensity = 1e6;
+
+} // namespace
+
+TimingOutputs
+evaluateTiming(const DeviceConfig &cfg, const TimingInputs &in)
+{
+    TimingOutputs out;
+    KernelTiming &t = out.timing;
+    KernelMetrics &m = out.metrics;
+
+    const std::uint64_t w_total = in.counts.total();
+    if (in.numBlocks == 0)
+        panic("timing model invoked with zero blocks");
+
+    // --- Work distribution across SMs ----------------------------------
+    // The critical path is the busiest SM; blocks distribute round-robin.
+    const std::uint64_t blocks_busiest =
+        (in.numBlocks + cfg.numSms - 1) / cfg.numSms;
+    const double sm_share =
+        static_cast<double>(blocks_busiest) / in.numBlocks;
+    const double sm_efficiency =
+        static_cast<double>(in.numBlocks) /
+        (static_cast<double>(blocks_busiest) * cfg.numSms);
+
+    const double w_sm = static_cast<double>(w_total) * sm_share;
+    const double sched = cfg.warpSchedulersPerSm;
+
+    // --- Issue / pipe component ----------------------------------------
+    t.pureIssueCycles = w_sm / sched;
+    auto classCycles = [&](OpClass cls, double per_cycle) {
+        return static_cast<double>(in.counts.get(cls)) * sm_share /
+               per_cycle;
+    };
+    double pipe = t.pureIssueCycles;
+    pipe = std::max(pipe, classCycles(OpClass::FP32, cfg.fp32PerCycle));
+    pipe = std::max(pipe, classCycles(OpClass::INT, cfg.intPerCycle));
+    pipe = std::max(pipe, classCycles(OpClass::SFU, cfg.sfuPerCycle));
+    const double ldst_cycles =
+        classCycles(OpClass::LOAD, cfg.ldstPerCycle) +
+        classCycles(OpClass::STORE, cfg.ldstPerCycle) +
+        classCycles(OpClass::ATOMIC, cfg.ldstPerCycle);
+    pipe = std::max(pipe, ldst_cycles);
+    pipe = std::max(pipe, classCycles(OpClass::SHARED, cfg.sharedPerCycle));
+    t.issueCycles = pipe;
+
+    // --- Bandwidth components (device-global resources) ----------------
+    const double dram_bytes =
+        static_cast<double>(in.dramReadSectors + in.dramWriteSectors) *
+        cfg.sectorBytes;
+    t.dramCycles = dram_bytes / cfg.dramBytesPerCycle();
+    const double l2_bytes =
+        static_cast<double>(in.l2Accesses) * cfg.sectorBytes;
+    t.l2Cycles = l2_bytes / cfg.l2BytesPerCycle;
+
+    // --- Latency-exposure component -------------------------------------
+    // Average latency per memory instruction, weighted by where it hits.
+    const double l1_hit = in.l1Accesses
+        ? 1.0 - static_cast<double>(in.l1Misses) / in.l1Accesses : 1.0;
+    const double l2_hit = in.l2Accesses
+        ? 1.0 - static_cast<double>(in.l2Misses) / in.l2Accesses : 1.0;
+    const double avg_lat =
+        l1_hit * cfg.l1LatencyCycles +
+        (1.0 - l1_hit) * (l2_hit * cfg.l2LatencyCycles +
+                          (1.0 - l2_hit) * cfg.dramLatencyCycles);
+
+    // Resident warps on the busiest SM may be limited by the launch size.
+    const double warps_available =
+        static_cast<double>(blocks_busiest) * in.warpsPerBlock;
+    const double resident = std::max(
+        1.0, std::min(static_cast<double>(in.residentWarpsPerSm),
+                      warps_available));
+    const double warps_per_sched = std::max(1.0, resident / sched);
+    const double w_mem_sm =
+        static_cast<double>(in.counts.memInsts()) * sm_share;
+    t.latencyCycles = (w_mem_sm / sched) * avg_lat /
+                      (warps_per_sched * std::max(1.0, in.mlpPerWarp));
+
+    // --- Combine ---------------------------------------------------------
+    const double mem_bound =
+        std::max({t.dramCycles, t.l2Cycles, t.latencyCycles});
+    t.execCycles = std::max({t.issueCycles, mem_bound, 1.0});
+    t.totalCycles = t.execCycles + cfg.launchOverheadCycles;
+    t.seconds = t.totalCycles / cfg.clockHz();
+
+    // --- Metrics ----------------------------------------------------------
+    m.smEfficiency = sm_efficiency;
+    m.warpOccupancy = resident * sm_efficiency;
+    m.l1HitRate = l1_hit;
+    m.l2HitRate = l2_hit;
+    m.dramReadBps = static_cast<double>(in.dramReadSectors) *
+                    cfg.sectorBytes / t.seconds;
+    m.ldstUtilization = std::min(1.0, ldst_cycles / t.execCycles);
+    m.spUtilization = std::min(
+        1.0, classCycles(OpClass::FP32, cfg.fp32PerCycle) / t.execCycles);
+    m.fracBranch = w_total
+        ? static_cast<double>(in.counts.get(OpClass::BRANCH)) / w_total
+        : 0.0;
+    m.fracLdst = w_total
+        ? static_cast<double>(in.counts.memInsts()) / w_total : 0.0;
+
+    // Stall attribution. These are independent ratios in [0, 1], in the
+    // spirit of profiler stall-reason breakdowns; they need not sum to 1.
+    m.memStall = std::max(0.0, mem_bound - t.issueCycles) / t.execCycles;
+    m.pipeStall = (t.issueCycles - t.pureIssueCycles) / t.execCycles;
+    const double sync_cycles =
+        static_cast<double>(in.counts.get(OpClass::SYNC)) * sm_share *
+        kSyncCostCycles / sched;
+    m.syncStall = std::min(1.0, sync_cycles / t.execCycles);
+    // Dependency stalls shrink as more warps are available to hide them.
+    const double dep_factor = 1.0 / std::max(1.0, std::sqrt(2.0 *
+        warps_per_sched));
+    m.execStall = std::min(1.0, t.pureIssueCycles * dep_factor /
+        t.execCycles);
+
+    // Roofline coordinates.
+    m.gips = static_cast<double>(w_total) / t.seconds / 1e9;
+    const std::uint64_t dram_txn =
+        in.dramReadSectors + in.dramWriteSectors;
+    m.instIntensity = dram_txn
+        ? static_cast<double>(w_total) / dram_txn
+        : kMaxIntensity;
+    m.instIntensity = std::min(m.instIntensity, kMaxIntensity);
+    return out;
+}
+
+} // namespace cactus::gpu

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Interval-style analytic timing model. Given the dynamic warp-instruction
+ * mix of a launch, the occupancy, and the extrapolated memory-hierarchy
+ * traffic, it computes the kernel runtime as the maximum of the issue-,
+ * pipe-, bandwidth- and latency-bound components, and derives the paper's
+ * Table IV stall ratios and utilization metrics.
+ */
+
+#ifndef CACTUS_GPU_TIMING_HH
+#define CACTUS_GPU_TIMING_HH
+
+#include "gpu/config.hh"
+#include "gpu/metrics.hh"
+#include "gpu/types.hh"
+
+namespace cactus::gpu {
+
+/** Everything the timing model needs about one launch. */
+struct TimingInputs
+{
+    WarpCounts counts;           ///< Launch-total warp instructions.
+    std::uint64_t numBlocks = 0;
+    int warpsPerBlock = 0;
+    int residentWarpsPerSm = 0;  ///< From the occupancy calculator.
+    int residentBlocksPerSm = 0;
+
+    std::uint64_t l1Accesses = 0;    ///< Extrapolated L1 sector accesses.
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t dramReadSectors = 0;
+    std::uint64_t dramWriteSectors = 0;
+
+    /** Average memory-level parallelism per warp; how many outstanding
+     *  memory transactions one warp overlaps. */
+    double mlpPerWarp = 4.0;
+};
+
+/** Timing model evaluation results: timing plus derived metrics. */
+struct TimingOutputs
+{
+    KernelTiming timing;
+    KernelMetrics metrics;
+};
+
+/**
+ * Evaluate the timing model for one launch.
+ * @param cfg Device configuration.
+ * @param in Launch characterization.
+ */
+TimingOutputs evaluateTiming(const DeviceConfig &cfg, const TimingInputs &in);
+
+} // namespace cactus::gpu
+
+#endif // CACTUS_GPU_TIMING_HH

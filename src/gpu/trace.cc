@@ -1,0 +1,236 @@
+#include "gpu/trace.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "gpu/occupancy.hh"
+#include "gpu/timing.hh"
+
+namespace cactus::gpu {
+
+namespace {
+
+/** Escape a string for JSON output. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/**
+ * A deliberately small JSON-lines field scanner: the traces are
+ * machine-written flat objects, so "key":value lookup by string search
+ * is exact as long as keys are unique per record.
+ */
+class RecordView
+{
+  public:
+    explicit RecordView(const std::string &line) : line_(line) {}
+
+    double
+    number(const char *key) const
+    {
+        const std::string needle = std::string("\"") + key + "\":";
+        const auto pos = line_.find(needle);
+        if (pos == std::string::npos)
+            fatal("trace record missing key '", key, "': ", line_);
+        return std::strtod(line_.c_str() + pos + needle.size(),
+                           nullptr);
+    }
+
+    std::string
+    text(const char *key) const
+    {
+        const std::string needle = std::string("\"") + key + "\":\"";
+        const auto pos = line_.find(needle);
+        if (pos == std::string::npos)
+            fatal("trace record missing key '", key, "': ", line_);
+        std::string out;
+        for (std::size_t i = pos + needle.size(); i < line_.size();
+             ++i) {
+            if (line_[i] == '\\' && i + 1 < line_.size()) {
+                out.push_back(line_[++i]);
+            } else if (line_[i] == '"') {
+                return out;
+            } else {
+                out.push_back(line_[i]);
+            }
+        }
+        fatal("unterminated string for key '", key, "'");
+    }
+
+  private:
+    const std::string &line_;
+};
+
+} // namespace
+
+std::size_t
+writeLaunchTrace(std::ostream &out,
+                 const std::vector<LaunchStats> &launches)
+{
+    // Full round-trip precision for the floating-point fields.
+    out.precision(17);
+    for (const auto &l : launches) {
+        out << "{\"kernel\":\"" << jsonEscape(l.desc.name) << "\""
+            << ",\"regs\":" << l.desc.regsPerThread
+            << ",\"smem\":" << l.desc.sharedBytesPerBlock
+            << ",\"grid\":[" << l.grid.x << "," << l.grid.y << ","
+            << l.grid.z << "]"
+            << ",\"block\":[" << l.block.x << "," << l.block.y << ","
+            << l.block.z << "]";
+        for (int c = 0; c < kNumOpClasses; ++c) {
+            out << ",\"n_" << opClassName(static_cast<OpClass>(c))
+                << "\":" << l.counts.warpInsts[c];
+        }
+        out << ",\"thread_insts\":" << l.counts.threadInsts
+            << ",\"warps\":" << l.totalWarps
+            << ",\"sampled_warps\":" << l.sampledWarps
+            << ",\"l1_acc\":" << l.l1Accesses
+            << ",\"l1_miss\":" << l.l1Misses
+            << ",\"l2_acc\":" << l.l2Accesses
+            << ",\"l2_miss\":" << l.l2Misses
+            << ",\"dram_read\":" << l.dramReadSectors
+            << ",\"dram_write\":" << l.dramWriteSectors
+            << ",\"seconds\":" << l.timing.seconds
+            << ",\"gips\":" << l.metrics.gips
+            << ",\"ii\":" << l.metrics.instIntensity << "}\n";
+    }
+    return launches.size();
+}
+
+std::size_t
+writeLaunchTrace(const std::string &path,
+                 const std::vector<LaunchStats> &launches)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open trace file '", path, "' for writing");
+    return writeLaunchTrace(out, launches);
+}
+
+std::vector<LaunchStats>
+readLaunchTrace(std::istream &in)
+{
+    std::vector<LaunchStats> launches;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        RecordView rec(line);
+        LaunchStats l;
+        l.desc.name = rec.text("kernel");
+        l.desc.regsPerThread = static_cast<int>(rec.number("regs"));
+        l.desc.sharedBytesPerBlock =
+            static_cast<int>(rec.number("smem"));
+        {
+            // Geometry arrays: parse the three numbers after the key.
+            auto parse3 = [&](const char *key, Dim3 &d) {
+                const std::string needle =
+                    std::string("\"") + key + "\":[";
+                const auto pos = line.find(needle);
+                if (pos == std::string::npos)
+                    fatal("trace record missing '", key, "'");
+                const char *p = line.c_str() + pos + needle.size();
+                char *end = nullptr;
+                d.x = static_cast<unsigned>(std::strtoul(p, &end, 10));
+                d.y = static_cast<unsigned>(
+                    std::strtoul(end + 1, &end, 10));
+                d.z = static_cast<unsigned>(
+                    std::strtoul(end + 1, &end, 10));
+            };
+            parse3("grid", l.grid);
+            parse3("block", l.block);
+        }
+        for (int c = 0; c < kNumOpClasses; ++c) {
+            const std::string key =
+                std::string("n_") + opClassName(static_cast<OpClass>(c));
+            l.counts.warpInsts[c] = static_cast<std::uint64_t>(
+                rec.number(key.c_str()));
+        }
+        l.counts.threadInsts = static_cast<std::uint64_t>(
+            rec.number("thread_insts"));
+        l.totalWarps =
+            static_cast<std::uint64_t>(rec.number("warps"));
+        l.sampledWarps =
+            static_cast<std::uint64_t>(rec.number("sampled_warps"));
+        l.l1Accesses =
+            static_cast<std::uint64_t>(rec.number("l1_acc"));
+        l.l1Misses = static_cast<std::uint64_t>(rec.number("l1_miss"));
+        l.l2Accesses =
+            static_cast<std::uint64_t>(rec.number("l2_acc"));
+        l.l2Misses = static_cast<std::uint64_t>(rec.number("l2_miss"));
+        l.dramReadSectors =
+            static_cast<std::uint64_t>(rec.number("dram_read"));
+        l.dramWriteSectors =
+            static_cast<std::uint64_t>(rec.number("dram_write"));
+        l.timing.seconds = rec.number("seconds");
+        l.metrics.gips = rec.number("gips");
+        l.metrics.instIntensity = rec.number("ii");
+        launches.push_back(std::move(l));
+    }
+    return launches;
+}
+
+std::vector<LaunchStats>
+readLaunchTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file '", path, "'");
+    return readLaunchTrace(in);
+}
+
+LaunchStats
+retimeLaunch(const DeviceConfig &cfg, LaunchStats launch)
+{
+    const Occupancy occ = computeOccupancy(cfg, launch.desc,
+                                           launch.block);
+    TimingInputs in;
+    in.counts = launch.counts;
+    in.numBlocks = launch.grid.count();
+    in.warpsPerBlock = static_cast<int>(
+        (launch.block.count() + cfg.warpSize - 1) / cfg.warpSize);
+    in.residentWarpsPerSm = occ.warpsPerSm;
+    in.residentBlocksPerSm = occ.blocksPerSm;
+    in.l1Accesses = launch.l1Accesses;
+    in.l1Misses = launch.l1Misses;
+    in.l2Accesses = launch.l2Accesses;
+    in.l2Misses = launch.l2Misses;
+    in.dramReadSectors = launch.dramReadSectors;
+    in.dramWriteSectors = launch.dramWriteSectors;
+
+    const TimingOutputs out = evaluateTiming(cfg, in);
+    launch.occupancyFraction = occ.occupancy;
+    launch.residentWarpsPerSm = occ.warpsPerSm;
+    launch.timing = out.timing;
+    launch.metrics = out.metrics;
+    return launch;
+}
+
+double
+retimeTrace(const DeviceConfig &cfg, std::vector<LaunchStats> &launches)
+{
+    double total = 0;
+    for (auto &l : launches) {
+        l = retimeLaunch(cfg, l);
+        total += l.timing.seconds;
+    }
+    return total;
+}
+
+} // namespace cactus::gpu

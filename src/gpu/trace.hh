@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Launch-trace export and import. The Cactus paper's future work plans
+ * "instruction traces compatible with state-of-the-art GPU simulators
+ * so that researchers can simulate Cactus workloads without requiring
+ * access to a real GPU device"; this module provides exactly that for
+ * the simulated runs: every kernel launch is serialized as one
+ * JSON-lines record carrying the launch geometry, the per-class warp
+ * instruction counts, the memory-hierarchy traffic and the timing, and
+ * can be re-loaded for replay-style analysis without re-executing the
+ * workload.
+ */
+
+#ifndef CACTUS_GPU_TRACE_HH
+#define CACTUS_GPU_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gpu/config.hh"
+#include "gpu/metrics.hh"
+
+namespace cactus::gpu {
+
+/**
+ * Serialize launches as JSON lines (one object per launch).
+ * @return Number of records written.
+ */
+std::size_t writeLaunchTrace(std::ostream &out,
+                             const std::vector<LaunchStats> &launches);
+
+/** Convenience file-path overload; fatal on I/O failure. */
+std::size_t writeLaunchTrace(const std::string &path,
+                             const std::vector<LaunchStats> &launches);
+
+/**
+ * Parse a JSON-lines trace produced by writeLaunchTrace. Unknown keys
+ * are ignored; malformed lines are fatal (a trace is machine-written).
+ * Only the replayable fields are restored: kernel descriptor, launch
+ * geometry, instruction counts, memory traffic and timing.
+ */
+std::vector<LaunchStats> readLaunchTrace(std::istream &in);
+
+/** Convenience file-path overload; fatal on I/O failure. */
+std::vector<LaunchStats> readLaunchTrace(const std::string &path);
+
+/**
+ * What-if retiming: re-evaluate the timing model for a (possibly
+ * loaded-from-trace) launch under a different device configuration,
+ * keeping the instruction counts and memory traffic fixed. This is the
+ * trace-replay projection workflow: capture once, explore machine
+ * configurations offline. Cache-sensitive workloads carry their
+ * recorded traffic, so projections across very different cache sizes
+ * are approximate (documented in DESIGN.md).
+ */
+LaunchStats retimeLaunch(const DeviceConfig &cfg, LaunchStats launch);
+
+/** Retime a whole trace; returns the new total seconds. */
+double retimeTrace(const DeviceConfig &cfg,
+                   std::vector<LaunchStats> &launches);
+
+} // namespace cactus::gpu
+
+#endif // CACTUS_GPU_TRACE_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Fundamental types shared across the GPU-compute simulator: launch
+ * geometry, instruction classes, memory access records, and per-lane
+ * instruction counters.
+ */
+
+#ifndef CACTUS_GPU_TYPES_HH
+#define CACTUS_GPU_TYPES_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cactus::gpu {
+
+/** CUDA-style three-dimensional launch geometry. */
+struct Dim3
+{
+    unsigned x = 1;
+    unsigned y = 1;
+    unsigned z = 1;
+
+    Dim3() = default;
+    Dim3(unsigned xx, unsigned yy = 1, unsigned zz = 1)
+        : x(xx), y(yy), z(zz)
+    {
+    }
+
+    std::uint64_t
+    count() const
+    {
+        return static_cast<std::uint64_t>(x) * y * z;
+    }
+};
+
+/**
+ * Dynamic instruction classes tracked per lane. The taxonomy mirrors the
+ * pipelines on an Ampere SM that the paper's Table IV metrics reference:
+ * FP32 (SP pipe), integer (ALU pipe), special function unit, load/store,
+ * shared-memory access, atomics, branches and barriers.
+ */
+enum class OpClass : int
+{
+    FP32 = 0,
+    INT,
+    SFU,
+    LOAD,
+    STORE,
+    SHARED,
+    ATOMIC,
+    BRANCH,
+    SYNC,
+    NumClasses
+};
+
+constexpr int kNumOpClasses = static_cast<int>(OpClass::NumClasses);
+
+/** Human-readable name for an instruction class. */
+const char *opClassName(OpClass cls);
+
+/** Kind of memory reference recorded in a sampled warp trace. */
+enum class AccessKind : std::uint8_t
+{
+    Load = 0,
+    Store,
+    Atomic,
+    /** Evict-first streaming load (__ldcs): bypasses cache residency
+     *  so one-shot streams do not thrash reused data. */
+    StreamLoad
+};
+
+/** One per-lane memory reference recorded in a sampled warp. */
+struct MemAccess
+{
+    std::uint64_t addr = 0;
+    std::uint32_t size = 0;
+    AccessKind kind = AccessKind::Load;
+    /** Ordinal of this access within its lane; used to group the k-th
+     *  access of every lane into one warp-level memory instruction. */
+    std::uint32_t index = 0;
+};
+
+/** Per-lane dynamic instruction counters. */
+struct LaneCounters
+{
+    std::array<std::uint64_t, kNumOpClasses> counts{};
+
+    void
+    add(OpClass cls, std::uint64_t n)
+    {
+        counts[static_cast<int>(cls)] += n;
+    }
+
+    std::uint64_t
+    get(OpClass cls) const
+    {
+        return counts[static_cast<int>(cls)];
+    }
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t t = 0;
+        for (auto c : counts)
+            t += c;
+        return t;
+    }
+};
+
+/**
+ * Warp-level instruction counts. A warp instruction bundles up to 32
+ * thread instructions; under divergence the warp executes the union of
+ * the lane paths, which we approximate by the per-class maximum across
+ * lanes.
+ */
+struct WarpCounts
+{
+    std::array<std::uint64_t, kNumOpClasses> warpInsts{};
+    /** Sum of thread-level instructions, for execution-efficiency. */
+    std::uint64_t threadInsts = 0;
+    /** Number of lanes that executed at least one instruction. */
+    std::uint32_t activeLanes = 0;
+
+    std::uint64_t
+    get(OpClass cls) const
+    {
+        return warpInsts[static_cast<int>(cls)];
+    }
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t t = 0;
+        for (auto c : warpInsts)
+            t += c;
+        return t;
+    }
+
+    std::uint64_t
+    memInsts() const
+    {
+        return get(OpClass::LOAD) + get(OpClass::STORE) +
+               get(OpClass::ATOMIC);
+    }
+
+    void
+    accumulate(const WarpCounts &other)
+    {
+        for (int i = 0; i < kNumOpClasses; ++i)
+            warpInsts[i] += other.warpInsts[i];
+        threadInsts += other.threadInsts;
+        activeLanes += other.activeLanes;
+    }
+};
+
+/**
+ * Static metadata describing a kernel, supplied at launch time. Mirrors
+ * what a real runtime knows from compilation: resource usage that bounds
+ * occupancy, plus a stable name used by the profiler to aggregate
+ * invocations.
+ */
+struct KernelDesc
+{
+    std::string name;
+    /** Architectural registers per thread; bounds occupancy. */
+    int regsPerThread = 32;
+    /** Static shared memory per thread block in bytes. */
+    int sharedBytesPerBlock = 0;
+
+    KernelDesc() = default;
+    KernelDesc(std::string n, int regs = 32, int smem = 0)
+        : name(std::move(n)), regsPerThread(regs), sharedBytesPerBlock(smem)
+    {
+    }
+};
+
+} // namespace cactus::gpu
+
+#endif // CACTUS_GPU_TYPES_HH

@@ -1,0 +1,371 @@
+#include "graph/bfs.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace cactus::graph {
+
+namespace {
+
+using gpu::KernelDesc;
+using gpu::ThreadCtx;
+
+/** Shared state of one BFS run. */
+struct BfsState
+{
+    std::vector<int> levels;
+    std::vector<int> frontier;      ///< Current vertex frontier.
+    std::vector<int> edgeFrontier;  ///< Advance output (unfiltered).
+    std::vector<int> nextFrontier;
+    std::vector<std::uint8_t> visitedBitmap;
+    int frontierSize = 0;
+    int edgeFrontierSize = 0;
+    int nextSize = 0;
+};
+
+/**
+ * Top-down advance, thread-per-vertex mapping: each thread serially
+ * expands one frontier vertex. Best for low-degree frontiers (roads).
+ */
+void
+advanceThread(gpu::Device &dev, const CsrGraph &g, BfsState &st,
+              const BfsOptions &opts)
+{
+    const auto &offsets = g.offsets();
+    const auto &targets = g.targets();
+    int cursor = 0;
+    dev.launchLinear(
+        KernelDesc("advance_twc_thread", 32), st.frontierSize,
+        opts.threadsPerBlock, [&](ThreadCtx &ctx) {
+            const int f = static_cast<int>(ctx.globalId());
+            const int v = ctx.ld(&st.frontier[f]);
+            const int begin = ctx.ld(&offsets[v]);
+            const int end = ctx.ld(&offsets[v + 1]);
+            ctx.intOp(3);
+            for (int e = begin; e < end; ++e) {
+                const int u = ctx.ld(&targets[e]);
+                const int lvl = ctx.ld(&st.levels[u]);
+                ctx.branch(1);
+                ctx.intOp(1);
+                if (lvl >= 0)
+                    continue;
+                const int slot = ctx.atomicAdd(&cursor, 1);
+                ctx.st(&st.edgeFrontier[slot], u);
+            }
+        });
+    st.edgeFrontierSize = cursor;
+}
+
+/**
+ * Warp-per-vertex advance: 32 lanes cooperatively strided over one
+ * vertex's adjacency list. Best for medium-degree frontiers.
+ */
+void
+advanceWarp(gpu::Device &dev, const CsrGraph &g, BfsState &st,
+            const BfsOptions &opts)
+{
+    const auto &offsets = g.offsets();
+    const auto &targets = g.targets();
+    int cursor = 0;
+    const std::uint64_t threads =
+        static_cast<std::uint64_t>(st.frontierSize) * 32;
+    dev.launchLinear(
+        KernelDesc("advance_twc_warp", 40), threads,
+        opts.threadsPerBlock, [&](ThreadCtx &ctx) {
+            const std::uint64_t t = ctx.globalId();
+            const int f = static_cast<int>(t / 32);
+            const int lane = static_cast<int>(t % 32);
+            const int v = ctx.ld(&st.frontier[f]);
+            const int begin = ctx.ld(&offsets[v]);
+            const int end = ctx.ld(&offsets[v + 1]);
+            ctx.intOp(5);
+            for (int e = begin + lane; e < end; e += 32) {
+                const int u = ctx.ld(&targets[e]);
+                const int lvl = ctx.ld(&st.levels[u]);
+                ctx.branch(1);
+                ctx.intOp(2);
+                if (lvl >= 0)
+                    continue;
+                const int slot = ctx.atomicAdd(&cursor, 1);
+                ctx.st(&st.edgeFrontier[slot], u);
+            }
+        });
+    st.edgeFrontierSize = cursor;
+}
+
+/**
+ * CTA-per-vertex advance: a whole 256-thread block strided over one
+ * vertex's adjacency list. Best for the huge hubs of social graphs.
+ */
+void
+advanceCta(gpu::Device &dev, const CsrGraph &g, BfsState &st,
+           const BfsOptions &opts)
+{
+    const auto &offsets = g.offsets();
+    const auto &targets = g.targets();
+    int cursor = 0;
+    const int cta = opts.threadsPerBlock;
+    dev.launch(
+        KernelDesc("advance_twc_cta", 40, 1024),
+        gpu::Dim3(static_cast<unsigned>(st.frontierSize)),
+        gpu::Dim3(static_cast<unsigned>(cta)), [&](ThreadCtx &ctx) {
+            const int f = static_cast<int>(ctx.blockIdx.x);
+            const int tid = static_cast<int>(ctx.threadIdx.x);
+            const int v = ctx.ld(&st.frontier[f]);
+            const int begin = ctx.ld(&offsets[v]);
+            const int end = ctx.ld(&offsets[v + 1]);
+            ctx.intOp(5);
+            ctx.sync(1); // Block-wide coordination point.
+            for (int e = begin + tid; e < end; e += cta) {
+                const int u = ctx.ld(&targets[e]);
+                const int lvl = ctx.ld(&st.levels[u]);
+                ctx.branch(1);
+                ctx.intOp(2);
+                if (lvl >= 0)
+                    continue;
+                const int slot = ctx.atomicAdd(&cursor, 1);
+                ctx.st(&st.edgeFrontier[slot], u);
+            }
+        });
+    st.edgeFrontierSize = cursor;
+}
+
+/**
+ * Filter + compaction, Gunrock-style: claim unvisited candidates with
+ * an atomic CAS on the level array (uniquify), then compact the winners
+ * with the multi-kernel scan/scatter pattern, and finally refresh the
+ * visited bitmap used by the direction-optimized step.
+ */
+void
+filterAndCompact(gpu::Device &dev, BfsState &st, int depth,
+                 const BfsOptions &opts)
+{
+    const int n = st.edgeFrontierSize;
+    std::vector<std::uint8_t> flags(n, 1);
+
+    // Kernel: clear the flag buffer (the runtime's memset launch).
+    dev.launchLinear(
+        KernelDesc("memset_flags", 8), n, opts.threadsPerBlock,
+        [&](ThreadCtx &ctx) {
+            ctx.st(&flags[ctx.globalId()], std::uint8_t{0});
+        });
+
+    // Kernel: claim candidates (winner per vertex via CAS).
+    dev.launchLinear(
+        KernelDesc("filter_uniquify", 24), n, opts.threadsPerBlock,
+        [&](ThreadCtx &ctx) {
+            const int i = static_cast<int>(ctx.globalId());
+            const int u = ctx.ld(&st.edgeFrontier[i]);
+            const int old = ctx.atomicCAS(&st.levels[u], -1, depth);
+            ctx.branch(1);
+            ctx.st(&flags[i],
+                   static_cast<std::uint8_t>(old == -1 ? 1 : 0));
+        });
+
+    // Kernel: per-block survivor counts.
+    const int scan_block = opts.threadsPerBlock;
+    const int num_partials = (n + scan_block - 1) / scan_block;
+    std::vector<int> partials(std::max(num_partials, 1), 0);
+    dev.launchLinear(
+        KernelDesc("frontier_scan_partials", 16), n, scan_block,
+        [&](ThreadCtx &ctx) {
+            const int i = static_cast<int>(ctx.globalId());
+            const int f = ctx.ld(&flags[i]);
+            ctx.intOp(2);
+            if (f)
+                ctx.atomicAdd(&partials[i / scan_block], 1);
+        });
+    std::vector<int> offsets(num_partials + 1, 0);
+    for (int b = 0; b < num_partials; ++b)
+        offsets[b + 1] = offsets[b] + partials[b];
+
+    // Kernel: scatter survivors to their scanned positions.
+    std::vector<int> running(std::max(num_partials, 1), 0);
+    dev.launchLinear(
+        KernelDesc("frontier_scatter", 24), n, scan_block,
+        [&](ThreadCtx &ctx) {
+            const int i = static_cast<int>(ctx.globalId());
+            ctx.branch(1);
+            if (!ctx.ld(&flags[i]))
+                return;
+            const int blk = i / scan_block;
+            const int base = ctx.ld(&offsets[blk]);
+            const int within = ctx.atomicAdd(&running[blk], 1);
+            ctx.intOp(3);
+            ctx.st(&st.nextFrontier[base + within],
+                   ctx.ld(&st.edgeFrontier[i]));
+        });
+    st.nextSize = offsets[num_partials];
+
+    // Kernel: refresh the visited bitmap for the bottom-up heuristic.
+    if (st.nextSize > 0) {
+        dev.launchLinear(
+            KernelDesc("bitmap_update", 12), st.nextSize,
+            opts.threadsPerBlock, [&](ThreadCtx &ctx) {
+                const int i = static_cast<int>(ctx.globalId());
+                const int u = ctx.ld(&st.nextFrontier[i]);
+                ctx.st(&st.visitedBitmap[u],
+                       static_cast<std::uint8_t>(1));
+            });
+    }
+}
+
+/**
+ * Direction-optimized bottom-up step: every unvisited vertex scans its
+ * neighbors for a parent in the current level; much cheaper than
+ * top-down when the frontier covers a large share of the graph.
+ */
+void
+bottomUpStep(gpu::Device &dev, const CsrGraph &g, BfsState &st,
+             int depth, const BfsOptions &opts)
+{
+    const auto &offsets = g.offsets();
+    const auto &targets = g.targets();
+    const int n = g.numVertices();
+    int cursor = 0;
+    dev.launchLinear(
+        KernelDesc("bfs_bottom_up", 32), n, opts.threadsPerBlock,
+        [&](ThreadCtx &ctx) {
+            const int v = static_cast<int>(ctx.globalId());
+            const int lvl = ctx.ld(&st.levels[v]);
+            ctx.branch(1);
+            if (lvl >= 0)
+                return;
+            const int begin = ctx.ld(&offsets[v]);
+            const int end = ctx.ld(&offsets[v + 1]);
+            ctx.intOp(3);
+            for (int e = begin; e < end; ++e) {
+                const int u = ctx.ld(&targets[e]);
+                const int ul = ctx.ld(&st.levels[u]);
+                ctx.branch(1);
+                ctx.intOp(1);
+                if (ul == depth - 1) {
+                    ctx.st(&st.levels[v], depth);
+                    const int slot = ctx.atomicAdd(&cursor, 1);
+                    ctx.st(&st.nextFrontier[slot], v);
+                    break;
+                }
+            }
+        });
+    st.nextSize = cursor;
+}
+
+/** Sum of out-degrees over the frontier (device reduction). */
+std::int64_t
+frontierDegree(gpu::Device &dev, const CsrGraph &g, BfsState &st,
+               const BfsOptions &opts)
+{
+    const auto &offsets = g.offsets();
+    long long total = 0;
+    dev.launchLinear(
+        KernelDesc("frontier_reduce_degree", 16), st.frontierSize,
+        opts.threadsPerBlock, [&](ThreadCtx &ctx) {
+            const int f = static_cast<int>(ctx.globalId());
+            const int v = ctx.ld(&st.frontier[f]);
+            const int deg = ctx.ld(&offsets[v + 1]) - ctx.ld(&offsets[v]);
+            ctx.intOp(2);
+            ctx.atomicAdd(&total, static_cast<long long>(deg));
+        });
+    return total;
+}
+
+} // namespace
+
+BfsResult
+gunrockBfs(gpu::Device &dev, const CsrGraph &g, int source,
+           const BfsOptions &opts)
+{
+    const int n = g.numVertices();
+    if (source < 0 || source >= n)
+        fatal("BFS source ", source, " out of range");
+
+    BfsState st;
+    st.levels.assign(n, -2); // Filled by the init kernel below.
+    st.frontier.assign(n, 0);
+    st.edgeFrontier.assign(
+        std::max<std::size_t>(g.numDirectedEdges(), 1), 0);
+    st.nextFrontier.assign(n, 0);
+    st.visitedBitmap.assign(n, 0);
+
+    // Kernel: initialize the level array on the device.
+    dev.launchLinear(
+        KernelDesc("init_levels", 12), n, opts.threadsPerBlock,
+        [&](ThreadCtx &ctx) {
+            const int v = static_cast<int>(ctx.globalId());
+            ctx.st(&st.levels[v], -1);
+        });
+
+    st.levels[source] = 0;
+    st.visitedBitmap[source] = 1;
+    st.frontier[0] = source;
+    st.frontierSize = 1;
+
+    BfsResult result;
+    result.verticesVisited = 1;
+    int depth = 1;
+    while (st.frontierSize > 0) {
+        const std::int64_t fdeg = frontierDegree(dev, g, st, opts);
+        const double avg_deg =
+            static_cast<double>(fdeg) / st.frontierSize;
+        const bool bottom_up = opts.enableBottomUp &&
+            static_cast<double>(fdeg) >
+                opts.bottomUpThreshold *
+                    static_cast<double>(g.numDirectedEdges());
+
+        if (bottom_up) {
+            bottomUpStep(dev, g, st, depth, opts);
+            result.kernelSequence.push_back("bfs_bottom_up");
+        } else {
+            if (avg_deg >= opts.ctaDegreeThreshold) {
+                advanceCta(dev, g, st, opts);
+                result.kernelSequence.push_back("advance_twc_cta");
+            } else if (avg_deg >= opts.warpDegreeThreshold) {
+                advanceWarp(dev, g, st, opts);
+                result.kernelSequence.push_back("advance_twc_warp");
+            } else {
+                advanceThread(dev, g, st, opts);
+                result.kernelSequence.push_back("advance_twc_thread");
+            }
+            if (st.edgeFrontierSize > 0)
+                filterAndCompact(dev, st, depth, opts);
+            else
+                st.nextSize = 0;
+        }
+
+        std::swap(st.frontier, st.nextFrontier);
+        st.frontierSize = st.nextSize;
+        st.nextSize = 0;
+        result.verticesVisited += st.frontierSize;
+        ++result.iterations;
+        ++depth;
+    }
+
+    result.levels = std::move(st.levels);
+    return result;
+}
+
+std::vector<int>
+referenceBfs(const CsrGraph &g, int source)
+{
+    std::vector<int> levels(g.numVertices(), -1);
+    std::queue<int> q;
+    levels[source] = 0;
+    q.push(source);
+    while (!q.empty()) {
+        const int v = q.front();
+        q.pop();
+        const int *nb = g.neighborsBegin(v);
+        for (int k = 0; k < g.degree(v); ++k) {
+            const int u = nb[k];
+            if (levels[u] == -1) {
+                levels[u] = levels[v] + 1;
+                q.push(u);
+            }
+        }
+    }
+    return levels;
+}
+
+} // namespace cactus::graph

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Gunrock-style breadth-first search: a bulk-synchronous, frontier-
+ * centric pipeline of GPU kernels. Each iteration picks a load-balancing
+ * strategy for the advance step (thread-, warp-, or CTA-per-vertex,
+ * Gunrock's TWC scheme) based on the frontier's degree profile, then
+ * filters duplicates; large frontiers switch to a direction-optimized
+ * bottom-up step. Which kernels run is therefore input-dependent,
+ * exactly the behavior the paper highlights for GST versus GRU
+ * (Observation #3).
+ */
+
+#ifndef CACTUS_GRAPH_BFS_HH
+#define CACTUS_GRAPH_BFS_HH
+
+#include <string>
+#include <vector>
+
+#include "gpu/device.hh"
+#include "graph/csr.hh"
+
+namespace cactus::graph {
+
+/** Tuning knobs for the BFS pipeline. */
+struct BfsOptions
+{
+    int threadsPerBlock = 256;
+    /** Switch to bottom-up when frontier degree sum exceeds this
+     *  fraction of the edges (direction-optimizing BFS). */
+    double bottomUpThreshold = 0.05;
+    bool enableBottomUp = true;
+    /** Average frontier degree above which the warp / CTA advance
+     *  kernels are selected. */
+    double warpDegreeThreshold = 8.0;
+    double ctaDegreeThreshold = 64.0;
+};
+
+/** Outcome of a BFS run. */
+struct BfsResult
+{
+    std::vector<int> levels;   ///< -1 for unreached vertices.
+    int iterations = 0;
+    std::int64_t verticesVisited = 0;
+    std::vector<std::string> kernelSequence; ///< Advance kernel per iter.
+};
+
+/**
+ * Run BFS on the device.
+ * @param dev Simulated GPU.
+ * @param g Input graph.
+ * @param source Source vertex.
+ */
+BfsResult gunrockBfs(gpu::Device &dev, const CsrGraph &g, int source,
+                     const BfsOptions &opts = BfsOptions{});
+
+/** Host reference BFS for validation. */
+std::vector<int> referenceBfs(const CsrGraph &g, int source);
+
+} // namespace cactus::graph
+
+#endif // CACTUS_GRAPH_BFS_HH

@@ -1,0 +1,131 @@
+#include "graph/csr.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cactus::graph {
+
+CsrGraph
+CsrGraph::fromEdges(int num_vertices,
+                    std::vector<std::pair<int, int>> edges)
+{
+    if (num_vertices <= 0)
+        fatal("graph needs at least one vertex");
+
+    // Symmetrize, drop self-loops, dedupe.
+    std::vector<std::pair<int, int>> all;
+    all.reserve(edges.size() * 2);
+    for (auto [u, v] : edges) {
+        if (u == v)
+            continue;
+        if (u < 0 || v < 0 || u >= num_vertices || v >= num_vertices)
+            fatal("edge (", u, ",", v, ") out of range");
+        all.emplace_back(u, v);
+        all.emplace_back(v, u);
+    }
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+
+    CsrGraph g;
+    g.offsets_.assign(num_vertices + 1, 0);
+    g.targets_.reserve(all.size());
+    for (auto [u, v] : all)
+        ++g.offsets_[u + 1];
+    for (int v = 0; v < num_vertices; ++v)
+        g.offsets_[v + 1] += g.offsets_[v];
+    for (auto [u, v] : all)
+        g.targets_.push_back(v);
+    return g;
+}
+
+CsrGraph
+CsrGraph::rmat(int scale, int edge_factor, Rng &rng, double a, double b,
+               double c)
+{
+    const int n = 1 << scale;
+    const std::int64_t m = static_cast<std::int64_t>(n) * edge_factor;
+    std::vector<std::pair<int, int>> edges;
+    edges.reserve(m);
+    for (std::int64_t e = 0; e < m; ++e) {
+        int u = 0, v = 0;
+        for (int bit = 0; bit < scale; ++bit) {
+            const double r = rng.uniform();
+            int ub = 0, vb = 0;
+            if (r < a) {
+                // Top-left quadrant.
+            } else if (r < a + b) {
+                vb = 1;
+            } else if (r < a + b + c) {
+                ub = 1;
+            } else {
+                ub = 1;
+                vb = 1;
+            }
+            u = (u << 1) | ub;
+            v = (v << 1) | vb;
+        }
+        edges.emplace_back(u, v);
+    }
+    return fromEdges(n, std::move(edges));
+}
+
+CsrGraph
+CsrGraph::roadGrid(int width, int height, Rng &rng)
+{
+    const int n = width * height;
+    std::vector<std::pair<int, int>> edges;
+    edges.reserve(static_cast<std::size_t>(n) * 2);
+    auto id = [&](int x, int y) { return y * width + x; };
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            // ~10% of lattice links removed (closed roads).
+            if (x + 1 < width && rng.uniform() > 0.10)
+                edges.emplace_back(id(x, y), id(x + 1, y));
+            if (y + 1 < height && rng.uniform() > 0.10)
+                edges.emplace_back(id(x, y), id(x, y + 1));
+        }
+    }
+    // Sparse highways: one long shortcut per ~2000 vertices.
+    const int highways = std::max(1, n / 2000);
+    for (int h = 0; h < highways; ++h) {
+        const int u = static_cast<int>(rng.uniformInt(n));
+        const int v = static_cast<int>(rng.uniformInt(n));
+        edges.emplace_back(u, v);
+    }
+    return fromEdges(n, std::move(edges));
+}
+
+CsrGraph
+CsrGraph::uniformRandom(int num_vertices, int num_edges, Rng &rng)
+{
+    std::vector<std::pair<int, int>> edges;
+    edges.reserve(num_edges);
+    for (int e = 0; e < num_edges; ++e) {
+        edges.emplace_back(
+            static_cast<int>(rng.uniformInt(num_vertices)),
+            static_cast<int>(rng.uniformInt(num_vertices)));
+    }
+    return fromEdges(num_vertices, std::move(edges));
+}
+
+int
+CsrGraph::maxDegree() const
+{
+    int best = 0;
+    for (int v = 0; v < numVertices(); ++v)
+        best = std::max(best, degree(v));
+    return best;
+}
+
+int
+CsrGraph::highestDegreeVertex() const
+{
+    int best = 0;
+    for (int v = 1; v < numVertices(); ++v)
+        if (degree(v) > degree(best))
+            best = v;
+    return best;
+}
+
+} // namespace cactus::graph

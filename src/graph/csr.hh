@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Compressed-sparse-row graph representation plus the synthetic
+ * generators standing in for the paper's inputs: an RMAT power-law
+ * generator (SOC-Twitter10-like degree skew) and a 2-D grid road-network
+ * generator (Road-USA-like low degree and large diameter).
+ */
+
+#ifndef CACTUS_GRAPH_CSR_HH
+#define CACTUS_GRAPH_CSR_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace cactus::graph {
+
+/** An undirected graph in CSR form (each edge stored both ways). */
+class CsrGraph
+{
+  public:
+    /** Build from an edge list; edges are deduplicated and symmetrized. */
+    static CsrGraph fromEdges(
+        int num_vertices,
+        std::vector<std::pair<int, int>> edges);
+
+    /**
+     * RMAT power-law generator (Graph500-style parameters), producing
+     * the heavy-tailed degree distribution of social networks.
+     * @param scale Vertices = 2^scale.
+     * @param edge_factor Directed edges generated per vertex.
+     */
+    static CsrGraph rmat(int scale, int edge_factor, Rng &rng,
+                         double a = 0.57, double b = 0.19,
+                         double c = 0.19);
+
+    /**
+     * Road-network generator: a width x height grid with ~10% of the
+     * lattice edges removed and sparse long-range "highway" shortcuts;
+     * low uniform degree and a large diameter.
+     */
+    static CsrGraph roadGrid(int width, int height, Rng &rng);
+
+    /** Uniform random (Erdos-Renyi-style) graph, for tests. */
+    static CsrGraph uniformRandom(int num_vertices, int num_edges,
+                                  Rng &rng);
+
+    int numVertices() const { return static_cast<int>(offsets_.size()) - 1; }
+    std::int64_t numDirectedEdges() const
+    {
+        return static_cast<std::int64_t>(targets_.size());
+    }
+
+    int
+    degree(int v) const
+    {
+        return offsets_[v + 1] - offsets_[v];
+    }
+
+    const int *neighborsBegin(int v) const { return &targets_[offsets_[v]]; }
+
+    const std::vector<int> &offsets() const { return offsets_; }
+    const std::vector<int> &targets() const { return targets_; }
+
+    /** Largest vertex degree. */
+    int maxDegree() const;
+
+    /** A vertex with near-maximal degree (good BFS source for RMAT). */
+    int highestDegreeVertex() const;
+
+  private:
+    std::vector<int> offsets_; ///< numVertices + 1.
+    std::vector<int> targets_;
+};
+
+} // namespace cactus::graph
+
+#endif // CACTUS_GRAPH_CSR_HH

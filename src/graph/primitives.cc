@@ -1,0 +1,439 @@
+#include "graph/primitives.hh"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace cactus::graph {
+
+namespace {
+
+using gpu::KernelDesc;
+using gpu::ThreadCtx;
+
+constexpr float kInf = 1e30f;
+
+} // namespace
+
+std::vector<float>
+randomEdgeWeights(const CsrGraph &g, Rng &rng, float lo, float hi)
+{
+    std::vector<float> weights(g.numDirectedEdges());
+    // Symmetric weights: both directions of an undirected edge get the
+    // same value, derived from the unordered endpoint pair plus a
+    // per-run seed.
+    const std::uint64_t run_seed = rng.next();
+    for (int u = 0; u < g.numVertices(); ++u) {
+        const int *nb = g.neighborsBegin(u);
+        const int begin = g.offsets()[u];
+        for (int k = 0; k < g.degree(u); ++k) {
+            const int v = nb[k];
+            const std::uint64_t a = std::min(u, v);
+            const std::uint64_t b = std::max(u, v);
+            Rng edge_rng(a * 2654435761ull ^ (b << 20) ^ run_seed);
+            weights[begin + k] = static_cast<float>(
+                edge_rng.uniform(lo, hi));
+        }
+    }
+    return weights;
+}
+
+SsspResult
+gunrockSssp(gpu::Device &dev, const CsrGraph &g, int source,
+            const std::vector<float> &weights, int threads_per_block)
+{
+    const int n = g.numVertices();
+    if (source < 0 || source >= n)
+        fatal("SSSP source out of range");
+    if (weights.size() != static_cast<std::size_t>(
+            g.numDirectedEdges()))
+        fatal("SSSP weight array size mismatch");
+
+    const auto &offsets = g.offsets();
+    const auto &targets = g.targets();
+
+    SsspResult result;
+    result.distances.assign(n, kInf);
+    std::vector<std::uint8_t> in_frontier(n, 0), in_next(n, 0);
+    std::vector<int> frontier(n, 0), next_frontier(n, 0);
+
+    // Kernel: distance initialization.
+    float *dist = result.distances.data();
+    dev.launchLinear(
+        KernelDesc("sssp_init", 12), n, threads_per_block,
+        [&](ThreadCtx &ctx) {
+            ctx.st(&dist[ctx.globalId()], kInf);
+        });
+    result.distances[source] = 0.f;
+    frontier[0] = source;
+    int frontier_size = 1;
+
+    while (frontier_size > 0 && result.iterations < 4 * n) {
+        int next_size = 0;
+        // Kernel: relax all edges out of the frontier; push improved
+        // vertices into the next worklist (claimed via CAS on a flag).
+        dev.launchLinear(
+            KernelDesc("sssp_relax", 40), frontier_size,
+            threads_per_block, [&](ThreadCtx &ctx) {
+                const int f = static_cast<int>(ctx.globalId());
+                const int v = ctx.ld(&frontier[f]);
+                const float dv = ctx.ld(&dist[v]);
+                const int begin = ctx.ld(&offsets[v]);
+                const int end = ctx.ld(&offsets[v + 1]);
+                ctx.intOp(3);
+                for (int e = begin; e < end; ++e) {
+                    const int u = ctx.ld(&targets[e]);
+                    const float w = ctx.ld(&weights[e]);
+                    const float cand = dv + w;
+                    const float du = ctx.ld(&dist[u]);
+                    ctx.fp32(2);
+                    ctx.branch(1);
+                    if (cand >= du)
+                        continue;
+                    // Sequential-lane execution makes this exact; on
+                    // real hardware it is an atomicMin.
+                    ctx.st(&dist[u], cand);
+                    const std::uint8_t old = ctx.atomicCAS(
+                        &in_next[u], std::uint8_t{0},
+                        std::uint8_t{1});
+                    if (old == 0) {
+                        const int slot =
+                            ctx.atomicAdd(&next_size, 1);
+                        ctx.st(&next_frontier[slot], u);
+                    }
+                }
+            });
+        // Kernel: clear the membership flags for the next round.
+        if (next_size > 0) {
+            dev.launchLinear(
+                KernelDesc("sssp_clear_flags", 8), next_size,
+                threads_per_block, [&](ThreadCtx &ctx) {
+                    const int i = static_cast<int>(ctx.globalId());
+                    const int u = ctx.ld(&next_frontier[i]);
+                    ctx.st(&in_next[u], std::uint8_t{0});
+                });
+        }
+        std::swap(frontier, next_frontier);
+        frontier_size = next_size;
+        ++result.iterations;
+    }
+    return result;
+}
+
+std::vector<float>
+referenceSssp(const CsrGraph &g, int source,
+              const std::vector<float> &weights)
+{
+    std::vector<float> dist(g.numVertices(), kInf);
+    using Entry = std::pair<float, int>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    dist[source] = 0.f;
+    pq.emplace(0.f, source);
+    while (!pq.empty()) {
+        const auto [d, v] = pq.top();
+        pq.pop();
+        if (d > dist[v])
+            continue;
+        const int *nb = g.neighborsBegin(v);
+        const int begin = g.offsets()[v];
+        for (int k = 0; k < g.degree(v); ++k) {
+            const int u = nb[k];
+            const float cand = d + weights[begin + k];
+            if (cand < dist[u]) {
+                dist[u] = cand;
+                pq.emplace(cand, u);
+            }
+        }
+    }
+    return dist;
+}
+
+PageRankResult
+gunrockPageRank(gpu::Device &dev, const CsrGraph &g, double damping,
+                double tolerance, int max_iterations,
+                int threads_per_block)
+{
+    const int n = g.numVertices();
+    const auto &offsets = g.offsets();
+    const auto &targets = g.targets();
+
+    PageRankResult result;
+    result.ranks.assign(n, 1.f / n);
+    std::vector<float> next(n, 0.f);
+    const float base = static_cast<float>((1.0 - damping) / n);
+
+    float *rank = result.ranks.data();
+    for (int iter = 0; iter < max_iterations; ++iter) {
+        // Kernel: collect the dangling (degree-0) mass so it can be
+        // redistributed instead of leaking out of the distribution.
+        double dangling = 0;
+        dev.launchLinear(
+            KernelDesc("pr_dangling_reduce", 16), n,
+            threads_per_block, [&](ThreadCtx &ctx) {
+                const int v = static_cast<int>(ctx.globalId());
+                const int deg = ctx.ld(&offsets[v + 1]) -
+                                ctx.ld(&offsets[v]);
+                ctx.intOp(2);
+                ctx.branch(1);
+                if (deg == 0)
+                    ctx.atomicAdd(&dangling,
+                                  static_cast<double>(
+                                      ctx.ld(&rank[v])));
+            });
+        const float teleport = base + static_cast<float>(
+            damping * dangling / n);
+
+        // Kernel: reset accumulators to the teleport + dangling term.
+        dev.launchLinear(
+            KernelDesc("pr_reset", 12), n, threads_per_block,
+            [&](ThreadCtx &ctx) {
+                ctx.st(&next[ctx.globalId()], teleport);
+            });
+        // Kernel: push each vertex's rank share to its neighbors.
+        dev.launchLinear(
+            KernelDesc("pr_push", 32), n, threads_per_block,
+            [&](ThreadCtx &ctx) {
+                const int v = static_cast<int>(ctx.globalId());
+                const int begin = ctx.ld(&offsets[v]);
+                const int end = ctx.ld(&offsets[v + 1]);
+                const int deg = end - begin;
+                ctx.intOp(3);
+                ctx.branch(1);
+                if (deg == 0)
+                    return;
+                const float share = static_cast<float>(damping) *
+                                    ctx.ld(&rank[v]) / deg;
+                ctx.fp32(2);
+                for (int e = begin; e < end; ++e) {
+                    const int u = ctx.ld(&targets[e]);
+                    ctx.atomicAdd(&next[u], share);
+                    ctx.intOp(1);
+                }
+            });
+        // Kernel: L1 delta reduction + swap into rank.
+        double delta = 0;
+        dev.launchLinear(
+            KernelDesc("pr_delta_swap", 24), n, threads_per_block,
+            [&](ThreadCtx &ctx) {
+                const int v = static_cast<int>(ctx.globalId());
+                const float old = ctx.ld(&rank[v]);
+                const float nv = ctx.ld(&next[v]);
+                ctx.fp32(2);
+                ctx.atomicAdd(&delta, std::fabs(
+                    static_cast<double>(nv) - old));
+                ctx.st(&rank[v], nv);
+            });
+        ++result.iterations;
+        result.finalDelta = delta;
+        if (delta < tolerance)
+            break;
+    }
+    return result;
+}
+
+CcResult
+gunrockConnectedComponents(gpu::Device &dev, const CsrGraph &g,
+                           int threads_per_block)
+{
+    const int n = g.numVertices();
+    const auto &offsets = g.offsets();
+    const auto &targets = g.targets();
+
+    CcResult result;
+    result.labels.resize(n);
+    int *label = result.labels.data();
+
+    // Kernel: label initialization (every vertex its own component).
+    dev.launchLinear(
+        KernelDesc("cc_init", 12), n, threads_per_block,
+        [&](ThreadCtx &ctx) {
+            const int v = static_cast<int>(ctx.globalId());
+            ctx.st(&label[v], v);
+        });
+
+    int changed = 1;
+    while (changed && result.iterations < n) {
+        changed = 0;
+        // Kernel: hook - adopt the smallest neighboring label.
+        dev.launchLinear(
+            KernelDesc("cc_hook", 28), n, threads_per_block,
+            [&](ThreadCtx &ctx) {
+                const int v = static_cast<int>(ctx.globalId());
+                const int begin = ctx.ld(&offsets[v]);
+                const int end = ctx.ld(&offsets[v + 1]);
+                int best = ctx.ld(&label[v]);
+                ctx.intOp(3);
+                for (int e = begin; e < end; ++e) {
+                    const int u = ctx.ld(&targets[e]);
+                    const int lu = ctx.ld(&label[u]);
+                    ctx.branch(1);
+                    ctx.intOp(1);
+                    if (lu < best)
+                        best = lu;
+                }
+                ctx.branch(1);
+                if (best < ctx.ld(&label[v])) {
+                    ctx.st(&label[v], best);
+                    ctx.atomicMax(&changed, 1);
+                }
+            });
+        // Kernel: compress - pointer-jump labels toward the roots.
+        dev.launchLinear(
+            KernelDesc("cc_compress", 20), n, threads_per_block,
+            [&](ThreadCtx &ctx) {
+                const int v = static_cast<int>(ctx.globalId());
+                int l = ctx.ld(&label[v]);
+                int ll = ctx.ld(&label[l]);
+                ctx.branch(1);
+                while (l != ll) {
+                    l = ll;
+                    ll = ctx.ld(&label[l]);
+                    ctx.intOp(1);
+                    ctx.branch(1);
+                }
+                ctx.st(&label[v], l);
+            });
+        ++result.iterations;
+    }
+
+    std::vector<int> distinct(result.labels);
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    result.numComponents = static_cast<int>(distinct.size());
+    return result;
+}
+
+BcResult
+gunrockBetweenness(gpu::Device &dev, const CsrGraph &g, int source,
+                   int threads_per_block)
+{
+    const int n = g.numVertices();
+    if (source < 0 || source >= n)
+        fatal("BC source out of range");
+    const auto &offsets = g.offsets();
+    const auto &targets = g.targets();
+
+    BcResult result;
+    result.centrality.assign(n, 0.f);
+    std::vector<int> level(n, -1);
+    std::vector<float> sigma(n, 0.f); ///< Shortest-path counts.
+    std::vector<float> delta(n, 0.f); ///< Dependency accumulators.
+
+    // Kernel: initialize levels and path counts.
+    dev.launchLinear(
+        KernelDesc("bc_init", 16), n, threads_per_block,
+        [&](ThreadCtx &ctx) {
+            const int v = static_cast<int>(ctx.globalId());
+            ctx.st(&level[v], -1);
+            ctx.st(&sigma[v], 0.f);
+            ctx.st(&delta[v], 0.f);
+        });
+    level[source] = 0;
+    sigma[source] = 1.f;
+
+    // Forward phase: level-synchronous BFS accumulating sigma.
+    int depth = 0;
+    int advanced = 1;
+    while (advanced) {
+        advanced = 0;
+        dev.launchLinear(
+            KernelDesc("bc_forward", 32), n, threads_per_block,
+            [&](ThreadCtx &ctx) {
+                const int v = static_cast<int>(ctx.globalId());
+                ctx.branch(1);
+                if (ctx.ld(&level[v]) != depth)
+                    return;
+                const float sv = ctx.ld(&sigma[v]);
+                const int begin = ctx.ld(&offsets[v]);
+                const int end = ctx.ld(&offsets[v + 1]);
+                ctx.intOp(3);
+                for (int e = begin; e < end; ++e) {
+                    const int u = ctx.ld(&targets[e]);
+                    const int lu = ctx.ld(&level[u]);
+                    ctx.branch(1);
+                    if (lu == -1) {
+                        ctx.st(&level[u], depth + 1);
+                        ctx.atomicMax(&advanced, 1);
+                    }
+                    if (lu == -1 || lu == depth + 1) {
+                        ctx.atomicAdd(&sigma[u], sv);
+                        ctx.fp32(1);
+                    }
+                }
+            });
+        ++depth;
+    }
+    result.iterations = depth;
+
+    // Backward phase: accumulate dependencies from the deepest level.
+    for (int d = depth - 1; d > 0; --d) {
+        dev.launchLinear(
+            KernelDesc("bc_backward", 40), n, threads_per_block,
+            [&](ThreadCtx &ctx) {
+                const int v = static_cast<int>(ctx.globalId());
+                ctx.branch(1);
+                if (ctx.ld(&level[v]) != d - 1)
+                    return;
+                const float sv = ctx.ld(&sigma[v]);
+                const int begin = ctx.ld(&offsets[v]);
+                const int end = ctx.ld(&offsets[v + 1]);
+                ctx.intOp(3);
+                float acc = 0.f;
+                for (int e = begin; e < end; ++e) {
+                    const int u = ctx.ld(&targets[e]);
+                    ctx.branch(1);
+                    if (ctx.ld(&level[u]) != d)
+                        continue;
+                    const float su = ctx.ld(&sigma[u]);
+                    const float du = ctx.ld(&delta[u]);
+                    acc += sv / su * (1.f + du);
+                    ctx.fp32(4);
+                }
+                ctx.st(&delta[v], acc);
+                ctx.branch(1);
+                if (v != source)
+                    ctx.atomicAdd(&result.centrality[v], acc);
+            });
+    }
+    return result;
+}
+
+std::vector<float>
+referenceBetweenness(const CsrGraph &g, int source)
+{
+    const int n = g.numVertices();
+    std::vector<float> centrality(n, 0.f);
+    std::vector<int> level(n, -1);
+    std::vector<float> sigma(n, 0.f), delta(n, 0.f);
+    level[source] = 0;
+    sigma[source] = 1.f;
+    std::vector<int> order{source};
+    for (std::size_t head = 0; head < order.size(); ++head) {
+        const int v = order[head];
+        for (int k = 0; k < g.degree(v); ++k) {
+            const int u = g.neighborsBegin(v)[k];
+            if (level[u] == -1) {
+                level[u] = level[v] + 1;
+                order.push_back(u);
+            }
+            if (level[u] == level[v] + 1)
+                sigma[u] += sigma[v];
+        }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const int v = *it;
+        for (int k = 0; k < g.degree(v); ++k) {
+            const int u = g.neighborsBegin(v)[k];
+            if (level[u] == level[v] + 1)
+                delta[v] += sigma[v] / sigma[u] * (1.f + delta[u]);
+        }
+        if (v != source)
+            centrality[v] += delta[v];
+    }
+    return centrality;
+}
+
+} // namespace cactus::graph

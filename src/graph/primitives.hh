@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Further Gunrock-style graph primitives beyond BFS: single-source
+ * shortest paths (Bellman-Ford frontier relaxation), PageRank
+ * (bulk-synchronous push iterations), and connected components
+ * (hook-and-compress label propagation). The paper's future work lists
+ * "additional modern-day applications"; these are the primitives the
+ * real Gunrock library ships alongside BFS, built on the same
+ * frontier/advance kernel machinery.
+ */
+
+#ifndef CACTUS_GRAPH_PRIMITIVES_HH
+#define CACTUS_GRAPH_PRIMITIVES_HH
+
+#include <vector>
+
+#include "gpu/device.hh"
+#include "graph/csr.hh"
+
+namespace cactus::graph {
+
+/** Result of an SSSP run. */
+struct SsspResult
+{
+    std::vector<float> distances; ///< +inf (1e30f) if unreachable.
+    int iterations = 0;
+};
+
+/**
+ * Frontier-based SSSP (Bellman-Ford relaxation with a worklist).
+ * @param weights Per-directed-edge weights, aligned with
+ *        g.targets(); must be non-negative.
+ */
+SsspResult gunrockSssp(gpu::Device &dev, const CsrGraph &g, int source,
+                       const std::vector<float> &weights,
+                       int threads_per_block = 256);
+
+/** Uniform random edge weights in [lo, hi), aligned with targets(). */
+std::vector<float> randomEdgeWeights(const CsrGraph &g, Rng &rng,
+                                     float lo = 1.f, float hi = 10.f);
+
+/** Host reference SSSP (Dijkstra) for validation. */
+std::vector<float> referenceSssp(const CsrGraph &g, int source,
+                                 const std::vector<float> &weights);
+
+/** Result of a PageRank run. */
+struct PageRankResult
+{
+    std::vector<float> ranks;
+    int iterations = 0;
+    double finalDelta = 0; ///< L1 rank change of the last iteration.
+};
+
+/**
+ * Bulk-synchronous PageRank with damping, run until the L1 delta
+ * drops below @p tolerance or @p max_iterations is reached.
+ */
+PageRankResult gunrockPageRank(gpu::Device &dev, const CsrGraph &g,
+                               double damping = 0.85,
+                               double tolerance = 1e-4,
+                               int max_iterations = 50,
+                               int threads_per_block = 256);
+
+/** Result of a connected-components run. */
+struct CcResult
+{
+    std::vector<int> labels; ///< Component representative per vertex.
+    int numComponents = 0;
+    int iterations = 0;
+};
+
+/** Hook-and-compress (Shiloach-Vishkin-style) connected components. */
+CcResult gunrockConnectedComponents(gpu::Device &dev, const CsrGraph &g,
+                                    int threads_per_block = 256);
+
+/** Result of a betweenness-centrality run. */
+struct BcResult
+{
+    std::vector<float> centrality; ///< Unnormalized BC per vertex.
+    int iterations = 0;            ///< BFS depths traversed.
+};
+
+/**
+ * Brandes-style betweenness centrality from a single source: a
+ * forward level-synchronous BFS accumulating shortest-path counts,
+ * then a backward sweep accumulating dependencies — the two-phase
+ * kernel pipeline Gunrock's BC app uses.
+ */
+BcResult gunrockBetweenness(gpu::Device &dev, const CsrGraph &g,
+                            int source, int threads_per_block = 256);
+
+/** Host reference single-source Brandes BC for validation. */
+std::vector<float> referenceBetweenness(const CsrGraph &g, int source);
+
+} // namespace cactus::graph
+
+#endif // CACTUS_GRAPH_PRIMITIVES_HH

@@ -1,0 +1,208 @@
+#include "md/engine.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cactus::md {
+
+using gpu::KernelDesc;
+using gpu::ThreadCtx;
+
+Simulation::Simulation(ParticleSystem sys, MdConfig cfg)
+    : sys_(std::move(sys)), cfg_(cfg), nlist_(cfg.maxNeighbors)
+{
+    if (cfg_.steps < 0)
+        fatal("negative step count");
+    if (cfg_.pme)
+        pme_ = std::make_unique<PmeSolver>(cfg_.pmeGrid);
+}
+
+void
+Simulation::computeForces(gpu::Device &dev)
+{
+    const auto pair = computePairForces(dev, sys_, nlist_,
+                                        cfg_.pairStyle, cfg_.cutoff,
+                                        cfg_.threadsPerBlock);
+    last_.potential = pair.potential;
+    lastVirial_ = pair.virial;
+    if (cfg_.bonded)
+        last_.potential += computeBondedForces(dev, sys_,
+                                               cfg_.threadsPerBlock);
+    if (pme_)
+        last_.potential += pme_->compute(dev, sys_,
+                                         cfg_.threadsPerBlock);
+}
+
+void
+Simulation::integrate(gpu::Device &dev)
+{
+    const float dt = cfg_.dt;
+    const float box = sys_.box;
+    dev.launchLinear(
+        KernelDesc("integrate_leapfrog", 32), sys_.numAtoms(),
+        cfg_.threadsPerBlock, [&](ThreadCtx &ctx) {
+            const int i = static_cast<int>(ctx.globalId());
+            Vec3 v = ctx.ld(&sys_.vel[i]);
+            const Vec3 f = ctx.ld(&sys_.force[i]);
+            const float m_inv = 1.0f / ctx.ld(&sys_.mass[i]);
+            v.x += f.x * m_inv * dt;
+            v.y += f.y * m_inv * dt;
+            v.z += f.z * m_inv * dt;
+            Vec3 p = ctx.ld(&sys_.pos[i]);
+            p.x += v.x * dt;
+            p.y += v.y * dt;
+            p.z += v.z * dt;
+            // Periodic wrap.
+            auto wrap = [&](float x) {
+                if (x >= box)
+                    return x - box;
+                if (x < 0)
+                    return x + box;
+                return x;
+            };
+            p.x = wrap(p.x);
+            p.y = wrap(p.y);
+            p.z = wrap(p.z);
+            ctx.fp32(16);
+            ctx.branch(3);
+            ctx.st(&sys_.vel[i], v);
+            ctx.st(&sys_.pos[i], p);
+        });
+}
+
+void
+Simulation::applyConstraints(gpu::Device &dev)
+{
+    if (sys_.bonds.empty())
+        return;
+    // SHAKE-style iterative bond-length projection, three sweeps.
+    for (int sweep = 0; sweep < 3; ++sweep) {
+        dev.launchLinear(
+            KernelDesc("settle_constraints", 40), sys_.bonds.size(),
+            cfg_.threadsPerBlock, [&](ThreadCtx &ctx) {
+                const auto b = ctx.ld(&sys_.bonds[ctx.globalId()]);
+                const Vec3 pi = ctx.ld(&sys_.pos[b.i]);
+                const Vec3 pj = ctx.ld(&sys_.pos[b.j]);
+                const float dx = sys_.minImage(pi.x - pj.x);
+                const float dy = sys_.minImage(pi.y - pj.y);
+                const float dz = sys_.minImage(pi.z - pj.z);
+                const float r = std::sqrt(
+                    dx * dx + dy * dy + dz * dz) + 1e-12f;
+                const float err = (r - b.r0) / r;
+                ctx.fp32(14);
+                ctx.sfu(1);
+                ctx.branch(1);
+                if (std::fabs(err) < 1e-5f)
+                    return;
+                // Symmetric correction along the bond.
+                const float g = 0.5f * err;
+                ctx.atomicAdd(&sys_.pos[b.i].x, -g * dx);
+                ctx.atomicAdd(&sys_.pos[b.i].y, -g * dy);
+                ctx.atomicAdd(&sys_.pos[b.i].z, -g * dz);
+                ctx.atomicAdd(&sys_.pos[b.j].x, g * dx);
+                ctx.atomicAdd(&sys_.pos[b.j].y, g * dy);
+                ctx.atomicAdd(&sys_.pos[b.j].z, g * dz);
+                ctx.fp32(7);
+            });
+    }
+}
+
+double
+Simulation::reduceKinetic(gpu::Device &dev)
+{
+    double ke = 0;
+    dev.launchLinear(
+        KernelDesc("reduce_kinetic", 24), sys_.numAtoms(),
+        cfg_.threadsPerBlock, [&](ThreadCtx &ctx) {
+            const int i = static_cast<int>(ctx.globalId());
+            const Vec3 v = ctx.ld(&sys_.vel[i]);
+            const float m = ctx.ld(&sys_.mass[i]);
+            const float e =
+                0.5f * m * (v.x * v.x + v.y * v.y + v.z * v.z);
+            ctx.fp32(7);
+            ctx.atomicAdd(&ke, static_cast<double>(e));
+        });
+    return ke;
+}
+
+void
+Simulation::applyThermostat(gpu::Device &dev)
+{
+    const double ke = reduceKinetic(dev);
+    const int dof = 3 * sys_.numAtoms() - 3;
+    const double temp = dof > 0 ? 2.0 * ke / dof : 0.0;
+    if (temp <= 1e-12)
+        return;
+    const float lambda = static_cast<float>(std::sqrt(
+        1.0 + cfg_.dt / cfg_.tauT * (cfg_.targetTemp / temp - 1.0)));
+    dev.launchLinear(
+        KernelDesc("berendsen_thermostat", 16), sys_.numAtoms(),
+        cfg_.threadsPerBlock, [&](ThreadCtx &ctx) {
+            const int i = static_cast<int>(ctx.globalId());
+            Vec3 v = ctx.ld(&sys_.vel[i]);
+            v.x *= lambda;
+            v.y *= lambda;
+            v.z *= lambda;
+            ctx.fp32(3);
+            ctx.st(&sys_.vel[i], v);
+        });
+}
+
+void
+Simulation::applyBarostat(gpu::Device &dev)
+{
+    // Instantaneous pressure from virial theorem.
+    const double vol = static_cast<double>(sys_.box) * sys_.box *
+                       sys_.box;
+    const double ke = last_.kinetic;
+    const double pressure =
+        (2.0 * ke / 3.0 + lastVirial_ / 3.0) / vol;
+    last_.pressure = pressure;
+    const double mu_cubed =
+        1.0 - cfg_.dt / cfg_.tauP * (cfg_.targetPressure - pressure);
+    const float mu =
+        static_cast<float>(std::cbrt(std::max(0.5, std::min(2.0,
+            mu_cubed))));
+    sys_.box *= mu;
+    dev.launchLinear(
+        KernelDesc("berendsen_barostat", 16), sys_.numAtoms(),
+        cfg_.threadsPerBlock, [&](ThreadCtx &ctx) {
+            const int i = static_cast<int>(ctx.globalId());
+            Vec3 p = ctx.ld(&sys_.pos[i]);
+            p.x *= mu;
+            p.y *= mu;
+            p.z *= mu;
+            ctx.fp32(3);
+            ctx.st(&sys_.pos[i], p);
+        });
+}
+
+void
+Simulation::step(gpu::Device &dev)
+{
+    if (stepsDone_ % cfg_.neighborEvery == 0)
+        nlist_.build(dev, sys_, cfg_.cutoff + cfg_.skin,
+                     cfg_.threadsPerBlock);
+    computeForces(dev);
+    integrate(dev);
+    if (cfg_.constraints)
+        applyConstraints(dev);
+    if (cfg_.ensemble != Ensemble::NVE)
+        applyThermostat(dev);
+    last_.kinetic = reduceKinetic(dev);
+    const int dof = 3 * sys_.numAtoms() - 3;
+    last_.temperature = dof > 0 ? 2.0 * last_.kinetic / dof : 0.0;
+    if (cfg_.ensemble == Ensemble::NPT)
+        applyBarostat(dev);
+    ++stepsDone_;
+}
+
+void
+Simulation::run(gpu::Device &dev)
+{
+    for (int s = 0; s < cfg_.steps; ++s)
+        step(dev);
+}
+
+} // namespace cactus::md

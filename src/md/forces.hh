@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Short-range pair-force and bonded-force kernels. Three pair styles
+ * cover the paper's molecular workloads: plain Lennard-Jones
+ * (lj/cut), LJ with cutoff Coulomb (the CHARMM-style kernel dominating
+ * Gromacs/rhodopsin runs), and the integrated colloid potential (the
+ * expensive per-pair kernel dominating the LAMMPS colloid benchmark).
+ */
+
+#ifndef CACTUS_MD_FORCES_HH
+#define CACTUS_MD_FORCES_HH
+
+#include "gpu/device.hh"
+#include "md/neighbor.hh"
+#include "md/system.hh"
+
+namespace cactus::md {
+
+/** Short-range pair interaction styles. */
+enum class PairStyle
+{
+    LjCut,        ///< 12-6 Lennard-Jones with cutoff.
+    LjCutCoul,    ///< LJ plus cutoff Coulomb (charged systems).
+    NbnxnEwald,   ///< Gromacs-style nbnxn Ewald kernel: LJ + erfc-
+                  ///< corrected Coulomb with switching, arithmetic-
+                  ///< dense as the real cluster-pair kernels.
+    Colloid       ///< Integrated colloid (Hamaker) potential.
+};
+
+/** Accumulated per-step force-field scalars (double precision). */
+struct ForceAccumulators
+{
+    double potential = 0; ///< Pair + bonded potential energy.
+    double virial = 0;    ///< Pair virial for the barostat.
+};
+
+/**
+ * Compute short-range pair forces into sys.force (overwrites).
+ * @return Potential energy and virial accumulated on the device.
+ */
+ForceAccumulators computePairForces(gpu::Device &dev, ParticleSystem &sys,
+                                    const NeighborList &nlist,
+                                    PairStyle style, float cutoff,
+                                    int threads_per_block = 128);
+
+/**
+ * Accumulate bonded forces (bonds, angles, dihedrals) into sys.force.
+ * Launches one kernel per interaction type that is present.
+ * @return Bonded potential energy.
+ */
+double computeBondedForces(gpu::Device &dev, ParticleSystem &sys,
+                           int threads_per_block = 128);
+
+} // namespace cactus::md
+
+#endif // CACTUS_MD_FORCES_HH

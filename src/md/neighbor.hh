@@ -1,0 +1,70 @@
+/**
+ * @file
+ * GPU cell-list and Verlet neighbor-list construction, structured as the
+ * kernel sequence real MD packages use: bin atoms into cells with atomic
+ * counters, compact them with a scan, then search the 27 neighboring
+ * cells per atom to build a fixed-stride neighbor list.
+ */
+
+#ifndef CACTUS_MD_NEIGHBOR_HH
+#define CACTUS_MD_NEIGHBOR_HH
+
+#include <vector>
+
+#include "gpu/device.hh"
+#include "md/system.hh"
+
+namespace cactus::md {
+
+/** Fixed-stride Verlet neighbor list. */
+class NeighborList
+{
+  public:
+    /**
+     * @param max_neighbors Per-atom list capacity; overflowing neighbors
+     *        are dropped (counted in overflows()).
+     */
+    explicit NeighborList(int max_neighbors = 96)
+        : maxNeighbors_(max_neighbors)
+    {
+    }
+
+    /**
+     * Rebuild the list on the device.
+     * @param dev Simulated GPU.
+     * @param sys Particle system (positions are read).
+     * @param cutoff Interaction cutoff plus skin.
+     * @param threads_per_block Launch block size.
+     */
+    void build(gpu::Device &dev, const ParticleSystem &sys, float cutoff,
+               int threads_per_block = 128);
+
+    /** Neighbors of atom i. */
+    const int *
+    neighborsOf(int i) const
+    {
+        return &list_[static_cast<std::size_t>(i) * maxNeighbors_];
+    }
+
+    int neighborCount(int i) const { return count_[i]; }
+
+    /** Addressable count reference for instrumented device loads. */
+    const int &neighborCountRef(int i) const { return count_[i]; }
+    int maxNeighbors() const { return maxNeighbors_; }
+
+    /** Nonzero if any atom's list overflowed in the last build. */
+    int overflows() const { return overflows_; }
+
+    /** Average neighbors per atom after the last build. */
+    double averageNeighbors() const;
+
+  private:
+    int maxNeighbors_;
+    int overflows_ = 0;
+    std::vector<int> list_;   ///< numAtoms x maxNeighbors_, row-major.
+    std::vector<int> count_;  ///< Per-atom neighbor counts.
+};
+
+} // namespace cactus::md
+
+#endif // CACTUS_MD_NEIGHBOR_HH

@@ -1,0 +1,266 @@
+#include "md/pme.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cactus::md {
+
+namespace {
+
+constexpr float kTwoPi = 6.28318530717958647692f;
+
+bool
+isPowerOfTwo(int v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+PmeSolver::PmeSolver(int grid_size) : gridSize_(grid_size)
+{
+    if (!isPowerOfTwo(grid_size) || grid_size > 1024)
+        fatal("PME grid size must be a power of two <= 1024, got ",
+              grid_size);
+    grid_.assign(static_cast<std::size_t>(grid_size) * grid_size *
+                     grid_size,
+                 {0.f, 0.f});
+}
+
+void
+PmeSolver::fftPass(gpu::Device &dev, int axis, bool inverse,
+                   int threads_per_block)
+{
+    using gpu::KernelDesc;
+    using gpu::ThreadCtx;
+
+    const int n = gridSize_;
+    const int lines = n * n;
+    const int stages = static_cast<int>(std::log2(n));
+
+    // Stride pattern per axis (x fastest).
+    const std::size_t stride = axis == 0
+        ? 1
+        : axis == 1 ? static_cast<std::size_t>(n)
+                    : static_cast<std::size_t>(n) * n;
+
+    // One thread per line performs a full iterative radix-2 FFT,
+    // mirroring batched cuFFT execution.
+    dev.launchLinear(
+        KernelDesc("pme_3dfft", 64, 4096), lines, threads_per_block,
+        [&](ThreadCtx &ctx) {
+            const int line = static_cast<int>(ctx.globalId());
+            // Base index of this line in the flattened grid.
+            std::size_t base;
+            if (axis == 0) {
+                base = static_cast<std::size_t>(line) * n;
+            } else if (axis == 1) {
+                const int x = line % n;
+                const int z = line / n;
+                base = static_cast<std::size_t>(z) * n * n + x;
+            } else {
+                base = static_cast<std::size_t>(line);
+            }
+
+            // Load the line.
+            std::complex<float> buf[1024];
+            for (int k = 0; k < n; ++k)
+                buf[k] = ctx.ld(&grid_[base + k * stride]);
+
+            // Bit-reversal permutation.
+            for (int k = 1, j = 0; k < n; ++k) {
+                int bit = n >> 1;
+                for (; j & bit; bit >>= 1)
+                    j ^= bit;
+                j ^= bit;
+                if (k < j)
+                    std::swap(buf[k], buf[j]);
+            }
+            ctx.intOp(static_cast<std::uint64_t>(n) * 2);
+
+            // Iterative butterflies.
+            for (int len = 2; len <= n; len <<= 1) {
+                const float ang =
+                    kTwoPi / len * (inverse ? 1.0f : -1.0f);
+                const std::complex<float> wl(std::cos(ang),
+                                             std::sin(ang));
+                for (int i = 0; i < n; i += len) {
+                    std::complex<float> w(1.f, 0.f);
+                    for (int k = 0; k < len / 2; ++k) {
+                        const auto u = buf[i + k];
+                        const auto v = buf[i + k + len / 2] * w;
+                        buf[i + k] = u + v;
+                        buf[i + k + len / 2] = u - v;
+                        w *= wl;
+                    }
+                }
+            }
+            // 5 n log n real flops for a complex FFT.
+            ctx.fp32(static_cast<std::uint64_t>(5 * n * stages));
+            ctx.sfu(static_cast<std::uint64_t>(2 * stages));
+
+            if (inverse && axis == 2) {
+                // Normalize once at the end of the inverse transform.
+                const float inv_n3 =
+                    1.0f / (static_cast<float>(n) * n * n);
+                for (int k = 0; k < n; ++k)
+                    buf[k] *= inv_n3;
+                ctx.fp32(static_cast<std::uint64_t>(2 * n));
+            }
+
+            for (int k = 0; k < n; ++k)
+                ctx.st(&grid_[base + k * stride], buf[k]);
+        });
+}
+
+double
+PmeSolver::compute(gpu::Device &dev, ParticleSystem &sys,
+                   int threads_per_block)
+{
+    using gpu::KernelDesc;
+    using gpu::ThreadCtx;
+
+    const int n = gridSize_;
+    const int natoms = sys.numAtoms();
+    const float inv_h = n / sys.box; ///< Grid points per unit length.
+
+    std::fill(grid_.begin(), grid_.end(), std::complex<float>{0.f, 0.f});
+
+    // --- Kernel: spread charges with trilinear (order-2) weights -------
+    dev.launchLinear(
+        KernelDesc("pme_spread", 40), natoms, threads_per_block,
+        [&](ThreadCtx &ctx) {
+            const int i = static_cast<int>(ctx.globalId());
+            const Vec3 p = ctx.ld(&sys.pos[i]);
+            const float q = ctx.ld(&sys.charge[i]);
+            ctx.branch(1);
+            if (q == 0.f)
+                return;
+            const float gx = p.x * inv_h;
+            const float gy = p.y * inv_h;
+            const float gz = p.z * inv_h;
+            const int ix = static_cast<int>(gx) % n;
+            const int iy = static_cast<int>(gy) % n;
+            const int iz = static_cast<int>(gz) % n;
+            const float fx = gx - std::floor(gx);
+            const float fy = gy - std::floor(gy);
+            const float fz = gz - std::floor(gz);
+            ctx.fp32(12);
+            ctx.intOp(9);
+            for (int dz = 0; dz < 2; ++dz) {
+                for (int dy = 0; dy < 2; ++dy) {
+                    for (int dx = 0; dx < 2; ++dx) {
+                        const float w =
+                            (dx ? fx : 1.f - fx) *
+                            (dy ? fy : 1.f - fy) *
+                            (dz ? fz : 1.f - fz);
+                        const std::size_t cell =
+                            (static_cast<std::size_t>((iz + dz) % n) *
+                                 n +
+                             (iy + dy) % n) * n +
+                            (ix + dx) % n;
+                        ctx.fp32(4);
+                        ctx.intOp(6);
+                        // Real accumulation; complex imag part unused.
+                        ctx.atomicAdd(
+                            reinterpret_cast<float *>(&grid_[cell]),
+                            q * w);
+                    }
+                }
+            }
+        });
+
+    // --- Forward 3-D FFT ------------------------------------------------
+    for (int axis = 0; axis < 3; ++axis)
+        fftPass(dev, axis, /*inverse=*/false, threads_per_block);
+
+    // --- Reciprocal-space solve ------------------------------------------
+    const std::size_t cells =
+        static_cast<std::size_t>(n) * n * n;
+    const float beta = 3.0f / sys.box; ///< Ewald splitting parameter.
+    double energy_acc = 0;
+    dev.launchLinear(
+        KernelDesc("pme_solve", 32), cells, threads_per_block,
+        [&](ThreadCtx &ctx) {
+            const std::size_t c = ctx.globalId();
+            const int kx0 = static_cast<int>(c % n);
+            const int ky0 = static_cast<int>((c / n) % n);
+            const int kz0 = static_cast<int>(c / (static_cast<
+                std::size_t>(n) * n));
+            auto wrap = [&](int k) {
+                return k <= n / 2 ? k : k - n;
+            };
+            const float kx = kTwoPi * wrap(kx0) / sys.box;
+            const float ky = kTwoPi * wrap(ky0) / sys.box;
+            const float kz = kTwoPi * wrap(kz0) / sys.box;
+            const float k2 = kx * kx + ky * ky + kz * kz;
+            ctx.fp32(10);
+            ctx.intOp(8);
+            ctx.branch(1);
+            if (k2 < 1e-9f) {
+                ctx.st(&grid_[c], std::complex<float>{0.f, 0.f});
+                return;
+            }
+            const float green =
+                std::exp(-k2 / (4.f * beta * beta)) / k2;
+            ctx.sfu(1); // exp
+            const auto v = ctx.ld(&grid_[c]);
+            const auto scaled = v * green;
+            ctx.fp32(6);
+            ctx.st(&grid_[c], scaled);
+            const float e = 0.5f * green *
+                            (v.real() * v.real() + v.imag() * v.imag());
+            ctx.atomicAdd(&energy_acc, static_cast<double>(e));
+        });
+
+    // --- Inverse 3-D FFT --------------------------------------------------
+    for (int axis = 0; axis < 3; ++axis)
+        fftPass(dev, axis, /*inverse=*/true, threads_per_block);
+
+    // --- Kernel: gather per-atom forces from the potential grid ---------
+    dev.launchLinear(
+        KernelDesc("pme_gather", 48), natoms, threads_per_block,
+        [&](ThreadCtx &ctx) {
+            const int i = static_cast<int>(ctx.globalId());
+            const float q = ctx.ld(&sys.charge[i]);
+            ctx.branch(1);
+            if (q == 0.f)
+                return;
+            const Vec3 p = ctx.ld(&sys.pos[i]);
+            const float gx = p.x * inv_h;
+            const float gy = p.y * inv_h;
+            const float gz = p.z * inv_h;
+            const int ix = static_cast<int>(gx) % n;
+            const int iy = static_cast<int>(gy) % n;
+            const int iz = static_cast<int>(gz) % n;
+            ctx.fp32(6);
+            ctx.intOp(9);
+            // Central-difference field estimate from the grid.
+            auto phi = [&](int x, int y, int z) {
+                const std::size_t cell =
+                    (static_cast<std::size_t>((z + n) % n) * n +
+                     (y + n) % n) * n +
+                    (x + n) % n;
+                ctx.intOp(6);
+                return ctx.ld(&grid_[cell]).real();
+            };
+            const float ex =
+                (phi(ix - 1, iy, iz) - phi(ix + 1, iy, iz)) * 0.5f *
+                inv_h;
+            const float ey =
+                (phi(ix, iy - 1, iz) - phi(ix, iy + 1, iz)) * 0.5f *
+                inv_h;
+            const float ez =
+                (phi(ix, iy, iz - 1) - phi(ix, iy, iz + 1)) * 0.5f *
+                inv_h;
+            ctx.fp32(12);
+            ctx.atomicAdd(&sys.force[i].x, q * ex);
+            ctx.atomicAdd(&sys.force[i].y, q * ey);
+            ctx.atomicAdd(&sys.force[i].z, q * ez);
+        });
+
+    return energy_acc;
+}
+
+} // namespace cactus::md

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Particle-Mesh-Ewald-style long-range electrostatics, decomposed into
+ * the kernel pipeline real packages run per step: charge spreading to a
+ * regular grid, batched 1-D FFT passes over the three dimensions, a
+ * reciprocal-space Green's-function solve, inverse FFT passes, and a
+ * per-atom force gather.
+ */
+
+#ifndef CACTUS_MD_PME_HH
+#define CACTUS_MD_PME_HH
+
+#include <complex>
+#include <vector>
+
+#include "gpu/device.hh"
+#include "md/system.hh"
+
+namespace cactus::md {
+
+/** PME grid-based electrostatics solver. */
+class PmeSolver
+{
+  public:
+    /**
+     * @param grid_size Grid points per edge; power of two for the FFT.
+     */
+    explicit PmeSolver(int grid_size = 32);
+
+    /**
+     * Compute reciprocal-space forces and add them into sys.force.
+     * Launches the full kernel pipeline on @p dev.
+     * @return Reciprocal-space energy.
+     */
+    double compute(gpu::Device &dev, ParticleSystem &sys,
+                   int threads_per_block = 128);
+
+    int gridSize() const { return gridSize_; }
+
+  private:
+    /** Run batched 1-D FFTs along one axis over the whole grid. */
+    void fftPass(gpu::Device &dev, int axis, bool inverse,
+                 int threads_per_block);
+
+    int gridSize_;
+    std::vector<std::complex<float>> grid_;
+};
+
+} // namespace cactus::md
+
+#endif // CACTUS_MD_PME_HH

@@ -1,0 +1,213 @@
+#include "md/system.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cactus::md {
+
+namespace {
+
+int
+latticeEdge(int n)
+{
+    return std::max(1, static_cast<int>(std::ceil(std::cbrt(
+                           static_cast<double>(n)))));
+}
+
+/**
+ * Fill a cubic lattice with jitter in snake (boustrophedon) order, so
+ * consecutively indexed atoms are always spatial neighbors - a property
+ * the chain builder relies on to get sane initial bond lengths.
+ */
+void
+placeLattice(ParticleSystem &sys, int n, float box, Rng &rng)
+{
+    const int per_edge = latticeEdge(n);
+    const float spacing = box / per_edge;
+    sys.pos.reserve(n);
+    for (int ix = 0; ix < per_edge && static_cast<int>(sys.pos.size()) < n;
+         ++ix) {
+        for (int sy = 0;
+             sy < per_edge && static_cast<int>(sys.pos.size()) < n;
+             ++sy) {
+            const int iy = (ix % 2 == 0) ? sy : per_edge - 1 - sy;
+            for (int sz = 0;
+                 sz < per_edge && static_cast<int>(sys.pos.size()) < n;
+                 ++sz) {
+                const int iz = (sy % 2 == 0) ? sz : per_edge - 1 - sz;
+                Vec3 p;
+                p.x = (ix + 0.5f) * spacing +
+                      0.1f * spacing *
+                          static_cast<float>(rng.uniform(-1, 1));
+                p.y = (iy + 0.5f) * spacing +
+                      0.1f * spacing *
+                          static_cast<float>(rng.uniform(-1, 1));
+                p.z = (iz + 0.5f) * spacing +
+                      0.1f * spacing *
+                          static_cast<float>(rng.uniform(-1, 1));
+                sys.pos.push_back(p);
+            }
+        }
+    }
+}
+
+void
+initUniformArrays(ParticleSystem &sys)
+{
+    const std::size_t n = sys.pos.size();
+    sys.vel.assign(n, Vec3{});
+    sys.force.assign(n, Vec3{});
+    sys.charge.assign(n, 0.0f);
+    sys.mass.assign(n, 1.0f);
+    sys.radius.assign(n, 0.5f);
+    sys.type.assign(n, 0);
+}
+
+} // namespace
+
+ParticleSystem
+ParticleSystem::liquid(int n, float density, Rng &rng, bool charged)
+{
+    if (n <= 0 || density <= 0)
+        fatal("liquid system requires positive atom count and density");
+    ParticleSystem sys;
+    sys.box = std::cbrt(static_cast<float>(n) / density);
+    placeLattice(sys, n, sys.box, rng);
+    initUniformArrays(sys);
+    if (charged) {
+        for (int i = 0; i < sys.numAtoms(); ++i)
+            sys.charge[i] = (i % 2 == 0) ? 0.4f : -0.4f;
+    }
+    sys.thermalize(1.0f, rng);
+    return sys;
+}
+
+ParticleSystem
+ParticleSystem::proteinLike(int n, Rng &rng)
+{
+    ParticleSystem sys = liquid(n, 0.8f, rng, /*charged=*/true);
+
+    // Mark ~25% of atoms as chain atoms organized into chains of 20,
+    // with bonds, angles and dihedrals along each chain. Snake-order
+    // lattice placement guarantees consecutive atoms sit one lattice
+    // spacing apart, so rest lengths match the initial geometry.
+    const float spacing = sys.box / latticeEdge(n);
+    const int chain_atoms = n / 4;
+    const int chain_len = 20;
+    const int num_chains = chain_atoms / chain_len;
+    for (int c = 0; c < num_chains; ++c) {
+        const int base = c * chain_len;
+        for (int a = 0; a < chain_len; ++a) {
+            sys.type[base + a] = 1;
+            sys.mass[base + a] = 1.5f;
+            sys.charge[base + a] =
+                0.25f * static_cast<float>(rng.uniform(-1, 1));
+        }
+        for (int a = 0; a + 1 < chain_len; ++a) {
+            Bond b;
+            b.i = base + a;
+            b.j = base + a + 1;
+            b.r0 = spacing;
+            b.k = 300.0f;
+            sys.bonds.push_back(b);
+        }
+        for (int a = 0; a + 2 < chain_len; ++a) {
+            Angle ang;
+            ang.i = base + a;
+            ang.j = base + a + 1;
+            ang.k = base + a + 2;
+            // Soft angles between the straight (180 deg) and turn
+            // (90 deg) geometries the snake layout starts from.
+            ang.theta0 = 2.6f;
+            ang.kf = 5.0f;
+            sys.angles.push_back(ang);
+        }
+        for (int a = 0; a + 3 < chain_len; ++a) {
+            Dihedral d;
+            d.i = base + a;
+            d.j = base + a + 1;
+            d.k = base + a + 2;
+            d.l = base + a + 3;
+            d.kf = 1.0f;
+            sys.dihedrals.push_back(d);
+        }
+    }
+    sys.thermalize(1.0f, rng);
+    return sys;
+}
+
+ParticleSystem
+ParticleSystem::colloidal(int n, Rng &rng)
+{
+    ParticleSystem sys = liquid(n, 0.6f, rng, /*charged=*/false);
+    // ~5% large colloid particles among small solvent.
+    for (int i = 0; i < sys.numAtoms(); ++i) {
+        if (i % 20 == 0) {
+            sys.type[i] = 1;
+            sys.radius[i] = 2.0f;
+            sys.mass[i] = 8.0f;
+        } else {
+            sys.radius[i] = 0.5f;
+        }
+    }
+    sys.thermalize(1.0f, rng);
+    return sys;
+}
+
+void
+ParticleSystem::thermalize(float temp, Rng &rng)
+{
+    for (int i = 0; i < numAtoms(); ++i) {
+        const float s = std::sqrt(temp / mass[i]);
+        vel[i].x = s * static_cast<float>(rng.normal());
+        vel[i].y = s * static_cast<float>(rng.normal());
+        vel[i].z = s * static_cast<float>(rng.normal());
+    }
+    zeroMomentum();
+}
+
+void
+ParticleSystem::zeroMomentum()
+{
+    double px = 0, py = 0, pz = 0, m = 0;
+    for (int i = 0; i < numAtoms(); ++i) {
+        px += static_cast<double>(mass[i]) * vel[i].x;
+        py += static_cast<double>(mass[i]) * vel[i].y;
+        pz += static_cast<double>(mass[i]) * vel[i].z;
+        m += mass[i];
+    }
+    const float cx = static_cast<float>(px / m);
+    const float cy = static_cast<float>(py / m);
+    const float cz = static_cast<float>(pz / m);
+    for (int i = 0; i < numAtoms(); ++i) {
+        vel[i].x -= cx;
+        vel[i].y -= cy;
+        vel[i].z -= cz;
+    }
+}
+
+double
+ParticleSystem::kineticEnergy() const
+{
+    double ke = 0;
+    for (int i = 0; i < numAtoms(); ++i) {
+        const double v2 = static_cast<double>(vel[i].x) * vel[i].x +
+                          static_cast<double>(vel[i].y) * vel[i].y +
+                          static_cast<double>(vel[i].z) * vel[i].z;
+        ke += 0.5 * mass[i] * v2;
+    }
+    return ke;
+}
+
+double
+ParticleSystem::temperature() const
+{
+    const int dof = 3 * numAtoms() - 3;
+    if (dof <= 0)
+        return 0;
+    return 2.0 * kineticEnergy() / dof;
+}
+
+} // namespace cactus::md

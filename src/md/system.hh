@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Particle system for the molecular-dynamics engine: positions,
+ * velocities, forces, charges and topology (bonds, angles, dihedrals)
+ * with a periodic cubic box. Factory builders synthesize the three input
+ * classes the Cactus paper uses: a solvated-protein-like system
+ * (Gromacs T4 lysozyme / LAMMPS rhodopsin), and a colloid system
+ * (LAMMPS colloid benchmark).
+ */
+
+#ifndef CACTUS_MD_SYSTEM_HH
+#define CACTUS_MD_SYSTEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace cactus::md {
+
+/** Single-precision 3-vector, matching GPU MD packages. */
+struct Vec3
+{
+    float x = 0, y = 0, z = 0;
+};
+
+inline Vec3
+operator+(Vec3 a, Vec3 b)
+{
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+}
+
+inline Vec3
+operator-(Vec3 a, Vec3 b)
+{
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+}
+
+inline Vec3
+operator*(Vec3 a, float s)
+{
+    return {a.x * s, a.y * s, a.z * s};
+}
+
+/** Harmonic bond between atoms i and j. */
+struct Bond
+{
+    int i = 0, j = 0;
+    float r0 = 1.0f;   ///< Equilibrium length.
+    float k = 100.0f;  ///< Spring constant.
+};
+
+/** Harmonic angle over atoms i-j-k (j is the vertex). */
+struct Angle
+{
+    int i = 0, j = 0, k = 0;
+    float theta0 = 1.9106f; ///< Equilibrium angle (radians).
+    float kf = 50.0f;
+};
+
+/** Cosine dihedral over atoms i-j-k-l. */
+struct Dihedral
+{
+    int i = 0, j = 0, k = 0, l = 0;
+    float kf = 5.0f;
+    int n = 3; ///< Multiplicity.
+};
+
+/** The complete state of a simulated particle system. */
+class ParticleSystem
+{
+  public:
+    std::vector<Vec3> pos;
+    std::vector<Vec3> vel;
+    std::vector<Vec3> force;
+    std::vector<float> charge;
+    std::vector<float> mass;
+    std::vector<float> radius; ///< Per-particle radius (colloid style).
+    std::vector<int> type;
+
+    std::vector<Bond> bonds;
+    std::vector<Angle> angles;
+    std::vector<Dihedral> dihedrals;
+
+    float box = 0; ///< Cubic box edge length.
+
+    int numAtoms() const { return static_cast<int>(pos.size()); }
+
+    /** Wrap a displacement by the minimum-image convention. */
+    float
+    minImage(float d) const
+    {
+        if (d > 0.5f * box)
+            return d - box;
+        if (d < -0.5f * box)
+            return d + box;
+        return d;
+    }
+
+    /**
+     * A Lennard-Jones liquid on a perturbed lattice.
+     * @param n Number of atoms (rounded down to a cube grid fill).
+     * @param density Reduced number density (atoms per unit volume).
+     * @param charged Assign alternating +/- partial charges.
+     */
+    static ParticleSystem liquid(int n, float density, Rng &rng,
+                                 bool charged = false);
+
+    /**
+     * A solvated-protein-like system: polymer chains with bonds, angles
+     * and dihedrals embedded in charged solvent, Maxwell velocities.
+     * @param n Total atom count; ~25% of atoms belong to chains.
+     */
+    static ParticleSystem proteinLike(int n, Rng &rng);
+
+    /**
+     * A colloid system: large particles dispersed in small solvent with
+     * a bimodal radius distribution (no charges, no topology).
+     * @param n Total atom count; ~5% are large colloid particles.
+     */
+    static ParticleSystem colloidal(int n, Rng &rng);
+
+    /** Assign Maxwell-Boltzmann velocities for temperature @p temp. */
+    void thermalize(float temp, Rng &rng);
+
+    /** Remove net momentum. */
+    void zeroMomentum();
+
+    /** Instantaneous kinetic energy (double accumulation). */
+    double kineticEnergy() const;
+
+    /** Instantaneous temperature from kinetic energy. */
+    double temperature() const;
+};
+
+} // namespace cactus::md
+
+#endif // CACTUS_MD_SYSTEM_HH

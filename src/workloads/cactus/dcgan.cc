@@ -1,0 +1,109 @@
+/**
+ * @file
+ * DCG: DCGAN training on Celeb-A-like images (paper Section III-C).
+ * Generator: transposed-convolution stack with batch norm and ReLU,
+ * tanh output. Discriminator: strided convolutions with leaky ReLU and
+ * batch norm. Trained with the least-squares GAN objective (MSE on the
+ * discriminator logits), Adam for both networks — the layer mix and
+ * kernel profile match the PyTorch DCGAN tutorial the paper uses.
+ */
+
+#include "core/benchmark.hh"
+#include "dnn/layers.hh"
+#include "dnn/optim.hh"
+#include "workloads/cactus/ml_common.hh"
+
+namespace cactus::workloads {
+
+using core::Benchmark;
+using core::Scale;
+using namespace cactus::dnn;
+
+namespace {
+
+class DcganBenchmark : public Benchmark
+{
+  public:
+    explicit DcganBenchmark(Scale scale) : scale_(scale) {}
+
+    std::string name() const override { return "DCG"; }
+    std::string suite() const override { return "Cactus"; }
+    std::string domain() const override { return "ML"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(77);
+        const int batch = scale_ == Scale::Tiny ? 2 : 16;
+        const int zdim = 32;
+        const int iters = scale_ == Scale::Tiny ? 1 : 2;
+
+        // Generator: z [B, zdim, 1, 1] -> image [B, 3, 16, 16].
+        Sequential gen;
+        gen.add<ConvTranspose2d>(zdim, 64, 4, 1, 0, rng); // 4x4.
+        gen.add<BatchNorm2d>(64);
+        gen.add<ActivationLayer>(Activation::ReLU);
+        gen.add<ConvTranspose2d>(64, 32, 4, 2, 1, rng);   // 8x8.
+        gen.add<BatchNorm2d>(32);
+        gen.add<ActivationLayer>(Activation::ReLU);
+        gen.add<ConvTranspose2d>(32, 3, 4, 2, 1, rng);    // 16x16.
+        gen.add<ActivationLayer>(Activation::Tanh);
+
+        // Discriminator: image -> logit [B, 1, 1, 1].
+        Sequential disc;
+        disc.add<Conv2d>(3, 32, 4, 2, 1, rng);            // 8x8.
+        disc.add<ActivationLayer>(Activation::LeakyReLU);
+        disc.add<Conv2d>(32, 64, 4, 2, 1, rng);           // 4x4.
+        disc.add<BatchNorm2d>(64);
+        disc.add<ActivationLayer>(Activation::LeakyReLU);
+        disc.add<Conv2d>(64, 1, 4, 1, 0, rng);            // 1x1.
+
+        Adam opt_g(gen.params(), 2e-4f);
+        Adam opt_d(disc.params(), 2e-4f);
+
+        for (int it = 0; it < iters; ++it) {
+            // --- Discriminator step: real images labeled 1 --------
+            Tensor real = syntheticImages(batch, 3, 16, rng);
+            opt_d.zeroGrad();
+            Tensor d_real = disc.forward(dev, real, true);
+            Tensor ones = Tensor::full(d_real.shape(), 1.f);
+            Tensor d_real_grad(d_real.shape());
+            mseLossBackward(dev, d_real.data(), ones.data(),
+                            d_real_grad.data(), d_real.size());
+            disc.backward(dev, d_real_grad);
+
+            // Fake images labeled 0 (no generator gradient).
+            Tensor z = Tensor::randn({batch, zdim, 1, 1}, rng, 1.f);
+            Tensor fake = gen.forward(dev, z, true);
+            Tensor d_fake = disc.forward(dev, fake, true);
+            Tensor zeros_t = Tensor::zeros(d_fake.shape());
+            Tensor d_fake_grad(d_fake.shape());
+            mseLossBackward(dev, d_fake.data(), zeros_t.data(),
+                            d_fake_grad.data(), d_fake.size());
+            disc.backward(dev, d_fake_grad);
+            opt_d.step(dev);
+
+            // --- Generator step: fool the discriminator ------------
+            opt_g.zeroGrad();
+            Tensor z2 = Tensor::randn({batch, zdim, 1, 1}, rng, 1.f);
+            Tensor fake2 = gen.forward(dev, z2, true);
+            Tensor d_fake2 = disc.forward(dev, fake2, true);
+            Tensor ones2 = Tensor::full(d_fake2.shape(), 1.f);
+            Tensor g_grad(d_fake2.shape());
+            mseLossBackward(dev, d_fake2.data(), ones2.data(),
+                            g_grad.data(), d_fake2.size());
+            const Tensor dimage = disc.backward(dev, g_grad);
+            gen.backward(dev, dimage);
+            opt_g.step(dev);
+        }
+    }
+
+  private:
+    Scale scale_;
+};
+
+CACTUS_REGISTER_BENCHMARK(DcganBenchmark, "DCG", "Cactus", "ML");
+
+} // namespace
+
+} // namespace cactus::workloads

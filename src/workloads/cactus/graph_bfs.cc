@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The Cactus graph-analytics workloads (paper Section III-B): Gunrock
+ * BFS on two structurally opposite inputs.
+ *
+ *  - GST: a power-law social graph (SOC-Twitter10 stand-in, RMAT) whose
+ *    hubs produce a few huge frontiers served by the CTA/bottom-up
+ *    kernels.
+ *  - GRU: a road network (Road-USA stand-in, grid generator) whose
+ *    large diameter produces hundreds of tiny frontiers served by the
+ *    thread-mapped kernel.
+ */
+
+#include "core/benchmark.hh"
+#include "graph/bfs.hh"
+
+namespace cactus::workloads {
+
+using core::Benchmark;
+using core::Scale;
+
+namespace {
+
+/** Gunrock BFS on a social network. */
+class GstBenchmark : public Benchmark
+{
+  public:
+    explicit GstBenchmark(Scale scale) : scale_(scale) {}
+
+    std::string name() const override { return "GST"; }
+    std::string suite() const override { return "Cactus"; }
+    std::string domain() const override { return "Graph"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(10);
+        const int scale_bits = scale_ == Scale::Tiny ? 10 : 17;
+        const int edge_factor = 16;
+        auto g = graph::CsrGraph::rmat(scale_bits, edge_factor, rng);
+        graph::gunrockBfs(dev, g, g.highestDegreeVertex());
+    }
+
+  private:
+    Scale scale_;
+};
+
+/** Gunrock BFS on a road network. */
+class GruBenchmark : public Benchmark
+{
+  public:
+    explicit GruBenchmark(Scale scale) : scale_(scale) {}
+
+    std::string name() const override { return "GRU"; }
+    std::string suite() const override { return "Cactus"; }
+    std::string domain() const override { return "Graph"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(11);
+        const int edge = scale_ == Scale::Tiny ? 48 : 320;
+        auto g = graph::CsrGraph::roadGrid(edge, edge, rng);
+        graph::gunrockBfs(dev, g, 0);
+    }
+
+  private:
+    Scale scale_;
+};
+
+CACTUS_REGISTER_BENCHMARK(GstBenchmark, "GST", "Cactus", "Graph");
+CACTUS_REGISTER_BENCHMARK(GruBenchmark, "GRU", "Cactus", "Graph");
+
+} // namespace
+
+} // namespace cactus::workloads

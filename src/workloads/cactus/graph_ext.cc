@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Extension workloads (the paper's future work: "analyzing and
+ * including additional modern-day applications"): two further Gunrock
+ * applications on the same inputs as GST/GRU —
+ *
+ *  - PRK: PageRank on the social network (the canonical
+ *    whole-graph-iteration workload, bulk-synchronous push kernels),
+ *  - SSP: single-source shortest paths on the road network (worklist
+ *    relaxation with hundreds of small frontiers).
+ *
+ * They register under the "CactusExt" suite so the paper-reproduction
+ * benches, which run the original ten, are unaffected.
+ */
+
+#include "core/benchmark.hh"
+#include "graph/primitives.hh"
+
+namespace cactus::workloads {
+
+using core::Benchmark;
+using core::Scale;
+
+namespace {
+
+/** PageRank on a social graph. */
+class PrkBenchmark : public Benchmark
+{
+  public:
+    explicit PrkBenchmark(Scale scale) : scale_(scale) {}
+
+    std::string name() const override { return "PRK"; }
+    std::string suite() const override { return "CactusExt"; }
+    std::string domain() const override { return "Graph"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(12);
+        const int scale_bits = scale_ == Scale::Tiny ? 10 : 15;
+        auto g = graph::CsrGraph::rmat(scale_bits, 16, rng);
+        graph::gunrockPageRank(dev, g, 0.85, 1e-4,
+                               scale_ == Scale::Tiny ? 5 : 20);
+    }
+
+  private:
+    Scale scale_;
+};
+
+/** SSSP on a road network. */
+class SspBenchmark : public Benchmark
+{
+  public:
+    explicit SspBenchmark(Scale scale) : scale_(scale) {}
+
+    std::string name() const override { return "SSP"; }
+    std::string suite() const override { return "CactusExt"; }
+    std::string domain() const override { return "Graph"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(13);
+        const int edge = scale_ == Scale::Tiny ? 40 : 192;
+        auto g = graph::CsrGraph::roadGrid(edge, edge, rng);
+        const auto weights = graph::randomEdgeWeights(g, rng);
+        graph::gunrockSssp(dev, g, 0, weights);
+    }
+
+  private:
+    Scale scale_;
+};
+
+CACTUS_REGISTER_BENCHMARK(PrkBenchmark, "PRK", "CactusExt", "Graph");
+CACTUS_REGISTER_BENCHMARK(SspBenchmark, "SSP", "CactusExt", "Graph");
+
+} // namespace
+
+} // namespace cactus::workloads

@@ -1,0 +1,78 @@
+#include "workloads/cactus/ml_common.hh"
+
+#include <cmath>
+
+namespace cactus::workloads {
+
+dnn::Tensor
+syntheticImages(int n, int channels, int size, Rng &rng)
+{
+    dnn::Tensor batch({n, channels, size, size});
+    for (int b = 0; b < n; ++b) {
+        for (int c = 0; c < channels; ++c) {
+            // A few random low-frequency cosine modes per channel.
+            const double fx = rng.uniform(0.5, 2.5);
+            const double fy = rng.uniform(0.5, 2.5);
+            const double px = rng.uniform(0, 6.28);
+            const double py = rng.uniform(0, 6.28);
+            for (int y = 0; y < size; ++y) {
+                for (int x = 0; x < size; ++x) {
+                    const double v =
+                        0.5 * std::cos(fx * x * 6.28 / size + px) +
+                        0.5 * std::cos(fy * y * 6.28 / size + py);
+                    batch[((b * channels + c) * size + y) * size + x] =
+                        static_cast<float>(v);
+                }
+            }
+        }
+    }
+    return batch;
+}
+
+dnn::Tensor
+syntheticDigits(int n, int size, std::vector<int> &labels, int classes,
+                Rng &rng)
+{
+    dnn::Tensor batch({n, 1, size, size});
+    labels.resize(n);
+    for (int b = 0; b < n; ++b) {
+        const int cls = static_cast<int>(rng.uniformInt(classes));
+        labels[b] = cls;
+        // Class-dependent stroke pattern: a line whose slope and offset
+        // are functions of the class, plus noise pixels.
+        const int offset = 2 + (cls * size) / (2 * classes);
+        for (int t = 0; t < size; ++t) {
+            const int x = t;
+            const int y =
+                (offset + (cls % 3 == 0 ? t : cls % 3 == 1 ? t / 2
+                                                           : size - 1 - t)) %
+                size;
+            batch[(b * size + y) * size + x] = 1.f;
+        }
+        for (int k = 0; k < size / 2; ++k) {
+            const int x = static_cast<int>(rng.uniformInt(size));
+            const int y = static_cast<int>(rng.uniformInt(size));
+            batch[(b * size + y) * size + x] = 0.5f;
+        }
+    }
+    return batch;
+}
+
+void
+syntheticCorpus(int sentences, int length, int vocab, Rng &rng,
+                std::vector<std::vector<int>> &sources,
+                std::vector<std::vector<int>> &targets)
+{
+    sources.assign(sentences, std::vector<int>(length));
+    targets.assign(sentences, std::vector<int>(length));
+    for (int s = 0; s < sentences; ++s) {
+        for (int t = 0; t < length; ++t)
+            sources[s][t] = static_cast<int>(rng.uniformInt(vocab));
+        // Deterministic "translation": reverse plus offset.
+        for (int t = 0; t < length; ++t)
+            targets[s][t] =
+                (sources[s][length - 1 - t] + 7) % vocab;
+    }
+}
+
+} // namespace cactus::workloads

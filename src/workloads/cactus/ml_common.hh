@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared helpers for the Cactus machine-learning workloads: synthetic
+ * data generators standing in for Celeb-A images, MNIST digits and the
+ * Spacy token corpus (characterization depends on tensor shapes and
+ * layer mixes, not on pixel or token content — see DESIGN.md).
+ */
+
+#ifndef CACTUS_WORKLOADS_ML_COMMON_HH
+#define CACTUS_WORKLOADS_ML_COMMON_HH
+
+#include "common/rng.hh"
+#include "dnn/tensor.hh"
+
+namespace cactus::workloads {
+
+/**
+ * Smooth low-frequency random images in [-1, 1]: a Celeb-A-like batch
+ * [n, channels, size, size] built from a few random cosine modes.
+ */
+dnn::Tensor syntheticImages(int n, int channels, int size, Rng &rng);
+
+/**
+ * Sparse stroke-like digit images in [0, 1]: an MNIST-like batch
+ * [n, 1, size, size] with labels in [0, classes).
+ */
+dnn::Tensor syntheticDigits(int n, int size, std::vector<int> &labels,
+                            int classes, Rng &rng);
+
+/**
+ * Synthetic parallel corpus: source sentences of random tokens and
+ * target sentences derived deterministically (reversed with an offset),
+ * emulating a translation pair distribution.
+ */
+void syntheticCorpus(int sentences, int length, int vocab, Rng &rng,
+                     std::vector<std::vector<int>> &sources,
+                     std::vector<std::vector<int>> &targets);
+
+} // namespace cactus::workloads
+
+#endif // CACTUS_WORKLOADS_ML_COMMON_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The Cactus molecular-simulation workloads (paper Section III-A):
+ *
+ *  - GMS: Gromacs-style NPT equilibration of a solvated protein with
+ *    bonded forces, PME electrostatics and SHAKE constraints.
+ *  - LMR: LAMMPS-style solvated protein (rhodopsin-like) with the
+ *    CHARMM-style LJ+Coulomb pair kernel, bonded forces and PME, NVT.
+ *  - LMC: LAMMPS colloid pair style, the arithmetic-heavy integrated
+ *    sphere-sphere potential, NVE.
+ *
+ * The paper's inputs (T4 lysozyme, 32 K-atom rhodopsin, 60 K colloid)
+ * are replaced by synthetic systems with the same force-field structure
+ * at reduced scale; steady-state repetition makes the per-step kernel
+ * profile scale-robust (see DESIGN.md).
+ */
+
+#include "core/benchmark.hh"
+#include "md/engine.hh"
+
+namespace cactus::workloads {
+
+using core::Benchmark;
+using core::Scale;
+
+namespace {
+
+/** Gromacs NPT equilibration (T4-lysozyme-like). */
+class GmsBenchmark : public Benchmark
+{
+  public:
+    explicit GmsBenchmark(Scale scale) : scale_(scale) {}
+
+    std::string name() const override { return "GMS"; }
+    std::string suite() const override { return "Cactus"; }
+    std::string domain() const override { return "Molecular"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(2021);
+        const int atoms = scale_ == Scale::Tiny ? 600 : 3000;
+        auto sys = md::ParticleSystem::proteinLike(atoms, rng);
+        md::MdConfig cfg;
+        cfg.steps = scale_ == Scale::Tiny ? 3 : 20;
+        cfg.pairStyle = md::PairStyle::NbnxnEwald;
+        cfg.bonded = true;
+        cfg.pme = true;
+        cfg.pmeGrid = 16;
+        cfg.constraints = true;
+        cfg.ensemble = md::Ensemble::NPT;
+        cfg.neighborEvery = 5;
+        md::Simulation sim(std::move(sys), cfg);
+        sim.run(dev);
+    }
+
+  private:
+    Scale scale_;
+};
+
+/** LAMMPS rhodopsin-like protein simulation, NVT. */
+class LmrBenchmark : public Benchmark
+{
+  public:
+    explicit LmrBenchmark(Scale scale) : scale_(scale) {}
+
+    std::string name() const override { return "LMR"; }
+    std::string suite() const override { return "Cactus"; }
+    std::string domain() const override { return "Molecular"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(2020);
+        const int atoms = scale_ == Scale::Tiny ? 600 : 4000;
+        auto sys = md::ParticleSystem::proteinLike(atoms, rng);
+        md::MdConfig cfg;
+        cfg.steps = scale_ == Scale::Tiny ? 3 : 18;
+        cfg.pairStyle = md::PairStyle::LjCutCoul;
+        cfg.bonded = true;
+        cfg.pme = true;
+        cfg.pmeGrid = 16;
+        cfg.ensemble = md::Ensemble::NVT;
+        cfg.neighborEvery = 6;
+        md::Simulation sim(std::move(sys), cfg);
+        sim.run(dev);
+    }
+
+  private:
+    Scale scale_;
+};
+
+/** LAMMPS colloid pair style: pairwise interactions of spheres, NVE. */
+class LmcBenchmark : public Benchmark
+{
+  public:
+    explicit LmcBenchmark(Scale scale) : scale_(scale) {}
+
+    std::string name() const override { return "LMC"; }
+    std::string suite() const override { return "Cactus"; }
+    std::string domain() const override { return "Molecular"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(2019);
+        const int atoms = scale_ == Scale::Tiny ? 800 : 5000;
+        auto sys = md::ParticleSystem::colloidal(atoms, rng);
+        md::MdConfig cfg;
+        cfg.steps = scale_ == Scale::Tiny ? 3 : 16;
+        cfg.pairStyle = md::PairStyle::Colloid;
+        cfg.cutoff = 3.0f;
+        cfg.ensemble = md::Ensemble::NVE;
+        cfg.neighborEvery = 4;
+        md::Simulation sim(std::move(sys), cfg);
+        sim.run(dev);
+    }
+
+  private:
+    Scale scale_;
+};
+
+CACTUS_REGISTER_BENCHMARK(GmsBenchmark, "GMS", "Cactus", "Molecular");
+CACTUS_REGISTER_BENCHMARK(LmrBenchmark, "LMR", "Cactus", "Molecular");
+CACTUS_REGISTER_BENCHMARK(LmcBenchmark, "LMC", "Cactus", "Molecular");
+
+} // namespace
+
+} // namespace cactus::workloads

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * NST: Neural-style transfer (Gatys et al.) as in the PyTorch tutorial
+ * the paper uses: a fixed CNN extracts features of a content and a
+ * style image; the *input image* is optimized with Adam so that its
+ * deep features match the content and its feature Gram matrices match
+ * the style. Gram matrices are computed with GEMM kernels, giving the
+ * workload its characteristic mixed profile.
+ */
+
+#include <vector>
+
+#include "core/benchmark.hh"
+#include "dnn/layers.hh"
+#include "dnn/optim.hh"
+#include "workloads/cactus/ml_common.hh"
+
+namespace cactus::workloads {
+
+using core::Benchmark;
+using core::Scale;
+using namespace cactus::dnn;
+
+namespace {
+
+/** Gram matrix G = F F^T for F = features reshaped [C, H*W]. */
+Tensor
+gramMatrix(gpu::Device &dev, const Tensor &feat)
+{
+    const int c = feat.dim(1);
+    const int p = feat.dim(2) * feat.dim(3);
+    Tensor g({c, c});
+    gemm(dev, false, true, c, c, p, 1.f / p, feat.data(), feat.data(),
+         0.f, g.data());
+    return g;
+}
+
+/** dF = (dG + dG^T) F / P, the Gram backward. */
+Tensor
+gramBackward(gpu::Device &dev, const Tensor &feat, const Tensor &dg)
+{
+    const int c = feat.dim(1);
+    const int p = feat.dim(2) * feat.dim(3);
+    Tensor dgsym({c, c});
+    elementwiseAdd(dev, dg.data(), dg.data(), dgsym.data(), c * c);
+    // Using dG symmetric (it is, for an MSE loss on G): dF = 2 dG F / P.
+    Tensor df({c, p});
+    gemm(dev, false, false, c, p, c, 1.f / p, dgsym.data(), feat.data(),
+         0.f, df.data());
+    Tensor out(feat.shape());
+    for (int i = 0; i < out.size(); ++i)
+        out[i] = df[i];
+    return out;
+}
+
+class NeuralStyleBenchmark : public Benchmark
+{
+  public:
+    explicit NeuralStyleBenchmark(Scale scale) : scale_(scale) {}
+
+    std::string name() const override { return "NST"; }
+    std::string suite() const override { return "Cactus"; }
+    std::string domain() const override { return "ML"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(88);
+        const int size = scale_ == Scale::Tiny ? 12 : 32;
+        const int iters = scale_ == Scale::Tiny ? 1 : 3;
+
+        // Feature extractor (VGG-like prefix). Taps after layers 1 and
+        // 3 (post-activation).
+        std::vector<std::unique_ptr<Layer>> net;
+        net.emplace_back(new Conv2d(3, 24, 3, 1, 1, rng));
+        net.emplace_back(new ActivationLayer(Activation::ReLU));
+        net.emplace_back(new Conv2d(24, 48, 3, 2, 1, rng));
+        net.emplace_back(new ActivationLayer(Activation::ReLU));
+        const std::vector<int> style_taps{1, 3};
+        const int content_tap = 3;
+
+        auto features = [&](const Tensor &img) {
+            std::vector<Tensor> feats;
+            Tensor cur = img;
+            for (auto &layer : net) {
+                cur = layer->forward(dev, cur, true);
+                feats.push_back(cur);
+            }
+            return feats;
+        };
+
+        const Tensor content = syntheticImages(1, 3, size, rng);
+        const Tensor style = syntheticImages(1, 3, size, rng);
+        const auto content_feats = features(content);
+        const auto style_feats = features(style);
+        std::vector<Tensor> style_grams;
+        for (int tap : style_taps)
+            style_grams.push_back(gramMatrix(dev, style_feats[tap]));
+
+        // The optimized variable is the image itself.
+        Param image(content); // Initialize from the content image.
+        Adam opt({&image}, 0.05f);
+
+        for (int it = 0; it < iters; ++it) {
+            opt.zeroGrad();
+            const auto feats = features(image.value);
+
+            // Per-layer output gradients.
+            std::vector<Tensor> dfeats(net.size());
+            for (std::size_t l = 0; l < net.size(); ++l)
+                dfeats[l] = Tensor::zeros(feats[l].shape());
+
+            // Content loss at the deep tap.
+            mseLossBackward(dev, feats[content_tap].data(),
+                            content_feats[content_tap].data(),
+                            dfeats[content_tap].data(),
+                            feats[content_tap].size());
+
+            // Style losses on Gram matrices.
+            for (std::size_t s = 0; s < style_taps.size(); ++s) {
+                const int tap = style_taps[s];
+                Tensor g = gramMatrix(dev, feats[tap]);
+                Tensor dg(g.shape());
+                mseLossBackward(dev, g.data(), style_grams[s].data(),
+                                dg.data(), g.size());
+                const Tensor df = gramBackward(dev, feats[tap], dg);
+                elementwiseAxpy(dev, df.data(), 1e3f,
+                                dfeats[tap].data(), df.size());
+            }
+
+            // Reverse walk accumulating tap gradients.
+            Tensor grad = dfeats.back();
+            for (int l = static_cast<int>(net.size()) - 1; l >= 0;
+                 --l) {
+                if (l != static_cast<int>(net.size()) - 1 &&
+                    dfeats[l].size() == grad.size())
+                    elementwiseAxpy(dev, dfeats[l].data(), 1.f,
+                                    grad.data(), grad.size());
+                grad = net[l]->backward(dev, grad);
+            }
+            image.grad = grad;
+            opt.step(dev);
+        }
+    }
+
+  private:
+    Scale scale_;
+};
+
+CACTUS_REGISTER_BENCHMARK(NeuralStyleBenchmark, "NST", "Cactus", "ML");
+
+} // namespace
+
+} // namespace cactus::workloads

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * RFL: Deep-Q-Network reinforcement learning on a flappy-bird-style
+ * environment (paper Section III-C). The environment is implemented in
+ * C++ (bird physics, scrolling pipes, frame rendering into a stacked
+ * 4-frame grayscale observation); the agent is a small convolutional
+ * Q-network trained with epsilon-greedy exploration, an experience
+ * replay buffer, TD targets, and RMSprop — the DeepMind DQN recipe at
+ * reduced scale.
+ */
+
+#include <algorithm>
+#include <deque>
+
+#include "core/benchmark.hh"
+#include "dnn/layers.hh"
+#include "dnn/optim.hh"
+
+namespace cactus::workloads {
+
+using core::Benchmark;
+using core::Scale;
+using namespace cactus::dnn;
+
+namespace {
+
+/** A minimal flappy-bird physics simulation rendered to frames. */
+class FlappyEnv
+{
+  public:
+    static constexpr int kFrame = 16;   ///< Frame edge (pixels).
+    static constexpr int kStack = 4;    ///< Stacked history frames.
+
+    explicit FlappyEnv(Rng &rng) : rng_(&rng) { reset(); }
+
+    void
+    reset()
+    {
+        birdY_ = 0.5f;
+        velocity_ = 0.f;
+        pipeX_ = 1.2f;
+        gapY_ = static_cast<float>(rng_->uniform(0.3, 0.7));
+        frames_.assign(kStack * kFrame * kFrame, 0.f);
+        renderInto();
+    }
+
+    /** @param flap Action 1 = flap, 0 = glide. @return (reward, done). */
+    std::pair<float, bool>
+    step(int flap)
+    {
+        velocity_ += flap ? -0.08f : 0.04f;
+        velocity_ = std::clamp(velocity_, -0.15f, 0.15f);
+        birdY_ += velocity_;
+        pipeX_ -= 0.06f;
+        if (pipeX_ < -0.2f) {
+            pipeX_ = 1.2f;
+            gapY_ = static_cast<float>(rng_->uniform(0.3, 0.7));
+        }
+        bool dead = birdY_ < 0.02f || birdY_ > 0.98f;
+        // Collision with the pipe outside the gap.
+        if (pipeX_ > 0.2f && pipeX_ < 0.4f &&
+            std::fabs(birdY_ - gapY_) > 0.18f)
+            dead = true;
+        renderInto();
+        if (dead) {
+            reset();
+            return {-1.f, true};
+        }
+        return {0.1f, false};
+    }
+
+    /** Current stacked observation [kStack, kFrame, kFrame]. */
+    const std::vector<float> &observation() const { return frames_; }
+
+  private:
+    void
+    renderInto()
+    {
+        // Shift history and draw the new frame into slot 0.
+        for (int s = kStack - 1; s > 0; --s)
+            std::copy_n(&frames_[(s - 1) * kFrame * kFrame],
+                        kFrame * kFrame, &frames_[s * kFrame * kFrame]);
+        float *f = frames_.data();
+        std::fill_n(f, kFrame * kFrame, 0.f);
+        const int by = std::clamp(
+            static_cast<int>(birdY_ * kFrame), 0, kFrame - 1);
+        f[by * kFrame + 3] = 1.f; // The bird.
+        const int px = static_cast<int>(pipeX_ * kFrame);
+        if (px >= 0 && px < kFrame) {
+            const int gap = std::clamp(
+                static_cast<int>(gapY_ * kFrame), 2, kFrame - 3);
+            for (int y = 0; y < kFrame; ++y)
+                if (std::abs(y - gap) > 2)
+                    f[y * kFrame + px] = 0.7f; // The pipe.
+        }
+    }
+
+    Rng *rng_;
+    float birdY_ = 0.5f, velocity_ = 0.f, pipeX_ = 1.2f, gapY_ = 0.5f;
+    std::vector<float> frames_;
+};
+
+/** One replay-buffer transition. */
+struct Transition
+{
+    std::vector<float> state;
+    std::vector<float> next;
+    int action = 0;
+    float reward = 0;
+    bool done = false;
+};
+
+class RflBenchmark : public Benchmark
+{
+  public:
+    explicit RflBenchmark(Scale scale) : scale_(scale) {}
+
+    std::string name() const override { return "RFL"; }
+    std::string suite() const override { return "Cactus"; }
+    std::string domain() const override { return "ML"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(99);
+        const int play_steps = scale_ == Scale::Tiny ? 12 : 60;
+        const int batch = scale_ == Scale::Tiny ? 4 : 32;
+        const int fr = FlappyEnv::kFrame;
+
+        // Q-network: stacked frames -> Q values for {glide, flap}.
+        Sequential q;
+        q.add<Conv2d>(FlappyEnv::kStack, 32, 3, 2, 1, rng); // 8x8.
+        q.add<ActivationLayer>(Activation::ReLU);
+        q.add<Conv2d>(32, 64, 3, 2, 1, rng);                // 4x4.
+        q.add<ActivationLayer>(Activation::ReLU);
+        q.add<Linear>(64 * 4 * 4, 128, rng);
+        q.add<ActivationLayer>(Activation::ReLU);
+        q.add<Linear>(128, 2, rng);
+        RmsProp opt(q.params(), 1e-3f);
+
+        FlappyEnv env(rng);
+        std::deque<Transition> replay;
+        const float gamma = 0.95f;
+
+        for (int step = 0; step < play_steps; ++step) {
+            // Epsilon-greedy action from a single-state forward pass.
+            Tensor s({1, FlappyEnv::kStack, fr, fr});
+            std::copy(env.observation().begin(),
+                      env.observation().end(), s.data());
+            int action;
+            if (rng.uniform() < 0.3) {
+                action = static_cast<int>(rng.uniformInt(2));
+            } else {
+                const Tensor qv = q.forward(dev, s, false);
+                action = qv[1] > qv[0] ? 1 : 0;
+            }
+            Transition tr;
+            tr.state = env.observation();
+            tr.action = action;
+            const auto [reward, done] = env.step(action);
+            tr.reward = reward;
+            tr.done = done;
+            tr.next = env.observation();
+            replay.push_back(std::move(tr));
+            if (replay.size() > 300)
+                replay.pop_front();
+
+            // Train every 4 steps once the buffer has a batch.
+            if (step % 4 != 3 ||
+                replay.size() < static_cast<std::size_t>(batch))
+                continue;
+
+            Tensor states({batch, FlappyEnv::kStack, fr, fr});
+            Tensor nexts({batch, FlappyEnv::kStack, fr, fr});
+            std::vector<int> actions(batch);
+            std::vector<float> rewards(batch);
+            std::vector<bool> dones(batch);
+            const int obs = FlappyEnv::kStack * fr * fr;
+            for (int b = 0; b < batch; ++b) {
+                const auto &t = replay[rng.uniformInt(replay.size())];
+                std::copy(t.state.begin(), t.state.end(),
+                          states.data() + b * obs);
+                std::copy(t.next.begin(), t.next.end(),
+                          nexts.data() + b * obs);
+                actions[b] = t.action;
+                rewards[b] = t.reward;
+                dones[b] = t.done;
+            }
+
+            // TD targets from the same network (no target net).
+            const Tensor q_next = q.forward(dev, nexts, false);
+            opt.zeroGrad();
+            const Tensor q_cur = q.forward(dev, states, true);
+            Tensor target = q_cur;
+            for (int b = 0; b < batch; ++b) {
+                const float best =
+                    std::max(q_next[b * 2], q_next[b * 2 + 1]);
+                target[b * 2 + actions[b]] =
+                    rewards[b] + (dones[b] ? 0.f : gamma * best);
+            }
+            Tensor dq(q_cur.shape());
+            mseLossBackward(dev, q_cur.data(), target.data(),
+                            dq.data(), q_cur.size());
+            q.backward(dev, dq);
+            opt.step(dev);
+        }
+    }
+
+  private:
+    Scale scale_;
+};
+
+CACTUS_REGISTER_BENCHMARK(RflBenchmark, "RFL", "Cactus", "ML");
+
+} // namespace
+
+} // namespace cactus::workloads

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * SPT: Spatial-transformer-network training on MNIST-like digits (paper
+ * Section III-C). A localization CNN regresses a 2x3 affine matrix,
+ * an affine grid + bilinear sampler warps the input, and a classifier
+ * CNN is trained with cross entropy and SGD; gradients flow through the
+ * sampler into the localization network, exercising the grid_sample
+ * forward/backward kernel pair.
+ */
+
+#include "core/benchmark.hh"
+#include "dnn/layers.hh"
+#include "dnn/optim.hh"
+#include "dnn/spatial.hh"
+#include "workloads/cactus/ml_common.hh"
+
+namespace cactus::workloads {
+
+using core::Benchmark;
+using core::Scale;
+using namespace cactus::dnn;
+
+namespace {
+
+class SptBenchmark : public Benchmark
+{
+  public:
+    explicit SptBenchmark(Scale scale) : scale_(scale) {}
+
+    std::string name() const override { return "SPT"; }
+    std::string suite() const override { return "Cactus"; }
+    std::string domain() const override { return "ML"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(111);
+        const int size = 16;
+        const int batch = scale_ == Scale::Tiny ? 4 : 64;
+        const int iters = scale_ == Scale::Tiny ? 1 : 3;
+        const int classes = 10;
+
+        // Localization network -> 6 affine parameters.
+        Sequential loc;
+        loc.add<Conv2d>(1, 16, 3, 2, 1, rng); // 8x8.
+        loc.add<ActivationLayer>(Activation::ReLU);
+        loc.add<Linear>(16 * 8 * 8, 64, rng);
+        loc.add<ActivationLayer>(Activation::ReLU);
+        Linear *theta_head = loc.add<Linear>(64, 6, rng);
+        // Bias the head toward the identity transform, as the original
+        // paper initializes it.
+        Param *head_bias = theta_head->params()[1];
+        head_bias->value[0] = 1.f;
+        head_bias->value[4] = 1.f;
+
+        // Classifier on the warped image.
+        Sequential cls;
+        cls.add<Conv2d>(1, 32, 3, 2, 1, rng); // 8x8.
+        cls.add<ActivationLayer>(Activation::ReLU);
+        cls.add<MaxPool2d>();                 // 4x4.
+        cls.add<Linear>(32 * 4 * 4, classes, rng);
+
+        std::vector<Param *> all = loc.params();
+        for (Param *p : cls.params())
+            all.push_back(p);
+        Sgd opt(all, 0.01f);
+
+        for (int it = 0; it < iters; ++it) {
+            std::vector<int> labels;
+            Tensor x = syntheticDigits(batch, size, labels, classes,
+                                       rng);
+            opt.zeroGrad();
+
+            // Forward: localization -> grid -> sample -> classify.
+            Tensor theta = loc.forward(dev, x, true); // [batch, 6].
+            Tensor grid({batch, size, size, 2});
+            affineGrid(dev, batch, size, size, theta.data(),
+                       grid.data());
+            Tensor warped({batch, 1, size, size});
+            gridSampleForward(dev, batch, 1, size, size, size, size,
+                              x.data(), grid.data(), warped.data());
+            Tensor logits = cls.forward(dev, warped, true);
+
+            Tensor probs(logits.shape());
+            softmaxForward(dev, logits.data(), probs.data(), batch,
+                           classes);
+            Tensor dlogits(logits.shape());
+            crossEntropyBackward(dev, probs.data(), labels.data(),
+                                 dlogits.data(), batch, classes);
+
+            // Backward: classifier -> sampler -> localization.
+            const Tensor dwarped = cls.backward(dev, dlogits);
+            Tensor dx_unused = Tensor::zeros(x.shape());
+            Tensor dgrid = Tensor::zeros(grid.shape());
+            gridSampleBackward(dev, batch, 1, size, size, size, size,
+                               x.data(), grid.data(), dwarped.data(),
+                               dx_unused.data(), dgrid.data());
+            Tensor dtheta = Tensor::zeros({batch, 6});
+            affineGridBackward(dev, batch, size, size, dgrid.data(),
+                               dtheta.data());
+            loc.backward(dev, dtheta);
+            opt.step(dev);
+        }
+    }
+
+  private:
+    Scale scale_;
+};
+
+CACTUS_REGISTER_BENCHMARK(SptBenchmark, "SPT", "Cactus", "ML");
+
+} // namespace
+
+} // namespace cactus::workloads

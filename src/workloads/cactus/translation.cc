@@ -1,0 +1,160 @@
+/**
+ * @file
+ * LGT: sequence-to-sequence language translation (paper Section III-C).
+ * A GRU encoder consumes the source sentence; a GRU decoder with
+ * teacher forcing emits target tokens through a projection + softmax +
+ * cross entropy; full BPTT through both recurrences, Adam optimizer.
+ * The Spacy German-English corpus is replaced by a synthetic parallel
+ * corpus (see ml_common.hh) — the kernel profile depends on sequence
+ * length, vocabulary and hidden sizes, not on the language content.
+ */
+
+#include "core/benchmark.hh"
+#include "dnn/layers.hh"
+#include "dnn/optim.hh"
+#include "workloads/cactus/ml_common.hh"
+
+namespace cactus::workloads {
+
+using core::Benchmark;
+using core::Scale;
+using namespace cactus::dnn;
+
+namespace {
+
+class TranslationBenchmark : public Benchmark
+{
+  public:
+    explicit TranslationBenchmark(Scale scale) : scale_(scale) {}
+
+    std::string name() const override { return "LGT"; }
+    std::string suite() const override { return "Cactus"; }
+    std::string domain() const override { return "ML"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(222);
+        const int vocab = scale_ == Scale::Tiny ? 64 : 512;
+        const int seq_len = scale_ == Scale::Tiny ? 4 : 10;
+        const int batch = scale_ == Scale::Tiny ? 4 : 64;
+        const int embed = 32;
+        const int hidden = 128;
+        const int iters = scale_ == Scale::Tiny ? 1 : 2;
+
+        Param src_embed(Tensor::randn({vocab, embed}, rng, 0.1f));
+        Param dst_embed(Tensor::randn({vocab, embed}, rng, 0.1f));
+        GruCell encoder(embed, hidden, rng);
+        GruCell decoder(embed, hidden, rng);
+        Linear proj(hidden, vocab, rng);
+
+        std::vector<Param *> params{&src_embed, &dst_embed};
+        for (Param *p : encoder.params())
+            params.push_back(p);
+        for (Param *p : decoder.params())
+            params.push_back(p);
+        for (Param *p : proj.params())
+            params.push_back(p);
+        Adam opt(params, 1e-3f);
+
+        std::vector<std::vector<int>> sources, targets;
+        syntheticCorpus(batch * iters, seq_len, vocab, rng, sources,
+                        targets);
+
+        for (int it = 0; it < iters; ++it) {
+            opt.zeroGrad();
+
+            // Gather this iteration's batch, time-major.
+            std::vector<std::vector<int>> src_t(
+                seq_len, std::vector<int>(batch));
+            std::vector<std::vector<int>> dst_t(
+                seq_len, std::vector<int>(batch));
+            for (int b = 0; b < batch; ++b) {
+                for (int t = 0; t < seq_len; ++t) {
+                    src_t[t][b] = sources[it * batch + b][t];
+                    dst_t[t][b] = targets[it * batch + b][t];
+                }
+            }
+
+            // --- Encoder over the source sentence -----------------
+            Tensor h = Tensor::zeros({batch, hidden});
+            std::vector<Tensor> enc_inputs;
+            for (int t = 0; t < seq_len; ++t) {
+                Tensor x({batch, embed});
+                embeddingForward(dev, src_embed.value.data(),
+                                 src_t[t].data(), x.data(), batch,
+                                 embed);
+                enc_inputs.push_back(x);
+                h = encoder.stepForward(dev, x, h);
+            }
+
+            // --- Decoder with teacher forcing ----------------------
+            // Input token at t is the previous target (BOS = token 0).
+            std::vector<std::vector<int>> dec_in(
+                seq_len, std::vector<int>(batch, 0));
+            for (int t = 1; t < seq_len; ++t)
+                dec_in[t] = dst_t[t - 1];
+
+            std::vector<Tensor> dec_inputs, dec_states;
+            std::vector<Tensor> dlogits_steps(seq_len);
+            std::vector<Tensor> step_h;
+            Tensor hd = h;
+            for (int t = 0; t < seq_len; ++t) {
+                Tensor x({batch, embed});
+                embeddingForward(dev, dst_embed.value.data(),
+                                 dec_in[t].data(), x.data(), batch,
+                                 embed);
+                dec_inputs.push_back(x);
+                hd = decoder.stepForward(dev, x, hd);
+                step_h.push_back(hd);
+
+                Tensor logits = proj.forward(dev, hd, true);
+                Tensor probs(logits.shape());
+                softmaxForward(dev, logits.data(), probs.data(), batch,
+                               vocab);
+                Tensor dl(logits.shape());
+                crossEntropyBackward(dev, probs.data(),
+                                     dst_t[t].data(), dl.data(), batch,
+                                     vocab);
+                // The projection layer caches only the last forward;
+                // re-run backward per step immediately.
+                dlogits_steps[t] = proj.backward(dev, dl);
+            }
+
+            // --- BPTT through the decoder, then the encoder --------
+            Tensor dh = Tensor::zeros({batch, hidden});
+            std::vector<Tensor> ddec_inputs(seq_len);
+            for (int t = seq_len - 1; t >= 0; --t) {
+                elementwiseAxpy(dev, dlogits_steps[t].data(), 1.f,
+                                dh.data(), dh.size());
+                Tensor dx, dh_prev;
+                decoder.stepBackward(dev, dh, dx, dh_prev);
+                ddec_inputs[t] = dx;
+                dh = dh_prev;
+            }
+            // dh now reaches the encoder's final hidden state.
+            for (int t = seq_len - 1; t >= 0; --t) {
+                Tensor dx, dh_prev;
+                encoder.stepBackward(dev, dh, dx, dh_prev);
+                embeddingBackward(dev, dx.data(), src_t[t].data(),
+                                  src_embed.grad.data(), batch, embed);
+                dh = dh_prev;
+            }
+            for (int t = 0; t < seq_len; ++t)
+                embeddingBackward(dev, ddec_inputs[t].data(),
+                                  dec_in[t].data(),
+                                  dst_embed.grad.data(), batch, embed);
+
+            opt.step(dev);
+        }
+    }
+
+  private:
+    Scale scale_;
+};
+
+CACTUS_REGISTER_BENCHMARK(TranslationBenchmark, "LGT", "Cactus", "ML");
+
+} // namespace
+
+} // namespace cactus::workloads

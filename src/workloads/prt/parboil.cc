@@ -1,0 +1,529 @@
+/**
+ * @file
+ * Parboil mini-benchmarks (Table III): from-scratch implementations of
+ * the eleven Parboil workloads used as the paper's bottom-up baseline.
+ * Each consists of one or a few kernels, faithfully reproducing the
+ * single-dominant-kernel profile (Figure 2) and the unambiguous
+ * memory-/compute-intensity the paper reports (Figure 4). Kernel names
+ * follow the originals where they are well known.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/benchmark.hh"
+#include "graph/bfs.hh"
+
+namespace cactus::workloads {
+
+using core::Benchmark;
+using core::Scale;
+using gpu::KernelDesc;
+using gpu::ThreadCtx;
+
+namespace {
+
+/** Scale-dependent element count helper. */
+int
+scaled(Scale s, int tiny, int small)
+{
+    return s == Scale::Tiny ? tiny : small;
+}
+
+/** Base class holding the suite/domain boilerplate. */
+class ParboilBenchmark : public Benchmark
+{
+  public:
+    explicit ParboilBenchmark(Scale scale) : scale_(scale) {}
+    std::string suite() const override { return "Parboil"; }
+    std::string domain() const override { return "Scientific"; }
+
+  protected:
+    Scale scale_;
+};
+
+/** bfs: level-synchronized BFS without frontier compaction. */
+class PbBfs : public ParboilBenchmark
+{
+  public:
+    using ParboilBenchmark::ParboilBenchmark;
+    std::string name() const override { return "pb_bfs"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(1);
+        const int n = scaled(scale_, 2000, 120'000);
+        auto g = graph::CsrGraph::uniformRandom(n, n * 6, rng);
+        const auto &offsets = g.offsets();
+        const auto &targets = g.targets();
+        std::vector<int> cost(n, -1);
+        cost[0] = 0;
+        int changed = 1;
+        int level = 0;
+        while (changed && level < 50) {
+            changed = 0;
+            dev.launchLinear(
+                KernelDesc("bfs_kernel", 24), n, 256,
+                [&](ThreadCtx &ctx) {
+                    const int v = static_cast<int>(ctx.globalId());
+                    ctx.branch(1);
+                    if (ctx.ld(&cost[v]) != level)
+                        return;
+                    const int begin = ctx.ld(&offsets[v]);
+                    const int end = ctx.ld(&offsets[v + 1]);
+                    for (int e = begin; e < end; ++e) {
+                        const int u = ctx.ld(&targets[e]);
+                        ctx.branch(1);
+                        ctx.intOp(2);
+                        if (ctx.ld(&cost[u]) == -1) {
+                            ctx.st(&cost[u], level + 1);
+                            ctx.atomicMax(&changed, 1);
+                        }
+                    }
+                });
+            ++level;
+        }
+    }
+};
+
+/** cutcp: cutoff Coulomb potential on a lattice (compute-bound). */
+class PbCutcp : public ParboilBenchmark
+{
+  public:
+    using ParboilBenchmark::ParboilBenchmark;
+    std::string name() const override { return "cutcp"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(2);
+        const int grid = scaled(scale_, 16, 48);
+        const int atoms_per_cell = 6;
+        std::vector<float> atoms(grid * grid * 4 * atoms_per_cell);
+        for (auto &v : atoms)
+            v = static_cast<float>(rng.uniform());
+        std::vector<float> lattice(
+            static_cast<std::size_t>(grid) * grid * grid, 0.f);
+        dev.launchLinear(
+            KernelDesc("cutcp_lattice", 48), lattice.size(), 128,
+            [&](ThreadCtx &ctx) {
+                const auto t = ctx.globalId();
+                const int cell = static_cast<int>(t % (grid * grid));
+                float pot = 0.f;
+                for (int a = 0; a < atoms_per_cell * 4; a += 4) {
+                    const float ax = ctx.ld(
+                        &atoms[cell * 4 * atoms_per_cell + a]);
+                    const float q = ctx.ld(
+                        &atoms[cell * 4 * atoms_per_cell + a + 3]);
+                    // Distance + switching polynomial: ~20 flops.
+                    const float d2 = ax * ax + 0.25f;
+                    const float inv = 1.0f / std::sqrt(d2);
+                    const float sw = (1.f - d2 * 0.01f);
+                    pot += q * inv * sw * sw;
+                    ctx.fp32(20);
+                    ctx.sfu(1);
+                }
+                ctx.st(&lattice[t], pot);
+            });
+    }
+};
+
+/** histo: saturating histogram with atomics (memory-bound). */
+class PbHisto : public ParboilBenchmark
+{
+  public:
+    using ParboilBenchmark::ParboilBenchmark;
+    std::string name() const override { return "histo"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(3);
+        const int n = scaled(scale_, 50'000, 4'000'000);
+        std::vector<int> input(n);
+        for (auto &v : input)
+            v = static_cast<int>(rng.uniformInt(4096));
+        std::vector<int> bins(4096, 0);
+        dev.launchLinear(
+            KernelDesc("histo_prescan", 16), n, 256,
+            [&](ThreadCtx &ctx) {
+                const auto i = ctx.globalId();
+                ctx.intOp(2);
+                (void)ctx.ld(&input[i]);
+            });
+        dev.launchLinear(
+            KernelDesc("histo_main", 24), n, 256,
+            [&](ThreadCtx &ctx) {
+                const auto i = ctx.globalId();
+                const int v = ctx.ld(&input[i]);
+                ctx.intOp(2);
+                ctx.atomicAdd(&bins[v], 1);
+            });
+    }
+};
+
+/** lbm: D3Q19-style lattice-Boltzmann streaming (memory-bound). */
+class PbLbm : public ParboilBenchmark
+{
+  public:
+    using ParboilBenchmark::ParboilBenchmark;
+    std::string name() const override { return "lbm"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        const int cells = scaled(scale_, 20'000, 500'000);
+        std::vector<float> src(static_cast<std::size_t>(cells) * 19,
+                               1.f);
+        std::vector<float> dst(src.size(), 0.f);
+        for (int step = 0; step < 2; ++step) {
+            dev.launchLinear(
+                KernelDesc("lbm_stream_collide", 56), cells, 128,
+                [&](ThreadCtx &ctx) {
+                    const auto c = ctx.globalId();
+                    float rho = 0.f;
+                    float f[19];
+                    for (int d = 0; d < 19; ++d) {
+                        f[d] = ctx.ld(&src[c * 19 + d]);
+                        rho += f[d];
+                    }
+                    ctx.fp32(19 + 19 * 3);
+                    for (int d = 0; d < 19; ++d)
+                        ctx.st(&dst[c * 19 + d],
+                               f[d] + 0.1f * (rho / 19.f - f[d]));
+                });
+            std::swap(src, dst);
+        }
+    }
+};
+
+/** mri-gridding: scatter k-space samples onto a grid (memory). */
+class PbMriGridding : public ParboilBenchmark
+{
+  public:
+    using ParboilBenchmark::ParboilBenchmark;
+    std::string name() const override { return "mri_gridding"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(4);
+        const int samples = scaled(scale_, 30'000, 1'000'000);
+        const int grid = 64;
+        std::vector<float> data(samples);
+        std::vector<int> coord(samples);
+        for (int i = 0; i < samples; ++i) {
+            data[i] = static_cast<float>(rng.uniform());
+            coord[i] = static_cast<int>(
+                rng.uniformInt(static_cast<std::uint64_t>(grid) * grid *
+                               grid));
+        }
+        std::vector<float> out(
+            static_cast<std::size_t>(grid) * grid * grid, 0.f);
+        dev.launchLinear(
+            KernelDesc("gridding_scatter", 32), samples, 256,
+            [&](ThreadCtx &ctx) {
+                const auto i = ctx.globalId();
+                const float v = ctx.ld(&data[i]);
+                const int c = ctx.ld(&coord[i]);
+                ctx.fp32(4);
+                ctx.intOp(3);
+                ctx.atomicAdd(&out[c], v * 0.7f);
+            });
+    }
+};
+
+/** mri-q: Q-matrix computation, trigonometry-heavy (compute). */
+class PbMriQ : public ParboilBenchmark
+{
+  public:
+    using ParboilBenchmark::ParboilBenchmark;
+    std::string name() const override { return "mri_q"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(5);
+        const int voxels = scaled(scale_, 4'000, 60'000);
+        const int ksamples = 64;
+        std::vector<float> kx(ksamples), phi(ksamples);
+        for (int i = 0; i < ksamples; ++i) {
+            kx[i] = static_cast<float>(rng.uniform());
+            phi[i] = static_cast<float>(rng.uniform());
+        }
+        std::vector<float> qr(voxels, 0.f), qi(voxels, 0.f);
+        dev.launchLinear(
+            KernelDesc("computeQ", 40), voxels, 256,
+            [&](ThreadCtx &ctx) {
+                const auto v = ctx.globalId();
+                const float x = 0.01f * static_cast<float>(v % 97);
+                float real = 0.f, imag = 0.f;
+                for (int s = 0; s < ksamples; ++s) {
+                    const float k = ctx.ld(&kx[s]);
+                    const float m = ctx.ld(&phi[s]);
+                    const float arg = 6.2831f * k * x;
+                    real += m * std::cos(arg);
+                    imag += m * std::sin(arg);
+                    ctx.fp32(8);
+                    ctx.sfu(2);
+                }
+                ctx.st(&qr[v], real);
+                ctx.st(&qi[v], imag);
+            });
+    }
+};
+
+/** sad: sum-of-absolute-differences block matching. */
+class PbSad : public ParboilBenchmark
+{
+  public:
+    using ParboilBenchmark::ParboilBenchmark;
+    std::string name() const override { return "sad"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(6);
+        const int blocks = scaled(scale_, 2'000, 60'000);
+        const int search = 16;
+        std::vector<float> cur(blocks * 16);
+        std::vector<float> ref(blocks * 16 + search);
+        for (auto &v : cur)
+            v = static_cast<float>(rng.uniform());
+        for (auto &v : ref)
+            v = static_cast<float>(rng.uniform());
+        std::vector<float> sad(
+            static_cast<std::size_t>(blocks) * search, 0.f);
+        dev.launchLinear(
+            KernelDesc("mb_sad_calc", 40), sad.size(), 128,
+            [&](ThreadCtx &ctx) {
+                const auto t = ctx.globalId();
+                const int b = static_cast<int>(t / search);
+                const int d = static_cast<int>(t % search);
+                float acc = 0.f;
+                for (int p = 0; p < 16; ++p) {
+                    const float a = ctx.ld(&cur[b * 16 + p]);
+                    const float r = ctx.ld(&ref[b * 16 + p + d]);
+                    acc += std::fabs(a - r);
+                    ctx.fp32(3);
+                }
+                ctx.st(&sad[t], acc);
+            });
+        // Reduction to coarser block sizes (two small follow-ups).
+        std::vector<float> sad8(sad.size() / 2, 0.f);
+        dev.launchLinear(
+            KernelDesc("larger_sad_calc_8", 24), sad8.size(), 128,
+            [&](ThreadCtx &ctx) {
+                const auto t = ctx.globalId();
+                ctx.fp32(1);
+                ctx.st(&sad8[t], ctx.ld(&sad[2 * t]) +
+                                     ctx.ld(&sad[2 * t + 1]));
+            });
+        std::vector<float> sad16(sad8.size() / 2, 0.f);
+        dev.launchLinear(
+            KernelDesc("larger_sad_calc_16", 24), sad16.size(), 128,
+            [&](ThreadCtx &ctx) {
+                const auto t = ctx.globalId();
+                ctx.fp32(1);
+                ctx.st(&sad16[t], ctx.ld(&sad8[2 * t]) +
+                                      ctx.ld(&sad8[2 * t + 1]));
+            });
+    }
+};
+
+/** sgemm: dense matrix multiply (compute-bound). */
+class PbSgemm : public ParboilBenchmark
+{
+  public:
+    using ParboilBenchmark::ParboilBenchmark;
+    std::string name() const override { return "sgemm"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(7);
+        const int n = scaled(scale_, 64, 288);
+        std::vector<float> a(static_cast<std::size_t>(n) * n);
+        std::vector<float> b(a.size());
+        std::vector<float> c(a.size(), 0.f);
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            a[i] = static_cast<float>(rng.uniform());
+            b[i] = static_cast<float>(rng.uniform());
+        }
+        dev.launchLinear(
+            KernelDesc("sgemm_parboil", 64, 16 * 1024), c.size(), 128,
+            [&](ThreadCtx &ctx) {
+                const auto t = ctx.globalId();
+                const int i = static_cast<int>(t / n);
+                const int j = static_cast<int>(t % n);
+                float acc = 0.f;
+                for (int k = 0; k < n; ++k) {
+                    acc += ctx.ld(&a[static_cast<std::size_t>(i) * n +
+                                     k]) *
+                           ctx.ld(&b[static_cast<std::size_t>(k) * n +
+                                     j]);
+                }
+                ctx.fp32(n);
+                ctx.intOp(2 * n);
+                ctx.st(&c[t], acc);
+            });
+    }
+};
+
+/** spmv: CSR sparse matrix-vector product (memory-bound gather). */
+class PbSpmv : public ParboilBenchmark
+{
+  public:
+    using ParboilBenchmark::ParboilBenchmark;
+    std::string name() const override { return "spmv"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(8);
+        const int rows = scaled(scale_, 10'000, 400'000);
+        const int nnz_per_row = 12;
+        std::vector<float> vals(
+            static_cast<std::size_t>(rows) * nnz_per_row);
+        std::vector<int> cols(vals.size());
+        std::vector<float> x(rows), y(rows, 0.f);
+        for (std::size_t i = 0; i < vals.size(); ++i) {
+            vals[i] = static_cast<float>(rng.uniform());
+            cols[i] = static_cast<int>(rng.uniformInt(rows));
+        }
+        for (auto &v : x)
+            v = static_cast<float>(rng.uniform());
+        dev.launchLinear(
+            KernelDesc("spmv_jds", 32), rows, 256,
+            [&](ThreadCtx &ctx) {
+                const auto r = ctx.globalId();
+                float acc = 0.f;
+                for (int k = 0; k < nnz_per_row; ++k) {
+                    const std::size_t e = r * nnz_per_row + k;
+                    const float v = ctx.ld(&vals[e]);
+                    const int c = ctx.ld(&cols[e]);
+                    acc += v * ctx.ld(&x[c]); // Random gather.
+                    ctx.fp32(1);
+                    ctx.intOp(2);
+                }
+                ctx.st(&y[r], acc);
+            });
+    }
+};
+
+/** stencil: 7-point 3-D Jacobi iteration (memory-bound). */
+class PbStencil : public ParboilBenchmark
+{
+  public:
+    using ParboilBenchmark::ParboilBenchmark;
+    std::string name() const override { return "stencil"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        const int edge = scaled(scale_, 24, 96);
+        const std::size_t total =
+            static_cast<std::size_t>(edge) * edge * edge;
+        std::vector<float> src(total, 1.f), dst(total, 0.f);
+        for (int iter = 0; iter < 2; ++iter) {
+            dev.launchLinear(
+                KernelDesc("block2D_hybrid_coarsen_x", 40), total, 128,
+                [&](ThreadCtx &ctx) {
+                    const auto t = ctx.globalId();
+                    const int x = static_cast<int>(t % edge);
+                    const int y =
+                        static_cast<int>((t / edge) % edge);
+                    const int z =
+                        static_cast<int>(t / (edge * edge));
+                    ctx.intOp(8);
+                    ctx.branch(1);
+                    if (x == 0 || y == 0 || z == 0 || x == edge - 1 ||
+                        y == edge - 1 || z == edge - 1)
+                        return;
+                    const float c = ctx.ld(&src[t]);
+                    const float sum =
+                        ctx.ld(&src[t - 1]) + ctx.ld(&src[t + 1]) +
+                        ctx.ld(&src[t - edge]) +
+                        ctx.ld(&src[t + edge]) +
+                        ctx.ld(&src[t - edge * edge]) +
+                        ctx.ld(&src[t + edge * edge]);
+                    ctx.fp32(8);
+                    ctx.st(&dst[t], 0.4f * c + 0.1f * sum);
+                });
+            std::swap(src, dst);
+        }
+    }
+};
+
+/** tpacf: two-point angular correlation function (compute). */
+class PbTpacf : public ParboilBenchmark
+{
+  public:
+    using ParboilBenchmark::ParboilBenchmark;
+    std::string name() const override { return "tpacf"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(9);
+        const int points = scaled(scale_, 512, 4096);
+        const int others = 256;
+        std::vector<float> px(points), py(points), pz(points);
+        std::vector<float> qx(others), qy(others), qz(others);
+        auto unit = [&](std::vector<float> &a, std::vector<float> &b,
+                        std::vector<float> &c) {
+            for (std::size_t i = 0; i < a.size(); ++i) {
+                const double t = rng.uniform(0, 6.28);
+                const double u = rng.uniform(-1, 1);
+                const double s = std::sqrt(1 - u * u);
+                a[i] = static_cast<float>(s * std::cos(t));
+                b[i] = static_cast<float>(s * std::sin(t));
+                c[i] = static_cast<float>(u);
+            }
+        };
+        unit(px, py, pz);
+        unit(qx, qy, qz);
+        std::vector<int> hist(64, 0);
+        dev.launchLinear(
+            KernelDesc("gen_hists", 56), points, 128,
+            [&](ThreadCtx &ctx) {
+                const auto i = ctx.globalId();
+                const float x = ctx.ld(&px[i]);
+                const float y = ctx.ld(&py[i]);
+                const float z = ctx.ld(&pz[i]);
+                for (int j = 0; j < others; ++j) {
+                    const float dot = x * ctx.ld(&qx[j]) +
+                                      y * ctx.ld(&qy[j]) +
+                                      z * ctx.ld(&qz[j]);
+                    const float ang = std::acos(
+                        std::fmax(-1.f, std::fmin(1.f, dot)));
+                    const int bin = static_cast<int>(
+                        ang * 63.f / 3.1416f);
+                    ctx.fp32(10);
+                    ctx.sfu(1);
+                    ctx.intOp(2);
+                    ctx.atomicAdd(&hist[bin], 1);
+                }
+            });
+    }
+};
+
+CACTUS_REGISTER_BENCHMARK(PbBfs, "pb_bfs", "Parboil", "Scientific");
+CACTUS_REGISTER_BENCHMARK(PbCutcp, "cutcp", "Parboil", "Scientific");
+CACTUS_REGISTER_BENCHMARK(PbHisto, "histo", "Parboil", "Scientific");
+CACTUS_REGISTER_BENCHMARK(PbLbm, "lbm", "Parboil", "Scientific");
+CACTUS_REGISTER_BENCHMARK(PbMriGridding, "mri_gridding", "Parboil",
+                          "Scientific");
+CACTUS_REGISTER_BENCHMARK(PbMriQ, "mri_q", "Parboil", "Scientific");
+CACTUS_REGISTER_BENCHMARK(PbSad, "sad", "Parboil", "Scientific");
+CACTUS_REGISTER_BENCHMARK(PbSgemm, "sgemm", "Parboil", "Scientific");
+CACTUS_REGISTER_BENCHMARK(PbSpmv, "spmv", "Parboil", "Scientific");
+CACTUS_REGISTER_BENCHMARK(PbStencil, "stencil", "Parboil",
+                          "Scientific");
+CACTUS_REGISTER_BENCHMARK(PbTpacf, "tpacf", "Parboil", "Scientific");
+
+} // namespace
+
+} // namespace cactus::workloads

@@ -1,0 +1,927 @@
+/**
+ * @file
+ * Rodinia mini-benchmarks (Table III): from-scratch implementations of
+ * the eighteen Rodinia workloads used as the paper's bottom-up
+ * baseline. As in the original suite, each workload runs one to three
+ * kernels with a single dominant one; LUD intentionally mixes a
+ * compute-intensive and a memory-intensive kernel (the paper's noted
+ * exception in Figure 4b).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/benchmark.hh"
+#include "graph/bfs.hh"
+
+namespace cactus::workloads {
+
+using core::Benchmark;
+using core::Scale;
+using gpu::KernelDesc;
+using gpu::ThreadCtx;
+
+namespace {
+
+int
+scaled(Scale s, int tiny, int small)
+{
+    return s == Scale::Tiny ? tiny : small;
+}
+
+class RodiniaBenchmark : public Benchmark
+{
+  public:
+    explicit RodiniaBenchmark(Scale scale) : scale_(scale) {}
+    std::string suite() const override { return "Rodinia"; }
+    std::string domain() const override { return "Scientific"; }
+
+  protected:
+    Scale scale_;
+};
+
+/** b+tree: integer-heavy tree traversal (compute side). */
+class RdBtree : public RodiniaBenchmark
+{
+  public:
+    using RodiniaBenchmark::RodiniaBenchmark;
+    std::string name() const override { return "btree"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(20);
+        const int queries = scaled(scale_, 10'000, 300'000);
+        const int levels = 8, fanout = 16;
+        std::vector<int> keys(1 << 16);
+        for (std::size_t i = 0; i < keys.size(); ++i)
+            keys[i] = static_cast<int>(i * 3);
+        std::vector<int> q(queries);
+        for (auto &v : q)
+            v = static_cast<int>(rng.uniformInt(keys.size() * 3));
+        std::vector<int> result(queries, 0);
+        dev.launchLinear(
+            KernelDesc("findK", 32), queries, 256,
+            [&](ThreadCtx &ctx) {
+                const auto i = ctx.globalId();
+                const int key = ctx.ld(&q[i]);
+                std::size_t node = 0;
+                for (int l = 0; l < levels; ++l) {
+                    // Binary-search within the node: pure integer ops.
+                    int lo = 0, hi = fanout;
+                    while (lo + 1 < hi) {
+                        const int mid = (lo + hi) / 2;
+                        ctx.intOp(4);
+                        ctx.branch(1);
+                        if ((key >> l) % fanout >= mid)
+                            lo = mid;
+                        else
+                            hi = mid;
+                    }
+                    node = (node * fanout + lo) % keys.size();
+                    ctx.intOp(3);
+                }
+                ctx.st(&result[i],
+                       ctx.ld(&keys[node]));
+            });
+        dev.launchLinear(
+            KernelDesc("findRangeK", 32), queries / 4, 256,
+            [&](ThreadCtx &ctx) {
+                const auto i = ctx.globalId();
+                const int key = ctx.ld(&q[i]);
+                int acc = key;
+                for (int l = 0; l < levels * 4; ++l) {
+                    acc = acc * 1103515245 + 12345;
+                    acc = (acc >> 4) % 65536;
+                    ctx.intOp(4);
+                }
+                ctx.st(&result[i], acc);
+            });
+    }
+};
+
+/** backprop: two streaming layer kernels (memory). */
+class RdBackprop : public RodiniaBenchmark
+{
+  public:
+    using RodiniaBenchmark::RodiniaBenchmark;
+    std::string name() const override { return "backprop"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        const int in = scaled(scale_, 16'384, 1 << 19);
+        const int hidden = 16;
+        std::vector<float> input(in, 0.5f);
+        std::vector<float> weights(
+            static_cast<std::size_t>(in) * hidden, 0.1f);
+        std::vector<float> partial(in, 0.f);
+        dev.launchLinear(
+            KernelDesc("bpnn_layerforward", 32), in, 256,
+            [&](ThreadCtx &ctx) {
+                const auto i = ctx.globalId();
+                const float x = ctx.ld(&input[i]);
+                float acc = 0.f;
+                for (int h = 0; h < hidden; ++h) {
+                    acc += x * ctx.ld(&weights[i * hidden + h]);
+                    ctx.fp32(1);
+                }
+                ctx.st(&partial[i], acc);
+            });
+        dev.launchLinear(
+            KernelDesc("bpnn_adjust_weights", 24),
+            static_cast<std::uint64_t>(in) * hidden, 256,
+            [&](ThreadCtx &ctx) {
+                const auto i = ctx.globalId();
+                const float w = ctx.ld(&weights[i]);
+                const float d = ctx.ld(&partial[i / hidden]);
+                ctx.fp32(3);
+                ctx.intOp(1);
+                ctx.st(&weights[i], w + 0.01f * d);
+            });
+    }
+};
+
+/** bfs: the classic two-kernel Rodinia BFS (memory). */
+class RdBfs : public RodiniaBenchmark
+{
+  public:
+    using RodiniaBenchmark::RodiniaBenchmark;
+    std::string name() const override { return "rd_bfs"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(21);
+        const int n = scaled(scale_, 2000, 150'000);
+        auto g = graph::CsrGraph::uniformRandom(n, n * 5, rng);
+        const auto &offsets = g.offsets();
+        const auto &targets = g.targets();
+        std::vector<std::uint8_t> mask(n, 0), next_mask(n, 0),
+            visited(n, 0);
+        std::vector<int> cost(n, -1);
+        mask[0] = 1;
+        visited[0] = 1;
+        cost[0] = 0;
+        int active = 1;
+        while (active > 0) {
+            active = 0;
+            dev.launchLinear(
+                KernelDesc("Kernel", 24), n, 256,
+                [&](ThreadCtx &ctx) {
+                    const int v = static_cast<int>(ctx.globalId());
+                    ctx.branch(1);
+                    if (!ctx.ld(&mask[v]))
+                        return;
+                    ctx.st(&mask[v], std::uint8_t{0});
+                    const int begin = ctx.ld(&offsets[v]);
+                    const int end = ctx.ld(&offsets[v + 1]);
+                    const int base_cost = ctx.ld(&cost[v]);
+                    for (int e = begin; e < end; ++e) {
+                        const int u = ctx.ld(&targets[e]);
+                        ctx.branch(1);
+                        ctx.intOp(2);
+                        if (!ctx.ld(&visited[u])) {
+                            ctx.st(&cost[u], base_cost + 1);
+                            ctx.st(&next_mask[u], std::uint8_t{1});
+                        }
+                    }
+                });
+            dev.launchLinear(
+                KernelDesc("Kernel2", 16), n, 256,
+                [&](ThreadCtx &ctx) {
+                    const int v = static_cast<int>(ctx.globalId());
+                    ctx.branch(1);
+                    if (!ctx.ld(&next_mask[v]))
+                        return;
+                    ctx.st(&mask[v], std::uint8_t{1});
+                    ctx.st(&visited[v], std::uint8_t{1});
+                    ctx.st(&next_mask[v], std::uint8_t{0});
+                    ctx.atomicAdd(&active, 1);
+                });
+        }
+    }
+};
+
+/** cfd: unstructured-mesh Euler solver flux kernel. */
+class RdCfd : public RodiniaBenchmark
+{
+  public:
+    using RodiniaBenchmark::RodiniaBenchmark;
+    std::string name() const override { return "cfd"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(22);
+        const int cells = scaled(scale_, 10'000, 200'000);
+        std::vector<float> vars(static_cast<std::size_t>(cells) * 5,
+                                1.f);
+        std::vector<int> neighbors(static_cast<std::size_t>(cells) * 4);
+        for (auto &v : neighbors)
+            v = static_cast<int>(rng.uniformInt(cells));
+        std::vector<float> fluxes(vars.size(), 0.f);
+        for (int iter = 0; iter < 2; ++iter) {
+            dev.launchLinear(
+                KernelDesc("cuda_compute_flux", 64), cells, 128,
+                [&](ThreadCtx &ctx) {
+                    const auto c = ctx.globalId();
+                    float acc[5] = {};
+                    for (int nb = 0; nb < 4; ++nb) {
+                        const int j =
+                            ctx.ld(&neighbors[c * 4 + nb]);
+                        for (int v = 0; v < 5; ++v) {
+                            const float a =
+                                ctx.ld(&vars[c * 5 + v]);
+                            const float b = ctx.ld(
+                                &vars[static_cast<std::size_t>(j) * 5 +
+                                      v]);
+                            // Roe-flux-like arithmetic: ~12 flops.
+                            acc[v] += 0.5f * (a + b) -
+                                      0.3f * (b - a) * (b - a);
+                            ctx.fp32(12);
+                        }
+                        ctx.sfu(1);
+                    }
+                    for (int v = 0; v < 5; ++v)
+                        ctx.st(&fluxes[c * 5 + v], acc[v]);
+                });
+            dev.launchLinear(
+                KernelDesc("cuda_time_step", 24), cells * 5, 256,
+                [&](ThreadCtx &ctx) {
+                    const auto i = ctx.globalId();
+                    const float v = ctx.ld(&vars[i]);
+                    const float f = ctx.ld(&fluxes[i]);
+                    ctx.fp32(2);
+                    ctx.st(&vars[i], v + 0.01f * f);
+                });
+        }
+    }
+};
+
+/** dwt2d: 5/3 wavelet lifting passes (memory). */
+class RdDwt2d : public RodiniaBenchmark
+{
+  public:
+    using RodiniaBenchmark::RodiniaBenchmark;
+    std::string name() const override { return "dwt2d"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        const int edge = scaled(scale_, 128, 1024);
+        std::vector<float> img(
+            static_cast<std::size_t>(edge) * edge, 1.f);
+        std::vector<float> out(img.size(), 0.f);
+        dev.launchLinear(
+            KernelDesc("fdwt53Kernel", 40), img.size() / 2, 256,
+            [&](ThreadCtx &ctx) {
+                const auto t = ctx.globalId() * 2;
+                const float a = ctx.ld(&img[t]);
+                const float b = ctx.ld(&img[t + 1]);
+                ctx.fp32(4);
+                ctx.st(&out[t / 2], (a + b) * 0.5f);
+                ctx.st(&out[img.size() / 2 + t / 2], (a - b) * 0.5f);
+            });
+    }
+};
+
+/** gaussian: elimination with a tiny Fan1 and a dominant Fan2. */
+class RdGaussian : public RodiniaBenchmark
+{
+  public:
+    using RodiniaBenchmark::RodiniaBenchmark;
+    std::string name() const override { return "gaussian"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        const int n = scaled(scale_, 128, 768);
+        std::vector<float> m(static_cast<std::size_t>(n) * n, 1.f);
+        std::vector<float> mult(n, 0.f);
+        for (int col = 0; col < std::min(n - 1, 24); ++col) {
+            dev.launchLinear(
+                KernelDesc("Fan1", 16), n - col - 1, 256,
+                [&](ThreadCtx &ctx) {
+                    const auto r = ctx.globalId() + col + 1;
+                    const float pivot = ctx.ld(
+                        &m[static_cast<std::size_t>(col) * n + col]);
+                    const float v = ctx.ld(
+                        &m[r * n + col]);
+                    ctx.fp32(2);
+                    ctx.st(&mult[r], v / (pivot + 1e-9f));
+                });
+            dev.launchLinear(
+                KernelDesc("Fan2", 24),
+                static_cast<std::uint64_t>(n - col - 1) * (n - col),
+                256, [&](ThreadCtx &ctx) {
+                    const auto t = ctx.globalId();
+                    const auto r = t / (n - col) + col + 1;
+                    const auto c = t % (n - col) + col;
+                    const float f = ctx.ld(&mult[r]);
+                    const float pivot_row = ctx.ld(
+                        &m[static_cast<std::size_t>(col) * n + c]);
+                    const float v = ctx.ld(&m[r * n + c]);
+                    ctx.fp32(3);
+                    ctx.intOp(4);
+                    ctx.st(&m[r * n + c], v - f * pivot_row);
+                });
+        }
+    }
+};
+
+/** heartwall: per-point template tracking (compute). */
+class RdHeartwall : public RodiniaBenchmark
+{
+  public:
+    using RodiniaBenchmark::RodiniaBenchmark;
+    std::string name() const override { return "heartwall"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(23);
+        const int points = scaled(scale_, 1024, 20'000);
+        const int tmpl = 64;
+        std::vector<float> frame(points + tmpl);
+        for (auto &v : frame)
+            v = static_cast<float>(rng.uniform());
+        std::vector<float> conv(points, 0.f);
+        dev.launchLinear(
+            KernelDesc("heartwall_kernel", 56), points, 128,
+            [&](ThreadCtx &ctx) {
+                const auto p = ctx.globalId();
+                float best = -1e30f;
+                for (int off = 0; off < 8; ++off) {
+                    float acc = 0.f;
+                    for (int k = 0; k < tmpl; k += 8) {
+                        const float v = ctx.ld(&frame[p + k]);
+                        acc += v * (0.3f + 0.1f * k) -
+                               0.05f * v * v;
+                        ctx.fp32(5);
+                    }
+                    best = std::fmax(best, acc - 0.01f * off);
+                    ctx.fp32(2);
+                }
+                ctx.st(&conv[p], best);
+            });
+    }
+};
+
+/** hotspot3d: thermal stencil (memory). */
+class RdHotspot3d : public RodiniaBenchmark
+{
+  public:
+    using RodiniaBenchmark::RodiniaBenchmark;
+    std::string name() const override { return "hotspot3d"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        const int edge = scaled(scale_, 24, 88);
+        const std::size_t total =
+            static_cast<std::size_t>(edge) * edge * edge;
+        std::vector<float> temp_in(total, 300.f), temp_out(total, 0.f);
+        std::vector<float> power(total, 0.5f);
+        for (int iter = 0; iter < 2; ++iter) {
+            dev.launchLinear(
+                KernelDesc("hotspotOpt1", 40), total, 128,
+                [&](ThreadCtx &ctx) {
+                    const auto t = ctx.globalId();
+                    const int x = static_cast<int>(t % edge);
+                    const int y =
+                        static_cast<int>((t / edge) % edge);
+                    const int z =
+                        static_cast<int>(t / (edge * edge));
+                    ctx.intOp(8);
+                    ctx.branch(1);
+                    if (x == 0 || y == 0 || z == 0 ||
+                        x == edge - 1 || y == edge - 1 ||
+                        z == edge - 1) {
+                        ctx.st(&temp_out[t], ctx.ld(&temp_in[t]));
+                        return;
+                    }
+                    const float c = ctx.ld(&temp_in[t]);
+                    const float sum =
+                        ctx.ld(&temp_in[t - 1]) +
+                        ctx.ld(&temp_in[t + 1]) +
+                        ctx.ld(&temp_in[t - edge]) +
+                        ctx.ld(&temp_in[t + edge]) +
+                        ctx.ld(&temp_in[t - edge * edge]) +
+                        ctx.ld(&temp_in[t + edge * edge]);
+                    const float p = ctx.ld(&power[t]);
+                    ctx.fp32(10);
+                    ctx.st(&temp_out[t],
+                           c + 0.1f * (sum - 6.f * c) + 0.05f * p);
+                });
+            std::swap(temp_in, temp_out);
+        }
+    }
+};
+
+/** huffman: variable-length encoding with atomics (int/memory). */
+class RdHuffman : public RodiniaBenchmark
+{
+  public:
+    using RodiniaBenchmark::RodiniaBenchmark;
+    std::string name() const override { return "huffman"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(24);
+        const int n = scaled(scale_, 50'000, 2'000'000);
+        std::vector<int> symbols(n);
+        for (auto &v : symbols)
+            v = static_cast<int>(rng.uniformInt(256));
+        std::vector<int> codewords(256), codelens(256);
+        for (int s = 0; s < 256; ++s) {
+            codewords[s] = s * 2654435761u % 4096;
+            codelens[s] = 4 + s % 12;
+        }
+        std::vector<int> out(n, 0);
+        int total_bits = 0;
+        dev.launchLinear(
+            KernelDesc("vlc_encode_kernel_sm64huff", 32), n, 256,
+            [&](ThreadCtx &ctx) {
+                const auto i = ctx.globalId();
+                const int s = ctx.ld(&symbols[i]);
+                const int cw = ctx.ld(&codewords[s]);
+                const int len = ctx.ld(&codelens[s]);
+                const int pos = ctx.atomicAdd(&total_bits, len);
+                ctx.intOp(6);
+                ctx.st(&out[i], cw ^ pos);
+            });
+    }
+};
+
+/** kmeans: assignment over streamed feature rows (memory). */
+class RdKmeans : public RodiniaBenchmark
+{
+  public:
+    using RodiniaBenchmark::RodiniaBenchmark;
+    std::string name() const override { return "kmeans"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(25);
+        const int points = scaled(scale_, 10'000, 200'000);
+        const int features = 32, clusters = 5;
+        std::vector<float> data(
+            static_cast<std::size_t>(points) * features);
+        for (auto &v : data)
+            v = static_cast<float>(rng.uniform());
+        std::vector<float> centroids(clusters * features, 0.5f);
+        std::vector<int> membership(points, 0);
+        dev.launchLinear(
+            KernelDesc("kmeans_kernel_c", 40), points, 256,
+            [&](ThreadCtx &ctx) {
+                const auto p = ctx.globalId();
+                float best = 1e30f;
+                int best_c = 0;
+                for (int c = 0; c < clusters; ++c) {
+                    float dist = 0.f;
+                    for (int f = 0; f < features; ++f) {
+                        const float x =
+                            ctx.ld(&data[p * features + f]);
+                        const float ctr =
+                            ctx.ld(&centroids[c * features + f]);
+                        dist += (x - ctr) * (x - ctr);
+                        ctx.fp32(3);
+                    }
+                    ctx.branch(1);
+                    if (dist < best) {
+                        best = dist;
+                        best_c = c;
+                    }
+                }
+                ctx.st(&membership[p], best_c);
+            });
+        dev.launchLinear(
+            KernelDesc("kmeans_swap", 24), points, 256,
+            [&](ThreadCtx &ctx) {
+                const auto p = ctx.globalId();
+                const int m = ctx.ld(&membership[p]);
+                ctx.intOp(2);
+                ctx.st(&membership[p], (m + 1) % clusters);
+            });
+    }
+};
+
+/** lavamd: particle forces within neighboring boxes (compute). */
+class RdLavamd : public RodiniaBenchmark
+{
+  public:
+    using RodiniaBenchmark::RodiniaBenchmark;
+    std::string name() const override { return "lavamd"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(26);
+        const int particles = scaled(scale_, 2'000, 40'000);
+        const int per_box = 32;
+        std::vector<float> pos(
+            static_cast<std::size_t>(particles) * 4);
+        for (auto &v : pos)
+            v = static_cast<float>(rng.uniform());
+        std::vector<float> force(pos.size(), 0.f);
+        dev.launchLinear(
+            KernelDesc("kernel_gpu_cuda", 64), particles, 128,
+            [&](ThreadCtx &ctx) {
+                const auto i = ctx.globalId();
+                const float xi = ctx.ld(&pos[i * 4]);
+                const float qi = ctx.ld(&pos[i * 4 + 3]);
+                float acc = 0.f;
+                const std::size_t box =
+                    (i / per_box) * per_box;
+                for (int j = 0; j < per_box; ++j) {
+                    const float xj = ctx.ld(&pos[(box + j) * 4]);
+                    const float qj =
+                        ctx.ld(&pos[(box + j) * 4 + 3]);
+                    const float d2 =
+                        (xi - xj) * (xi - xj) + 0.01f;
+                    const float e = std::exp(-2.f * d2);
+                    // The real kernel evaluates the full 3-D force
+                    // vector plus the extra-dimension term per pair.
+                    const float fs = qi * qj * e;
+                    acc += fs * (1.f + d2) + fs * d2 * 0.5f +
+                           fs * (2.f - d2) * 0.25f;
+                    ctx.fp32(30);
+                    ctx.sfu(1);
+                }
+                ctx.st(&force[i * 4], acc);
+            });
+    }
+};
+
+/** leukocyte: GICOV score + dilation (compute-dominant). */
+class RdLeukocyte : public RodiniaBenchmark
+{
+  public:
+    using RodiniaBenchmark::RodiniaBenchmark;
+    std::string name() const override { return "leukocyte"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(27);
+        const int pixels = scaled(scale_, 8'000, 120'000);
+        std::vector<float> grad(pixels);
+        for (auto &v : grad)
+            v = static_cast<float>(rng.uniform());
+        std::vector<float> gicov(pixels, 0.f), dilated(pixels, 0.f);
+        dev.launchLinear(
+            KernelDesc("GICOV_kernel", 56), pixels, 128,
+            [&](ThreadCtx &ctx) {
+                const auto p = ctx.globalId();
+                float mean = 0.f, var = 0.f;
+                for (int s = 0; s < 40; ++s) {
+                    // Circle samples via sin/cos.
+                    const float a = 0.157f * s;
+                    const float v = ctx.ld(
+                        &grad[(p + s * 7) % pixels]) *
+                        std::cos(a) + std::sin(a) * 0.1f;
+                    mean += v;
+                    var += v * v;
+                    ctx.fp32(8);
+                    ctx.sfu(2);
+                }
+                ctx.fp32(4);
+                ctx.st(&gicov[p],
+                       mean * mean / (var - mean * mean / 40 + 1e-6f));
+            });
+        dev.launchLinear(
+            KernelDesc("dilate_kernel", 32), pixels, 256,
+            [&](ThreadCtx &ctx) {
+                const auto p = ctx.globalId();
+                float best = 0.f;
+                for (int d = 0; d < 8; ++d) {
+                    best = std::fmax(
+                        best, ctx.ld(&gicov[(p + d) % pixels]));
+                    ctx.fp32(1);
+                }
+                ctx.st(&dilated[p], best);
+            });
+    }
+};
+
+/**
+ * lud: LU decomposition with the paper's noted mixed profile — a
+ * compute-intensive diagonal kernel and a memory-intensive internal
+ * update kernel.
+ */
+class RdLud : public RodiniaBenchmark
+{
+  public:
+    using RodiniaBenchmark::RodiniaBenchmark;
+    std::string name() const override { return "lud"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(28);
+        const int n = scaled(scale_, 128, 512);
+        const int tile = 16;
+        std::vector<float> m(static_cast<std::size_t>(n) * n);
+        for (auto &v : m)
+            v = static_cast<float>(rng.uniform(0.5, 1.5));
+        for (int d = 0; d < n / tile; ++d) {
+            // Diagonal: small dense elimination, high arithmetic reuse.
+            dev.launchLinear(
+                KernelDesc("lud_diagonal", 48, 4 * 1024), tile, 32,
+                [&](ThreadCtx &ctx) {
+                    const auto r = ctx.globalId();
+                    float acc = ctx.ld(
+                        &m[(d * tile + r) *
+                               static_cast<std::size_t>(n) +
+                           d * tile]);
+                    for (int it = 0; it < tile * tile; ++it) {
+                        acc = acc * 1.0001f + 0.5f / (acc + 1.f);
+                        ctx.fp32(4);
+                    }
+                    ctx.st(&m[(d * tile + r) *
+                                  static_cast<std::size_t>(n) +
+                              d * tile],
+                           acc);
+                    ctx.shared(tile * 2);
+                    ctx.sync(2);
+                });
+            // Internal: streaming rank-tile update over the trailing
+            // submatrix, one pass over O(n^2) data.
+            const int rem = n - (d + 1) * tile;
+            if (rem <= 0)
+                continue;
+            dev.launchLinear(
+                KernelDesc("lud_internal", 32),
+                static_cast<std::uint64_t>(rem) * rem, 256,
+                [&](ThreadCtx &ctx) {
+                    const auto t = ctx.globalId();
+                    const std::size_t r =
+                        (d + 1) * tile + t / rem;
+                    const std::size_t c =
+                        (d + 1) * tile + t % rem;
+                    const float a = ctx.ld(
+                        &m[r * static_cast<std::size_t>(n) +
+                           d * tile]);
+                    const float b = ctx.ld(
+                        &m[static_cast<std::size_t>(d * tile) * n +
+                           c]);
+                    const float v =
+                        ctx.ld(&m[r * static_cast<std::size_t>(n) +
+                                  c]);
+                    ctx.fp32(2);
+                    ctx.intOp(6);
+                    ctx.st(&m[r * static_cast<std::size_t>(n) + c],
+                           v - a * b);
+                });
+        }
+    }
+};
+
+/** nn: streaming nearest-neighbor distance (memory). */
+class RdNn : public RodiniaBenchmark
+{
+  public:
+    using RodiniaBenchmark::RodiniaBenchmark;
+    std::string name() const override { return "nn"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(29);
+        const int records = scaled(scale_, 100'000, 3'000'000);
+        std::vector<float> lat(records), lng(records);
+        for (int i = 0; i < records; ++i) {
+            lat[i] = static_cast<float>(rng.uniform(-90, 90));
+            lng[i] = static_cast<float>(rng.uniform(-180, 180));
+        }
+        std::vector<float> dist(records, 0.f);
+        dev.launchLinear(
+            KernelDesc("euclid", 16), records, 256,
+            [&](ThreadCtx &ctx) {
+                const auto i = ctx.globalId();
+                const float la = ctx.ld(&lat[i]) - 30.f;
+                const float lo = ctx.ld(&lng[i]) - 50.f;
+                ctx.fp32(5);
+                ctx.sfu(1);
+                ctx.st(&dist[i], std::sqrt(la * la + lo * lo));
+            });
+    }
+};
+
+/** nw: Needleman-Wunsch wavefront DP (memory). */
+class RdNw : public RodiniaBenchmark
+{
+  public:
+    using RodiniaBenchmark::RodiniaBenchmark;
+    std::string name() const override { return "nw"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        const int n = scaled(scale_, 256, 2048);
+        std::vector<int> score(
+            static_cast<std::size_t>(n) * n, 0);
+        std::vector<int> ref(static_cast<std::size_t>(n) * n, 1);
+        // Process anti-diagonals in two phases as the original does.
+        for (int phase = 0; phase < 2; ++phase) {
+            const char *kname = phase == 0
+                ? "needle_cuda_shared_1" : "needle_cuda_shared_2";
+            for (int diag = 1; diag < n; diag += n / 8) {
+                const int len = phase == 0 ? diag : n - diag;
+                if (len <= 0)
+                    continue;
+                dev.launchLinear(
+                    KernelDesc(kname, 28, 8 * 1024), len, 128,
+                    [&](ThreadCtx &ctx) {
+                        const auto t = ctx.globalId();
+                        const std::size_t r = 1 + t;
+                        const std::size_t c = diag >= static_cast<
+                            int>(t) ? diag - t : 1;
+                        const std::size_t idx =
+                            r * n + std::min<std::size_t>(c, n - 1);
+                        const int up = ctx.ld(&score[idx - n]);
+                        const int left = ctx.ld(&score[idx - 1]);
+                        const int d = ctx.ld(&score[idx - n - 1]);
+                        const int rv = ctx.ld(&ref[idx]);
+                        ctx.intOp(6);
+                        ctx.shared(2);
+                        ctx.st(&score[idx],
+                               std::max({up - 1, left - 1, d + rv}));
+                    });
+            }
+        }
+    }
+};
+
+/** pathfinder: row-by-row dynamic programming (memory). */
+class RdPathfinder : public RodiniaBenchmark
+{
+  public:
+    using RodiniaBenchmark::RodiniaBenchmark;
+    std::string name() const override { return "pathfinder"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(30);
+        const int cols = scaled(scale_, 50'000, 1'000'000);
+        const int rows = 4;
+        std::vector<int> wall(
+            static_cast<std::size_t>(cols) * rows);
+        for (auto &v : wall)
+            v = static_cast<int>(rng.uniformInt(10));
+        std::vector<int> src(cols, 0), dst(cols, 0);
+        for (int r = 0; r < rows; ++r) {
+            dev.launchLinear(
+                KernelDesc("dynproc_kernel", 24), cols, 256,
+                [&](ThreadCtx &ctx) {
+                    const auto c = ctx.globalId();
+                    const int left =
+                        ctx.ld(&src[c == 0 ? 0 : c - 1]);
+                    const int mid = ctx.ld(&src[c]);
+                    const int right = ctx.ld(
+                        &src[c + 1 >= static_cast<std::uint64_t>(
+                                          cols) ? c : c + 1]);
+                    const int w = ctx.ld(
+                        &wall[r * static_cast<std::size_t>(cols) +
+                              c]);
+                    ctx.intOp(4);
+                    ctx.branch(2);
+                    ctx.st(&dst[c],
+                           w + std::min({left, mid, right}));
+                });
+            std::swap(src, dst);
+        }
+    }
+};
+
+/** srad_v1: two diffusion stencil kernels (memory). */
+class RdSrad : public RodiniaBenchmark
+{
+  public:
+    using RodiniaBenchmark::RodiniaBenchmark;
+    std::string name() const override { return "srad_v1"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        const int edge = scaled(scale_, 128, 1024);
+        const std::size_t total =
+            static_cast<std::size_t>(edge) * edge;
+        std::vector<float> img(total, 1.f), coef(total, 0.f);
+        for (int iter = 0; iter < 2; ++iter) {
+            dev.launchLinear(
+                KernelDesc("srad", 40), total, 256,
+                [&](ThreadCtx &ctx) {
+                    const auto t = ctx.globalId();
+                    const int x = static_cast<int>(t % edge);
+                    const int y = static_cast<int>(t / edge);
+                    ctx.intOp(4);
+                    ctx.branch(1);
+                    if (x == 0 || y == 0 || x == edge - 1 ||
+                        y == edge - 1)
+                        return;
+                    const float c = ctx.ld(&img[t]);
+                    const float dn = ctx.ld(&img[t - edge]) - c;
+                    const float ds = ctx.ld(&img[t + edge]) - c;
+                    const float de = ctx.ld(&img[t + 1]) - c;
+                    const float dw = ctx.ld(&img[t - 1]) - c;
+                    const float g2 =
+                        (dn * dn + ds * ds + de * de + dw * dw) /
+                        (c * c + 1e-6f);
+                    ctx.fp32(14);
+                    ctx.st(&coef[t], 1.f / (1.f + g2));
+                });
+            dev.launchLinear(
+                KernelDesc("srad2", 32), total, 256,
+                [&](ThreadCtx &ctx) {
+                    const auto t = ctx.globalId();
+                    const int x = static_cast<int>(t % edge);
+                    const int y = static_cast<int>(t / edge);
+                    ctx.intOp(4);
+                    ctx.branch(1);
+                    if (x == 0 || y == 0 || x == edge - 1 ||
+                        y == edge - 1)
+                        return;
+                    const float c = ctx.ld(&coef[t]);
+                    const float cn = ctx.ld(&coef[t - edge]);
+                    const float ce = ctx.ld(&coef[t + 1]);
+                    const float v = ctx.ld(&img[t]);
+                    ctx.fp32(6);
+                    ctx.st(&img[t],
+                           v + 0.05f * (c + cn + ce) * v);
+                });
+        }
+    }
+};
+
+/** streamcluster: cost evaluation against candidate centers. */
+class RdStreamcluster : public RodiniaBenchmark
+{
+  public:
+    using RodiniaBenchmark::RodiniaBenchmark;
+    std::string name() const override { return "streamcluster"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(31);
+        const int points = scaled(scale_, 20'000, 400'000);
+        const int dims = 16;
+        std::vector<float> data(
+            static_cast<std::size_t>(points) * dims);
+        for (auto &v : data)
+            v = static_cast<float>(rng.uniform());
+        std::vector<float> center(dims, 0.5f);
+        std::vector<float> cost(points, 0.f);
+        dev.launchLinear(
+            KernelDesc("kernel_compute_cost", 32), points, 256,
+            [&](ThreadCtx &ctx) {
+                const auto p = ctx.globalId();
+                float acc = 0.f;
+                for (int d = 0; d < dims; ++d) {
+                    const float x = ctx.ld(&data[p * dims + d]);
+                    const float c = ctx.ld(&center[d]);
+                    acc += (x - c) * (x - c);
+                    ctx.fp32(3);
+                }
+                ctx.st(&cost[p], acc);
+            });
+    }
+};
+
+CACTUS_REGISTER_BENCHMARK(RdBtree, "btree", "Rodinia", "Scientific");
+CACTUS_REGISTER_BENCHMARK(RdBackprop, "backprop", "Rodinia",
+                          "Scientific");
+CACTUS_REGISTER_BENCHMARK(RdBfs, "rd_bfs", "Rodinia", "Scientific");
+CACTUS_REGISTER_BENCHMARK(RdCfd, "cfd", "Rodinia", "Scientific");
+CACTUS_REGISTER_BENCHMARK(RdDwt2d, "dwt2d", "Rodinia", "Scientific");
+CACTUS_REGISTER_BENCHMARK(RdGaussian, "gaussian", "Rodinia",
+                          "Scientific");
+CACTUS_REGISTER_BENCHMARK(RdHeartwall, "heartwall", "Rodinia",
+                          "Scientific");
+CACTUS_REGISTER_BENCHMARK(RdHotspot3d, "hotspot3d", "Rodinia",
+                          "Scientific");
+CACTUS_REGISTER_BENCHMARK(RdHuffman, "huffman", "Rodinia",
+                          "Scientific");
+CACTUS_REGISTER_BENCHMARK(RdKmeans, "kmeans", "Rodinia", "Scientific");
+CACTUS_REGISTER_BENCHMARK(RdLavamd, "lavamd", "Rodinia", "Scientific");
+CACTUS_REGISTER_BENCHMARK(RdLeukocyte, "leukocyte", "Rodinia",
+                          "Scientific");
+CACTUS_REGISTER_BENCHMARK(RdLud, "lud", "Rodinia", "Scientific");
+CACTUS_REGISTER_BENCHMARK(RdNn, "nn", "Rodinia", "Scientific");
+CACTUS_REGISTER_BENCHMARK(RdNw, "nw", "Rodinia", "Scientific");
+CACTUS_REGISTER_BENCHMARK(RdPathfinder, "pathfinder", "Rodinia",
+                          "Scientific");
+CACTUS_REGISTER_BENCHMARK(RdSrad, "srad_v1", "Rodinia", "Scientific");
+CACTUS_REGISTER_BENCHMARK(RdStreamcluster, "streamcluster", "Rodinia",
+                          "Scientific");
+
+} // namespace
+
+} // namespace cactus::workloads

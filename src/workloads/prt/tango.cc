@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tango mini-benchmarks (Table III): AlexNet (AN), ResNet (RN) and
+ * SqueezeNet (SN) inference. Faithful to Tango's design philosophy,
+ * these use *custom monolithic kernels* rather than the cuDNN-backed
+ * layer library the Cactus ML workloads use — which is exactly why they
+ * show one to three dominant kernels (paper Figures 2 and 4c) instead
+ * of the many-kernel profiles of the Cactus applications.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/benchmark.hh"
+
+namespace cactus::workloads {
+
+using core::Benchmark;
+using core::Scale;
+using gpu::KernelDesc;
+using gpu::ThreadCtx;
+
+namespace {
+
+/** Shared custom-kernel CNN machinery for the three Tango nets. */
+class TangoNet
+{
+  public:
+    TangoNet(gpu::Device &dev, Rng &rng) : dev_(dev), rng_(rng) {}
+
+    /**
+     * A fused direct convolution + ReLU with the given geometry;
+     * weights are synthesized on the fly. Returns the output buffer.
+     */
+    std::vector<float>
+    convRelu(const char *kernel_name, const std::vector<float> &x,
+             int c_in, int hw, int c_out, int k)
+    {
+        std::vector<float> w(
+            static_cast<std::size_t>(c_out) * c_in * k * k);
+        for (auto &v : w)
+            v = static_cast<float>(rng_.uniform(-0.1, 0.1));
+        std::vector<float> y(
+            static_cast<std::size_t>(c_out) * hw * hw, 0.f);
+        dev_.launchLinear(
+            KernelDesc(kernel_name, 64, 8 * 1024), y.size(), 128,
+            [&](ThreadCtx &ctx) {
+                const auto t = ctx.globalId();
+                const int pix = static_cast<int>(t % (hw * hw));
+                const int f = static_cast<int>(t / (hw * hw));
+                float acc = 0.f;
+                for (int c = 0; c < c_in; ++c) {
+                    for (int kk = 0; kk < k * k; ++kk) {
+                        const std::size_t xi =
+                            (static_cast<std::size_t>(c) * hw * hw +
+                             (pix + kk * 3) %
+                                 static_cast<std::size_t>(hw * hw));
+                        acc += ctx.ld(&x[xi]) *
+                               ctx.ld(&w[(static_cast<std::size_t>(
+                                              f) * c_in + c) * k * k +
+                                         kk]);
+                        ctx.fp32(1);
+                        ctx.intOp(2);
+                    }
+                }
+                ctx.branch(1);
+                ctx.st(&y[t], acc > 0 ? acc : 0.f);
+            });
+        return y;
+    }
+
+    /** 2x2 max pooling over channel-major data. */
+    std::vector<float>
+    pool(const std::vector<float> &x, int channels, int hw)
+    {
+        std::vector<float> y(
+            static_cast<std::size_t>(channels) * (hw / 2) * (hw / 2),
+            0.f);
+        dev_.launchLinear(
+            KernelDesc("pool_custom", 24), y.size(), 256,
+            [&](ThreadCtx &ctx) {
+                const auto t = ctx.globalId();
+                const int ohw = hw / 2;
+                const int c = static_cast<int>(t / (ohw * ohw));
+                const int oy = static_cast<int>(
+                    (t / ohw) % ohw);
+                const int ox = static_cast<int>(t % ohw);
+                float best = -1e30f;
+                for (int d = 0; d < 4; ++d) {
+                    const int iy = oy * 2 + d / 2;
+                    const int ix = ox * 2 + d % 2;
+                    best = std::fmax(
+                        best,
+                        ctx.ld(&x[(static_cast<std::size_t>(c) * hw +
+                                   iy) * hw + ix]));
+                    ctx.fp32(1);
+                }
+                ctx.intOp(8);
+                ctx.st(&y[t], best);
+            });
+        return y;
+    }
+
+    /** Fully connected layer streaming a large weight matrix. */
+    std::vector<float>
+    fc(const std::vector<float> &x, int out_features)
+    {
+        std::vector<float> w(x.size() *
+                             static_cast<std::size_t>(out_features));
+        for (auto &v : w)
+            v = static_cast<float>(rng_.uniform(-0.05, 0.05));
+        std::vector<float> y(out_features, 0.f);
+        dev_.launchLinear(
+            KernelDesc("fc_custom", 32), out_features, 128,
+            [&](ThreadCtx &ctx) {
+                const auto o = ctx.globalId();
+                float acc = 0.f;
+                for (std::size_t i = 0; i < x.size(); ++i) {
+                    acc += ctx.ld(&x[i]) *
+                           ctx.ld(&w[o * x.size() + i]);
+                    ctx.fp32(1);
+                }
+                ctx.st(&y[o], acc);
+            });
+        return y;
+    }
+
+  private:
+    gpu::Device &dev_;
+    Rng &rng_;
+};
+
+/** AN: AlexNet-like — conv layers plus big FC layers (mixed). */
+class TangoAlexnet : public Benchmark
+{
+  public:
+    explicit TangoAlexnet(Scale scale) : scale_(scale) {}
+    std::string name() const override { return "AN"; }
+    std::string suite() const override { return "Tango"; }
+    std::string domain() const override { return "ML"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(40);
+        TangoNet net(dev, rng);
+        const int hw = scale_ == Scale::Tiny ? 16 : 32;
+        std::vector<float> x(
+            static_cast<std::size_t>(3) * hw * hw, 0.5f);
+        auto a = net.convRelu("conv_custom", x, 3, hw, 32, 5);
+        auto b = net.pool(a, 32, hw);
+        auto c = net.convRelu("conv_custom", b, 32, hw / 2, 64, 3);
+        auto d = net.pool(c, 64, hw / 2);
+        auto e = net.fc(d, 128);
+        net.fc(e, 10);
+    }
+
+  private:
+    Scale scale_;
+};
+
+/** RN: ResNet-like — deep stack of 3x3 convolutions (compute). */
+class TangoResnet : public Benchmark
+{
+  public:
+    explicit TangoResnet(Scale scale) : scale_(scale) {}
+    std::string name() const override { return "RN"; }
+    std::string suite() const override { return "Tango"; }
+    std::string domain() const override { return "ML"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(41);
+        TangoNet net(dev, rng);
+        const int hw = scale_ == Scale::Tiny ? 12 : 24;
+        std::vector<float> x(
+            static_cast<std::size_t>(16) * hw * hw, 0.5f);
+        for (int block = 0; block < 4; ++block) {
+            auto y = net.convRelu("conv_custom", x, 16, hw, 16, 3);
+            x = net.convRelu("conv_custom", y, 16, hw, 16, 3);
+        }
+        net.fc(x, 10);
+    }
+
+  private:
+    Scale scale_;
+};
+
+/** SN: SqueezeNet-like — 1x1 squeeze and 3x3 expand convs (compute). */
+class TangoSqueezenet : public Benchmark
+{
+  public:
+    explicit TangoSqueezenet(Scale scale) : scale_(scale) {}
+    std::string name() const override { return "SN"; }
+    std::string suite() const override { return "Tango"; }
+    std::string domain() const override { return "ML"; }
+
+    void
+    run(gpu::Device &dev) override
+    {
+        Rng rng(42);
+        TangoNet net(dev, rng);
+        const int hw = scale_ == Scale::Tiny ? 12 : 24;
+        std::vector<float> x(
+            static_cast<std::size_t>(16) * hw * hw, 0.5f);
+        for (int fire = 0; fire < 3; ++fire) {
+            auto squeeze =
+                net.convRelu("conv1x1_custom", x, 16, hw, 8, 1);
+            x = net.convRelu("conv3x3_custom", squeeze, 8, hw, 16, 3);
+        }
+    }
+
+  private:
+    Scale scale_;
+};
+
+CACTUS_REGISTER_BENCHMARK(TangoAlexnet, "AN", "Tango", "ML");
+CACTUS_REGISTER_BENCHMARK(TangoResnet, "RN", "Tango", "ML");
+CACTUS_REGISTER_BENCHMARK(TangoSqueezenet, "SN", "Tango", "ML");
+
+} // namespace
+
+} // namespace cactus::workloads

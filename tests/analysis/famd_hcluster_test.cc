@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for FAMD and Ward hierarchical clustering: recovery of planted
+ * structure, invariants of the decomposition, and dendrogram rendering.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "analysis/famd.hh"
+#include "analysis/hcluster.hh"
+#include "common/rng.hh"
+
+namespace {
+
+using namespace cactus::analysis;
+using cactus::Rng;
+
+/** Two well-separated Gaussian blobs with a matching categorical label. */
+MixedData
+twoBlobData(int per_blob, bool with_qualitative)
+{
+    MixedData data;
+    data.quantitative = Matrix(2 * per_blob, 3);
+    Rng rng(42);
+    for (int i = 0; i < 2 * per_blob; ++i) {
+        const double center = i < per_blob ? 0.0 : 20.0;
+        for (int j = 0; j < 3; ++j)
+            data.quantitative(i, j) = rng.normal(center, 1.0);
+    }
+    if (with_qualitative) {
+        std::vector<int> cat(2 * per_blob);
+        for (int i = 0; i < 2 * per_blob; ++i)
+            cat[i] = i < per_blob ? 0 : 1;
+        data.qualitative.push_back(cat);
+    }
+    return data;
+}
+
+TEST(Famd, FirstComponentSeparatesBlobs)
+{
+    const auto data = twoBlobData(10, false);
+    const auto result = famd(data, 2);
+    ASSERT_EQ(result.coordinates.rows(), 20u);
+    // Component 1 must separate blob A (rows 0..9) from blob B.
+    double min_a = 1e300, max_a = -1e300, min_b = 1e300, max_b = -1e300;
+    for (int i = 0; i < 10; ++i) {
+        min_a = std::min(min_a, result.coordinates(i, 0));
+        max_a = std::max(max_a, result.coordinates(i, 0));
+        min_b = std::min(min_b, result.coordinates(10 + i, 0));
+        max_b = std::max(max_b, result.coordinates(10 + i, 0));
+    }
+    EXPECT_TRUE(max_a < min_b || max_b < min_a);
+}
+
+TEST(Famd, ExplainedVarianceDescendingAndBounded)
+{
+    const auto data = twoBlobData(12, true);
+    const auto result = famd(data, 4);
+    double cum = 0;
+    for (std::size_t j = 0; j < result.explained.size(); ++j) {
+        if (j > 0) {
+            EXPECT_LE(result.explained[j],
+                      result.explained[j - 1] + 1e-12);
+        }
+        EXPECT_GE(result.explained[j], -1e-12);
+        cum += result.explained[j];
+    }
+    EXPECT_LE(cum, 1.0 + 1e-9);
+    // Two clear blobs: the first component dominates.
+    EXPECT_GT(result.explained[0], 0.5);
+}
+
+TEST(Famd, QualitativeVariableContributes)
+{
+    // With a category aligned to the blobs, component 1 must still
+    // separate them and the eigenvalue grows versus quantitative-only.
+    const auto no_qual = famd(twoBlobData(10, false), 1);
+    const auto with_qual = famd(twoBlobData(10, true), 1);
+    EXPECT_GT(with_qual.eigenvalues[0], no_qual.eigenvalues[0]);
+}
+
+TEST(Famd, ComponentsForVarianceThreshold)
+{
+    const auto result = famd(twoBlobData(10, true), 6);
+    const std::size_t k90 = componentsForVariance(result, 0.90);
+    EXPECT_GE(k90, 1u);
+    EXPECT_LE(k90, result.explained.size());
+    double cum = 0;
+    for (std::size_t j = 0; j < k90; ++j)
+        cum += result.explained[j];
+    EXPECT_GE(cum, 0.90 - 1e-9);
+}
+
+TEST(Famd, ConstantColumnIsIgnoredGracefully)
+{
+    MixedData data;
+    data.quantitative = Matrix(6, 2);
+    for (int i = 0; i < 6; ++i) {
+        data.quantitative(i, 0) = i;
+        data.quantitative(i, 1) = 5.0; // Zero variance.
+    }
+    const auto result = famd(data, 2);
+    EXPECT_GT(result.eigenvalues[0], 0.5);
+    EXPECT_NEAR(result.eigenvalues[1], 0.0, 1e-9);
+}
+
+TEST(WardClustering, RecoversTwoBlobs)
+{
+    const auto data = twoBlobData(8, false);
+    const auto linkage = wardLinkage(data.quantitative);
+    ASSERT_EQ(linkage.merges.size(), 15u);
+    const auto labels = cutTree(linkage, 2);
+    ASSERT_EQ(labels.size(), 16u);
+    for (int i = 1; i < 8; ++i)
+        EXPECT_EQ(labels[i], labels[0]);
+    for (int i = 9; i < 16; ++i)
+        EXPECT_EQ(labels[i], labels[8]);
+    EXPECT_NE(labels[0], labels[8]);
+}
+
+TEST(WardClustering, FourBlobsFourClusters)
+{
+    Matrix pts(20, 2);
+    Rng rng(7);
+    const double centers[4][2] = {{0, 0}, {30, 0}, {0, 30}, {30, 30}};
+    for (int i = 0; i < 20; ++i) {
+        pts(i, 0) = rng.normal(centers[i / 5][0], 0.5);
+        pts(i, 1) = rng.normal(centers[i / 5][1], 0.5);
+    }
+    const auto labels = cutTree(wardLinkage(pts), 4);
+    std::set<int> distinct(labels.begin(), labels.end());
+    EXPECT_EQ(distinct.size(), 4u);
+    for (int b = 0; b < 4; ++b)
+        for (int i = 1; i < 5; ++i)
+            EXPECT_EQ(labels[b * 5 + i], labels[b * 5]);
+}
+
+TEST(WardClustering, MergeHeightsNonDecreasing)
+{
+    const auto data = twoBlobData(10, false);
+    const auto linkage = wardLinkage(data.quantitative);
+    for (std::size_t s = 1; s < linkage.merges.size(); ++s)
+        EXPECT_GE(linkage.merges[s].height,
+                  linkage.merges[s - 1].height - 1e-9);
+}
+
+TEST(WardClustering, CutIntoOneClusterIsTrivial)
+{
+    const auto data = twoBlobData(4, false);
+    const auto labels = cutTree(wardLinkage(data.quantitative), 1);
+    for (int l : labels)
+        EXPECT_EQ(l, 0);
+}
+
+TEST(WardClustering, CutIntoNClustersIsIdentityPartition)
+{
+    const auto data = twoBlobData(4, false);
+    const auto labels = cutTree(wardLinkage(data.quantitative), 8);
+    std::set<int> distinct(labels.begin(), labels.end());
+    EXPECT_EQ(distinct.size(), 8u);
+}
+
+TEST(Dendrogram, ContainsEveryLabelExactlyOnce)
+{
+    Matrix pts(5, 1);
+    for (int i = 0; i < 5; ++i)
+        pts(i, 0) = i * i; // Distinct, asymmetric spacing.
+    const auto linkage = wardLinkage(pts);
+    const std::vector<std::string> labels{"aa", "bb", "cc", "dd", "ee"};
+    const std::string art = renderDendrogram(linkage, labels);
+    for (const auto &l : labels) {
+        const auto first = art.find(l);
+        ASSERT_NE(first, std::string::npos) << l;
+        EXPECT_EQ(art.find(l, first + 1), std::string::npos) << l;
+    }
+}
+
+TEST(Dendrogram, SingleLeafRendersLabel)
+{
+    Matrix pts(1, 1);
+    const auto linkage = wardLinkage(pts);
+    EXPECT_EQ(renderDendrogram(linkage, {"only"}), "only\n");
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the dense matrix and the Jacobi eigensolver.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/eigen.hh"
+#include "analysis/matrix.hh"
+
+namespace {
+
+using cactus::analysis::jacobiEigen;
+using cactus::analysis::Matrix;
+
+TEST(Matrix, MultiplyKnownValues)
+{
+    Matrix a(2, 3), b(3, 2);
+    int v = 1;
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            a(i, j) = v++;
+    v = 1;
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 2; ++j)
+            b(i, j) = v++;
+    const Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 22.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 28.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 49.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 64.0);
+}
+
+TEST(Matrix, TransposeRoundTrip)
+{
+    Matrix a(3, 2);
+    a(0, 0) = 1;
+    a(2, 1) = 5;
+    const Matrix t = a.transpose();
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.cols(), 3u);
+    EXPECT_DOUBLE_EQ(t(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(t(1, 2), 5.0);
+}
+
+TEST(Matrix, ColumnStatistics)
+{
+    Matrix a(4, 2);
+    const double col0[] = {2, 4, 6, 8};
+    for (std::size_t i = 0; i < 4; ++i) {
+        a(i, 0) = col0[i];
+        a(i, 1) = 7.0;
+    }
+    const auto means = a.columnMeans();
+    const auto sds = a.columnStddevs();
+    EXPECT_DOUBLE_EQ(means[0], 5.0);
+    EXPECT_DOUBLE_EQ(means[1], 7.0);
+    EXPECT_NEAR(sds[0], std::sqrt(5.0), 1e-12);
+    EXPECT_DOUBLE_EQ(sds[1], 0.0);
+}
+
+TEST(JacobiEigen, DiagonalMatrix)
+{
+    Matrix a(3, 3);
+    a(0, 0) = 3;
+    a(1, 1) = 1;
+    a(2, 2) = 2;
+    const auto eig = jacobiEigen(a);
+    EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+    EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+    EXPECT_NEAR(eig.values[2], 1.0, 1e-12);
+}
+
+TEST(JacobiEigen, Known2x2)
+{
+    // [[2,1],[1,2]] has eigenvalues 3 and 1.
+    Matrix a(2, 2);
+    a(0, 0) = 2;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 2;
+    const auto eig = jacobiEigen(a);
+    EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+    EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+    // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+    EXPECT_NEAR(std::fabs(eig.vectors(0, 0)), std::sqrt(0.5), 1e-9);
+    EXPECT_NEAR(std::fabs(eig.vectors(1, 0)), std::sqrt(0.5), 1e-9);
+}
+
+TEST(JacobiEigen, ReconstructsMatrix)
+{
+    // A = V diag(L) V' must reproduce the input.
+    Matrix a(4, 4);
+    const double vals[4][4] = {{4, 1, 0.5, 0},
+                               {1, 3, 0.2, 0.1},
+                               {0.5, 0.2, 2, 0.3},
+                               {0, 0.1, 0.3, 1}};
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            a(i, j) = vals[i][j];
+    const auto eig = jacobiEigen(a);
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            double acc = 0;
+            for (int k = 0; k < 4; ++k)
+                acc += eig.vectors(i, k) * eig.values[k] *
+                       eig.vectors(j, k);
+            EXPECT_NEAR(acc, vals[i][j], 1e-9);
+        }
+    }
+}
+
+TEST(JacobiEigen, EigenvectorsOrthonormal)
+{
+    Matrix a(5, 5);
+    for (int i = 0; i < 5; ++i)
+        for (int j = 0; j < 5; ++j)
+            a(i, j) = 1.0 / (1.0 + i + j); // Hilbert-like, symmetric.
+    const auto eig = jacobiEigen(a);
+    for (int p = 0; p < 5; ++p) {
+        for (int q = 0; q < 5; ++q) {
+            double dot = 0;
+            for (int k = 0; k < 5; ++k)
+                dot += eig.vectors(k, p) * eig.vectors(k, q);
+            EXPECT_NEAR(dot, p == q ? 1.0 : 0.0, 1e-9);
+        }
+    }
+}
+
+TEST(JacobiEigen, TraceEqualsEigenvalueSum)
+{
+    Matrix a(6, 6);
+    for (int i = 0; i < 6; ++i)
+        for (int j = i; j < 6; ++j)
+            a(i, j) = a(j, i) = (i * 7 + j * 3) % 5 - 2.0;
+    for (int i = 0; i < 6; ++i)
+        a(i, i) = i + 1.0;
+    const auto eig = jacobiEigen(a);
+    double trace = 0, sum = 0;
+    for (int i = 0; i < 6; ++i)
+        trace += a(i, i);
+    for (double v : eig.values)
+        sum += v;
+    EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+} // namespace

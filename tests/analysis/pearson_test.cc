@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for Pearson correlation and the Figure 8 bucketing.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/pearson.hh"
+
+namespace {
+
+using namespace cactus::analysis;
+
+TEST(Pearson, PerfectPositiveCorrelation)
+{
+    std::vector<double> x{1, 2, 3, 4, 5};
+    std::vector<double> y{10, 20, 30, 40, 50};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegativeCorrelation)
+{
+    std::vector<double> x{1, 2, 3, 4, 5};
+    std::vector<double> y{5, 4, 3, 2, 1};
+    EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, AffineInvariance)
+{
+    std::vector<double> x{1.5, -2, 7, 3.25, 0};
+    std::vector<double> y;
+    for (double v : x)
+        y.push_back(3.0 * v - 11.0);
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, KnownHandComputedValue)
+{
+    // r = 0.5298 for this classic textbook data set.
+    std::vector<double> x{43, 21, 25, 42, 57, 59};
+    std::vector<double> y{99, 65, 79, 75, 87, 81};
+    EXPECT_NEAR(pearson(x, y), 0.5298, 5e-4);
+}
+
+TEST(Pearson, ZeroVarianceGivesZero)
+{
+    std::vector<double> x{3, 3, 3, 3};
+    std::vector<double> y{1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Pearson, UncorrelatedOrthogonalPattern)
+{
+    std::vector<double> x{-1, 1, -1, 1};
+    std::vector<double> y{-1, -1, 1, 1};
+    EXPECT_NEAR(pearson(x, y), 0.0, 1e-12);
+}
+
+TEST(Pearson, SymmetricInArguments)
+{
+    std::vector<double> x{1, 4, 2, 8, 5, 7};
+    std::vector<double> y{3, 1, 4, 1, 5, 9};
+    EXPECT_DOUBLE_EQ(pearson(x, y), pearson(y, x));
+}
+
+TEST(CorrelationMatrix, DiagonalOnesAndSymmetry)
+{
+    Matrix samples(6, 3);
+    for (int i = 0; i < 6; ++i) {
+        samples(i, 0) = i;
+        samples(i, 1) = i * i;
+        samples(i, 2) = 6 - i;
+    }
+    const Matrix corr = correlationMatrix(samples);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_DOUBLE_EQ(corr(i, i), 1.0);
+    EXPECT_DOUBLE_EQ(corr(0, 1), corr(1, 0));
+    EXPECT_NEAR(corr(0, 2), -1.0, 1e-12);
+}
+
+TEST(CorrelationBuckets, PaperThresholds)
+{
+    EXPECT_EQ(classifyCorrelation(0.0), CorrelationStrength::None);
+    EXPECT_EQ(classifyCorrelation(0.19), CorrelationStrength::None);
+    EXPECT_EQ(classifyCorrelation(0.2), CorrelationStrength::Weak);
+    EXPECT_EQ(classifyCorrelation(-0.35), CorrelationStrength::Weak);
+    EXPECT_EQ(classifyCorrelation(0.49999), CorrelationStrength::Weak);
+    EXPECT_EQ(classifyCorrelation(0.5), CorrelationStrength::Strong);
+    EXPECT_EQ(classifyCorrelation(-1.0), CorrelationStrength::Strong);
+}
+
+/** Property: |r| <= 1 for arbitrary data. */
+class PearsonBoundSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PearsonBoundSweep, AlwaysWithinUnitInterval)
+{
+    const int seed = GetParam();
+    std::vector<double> x, y;
+    unsigned state = static_cast<unsigned>(seed) * 2654435761u + 1u;
+    for (int i = 0; i < 50; ++i) {
+        state = state * 1664525u + 1013904223u;
+        x.push_back((state >> 8) % 1000 / 10.0);
+        state = state * 1664525u + 1013904223u;
+        y.push_back((state >> 8) % 1000 / 10.0);
+    }
+    const double r = pearson(x, y);
+    EXPECT_LE(std::fabs(r), 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PearsonBoundSweep,
+                         ::testing::Range(1, 8));
+
+} // namespace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the roofline classifier and the report renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/report.hh"
+#include "analysis/roofline.hh"
+
+namespace {
+
+using namespace cactus::analysis;
+using cactus::gpu::DeviceConfig;
+
+TEST(Roofline, ElbowMatchesPaper)
+{
+    Roofline roof{DeviceConfig{}};
+    EXPECT_NEAR(roof.elbow(), 21.75, 0.05);
+    EXPECT_NEAR(roof.peakGips(), 516.8, 1e-9);
+    EXPECT_NEAR(roof.latencyThresholdGips(), 5.168, 1e-9);
+}
+
+TEST(Roofline, RoofShape)
+{
+    Roofline roof{DeviceConfig{}};
+    // Memory side: roof is linear in intensity.
+    EXPECT_NEAR(roof.roofGips(1.0), 23.759375, 1e-6);
+    EXPECT_NEAR(roof.roofGips(10.0), 237.59375, 1e-6);
+    // Compute side: flat at peak.
+    EXPECT_NEAR(roof.roofGips(100.0), 516.8, 1e-9);
+    // Exactly at the elbow both roofs agree.
+    EXPECT_NEAR(roof.roofGips(roof.elbow()), 516.8, 1e-6);
+}
+
+TEST(Roofline, ClassificationAgainstPaperThresholds)
+{
+    Roofline roof{DeviceConfig{}};
+    EXPECT_EQ(roof.classifyIntensity(5.0),
+              IntensityClass::MemoryIntensive);
+    EXPECT_EQ(roof.classifyIntensity(100.0),
+              IntensityClass::ComputeIntensive);
+    EXPECT_EQ(roof.classifyBound(1.0), BoundClass::LatencyBound);
+    EXPECT_EQ(roof.classifyBound(50.0), BoundClass::BandwidthBound);
+}
+
+TEST(Roofline, MakePointFillsLabels)
+{
+    Roofline roof{DeviceConfig{}};
+    const auto p = roof.makePoint("k", 30.0, 400.0, 0.5);
+    EXPECT_EQ(p.intensityClass, IntensityClass::ComputeIntensive);
+    EXPECT_EQ(p.boundClass, BoundClass::BandwidthBound);
+    EXPECT_EQ(p.label, "k");
+    EXPECT_DOUBLE_EQ(p.timeShare, 0.5);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22222"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, CsvQuotesSpecialCharacters)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"x,y", "he said \"hi\""});
+    const std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+    EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(Formatting, CountsWithSeparators)
+{
+    EXPECT_EQ(fmtCount(0), "0");
+    EXPECT_EQ(fmtCount(999), "999");
+    EXPECT_EQ(fmtCount(1000), "1,000");
+    EXPECT_EQ(fmtCount(1234567890ull), "1,234,567,890");
+}
+
+TEST(AsciiScatter, PointsAndRoofAppear)
+{
+    ScatterOptions opts;
+    opts.roofPeakY = 516.8;
+    opts.roofSlope = 23.76;
+    ScatterSeries s;
+    s.glyph = 'M';
+    s.points = {{1.0, 10.0}, {100.0, 400.0}};
+    const std::string art = asciiScatter({s}, opts);
+    EXPECT_NE(art.find('M'), std::string::npos);
+    EXPECT_NE(art.find('.'), std::string::npos);
+}
+
+TEST(AsciiScatter, OutOfRangePointsAreDropped)
+{
+    ScatterOptions opts;
+    ScatterSeries s;
+    s.glyph = 'Z';
+    s.points = {{1e9, 1e9}};
+    const std::string art = asciiScatter({s}, opts);
+    EXPECT_EQ(art.find('Z'), std::string::npos);
+}
+
+} // namespace

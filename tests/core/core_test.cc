@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the benchmark registry and the profiling harness: dominance
+ * ranking, cumulative shares, aggregate roofline coordinates, and the
+ * FAMD observation builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/harness.hh"
+
+namespace {
+
+using namespace cactus::core;
+using cactus::gpu::Dim3;
+using cactus::gpu::KernelDesc;
+using cactus::gpu::ThreadCtx;
+
+/** A synthetic benchmark with a controlled kernel time distribution. */
+class SyntheticBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "synthetic"; }
+    std::string suite() const override { return "Test"; }
+    std::string domain() const override { return "Test"; }
+
+    void
+    run(cactus::gpu::Device &dev) override
+    {
+        // "big" dominates; "mid" is invoked thrice; "small" is tiny.
+        std::vector<float> a(1 << 20, 1.f), b(1 << 20, 0.f);
+        dev.launchLinear(KernelDesc("big"), a.size(), 256,
+                         [&](ThreadCtx &ctx) {
+                             const auto i = ctx.globalId();
+                             ctx.fp32(20);
+                             ctx.st(&b[i], ctx.ld(&a[i]) * 2.f);
+                         });
+        for (int r = 0; r < 3; ++r) {
+            dev.launchLinear(KernelDesc("mid"), a.size() / 8, 256,
+                             [&](ThreadCtx &ctx) {
+                                 const auto i = ctx.globalId();
+                                 ctx.st(&b[i], ctx.ld(&a[i]));
+                             });
+        }
+        dev.launchLinear(KernelDesc("small"), 1024, 256,
+                         [&](ThreadCtx &ctx) { ctx.fp32(1); });
+    }
+};
+
+TEST(Harness, ProfilesAreDominanceOrdered)
+{
+    SyntheticBenchmark bench;
+    const auto profile = runProfiled(bench);
+    ASSERT_EQ(profile.kernelCount(), 3);
+    EXPECT_EQ(profile.kernels[0].name, "big");
+    EXPECT_EQ(profile.kernels[1].invocations, 3u);
+    EXPECT_GE(profile.kernels[0].seconds, profile.kernels[1].seconds);
+    EXPECT_GE(profile.kernels[1].seconds, profile.kernels[2].seconds);
+}
+
+TEST(Harness, CumulativeSharesReachOne)
+{
+    SyntheticBenchmark bench;
+    const auto profile = runProfiled(bench);
+    const auto shares = profile.cumulativeTimeShares();
+    ASSERT_EQ(shares.size(), 3u);
+    EXPECT_GT(shares[0], 0.4);
+    EXPECT_NEAR(shares.back(), 1.0, 1e-9);
+    for (std::size_t i = 1; i < shares.size(); ++i)
+        EXPECT_GE(shares[i], shares[i - 1]);
+}
+
+TEST(Harness, KernelsForTimeFraction)
+{
+    SyntheticBenchmark bench;
+    const auto profile = runProfiled(bench);
+    EXPECT_GE(profile.kernelsForTimeFraction(0.7), 1);
+    EXPECT_LE(profile.kernelsForTimeFraction(0.7), 3);
+    EXPECT_EQ(profile.kernelsForTimeFraction(1.0), 3);
+}
+
+TEST(Harness, AggregateCoordinatesAreFinite)
+{
+    SyntheticBenchmark bench;
+    const auto profile = runProfiled(bench);
+    EXPECT_GT(profile.aggregateGips(), 0.0);
+    EXPECT_GT(profile.aggregateIntensity(), 0.0);
+    EXPECT_GT(profile.totalWarpInsts, 0u);
+    EXPECT_GT(profile.totalSeconds, 0.0);
+}
+
+TEST(Harness, DominantObservationsRespectCutoff)
+{
+    SyntheticBenchmark bench;
+    std::vector<BenchmarkProfile> profiles{runProfiled(bench)};
+    const auto obs = dominantKernelObservations(profiles, 0.7);
+    ASSERT_FALSE(obs.empty());
+    EXPECT_LE(obs.size(), 3u);
+    double covered = 0;
+    for (const auto &o : obs)
+        covered += o.timeShare;
+    EXPECT_GE(covered, 0.7 - 1e-9);
+    EXPECT_EQ(obs[0].benchmark, "synthetic");
+}
+
+TEST(Harness, MixedDataHasMetricColumnsAndTwoLabels)
+{
+    SyntheticBenchmark bench;
+    std::vector<BenchmarkProfile> profiles{runProfiled(bench)};
+    const auto obs = dominantKernelObservations(profiles, 1.0);
+    const auto data =
+        buildMixedData(obs, cactus::gpu::DeviceConfig{});
+    EXPECT_EQ(data.quantitative.rows(), obs.size());
+    EXPECT_EQ(data.quantitative.cols(),
+              static_cast<std::size_t>(
+                  cactus::gpu::KernelMetrics::kNumColumns));
+    ASSERT_EQ(data.qualitative.size(), 2u);
+    for (int label : data.qualitative[0]) {
+        EXPECT_GE(label, 0);
+        EXPECT_LE(label, 1);
+    }
+}
+
+TEST(Registry, AllSuitesRegistered)
+{
+    const auto &reg = Registry::instance();
+    EXPECT_EQ(reg.list("Cactus").size(), 10u);
+    EXPECT_EQ(reg.list("CactusExt").size(), 3u);
+    EXPECT_EQ(reg.list("Parboil").size(), 11u);
+    EXPECT_EQ(reg.list("Rodinia").size(), 18u);
+    EXPECT_EQ(reg.list("Tango").size(), 3u);
+    EXPECT_EQ(reg.list().size(), 45u);
+}
+
+TEST(Registry, CreateByName)
+{
+    auto bench = Registry::instance().create("GMS", Scale::Tiny);
+    EXPECT_EQ(bench->name(), "GMS");
+    EXPECT_EQ(bench->suite(), "Cactus");
+    EXPECT_TRUE(Registry::instance().contains("sgemm"));
+    EXPECT_FALSE(Registry::instance().contains("no_such"));
+}
+
+TEST(RegistryDeath, UnknownBenchmarkIsFatal)
+{
+    EXPECT_EXIT(Registry::instance().create("does_not_exist"),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Cross-validation of the two convolution algorithms: the direct
+ * (implicit-GEMM-style) kernels against the explicit im2col + GEMM
+ * path, plus the im2col/col2im adjoint property. Two independent
+ * implementations agreeing on random inputs is strong evidence both
+ * are correct.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dnn/spatial.hh"
+#include "dnn/tensor.hh"
+
+namespace {
+
+using namespace cactus::dnn;
+using cactus::Rng;
+using cactus::gpu::Device;
+
+struct ConvCase
+{
+    int n, c, h, w, f, k, stride, pad;
+};
+
+class ConvAlgorithmsAgree : public ::testing::TestWithParam<ConvCase>
+{
+};
+
+TEST_P(ConvAlgorithmsAgree, DirectEqualsIm2colGemm)
+{
+    const auto p = GetParam();
+    ConvGeom g{p.n, p.c, p.h, p.w, p.f, p.k, p.stride, p.pad};
+    Rng rng(31);
+    Tensor x = Tensor::randn({g.n, g.c, g.h, g.w}, rng, 1.f);
+    Tensor w = Tensor::randn({g.f, g.c, g.k, g.k}, rng, 0.5f);
+    Tensor bias = Tensor::randn({g.f}, rng, 0.1f);
+    Tensor y_direct({g.n, g.f, g.outH(), g.outW()});
+    Tensor y_gemm(y_direct.shape());
+
+    Device dev;
+    conv2dForward(dev, g, x.data(), w.data(), bias.data(),
+                  y_direct.data());
+    conv2dForwardIm2col(dev, g, x.data(), w.data(), bias.data(),
+                        y_gemm.data());
+    for (int i = 0; i < y_direct.size(); ++i)
+        ASSERT_NEAR(y_gemm[i], y_direct[i],
+                    1e-4f * (1.f + std::fabs(y_direct[i])))
+            << "element " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvAlgorithmsAgree,
+    ::testing::Values(ConvCase{1, 1, 5, 5, 1, 3, 1, 1},
+                      ConvCase{2, 3, 8, 8, 4, 3, 1, 1},
+                      ConvCase{2, 2, 9, 7, 3, 3, 2, 1},
+                      ConvCase{1, 4, 6, 6, 2, 4, 2, 1},
+                      ConvCase{3, 2, 4, 4, 5, 1, 1, 0}),
+    [](const auto &info) {
+        const auto &p = info.param;
+        return "n" + std::to_string(p.n) + "c" + std::to_string(p.c) +
+               "k" + std::to_string(p.k) + "s" +
+               std::to_string(p.stride) + "p" + std::to_string(p.pad);
+    });
+
+TEST(Im2col, AdjointProperty)
+{
+    // <im2col(x), c> == <x, col2im(c)> for random c: im2col and col2im
+    // are exact adjoints.
+    ConvGeom g{2, 2, 6, 6, 1, 3, 2, 1};
+    Rng rng(32);
+    Tensor x = Tensor::randn({g.n, g.c, g.h, g.w}, rng, 1.f);
+    const std::size_t np =
+        static_cast<std::size_t>(g.n) * g.outH() * g.outW();
+    const std::size_t ckk =
+        static_cast<std::size_t>(g.c) * g.k * g.k;
+    Tensor col({static_cast<int>(ckk), static_cast<int>(np)});
+    Device dev;
+    im2col(dev, g, x.data(), col.data());
+
+    Tensor c = Tensor::randn(col.shape(), rng, 1.f);
+    Tensor back = Tensor::zeros(x.shape());
+    col2im(dev, g, c.data(), back.data());
+
+    double lhs = 0, rhs = 0;
+    for (int i = 0; i < col.size(); ++i)
+        lhs += static_cast<double>(col[i]) * c[i];
+    for (int i = 0; i < x.size(); ++i)
+        rhs += static_cast<double>(x[i]) * back[i];
+    EXPECT_NEAR(lhs, rhs, 1e-2 * (1.0 + std::fabs(lhs)));
+}
+
+TEST(Im2col, PaddedTapsAreZero)
+{
+    // With a pad of 1, the first column (output (0,0)) has zero rows
+    // for all taps that fall outside the image.
+    ConvGeom g{1, 1, 4, 4, 1, 3, 1, 1};
+    Tensor x = Tensor::full({1, 1, 4, 4}, 7.f);
+    const std::size_t np =
+        static_cast<std::size_t>(g.outH()) * g.outW();
+    Tensor col({9, static_cast<int>(np)});
+    Device dev;
+    im2col(dev, g, x.data(), col.data());
+    // Output (0,0): taps (ky=0,*) and (kx=0,*) hit the border padding.
+    EXPECT_FLOAT_EQ(col[0 * np + 0], 0.f); // (ky=0,kx=0).
+    EXPECT_FLOAT_EQ(col[1 * np + 0], 0.f); // (ky=0,kx=1).
+    EXPECT_FLOAT_EQ(col[4 * np + 0], 7.f); // (ky=1,kx=1) = x(0,0).
+}
+
+} // namespace

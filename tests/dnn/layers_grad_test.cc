@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Numerical gradient checks for every trainable layer: the analytic
+ * backward pass must match central finite differences of a random
+ * linear functional of the output. This is the strongest correctness
+ * evidence a from-scratch autodiff can have.
+ */
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "dnn/layers.hh"
+#include "dnn/optim.hh"
+#include "dnn/spatial.hh"
+
+namespace {
+
+using namespace cactus::dnn;
+using cactus::Rng;
+using cactus::gpu::Device;
+
+/** L = sum_i w_i * layer(x)_i for a fixed random w. */
+double
+lossOf(Device &dev, Layer &layer, const Tensor &x, const Tensor &w)
+{
+    Tensor y = layer.forward(dev, x, true);
+    double acc = 0;
+    for (int i = 0; i < y.size(); ++i)
+        acc += static_cast<double>(w[i]) * y[i];
+    return acc;
+}
+
+/**
+ * Check dL/dx and dL/dparam against central differences on a sample of
+ * coordinates.
+ */
+void
+checkGradients(Layer &layer, Tensor x, double h = 1e-2,
+               double tol = 3e-2)
+{
+    Device dev;
+    Rng rng(99);
+
+    Tensor y = layer.forward(dev, x, true);
+    Tensor w = Tensor::randn(y.shape(), rng, 1.f);
+    for (Param *p : layer.params())
+        p->zeroGrad();
+    Tensor dx = layer.backward(dev, w);
+    ASSERT_TRUE(dx.sameShape(x));
+
+    // Input gradient on a coordinate sample.
+    const int stride_x = std::max(1, x.size() / 12);
+    for (int i = 0; i < x.size(); i += stride_x) {
+        Tensor xp = x, xm = x;
+        xp[i] += static_cast<float>(h);
+        xm[i] -= static_cast<float>(h);
+        const double lp = lossOf(dev, layer, xp, w);
+        const double lm = lossOf(dev, layer, xm, w);
+        const double numeric = (lp - lm) / (2 * h);
+        const double scale =
+            std::max({1.0, std::fabs(numeric), std::fabs(
+                static_cast<double>(dx[i]))});
+        EXPECT_NEAR(dx[i], numeric, tol * scale) << "input coord " << i;
+    }
+
+    // Parameter gradients.
+    for (Param *p : layer.params()) {
+        const int stride_p = std::max(1, p->value.size() / 8);
+        for (int i = 0; i < p->value.size(); i += stride_p) {
+            const float orig = p->value[i];
+            p->value[i] = orig + static_cast<float>(h);
+            const double lp = lossOf(dev, layer, x, w);
+            p->value[i] = orig - static_cast<float>(h);
+            const double lm = lossOf(dev, layer, x, w);
+            p->value[i] = orig;
+            const double numeric = (lp - lm) / (2 * h);
+            const double scale =
+                std::max({1.0, std::fabs(numeric), std::fabs(
+                    static_cast<double>(p->grad[i]))});
+            EXPECT_NEAR(p->grad[i], numeric, tol * scale)
+                << "param coord " << i;
+        }
+    }
+}
+
+TEST(GradCheck, Linear)
+{
+    Rng rng(1);
+    Linear layer(6, 4, rng);
+    checkGradients(layer, Tensor::randn({3, 6}, rng, 1.f));
+}
+
+TEST(GradCheck, Conv2dStride1)
+{
+    Rng rng(2);
+    Conv2d layer(2, 3, 3, 1, 1, rng);
+    checkGradients(layer, Tensor::randn({2, 2, 5, 5}, rng, 1.f));
+}
+
+TEST(GradCheck, Conv2dStride2)
+{
+    Rng rng(3);
+    Conv2d layer(2, 4, 3, 2, 1, rng);
+    checkGradients(layer, Tensor::randn({2, 2, 6, 6}, rng, 1.f));
+}
+
+TEST(GradCheck, ConvTranspose2d)
+{
+    Rng rng(4);
+    ConvTranspose2d layer(3, 2, 4, 2, 1, rng);
+    checkGradients(layer, Tensor::randn({2, 3, 4, 4}, rng, 1.f));
+}
+
+TEST(GradCheck, BatchNorm2d)
+{
+    Rng rng(5);
+    BatchNorm2d layer(3);
+    checkGradients(layer, Tensor::randn({4, 3, 3, 3}, rng, 1.f),
+                   /*h=*/1e-2, /*tol=*/6e-2);
+}
+
+TEST(GradCheck, MaxPool)
+{
+    Rng rng(6);
+    MaxPool2d layer;
+    // Well-separated values avoid argmax flips under perturbation.
+    Tensor x({1, 2, 4, 4});
+    for (int i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>((i * 37) % 101) / 10.f;
+    checkGradients(layer, x);
+}
+
+TEST(GradCheck, SequentialMlp)
+{
+    Rng rng(7);
+    Sequential net;
+    net.add<Linear>(5, 8, rng);
+    net.add<ActivationLayer>(Activation::Tanh);
+    net.add<Linear>(8, 3, rng);
+    checkGradients(net, Tensor::randn({4, 5}, rng, 1.f));
+}
+
+TEST(GradCheck, GruCellInputGradient)
+{
+    Rng rng(8);
+    Device dev;
+    const int in = 4, hs = 5, rows = 2;
+    GruCell cell(in, hs, rng);
+    Tensor x = Tensor::randn({rows, in}, rng, 1.f);
+    Tensor h = Tensor::randn({rows, hs}, rng, 1.f);
+    Tensor y = cell.stepForward(dev, x, h);
+    Tensor w = Tensor::randn(y.shape(), rng, 1.f);
+    for (Param *p : cell.params())
+        p->zeroGrad();
+    Tensor dx, dh;
+    cell.stepBackward(dev, w, dx, dh);
+
+    auto loss = [&](const Tensor &xx, const Tensor &hh) {
+        Tensor out = cell.stepForward(dev, xx, hh);
+        cell.clearCache();
+        double acc = 0;
+        for (int i = 0; i < out.size(); ++i)
+            acc += static_cast<double>(w[i]) * out[i];
+        return acc;
+    };
+
+    const double h_step = 1e-2;
+    for (int i = 0; i < x.size(); i += 3) {
+        Tensor xp = x, xm = x;
+        xp[i] += static_cast<float>(h_step);
+        xm[i] -= static_cast<float>(h_step);
+        const double numeric =
+            (loss(xp, h) - loss(xm, h)) / (2 * h_step);
+        EXPECT_NEAR(dx[i], numeric, 3e-2) << i;
+    }
+    for (int i = 0; i < h.size(); i += 4) {
+        Tensor hp = h, hm = h;
+        hp[i] += static_cast<float>(h_step);
+        hm[i] -= static_cast<float>(h_step);
+        const double numeric =
+            (loss(x, hp) - loss(x, hm)) / (2 * h_step);
+        EXPECT_NEAR(dh[i], numeric, 3e-2) << i;
+    }
+}
+
+TEST(GradCheck, GruCellWeightGradient)
+{
+    Rng rng(9);
+    Device dev;
+    const int in = 3, hs = 4, rows = 2;
+    GruCell cell(in, hs, rng);
+    Tensor x = Tensor::randn({rows, in}, rng, 1.f);
+    Tensor h = Tensor::randn({rows, hs}, rng, 1.f);
+    Tensor y = cell.stepForward(dev, x, h);
+    Tensor w = Tensor::randn(y.shape(), rng, 1.f);
+    for (Param *p : cell.params())
+        p->zeroGrad();
+    Tensor dx, dh;
+    cell.stepBackward(dev, w, dx, dh);
+
+    Param *wih = cell.params()[0];
+    const double h_step = 1e-2;
+    for (int i = 0; i < wih->value.size(); i += 7) {
+        const float orig = wih->value[i];
+        auto eval = [&] {
+            Tensor out = cell.stepForward(dev, x, h);
+            cell.clearCache();
+            double acc = 0;
+            for (int k = 0; k < out.size(); ++k)
+                acc += static_cast<double>(w[k]) * out[k];
+            return acc;
+        };
+        wih->value[i] = orig + static_cast<float>(h_step);
+        const double lp = eval();
+        wih->value[i] = orig - static_cast<float>(h_step);
+        const double lm = eval();
+        wih->value[i] = orig;
+        EXPECT_NEAR(wih->grad[i], (lp - lm) / (2 * h_step), 3e-2) << i;
+    }
+}
+
+TEST(GradCheck, GridSampleBilinear)
+{
+    // Bilinear sampling is piecewise linear in the grid coordinates,
+    // with kinks at integer pixel positions. Place every sample safely
+    // inside a cell so central differences are valid.
+    Rng rng(10);
+    Device dev;
+    const int n = 1, c = 2, h = 6, w = 6, oh = 3, ow = 3;
+    Tensor x = Tensor::randn({n, c, h, w}, rng, 1.f);
+    Tensor grid({n, oh, ow, 2});
+    for (int p = 0; p < oh * ow; ++p) {
+        const float fx = 1.f + (p % ow) + 0.4f; // Cell-interior pixels.
+        const float fy = 1.f + (p / ow) + 0.6f;
+        grid[p * 2] = 2.f * fx / (w - 1) - 1.f;
+        grid[p * 2 + 1] = 2.f * fy / (h - 1) - 1.f;
+    }
+
+    auto forward = [&](const Tensor &g) {
+        Tensor y({n, c, oh, ow});
+        gridSampleForward(dev, n, c, h, w, oh, ow, x.data(), g.data(),
+                          y.data());
+        return y;
+    };
+
+    Tensor y = forward(grid);
+    Tensor lw = Tensor::randn(y.shape(), rng, 1.f);
+    Tensor dxp = Tensor::zeros(x.shape());
+    Tensor dgrid = Tensor::zeros(grid.shape());
+    gridSampleBackward(dev, n, c, h, w, oh, ow, x.data(), grid.data(),
+                       lw.data(), dxp.data(), dgrid.data());
+
+    auto lossAt = [&](const Tensor &g) {
+        const Tensor yy = forward(g);
+        double acc = 0;
+        for (int k = 0; k < yy.size(); ++k)
+            acc += static_cast<double>(lw[k]) * yy[k];
+        return acc;
+    };
+
+    const double h_step = 1e-3;
+    for (int i = 0; i < grid.size(); ++i) {
+        Tensor gp = grid, gm = grid;
+        gp[i] += static_cast<float>(h_step);
+        gm[i] -= static_cast<float>(h_step);
+        const double numeric =
+            (lossAt(gp) - lossAt(gm)) / (2 * h_step);
+        EXPECT_NEAR(dgrid[i], numeric, 3e-2) << "grid coord " << i;
+    }
+    // Input-image gradient as well.
+    for (int i = 0; i < x.size(); i += 9) {
+        Tensor xp = x, xm = x;
+        xp[i] += static_cast<float>(h_step);
+        xm[i] -= static_cast<float>(h_step);
+        Tensor ysave = x; // Keep original.
+        x = xp;
+        const double lp = lossAt(grid);
+        x = xm;
+        const double lm = lossAt(grid);
+        x = ysave;
+        EXPECT_NEAR(dxp[i], (lp - lm) / (2 * h_step), 3e-2)
+            << "image coord " << i;
+    }
+}
+
+TEST(GradCheck, AffineGridIsExactlyLinear)
+{
+    // affineGrid is linear in theta, so its backward must match the
+    // numeric derivative to round-off.
+    Rng rng(13);
+    Device dev;
+    const int n = 2, h = 4, w = 5;
+    Tensor theta = Tensor::randn({n, 2, 3}, rng, 0.5f);
+    Tensor dgrid = Tensor::randn({n, h, w, 2}, rng, 1.f);
+    Tensor dtheta = Tensor::zeros({n, 2, 3});
+    affineGridBackward(dev, n, h, w, dgrid.data(), dtheta.data());
+
+    auto lossAt = [&](const Tensor &th) {
+        Tensor grid({n, h, w, 2});
+        affineGrid(dev, n, h, w, th.data(), grid.data());
+        double acc = 0;
+        for (int k = 0; k < grid.size(); ++k)
+            acc += static_cast<double>(dgrid[k]) * grid[k];
+        return acc;
+    };
+
+    const double h_step = 1e-2;
+    for (int i = 0; i < theta.size(); ++i) {
+        Tensor tp = theta, tm = theta;
+        tp[i] += static_cast<float>(h_step);
+        tm[i] -= static_cast<float>(h_step);
+        const double numeric =
+            (lossAt(tp) - lossAt(tm)) / (2 * h_step);
+        EXPECT_NEAR(dtheta[i], numeric, 2e-3) << i;
+    }
+}
+
+TEST(Training, MlpLearnsXor)
+{
+    Rng rng(11);
+    Device dev;
+    Sequential net;
+    net.add<Linear>(2, 8, rng);
+    net.add<ActivationLayer>(Activation::Tanh);
+    net.add<Linear>(8, 1, rng);
+    Adam opt(net.params(), 0.05f);
+
+    Tensor x({4, 2});
+    const float xv[] = {0, 0, 0, 1, 1, 0, 1, 1};
+    for (int i = 0; i < 8; ++i)
+        x[i] = xv[i];
+    Tensor target({4, 1});
+    target[0] = 0;
+    target[1] = 1;
+    target[2] = 1;
+    target[3] = 0;
+
+    double loss = 1e9;
+    for (int it = 0; it < 200; ++it) {
+        opt.zeroGrad();
+        Tensor y = net.forward(dev, x, true);
+        Tensor dy(y.shape());
+        loss = mseLossBackward(dev, y.data(), target.data(), dy.data(),
+                               y.size());
+        net.backward(dev, dy);
+        opt.step(dev);
+    }
+    EXPECT_LT(loss, 0.05);
+}
+
+TEST(Training, OptimizersReduceQuadraticLoss)
+{
+    // Minimize ||w||^2 from the same start with all three optimizers.
+    for (int which = 0; which < 3; ++which) {
+        Rng rng(12);
+        Device dev;
+        Param p(Tensor::randn({16}, rng, 1.f));
+        std::unique_ptr<Optimizer> opt;
+        if (which == 0)
+            opt = std::make_unique<Sgd>(
+                std::vector<Param *>{&p}, 0.05f);
+        else if (which == 1)
+            opt = std::make_unique<Adam>(
+                std::vector<Param *>{&p}, 0.05f);
+        else
+            opt = std::make_unique<RmsProp>(
+                std::vector<Param *>{&p}, 0.05f);
+        const double initial = [&] {
+            double acc = 0;
+            for (int i = 0; i < p.value.size(); ++i)
+                acc += static_cast<double>(p.value[i]) * p.value[i];
+            return acc;
+        }();
+        for (int it = 0; it < 60; ++it) {
+            opt->zeroGrad();
+            for (int i = 0; i < p.value.size(); ++i)
+                p.grad[i] = 2.f * p.value[i];
+            opt->step(dev);
+        }
+        double final = 0;
+        for (int i = 0; i < p.value.size(); ++i)
+            final += static_cast<double>(p.value[i]) * p.value[i];
+        EXPECT_LT(final, initial * 0.2) << "optimizer " << which;
+    }
+}
+
+} // namespace

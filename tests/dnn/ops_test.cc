@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for the raw DNN kernels: GEMM in all transpose modes,
+ * activations, softmax, losses, dropout, and embeddings.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dnn/ops.hh"
+#include "dnn/tensor.hh"
+
+namespace {
+
+using namespace cactus::dnn;
+using cactus::Rng;
+using cactus::gpu::Device;
+
+TEST(Gemm, KnownValuesNn)
+{
+    Device dev;
+    // A = [[1,2],[3,4]], B = [[5,6],[7,8]]; C = A@B.
+    const float a[] = {1, 2, 3, 4};
+    const float b[] = {5, 6, 7, 8};
+    float c[4] = {};
+    gemm(dev, false, false, 2, 2, 2, 1.f, a, b, 0.f, c);
+    EXPECT_FLOAT_EQ(c[0], 19);
+    EXPECT_FLOAT_EQ(c[1], 22);
+    EXPECT_FLOAT_EQ(c[2], 43);
+    EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST(Gemm, TransposeModesAgree)
+{
+    Device dev;
+    Rng rng(1);
+    const int m = 5, n = 7, k = 3;
+    Tensor a = Tensor::randn({m, k}, rng, 1.f);
+    Tensor b = Tensor::randn({k, n}, rng, 1.f);
+    Tensor at({k, m}), bt({n, k});
+    for (int i = 0; i < m; ++i)
+        for (int p = 0; p < k; ++p)
+            at[p * m + i] = a[i * k + p];
+    for (int p = 0; p < k; ++p)
+        for (int j = 0; j < n; ++j)
+            bt[j * k + p] = b[p * n + j];
+
+    Tensor c_nn({m, n}), c_tn({m, n}), c_nt({m, n}), c_tt({m, n});
+    gemm(dev, false, false, m, n, k, 1.f, a.data(), b.data(), 0.f,
+         c_nn.data());
+    gemm(dev, true, false, m, n, k, 1.f, at.data(), b.data(), 0.f,
+         c_tn.data());
+    gemm(dev, false, true, m, n, k, 1.f, a.data(), bt.data(), 0.f,
+         c_nt.data());
+    gemm(dev, true, true, m, n, k, 1.f, at.data(), bt.data(), 0.f,
+         c_tt.data());
+    for (int i = 0; i < m * n; ++i) {
+        EXPECT_NEAR(c_tn[i], c_nn[i], 1e-4);
+        EXPECT_NEAR(c_nt[i], c_nn[i], 1e-4);
+        EXPECT_NEAR(c_tt[i], c_nn[i], 1e-4);
+    }
+}
+
+TEST(Gemm, AlphaBetaBlend)
+{
+    Device dev;
+    const float a[] = {1, 0, 0, 1}; // Identity.
+    const float b[] = {2, 3, 4, 5};
+    float c[] = {10, 10, 10, 10};
+    gemm(dev, false, false, 2, 2, 2, 0.5f, a, b, 2.f, c);
+    EXPECT_FLOAT_EQ(c[0], 21.f);  // 0.5*2 + 2*10.
+    EXPECT_FLOAT_EQ(c[1], 21.5f);
+}
+
+TEST(Gemm, DispatchesPerTransposeKernelName)
+{
+    Device dev;
+    const float a[] = {1};
+    float c[1] = {};
+    gemm(dev, false, false, 1, 1, 1, 1.f, a, a, 0.f, c);
+    gemm(dev, false, true, 1, 1, 1, 1.f, a, a, 0.f, c);
+    EXPECT_EQ(dev.launches()[0].desc.name, "ampere_sgemm_nn_32x32");
+    EXPECT_EQ(dev.launches()[1].desc.name, "ampere_sgemm_nt_32x32");
+}
+
+TEST(Activations, ForwardValues)
+{
+    Device dev;
+    const float x[] = {-2.f, -0.5f, 0.f, 1.f};
+    float out[4];
+    activationForward(dev, Activation::ReLU, x, out, 4);
+    EXPECT_FLOAT_EQ(out[0], 0.f);
+    EXPECT_FLOAT_EQ(out[3], 1.f);
+    activationForward(dev, Activation::LeakyReLU, x, out, 4, 0.1f);
+    EXPECT_FLOAT_EQ(out[0], -0.2f);
+    activationForward(dev, Activation::Tanh, x, out, 4);
+    EXPECT_NEAR(out[3], std::tanh(1.f), 1e-6);
+    activationForward(dev, Activation::Sigmoid, x, out, 4);
+    EXPECT_NEAR(out[2], 0.5f, 1e-6);
+}
+
+class ActivationGradient : public ::testing::TestWithParam<Activation>
+{
+};
+
+TEST_P(ActivationGradient, MatchesNumericalDerivative)
+{
+    const Activation act = GetParam();
+    Device dev;
+    const int n = 16;
+    Rng rng(2);
+    Tensor x = Tensor::randn({n}, rng, 1.f);
+    // Avoid the ReLU kink at exactly zero.
+    for (int i = 0; i < n; ++i)
+        if (std::fabs(x[i]) < 0.05f)
+            x[i] = 0.1f;
+    Tensor y({n}), dy = Tensor::full({n}, 1.f), dx({n});
+    activationForward(dev, act, x.data(), y.data(), n);
+    activationBackward(dev, act, x.data(), y.data(), dy.data(),
+                       dx.data(), n);
+    const float h = 1e-3f;
+    for (int i = 0; i < n; ++i) {
+        Tensor xp = x, xm = x;
+        xp[i] += h;
+        xm[i] -= h;
+        Tensor yp({n}), ym({n});
+        activationForward(dev, act, xp.data(), yp.data(), n);
+        activationForward(dev, act, xm.data(), ym.data(), n);
+        const float numeric = (yp[i] - ym[i]) / (2 * h);
+        EXPECT_NEAR(dx[i], numeric, 2e-2) << "i=" << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ActivationGradient,
+                         ::testing::Values(Activation::ReLU,
+                                           Activation::LeakyReLU,
+                                           Activation::Tanh,
+                                           Activation::Sigmoid));
+
+TEST(Softmax, RowsSumToOneAndMatchReference)
+{
+    Device dev;
+    const int rows = 3, cols = 5;
+    Rng rng(3);
+    Tensor x = Tensor::randn({rows, cols}, rng, 2.f);
+    Tensor out({rows, cols});
+    softmaxForward(dev, x.data(), out.data(), rows, cols);
+    for (int r = 0; r < rows; ++r) {
+        double sum = 0;
+        for (int j = 0; j < cols; ++j)
+            sum += out[r * cols + j];
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+    // Reference on row 0.
+    double mx = -1e30;
+    for (int j = 0; j < cols; ++j)
+        mx = std::max<double>(mx, x[j]);
+    double z = 0;
+    for (int j = 0; j < cols; ++j)
+        z += std::exp(x[j] - mx);
+    for (int j = 0; j < cols; ++j)
+        EXPECT_NEAR(out[j], std::exp(x[j] - mx) / z, 1e-5);
+}
+
+TEST(CrossEntropy, LossAndGradient)
+{
+    Device dev;
+    const int rows = 2, cols = 3;
+    // Peaked softmax outputs.
+    const float probs[] = {0.7f, 0.2f, 0.1f, 0.1f, 0.8f, 0.1f};
+    const int targets[] = {0, 1};
+    float dlogits[6];
+    const double loss = crossEntropyBackward(dev, probs, targets,
+                                             dlogits, rows, cols);
+    EXPECT_NEAR(loss, -(std::log(0.7) + std::log(0.8)) / 2, 1e-5);
+    // dlogits = (p - onehot)/rows.
+    EXPECT_NEAR(dlogits[0], (0.7 - 1.0) / 2, 1e-6);
+    EXPECT_NEAR(dlogits[1], 0.2 / 2, 1e-6);
+    EXPECT_NEAR(dlogits[4], (0.8 - 1.0) / 2, 1e-6);
+}
+
+TEST(MseLoss, ValueAndGradient)
+{
+    Device dev;
+    const float x[] = {1.f, 2.f};
+    const float t[] = {0.f, 4.f};
+    float dx[2];
+    const double loss = mseLossBackward(dev, x, t, dx, 2);
+    EXPECT_NEAR(loss, (1.0 + 4.0) / 2, 1e-6);
+    EXPECT_NEAR(dx[0], 2.0 * 1.0 / 2, 1e-6);
+    EXPECT_NEAR(dx[1], 2.0 * -2.0 / 2, 1e-6);
+}
+
+TEST(Dropout, MaskedAndScaled)
+{
+    Device dev;
+    Rng rng(4);
+    const int n = 10'000;
+    Tensor x = Tensor::full({n}, 1.f);
+    Tensor out({n});
+    std::vector<std::uint8_t> mask(n);
+    const float p = 0.3f;
+    dropoutForward(dev, x.data(), out.data(), mask.data(), n, p, rng);
+    int kept = 0;
+    for (int i = 0; i < n; ++i) {
+        if (mask[i]) {
+            ++kept;
+            EXPECT_NEAR(out[i], 1.f / 0.7f, 1e-5);
+        } else {
+            EXPECT_FLOAT_EQ(out[i], 0.f);
+        }
+    }
+    EXPECT_NEAR(kept / static_cast<double>(n), 0.7, 0.03);
+
+    // Backward respects the same mask.
+    Tensor dy = Tensor::full({n}, 2.f), dx({n});
+    dropoutBackward(dev, dy.data(), mask.data(), dx.data(), n, p);
+    for (int i = 0; i < n; ++i)
+        EXPECT_FLOAT_EQ(dx[i], mask[i] ? 2.f / 0.7f : 0.f);
+}
+
+TEST(Embedding, ForwardAndScatterBackward)
+{
+    Device dev;
+    const int vocab = 4, dim = 3, rows = 3;
+    Tensor table({vocab, dim});
+    for (int i = 0; i < table.size(); ++i)
+        table[i] = static_cast<float>(i);
+    const int ids[] = {2, 0, 2};
+    Tensor out({rows, dim});
+    embeddingForward(dev, table.data(), ids, out.data(), rows, dim);
+    EXPECT_FLOAT_EQ(out[0], 6.f); // table[2][0].
+    EXPECT_FLOAT_EQ(out[3], 0.f); // table[0][0].
+
+    Tensor dy = Tensor::full({rows, dim}, 1.f);
+    Tensor dtable = Tensor::zeros({vocab, dim});
+    embeddingBackward(dev, dy.data(), ids, dtable.data(), rows, dim);
+    EXPECT_FLOAT_EQ(dtable[2 * dim], 2.f); // id 2 twice.
+    EXPECT_FLOAT_EQ(dtable[0], 1.f);
+    EXPECT_FLOAT_EQ(dtable[1 * dim], 0.f);
+}
+
+TEST(BiasOps, AddAndReduceAreInverseShapes)
+{
+    Device dev;
+    const int rows = 4, features = 3;
+    Tensor y = Tensor::zeros({rows, features});
+    Tensor b({features});
+    b[0] = 1;
+    b[1] = 2;
+    b[2] = 3;
+    biasAdd(dev, y.data(), b.data(), rows, features);
+    for (int r = 0; r < rows; ++r)
+        for (int f = 0; f < features; ++f)
+            EXPECT_FLOAT_EQ(y[r * features + f], b[f]);
+    Tensor db = Tensor::zeros({features});
+    biasReduce(dev, y.data(), db.data(), rows, features);
+    for (int f = 0; f < features; ++f)
+        EXPECT_FLOAT_EQ(db[f], rows * b[f]);
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the sectored set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/cache.hh"
+
+namespace {
+
+using cactus::gpu::CacheOutcome;
+using cactus::gpu::SectorCache;
+
+TEST(SectorCache, FirstAccessIsLineMiss)
+{
+    SectorCache cache(4096, 4, 128, 32);
+    EXPECT_EQ(cache.access(0, false), CacheOutcome::LineMiss);
+}
+
+TEST(SectorCache, RepeatAccessHits)
+{
+    SectorCache cache(4096, 4, 128, 32);
+    cache.access(64, false);
+    EXPECT_EQ(cache.access(64, false), CacheOutcome::Hit);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().lineMisses, 1u);
+}
+
+TEST(SectorCache, DifferentSectorSameLineIsSectorMiss)
+{
+    SectorCache cache(4096, 4, 128, 32);
+    cache.access(0, false);
+    // Same 128 B line, different 32 B sector.
+    EXPECT_EQ(cache.access(32, false), CacheOutcome::SectorMiss);
+    // Now both sectors are resident.
+    EXPECT_EQ(cache.access(0, false), CacheOutcome::Hit);
+    EXPECT_EQ(cache.access(32, false), CacheOutcome::Hit);
+}
+
+TEST(SectorCache, UnalignedAddressMapsToSector)
+{
+    SectorCache cache(4096, 4, 128, 32);
+    cache.access(7, false);
+    EXPECT_EQ(cache.access(31, false), CacheOutcome::Hit);
+    EXPECT_EQ(cache.access(33, false), CacheOutcome::SectorMiss);
+}
+
+TEST(SectorCache, LruEvictionWithinSet)
+{
+    // 2-way, 2 sets of 128 B lines => 512 B total.
+    SectorCache cache(512, 2, 128, 32);
+    ASSERT_EQ(cache.numSets(), 2);
+    // Three lines mapping to set 0: line addresses 0, 2, 4 (x128).
+    cache.access(0 * 128, false);
+    cache.access(2 * 128, false);
+    cache.access(0 * 128, false);              // Touch line 0: now MRU.
+    cache.access(4 * 128, false);              // Evicts line 2.
+    EXPECT_EQ(cache.access(0 * 128, false), CacheOutcome::Hit);
+    EXPECT_EQ(cache.access(2 * 128, false), CacheOutcome::LineMiss);
+}
+
+TEST(SectorCache, FlushInvalidatesContentsKeepsStats)
+{
+    SectorCache cache(4096, 4, 128, 32);
+    cache.access(0, false);
+    cache.access(0, false);
+    const auto hits_before = cache.stats().hits;
+    cache.flush();
+    EXPECT_EQ(cache.access(0, false), CacheOutcome::LineMiss);
+    EXPECT_EQ(cache.stats().hits, hits_before);
+}
+
+TEST(SectorCache, ResetStatsKeepsContents)
+{
+    SectorCache cache(4096, 4, 128, 32);
+    cache.access(0, false);
+    cache.resetStats();
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    EXPECT_EQ(cache.access(0, false), CacheOutcome::Hit);
+}
+
+TEST(SectorCache, HitRateComputation)
+{
+    SectorCache cache(4096, 4, 128, 32);
+    cache.access(0, false);  // miss
+    cache.access(0, false);  // hit
+    cache.access(0, false);  // hit
+    cache.access(0, false);  // hit
+    EXPECT_DOUBLE_EQ(cache.stats().hitRate(), 0.75);
+}
+
+TEST(SectorCache, WritesAllocate)
+{
+    SectorCache cache(4096, 4, 128, 32);
+    EXPECT_EQ(cache.access(256, true), CacheOutcome::LineMiss);
+    EXPECT_EQ(cache.access(256, false), CacheOutcome::Hit);
+}
+
+TEST(SectorCache, StreamingAccessNeverHits)
+{
+    SectorCache cache(1024, 2, 128, 32);
+    // A stream far larger than capacity, touching each sector once.
+    for (std::uint64_t addr = 0; addr < 64 * 1024; addr += 32)
+        cache.access(addr, false);
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(SectorCache, WorkingSetWithinCapacityHitsOnSecondPass)
+{
+    SectorCache cache(64 * 1024, 8, 128, 32);
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t addr = 0; addr < 32 * 1024; addr += 32)
+            cache.access(addr, false);
+    // Second pass should be all hits: footprint is half the capacity.
+    EXPECT_GT(cache.stats().hitRate(), 0.45);
+    EXPECT_EQ(cache.stats().hits, 1024u);
+}
+
+/** Property sweep: total accesses always equal hits + misses. */
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CacheGeometry, AccountingInvariant)
+{
+    const auto [size_kb, assoc] = GetParam();
+    SectorCache cache(size_kb * 1024, assoc, 128, 32);
+    std::uint64_t addr = 12345;
+    for (int i = 0; i < 5000; ++i) {
+        addr = addr * 6364136223846793005ull + 1442695040888963407ull;
+        cache.access(addr % (1 << 22), (i % 3) == 0);
+    }
+    const auto &stats = cache.stats();
+    EXPECT_EQ(stats.accesses, stats.hits + stats.misses());
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheGeometry,
+                         ::testing::Combine(::testing::Values(16, 64, 512),
+                                            ::testing::Values(1, 4, 16)));
+
+} // namespace

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the warp-level memory coalescer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/coalescer.hh"
+
+namespace {
+
+using cactus::gpu::AccessKind;
+using cactus::gpu::Coalescer;
+using cactus::gpu::MemAccess;
+
+std::vector<std::vector<MemAccess>>
+makeLanes(int lanes)
+{
+    return std::vector<std::vector<MemAccess>>(lanes);
+}
+
+MemAccess
+acc(std::uint64_t addr, std::uint32_t size,
+    AccessKind kind = AccessKind::Load)
+{
+    MemAccess a;
+    a.addr = addr;
+    a.size = size;
+    a.kind = kind;
+    return a;
+}
+
+TEST(Coalescer, FullyCoalescedFloatLoads)
+{
+    // 32 lanes loading consecutive 4-byte floats: 128 B = 4 sectors.
+    Coalescer coal(32);
+    auto lanes = makeLanes(32);
+    for (int l = 0; l < 32; ++l)
+        lanes[l].push_back(acc(1024 + 4 * l, 4));
+    const auto out = coal.coalesce(lanes);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].sectors.size(), 4u);
+}
+
+TEST(Coalescer, BroadcastLoadIsOneSector)
+{
+    Coalescer coal(32);
+    auto lanes = makeLanes(32);
+    for (int l = 0; l < 32; ++l)
+        lanes[l].push_back(acc(4096, 4));
+    const auto out = coal.coalesce(lanes);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].sectors.size(), 1u);
+}
+
+TEST(Coalescer, FullyDivergentGather)
+{
+    // Each lane touches a different 4 KiB page: 32 sectors.
+    Coalescer coal(32);
+    auto lanes = makeLanes(32);
+    for (int l = 0; l < 32; ++l)
+        lanes[l].push_back(acc(static_cast<std::uint64_t>(l) * 4096, 4));
+    const auto out = coal.coalesce(lanes);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].sectors.size(), 32u);
+}
+
+TEST(Coalescer, StridedDoublesTouchEverySector)
+{
+    // 8-byte loads with a 32-byte stride: one sector per lane.
+    Coalescer coal(32);
+    auto lanes = makeLanes(32);
+    for (int l = 0; l < 32; ++l)
+        lanes[l].push_back(acc(32 * l, 8));
+    const auto out = coal.coalesce(lanes);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].sectors.size(), 32u);
+}
+
+TEST(Coalescer, AccessStraddlingSectorCountsBoth)
+{
+    Coalescer coal(32);
+    auto lanes = makeLanes(1);
+    lanes[0].push_back(acc(30, 4)); // Bytes 30..33 span sectors 0 and 1.
+    const auto out = coal.coalesce(lanes);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].sectors.size(), 2u);
+}
+
+TEST(Coalescer, SequentialAccessesFormSeparateInstructions)
+{
+    Coalescer coal(32);
+    auto lanes = makeLanes(32);
+    for (int l = 0; l < 32; ++l) {
+        lanes[l].push_back(acc(4 * l, 4));
+        lanes[l].push_back(acc(8192 + 4 * l, 4, AccessKind::Store));
+    }
+    const auto out = coal.coalesce(lanes);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].kind, AccessKind::Load);
+    EXPECT_EQ(out[1].kind, AccessKind::Store);
+    EXPECT_EQ(out[0].sectors.size(), 4u);
+    EXPECT_EQ(out[1].sectors.size(), 4u);
+}
+
+TEST(Coalescer, DivergedLaneListsAlignByIndex)
+{
+    // Lane 0 performs two accesses, lane 1 only one: the second warp
+    // instruction has only lane 0 active.
+    Coalescer coal(32);
+    auto lanes = makeLanes(2);
+    lanes[0].push_back(acc(0, 4));
+    lanes[0].push_back(acc(64, 4));
+    lanes[1].push_back(acc(4, 4));
+    const auto out = coal.coalesce(lanes);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].sectors.size(), 1u); // 0 and 4 share a sector.
+    EXPECT_EQ(out[1].sectors.size(), 1u);
+}
+
+TEST(Coalescer, EmptyWarpYieldsNothing)
+{
+    Coalescer coal(32);
+    auto lanes = makeLanes(32);
+    EXPECT_TRUE(coal.coalesce(lanes).empty());
+}
+
+TEST(Coalescer, DuplicateSectorsDeduplicated)
+{
+    Coalescer coal(32);
+    auto lanes = makeLanes(32);
+    for (int l = 0; l < 32; ++l)
+        lanes[l].push_back(acc(256 + (l % 4) * 4, 4));
+    const auto out = coal.coalesce(lanes);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].sectors.size(), 1u);
+}
+
+} // namespace

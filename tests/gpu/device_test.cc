@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Integration tests for Device: functional correctness of kernels, warp
+ * instruction accounting, sampling, coalescing through the hierarchy, and
+ * end-to-end roofline placement of canonical kernels.
+ */
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gpu/device.hh"
+
+namespace {
+
+using namespace cactus::gpu;
+
+TEST(Device, VectorAddIsFunctionallyCorrect)
+{
+    Device dev;
+    const std::size_t n = 10'000;
+    std::vector<float> a(n, 1.5f), b(n, 2.25f), c(n, 0.f);
+    dev.launchLinear(KernelDesc("vadd"), n, 256, [&](ThreadCtx &ctx) {
+        const auto i = ctx.globalId();
+        const float x = ctx.ld(&a[i]);
+        const float y = ctx.ld(&b[i]);
+        ctx.fp32();
+        ctx.st(&c[i], x + y);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_FLOAT_EQ(c[i], 3.75f);
+}
+
+TEST(Device, ThreadGeometryCoversEveryThreadOnce)
+{
+    Device dev;
+    const unsigned gx = 3, gy = 2, bx = 8, by = 4, bz = 2;
+    std::vector<int> hits(gx * gy * bx * by * bz, 0);
+    dev.launch(KernelDesc("geom"), Dim3(gx, gy), Dim3(bx, by, bz),
+               [&](ThreadCtx &ctx) { ++hits[ctx.globalId()]; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+              static_cast<int>(hits.size()));
+    for (int h : hits)
+        ASSERT_EQ(h, 1);
+}
+
+TEST(Device, WarpInstructionCountsAreWarpLevel)
+{
+    Device dev;
+    // 64 threads = 2 warps; every thread does 5 FP ops.
+    dev.launch(KernelDesc("count"), Dim3(1), Dim3(64),
+               [&](ThreadCtx &ctx) { ctx.fp32(5); });
+    const auto &stats = dev.launches().back();
+    EXPECT_EQ(stats.counts.get(OpClass::FP32), 10u); // 2 warps x 5.
+    EXPECT_EQ(stats.counts.threadInsts, 320u);       // 64 threads x 5.
+    EXPECT_EQ(stats.totalWarps, 2u);
+}
+
+TEST(Device, DivergenceCountsMaxOverLanes)
+{
+    Device dev;
+    dev.launch(KernelDesc("div"), Dim3(1), Dim3(32), [&](ThreadCtx &ctx) {
+        ctx.branch();
+        if (ctx.lane() < 4)
+            ctx.fp32(100); // Only a few lanes take the long path.
+        else
+            ctx.fp32(1);
+    });
+    const auto &stats = dev.launches().back();
+    // Warp executes the longest lane path.
+    EXPECT_EQ(stats.counts.get(OpClass::FP32), 100u);
+    EXPECT_EQ(stats.counts.get(OpClass::BRANCH), 1u);
+}
+
+TEST(Device, AtomicAddIsExact)
+{
+    Device dev;
+    double sum = 0.0;
+    const std::size_t n = 4096;
+    dev.launchLinear(KernelDesc("reduce"), n, 128, [&](ThreadCtx &ctx) {
+        ctx.atomicAdd(&sum, 1.0);
+    });
+    EXPECT_DOUBLE_EQ(sum, static_cast<double>(n));
+}
+
+TEST(Device, StreamingKernelIsMemoryIntensive)
+{
+    Device dev;
+    const std::size_t n = 1 << 20;
+    std::vector<float> a(n, 1.f), b(n, 0.f);
+    dev.launchLinear(KernelDesc("copy"), n, 256, [&](ThreadCtx &ctx) {
+        const auto i = ctx.globalId();
+        ctx.st(&b[i], ctx.ld(&a[i]));
+    });
+    const auto &m = dev.launches().back().metrics;
+    // Streaming 8 MiB through a 5 MiB L2: intensity far below the elbow.
+    EXPECT_LT(m.instIntensity, dev.config().elbowIntensity() / 2);
+    EXPECT_GT(m.memStall, 0.2);
+}
+
+TEST(Device, ComputeKernelIsComputeIntensive)
+{
+    Device dev;
+    const std::size_t n = 1 << 16;
+    std::vector<float> out(n, 0.f);
+    dev.launchLinear(KernelDesc("iterate"), n, 256, [&](ThreadCtx &ctx) {
+        const auto i = ctx.globalId();
+        float x = 1.0001f * static_cast<float>(i % 97);
+        for (int k = 0; k < 400; ++k)
+            x = x * 1.000001f + 0.5f;
+        ctx.fp32(400);
+        ctx.intOp(400);
+        ctx.st(&out[i], x);
+    });
+    const auto &m = dev.launches().back().metrics;
+    EXPECT_GT(m.instIntensity, dev.config().elbowIntensity());
+    EXPECT_GT(m.gips, 100.0);
+}
+
+TEST(Device, CachedRereadHitsInL1)
+{
+    Device dev;
+    // All threads re-read the same small table: near-perfect hit rate.
+    std::vector<float> table(64, 1.f);
+    std::vector<float> out(1 << 16, 0.f);
+    dev.launchLinear(KernelDesc("lut"), out.size(), 256,
+                     [&](ThreadCtx &ctx) {
+        const auto i = ctx.globalId();
+        float acc = 0.f;
+        for (int k = 0; k < 16; ++k)
+            acc += ctx.ld(&table[(i + k) % table.size()]);
+        ctx.fp32(16);
+        ctx.st(&out[i], acc);
+    });
+    const auto &m = dev.launches().back().metrics;
+    EXPECT_GT(m.l1HitRate, 0.85);
+}
+
+TEST(Device, L2PersistsAcrossLaunchesForProducerConsumer)
+{
+    Device dev;
+    const std::size_t n = 1 << 14; // 64 KiB: fits in L2, not in L1.
+    std::vector<float> a(n, 2.f), b(n, 0.f), c(n, 0.f);
+    dev.launchLinear(KernelDesc("produce"), n, 256, [&](ThreadCtx &ctx) {
+        const auto i = ctx.globalId();
+        ctx.st(&b[i], ctx.ld(&a[i]) * 2.f);
+    });
+    dev.launchLinear(KernelDesc("consume"), n, 256, [&](ThreadCtx &ctx) {
+        const auto i = ctx.globalId();
+        ctx.st(&c[i], ctx.ld(&b[i]) + 1.f);
+    });
+    const auto &consume = dev.launches().back();
+    // b was just written through L2, so the consumer's loads hit; its
+    // cold stores to c miss. Expect a hit rate of about one half, far
+    // above what a flushed L2 would give (~0).
+    EXPECT_GT(consume.metrics.l2HitRate, 0.45);
+}
+
+TEST(Device, SamplingExtrapolationIsAccurate)
+{
+    // Run the same streaming kernel with full tracing and with sparse
+    // sampling; extrapolated DRAM traffic should agree within 10%.
+    const std::size_t n = 1 << 21;
+    std::vector<float> a(n, 1.f), b(n, 0.f);
+    auto run = [&](int max_sampled) {
+        DeviceConfig cfg;
+        cfg.maxSampledWarps = max_sampled;
+        Device dev(cfg);
+        dev.launchLinear(KernelDesc("stream"), n, 256,
+                         [&](ThreadCtx &ctx) {
+            const auto i = ctx.globalId();
+            ctx.st(&b[i], ctx.ld(&a[i]) + 1.f);
+        });
+        return dev.launches().back();
+    };
+    const auto full = run(1 << 30);
+    const auto sampled = run(256);
+    EXPECT_EQ(full.sampledWarps, full.totalWarps);
+    EXPECT_LT(sampled.sampledWarps, sampled.totalWarps / 16);
+    const double full_txn = static_cast<double>(full.dramReadSectors);
+    const double samp_txn = static_cast<double>(sampled.dramReadSectors);
+    EXPECT_NEAR(samp_txn / full_txn, 1.0, 0.10);
+}
+
+TEST(Device, ElapsedTimeAccumulatesAndHistoryClears)
+{
+    Device dev;
+    std::vector<float> x(1024, 0.f);
+    for (int i = 0; i < 3; ++i) {
+        dev.launchLinear(KernelDesc("k"), x.size(), 128,
+                         [&](ThreadCtx &ctx) {
+            ctx.st(&x[ctx.globalId()], 1.f);
+        });
+    }
+    EXPECT_EQ(dev.launches().size(), 3u);
+    EXPECT_GT(dev.elapsedSeconds(), 0.0);
+    dev.clearHistory();
+    EXPECT_TRUE(dev.launches().empty());
+    EXPECT_EQ(dev.elapsedSeconds(), 0.0);
+}
+
+TEST(DeviceDeath, EmptyGridIsFatal)
+{
+    Device dev;
+    EXPECT_EXIT(dev.launch(KernelDesc("bad"), Dim3(0), Dim3(32),
+                           [](ThreadCtx &) {}),
+                ::testing::ExitedWithCode(1), "empty grid");
+}
+
+/** Property sweep: warp accounting is exact for any block size. */
+class DeviceBlockSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DeviceBlockSweep, WarpCountMatchesGeometry)
+{
+    const int block = GetParam();
+    Device dev;
+    const std::uint64_t n = 10'000;
+    dev.launchLinear(KernelDesc("sweep"), n, block,
+                     [](ThreadCtx &ctx) { ctx.fp32(); });
+    const auto &stats = dev.launches().back();
+    const std::uint64_t blocks = (n + block - 1) / block;
+    const std::uint64_t warps_per_block = (block + 31) / 32;
+    EXPECT_EQ(stats.totalWarps, blocks * warps_per_block);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, DeviceBlockSweep,
+                         ::testing::Values(32, 64, 96, 128, 256, 512, 1024));
+
+} // namespace

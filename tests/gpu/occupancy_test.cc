@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the occupancy calculator against the RTX 3080 limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/occupancy.hh"
+
+namespace {
+
+using cactus::gpu::computeOccupancy;
+using cactus::gpu::DeviceConfig;
+using cactus::gpu::Dim3;
+using cactus::gpu::KernelDesc;
+using cactus::gpu::Occupancy;
+
+TEST(Occupancy, FullOccupancyWithLightKernel)
+{
+    DeviceConfig cfg;
+    KernelDesc desc("k", /*regs=*/32, /*smem=*/0);
+    const auto occ = computeOccupancy(cfg, desc, Dim3(256));
+    // 1536 threads / 256 = 6 blocks, 48 warps; regs: 65536/(32*256)=8.
+    EXPECT_EQ(occ.blocksPerSm, 6);
+    EXPECT_EQ(occ.warpsPerSm, 48);
+    EXPECT_DOUBLE_EQ(occ.occupancy, 1.0);
+}
+
+TEST(Occupancy, RegisterLimited)
+{
+    DeviceConfig cfg;
+    KernelDesc desc("k", /*regs=*/128, /*smem=*/0);
+    const auto occ = computeOccupancy(cfg, desc, Dim3(256));
+    // 65536 / (128*256) = 2 blocks -> 16 warps of 48.
+    EXPECT_EQ(occ.blocksPerSm, 2);
+    EXPECT_EQ(occ.warpsPerSm, 16);
+    EXPECT_EQ(occ.limiter, Occupancy::Limiter::Registers);
+    EXPECT_NEAR(occ.occupancy, 16.0 / 48.0, 1e-12);
+}
+
+TEST(Occupancy, SharedMemoryLimited)
+{
+    DeviceConfig cfg;
+    KernelDesc desc("k", /*regs=*/32, /*smem=*/48 * 1024);
+    const auto occ = computeOccupancy(cfg, desc, Dim3(128));
+    // 100 KiB / 48 KiB = 2 blocks.
+    EXPECT_EQ(occ.blocksPerSm, 2);
+    EXPECT_EQ(occ.limiter, Occupancy::Limiter::SharedMem);
+}
+
+TEST(Occupancy, BlockLimitForTinyBlocks)
+{
+    DeviceConfig cfg;
+    KernelDesc desc("k", /*regs=*/16, /*smem=*/0);
+    const auto occ = computeOccupancy(cfg, desc, Dim3(32));
+    // Tiny blocks: capped at 16 blocks/SM -> 16 warps.
+    EXPECT_EQ(occ.blocksPerSm, 16);
+    EXPECT_EQ(occ.warpsPerSm, 16);
+}
+
+TEST(Occupancy, PartialWarpRoundsUp)
+{
+    DeviceConfig cfg;
+    KernelDesc desc("k", 32, 0);
+    const auto occ = computeOccupancy(cfg, desc, Dim3(48));
+    // 48 threads = 2 warps per block.
+    EXPECT_EQ(occ.warpsPerSm, occ.blocksPerSm * 2);
+}
+
+TEST(Occupancy, MultiDimensionalBlock)
+{
+    DeviceConfig cfg;
+    KernelDesc desc("k", 32, 0);
+    const auto occ = computeOccupancy(cfg, desc, Dim3(16, 16));
+    EXPECT_EQ(occ.blocksPerSm, 6);
+    EXPECT_EQ(occ.warpsPerSm, 48);
+}
+
+TEST(OccupancyDeath, OversizedBlockIsFatal)
+{
+    DeviceConfig cfg;
+    KernelDesc desc("k", 32, 0);
+    EXPECT_EXIT(computeOccupancy(cfg, desc, Dim3(2048)),
+                ::testing::ExitedWithCode(1), "thread limit");
+}
+
+/** Property: occupancy is monotonically non-increasing in register use. */
+class OccupancyRegisterSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OccupancyRegisterSweep, MonotoneInRegisters)
+{
+    DeviceConfig cfg;
+    const int regs = GetParam();
+    const auto lighter = computeOccupancy(
+        cfg, KernelDesc("a", regs, 0), Dim3(256));
+    const auto heavier = computeOccupancy(
+        cfg, KernelDesc("b", regs * 2, 0), Dim3(256));
+    EXPECT_GE(lighter.warpsPerSm, heavier.warpsPerSm);
+}
+
+INSTANTIATE_TEST_SUITE_P(Registers, OccupancyRegisterSweep,
+                         ::testing::Values(16, 24, 32, 48, 64, 96));
+
+} // namespace

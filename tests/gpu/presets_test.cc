@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the GPU platform presets and cross-platform timing-model
+ * properties: published peak rates, elbow ordering, occupancy limits,
+ * and the monotone scaling of kernel runtime with machine resources.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gpu/device.hh"
+
+namespace {
+
+using namespace cactus::gpu;
+
+TEST(Presets, Rtx2080TiPeaks)
+{
+    const auto cfg = DeviceConfig::rtx2080Ti();
+    // 68 SMs x 4 schedulers x 1.545 GHz.
+    EXPECT_NEAR(cfg.peakGips(), 420.24, 0.01);
+    EXPECT_NEAR(cfg.peakGtxnPerSec(), 19.25, 0.01);
+    // Similar elbow to the 3080: both balance compute and GDDR6(X).
+    EXPECT_NEAR(cfg.elbowIntensity(), 21.83, 0.05);
+}
+
+TEST(Presets, A100Peaks)
+{
+    const auto cfg = DeviceConfig::a100();
+    // 108 SMs x 4 schedulers x 1.41 GHz.
+    EXPECT_NEAR(cfg.peakGips(), 609.12, 0.01);
+    EXPECT_NEAR(cfg.peakGtxnPerSec(), 48.59, 0.01);
+    // HBM2 moves the elbow left: more kernels become compute-bound.
+    EXPECT_LT(cfg.elbowIntensity(),
+              DeviceConfig{}.elbowIntensity() * 0.7);
+}
+
+TEST(Presets, ScaledCachesPreserveEverythingElse)
+{
+    const auto full = DeviceConfig::a100();
+    const auto scaled = full.withScaledCaches(16);
+    EXPECT_EQ(scaled.l2SizeBytes, full.l2SizeBytes / 16);
+    EXPECT_EQ(scaled.numSms, full.numSms);
+    EXPECT_DOUBLE_EQ(scaled.peakGips(), full.peakGips());
+    // Extreme factors floor at a sane minimum instead of zero.
+    const auto floored = full.withScaledCaches(1 << 20);
+    EXPECT_GT(floored.l1SizeBytes, 0);
+    EXPECT_GT(floored.l2SizeBytes, 0);
+}
+
+TEST(Presets, OccupancyRespectsTuringLimits)
+{
+    const auto cfg = DeviceConfig::rtx2080Ti();
+    const auto occ = computeOccupancy(cfg, KernelDesc("k", 32, 0),
+                                      Dim3(256));
+    // Turing: 1024 threads / 32 warps per SM.
+    EXPECT_LE(occ.warpsPerSm, 32);
+    EXPECT_EQ(occ.blocksPerSm, 4);
+}
+
+TEST(Presets, OccupancyUsesA100Headroom)
+{
+    const auto cfg = DeviceConfig::a100();
+    const auto occ = computeOccupancy(cfg, KernelDesc("k", 32, 0),
+                                      Dim3(256));
+    // A100: 2048 threads / 64 warps per SM, register-limited here.
+    EXPECT_EQ(occ.warpsPerSm, 64);
+}
+
+/** The same kernel run on each platform. */
+LaunchStats
+runStream(const DeviceConfig &cfg)
+{
+    Device dev(cfg);
+    const std::size_t n = 1 << 20;
+    std::vector<float> a(n, 1.f), b(n, 0.f);
+    dev.launchLinear(KernelDesc("stream"), n, 256,
+                     [&](ThreadCtx &ctx) {
+                         const auto i = ctx.globalId();
+                         ctx.st(&b[i], ctx.ld(&a[i]) + 1.f);
+                     });
+    return dev.launches().back();
+}
+
+TEST(Presets, BandwidthOrdersStreamingKernelRuntime)
+{
+    const auto t2080 = runStream(DeviceConfig::rtx2080Ti());
+    const auto t3080 = runStream(DeviceConfig{});
+    const auto ta100 = runStream(DeviceConfig::a100());
+    // A pure stream is bandwidth-bound: 616 < 760 < 1555 GB/s.
+    EXPECT_GT(t2080.timing.seconds, t3080.timing.seconds);
+    EXPECT_GT(t3080.timing.seconds, ta100.timing.seconds);
+}
+
+LaunchStats
+runCompute(const DeviceConfig &cfg)
+{
+    Device dev(cfg);
+    const std::size_t n = 1 << 18;
+    std::vector<float> out(n, 0.f);
+    dev.launchLinear(KernelDesc("fma_loop"), n, 256,
+                     [&](ThreadCtx &ctx) {
+                         const auto i = ctx.globalId();
+                         float x = static_cast<float>(i % 13);
+                         for (int k = 0; k < 64; ++k)
+                             x = x * 1.0001f + 0.5f;
+                         ctx.fp32(64);
+                         ctx.st(&out[i], x);
+                     });
+    return dev.launches().back();
+}
+
+TEST(Presets, Fp32RateOrdersComputeKernelRuntime)
+{
+    // FP32 pipe throughput: 3080 (128 lanes/SM at 1.9 GHz) beats both
+    // the 2080 Ti and the A100 (64 lanes/SM each).
+    const auto t2080 = runCompute(DeviceConfig::rtx2080Ti());
+    const auto t3080 = runCompute(DeviceConfig{});
+    const auto ta100 = runCompute(DeviceConfig::a100());
+    EXPECT_LT(t3080.timing.seconds, t2080.timing.seconds);
+    EXPECT_LT(t3080.timing.seconds, ta100.timing.seconds);
+}
+
+} // namespace

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for profile aggregation: per-kernel grouping, dominance ordering,
+ * and metric recomputation from summed raw quantities.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gpu/device.hh"
+#include "gpu/profiler.hh"
+
+namespace {
+
+using namespace cactus::gpu;
+
+class ProfilerFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        a_.assign(kN, 1.f);
+        b_.assign(kN, 0.f);
+        // "heavy" runs once over all elements; "light" runs 5 times over
+        // a small slice. Dominance must rank by total time (r_i x t_i).
+        dev_.launchLinear(KernelDesc("heavy"), kN, 256,
+                          [&](ThreadCtx &ctx) {
+            const auto i = ctx.globalId();
+            ctx.st(&b_[i], ctx.ld(&a_[i]) * 2.f);
+        });
+        for (int r = 0; r < 5; ++r) {
+            dev_.launchLinear(KernelDesc("light"), 4096, 256,
+                              [&](ThreadCtx &ctx) {
+                const auto i = ctx.globalId();
+                ctx.st(&b_[i], ctx.ld(&a_[i]) + 1.f);
+            });
+        }
+        profiles_ = aggregateLaunches(dev_.launches(), dev_.config());
+    }
+
+    static constexpr std::size_t kN = 1 << 20;
+    Device dev_;
+    std::vector<float> a_, b_;
+    std::vector<KernelProfile> profiles_;
+};
+
+TEST_F(ProfilerFixture, GroupsByKernelName)
+{
+    ASSERT_EQ(profiles_.size(), 2u);
+    EXPECT_EQ(profiles_[0].name, "heavy");
+    EXPECT_EQ(profiles_[1].name, "light");
+}
+
+TEST_F(ProfilerFixture, InvocationCountsAreExact)
+{
+    EXPECT_EQ(profiles_[0].invocations, 1u);
+    EXPECT_EQ(profiles_[1].invocations, 5u);
+}
+
+TEST_F(ProfilerFixture, SortedByTotalGpuTime)
+{
+    EXPECT_GT(profiles_[0].seconds, profiles_[1].seconds);
+}
+
+TEST_F(ProfilerFixture, WarpInstsSumAcrossInvocations)
+{
+    std::uint64_t total = 0;
+    for (const auto &launch : dev_.launches())
+        total += launch.counts.total();
+    std::uint64_t aggregated = 0;
+    for (const auto &kp : profiles_)
+        aggregated += kp.warpInsts;
+    EXPECT_EQ(total, aggregated);
+}
+
+TEST_F(ProfilerFixture, GipsRecomputedFromTotals)
+{
+    for (const auto &kp : profiles_) {
+        const double expect =
+            static_cast<double>(kp.warpInsts) / kp.seconds / 1e9;
+        EXPECT_NEAR(kp.metrics.gips, expect, expect * 1e-9);
+    }
+}
+
+TEST_F(ProfilerFixture, IntensityRecomputedFromTotals)
+{
+    for (const auto &kp : profiles_) {
+        const std::uint64_t txn =
+            kp.dramReadSectors + kp.dramWriteSectors;
+        ASSERT_GT(txn, 0u);
+        EXPECT_NEAR(kp.metrics.instIntensity,
+                    static_cast<double>(kp.warpInsts) / txn, 1e-9);
+    }
+}
+
+TEST(Profiler, EmptyHistoryYieldsNoProfiles)
+{
+    DeviceConfig cfg;
+    EXPECT_TRUE(aggregateLaunches({}, cfg).empty());
+}
+
+TEST(Profiler, MetricColumnNamesAreStable)
+{
+    EXPECT_STREQ(KernelMetrics::columnName(0), "warp_occupancy");
+    EXPECT_STREQ(KernelMetrics::columnName(13), "gips");
+    EXPECT_STREQ(KernelMetrics::columnName(14), "inst_intensity");
+    KernelMetrics m;
+    EXPECT_EQ(m.toVector().size(),
+              static_cast<std::size_t>(KernelMetrics::kNumColumns));
+}
+
+} // namespace

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit tests for the interval timing model: roofline geometry, bound
+ * classification, metric derivation, and stall attribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/timing.hh"
+
+namespace {
+
+using cactus::gpu::DeviceConfig;
+using cactus::gpu::evaluateTiming;
+using cactus::gpu::OpClass;
+using cactus::gpu::TimingInputs;
+
+TimingInputs
+baseInputs()
+{
+    TimingInputs in;
+    in.numBlocks = 680;        // 10 blocks per SM.
+    in.warpsPerBlock = 8;
+    in.residentWarpsPerSm = 48;
+    in.residentBlocksPerSm = 6;
+    return in;
+}
+
+TEST(DeviceConfigRoofline, MatchesPaperGeometry)
+{
+    DeviceConfig cfg;
+    EXPECT_NEAR(cfg.peakGips(), 516.8, 1e-9);
+    EXPECT_NEAR(cfg.peakGtxnPerSec(), 23.759375, 1e-6);
+    EXPECT_NEAR(cfg.elbowIntensity(), 21.75, 0.05);
+}
+
+TEST(Timing, ComputeBoundKernelApproachesPeakGips)
+{
+    DeviceConfig cfg;
+    auto in = baseInputs();
+    // Pure FP32 work, no memory traffic at all.
+    in.counts.warpInsts[static_cast<int>(OpClass::FP32)] = 400'000'000;
+    const auto out = evaluateTiming(cfg, in);
+    EXPECT_GT(out.metrics.gips, 0.9 * cfg.peakGips());
+    EXPECT_LE(out.metrics.gips, cfg.peakGips() * 1.0001);
+    EXPECT_NEAR(out.metrics.spUtilization, 1.0, 0.01);
+    EXPECT_NEAR(out.metrics.memStall, 0.0, 1e-9);
+}
+
+TEST(Timing, MemoryBoundKernelSaturatesDram)
+{
+    DeviceConfig cfg;
+    auto in = baseInputs();
+    // Streaming: one load warp-inst per 4 sectors, II well under elbow.
+    const std::uint64_t insts = 10'000'000;
+    in.counts.warpInsts[static_cast<int>(OpClass::LOAD)] = insts;
+    in.l1Accesses = insts * 4;
+    in.l1Misses = insts * 4;
+    in.l2Accesses = insts * 4;
+    in.l2Misses = insts * 4;
+    in.dramReadSectors = insts * 4;
+    const auto out = evaluateTiming(cfg, in);
+    EXPECT_LT(out.metrics.instIntensity, cfg.elbowIntensity());
+    EXPECT_GT(out.metrics.memStall, 0.3);
+    // Achieved DRAM read bandwidth close to peak.
+    EXPECT_GT(out.metrics.dramReadBps, 0.85 * cfg.dramBandwidthGBps * 1e9);
+}
+
+TEST(Timing, RooflineBoundIsRespected)
+{
+    // Performance never exceeds min(peak, II * peak_bandwidth).
+    DeviceConfig cfg;
+    for (std::uint64_t mem : {1ull, 10ull, 100ull, 1000ull}) {
+        auto in = baseInputs();
+        in.counts.warpInsts[static_cast<int>(OpClass::FP32)] = 1'000'000;
+        in.counts.warpInsts[static_cast<int>(OpClass::LOAD)] =
+            1'000'000 / 10;
+        in.dramReadSectors = 1'000'000 / mem;
+        in.l1Accesses = in.dramReadSectors;
+        in.l1Misses = in.dramReadSectors;
+        in.l2Accesses = in.dramReadSectors;
+        in.l2Misses = in.dramReadSectors;
+        const auto out = evaluateTiming(cfg, in);
+        const double roof = std::min(
+            cfg.peakGips(),
+            out.metrics.instIntensity * cfg.peakGtxnPerSec());
+        EXPECT_LE(out.metrics.gips, roof * 1.0001);
+    }
+}
+
+TEST(Timing, SfuHeavyKernelIsPipeBound)
+{
+    DeviceConfig cfg;
+    auto in = baseInputs();
+    in.counts.warpInsts[static_cast<int>(OpClass::SFU)] = 10'000'000;
+    in.counts.warpInsts[static_cast<int>(OpClass::FP32)] = 10'000'000;
+    const auto out = evaluateTiming(cfg, in);
+    EXPECT_GT(out.metrics.pipeStall, 0.5);
+    // SFU throughput is 1/8 of scheduler throughput.
+    EXPECT_LT(out.metrics.gips, 0.3 * cfg.peakGips());
+}
+
+TEST(Timing, SmallGridLimitsSmEfficiency)
+{
+    DeviceConfig cfg;
+    auto in = baseInputs();
+    in.numBlocks = 17; // A quarter of the SMs get one block.
+    in.counts.warpInsts[static_cast<int>(OpClass::FP32)] = 1'000'000;
+    const auto out = evaluateTiming(cfg, in);
+    EXPECT_NEAR(out.metrics.smEfficiency, 17.0 / 68.0, 1e-9);
+}
+
+TEST(Timing, UnbalancedWaveLowersEfficiency)
+{
+    DeviceConfig cfg;
+    auto in = baseInputs();
+    in.numBlocks = 69; // One SM gets two blocks, the rest one.
+    in.counts.warpInsts[static_cast<int>(OpClass::FP32)] = 1'000'000;
+    const auto out = evaluateTiming(cfg, in);
+    EXPECT_NEAR(out.metrics.smEfficiency, 69.0 / (2.0 * 68.0), 1e-9);
+}
+
+TEST(Timing, LatencyBoundWhenFewWarps)
+{
+    DeviceConfig cfg;
+    // Single small block: nothing to hide the DRAM latency with.
+    TimingInputs in;
+    in.numBlocks = 1;
+    in.warpsPerBlock = 1;
+    in.residentWarpsPerSm = 1;
+    in.residentBlocksPerSm = 1;
+    in.counts.warpInsts[static_cast<int>(OpClass::LOAD)] = 10'000;
+    in.l1Accesses = 10'000;
+    in.l1Misses = 10'000;
+    in.l2Accesses = 10'000;
+    in.l2Misses = 10'000;
+    in.dramReadSectors = 10'000;
+    const auto low_occ = evaluateTiming(cfg, in);
+
+    in.numBlocks = 680;
+    in.warpsPerBlock = 8;
+    in.residentWarpsPerSm = 48;
+    const auto high_occ = evaluateTiming(cfg, in);
+    // Same work spread across the machine finishes much faster.
+    EXPECT_GT(low_occ.timing.execCycles, 5.0 * high_occ.timing.execCycles);
+    EXPECT_GT(low_occ.metrics.memStall, 0.5);
+}
+
+TEST(Timing, SyncStallScalesWithBarriers)
+{
+    DeviceConfig cfg;
+    auto in = baseInputs();
+    in.counts.warpInsts[static_cast<int>(OpClass::FP32)] = 1'000'000;
+    const auto no_sync = evaluateTiming(cfg, in);
+    in.counts.warpInsts[static_cast<int>(OpClass::SYNC)] = 100'000;
+    const auto with_sync = evaluateTiming(cfg, in);
+    EXPECT_GT(with_sync.metrics.syncStall, no_sync.metrics.syncStall);
+}
+
+TEST(Timing, FractionMetricsAreExact)
+{
+    DeviceConfig cfg;
+    auto in = baseInputs();
+    in.counts.warpInsts[static_cast<int>(OpClass::FP32)] = 600;
+    in.counts.warpInsts[static_cast<int>(OpClass::LOAD)] = 250;
+    in.counts.warpInsts[static_cast<int>(OpClass::BRANCH)] = 150;
+    const auto out = evaluateTiming(cfg, in);
+    EXPECT_DOUBLE_EQ(out.metrics.fracBranch, 0.15);
+    EXPECT_DOUBLE_EQ(out.metrics.fracLdst, 0.25);
+}
+
+TEST(Timing, InstructionIntensityCappedWithoutDram)
+{
+    DeviceConfig cfg;
+    auto in = baseInputs();
+    in.counts.warpInsts[static_cast<int>(OpClass::FP32)] = 1'000'000;
+    const auto out = evaluateTiming(cfg, in);
+    EXPECT_EQ(out.metrics.instIntensity, 1e6);
+}
+
+TEST(Timing, LaunchOverheadDominatesTinyKernels)
+{
+    DeviceConfig cfg;
+    TimingInputs in;
+    in.numBlocks = 1;
+    in.warpsPerBlock = 1;
+    in.residentWarpsPerSm = 16;
+    in.counts.warpInsts[static_cast<int>(OpClass::FP32)] = 10;
+    const auto out = evaluateTiming(cfg, in);
+    EXPECT_GT(out.timing.totalCycles, cfg.launchOverheadCycles);
+    EXPECT_LT(out.metrics.gips, 0.1);
+}
+
+/** Property: runtime is monotone in DRAM traffic. */
+class TimingDramSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TimingDramSweep, MonotoneInTraffic)
+{
+    DeviceConfig cfg;
+    auto in = baseInputs();
+    in.counts.warpInsts[static_cast<int>(OpClass::LOAD)] = 1'000'000;
+    in.dramReadSectors = GetParam();
+    in.l1Accesses = in.dramReadSectors;
+    in.l1Misses = in.dramReadSectors;
+    in.l2Accesses = in.dramReadSectors;
+    in.l2Misses = in.dramReadSectors;
+    const auto lo = evaluateTiming(cfg, in);
+    in.dramReadSectors *= 2;
+    in.l1Misses = in.dramReadSectors;
+    in.l2Misses = in.dramReadSectors;
+    in.l2Accesses = in.dramReadSectors;
+    in.l1Accesses = in.dramReadSectors;
+    const auto hi = evaluateTiming(cfg, in);
+    EXPECT_GE(hi.timing.totalCycles, lo.timing.totalCycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Traffic, TimingDramSweep,
+                         ::testing::Values(1000, 100'000, 10'000'000));
+
+} // namespace

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for launch-trace export/import: round-trip fidelity, kernel
+ * name escaping, and trace-based profile aggregation (the workflow of
+ * simulating a trace without re-running the workload).
+ */
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gpu/device.hh"
+#include "gpu/profiler.hh"
+#include "gpu/trace.hh"
+
+namespace {
+
+using namespace cactus::gpu;
+
+std::vector<LaunchStats>
+sampleLaunches()
+{
+    Device dev;
+    std::vector<float> a(1 << 16, 1.f), b(1 << 16, 0.f);
+    dev.launchLinear(KernelDesc("copy_kernel", 24), a.size(), 256,
+                     [&](ThreadCtx &ctx) {
+                         const auto i = ctx.globalId();
+                         ctx.st(&b[i], ctx.ld(&a[i]));
+                     });
+    dev.launch(KernelDesc("compute \"quoted\"", 48, 4096), Dim3(17, 3),
+               Dim3(32, 4), [&](ThreadCtx &ctx) {
+                   ctx.fp32(10);
+                   ctx.sfu(2);
+                   ctx.sync(1);
+               });
+    return dev.launches();
+}
+
+TEST(Trace, RoundTripPreservesEveryField)
+{
+    const auto launches = sampleLaunches();
+    std::stringstream ss;
+    EXPECT_EQ(writeLaunchTrace(ss, launches), launches.size());
+    const auto loaded = readLaunchTrace(ss);
+    ASSERT_EQ(loaded.size(), launches.size());
+    for (std::size_t i = 0; i < launches.size(); ++i) {
+        const auto &orig = launches[i];
+        const auto &got = loaded[i];
+        EXPECT_EQ(got.desc.name, orig.desc.name);
+        EXPECT_EQ(got.desc.regsPerThread, orig.desc.regsPerThread);
+        EXPECT_EQ(got.grid.x, orig.grid.x);
+        EXPECT_EQ(got.grid.y, orig.grid.y);
+        EXPECT_EQ(got.block.x, orig.block.x);
+        EXPECT_EQ(got.block.y, orig.block.y);
+        for (int c = 0; c < kNumOpClasses; ++c)
+            EXPECT_EQ(got.counts.warpInsts[c],
+                      orig.counts.warpInsts[c]);
+        EXPECT_EQ(got.totalWarps, orig.totalWarps);
+        EXPECT_EQ(got.l1Accesses, orig.l1Accesses);
+        EXPECT_EQ(got.dramReadSectors, orig.dramReadSectors);
+        EXPECT_EQ(got.dramWriteSectors, orig.dramWriteSectors);
+        EXPECT_NEAR(got.timing.seconds, orig.timing.seconds,
+                    orig.timing.seconds * 1e-6);
+        EXPECT_NEAR(got.metrics.gips, orig.metrics.gips,
+                    orig.metrics.gips * 1e-4 + 1e-9);
+    }
+}
+
+TEST(Trace, QuotedKernelNamesSurvive)
+{
+    const auto launches = sampleLaunches();
+    std::stringstream ss;
+    writeLaunchTrace(ss, launches);
+    const auto loaded = readLaunchTrace(ss);
+    EXPECT_EQ(loaded[1].desc.name, "compute \"quoted\"");
+}
+
+TEST(Trace, AggregationWorksOnLoadedTraces)
+{
+    // The trace-replay workflow: profile aggregation over a loaded
+    // trace must match aggregation over the original run.
+    const auto launches = sampleLaunches();
+    std::stringstream ss;
+    writeLaunchTrace(ss, launches);
+    const auto loaded = readLaunchTrace(ss);
+
+    const DeviceConfig cfg;
+    const auto orig_profiles = aggregateLaunches(launches, cfg);
+    const auto trace_profiles = aggregateLaunches(loaded, cfg);
+    ASSERT_EQ(orig_profiles.size(), trace_profiles.size());
+    for (std::size_t i = 0; i < orig_profiles.size(); ++i) {
+        EXPECT_EQ(trace_profiles[i].name, orig_profiles[i].name);
+        EXPECT_EQ(trace_profiles[i].warpInsts,
+                  orig_profiles[i].warpInsts);
+        EXPECT_NEAR(trace_profiles[i].seconds,
+                    orig_profiles[i].seconds,
+                    orig_profiles[i].seconds * 1e-6);
+    }
+}
+
+TEST(Trace, FileRoundTrip)
+{
+    const auto launches = sampleLaunches();
+    const std::string path = "/tmp/cactus_trace_test.jsonl";
+    writeLaunchTrace(path, launches);
+    const auto loaded = readLaunchTrace(path);
+    EXPECT_EQ(loaded.size(), launches.size());
+}
+
+TEST(Trace, EmptyTraceIsEmpty)
+{
+    std::stringstream ss;
+    EXPECT_TRUE(readLaunchTrace(ss).empty());
+    EXPECT_EQ(writeLaunchTrace(ss, {}), 0u);
+}
+
+TEST(Retime, SameConfigReproducesTiming)
+{
+    const auto launches = sampleLaunches();
+    const DeviceConfig cfg; // Same config the launches ran under.
+    for (const auto &orig : launches) {
+        const auto redone = retimeLaunch(cfg, orig);
+        EXPECT_NEAR(redone.timing.seconds, orig.timing.seconds,
+                    orig.timing.seconds * 1e-9);
+        EXPECT_NEAR(redone.metrics.gips, orig.metrics.gips,
+                    orig.metrics.gips * 1e-9 + 1e-12);
+    }
+}
+
+TEST(Retime, StreamingTraceProjectsFasterOnA100)
+{
+    // Capture a bandwidth-bound kernel once, then project: the A100's
+    // doubled DRAM bandwidth must shorten it, the 2080 Ti's narrower
+    // bus must lengthen it.
+    Device dev;
+    std::vector<float> a(1 << 21, 1.f), b(1 << 21, 0.f);
+    dev.launchLinear(KernelDesc("stream", 24), a.size(), 256,
+                     [&](ThreadCtx &ctx) {
+                         const auto i = ctx.globalId();
+                         ctx.st(&b[i], ctx.ld(&a[i]));
+                     });
+    const auto &orig = dev.launches().back();
+    const auto on_a100 =
+        retimeLaunch(DeviceConfig::a100(), orig);
+    const auto on_2080 =
+        retimeLaunch(DeviceConfig::rtx2080Ti(), orig);
+    EXPECT_LT(on_a100.timing.seconds, orig.timing.seconds);
+    EXPECT_GT(on_2080.timing.seconds, orig.timing.seconds);
+}
+
+TEST(Retime, RoundTripsThroughSerializedTraces)
+{
+    // The full offline workflow: write, load, retime the whole trace.
+    const auto launches = sampleLaunches();
+    std::stringstream ss;
+    writeLaunchTrace(ss, launches);
+    auto loaded = readLaunchTrace(ss);
+    const double projected =
+        retimeTrace(DeviceConfig::a100(), loaded);
+    EXPECT_GT(projected, 0.0);
+    for (const auto &l : loaded)
+        EXPECT_GT(l.timing.seconds, 0.0);
+}
+
+} // namespace

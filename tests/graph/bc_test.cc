@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the betweenness-centrality primitive against the host
+ * Brandes reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/primitives.hh"
+
+namespace {
+
+using namespace cactus::graph;
+using cactus::Rng;
+using cactus::gpu::Device;
+
+class BcCorrectness : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BcCorrectness, MatchesBrandesReference)
+{
+    Rng rng(500 + GetParam());
+    auto g = CsrGraph::uniformRandom(400, 1200, rng);
+    Device dev;
+    const auto result = gunrockBetweenness(dev, g, 0);
+    const auto expect = referenceBetweenness(g, 0);
+    ASSERT_EQ(result.centrality.size(), expect.size());
+    for (std::size_t v = 0; v < expect.size(); ++v)
+        EXPECT_NEAR(result.centrality[v], expect[v],
+                    1e-3f * (1.f + expect[v]))
+            << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BcCorrectness, ::testing::Range(0, 4));
+
+TEST(Betweenness, PathGraphCenterIsHighest)
+{
+    // A path 0-1-2-3-4 from source 0: vertex 1 lies on the most
+    // shortest paths from the source.
+    auto g = CsrGraph::fromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+    Device dev;
+    const auto result = gunrockBetweenness(dev, g, 0);
+    EXPECT_GT(result.centrality[1], result.centrality[2]);
+    EXPECT_GT(result.centrality[2], result.centrality[3]);
+    EXPECT_FLOAT_EQ(result.centrality[4], 0.f);
+    EXPECT_FLOAT_EQ(result.centrality[0], 0.f); // Source excluded.
+}
+
+TEST(Betweenness, StarGraphLeavesAreZero)
+{
+    auto g = CsrGraph::fromEdges(
+        5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+    Device dev;
+    // From a leaf, the hub carries all dependency.
+    const auto result = gunrockBetweenness(dev, g, 1);
+    EXPECT_GT(result.centrality[0], 2.9f);
+    EXPECT_FLOAT_EQ(result.centrality[2], 0.f);
+}
+
+TEST(Betweenness, LaunchesForwardAndBackwardKernels)
+{
+    Rng rng(6);
+    auto g = CsrGraph::roadGrid(16, 16, rng);
+    Device dev;
+    gunrockBetweenness(dev, g, 0);
+    bool fwd = false, bwd = false;
+    for (const auto &l : dev.launches()) {
+        fwd |= l.desc.name == "bc_forward";
+        bwd |= l.desc.name == "bc_backward";
+    }
+    EXPECT_TRUE(fwd);
+    EXPECT_TRUE(bwd);
+}
+
+} // namespace

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the CSR graph, generators, and the Gunrock-style BFS:
+ * correctness against a host reference and the input-dependent kernel
+ * selection the paper's Observation #3 builds on.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hh"
+#include "graph/csr.hh"
+
+namespace {
+
+using namespace cactus::graph;
+using cactus::Rng;
+using cactus::gpu::Device;
+
+TEST(CsrGraph, FromEdgesSymmetrizesAndDedupes)
+{
+    auto g = CsrGraph::fromEdges(4, {{0, 1}, {1, 0}, {1, 2}, {2, 2}});
+    EXPECT_EQ(g.numVertices(), 4);
+    // Self loop dropped; {0,1} stored once each direction.
+    EXPECT_EQ(g.numDirectedEdges(), 4);
+    EXPECT_EQ(g.degree(0), 1);
+    EXPECT_EQ(g.degree(1), 2);
+    EXPECT_EQ(g.degree(3), 0);
+}
+
+TEST(CsrGraph, NeighborsSorted)
+{
+    auto g = CsrGraph::fromEdges(5, {{2, 4}, {2, 0}, {2, 3}});
+    const int *nb = g.neighborsBegin(2);
+    EXPECT_EQ(nb[0], 0);
+    EXPECT_EQ(nb[1], 3);
+    EXPECT_EQ(nb[2], 4);
+}
+
+TEST(CsrGraphDeath, OutOfRangeEdgeIsFatal)
+{
+    EXPECT_EXIT(CsrGraph::fromEdges(2, {{0, 5}}),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(Generators, RmatIsHeavyTailed)
+{
+    Rng rng(1);
+    auto g = CsrGraph::rmat(12, 8, rng);
+    EXPECT_EQ(g.numVertices(), 4096);
+    // Power-law skew: the hub degree dwarfs the average.
+    const double avg = static_cast<double>(g.numDirectedEdges()) /
+                       g.numVertices();
+    EXPECT_GT(g.maxDegree(), 10 * avg);
+}
+
+TEST(Generators, RoadGridIsLowDegree)
+{
+    Rng rng(2);
+    auto g = CsrGraph::roadGrid(64, 64, rng);
+    EXPECT_EQ(g.numVertices(), 4096);
+    EXPECT_LE(g.maxDegree(), 8);
+    const double avg = static_cast<double>(g.numDirectedEdges()) /
+                       g.numVertices();
+    EXPECT_GT(avg, 2.0);
+    EXPECT_LT(avg, 4.5);
+}
+
+TEST(Generators, RoadHasLargerDiameterThanRmat)
+{
+    Rng rng(3);
+    auto road = CsrGraph::roadGrid(64, 64, rng);
+    auto soc = CsrGraph::rmat(12, 8, rng);
+    const auto road_levels = referenceBfs(road, 0);
+    const auto soc_levels = referenceBfs(soc, soc.highestDegreeVertex());
+    int road_depth = 0, soc_depth = 0;
+    for (int l : road_levels)
+        road_depth = std::max(road_depth, l);
+    for (int l : soc_levels)
+        soc_depth = std::max(soc_depth, l);
+    EXPECT_GT(road_depth, 3 * soc_depth);
+}
+
+class BfsCorrectness : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BfsCorrectness, MatchesReferenceOnRandomGraphs)
+{
+    Rng rng(100 + GetParam());
+    auto g = CsrGraph::uniformRandom(2000, 6000, rng);
+    Device dev;
+    const auto result = gunrockBfs(dev, g, 0);
+    const auto expect = referenceBfs(g, 0);
+    ASSERT_EQ(result.levels.size(), expect.size());
+    for (std::size_t v = 0; v < expect.size(); ++v)
+        ASSERT_EQ(result.levels[v], expect[v]) << "vertex " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsCorrectness, ::testing::Range(0, 5));
+
+TEST(Bfs, MatchesReferenceOnRmat)
+{
+    Rng rng(4);
+    auto g = CsrGraph::rmat(11, 8, rng);
+    Device dev;
+    const int src = g.highestDegreeVertex();
+    const auto result = gunrockBfs(dev, g, src);
+    EXPECT_EQ(result.levels, referenceBfs(g, src));
+}
+
+TEST(Bfs, MatchesReferenceOnRoad)
+{
+    Rng rng(5);
+    auto g = CsrGraph::roadGrid(48, 48, rng);
+    Device dev;
+    const auto result = gunrockBfs(dev, g, 0);
+    EXPECT_EQ(result.levels, referenceBfs(g, 0));
+}
+
+TEST(Bfs, MatchesReferenceWithoutBottomUp)
+{
+    Rng rng(6);
+    auto g = CsrGraph::rmat(10, 8, rng);
+    Device dev;
+    BfsOptions opts;
+    opts.enableBottomUp = false;
+    const int src = g.highestDegreeVertex();
+    const auto result = gunrockBfs(dev, g, src, opts);
+    EXPECT_EQ(result.levels, referenceBfs(g, src));
+}
+
+TEST(Bfs, SocialGraphUsesHighDegreeKernels)
+{
+    Rng rng(7);
+    auto g = CsrGraph::rmat(13, 16, rng);
+    Device dev;
+    const auto result = gunrockBfs(dev, g, g.highestDegreeVertex());
+    std::set<std::string> used(result.kernelSequence.begin(),
+                               result.kernelSequence.end());
+    // Hubs trigger CTA/warp advance and the bottom-up switch.
+    EXPECT_TRUE(used.count("advance_twc_cta") ||
+                used.count("bfs_bottom_up"));
+}
+
+TEST(Bfs, RoadGraphUsesThreadKernelOnly)
+{
+    Rng rng(8);
+    auto g = CsrGraph::roadGrid(96, 96, rng);
+    Device dev;
+    const auto result = gunrockBfs(dev, g, 0);
+    std::set<std::string> used(result.kernelSequence.begin(),
+                               result.kernelSequence.end());
+    EXPECT_TRUE(used.count("advance_twc_thread"));
+    EXPECT_FALSE(used.count("advance_twc_cta"));
+    // Many iterations: the road diameter is large.
+    EXPECT_GT(result.iterations, 50);
+}
+
+TEST(Bfs, InputDependentKernelSetsDiffer)
+{
+    // The paper's Observation #3: same code, different inputs, different
+    // executed kernels.
+    Rng rng(9);
+    auto soc = CsrGraph::rmat(12, 16, rng);
+    auto road = CsrGraph::roadGrid(64, 64, rng);
+    Device dev_a, dev_b;
+    const auto ra = gunrockBfs(dev_a, soc, soc.highestDegreeVertex());
+    const auto rb = gunrockBfs(dev_b, road, 0);
+    const std::set<std::string> ka(ra.kernelSequence.begin(),
+                                   ra.kernelSequence.end());
+    const std::set<std::string> kb(rb.kernelSequence.begin(),
+                                   rb.kernelSequence.end());
+    EXPECT_NE(ka, kb);
+}
+
+TEST(Bfs, DisconnectedVerticesStayUnreached)
+{
+    auto g = CsrGraph::fromEdges(6, {{0, 1}, {1, 2}, {4, 5}});
+    Device dev;
+    const auto result = gunrockBfs(dev, g, 0);
+    EXPECT_EQ(result.levels[3], -1);
+    EXPECT_EQ(result.levels[4], -1);
+    EXPECT_EQ(result.levels[5], -1);
+    EXPECT_EQ(result.levels[2], 2);
+}
+
+TEST(Bfs, VisitedCountMatchesComponentSize)
+{
+    Rng rng(10);
+    auto g = CsrGraph::roadGrid(32, 32, rng);
+    Device dev;
+    const auto result = gunrockBfs(dev, g, 0);
+    std::int64_t reachable = 0;
+    for (int l : result.levels)
+        reachable += l >= 0;
+    EXPECT_EQ(result.verticesVisited, reachable);
+}
+
+} // namespace

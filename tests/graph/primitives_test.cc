@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the extended Gunrock-style primitives: SSSP against a
+ * Dijkstra reference, PageRank invariants and convergence, and
+ * connected components against a union-find reference.
+ */
+
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/primitives.hh"
+
+namespace {
+
+using namespace cactus::graph;
+using cactus::Rng;
+using cactus::gpu::Device;
+
+class SsspCorrectness : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SsspCorrectness, MatchesDijkstra)
+{
+    Rng rng(300 + GetParam());
+    auto g = CsrGraph::uniformRandom(800, 3200, rng);
+    const auto weights = randomEdgeWeights(g, rng);
+    Device dev;
+    const auto result = gunrockSssp(dev, g, 0, weights);
+    const auto expect = referenceSssp(g, 0, weights);
+    ASSERT_EQ(result.distances.size(), expect.size());
+    for (std::size_t v = 0; v < expect.size(); ++v) {
+        if (expect[v] >= 1e29f)
+            EXPECT_GE(result.distances[v], 1e29f) << v;
+        else
+            EXPECT_NEAR(result.distances[v], expect[v],
+                        1e-3f * (1.f + expect[v]))
+                << v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsspCorrectness, ::testing::Range(0, 4));
+
+TEST(Sssp, RoadNetworkDistances)
+{
+    Rng rng(5);
+    auto g = CsrGraph::roadGrid(40, 40, rng);
+    const auto weights = randomEdgeWeights(g, rng, 1.f, 2.f);
+    Device dev;
+    const auto result = gunrockSssp(dev, g, 0, weights);
+    EXPECT_EQ(result.distances, referenceSssp(g, 0, weights));
+    EXPECT_FLOAT_EQ(result.distances[0], 0.f);
+}
+
+TEST(Sssp, WeightsAreSymmetric)
+{
+    Rng rng(6);
+    auto g = CsrGraph::uniformRandom(100, 400, rng);
+    const auto weights = randomEdgeWeights(g, rng);
+    for (int u = 0; u < g.numVertices(); ++u) {
+        const int begin = g.offsets()[u];
+        for (int k = 0; k < g.degree(u); ++k) {
+            const int v = g.neighborsBegin(u)[k];
+            // Find the reverse edge and compare the weight.
+            const int vbegin = g.offsets()[v];
+            for (int m = 0; m < g.degree(v); ++m) {
+                if (g.neighborsBegin(v)[m] == u) {
+                    EXPECT_FLOAT_EQ(weights[begin + k],
+                                    weights[vbegin + m]);
+                }
+            }
+        }
+    }
+}
+
+TEST(PageRank, RanksSumToOne)
+{
+    Rng rng(7);
+    auto g = CsrGraph::rmat(10, 8, rng);
+    Device dev;
+    const auto result = gunrockPageRank(dev, g);
+    double total = 0;
+    for (float r : result.ranks)
+        total += r;
+    // Degree-zero vertices leak a little mass; allow modest slack.
+    EXPECT_NEAR(total, 1.0, 0.05);
+}
+
+TEST(PageRank, HubsRankHigherThanLeaves)
+{
+    Rng rng(8);
+    auto g = CsrGraph::rmat(11, 8, rng);
+    Device dev;
+    const auto result = gunrockPageRank(dev, g);
+    const int hub = g.highestDegreeVertex();
+    // The hub must rank above the average vertex by a wide margin.
+    const double avg = 1.0 / g.numVertices();
+    EXPECT_GT(result.ranks[hub], 5 * avg);
+}
+
+TEST(PageRank, ConvergesOnSmallGraph)
+{
+    auto g = CsrGraph::fromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+    Device dev;
+    const auto result = gunrockPageRank(dev, g, 0.85, 1e-7, 100);
+    EXPECT_LT(result.finalDelta, 1e-7);
+    // A symmetric ring: all ranks equal.
+    for (float r : result.ranks)
+        EXPECT_NEAR(r, 0.25f, 1e-4f);
+}
+
+/** Union-find reference component count. */
+int
+referenceComponents(const CsrGraph &g, std::vector<int> &rep)
+{
+    rep.resize(g.numVertices());
+    std::iota(rep.begin(), rep.end(), 0);
+    auto find = [&](int x) {
+        while (rep[x] != x) {
+            rep[x] = rep[rep[x]];
+            x = rep[x];
+        }
+        return x;
+    };
+    for (int v = 0; v < g.numVertices(); ++v)
+        for (int k = 0; k < g.degree(v); ++k)
+            rep[find(v)] = find(g.neighborsBegin(v)[k]);
+    std::set<int> roots;
+    for (int v = 0; v < g.numVertices(); ++v)
+        roots.insert(find(v));
+    return static_cast<int>(roots.size());
+}
+
+class CcCorrectness : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CcCorrectness, MatchesUnionFind)
+{
+    Rng rng(400 + GetParam());
+    // Sparse graph so multiple components exist.
+    auto g = CsrGraph::uniformRandom(1000, 700, rng);
+    Device dev;
+    const auto result = gunrockConnectedComponents(dev, g);
+    std::vector<int> rep;
+    EXPECT_EQ(result.numComponents, referenceComponents(g, rep));
+    // Same-component vertices share a label; different don't.
+    auto find = [&](int x) {
+        while (rep[x] != x)
+            x = rep[x];
+        return x;
+    };
+    for (int v = 1; v < g.numVertices(); ++v) {
+        const bool same_ref = find(v) == find(0);
+        const bool same_cc = result.labels[v] == result.labels[0];
+        ASSERT_EQ(same_cc, same_ref) << v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CcCorrectness, ::testing::Range(0, 4));
+
+TEST(ConnectedComponents, SingleComponentGrid)
+{
+    Rng rng(9);
+    // A fully connected grid (no removed edges would need p=0; the
+    // generator removes ~10%, so check against the reference).
+    auto g = CsrGraph::roadGrid(24, 24, rng);
+    Device dev;
+    const auto result = gunrockConnectedComponents(dev, g);
+    std::vector<int> rep;
+    EXPECT_EQ(result.numComponents, referenceComponents(g, rep));
+}
+
+TEST(Primitives, LaunchDistinctKernelPipelines)
+{
+    Rng rng(10);
+    auto g = CsrGraph::uniformRandom(400, 1600, rng);
+    const auto weights = randomEdgeWeights(g, rng);
+    Device dev;
+    gunrockSssp(dev, g, 0, weights);
+    gunrockPageRank(dev, g, 0.85, 1e-3, 5);
+    gunrockConnectedComponents(dev, g);
+    std::set<std::string> names;
+    for (const auto &l : dev.launches())
+        names.insert(l.desc.name);
+    for (const char *expect :
+         {"sssp_init", "sssp_relax", "pr_reset", "pr_push",
+          "pr_delta_swap", "cc_init", "cc_hook", "cc_compress"})
+        EXPECT_TRUE(names.count(expect)) << expect;
+}
+
+} // namespace

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Integration and property tests for the MD engine: force correctness
+ * against analytic two-body values, energy conservation in NVE,
+ * thermostat/barostat convergence, and kernel-pipeline composition.
+ */
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gpu/device.hh"
+#include "gpu/profiler.hh"
+#include "md/engine.hh"
+
+namespace {
+
+using namespace cactus::md;
+using cactus::Rng;
+using cactus::gpu::Device;
+
+/** Two atoms at a known separation, no periodic effects. */
+ParticleSystem
+twoAtoms(float separation)
+{
+    ParticleSystem sys;
+    sys.box = 100.f;
+    sys.pos = {{10.f, 10.f, 10.f}, {10.f + separation, 10.f, 10.f}};
+    sys.vel.assign(2, Vec3{});
+    sys.force.assign(2, Vec3{});
+    sys.charge.assign(2, 0.f);
+    sys.mass.assign(2, 1.f);
+    sys.radius.assign(2, 0.5f);
+    sys.type.assign(2, 0);
+    return sys;
+}
+
+TEST(PairForces, LennardJonesAnalyticTwoBody)
+{
+    auto sys = twoAtoms(1.2f);
+    Device dev;
+    NeighborList nlist(8);
+    nlist.build(dev, sys, 3.0f);
+    computePairForces(dev, sys, nlist, PairStyle::LjCut, 2.5f);
+
+    // Analytic LJ radial derivative at r = 1.2 (negative: attraction).
+    // Force on atom 0 points toward atom 1 (+x), i.e., -fmag.
+    const double r = 1.2;
+    const double r6 = std::pow(r, -6.0);
+    const double fmag = 24.0 * r6 * (2.0 * r6 - 1.0) / (r * r) * r;
+    EXPECT_NEAR(sys.force[0].x, -fmag, std::fabs(fmag) * 1e-4);
+    EXPECT_NEAR(sys.force[1].x, fmag, std::fabs(fmag) * 1e-4);
+    EXPECT_NEAR(sys.force[0].y, 0.0, 1e-6);
+}
+
+TEST(PairForces, LjEnergyAnalyticTwoBody)
+{
+    auto sys = twoAtoms(1.5f);
+    Device dev;
+    NeighborList nlist(8);
+    nlist.build(dev, sys, 3.0f);
+    const auto acc =
+        computePairForces(dev, sys, nlist, PairStyle::LjCut, 2.5f);
+    const double r6 = std::pow(1.5, -6.0);
+    const double expect = 4.0 * r6 * (r6 - 1.0);
+    EXPECT_NEAR(acc.potential, expect, std::fabs(expect) * 1e-3);
+}
+
+TEST(PairForces, CoulombAttractionBetweenOppositeCharges)
+{
+    auto sys = twoAtoms(1.8f);
+    sys.charge = {1.0f, -1.0f};
+    Device dev;
+    NeighborList nlist(8);
+    nlist.build(dev, sys, 3.0f);
+    computePairForces(dev, sys, nlist, PairStyle::LjCutCoul, 2.5f);
+    auto lj_only = twoAtoms(1.8f);
+    NeighborList nlist2(8);
+    Device dev2;
+    nlist2.build(dev2, lj_only, 3.0f);
+    computePairForces(dev2, lj_only, nlist2, PairStyle::LjCut, 2.5f);
+    // Opposite charges add attraction: atom 0 is pulled harder toward
+    // atom 1 (+x) than with pure LJ.
+    EXPECT_GT(sys.force[0].x, lj_only.force[0].x);
+}
+
+TEST(PairForces, ColloidForceIsRepulsiveAtContact)
+{
+    auto sys = twoAtoms(4.2f);
+    sys.radius = {2.0f, 2.0f};
+    Device dev;
+    NeighborList nlist(8);
+    nlist.build(dev, sys, 6.0f);
+    computePairForces(dev, sys, nlist, PairStyle::Colloid, 6.0f);
+    // Gap = 0.2 behind contact: steep core dominates, atoms repel.
+    EXPECT_GT(sys.force[1].x, 0.f);
+}
+
+TEST(PairForces, NewtonsThirdLawHoldsGlobally)
+{
+    Rng rng(11);
+    auto sys = ParticleSystem::liquid(500, 0.8f, rng);
+    Device dev;
+    NeighborList nlist(128);
+    nlist.build(dev, sys, 2.8f);
+    computePairForces(dev, sys, nlist, PairStyle::LjCut, 2.5f);
+    double fx = 0, fy = 0, fz = 0;
+    for (const auto &f : sys.force) {
+        fx += f.x;
+        fy += f.y;
+        fz += f.z;
+    }
+    EXPECT_NEAR(fx, 0.0, 1e-2);
+    EXPECT_NEAR(fy, 0.0, 1e-2);
+    EXPECT_NEAR(fz, 0.0, 1e-2);
+}
+
+TEST(BondedForces, BondRestoringForce)
+{
+    auto sys = twoAtoms(1.5f);
+    sys.bonds.push_back(Bond{0, 1, 1.0f, 100.0f});
+    Device dev;
+    computeBondedForces(dev, sys);
+    // Stretched bond pulls the atoms together.
+    EXPECT_GT(sys.force[0].x, 0.f);
+    EXPECT_LT(sys.force[1].x, 0.f);
+    EXPECT_NEAR(sys.force[0].x, 2.0f * 100.0f * 0.5f, 1.0f);
+}
+
+TEST(BondedForces, EquilibriumBondGivesNoForce)
+{
+    auto sys = twoAtoms(1.0f);
+    sys.bonds.push_back(Bond{0, 1, 1.0f, 100.0f});
+    Device dev;
+    computeBondedForces(dev, sys);
+    EXPECT_NEAR(sys.force[0].x, 0.f, 1e-3);
+}
+
+TEST(Engine, NveConservesEnergy)
+{
+    Rng rng(12);
+    auto sys = ParticleSystem::liquid(400, 0.7f, rng);
+    sys.thermalize(0.7f, rng);
+    MdConfig cfg;
+    cfg.steps = 40;
+    cfg.dt = 0.002f;
+    cfg.ensemble = Ensemble::NVE;
+    Simulation sim(std::move(sys), cfg);
+    Device dev;
+    sim.step(dev);
+    const double e0 = sim.totalEnergy();
+    for (int s = 1; s < cfg.steps; ++s)
+        sim.step(dev);
+    const double e1 = sim.totalEnergy();
+    // Single precision leapfrog: total energy drift stays small.
+    EXPECT_NEAR(e1, e0, std::fabs(e0) * 0.05 + 1.0);
+}
+
+TEST(Engine, ThermostatDrivesTemperatureToTarget)
+{
+    Rng rng(13);
+    auto sys = ParticleSystem::liquid(500, 0.7f, rng);
+    sys.thermalize(2.5f, rng); // Start hot.
+    MdConfig cfg;
+    cfg.steps = 60;
+    cfg.ensemble = Ensemble::NVT;
+    cfg.targetTemp = 1.0f;
+    cfg.tauT = 0.05f; // Tight coupling for a short test.
+    Simulation sim(std::move(sys), cfg);
+    Device dev;
+    sim.run(dev);
+    EXPECT_NEAR(sim.lastObservables().temperature, 1.0, 0.25);
+}
+
+TEST(Engine, BarostatAdjustsBox)
+{
+    Rng rng(14);
+    auto sys = ParticleSystem::liquid(500, 0.9f, rng); // Dense start.
+    const float box0 = sys.box;
+    MdConfig cfg;
+    cfg.steps = 30;
+    cfg.ensemble = Ensemble::NPT;
+    cfg.targetPressure = 0.05f;
+    cfg.tauP = 0.5f;
+    Simulation sim(std::move(sys), cfg);
+    Device dev;
+    sim.run(dev);
+    // Over-pressurized system expands toward the low target pressure.
+    EXPECT_NE(sim.system().box, box0);
+}
+
+TEST(Engine, ConstraintsKeepBondLengths)
+{
+    Rng rng(15);
+    auto sys = ParticleSystem::proteinLike(800, rng);
+    MdConfig cfg;
+    cfg.steps = 20;
+    cfg.bonded = true;
+    cfg.constraints = true;
+    cfg.ensemble = Ensemble::NVT;
+    Simulation sim(std::move(sys), cfg);
+    Device dev;
+    sim.run(dev);
+    // Bond lengths stay near r0 thanks to SHAKE sweeps.
+    double worst = 0;
+    const auto &s = sim.system();
+    for (const auto &b : s.bonds) {
+        const float dx = s.minImage(s.pos[b.i].x - s.pos[b.j].x);
+        const float dy = s.minImage(s.pos[b.i].y - s.pos[b.j].y);
+        const float dz = s.minImage(s.pos[b.i].z - s.pos[b.j].z);
+        const double r = std::sqrt(dx * dx + dy * dy + dz * dz);
+        worst = std::max(worst, std::fabs(r - b.r0) / b.r0);
+    }
+    EXPECT_LT(worst, 0.35);
+}
+
+TEST(Engine, PmePipelineLaunchesExpectedKernels)
+{
+    Rng rng(16);
+    auto sys = ParticleSystem::proteinLike(600, rng);
+    MdConfig cfg;
+    cfg.steps = 2;
+    cfg.pme = true;
+    cfg.pmeGrid = 16;
+    cfg.bonded = true;
+    cfg.pairStyle = PairStyle::LjCutCoul;
+    cfg.ensemble = Ensemble::NPT;
+    cfg.constraints = true;
+    Simulation sim(std::move(sys), cfg);
+    Device dev;
+    sim.run(dev);
+    std::set<std::string> names;
+    for (const auto &l : dev.launches())
+        names.insert(l.desc.name);
+    for (const char *expect :
+         {"pme_spread", "pme_3dfft", "pme_solve", "pme_gather",
+          "pair_lj_charmm_coul", "bonded_bonds", "bonded_angles",
+          "bonded_dihedrals", "integrate_leapfrog", "reduce_kinetic",
+          "berendsen_thermostat", "berendsen_barostat",
+          "settle_constraints", "nb_build_verlet"}) {
+        EXPECT_TRUE(names.count(expect)) << expect;
+    }
+}
+
+TEST(Engine, PairKernelDominatesGpuTime)
+{
+    Rng rng(17);
+    auto sys = ParticleSystem::liquid(1500, 0.8f, rng);
+    MdConfig cfg;
+    cfg.steps = 5;
+    Simulation sim(std::move(sys), cfg);
+    Device dev;
+    sim.run(dev);
+    const auto profiles = cactus::gpu::aggregateLaunches(
+        dev.launches(), dev.config());
+    ASSERT_FALSE(profiles.empty());
+    // The most time-consuming kernel of an LJ liquid is the pair kernel.
+    EXPECT_EQ(profiles[0].name, "pair_lj_cut");
+}
+
+/** Property: total momentum is conserved across ensembles in NVE. */
+class MomentumSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MomentumSweep, NveMomentumConserved)
+{
+    Rng rng(100 + GetParam());
+    auto sys = ParticleSystem::liquid(300, 0.75f, rng);
+    MdConfig cfg;
+    cfg.steps = 10;
+    Simulation sim(std::move(sys), cfg);
+    Device dev;
+    sim.run(dev);
+    double px = 0;
+    const auto &s = sim.system();
+    for (int i = 0; i < s.numAtoms(); ++i)
+        px += static_cast<double>(s.mass[i]) * s.vel[i].x;
+    EXPECT_NEAR(px, 0.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MomentumSweep, ::testing::Range(0, 4));
+
+} // namespace

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the PME long-range electrostatics pipeline: grid charge
+ * conservation, force direction between charge pairs, energy
+ * positivity, and the kernel sequence.
+ */
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "gpu/device.hh"
+#include "md/pme.hh"
+
+namespace {
+
+using namespace cactus::md;
+using cactus::gpu::Device;
+
+ParticleSystem
+chargePair(float separation, float q0, float q1)
+{
+    ParticleSystem sys;
+    sys.box = 16.f;
+    sys.pos = {{8.f - separation / 2, 8.f, 8.f},
+               {8.f + separation / 2, 8.f, 8.f}};
+    sys.vel.assign(2, Vec3{});
+    sys.force.assign(2, Vec3{});
+    sys.charge = {q0, q1};
+    sys.mass.assign(2, 1.f);
+    sys.radius.assign(2, 0.5f);
+    sys.type.assign(2, 0);
+    return sys;
+}
+
+TEST(Pme, OppositeChargesAttract)
+{
+    auto sys = chargePair(4.f, 1.f, -1.f);
+    Device dev;
+    PmeSolver pme(32);
+    pme.compute(dev, sys);
+    // Atom 0 (left, +) is pulled toward atom 1 (right, -): +x force.
+    EXPECT_GT(sys.force[0].x, 0.f);
+    EXPECT_LT(sys.force[1].x, 0.f);
+    // Transverse components vanish by symmetry (grid resolution slack).
+    EXPECT_NEAR(sys.force[0].y, 0.f,
+                std::fabs(sys.force[0].x) * 0.2f + 1e-4f);
+}
+
+TEST(Pme, LikeChargesRepel)
+{
+    auto sys = chargePair(4.f, 1.f, 1.f);
+    Device dev;
+    PmeSolver pme(32);
+    pme.compute(dev, sys);
+    EXPECT_LT(sys.force[0].x, 0.f);
+    EXPECT_GT(sys.force[1].x, 0.f);
+}
+
+TEST(Pme, ReciprocalEnergyIsPositive)
+{
+    auto sys = chargePair(3.f, 1.f, 1.f);
+    Device dev;
+    PmeSolver pme(16);
+    // E_recip = sum of |rho(k)|^2 G(k) / 2 >= 0 by construction.
+    EXPECT_GT(pme.compute(dev, sys), 0.0);
+}
+
+TEST(Pme, NeutralSystemHasSmallForces)
+{
+    // Zero charges: no forces at all.
+    auto sys = chargePair(3.f, 0.f, 0.f);
+    Device dev;
+    PmeSolver pme(16);
+    pme.compute(dev, sys);
+    EXPECT_FLOAT_EQ(sys.force[0].x, 0.f);
+    EXPECT_FLOAT_EQ(sys.force[1].x, 0.f);
+}
+
+TEST(Pme, ForceDecaysWithDistance)
+{
+    Device dev;
+    auto near = chargePair(2.f, 1.f, -1.f);
+    auto far = chargePair(6.f, 1.f, -1.f);
+    PmeSolver pme(32);
+    pme.compute(dev, near);
+    PmeSolver pme2(32);
+    pme2.compute(dev, far);
+    EXPECT_GT(near.force[0].x, far.force[0].x);
+}
+
+TEST(Pme, LaunchesFullKernelPipeline)
+{
+    auto sys = chargePair(3.f, 1.f, -1.f);
+    Device dev;
+    PmeSolver pme(16);
+    pme.compute(dev, sys);
+    std::set<std::string> names;
+    int fft_launches = 0;
+    for (const auto &l : dev.launches()) {
+        names.insert(l.desc.name);
+        fft_launches += l.desc.name == "pme_3dfft";
+    }
+    EXPECT_TRUE(names.count("pme_spread"));
+    EXPECT_TRUE(names.count("pme_solve"));
+    EXPECT_TRUE(names.count("pme_gather"));
+    // Forward and inverse transforms, three axes each.
+    EXPECT_EQ(fft_launches, 6);
+}
+
+TEST(PmeDeath, NonPowerOfTwoGridIsFatal)
+{
+    EXPECT_EXIT(PmeSolver bad(48), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for particle-system construction and GPU neighbor-list builds,
+ * validated against a brute-force O(n^2) reference.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "gpu/device.hh"
+#include "md/neighbor.hh"
+#include "md/system.hh"
+
+namespace {
+
+using namespace cactus::md;
+using cactus::Rng;
+
+TEST(ParticleSystem, LiquidHasRequestedDensity)
+{
+    Rng rng(1);
+    const auto sys = ParticleSystem::liquid(512, 0.8f, rng);
+    EXPECT_EQ(sys.numAtoms(), 512);
+    const double vol = static_cast<double>(sys.box) * sys.box * sys.box;
+    EXPECT_NEAR(512.0 / vol, 0.8, 0.05);
+    for (const auto &p : sys.pos) {
+        EXPECT_GE(p.x, 0.f);
+        EXPECT_LT(p.x, sys.box);
+    }
+}
+
+TEST(ParticleSystem, ThermalizeHitsTargetTemperature)
+{
+    Rng rng(2);
+    auto sys = ParticleSystem::liquid(2000, 0.8f, rng);
+    sys.thermalize(1.5f, rng);
+    EXPECT_NEAR(sys.temperature(), 1.5, 0.15);
+}
+
+TEST(ParticleSystem, ZeroMomentumAfterThermalize)
+{
+    Rng rng(3);
+    auto sys = ParticleSystem::liquid(500, 0.7f, rng);
+    double px = 0;
+    for (int i = 0; i < sys.numAtoms(); ++i)
+        px += static_cast<double>(sys.mass[i]) * sys.vel[i].x;
+    EXPECT_NEAR(px, 0.0, 1e-3);
+}
+
+TEST(ParticleSystem, ProteinLikeHasTopology)
+{
+    Rng rng(4);
+    const auto sys = ParticleSystem::proteinLike(2000, rng);
+    EXPECT_FALSE(sys.bonds.empty());
+    EXPECT_FALSE(sys.angles.empty());
+    EXPECT_FALSE(sys.dihedrals.empty());
+    // Charged system.
+    bool any_charge = false;
+    for (float q : sys.charge)
+        any_charge |= q != 0.f;
+    EXPECT_TRUE(any_charge);
+    // Bond indices are valid.
+    for (const auto &b : sys.bonds) {
+        ASSERT_GE(b.i, 0);
+        ASSERT_LT(b.j, sys.numAtoms());
+    }
+}
+
+TEST(ParticleSystem, ColloidalHasBimodalRadii)
+{
+    Rng rng(5);
+    const auto sys = ParticleSystem::colloidal(1000, rng);
+    std::set<float> radii(sys.radius.begin(), sys.radius.end());
+    EXPECT_EQ(radii.size(), 2u);
+    EXPECT_TRUE(sys.bonds.empty());
+}
+
+TEST(ParticleSystem, MinImageConvention)
+{
+    ParticleSystem sys;
+    sys.box = 10.f;
+    EXPECT_FLOAT_EQ(sys.minImage(7.f), -3.f);
+    EXPECT_FLOAT_EQ(sys.minImage(-7.f), 3.f);
+    EXPECT_FLOAT_EQ(sys.minImage(3.f), 3.f);
+}
+
+/** Brute-force neighbor reference. */
+std::set<std::pair<int, int>>
+bruteForcePairs(const ParticleSystem &sys, float cutoff)
+{
+    std::set<std::pair<int, int>> pairs;
+    const float c2 = cutoff * cutoff;
+    for (int i = 0; i < sys.numAtoms(); ++i) {
+        for (int j = 0; j < sys.numAtoms(); ++j) {
+            if (i == j)
+                continue;
+            const float dx = sys.minImage(sys.pos[i].x - sys.pos[j].x);
+            const float dy = sys.minImage(sys.pos[i].y - sys.pos[j].y);
+            const float dz = sys.minImage(sys.pos[i].z - sys.pos[j].z);
+            if (dx * dx + dy * dy + dz * dz < c2)
+                pairs.insert({i, j});
+        }
+    }
+    return pairs;
+}
+
+TEST(NeighborList, MatchesBruteForce)
+{
+    Rng rng(6);
+    const auto sys = ParticleSystem::liquid(400, 0.8f, rng);
+    cactus::gpu::Device dev;
+    NeighborList nlist(128);
+    const float cutoff = 2.0f;
+    nlist.build(dev, sys, cutoff);
+    ASSERT_EQ(nlist.overflows(), 0);
+
+    const auto expected = bruteForcePairs(sys, cutoff);
+    std::set<std::pair<int, int>> actual;
+    for (int i = 0; i < sys.numAtoms(); ++i)
+        for (int k = 0; k < nlist.neighborCount(i); ++k)
+            actual.insert({i, nlist.neighborsOf(i)[k]});
+    EXPECT_EQ(actual, expected);
+}
+
+TEST(NeighborList, SymmetricPairs)
+{
+    Rng rng(7);
+    const auto sys = ParticleSystem::liquid(300, 0.7f, rng);
+    cactus::gpu::Device dev;
+    NeighborList nlist(128);
+    nlist.build(dev, sys, 2.2f);
+    for (int i = 0; i < sys.numAtoms(); ++i) {
+        for (int k = 0; k < nlist.neighborCount(i); ++k) {
+            const int j = nlist.neighborsOf(i)[k];
+            bool back = false;
+            for (int m = 0; m < nlist.neighborCount(j); ++m)
+                back |= nlist.neighborsOf(j)[m] == i;
+            ASSERT_TRUE(back) << i << " -> " << j;
+        }
+    }
+}
+
+TEST(NeighborList, OverflowDetected)
+{
+    Rng rng(8);
+    const auto sys = ParticleSystem::liquid(400, 0.9f, rng);
+    cactus::gpu::Device dev;
+    NeighborList tiny(4);
+    tiny.build(dev, sys, 2.5f);
+    EXPECT_NE(tiny.overflows(), 0);
+}
+
+TEST(NeighborList, LaunchesExpectedKernelPipeline)
+{
+    Rng rng(9);
+    const auto sys = ParticleSystem::liquid(200, 0.8f, rng);
+    cactus::gpu::Device dev;
+    NeighborList nlist(96);
+    nlist.build(dev, sys, 2.0f);
+    std::set<std::string> names;
+    for (const auto &l : dev.launches())
+        names.insert(l.desc.name);
+    EXPECT_TRUE(names.count("nb_cell_count"));
+    EXPECT_TRUE(names.count("nb_scan_partials"));
+    EXPECT_TRUE(names.count("nb_scan_offsets"));
+    EXPECT_TRUE(names.count("nb_cell_fill"));
+    EXPECT_TRUE(names.count("nb_build_verlet"));
+}
+
+TEST(NeighborList, AverageNeighborsMatchesDensityEstimate)
+{
+    Rng rng(10);
+    const float density = 0.8f;
+    const float cutoff = 2.5f;
+    const auto sys = ParticleSystem::liquid(2000, density, rng);
+    cactus::gpu::Device dev;
+    NeighborList nlist(160);
+    nlist.build(dev, sys, cutoff);
+    // Expected: density * 4/3 pi r^3.
+    const double expect =
+        density * 4.0 / 3.0 * 3.14159265 * cutoff * cutoff * cutoff;
+    EXPECT_NEAR(nlist.averageNeighbors(), expect, expect * 0.15);
+}
+
+} // namespace

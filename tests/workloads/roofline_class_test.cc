@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-workload roofline-class regression sweep: pins the Figure 4
+ * placement of the clearly-sided PRT workloads so a simulator or
+ * kernel change that silently flips a benchmark's memory/compute
+ * character fails a unit test rather than only skewing the figures.
+ */
+
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "analysis/roofline.hh"
+#include "core/harness.hh"
+
+namespace {
+
+using namespace cactus::core;
+using cactus::analysis::IntensityClass;
+using cactus::analysis::Roofline;
+
+struct ClassExpectation
+{
+    const char *name;
+    IntensityClass expected;
+    Scale scale = Scale::Tiny;
+};
+
+class RooflineClassSweep
+    : public ::testing::TestWithParam<ClassExpectation>
+{
+};
+
+TEST_P(RooflineClassSweep, AggregateClassMatchesFigure4)
+{
+    const auto &param = GetParam();
+    const auto profile =
+        runProfiled(param.name, param.scale,
+                    cactus::gpu::DeviceConfig::scaledExperiment());
+    const Roofline roof(profile.config);
+    EXPECT_EQ(roof.classifyIntensity(profile.aggregateIntensity()),
+              param.expected)
+        << param.name << " II=" << profile.aggregateIntensity();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MemoryIntensive, RooflineClassSweep,
+    ::testing::Values(
+        ClassExpectation{"stencil", IntensityClass::MemoryIntensive},
+        ClassExpectation{"lbm", IntensityClass::MemoryIntensive},
+        ClassExpectation{"spmv", IntensityClass::MemoryIntensive},
+        ClassExpectation{"histo", IntensityClass::MemoryIntensive},
+        ClassExpectation{"nn", IntensityClass::MemoryIntensive},
+        ClassExpectation{"pathfinder",
+                         IntensityClass::MemoryIntensive},
+        ClassExpectation{"hotspot3d", IntensityClass::MemoryIntensive},
+        ClassExpectation{"backprop", IntensityClass::MemoryIntensive},
+        ClassExpectation{"mri_gridding",
+                         IntensityClass::MemoryIntensive},
+        ClassExpectation{"pb_bfs", IntensityClass::MemoryIntensive},
+        ClassExpectation{"rd_bfs", IntensityClass::MemoryIntensive}),
+    [](const auto &info) { return std::string(info.param.name); });
+
+INSTANTIATE_TEST_SUITE_P(
+    ComputeIntensive, RooflineClassSweep,
+    ::testing::Values(
+        ClassExpectation{"sgemm", IntensityClass::ComputeIntensive},
+        // cutcp and lavamd are scale-sensitive: their arithmetic
+        // intensity emerges at the experiment input size.
+        ClassExpectation{"cutcp", IntensityClass::ComputeIntensive,
+                         Scale::Small},
+        ClassExpectation{"mri_q", IntensityClass::ComputeIntensive},
+        ClassExpectation{"tpacf", IntensityClass::ComputeIntensive},
+        ClassExpectation{"lavamd", IntensityClass::ComputeIntensive,
+                         Scale::Small},
+        ClassExpectation{"heartwall",
+                         IntensityClass::ComputeIntensive},
+        ClassExpectation{"btree", IntensityClass::ComputeIntensive},
+        ClassExpectation{"leukocyte",
+                         IntensityClass::ComputeIntensive},
+        ClassExpectation{"RN", IntensityClass::ComputeIntensive}),
+    [](const auto &info) { return std::string(info.param.name); });
+
+} // namespace

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The command-line driver for the suite — the equivalent of the
+ * paper's artifact run scripts. Lists registered benchmarks, runs one
+ * (or a whole suite) under the profiler, prints the per-kernel profile
+ * with roofline classification, and optionally exports the launch
+ * trace for offline analysis.
+ *
+ * Usage:
+ *   cactus_run --list
+ *   cactus_run --bench GMS [--tiny] [--full-caches] [--trace out.jsonl]
+ *   cactus_run --suite Cactus [--tiny]
+ *   cactus_run --retime trace.jsonl --platform a100
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "analysis/roofline.hh"
+#include "common/logging.hh"
+#include "core/harness.hh"
+#include "gpu/trace.hh"
+
+namespace {
+
+using namespace cactus;
+
+void
+printUsage()
+{
+    std::printf(
+        "usage:\n"
+        "  cactus_run --list                 list registered "
+        "benchmarks\n"
+        "  cactus_run --bench NAME           run one benchmark\n"
+        "  cactus_run --suite SUITE          run a whole suite\n"
+        "  cactus_run --retime TRACE         project a saved trace\n"
+        "                                    onto --platform\n"
+        "options:\n"
+        "  --platform P    2080ti | 3080 | a100 (for --retime)\n"
+        "  --tiny          use the test-size inputs\n"
+        "  --full-caches   full RTX 3080 caches instead of the\n"
+        "                  scaled experiment configuration\n"
+        "  --trace PATH    export the launch trace as JSON lines\n");
+}
+
+void
+printProfile(const core::BenchmarkProfile &profile)
+{
+    const analysis::Roofline roof(profile.config);
+    std::printf("\n%s (%s/%s): %d kernels, %llu launches, %.3f ms "
+                "simulated, %s warp insts\n",
+                profile.name.c_str(), profile.suite.c_str(),
+                profile.domain.c_str(), profile.kernelCount(),
+                static_cast<unsigned long long>(profile.launches),
+                profile.totalSeconds * 1e3,
+                analysis::fmtCount(profile.totalWarpInsts).c_str());
+    std::printf("aggregate: II %.2f, %.2f GIPS -> %s-intensive\n",
+                profile.aggregateIntensity(), profile.aggregateGips(),
+                analysis::intensityClassName(roof.classifyIntensity(
+                    profile.aggregateIntensity())));
+
+    analysis::TextTable table({"kernel", "invocations", "time%", "II",
+                               "GIPS", "class"});
+    for (const auto &kp : profile.kernels) {
+        table.addRow(
+            {kp.name, std::to_string(kp.invocations),
+             analysis::fmt(profile.totalSeconds > 0
+                               ? 100.0 * kp.seconds /
+                                     profile.totalSeconds
+                               : 0.0,
+                           1),
+             analysis::fmt(kp.metrics.instIntensity, 2),
+             analysis::fmt(kp.metrics.gips, 2),
+             analysis::intensityClassName(roof.classifyIntensity(
+                 kp.metrics.instIntensity))});
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench_name, suite_name, trace_path, retime_path;
+    std::string platform = "3080";
+    bool list = false;
+    core::Scale scale = core::Scale::Small;
+    gpu::DeviceConfig cfg = gpu::DeviceConfig::scaledExperiment();
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value after ", arg);
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--bench") {
+            bench_name = next();
+        } else if (arg == "--suite") {
+            suite_name = next();
+        } else if (arg == "--trace") {
+            trace_path = next();
+        } else if (arg == "--retime") {
+            retime_path = next();
+        } else if (arg == "--platform") {
+            platform = next();
+        } else if (arg == "--tiny") {
+            scale = core::Scale::Tiny;
+        } else if (arg == "--full-caches") {
+            cfg = gpu::DeviceConfig{};
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            printUsage();
+            return 1;
+        }
+    }
+
+    const auto &registry = core::Registry::instance();
+
+    if (!retime_path.empty()) {
+        gpu::DeviceConfig target;
+        if (platform == "2080ti")
+            target = gpu::DeviceConfig::rtx2080Ti();
+        else if (platform == "a100")
+            target = gpu::DeviceConfig::a100();
+        else if (platform == "3080")
+            target = gpu::DeviceConfig{};
+        else
+            fatal("unknown platform '", platform, "'");
+        auto launches = gpu::readLaunchTrace(retime_path);
+        double original = 0;
+        for (const auto &l : launches)
+            original += l.timing.seconds;
+        const double projected = gpu::retimeTrace(target, launches);
+        std::printf("trace %s: %zu launches\n", retime_path.c_str(),
+                    launches.size());
+        std::printf("  recorded total : %.3f ms\n", original * 1e3);
+        std::printf("  on %-12s: %.3f ms (%.2fx)\n",
+                    target.name.c_str(), projected * 1e3,
+                    projected > 0 ? original / projected : 0.0);
+        return 0;
+    }
+
+    if (list) {
+        analysis::TextTable table({"name", "suite", "domain"});
+        for (const auto *info : registry.list())
+            table.addRow({info->name, info->suite, info->domain});
+        std::printf("%s", table.render().c_str());
+        return 0;
+    }
+
+    if (!bench_name.empty()) {
+        if (!registry.contains(bench_name))
+            fatal("unknown benchmark '", bench_name,
+                  "' (try --list)");
+        // Run with trace capture if requested: re-run on a device we
+        // own so the raw launches are available.
+        auto bench = registry.create(bench_name, scale);
+        gpu::Device dev(cfg);
+        bench->run(dev);
+        core::BenchmarkProfile profile;
+        {
+            // Aggregate through the same harness path.
+            profile.name = bench->name();
+            profile.suite = bench->suite();
+            profile.domain = bench->domain();
+            profile.config = cfg;
+            profile.kernels =
+                gpu::aggregateLaunches(dev.launches(), cfg);
+            profile.launches = dev.launches().size();
+            for (const auto &kp : profile.kernels) {
+                profile.totalSeconds += kp.seconds;
+                profile.totalWarpInsts += kp.warpInsts;
+                profile.totalDramSectors +=
+                    kp.dramReadSectors + kp.dramWriteSectors;
+            }
+        }
+        printProfile(profile);
+        if (!trace_path.empty()) {
+            const auto n =
+                gpu::writeLaunchTrace(trace_path, dev.launches());
+            std::printf("\nwrote %zu launch records to %s\n", n,
+                        trace_path.c_str());
+        }
+        return 0;
+    }
+
+    if (!suite_name.empty()) {
+        const auto infos = registry.list(suite_name);
+        if (infos.empty())
+            fatal("unknown or empty suite '", suite_name, "'");
+        for (const auto *info : infos)
+            printProfile(core::runProfiled(info->name, scale, cfg));
+        return 0;
+    }
+
+    printUsage();
+    return 1;
+}
