@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_modeling"
+  "../bench/ablation_modeling.pdb"
+  "CMakeFiles/ablation_modeling.dir/ablation_modeling.cc.o"
+  "CMakeFiles/ablation_modeling.dir/ablation_modeling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_modeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_simulator"
+  "../bench/ablation_simulator.pdb"
+  "CMakeFiles/ablation_simulator.dir/ablation_simulator.cc.o"
+  "CMakeFiles/ablation_simulator.dir/ablation_simulator.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/crossgpu_cactus"
+  "../bench/crossgpu_cactus.pdb"
+  "CMakeFiles/crossgpu_cactus.dir/crossgpu_cactus.cc.o"
+  "CMakeFiles/crossgpu_cactus.dir/crossgpu_cactus.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossgpu_cactus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_prt_time_distribution"
+  "../bench/fig2_prt_time_distribution.pdb"
+  "CMakeFiles/fig2_prt_time_distribution.dir/fig2_prt_time_distribution.cc.o"
+  "CMakeFiles/fig2_prt_time_distribution.dir/fig2_prt_time_distribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_prt_time_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

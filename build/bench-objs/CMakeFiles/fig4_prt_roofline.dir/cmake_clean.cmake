@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_prt_roofline"
+  "../bench/fig4_prt_roofline.pdb"
+  "CMakeFiles/fig4_prt_roofline.dir/fig4_prt_roofline.cc.o"
+  "CMakeFiles/fig4_prt_roofline.dir/fig4_prt_roofline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_prt_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_cactus_roofline.cc" "bench-objs/CMakeFiles/fig5_cactus_roofline.dir/fig5_cactus_roofline.cc.o" "gcc" "bench-objs/CMakeFiles/fig5_cactus_roofline.dir/fig5_cactus_roofline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cactus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cactus_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/cactus_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cactus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/cactus_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/cactus_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

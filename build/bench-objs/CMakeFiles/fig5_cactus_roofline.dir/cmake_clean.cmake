@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_cactus_roofline"
+  "../bench/fig5_cactus_roofline.pdb"
+  "CMakeFiles/fig5_cactus_roofline.dir/fig5_cactus_roofline.cc.o"
+  "CMakeFiles/fig5_cactus_roofline.dir/fig5_cactus_roofline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cactus_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_molgraph_roofline"
+  "../bench/fig6_molgraph_roofline.pdb"
+  "CMakeFiles/fig6_molgraph_roofline.dir/fig6_molgraph_roofline.cc.o"
+  "CMakeFiles/fig6_molgraph_roofline.dir/fig6_molgraph_roofline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_molgraph_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_ml_roofline"
+  "../bench/fig7_ml_roofline.pdb"
+  "CMakeFiles/fig7_ml_roofline.dir/fig7_ml_roofline.cc.o"
+  "CMakeFiles/fig7_ml_roofline.dir/fig7_ml_roofline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ml_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_ml_roofline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_correlation"
+  "../bench/fig8_correlation.pdb"
+  "CMakeFiles/fig8_correlation.dir/fig8_correlation.cc.o"
+  "CMakeFiles/fig8_correlation.dir/fig8_correlation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

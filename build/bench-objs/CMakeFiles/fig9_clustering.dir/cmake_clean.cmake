@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_clustering"
+  "../bench/fig9_clustering.pdb"
+  "CMakeFiles/fig9_clustering.dir/fig9_clustering.cc.o"
+  "CMakeFiles/fig9_clustering.dir/fig9_clustering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_cactus_stats"
+  "../bench/table1_cactus_stats.pdb"
+  "CMakeFiles/table1_cactus_stats.dir/table1_cactus_stats.cc.o"
+  "CMakeFiles/table1_cactus_stats.dir/table1_cactus_stats.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cactus_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_metrics"
+  "../bench/table4_metrics.pdb"
+  "CMakeFiles/table4_metrics.dir/table4_metrics.cc.o"
+  "CMakeFiles/table4_metrics.dir/table4_metrics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_projection.dir/whatif_projection.cpp.o"
+  "CMakeFiles/whatif_projection.dir/whatif_projection.cpp.o.d"
+  "whatif_projection"
+  "whatif_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

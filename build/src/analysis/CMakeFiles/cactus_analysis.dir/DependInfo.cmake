@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/eigen.cc" "src/analysis/CMakeFiles/cactus_analysis.dir/eigen.cc.o" "gcc" "src/analysis/CMakeFiles/cactus_analysis.dir/eigen.cc.o.d"
+  "/root/repo/src/analysis/famd.cc" "src/analysis/CMakeFiles/cactus_analysis.dir/famd.cc.o" "gcc" "src/analysis/CMakeFiles/cactus_analysis.dir/famd.cc.o.d"
+  "/root/repo/src/analysis/hcluster.cc" "src/analysis/CMakeFiles/cactus_analysis.dir/hcluster.cc.o" "gcc" "src/analysis/CMakeFiles/cactus_analysis.dir/hcluster.cc.o.d"
+  "/root/repo/src/analysis/matrix.cc" "src/analysis/CMakeFiles/cactus_analysis.dir/matrix.cc.o" "gcc" "src/analysis/CMakeFiles/cactus_analysis.dir/matrix.cc.o.d"
+  "/root/repo/src/analysis/pearson.cc" "src/analysis/CMakeFiles/cactus_analysis.dir/pearson.cc.o" "gcc" "src/analysis/CMakeFiles/cactus_analysis.dir/pearson.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/analysis/CMakeFiles/cactus_analysis.dir/report.cc.o" "gcc" "src/analysis/CMakeFiles/cactus_analysis.dir/report.cc.o.d"
+  "/root/repo/src/analysis/roofline.cc" "src/analysis/CMakeFiles/cactus_analysis.dir/roofline.cc.o" "gcc" "src/analysis/CMakeFiles/cactus_analysis.dir/roofline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/cactus_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactus_analysis.dir/eigen.cc.o"
+  "CMakeFiles/cactus_analysis.dir/eigen.cc.o.d"
+  "CMakeFiles/cactus_analysis.dir/famd.cc.o"
+  "CMakeFiles/cactus_analysis.dir/famd.cc.o.d"
+  "CMakeFiles/cactus_analysis.dir/hcluster.cc.o"
+  "CMakeFiles/cactus_analysis.dir/hcluster.cc.o.d"
+  "CMakeFiles/cactus_analysis.dir/matrix.cc.o"
+  "CMakeFiles/cactus_analysis.dir/matrix.cc.o.d"
+  "CMakeFiles/cactus_analysis.dir/pearson.cc.o"
+  "CMakeFiles/cactus_analysis.dir/pearson.cc.o.d"
+  "CMakeFiles/cactus_analysis.dir/report.cc.o"
+  "CMakeFiles/cactus_analysis.dir/report.cc.o.d"
+  "CMakeFiles/cactus_analysis.dir/roofline.cc.o"
+  "CMakeFiles/cactus_analysis.dir/roofline.cc.o.d"
+  "libcactus_analysis.a"
+  "libcactus_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactus_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactus_core.dir/benchmark.cc.o"
+  "CMakeFiles/cactus_core.dir/benchmark.cc.o.d"
+  "CMakeFiles/cactus_core.dir/harness.cc.o"
+  "CMakeFiles/cactus_core.dir/harness.cc.o.d"
+  "libcactus_core.a"
+  "libcactus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

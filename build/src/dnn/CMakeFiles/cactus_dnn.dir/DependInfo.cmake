@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/layers.cc" "src/dnn/CMakeFiles/cactus_dnn.dir/layers.cc.o" "gcc" "src/dnn/CMakeFiles/cactus_dnn.dir/layers.cc.o.d"
+  "/root/repo/src/dnn/ops.cc" "src/dnn/CMakeFiles/cactus_dnn.dir/ops.cc.o" "gcc" "src/dnn/CMakeFiles/cactus_dnn.dir/ops.cc.o.d"
+  "/root/repo/src/dnn/optim.cc" "src/dnn/CMakeFiles/cactus_dnn.dir/optim.cc.o" "gcc" "src/dnn/CMakeFiles/cactus_dnn.dir/optim.cc.o.d"
+  "/root/repo/src/dnn/spatial.cc" "src/dnn/CMakeFiles/cactus_dnn.dir/spatial.cc.o" "gcc" "src/dnn/CMakeFiles/cactus_dnn.dir/spatial.cc.o.d"
+  "/root/repo/src/dnn/tensor.cc" "src/dnn/CMakeFiles/cactus_dnn.dir/tensor.cc.o" "gcc" "src/dnn/CMakeFiles/cactus_dnn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/cactus_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactus_dnn.dir/layers.cc.o"
+  "CMakeFiles/cactus_dnn.dir/layers.cc.o.d"
+  "CMakeFiles/cactus_dnn.dir/ops.cc.o"
+  "CMakeFiles/cactus_dnn.dir/ops.cc.o.d"
+  "CMakeFiles/cactus_dnn.dir/optim.cc.o"
+  "CMakeFiles/cactus_dnn.dir/optim.cc.o.d"
+  "CMakeFiles/cactus_dnn.dir/spatial.cc.o"
+  "CMakeFiles/cactus_dnn.dir/spatial.cc.o.d"
+  "CMakeFiles/cactus_dnn.dir/tensor.cc.o"
+  "CMakeFiles/cactus_dnn.dir/tensor.cc.o.d"
+  "libcactus_dnn.a"
+  "libcactus_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactus_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcactus_dnn.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/cache.cc" "src/gpu/CMakeFiles/cactus_gpu.dir/cache.cc.o" "gcc" "src/gpu/CMakeFiles/cactus_gpu.dir/cache.cc.o.d"
+  "/root/repo/src/gpu/coalescer.cc" "src/gpu/CMakeFiles/cactus_gpu.dir/coalescer.cc.o" "gcc" "src/gpu/CMakeFiles/cactus_gpu.dir/coalescer.cc.o.d"
+  "/root/repo/src/gpu/device.cc" "src/gpu/CMakeFiles/cactus_gpu.dir/device.cc.o" "gcc" "src/gpu/CMakeFiles/cactus_gpu.dir/device.cc.o.d"
+  "/root/repo/src/gpu/metrics.cc" "src/gpu/CMakeFiles/cactus_gpu.dir/metrics.cc.o" "gcc" "src/gpu/CMakeFiles/cactus_gpu.dir/metrics.cc.o.d"
+  "/root/repo/src/gpu/occupancy.cc" "src/gpu/CMakeFiles/cactus_gpu.dir/occupancy.cc.o" "gcc" "src/gpu/CMakeFiles/cactus_gpu.dir/occupancy.cc.o.d"
+  "/root/repo/src/gpu/profiler.cc" "src/gpu/CMakeFiles/cactus_gpu.dir/profiler.cc.o" "gcc" "src/gpu/CMakeFiles/cactus_gpu.dir/profiler.cc.o.d"
+  "/root/repo/src/gpu/timing.cc" "src/gpu/CMakeFiles/cactus_gpu.dir/timing.cc.o" "gcc" "src/gpu/CMakeFiles/cactus_gpu.dir/timing.cc.o.d"
+  "/root/repo/src/gpu/trace.cc" "src/gpu/CMakeFiles/cactus_gpu.dir/trace.cc.o" "gcc" "src/gpu/CMakeFiles/cactus_gpu.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactus_gpu.dir/cache.cc.o"
+  "CMakeFiles/cactus_gpu.dir/cache.cc.o.d"
+  "CMakeFiles/cactus_gpu.dir/coalescer.cc.o"
+  "CMakeFiles/cactus_gpu.dir/coalescer.cc.o.d"
+  "CMakeFiles/cactus_gpu.dir/device.cc.o"
+  "CMakeFiles/cactus_gpu.dir/device.cc.o.d"
+  "CMakeFiles/cactus_gpu.dir/metrics.cc.o"
+  "CMakeFiles/cactus_gpu.dir/metrics.cc.o.d"
+  "CMakeFiles/cactus_gpu.dir/occupancy.cc.o"
+  "CMakeFiles/cactus_gpu.dir/occupancy.cc.o.d"
+  "CMakeFiles/cactus_gpu.dir/profiler.cc.o"
+  "CMakeFiles/cactus_gpu.dir/profiler.cc.o.d"
+  "CMakeFiles/cactus_gpu.dir/timing.cc.o"
+  "CMakeFiles/cactus_gpu.dir/timing.cc.o.d"
+  "CMakeFiles/cactus_gpu.dir/trace.cc.o"
+  "CMakeFiles/cactus_gpu.dir/trace.cc.o.d"
+  "libcactus_gpu.a"
+  "libcactus_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactus_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactus_graph.dir/bfs.cc.o"
+  "CMakeFiles/cactus_graph.dir/bfs.cc.o.d"
+  "CMakeFiles/cactus_graph.dir/csr.cc.o"
+  "CMakeFiles/cactus_graph.dir/csr.cc.o.d"
+  "CMakeFiles/cactus_graph.dir/primitives.cc.o"
+  "CMakeFiles/cactus_graph.dir/primitives.cc.o.d"
+  "libcactus_graph.a"
+  "libcactus_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactus_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/engine.cc" "src/md/CMakeFiles/cactus_md.dir/engine.cc.o" "gcc" "src/md/CMakeFiles/cactus_md.dir/engine.cc.o.d"
+  "/root/repo/src/md/forces.cc" "src/md/CMakeFiles/cactus_md.dir/forces.cc.o" "gcc" "src/md/CMakeFiles/cactus_md.dir/forces.cc.o.d"
+  "/root/repo/src/md/neighbor.cc" "src/md/CMakeFiles/cactus_md.dir/neighbor.cc.o" "gcc" "src/md/CMakeFiles/cactus_md.dir/neighbor.cc.o.d"
+  "/root/repo/src/md/pme.cc" "src/md/CMakeFiles/cactus_md.dir/pme.cc.o" "gcc" "src/md/CMakeFiles/cactus_md.dir/pme.cc.o.d"
+  "/root/repo/src/md/system.cc" "src/md/CMakeFiles/cactus_md.dir/system.cc.o" "gcc" "src/md/CMakeFiles/cactus_md.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/cactus_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactus_md.dir/engine.cc.o"
+  "CMakeFiles/cactus_md.dir/engine.cc.o.d"
+  "CMakeFiles/cactus_md.dir/forces.cc.o"
+  "CMakeFiles/cactus_md.dir/forces.cc.o.d"
+  "CMakeFiles/cactus_md.dir/neighbor.cc.o"
+  "CMakeFiles/cactus_md.dir/neighbor.cc.o.d"
+  "CMakeFiles/cactus_md.dir/pme.cc.o"
+  "CMakeFiles/cactus_md.dir/pme.cc.o.d"
+  "CMakeFiles/cactus_md.dir/system.cc.o"
+  "CMakeFiles/cactus_md.dir/system.cc.o.d"
+  "libcactus_md.a"
+  "libcactus_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactus_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

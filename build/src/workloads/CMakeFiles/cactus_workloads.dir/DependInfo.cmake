@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cactus/dcgan.cc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/dcgan.cc.o" "gcc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/dcgan.cc.o.d"
+  "/root/repo/src/workloads/cactus/graph_bfs.cc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/graph_bfs.cc.o" "gcc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/graph_bfs.cc.o.d"
+  "/root/repo/src/workloads/cactus/graph_ext.cc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/graph_ext.cc.o" "gcc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/graph_ext.cc.o.d"
+  "/root/repo/src/workloads/cactus/ml_common.cc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/ml_common.cc.o" "gcc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/ml_common.cc.o.d"
+  "/root/repo/src/workloads/cactus/molecular.cc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/molecular.cc.o" "gcc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/molecular.cc.o.d"
+  "/root/repo/src/workloads/cactus/neural_style.cc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/neural_style.cc.o" "gcc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/neural_style.cc.o.d"
+  "/root/repo/src/workloads/cactus/reinforcement.cc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/reinforcement.cc.o" "gcc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/reinforcement.cc.o.d"
+  "/root/repo/src/workloads/cactus/spatial_transformer.cc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/spatial_transformer.cc.o" "gcc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/spatial_transformer.cc.o.d"
+  "/root/repo/src/workloads/cactus/transformer.cc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/transformer.cc.o" "gcc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/transformer.cc.o.d"
+  "/root/repo/src/workloads/cactus/translation.cc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/translation.cc.o" "gcc" "src/workloads/CMakeFiles/cactus_workloads.dir/cactus/translation.cc.o.d"
+  "/root/repo/src/workloads/prt/parboil.cc" "src/workloads/CMakeFiles/cactus_workloads.dir/prt/parboil.cc.o" "gcc" "src/workloads/CMakeFiles/cactus_workloads.dir/prt/parboil.cc.o.d"
+  "/root/repo/src/workloads/prt/rodinia.cc" "src/workloads/CMakeFiles/cactus_workloads.dir/prt/rodinia.cc.o" "gcc" "src/workloads/CMakeFiles/cactus_workloads.dir/prt/rodinia.cc.o.d"
+  "/root/repo/src/workloads/prt/tango.cc" "src/workloads/CMakeFiles/cactus_workloads.dir/prt/tango.cc.o" "gcc" "src/workloads/CMakeFiles/cactus_workloads.dir/prt/tango.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactus_workloads.dir/cactus/dcgan.cc.o"
+  "CMakeFiles/cactus_workloads.dir/cactus/dcgan.cc.o.d"
+  "CMakeFiles/cactus_workloads.dir/cactus/graph_bfs.cc.o"
+  "CMakeFiles/cactus_workloads.dir/cactus/graph_bfs.cc.o.d"
+  "CMakeFiles/cactus_workloads.dir/cactus/graph_ext.cc.o"
+  "CMakeFiles/cactus_workloads.dir/cactus/graph_ext.cc.o.d"
+  "CMakeFiles/cactus_workloads.dir/cactus/ml_common.cc.o"
+  "CMakeFiles/cactus_workloads.dir/cactus/ml_common.cc.o.d"
+  "CMakeFiles/cactus_workloads.dir/cactus/molecular.cc.o"
+  "CMakeFiles/cactus_workloads.dir/cactus/molecular.cc.o.d"
+  "CMakeFiles/cactus_workloads.dir/cactus/neural_style.cc.o"
+  "CMakeFiles/cactus_workloads.dir/cactus/neural_style.cc.o.d"
+  "CMakeFiles/cactus_workloads.dir/cactus/reinforcement.cc.o"
+  "CMakeFiles/cactus_workloads.dir/cactus/reinforcement.cc.o.d"
+  "CMakeFiles/cactus_workloads.dir/cactus/spatial_transformer.cc.o"
+  "CMakeFiles/cactus_workloads.dir/cactus/spatial_transformer.cc.o.d"
+  "CMakeFiles/cactus_workloads.dir/cactus/transformer.cc.o"
+  "CMakeFiles/cactus_workloads.dir/cactus/transformer.cc.o.d"
+  "CMakeFiles/cactus_workloads.dir/cactus/translation.cc.o"
+  "CMakeFiles/cactus_workloads.dir/cactus/translation.cc.o.d"
+  "CMakeFiles/cactus_workloads.dir/prt/parboil.cc.o"
+  "CMakeFiles/cactus_workloads.dir/prt/parboil.cc.o.d"
+  "CMakeFiles/cactus_workloads.dir/prt/rodinia.cc.o"
+  "CMakeFiles/cactus_workloads.dir/prt/rodinia.cc.o.d"
+  "CMakeFiles/cactus_workloads.dir/prt/tango.cc.o"
+  "CMakeFiles/cactus_workloads.dir/prt/tango.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactus_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/famd_hcluster_test.cc" "tests/CMakeFiles/test_analysis.dir/analysis/famd_hcluster_test.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/famd_hcluster_test.cc.o.d"
+  "/root/repo/tests/analysis/matrix_eigen_test.cc" "tests/CMakeFiles/test_analysis.dir/analysis/matrix_eigen_test.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/matrix_eigen_test.cc.o.d"
+  "/root/repo/tests/analysis/pearson_test.cc" "tests/CMakeFiles/test_analysis.dir/analysis/pearson_test.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/pearson_test.cc.o.d"
+  "/root/repo/tests/analysis/roofline_report_test.cc" "tests/CMakeFiles/test_analysis.dir/analysis/roofline_report_test.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/roofline_report_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/cactus_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/cactus_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

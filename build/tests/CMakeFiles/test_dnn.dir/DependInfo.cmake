@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dnn/im2col_test.cc" "tests/CMakeFiles/test_dnn.dir/dnn/im2col_test.cc.o" "gcc" "tests/CMakeFiles/test_dnn.dir/dnn/im2col_test.cc.o.d"
+  "/root/repo/tests/dnn/layers_grad_test.cc" "tests/CMakeFiles/test_dnn.dir/dnn/layers_grad_test.cc.o" "gcc" "tests/CMakeFiles/test_dnn.dir/dnn/layers_grad_test.cc.o.d"
+  "/root/repo/tests/dnn/ops_test.cc" "tests/CMakeFiles/test_dnn.dir/dnn/ops_test.cc.o" "gcc" "tests/CMakeFiles/test_dnn.dir/dnn/ops_test.cc.o.d"
+  "/root/repo/tests/dnn/training_test.cc" "tests/CMakeFiles/test_dnn.dir/dnn/training_test.cc.o" "gcc" "tests/CMakeFiles/test_dnn.dir/dnn/training_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnn/CMakeFiles/cactus_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/cactus_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

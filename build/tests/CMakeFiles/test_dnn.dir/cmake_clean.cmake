@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnn.dir/dnn/im2col_test.cc.o"
+  "CMakeFiles/test_dnn.dir/dnn/im2col_test.cc.o.d"
+  "CMakeFiles/test_dnn.dir/dnn/layers_grad_test.cc.o"
+  "CMakeFiles/test_dnn.dir/dnn/layers_grad_test.cc.o.d"
+  "CMakeFiles/test_dnn.dir/dnn/ops_test.cc.o"
+  "CMakeFiles/test_dnn.dir/dnn/ops_test.cc.o.d"
+  "CMakeFiles/test_dnn.dir/dnn/training_test.cc.o"
+  "CMakeFiles/test_dnn.dir/dnn/training_test.cc.o.d"
+  "test_dnn"
+  "test_dnn.pdb"
+  "test_dnn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

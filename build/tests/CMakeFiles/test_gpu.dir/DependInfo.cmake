@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gpu/cache_test.cc" "tests/CMakeFiles/test_gpu.dir/gpu/cache_test.cc.o" "gcc" "tests/CMakeFiles/test_gpu.dir/gpu/cache_test.cc.o.d"
+  "/root/repo/tests/gpu/coalescer_test.cc" "tests/CMakeFiles/test_gpu.dir/gpu/coalescer_test.cc.o" "gcc" "tests/CMakeFiles/test_gpu.dir/gpu/coalescer_test.cc.o.d"
+  "/root/repo/tests/gpu/device_test.cc" "tests/CMakeFiles/test_gpu.dir/gpu/device_test.cc.o" "gcc" "tests/CMakeFiles/test_gpu.dir/gpu/device_test.cc.o.d"
+  "/root/repo/tests/gpu/memory_model_test.cc" "tests/CMakeFiles/test_gpu.dir/gpu/memory_model_test.cc.o" "gcc" "tests/CMakeFiles/test_gpu.dir/gpu/memory_model_test.cc.o.d"
+  "/root/repo/tests/gpu/occupancy_test.cc" "tests/CMakeFiles/test_gpu.dir/gpu/occupancy_test.cc.o" "gcc" "tests/CMakeFiles/test_gpu.dir/gpu/occupancy_test.cc.o.d"
+  "/root/repo/tests/gpu/presets_test.cc" "tests/CMakeFiles/test_gpu.dir/gpu/presets_test.cc.o" "gcc" "tests/CMakeFiles/test_gpu.dir/gpu/presets_test.cc.o.d"
+  "/root/repo/tests/gpu/profiler_test.cc" "tests/CMakeFiles/test_gpu.dir/gpu/profiler_test.cc.o" "gcc" "tests/CMakeFiles/test_gpu.dir/gpu/profiler_test.cc.o.d"
+  "/root/repo/tests/gpu/timing_test.cc" "tests/CMakeFiles/test_gpu.dir/gpu/timing_test.cc.o" "gcc" "tests/CMakeFiles/test_gpu.dir/gpu/timing_test.cc.o.d"
+  "/root/repo/tests/gpu/trace_test.cc" "tests/CMakeFiles/test_gpu.dir/gpu/trace_test.cc.o" "gcc" "tests/CMakeFiles/test_gpu.dir/gpu/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/cactus_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

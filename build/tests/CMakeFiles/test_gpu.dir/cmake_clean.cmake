@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu.dir/gpu/cache_test.cc.o"
+  "CMakeFiles/test_gpu.dir/gpu/cache_test.cc.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/coalescer_test.cc.o"
+  "CMakeFiles/test_gpu.dir/gpu/coalescer_test.cc.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/device_test.cc.o"
+  "CMakeFiles/test_gpu.dir/gpu/device_test.cc.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/memory_model_test.cc.o"
+  "CMakeFiles/test_gpu.dir/gpu/memory_model_test.cc.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/occupancy_test.cc.o"
+  "CMakeFiles/test_gpu.dir/gpu/occupancy_test.cc.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/presets_test.cc.o"
+  "CMakeFiles/test_gpu.dir/gpu/presets_test.cc.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/profiler_test.cc.o"
+  "CMakeFiles/test_gpu.dir/gpu/profiler_test.cc.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/timing_test.cc.o"
+  "CMakeFiles/test_gpu.dir/gpu/timing_test.cc.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/trace_test.cc.o"
+  "CMakeFiles/test_gpu.dir/gpu/trace_test.cc.o.d"
+  "test_gpu"
+  "test_gpu.pdb"
+  "test_gpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

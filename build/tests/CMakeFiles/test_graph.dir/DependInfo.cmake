@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/bc_test.cc" "tests/CMakeFiles/test_graph.dir/graph/bc_test.cc.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/bc_test.cc.o.d"
+  "/root/repo/tests/graph/graph_test.cc" "tests/CMakeFiles/test_graph.dir/graph/graph_test.cc.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/graph_test.cc.o.d"
+  "/root/repo/tests/graph/primitives_test.cc" "tests/CMakeFiles/test_graph.dir/graph/primitives_test.cc.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/primitives_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/cactus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/cactus_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

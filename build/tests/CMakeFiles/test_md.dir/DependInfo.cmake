@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/md/engine_test.cc" "tests/CMakeFiles/test_md.dir/md/engine_test.cc.o" "gcc" "tests/CMakeFiles/test_md.dir/md/engine_test.cc.o.d"
+  "/root/repo/tests/md/pme_test.cc" "tests/CMakeFiles/test_md.dir/md/pme_test.cc.o" "gcc" "tests/CMakeFiles/test_md.dir/md/pme_test.cc.o.d"
+  "/root/repo/tests/md/system_neighbor_test.cc" "tests/CMakeFiles/test_md.dir/md/system_neighbor_test.cc.o" "gcc" "tests/CMakeFiles/test_md.dir/md/system_neighbor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/cactus_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/cactus_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactus_run.dir/cactus_run.cc.o"
+  "CMakeFiles/cactus_run.dir/cactus_run.cc.o.d"
+  "cactus_run"
+  "cactus_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactus_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
