@@ -8,7 +8,9 @@
 #ifndef CACTUS_BENCH_COMMON_HH
 #define CACTUS_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,22 @@
 #include "core/harness.hh"
 
 namespace cactus::bench {
+
+/**
+ * The scaled-cache experiment configuration with the host-thread knob
+ * applied: CACTUS_HOST_THREADS=N in the environment pins the device to
+ * N worker threads (N=1 forces the serial legacy path); unset, the
+ * device uses every hardware thread. LaunchStats are identical either
+ * way — the knob only changes wall-clock time.
+ */
+inline gpu::DeviceConfig
+experimentConfig()
+{
+    gpu::DeviceConfig cfg = gpu::DeviceConfig::scaledExperiment();
+    if (const char *env = std::getenv("CACTUS_HOST_THREADS"))
+        cfg.hostThreads = std::max(1, std::atoi(env));
+    return cfg;
+}
 
 /** Run every benchmark of a suite at Small scale, printing progress. */
 inline std::vector<core::BenchmarkProfile>
@@ -28,7 +46,7 @@ runSuite(const std::string &suite)
                      info->name.c_str(), info->suite.c_str());
         profiles.push_back(
             core::runProfiled(info->name, core::Scale::Small,
-                              gpu::DeviceConfig::scaledExperiment()));
+                              experimentConfig()));
     }
     return profiles;
 }
@@ -42,7 +60,7 @@ runBenchmarks(const std::vector<std::string> &names)
         std::fprintf(stderr, "  running %-14s...\n", name.c_str());
         profiles.push_back(
             core::runProfiled(name, core::Scale::Small,
-                              gpu::DeviceConfig::scaledExperiment()));
+                              experimentConfig()));
     }
     return profiles;
 }

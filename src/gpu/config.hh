@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <string>
+#include <thread>
 
 namespace cactus::gpu {
 
@@ -65,6 +66,26 @@ struct DeviceConfig
     /** Blocks whose warps record full address traces are sampled with a
      *  stride so that at most this many warps are traced per launch. */
     int maxSampledWarps = 4096;
+
+    // --- Host execution ---------------------------------------------------
+
+    /** Host worker threads available for the functional sweep. */
+    static int
+    defaultHostThreads()
+    {
+        const unsigned n = std::thread::hardware_concurrency();
+        return n != 0 ? static_cast<int>(n) : 1;
+    }
+
+    /**
+     * Host threads used to execute simulated thread blocks. 1 runs the
+     * exact single-threaded legacy path; larger values fan blocks out
+     * across a worker pool. Per-launch LaunchStats are bit-identical
+     * either way: sampled-warp traces are replayed through the shared
+     * cache hierarchy in block order after the functional sweep.
+     * Values <= 0 fall back to defaultHostThreads().
+     */
+    int hostThreads = defaultHostThreads();
 
     // --- Derived rates ----------------------------------------------------
 

@@ -14,9 +14,7 @@ Device::Device(DeviceConfig cfg)
       l2_(config_.l2SizeBytes, config_.l2Assoc, config_.lineBytes,
           config_.sectorBytes),
       streamBuffer_(8 * 1024, 4, config_.lineBytes,
-                    config_.sectorBytes),
-      laneCounters_(config_.warpSize),
-      laneTraces_(config_.warpSize)
+                    config_.sectorBytes)
 {
 }
 
@@ -30,8 +28,10 @@ Device::clearHistory()
 Device::LaunchState
 Device::beginLaunch(const KernelDesc &desc, Dim3 grid, Dim3 block)
 {
-    if (grid.count() == 0)
+    if (grid.empty())
         fatal("kernel '", desc.name, "' launched with an empty grid");
+    if (block.empty())
+        fatal("kernel '", desc.name, "' launched with an empty block");
 
     LaunchState state;
     state.desc = desc;
@@ -53,8 +53,7 @@ Device::beginLaunch(const KernelDesc &desc, Dim3 grid, Dim3 block)
             std::max<std::uint64_t>(1, grid.count() / sampled_blocks);
     }
     state.sampledBlockBudget = static_cast<std::int64_t>(
-        std::max<std::uint64_t>(1, max_sampled / std::max(
-            1, state.warpsPerBlock)));
+        std::max<std::uint64_t>(1, max_sampled / state.warpsPerBlock));
 
     // L1 contents do not survive kernel boundaries; L2 does.
     l1_.flush();
@@ -63,51 +62,98 @@ Device::beginLaunch(const KernelDesc &desc, Dim3 grid, Dim3 block)
     return state;
 }
 
-void
-Device::prepareWarp(bool sampled)
+int
+Device::resolveWorkerCount(std::uint64_t num_blocks) const
 {
-    for (auto &c : laneCounters_)
+    int n = config_.hostThreads;
+    if (n <= 0)
+        n = DeviceConfig::defaultHostThreads();
+    const std::uint64_t cap = std::max<std::uint64_t>(1, num_blocks);
+    return static_cast<int>(
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(n), cap));
+}
+
+bool
+Device::blockIsSampled(const LaunchState &state, std::uint64_t b)
+{
+    if (b % state.blockSampleStride != 0)
+        return false;
+    // Candidates appear in ascending block order, one every stride
+    // blocks, and the first sampledBlockBudget of them are accepted —
+    // exactly the blocks a serial in-order sweep with a decrementing
+    // budget would sample.
+    return static_cast<std::int64_t>(b / state.blockSampleStride) <
+           state.sampledBlockBudget;
+}
+
+std::uint64_t
+Device::sampledBlockCount(const LaunchState &state,
+                          std::uint64_t num_blocks)
+{
+    const std::uint64_t candidates =
+        (num_blocks + state.blockSampleStride - 1) /
+        state.blockSampleStride;
+    return std::min(candidates,
+                    static_cast<std::uint64_t>(state.sampledBlockBudget));
+}
+
+Device::WorkerScratch
+Device::makeScratch() const
+{
+    WorkerScratch ws;
+    ws.laneCounters.resize(config_.warpSize);
+    ws.laneTraces.resize(config_.warpSize);
+    return ws;
+}
+
+void
+Device::beginWarp(WorkerScratch &ws, bool sampled)
+{
+    for (auto &c : ws.laneCounters)
         c = LaneCounters{};
     if (sampled) {
-        for (auto &t : laneTraces_)
+        for (auto &t : ws.laneTraces)
             t.clear();
     }
 }
 
 void
-Device::bindLane(ThreadCtx &ctx, int lane, bool sampled)
-{
-    ctx.lane_ = lane;
-    ctx.counters_ = &laneCounters_[lane];
-    ctx.trace_ = sampled ? &laneTraces_[lane] : nullptr;
-}
-
-void
-Device::finishWarp(LaunchState &state, int lanes, bool sampled)
+Device::countWarp(WorkerScratch &ws, int lanes, bool sampled)
 {
     WarpCounts wc;
     for (int cls = 0; cls < kNumOpClasses; ++cls) {
         std::uint64_t max_count = 0;
         for (int lane = 0; lane < lanes; ++lane)
             max_count = std::max(max_count,
-                                 laneCounters_[lane].counts[cls]);
+                                 ws.laneCounters[lane].counts[cls]);
         wc.warpInsts[cls] = max_count;
     }
     for (int lane = 0; lane < lanes; ++lane)
-        wc.threadInsts += laneCounters_[lane].total();
+        wc.threadInsts += ws.laneCounters[lane].total();
     wc.activeLanes = static_cast<std::uint32_t>(lanes);
 
-    state.totals.accumulate(wc);
-    ++state.totalWarps;
+    ws.totals.accumulate(wc);
+    ++ws.totalWarps;
+    if (sampled)
+        ++ws.sampledWarps;
+}
 
-    if (!sampled)
-        return;
-    ++state.sampledWarps;
+void
+Device::mergeScratch(LaunchState &state, const WorkerScratch &ws)
+{
+    // All merged quantities are integer sums, so the merge is exact and
+    // independent of how blocks were distributed across workers.
+    state.totals.accumulate(ws.totals);
+    state.totalWarps += ws.totalWarps;
+    state.sampledWarps += ws.sampledWarps;
+}
 
-    // Replay this warp's coalesced accesses through the hierarchy.
-    const auto warp_insts = coalescer_.coalesce(laneTraces_);
-    state.sampledMemInsts += warp_insts.size();
-    for (const auto &wi : warp_insts) {
+void
+Device::replayBlock(LaunchState &state,
+                    const std::vector<CoalescedAccess> &insts)
+{
+    state.sampledMemInsts += insts.size();
+    for (const auto &wi : insts) {
         // Streaming (evict-first) loads run through a small dedicated
         // buffer: within-line spatial reuse is captured, but the
         // stream never displaces reused data from L1/L2.

@@ -10,15 +10,29 @@
  * The L2 cache persists across launches within a device (modeling
  * producer-consumer reuse between dependent kernels); the L1 is flushed
  * at each launch boundary.
+ *
+ * Execution is block-parallel on the host when DeviceConfig::hostThreads
+ * allows it: thread blocks are fanned out across a worker pool, each
+ * worker accumulating private instruction counters and recording sampled
+ * warps' traces into per-block storage. The stateful part of the model —
+ * the coalesced traces' replay through the shared stream-buffer/L1/L2
+ * hierarchy — happens after the functional sweep, in ascending block
+ * order, so per-launch LaunchStats are bit-identical to the serial
+ * (hostThreads = 1) path regardless of how blocks were scheduled.
  */
 
 #ifndef CACTUS_GPU_DEVICE_HH
 #define CACTUS_GPU_DEVICE_HH
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/logging.hh"
 #include "gpu/cache.hh"
 #include "gpu/coalescer.hh"
 #include "gpu/config.hh"
@@ -38,6 +52,14 @@ class Device
 
     /**
      * Launch a kernel: invoke @p body once per thread.
+     *
+     * Blocks may execute concurrently on host worker threads (see
+     * DeviceConfig::hostThreads); @p body must therefore be safe to
+     * call concurrently for threads of different blocks. Kernels
+     * following the thread-independent contract of DESIGN.md already
+     * are; cross-block communication must go through the ThreadCtx
+     * atomics, which the device linearizes.
+     *
      * @param desc Kernel metadata (name, registers, shared memory).
      * @param grid Grid dimensions in blocks.
      * @param block Block dimensions in threads.
@@ -49,44 +71,62 @@ class Device
     launch(const KernelDesc &desc, Dim3 grid, Dim3 block, F &&body)
     {
         LaunchState state = beginLaunch(desc, grid, block);
-
         const std::uint64_t num_blocks = grid.count();
-        const int threads_per_block = static_cast<int>(block.count());
-        const int warps_per_block = state.warpsPerBlock;
+        const int workers =
+            desc.serialOrdered ? 1 : resolveWorkerCount(num_blocks);
 
-        ThreadCtx ctx;
-        ctx.blockDim = block;
-        ctx.gridDim = grid;
-
-        for (std::uint64_t b = 0; b < num_blocks; ++b) {
-            ctx.blockIdx.x = static_cast<unsigned>(b % grid.x);
-            ctx.blockIdx.y = static_cast<unsigned>((b / grid.x) % grid.y);
-            ctx.blockIdx.z =
-                static_cast<unsigned>(b / (static_cast<std::uint64_t>(
-                    grid.x) * grid.y));
-            const bool sampled = (b % state.blockSampleStride) == 0 &&
-                                 state.sampledBlockBudget > 0;
-            if (sampled)
-                --state.sampledBlockBudget;
-            for (int w = 0; w < warps_per_block; ++w) {
-                prepareWarp(sampled);
-                const int lane_base = w * config_.warpSize;
-                const int lanes = std::min(config_.warpSize,
-                                           threads_per_block - lane_base);
-                for (int lane = 0; lane < lanes; ++lane) {
-                    const int t = lane_base + lane;
-                    ctx.threadIdx.x = static_cast<unsigned>(t % block.x);
-                    ctx.threadIdx.y =
-                        static_cast<unsigned>((t / block.x) % block.y);
-                    ctx.threadIdx.z = static_cast<unsigned>(
-                        t / (static_cast<std::uint64_t>(block.x) *
-                             block.y));
-                    bindLane(ctx, lane, sampled);
-                    body(ctx);
-                }
-                finishWarp(state, lanes, sampled);
+        if (workers <= 1) {
+            // Serial path: execute and replay block by block, in order.
+            WorkerScratch ws = makeScratch();
+            std::vector<CoalescedAccess> block_trace;
+            for (std::uint64_t b = 0; b < num_blocks; ++b) {
+                const bool sampled = blockIsSampled(state, b);
+                block_trace.clear();
+                runBlock(state, b, sampled, ws,
+                         sampled ? &block_trace : nullptr, nullptr, body);
+                if (sampled)
+                    replayBlock(state, block_trace);
             }
+            mergeScratch(state, ws);
+            return endLaunch(state);
         }
+
+        // Parallel path: fan the functional sweep out across workers,
+        // each with private counter/trace scratch, then replay the
+        // sampled blocks' coalesced traces through the shared cache
+        // hierarchy in ascending block order. Replay order — not
+        // execution order — determines the cache statistics, so the
+        // resulting LaunchStats are bit-identical to the serial path.
+        std::vector<WorkerScratch> scratch(workers, makeScratch());
+        std::vector<std::vector<CoalescedAccess>> block_traces(
+            sampledBlockCount(state, num_blocks));
+        std::atomic<std::uint64_t> next_block{0};
+        auto work = [&](int wi) {
+            WorkerScratch &ws = scratch[wi];
+            for (;;) {
+                const std::uint64_t b =
+                    next_block.fetch_add(1, std::memory_order_relaxed);
+                if (b >= num_blocks)
+                    break;
+                const bool sampled = blockIsSampled(state, b);
+                auto *trace = sampled
+                    ? &block_traces[b / state.blockSampleStride]
+                    : nullptr;
+                runBlock(state, b, sampled, ws, trace, &atomicMutex_,
+                         body);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (int wi = 0; wi < workers; ++wi)
+            pool.emplace_back(work, wi);
+        for (auto &t : pool)
+            t.join();
+
+        for (const auto &ws : scratch)
+            mergeScratch(state, ws);
+        for (const auto &trace : block_traces)
+            replayBlock(state, trace);
         return endLaunch(state);
     }
 
@@ -96,8 +136,11 @@ class Device
     launchLinear(const KernelDesc &desc, std::uint64_t n, int block_size,
                  F &&body)
     {
+        if (block_size <= 0)
+            fatal("kernel '", desc.name,
+                  "' launched with non-positive block size ", block_size);
         const std::uint64_t blocks =
-            (n + block_size - 1) / std::max(1, block_size);
+            (n + block_size - 1) / static_cast<std::uint64_t>(block_size);
         return launch(desc, Dim3(static_cast<unsigned>(blocks)),
                       Dim3(static_cast<unsigned>(block_size)),
                       [&](ThreadCtx &ctx) {
@@ -126,6 +169,9 @@ class Device
         Dim3 block;
         int warpsPerBlock = 0;
         std::uint64_t blockSampleStride = 1;
+        /** Maximum number of sampled blocks per launch (fixed at
+         *  beginLaunch; sampling decisions derive from it and the
+         *  stride alone, independent of execution order). */
         std::int64_t sampledBlockBudget = 0;
         Occupancy occ;
 
@@ -143,11 +189,92 @@ class Device
         std::uint64_t sampledDramWrite = 0;
     };
 
+    /** Private per-worker execution state: lane counters and traces for
+     *  the warp in flight plus the worker's partial launch totals. */
+    struct WorkerScratch
+    {
+        std::vector<LaneCounters> laneCounters;
+        std::vector<std::vector<MemAccess>> laneTraces;
+        WarpCounts totals;
+        std::uint64_t totalWarps = 0;
+        std::uint64_t sampledWarps = 0;
+    };
+
     LaunchState beginLaunch(const KernelDesc &desc, Dim3 grid, Dim3 block);
-    void prepareWarp(bool sampled);
-    void bindLane(ThreadCtx &ctx, int lane, bool sampled);
-    void finishWarp(LaunchState &state, int lanes, bool sampled);
     const LaunchStats &endLaunch(LaunchState &state);
+
+    /** Number of host workers to use for a launch of @p num_blocks. */
+    int resolveWorkerCount(std::uint64_t num_blocks) const;
+
+    /** Whether block @p b records address traces. Pure function of the
+     *  launch geometry, identical for every execution schedule. */
+    static bool blockIsSampled(const LaunchState &state, std::uint64_t b);
+
+    /** Number of blocks blockIsSampled() accepts for this launch. */
+    static std::uint64_t sampledBlockCount(const LaunchState &state,
+                                           std::uint64_t num_blocks);
+
+    WorkerScratch makeScratch() const;
+    static void beginWarp(WorkerScratch &ws, bool sampled);
+    static void countWarp(WorkerScratch &ws, int lanes, bool sampled);
+    static void mergeScratch(LaunchState &state, const WorkerScratch &ws);
+
+    /** Replay one sampled block's coalesced accesses (in warp order)
+     *  through the stream-buffer/L1/L2 hierarchy. Main thread only. */
+    void replayBlock(LaunchState &state,
+                     const std::vector<CoalescedAccess> &insts);
+
+    /**
+     * Execute every warp of block @p b functionally, accumulating
+     * instruction counts into @p ws and, when @p sampled, appending the
+     * block's coalesced warp accesses to @p block_trace in warp order.
+     * Touches no shared mutable device state, so distinct blocks can
+     * run on distinct workers concurrently.
+     */
+    template <typename F>
+    void
+    runBlock(const LaunchState &state, std::uint64_t b, bool sampled,
+             WorkerScratch &ws, std::vector<CoalescedAccess> *block_trace,
+             std::mutex *atomic_lock, F &body)
+    {
+        const Dim3 grid = state.grid;
+        const Dim3 block = state.block;
+        ThreadCtx ctx;
+        ctx.blockDim = block;
+        ctx.gridDim = grid;
+        ctx.atomicLock_ = atomic_lock;
+        ctx.blockIdx.x = static_cast<unsigned>(b % grid.x);
+        ctx.blockIdx.y = static_cast<unsigned>((b / grid.x) % grid.y);
+        ctx.blockIdx.z = static_cast<unsigned>(
+            b / (static_cast<std::uint64_t>(grid.x) * grid.y));
+        const int threads_per_block = static_cast<int>(block.count());
+        for (int w = 0; w < state.warpsPerBlock; ++w) {
+            beginWarp(ws, sampled);
+            const int lane_base = w * config_.warpSize;
+            const int lanes = std::min(config_.warpSize,
+                                       threads_per_block - lane_base);
+            for (int lane = 0; lane < lanes; ++lane) {
+                const int t = lane_base + lane;
+                ctx.threadIdx.x = static_cast<unsigned>(t % block.x);
+                ctx.threadIdx.y =
+                    static_cast<unsigned>((t / block.x) % block.y);
+                ctx.threadIdx.z = static_cast<unsigned>(
+                    t / (static_cast<std::uint64_t>(block.x) * block.y));
+                ctx.lane_ = lane;
+                ctx.counters_ = &ws.laneCounters[lane];
+                ctx.trace_ = sampled ? &ws.laneTraces[lane] : nullptr;
+                body(ctx);
+            }
+            countWarp(ws, lanes, sampled);
+            if (sampled && block_trace) {
+                auto warp_insts = coalescer_.coalesce(ws.laneTraces);
+                block_trace->insert(
+                    block_trace->end(),
+                    std::make_move_iterator(warp_insts.begin()),
+                    std::make_move_iterator(warp_insts.end()));
+            }
+        }
+    }
 
     DeviceConfig config_;
     Coalescer coalescer_;
@@ -157,9 +284,9 @@ class Device
      *  their within-line spatial reuse without polluting L1/L2. */
     SectorCache streamBuffer_;
 
-    // Reused per-warp scratch.
-    std::vector<LaneCounters> laneCounters_;
-    std::vector<std::vector<MemAccess>> laneTraces_;
+    /** Linearizes ThreadCtx atomics across concurrently executing
+     *  blocks; unused (never handed to ThreadCtx) on the serial path. */
+    std::mutex atomicMutex_;
 
     std::vector<LaunchStats> launches_;
     double elapsedSeconds_ = 0.0;

@@ -13,14 +13,19 @@
  *
  * Execution-model contract (see DESIGN.md): kernels are written
  * thread-independent; block-level cooperation uses multi-kernel patterns
- * or atomics. atomicAdd() is functionally exact because lanes execute
- * sequentially in the simulator.
+ * or atomics. Lanes of one warp always execute sequentially on one host
+ * thread, but distinct blocks may run concurrently on a worker pool
+ * (DeviceConfig::hostThreads), so the atomic operations take a
+ * device-wide lock when blocks execute in parallel — they stay
+ * linearizable (and thus functionally exact for commutative updates)
+ * under any schedule.
  */
 
 #ifndef CACTUS_GPU_THREAD_CTX_HH
 #define CACTUS_GPU_THREAD_CTX_HH
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "gpu/types.hh"
@@ -98,9 +103,9 @@ class ThreadCtx
     }
 
     /**
-     * Functional atomic add returning the old value. Lanes execute
-     * sequentially in the simulator, so a plain read-modify-write is
-     * linearizable.
+     * Functional atomic add returning the old value. Linearized across
+     * concurrently executing blocks via the device atomic lock; within
+     * one block, lanes already execute sequentially.
      */
     template <typename T>
     T
@@ -109,6 +114,7 @@ class ThreadCtx
         counters_->add(OpClass::ATOMIC, 1);
         record(reinterpret_cast<std::uint64_t>(p), sizeof(T),
                AccessKind::Atomic);
+        const auto guard = lockAtomics();
         T old = *p;
         *p = old + v;
         return old;
@@ -122,6 +128,7 @@ class ThreadCtx
         counters_->add(OpClass::ATOMIC, 1);
         record(reinterpret_cast<std::uint64_t>(p), sizeof(T),
                AccessKind::Atomic);
+        const auto guard = lockAtomics();
         T old = *p;
         if (v > old)
             *p = v;
@@ -136,6 +143,7 @@ class ThreadCtx
         counters_->add(OpClass::ATOMIC, 1);
         record(reinterpret_cast<std::uint64_t>(p), sizeof(T),
                AccessKind::Atomic);
+        const auto guard = lockAtomics();
         T old = *p;
         if (old == expected)
             *p = desired;
@@ -178,8 +186,20 @@ class ThreadCtx
         trace_->push_back(acc);
     }
 
+    /** Lock the device-wide atomic mutex when blocks run in parallel;
+     *  a no-op (empty lock) on the serial path, where atomicLock_ is
+     *  null and plain read-modify-write is already linearizable. */
+    std::unique_lock<std::mutex>
+    lockAtomics()
+    {
+        return atomicLock_ ? std::unique_lock<std::mutex>(*atomicLock_)
+                           : std::unique_lock<std::mutex>();
+    }
+
     LaneCounters *counters_ = nullptr;
     std::vector<MemAccess> *trace_ = nullptr; ///< Null if not sampled.
+    /** Device atomic mutex; non-null only under parallel execution. */
+    std::mutex *atomicLock_ = nullptr;
     int lane_ = 0;
 };
 

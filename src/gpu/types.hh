@@ -33,6 +33,14 @@ struct Dim3
     {
         return static_cast<std::uint64_t>(x) * y * z;
     }
+
+    /** True when any dimension is zero, i.e. the geometry spans no
+     *  threads (or blocks) at all. Such launches are invalid. */
+    bool
+    empty() const
+    {
+        return x == 0 || y == 0 || z == 0;
+    }
 };
 
 /**
@@ -168,11 +176,28 @@ struct KernelDesc
     int regsPerThread = 32;
     /** Static shared memory per thread block in bytes. */
     int sharedBytesPerBlock = 0;
+    /**
+     * True for kernels whose functional behavior depends on the
+     * sequential block order of the legacy engine — cross-block
+     * read-after-write within one launch, or atomic return values used
+     * as store indices. The device always executes such launches on
+     * the serial path so their results (and hence their LaunchStats)
+     * stay reproducible; see DESIGN.md.
+     */
+    bool serialOrdered = false;
 
     KernelDesc() = default;
     KernelDesc(std::string n, int regs = 32, int smem = 0)
         : name(std::move(n)), regsPerThread(regs), sharedBytesPerBlock(smem)
     {
+    }
+
+    /** Mark this kernel serial-ordered (chainable at launch sites). */
+    KernelDesc &
+    serial()
+    {
+        serialOrdered = true;
+        return *this;
     }
 };
 

@@ -37,7 +37,7 @@ advanceThread(gpu::Device &dev, const CsrGraph &g, BfsState &st,
     const auto &targets = g.targets();
     int cursor = 0;
     dev.launchLinear(
-        KernelDesc("advance_twc_thread", 32), st.frontierSize,
+        KernelDesc("advance_twc_thread", 32).serial(), st.frontierSize,
         opts.threadsPerBlock, [&](ThreadCtx &ctx) {
             const int f = static_cast<int>(ctx.globalId());
             const int v = ctx.ld(&st.frontier[f]);
@@ -72,7 +72,7 @@ advanceWarp(gpu::Device &dev, const CsrGraph &g, BfsState &st,
     const std::uint64_t threads =
         static_cast<std::uint64_t>(st.frontierSize) * 32;
     dev.launchLinear(
-        KernelDesc("advance_twc_warp", 40), threads,
+        KernelDesc("advance_twc_warp", 40).serial(), threads,
         opts.threadsPerBlock, [&](ThreadCtx &ctx) {
             const std::uint64_t t = ctx.globalId();
             const int f = static_cast<int>(t / 32);
@@ -108,7 +108,7 @@ advanceCta(gpu::Device &dev, const CsrGraph &g, BfsState &st,
     int cursor = 0;
     const int cta = opts.threadsPerBlock;
     dev.launch(
-        KernelDesc("advance_twc_cta", 40, 1024),
+        KernelDesc("advance_twc_cta", 40, 1024).serial(),
         gpu::Dim3(static_cast<unsigned>(st.frontierSize)),
         gpu::Dim3(static_cast<unsigned>(cta)), [&](ThreadCtx &ctx) {
             const int f = static_cast<int>(ctx.blockIdx.x);
@@ -154,7 +154,8 @@ filterAndCompact(gpu::Device &dev, BfsState &st, int depth,
 
     // Kernel: claim candidates (winner per vertex via CAS).
     dev.launchLinear(
-        KernelDesc("filter_uniquify", 24), n, opts.threadsPerBlock,
+        KernelDesc("filter_uniquify", 24).serial(), n,
+        opts.threadsPerBlock,
         [&](ThreadCtx &ctx) {
             const int i = static_cast<int>(ctx.globalId());
             const int u = ctx.ld(&st.edgeFrontier[i]);
@@ -226,7 +227,8 @@ bottomUpStep(gpu::Device &dev, const CsrGraph &g, BfsState &st,
     const int n = g.numVertices();
     int cursor = 0;
     dev.launchLinear(
-        KernelDesc("bfs_bottom_up", 32), n, opts.threadsPerBlock,
+        KernelDesc("bfs_bottom_up", 32).serial(), n,
+        opts.threadsPerBlock,
         [&](ThreadCtx &ctx) {
             const int v = static_cast<int>(ctx.globalId());
             const int lvl = ctx.ld(&st.levels[v]);

@@ -75,7 +75,7 @@ gunrockSssp(gpu::Device &dev, const CsrGraph &g, int source,
         // Kernel: relax all edges out of the frontier; push improved
         // vertices into the next worklist (claimed via CAS on a flag).
         dev.launchLinear(
-            KernelDesc("sssp_relax", 40), frontier_size,
+            KernelDesc("sssp_relax", 40).serial(), frontier_size,
             threads_per_block, [&](ThreadCtx &ctx) {
                 const int f = static_cast<int>(ctx.globalId());
                 const int v = ctx.ld(&frontier[f]);
@@ -92,8 +92,9 @@ gunrockSssp(gpu::Device &dev, const CsrGraph &g, int source,
                     ctx.branch(1);
                     if (cand >= du)
                         continue;
-                    // Sequential-lane execution makes this exact; on
-                    // real hardware it is an atomicMin.
+                    // Serial-ordered execution (this kernel is marked
+                    // KernelDesc::serial) makes this plain store
+                    // exact; on real hardware it is an atomicMin.
                     ctx.st(&dist[u], cand);
                     const std::uint8_t old = ctx.atomicCAS(
                         &in_next[u], std::uint8_t{0},
@@ -258,7 +259,7 @@ gunrockConnectedComponents(gpu::Device &dev, const CsrGraph &g,
         changed = 0;
         // Kernel: hook - adopt the smallest neighboring label.
         dev.launchLinear(
-            KernelDesc("cc_hook", 28), n, threads_per_block,
+            KernelDesc("cc_hook", 28).serial(), n, threads_per_block,
             [&](ThreadCtx &ctx) {
                 const int v = static_cast<int>(ctx.globalId());
                 const int begin = ctx.ld(&offsets[v]);
@@ -281,7 +282,7 @@ gunrockConnectedComponents(gpu::Device &dev, const CsrGraph &g,
             });
         // Kernel: compress - pointer-jump labels toward the roots.
         dev.launchLinear(
-            KernelDesc("cc_compress", 20), n, threads_per_block,
+            KernelDesc("cc_compress", 20).serial(), n, threads_per_block,
             [&](ThreadCtx &ctx) {
                 const int v = static_cast<int>(ctx.globalId());
                 int l = ctx.ld(&label[v]);
@@ -340,7 +341,7 @@ gunrockBetweenness(gpu::Device &dev, const CsrGraph &g, int source,
     while (advanced) {
         advanced = 0;
         dev.launchLinear(
-            KernelDesc("bc_forward", 32), n, threads_per_block,
+            KernelDesc("bc_forward", 32).serial(), n, threads_per_block,
             [&](ThreadCtx &ctx) {
                 const int v = static_cast<int>(ctx.globalId());
                 ctx.branch(1);

@@ -79,7 +79,8 @@ Simulation::applyConstraints(gpu::Device &dev)
     // SHAKE-style iterative bond-length projection, three sweeps.
     for (int sweep = 0; sweep < 3; ++sweep) {
         dev.launchLinear(
-            KernelDesc("settle_constraints", 40), sys_.bonds.size(),
+            KernelDesc("settle_constraints", 40).serial(),
+            sys_.bonds.size(),
             cfg_.threadsPerBlock, [&](ThreadCtx &ctx) {
                 const auto b = ctx.ld(&sys_.bonds[ctx.globalId()]);
                 const Vec3 pi = ctx.ld(&sys_.pos[b.i]);

@@ -65,7 +65,7 @@ class PbBfs : public ParboilBenchmark
         while (changed && level < 50) {
             changed = 0;
             dev.launchLinear(
-                KernelDesc("bfs_kernel", 24), n, 256,
+                KernelDesc("bfs_kernel", 24).serial(), n, 256,
                 [&](ThreadCtx &ctx) {
                     const int v = static_cast<int>(ctx.globalId());
                     ctx.branch(1);

@@ -5,6 +5,7 @@
  * end-to-end roofline placement of canonical kernels.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <numeric>
 #include <vector>
@@ -207,6 +208,153 @@ TEST(DeviceDeath, EmptyGridIsFatal)
     EXPECT_EXIT(dev.launch(KernelDesc("bad"), Dim3(0), Dim3(32),
                            [](ThreadCtx &) {}),
                 ::testing::ExitedWithCode(1), "empty grid");
+}
+
+TEST(DeviceDeath, EmptyBlockIsFatal)
+{
+    // Regression: an all-zero block once divided by zero in the
+    // sample-stride computation instead of failing validation.
+    Device dev;
+    EXPECT_EXIT(dev.launch(KernelDesc("bad"), Dim3(4), Dim3(0),
+                           [](ThreadCtx &) {}),
+                ::testing::ExitedWithCode(1), "empty block");
+}
+
+TEST(DeviceDeath, ZeroDimensionBlockIsFatal)
+{
+    Device dev;
+    EXPECT_EXIT(dev.launch(KernelDesc("bad"), Dim3(4), Dim3(32, 0),
+                           [](ThreadCtx &) {}),
+                ::testing::ExitedWithCode(1), "empty block");
+}
+
+TEST(DeviceDeath, NonPositiveLinearBlockSizeIsFatal)
+{
+    // Regression: launchLinear once computed a garbage block count from
+    // block_size <= 0 and launched a zero-thread block.
+    Device dev;
+    EXPECT_EXIT(dev.launchLinear(KernelDesc("bad"), 1024, 0,
+                                 [](ThreadCtx &) {}),
+                ::testing::ExitedWithCode(1), "non-positive block size");
+    EXPECT_EXIT(dev.launchLinear(KernelDesc("bad"), 1024, -128,
+                                 [](ThreadCtx &) {}),
+                ::testing::ExitedWithCode(1), "non-positive block size");
+}
+
+/** Field-by-field bitwise comparison of two launch records. */
+void
+expectIdenticalStats(const LaunchStats &a, const LaunchStats &b)
+{
+    EXPECT_EQ(a.counts.warpInsts, b.counts.warpInsts);
+    EXPECT_EQ(a.counts.threadInsts, b.counts.threadInsts);
+    EXPECT_EQ(a.counts.activeLanes, b.counts.activeLanes);
+    EXPECT_EQ(a.totalWarps, b.totalWarps);
+    EXPECT_EQ(a.sampledWarps, b.sampledWarps);
+    EXPECT_EQ(a.l1Accesses, b.l1Accesses);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.l2Accesses, b.l2Accesses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.dramReadSectors, b.dramReadSectors);
+    EXPECT_EQ(a.dramWriteSectors, b.dramWriteSectors);
+    // Timing and metrics derive from the integer inputs above, so exact
+    // (not approximate) floating-point equality is expected.
+    EXPECT_EQ(a.timing.totalCycles, b.timing.totalCycles);
+    EXPECT_EQ(a.timing.seconds, b.timing.seconds);
+    EXPECT_EQ(a.metrics.gips, b.metrics.gips);
+    EXPECT_EQ(a.metrics.instIntensity, b.metrics.instIntensity);
+    EXPECT_EQ(a.metrics.l1HitRate, b.metrics.l1HitRate);
+    EXPECT_EQ(a.metrics.l2HitRate, b.metrics.l2HitRate);
+}
+
+TEST(DeviceParallel, LaunchStatsAreBitIdenticalToSerial)
+{
+    // A divergent, memory-heavy producer-consumer pair (stressing
+    // sparse sampling, stream loads, and L2 persistence across
+    // launches). The buffers are shared between the serial and the
+    // parallel run so both observe the same addresses.
+    const std::size_t n = 1 << 18;
+    std::vector<float> a(n, 1.f), b(n, 0.f), c(n, 0.f);
+
+    auto run = [&](int host_threads) {
+        std::fill(b.begin(), b.end(), 0.f);
+        std::fill(c.begin(), c.end(), 0.f);
+        DeviceConfig cfg = DeviceConfig::scaledExperiment();
+        cfg.hostThreads = host_threads;
+        cfg.maxSampledWarps = 512; // Force a sparse sample stride.
+        Device dev(cfg);
+        dev.launchLinear(KernelDesc("produce"), n, 192,
+                         [&](ThreadCtx &ctx) {
+            const auto i = ctx.globalId();
+            const float x = ctx.ld(&a[i]);
+            ctx.branch();
+            if (i % 3 == 0)
+                ctx.fp32(50); // Divergent long path.
+            else
+                ctx.fp32(2);
+            ctx.st(&b[i], x * 2.f);
+        });
+        dev.launchLinear(KernelDesc("consume"), n, 192,
+                         [&](ThreadCtx &ctx) {
+            const auto i = ctx.globalId();
+            const float s = ctx.ldStream(&a[(i * 7) % n]);
+            ctx.intOp(2);
+            ctx.fp32();
+            ctx.st(&c[i], ctx.ld(&b[i]) + s);
+        });
+        return std::vector<LaunchStats>(dev.launches());
+    };
+
+    const auto serial = run(1);
+    const auto parallel = run(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(serial[i].desc.name);
+        expectIdenticalStats(serial[i], parallel[i]);
+    }
+    // The workload really exercised the hierarchy.
+    EXPECT_GT(serial[0].dramReadSectors, 0u);
+    EXPECT_LT(serial[0].sampledWarps, serial[0].totalWarps);
+}
+
+TEST(DeviceParallel, GeometryCoversEveryThreadOnce)
+{
+    DeviceConfig cfg;
+    cfg.hostThreads = 3;
+    Device dev(cfg);
+    const unsigned gx = 5, gy = 3, bx = 8, by = 4, bz = 2;
+    std::vector<int> hits(gx * gy * bx * by * bz, 0);
+    dev.launch(KernelDesc("geom"), Dim3(gx, gy), Dim3(bx, by, bz),
+               [&](ThreadCtx &ctx) { ++hits[ctx.globalId()]; });
+    for (int h : hits)
+        ASSERT_EQ(h, 1);
+}
+
+TEST(DeviceParallel, AtomicsAreLinearizedAcrossWorkers)
+{
+    DeviceConfig cfg;
+    cfg.hostThreads = 8; // More workers than hardware threads is fine.
+    Device dev(cfg);
+    std::int64_t sum = 0;
+    const std::size_t n = 1 << 16;
+    dev.launchLinear(KernelDesc("reduce"), n, 128, [&](ThreadCtx &ctx) {
+        ctx.atomicAdd(&sum, std::int64_t{1});
+    });
+    EXPECT_EQ(sum, static_cast<std::int64_t>(n));
+}
+
+TEST(DeviceParallel, MoreWorkersThanBlocksIsSafe)
+{
+    DeviceConfig cfg;
+    cfg.hostThreads = 16;
+    Device dev(cfg);
+    std::vector<float> x(64, 0.f);
+    dev.launchLinear(KernelDesc("tiny"), x.size(), 32,
+                     [&](ThreadCtx &ctx) {
+        ctx.st(&x[ctx.globalId()], 1.f);
+    });
+    for (float v : x)
+        ASSERT_EQ(v, 1.f);
+    EXPECT_EQ(dev.launches().back().totalWarps, 2u);
 }
 
 /** Property sweep: warp accounting is exact for any block size. */

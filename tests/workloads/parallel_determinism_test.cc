@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Parallel-execution determinism across the full workload registry:
+ * every benchmark must issue the same launch sequence with the same
+ * warp-level instruction accounting whether blocks run on one host
+ * thread or on a worker pool. Cache/DRAM counters are address-based
+ * and compared bit-exactly in the device tests (with pinned buffers);
+ * here the comparison sticks to the address-independent fields so the
+ * test is insensitive to heap layout between the two runs.
+ */
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/benchmark.hh"
+#include "gpu/device.hh"
+
+namespace {
+
+using namespace cactus;
+
+std::vector<gpu::LaunchStats>
+runOnce(const std::string &name, int host_threads)
+{
+    gpu::DeviceConfig cfg = gpu::DeviceConfig::scaledExperiment();
+    cfg.hostThreads = host_threads;
+    gpu::Device dev(cfg);
+    const auto bench =
+        core::Registry::instance().create(name, core::Scale::Tiny);
+    bench->run(dev);
+    return dev.launches();
+}
+
+class ParallelDeterminism
+    : public ::testing::TestWithParam<const core::BenchmarkInfo *>
+{
+};
+
+TEST_P(ParallelDeterminism, LaunchSequenceAndCountsMatchSerial)
+{
+    const std::string name = GetParam()->name;
+    const auto serial = runOnce(name, 1);
+    const auto parallel = runOnce(name, 4);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("launch " + std::to_string(i) + ": " +
+                     serial[i].desc.name);
+        EXPECT_EQ(serial[i].desc.name, parallel[i].desc.name);
+        EXPECT_EQ(serial[i].grid.count(), parallel[i].grid.count());
+        EXPECT_EQ(serial[i].block.count(), parallel[i].block.count());
+        EXPECT_EQ(serial[i].counts.warpInsts,
+                  parallel[i].counts.warpInsts);
+        EXPECT_EQ(serial[i].counts.threadInsts,
+                  parallel[i].counts.threadInsts);
+        EXPECT_EQ(serial[i].counts.activeLanes,
+                  parallel[i].counts.activeLanes);
+        EXPECT_EQ(serial[i].totalWarps, parallel[i].totalWarps);
+        EXPECT_EQ(serial[i].sampledWarps, parallel[i].sampledWarps);
+    }
+}
+
+std::string
+benchName(const ::testing::TestParamInfo<const core::BenchmarkInfo *> &info)
+{
+    std::string n = info.param->name;
+    for (auto &c : n)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, ParallelDeterminism,
+    ::testing::ValuesIn(core::Registry::instance().list()), benchName);
+
+} // namespace

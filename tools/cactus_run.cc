@@ -14,6 +14,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -44,6 +45,9 @@ printUsage()
         "  --tiny          use the test-size inputs\n"
         "  --full-caches   full RTX 3080 caches instead of the\n"
         "                  scaled experiment configuration\n"
+        "  --threads N     host worker threads for block execution\n"
+        "                  (0 = all hardware threads, 1 = serial;\n"
+        "                  results are identical for any N)\n"
         "  --trace PATH    export the launch trace as JSON lines\n");
 }
 
@@ -89,6 +93,7 @@ main(int argc, char **argv)
     std::string bench_name, suite_name, trace_path, retime_path;
     std::string platform = "3080";
     bool list = false;
+    int host_threads = 0; // 0 = all hardware threads.
     core::Scale scale = core::Scale::Small;
     gpu::DeviceConfig cfg = gpu::DeviceConfig::scaledExperiment();
 
@@ -115,6 +120,10 @@ main(int argc, char **argv)
             scale = core::Scale::Tiny;
         } else if (arg == "--full-caches") {
             cfg = gpu::DeviceConfig{};
+        } else if (arg == "--threads") {
+            host_threads = std::atoi(next().c_str());
+            if (host_threads < 0)
+                fatal("--threads expects a non-negative count");
         } else if (arg == "--help" || arg == "-h") {
             printUsage();
             return 0;
@@ -124,6 +133,10 @@ main(int argc, char **argv)
             return 1;
         }
     }
+
+    // Applied after option parsing so it composes with --full-caches
+    // in either order.
+    cfg.hostThreads = host_threads;
 
     const auto &registry = core::Registry::instance();
 
