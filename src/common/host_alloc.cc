@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Global operator new/delete replacement backing the host allocation
+ * arena described in host_alloc.hh. Built as an OBJECT library so the
+ * replacement operators are force-linked into each executable (a
+ * static-archive member would only be pulled in if it resolved an
+ * otherwise-undefined symbol, which operator new never is —
+ * libstdc++ provides a default).
+ *
+ * Layout: memory is carved from chunk-aligned anonymous mappings. A
+ * 128-byte header at the start of every mapping records its kind and
+ * its logical base address, so operator delete and canonicalRange()
+ * recover the metadata of any pointer by masking it down to the chunk
+ * boundary. Small allocations bump-allocate from a thread-local
+ * chunk; a chunk is recycled through a free list once its owner has
+ * moved on and every allocation in it has been freed. Large
+ * allocations get a dedicated mapping that is unmapped on delete.
+ * Virtual ranges may be reused; logical bases never are.
+ */
+
+#include "common/host_alloc.hh"
+
+#include <sys/mman.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+
+namespace {
+
+using cactus::hostAllocAlignment;
+
+constexpr std::size_t kChunkBytes = std::size_t{1} << 20;
+constexpr std::size_t kHeaderBytes = hostAllocAlignment;
+/** Allocations above this get a dedicated mapping. */
+constexpr std::size_t kLargeThreshold = kChunkBytes / 4;
+
+constexpr std::uint64_t kSmallMagic = 0x63616374'75734d45ull;
+constexpr std::uint64_t kLargeMagic = 0x63616374'75734c47ull;
+
+struct ChunkHeader
+{
+    std::uint64_t magic;
+    std::uint64_t logicalBase;
+    std::uint64_t mapBytes;
+    /** Small chunks: outstanding allocations plus one reference held
+     *  by the owning thread while it still bump-allocates here. */
+    std::atomic<std::int64_t> refs;
+    ChunkHeader *nextFree;
+};
+static_assert(sizeof(ChunkHeader) <= kHeaderBytes);
+
+/** Logical address space cursor; never reused. Starts one chunk in so
+ *  logical 0 stays invalid. */
+constinit std::atomic<std::uint64_t> logicalCursor{kChunkBytes};
+
+constinit std::mutex freeMutex;
+constinit ChunkHeader *freeHead = nullptr;
+
+/**
+ * Every arena mapping ever created, as a sorted array of [base, base +
+ * bytes) ranges — small chunks stay registered across recycling (their
+ * header carries the current logical base); large mappings are erased
+ * when unmapped. The storage is mmap'd directly rather than
+ * heap-allocated: growing it through operator new would re-enter the
+ * arena while rangeMutex is held and deadlock.
+ */
+struct RangeEntry
+{
+    std::uintptr_t base;
+    std::size_t bytes;
+};
+
+constinit std::mutex rangeMutex;
+constinit RangeEntry *rangeData = nullptr;
+constinit std::size_t rangeSize = 0;
+constinit std::size_t rangeCap = 0;
+
+/** Index of the first entry with base > addr (rangeMutex held). */
+std::size_t
+rangeUpperBound(std::uintptr_t addr)
+{
+    std::size_t lo = 0, hi = rangeSize;
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (rangeData[mid].base <= addr)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+/** Map @p bytes (a multiple of kChunkBytes) aligned to kChunkBytes. */
+void *
+mapAligned(std::size_t bytes)
+{
+    const std::size_t over = bytes + kChunkBytes;
+    void *raw = mmap(nullptr, over, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (raw == MAP_FAILED)
+        return nullptr;
+    const std::uintptr_t start = reinterpret_cast<std::uintptr_t>(raw);
+    const std::uintptr_t base =
+        (start + kChunkBytes - 1) & ~(kChunkBytes - 1);
+    if (base != start)
+        munmap(raw, base - start);
+    const std::size_t tail = over - (base - start) - bytes;
+    if (tail != 0)
+        munmap(reinterpret_cast<void *>(base + bytes), tail);
+    return reinterpret_cast<void *>(base);
+}
+
+void
+registerRange(ChunkHeader *h)
+{
+    std::lock_guard<std::mutex> lock(rangeMutex);
+    if (rangeSize == rangeCap) {
+        const std::size_t new_cap = rangeCap ? rangeCap * 2 : 256;
+        void *raw = mmap(nullptr, new_cap * sizeof(RangeEntry),
+                         PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        if (raw == MAP_FAILED)
+            std::abort();
+        RangeEntry *grown = static_cast<RangeEntry *>(raw);
+        for (std::size_t i = 0; i < rangeSize; ++i)
+            grown[i] = rangeData[i];
+        if (rangeData)
+            munmap(rangeData, rangeCap * sizeof(RangeEntry));
+        rangeData = grown;
+        rangeCap = new_cap;
+    }
+    const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(h);
+    const std::size_t pos = rangeUpperBound(base);
+    for (std::size_t i = rangeSize; i > pos; --i)
+        rangeData[i] = rangeData[i - 1];
+    rangeData[pos] = RangeEntry{base, h->mapBytes};
+    ++rangeSize;
+}
+
+void
+unregisterRange(ChunkHeader *h)
+{
+    std::lock_guard<std::mutex> lock(rangeMutex);
+    const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(h);
+    const std::size_t pos = rangeUpperBound(base);
+    if (pos == 0 || rangeData[pos - 1].base != base)
+        return;
+    for (std::size_t i = pos - 1; i + 1 < rangeSize; ++i)
+        rangeData[i] = rangeData[i + 1];
+    --rangeSize;
+}
+
+ChunkHeader *
+acquireChunk()
+{
+    ChunkHeader *h = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(freeMutex);
+        if (freeHead) {
+            h = freeHead;
+            freeHead = h->nextFree;
+        }
+    }
+    if (!h) {
+        h = static_cast<ChunkHeader *>(mapAligned(kChunkBytes));
+        if (!h)
+            return nullptr;
+        h->magic = kSmallMagic;
+        h->mapBytes = kChunkBytes;
+        registerRange(h);
+    }
+    h->logicalBase =
+        logicalCursor.fetch_add(kChunkBytes, std::memory_order_relaxed);
+    h->refs.store(1, std::memory_order_relaxed);
+    h->nextFree = nullptr;
+    return h;
+}
+
+void
+releaseChunkRef(ChunkHeader *h)
+{
+    if (h->refs.fetch_sub(1, std::memory_order_acq_rel) != 1)
+        return;
+    std::lock_guard<std::mutex> lock(freeMutex);
+    h->nextFree = freeHead;
+    freeHead = h;
+}
+
+/** Per-thread bump state; the destructor drops the owner reference so
+ *  a fully freed chunk can be recycled after its thread exits. */
+struct ThreadArena
+{
+    ChunkHeader *chunk = nullptr;
+    std::size_t offset = 0;
+
+    ~ThreadArena()
+    {
+        if (chunk)
+            releaseChunkRef(chunk);
+    }
+};
+
+thread_local ThreadArena tlArena;
+
+void *
+allocateSmall(std::size_t rounded)
+{
+    ThreadArena &a = tlArena;
+    if (!a.chunk || a.offset + rounded > kChunkBytes) {
+        ChunkHeader *next = acquireChunk();
+        if (!next)
+            return nullptr;
+        if (a.chunk)
+            releaseChunkRef(a.chunk);
+        a.chunk = next;
+        a.offset = kHeaderBytes;
+    }
+    void *p = reinterpret_cast<char *>(a.chunk) + a.offset;
+    a.offset += rounded;
+    a.chunk->refs.fetch_add(1, std::memory_order_relaxed);
+    return p;
+}
+
+void *
+allocateLarge(std::size_t rounded)
+{
+    const std::size_t map_bytes =
+        (kHeaderBytes + rounded + kChunkBytes - 1) & ~(kChunkBytes - 1);
+    ChunkHeader *h = static_cast<ChunkHeader *>(mapAligned(map_bytes));
+    if (!h)
+        return nullptr;
+    h->magic = kLargeMagic;
+    h->mapBytes = map_bytes;
+    h->logicalBase =
+        logicalCursor.fetch_add(map_bytes, std::memory_order_relaxed);
+    h->refs.store(1, std::memory_order_relaxed);
+    h->nextFree = nullptr;
+    registerRange(h);
+    return reinterpret_cast<char *>(h) + kHeaderBytes;
+}
+
+void *
+allocate(std::size_t bytes)
+{
+    const std::size_t rounded =
+        bytes == 0 ? hostAllocAlignment
+                   : (bytes + hostAllocAlignment - 1) &
+                         ~(hostAllocAlignment - 1);
+    return rounded > kLargeThreshold ? allocateLarge(rounded)
+                                     : allocateSmall(rounded);
+}
+
+void
+deallocate(void *p) noexcept
+{
+    if (!p)
+        return;
+    ChunkHeader *h = reinterpret_cast<ChunkHeader *>(
+        reinterpret_cast<std::uintptr_t>(p) & ~(kChunkBytes - 1));
+    if (h->magic == kLargeMagic) {
+        unregisterRange(h);
+        munmap(h, h->mapBytes);
+        return;
+    }
+    releaseChunkRef(h);
+}
+
+} // namespace
+
+namespace cactus {
+
+bool
+canonicalRange(const void *p, CanonicalRange &out)
+{
+    const std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(p);
+    std::uintptr_t base;
+    {
+        // The registry lookup (rather than a blind header read) keeps
+        // this safe for non-arena pointers, whose masked-down chunk
+        // address may not even be mapped.
+        std::lock_guard<std::mutex> lock(rangeMutex);
+        const std::size_t pos = rangeUpperBound(addr);
+        if (pos == 0)
+            return false;
+        const RangeEntry &e = rangeData[pos - 1];
+        if (addr >= e.base + e.bytes)
+            return false;
+        base = e.base;
+    }
+    const ChunkHeader *h = reinterpret_cast<const ChunkHeader *>(base);
+    out.begin = base;
+    out.end = base + h->mapBytes;
+    out.logicalBase = h->logicalBase;
+    return true;
+}
+
+} // namespace cactus
+
+void *
+operator new(std::size_t bytes)
+{
+    for (;;) {
+        if (void *p = allocate(bytes))
+            return p;
+        if (std::new_handler handler = std::get_new_handler())
+            handler();
+        else
+            throw std::bad_alloc();
+    }
+}
+
+void *
+operator new[](std::size_t bytes)
+{
+    return ::operator new(bytes);
+}
+
+void *
+operator new(std::size_t bytes, const std::nothrow_t &) noexcept
+{
+    return allocate(bytes);
+}
+
+void *
+operator new[](std::size_t bytes, const std::nothrow_t &) noexcept
+{
+    return allocate(bytes);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    deallocate(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    deallocate(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    deallocate(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    deallocate(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    deallocate(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    deallocate(p);
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Host memory arena standing in for device global memory. The
+ * simulator traces real host pointers, so the placement behavior of
+ * the host allocator leaks into the model in two ways:
+ *
+ *  - malloc only guarantees 16-byte alignment, while cudaMalloc
+ *    guarantees at least 256 bytes. The coalescer splits a warp's
+ *    footprint into 32-byte sectors and 128-byte lines based on the
+ *    buffer's base address, so an unluckily placed buffer costs an
+ *    extra sector per warp and two buffers can share a cache line.
+ *  - malloc recycles freed addresses, and which buffer inherits which
+ *    address depends on allocator internals (arena selection, thread
+ *    interleaving). The device's L2 persists across launches, so a
+ *    recycled address aliases a dead buffer's cached lines — an
+ *    effect whose magnitude is placement noise, not workload signal.
+ *
+ * Linking the cactus_hostalign OBJECT library into a binary replaces
+ * global operator new/delete with a chunked bump arena that fixes
+ * both: every allocation is 128-byte (line) aligned, and every chunk
+ * carries a monotonically increasing *logical* base address that is
+ * never reused, even when the chunk's virtual memory is. The device
+ * translates traced host pointers into this logical space (see
+ * canonicalRange() and gpu/device.hh) before any cache indexing, which
+ * makes the traced memory-hierarchy statistics a pure function of the
+ * access pattern — reproducible across host thread counts, allocator
+ * states, and ASLR.
+ */
+
+#ifndef CACTUS_COMMON_HOST_ALLOC_HH
+#define CACTUS_COMMON_HOST_ALLOC_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cactus {
+
+/** Alignment (bytes) of every allocation when cactus_hostalign is
+ *  linked in; equals the simulated cache line size. */
+constexpr std::size_t hostAllocAlignment = 128;
+
+/** One arena mapping resolved by canonicalRange(). */
+struct CanonicalRange
+{
+    std::uintptr_t begin;      ///< First host address of the mapping.
+    std::uintptr_t end;        ///< One past the last host address.
+    std::uint64_t logicalBase; ///< Logical address of @c begin.
+};
+
+/**
+ * Resolve the arena mapping containing @p p. Returns false when @p p
+ * is not arena memory (stack, globals, or a binary without
+ * cactus_hostalign linked in), in which case callers should fall back
+ * to the host address itself. The logical address of a pointer inside
+ * the range is logicalBase + (p - begin); logical bases are unique
+ * for the lifetime of the process, so translated addresses never
+ * alias even when virtual memory is recycled.
+ */
+bool canonicalRange(const void *p, CanonicalRange &out);
+
+} // namespace cactus
+
+#endif // CACTUS_COMMON_HOST_ALLOC_HH

@@ -130,7 +130,7 @@ biasReduce(gpu::Device &dev, const float *grad, float *dbias, int rows,
     const std::uint64_t total =
         static_cast<std::uint64_t>(rows) * features;
     dev.launchLinear(
-        KernelDesc("bias_reduce", 16), total, kBlock,
+        KernelDesc("bias_reduce", 16).serial(), total, kBlock,
         [&](ThreadCtx &ctx) {
             const auto i = ctx.globalId();
             const int f = static_cast<int>(i % features);
@@ -284,10 +284,10 @@ crossEntropyBackward(gpu::Device &dev, const float *probs,
                      const int *targets, float *dlogits, int rows,
                      int cols)
 {
-    double loss = 0;
+    gpu::DeviceScalar<double> loss(0.0);
     const std::uint64_t total = static_cast<std::uint64_t>(rows) * cols;
     dev.launchLinear(
-        KernelDesc("xent_loss_grad", 24), total, kBlock,
+        KernelDesc("xent_loss_grad", 24).serial(), total, kBlock,
         [&](ThreadCtx &ctx) {
             const auto i = ctx.globalId();
             const int r = static_cast<int>(i / cols);
@@ -301,29 +301,29 @@ crossEntropyBackward(gpu::Device &dev, const float *probs,
             ctx.st(&dlogits[i], (p - onehot) / rows);
             if (j == t) {
                 ctx.sfu(1);
-                ctx.atomicAdd(&loss,
+                ctx.atomicAdd(loss.get(),
                               -std::log(static_cast<double>(
                                   std::max(p, 1e-12f))) / rows);
             }
         });
-    return loss;
+    return *loss;
 }
 
 double
 mseLossBackward(gpu::Device &dev, const float *x, const float *target,
                 float *dx, int n)
 {
-    double loss = 0;
+    gpu::DeviceScalar<double> loss(0.0);
     dev.launchLinear(
-        KernelDesc("mse_loss_grad", 16), n, kBlock,
+        KernelDesc("mse_loss_grad", 16).serial(), n, kBlock,
         [&](ThreadCtx &ctx) {
             const auto i = ctx.globalId();
             const float d = ctx.ld(&x[i]) - ctx.ld(&target[i]);
             ctx.fp32(3);
             ctx.st(&dx[i], 2.f * d / n);
-            ctx.atomicAdd(&loss, static_cast<double>(d) * d / n);
+            ctx.atomicAdd(loss.get(), static_cast<double>(d) * d / n);
         });
-    return loss;
+    return *loss;
 }
 
 void
@@ -383,7 +383,7 @@ embeddingBackward(gpu::Device &dev, const float *dy, const int *ids,
 {
     const std::uint64_t total = static_cast<std::uint64_t>(rows) * dim;
     dev.launchLinear(
-        KernelDesc("embedding_bwd", 16), total, kBlock,
+        KernelDesc("embedding_bwd", 16).serial(), total, kBlock,
         [&](ThreadCtx &ctx) {
             const auto i = ctx.globalId();
             const int r = static_cast<int>(i / dim);

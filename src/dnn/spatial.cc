@@ -120,7 +120,7 @@ col2im(gpu::Device &dev, const ConvGeom &g, const float *col, float *dx)
     const std::uint64_t total =
         static_cast<std::uint64_t>(g.c) * g.k * g.k * np;
     dev.launchLinear(
-        KernelDesc("col2im", 32), total, kBlock, [&](ThreadCtx &ctx) {
+        KernelDesc("col2im", 32).serial(), total, kBlock, [&](ThreadCtx &ctx) {
             const auto t = ctx.globalId();
             const std::uint64_t colidx = t % np;
             const std::uint64_t row = t / np;
@@ -243,7 +243,7 @@ conv2dBackwardFilter(gpu::Device &dev, const ConvGeom &g, const float *x,
     const std::uint64_t total =
         static_cast<std::uint64_t>(g.f) * g.c * g.k * g.k;
     dev.launchLinear(
-        KernelDesc(convKernelName("implicit_gemm_conv_bwd_filter", g.k, g.stride), 64, 16 * 1024),
+        KernelDesc(convKernelName("implicit_gemm_conv_bwd_filter", g.k, g.stride), 64, 16 * 1024).serial(),
         total, kBlock, [&](ThreadCtx &ctx) {
             const auto t = ctx.globalId();
             const int kx = static_cast<int>(t % g.k);
@@ -412,7 +412,7 @@ convTranspose2dBackwardFilter(gpu::Device &dev, const ConvTransGeom &g,
     const std::uint64_t total =
         static_cast<std::uint64_t>(g.c) * g.f * g.k * g.k;
     dev.launchLinear(
-        KernelDesc(convKernelName("conv_transpose2d_bwd_filter", g.k, g.stride), 64, 16 * 1024), total,
+        KernelDesc(convKernelName("conv_transpose2d_bwd_filter", g.k, g.stride), 64, 16 * 1024).serial(), total,
         kBlock, [&](ThreadCtx &ctx) {
             const auto t = ctx.globalId();
             const int kx = static_cast<int>(t % g.k);
@@ -510,7 +510,7 @@ maxPool2x2Backward(gpu::Device &dev, int n, int c, int h, int w,
     const std::uint64_t total =
         static_cast<std::uint64_t>(n) * c * oh * ow;
     dev.launchLinear(
-        KernelDesc("maxpool_bwd", 24), total, kBlock,
+        KernelDesc("maxpool_bwd", 24).serial(), total, kBlock,
         [&](ThreadCtx &ctx) {
             const auto t = ctx.globalId();
             const int idx = ctx.ld(&argmax[t]);

@@ -23,7 +23,8 @@ SectorCache::SectorCache(int size_bytes, int assoc, int line_bytes,
     : assoc_(assoc), lineBytes_(line_bytes), sectorBytes_(sector_bytes),
       sectorsPerLine_(line_bytes / sector_bytes),
       numSets_(size_bytes / (line_bytes * assoc)),
-      lineShift_(log2Exact(line_bytes))
+      lineShift_(log2Exact(line_bytes)),
+      sectorShift_(log2Exact(sector_bytes))
 {
     if (assoc <= 0 || size_bytes < line_bytes * assoc)
         fatal("invalid cache geometry: size=", size_bytes,
@@ -33,8 +34,8 @@ SectorCache::SectorCache(int size_bytes, int assoc, int line_bytes,
     if (numSets_ == 0)
         numSets_ = 1;
     // Round set count down to a power of two for cheap indexing.
-    while ((numSets_ & (numSets_ - 1)) != 0)
-        numSets_ &= numSets_ - 1;
+    numSets_ = static_cast<int>(
+        std::bit_floor(static_cast<unsigned>(numSets_)));
     ways_.resize(static_cast<std::size_t>(numSets_) * assoc_);
 }
 
@@ -46,7 +47,7 @@ SectorCache::access(std::uint64_t addr, bool is_write)
 
     const std::uint64_t line_addr = addr >> lineShift_;
     const int sector =
-        static_cast<int>((addr >> log2Exact(sectorBytes_)) &
+        static_cast<int>((addr >> sectorShift_) &
                          (sectorsPerLine_ - 1));
     const std::uint32_t sector_bit = 1u << sector;
     const int set = static_cast<int>(line_addr & (numSets_ - 1));

@@ -101,6 +101,7 @@ class SectorCache
     int sectorsPerLine_;
     int numSets_;
     int lineShift_;
+    int sectorShift_; ///< log2(sectorBytes_), cached off the hot path.
     std::uint64_t stamp_ = 0;
     std::vector<Way> ways_; ///< numSets_ * assoc_, row-major by set.
     CacheStats stats_;

@@ -43,12 +43,24 @@ Coalescer::coalesce(
             }
             if (sectors.empty())
                 continue;
-            std::sort(sectors.begin(), sectors.end());
-            sectors.erase(
-                std::unique(sectors.begin(), sectors.end()),
-                sectors.end());
+            // Deduplicate in first-touch (lane) order rather than by
+            // address: a divergent warp instruction can span distinct
+            // buffers, and address order would then depend on where
+            // the host allocator placed them — placement noise, not
+            // access pattern. Lane order is a pure function of the
+            // program. Sector counts are tiny (<= a few per lane), so
+            // the quadratic scan is cheaper than sorting.
             CoalescedAccess ca;
-            ca.sectors = sectors;
+            for (const std::uint64_t s : sectors) {
+                bool seen = false;
+                for (const std::uint64_t t : ca.sectors)
+                    if (t == s) {
+                        seen = true;
+                        break;
+                    }
+                if (!seen)
+                    ca.sectors.push_back(s);
+            }
             ca.kind = static_cast<AccessKind>(kind);
             result.push_back(std::move(ca));
         }

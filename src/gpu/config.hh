@@ -12,6 +12,7 @@
 #define CACTUS_GPU_CONFIG_HH
 
 #include <algorithm>
+#include <bit>
 #include <string>
 #include <thread>
 
@@ -51,6 +52,24 @@ struct DeviceConfig
     int lineBytes = 128;
     int sectorBytes = 32;          ///< DRAM transaction granularity.
 
+    /**
+     * Private L1 cache units, each of l1SizeBytes, with a deterministic
+     * round-robin block-to-SM assignment (block b lives on SM
+     * b % units). 0 derives one unit per SM, matching the hardware; 1
+     * restores the legacy single device-wide L1 model.
+     */
+    int numL1Units = 0;
+
+    /**
+     * Address-interleaved L2 slices. The l2SizeBytes capacity is split
+     * evenly across slices and 128-byte line addresses are hashed to a
+     * slice (line-interleaved with an XOR fold; see l2SliceIndex()),
+     * so slices replay disjoint address streams while a line's sectors
+     * stay together. Rounded down to a power of two; 1 restores the
+     * monolithic L2 model.
+     */
+    int numL2Slices = 8;
+
     double l1LatencyCycles = 32.0;
     double l2LatencyCycles = 210.0;
     double dramLatencyCycles = 440.0;
@@ -78,14 +97,50 @@ struct DeviceConfig
     }
 
     /**
-     * Host threads used to execute simulated thread blocks. 1 runs the
-     * exact single-threaded legacy path; larger values fan blocks out
-     * across a worker pool. Per-launch LaunchStats are bit-identical
-     * either way: sampled-warp traces are replayed through the shared
-     * cache hierarchy in block order after the functional sweep.
+     * Host threads used to execute simulated thread blocks and to
+     * replay the sliced memory hierarchy. 1 runs the exact
+     * single-threaded reference path; larger values fan blocks (and
+     * per-SM / per-slice replay) out across a worker pool. Per-launch
+     * LaunchStats are bit-identical either way: traces are rewritten
+     * into canonical device addresses, per-SM L1 replay runs in
+     * ascending block order, and each L2 slice replays its merged
+     * stream in (block, seq) key order (see Device::replayHierarchy).
      * Values <= 0 fall back to defaultHostThreads().
      */
     int hostThreads = defaultHostThreads();
+
+    // --- Derived organization ---------------------------------------------
+
+    /** Number of private L1 units after resolving the 0 default. */
+    int
+    resolvedL1Units() const
+    {
+        return numL1Units > 0 ? numL1Units : numSms;
+    }
+
+    /** Number of L2 slices, floored at one and rounded down to a
+     *  power of two (the slice-local address translation relies on
+     *  it; see l2SliceLocalAddr()). */
+    int
+    resolvedL2Slices() const
+    {
+        const unsigned n =
+            numL2Slices > 0 ? static_cast<unsigned>(numL2Slices) : 1u;
+        return static_cast<int>(std::bit_floor(n));
+    }
+
+    /**
+     * Capacity of one L2 slice. Floored at one full set so extreme
+     * withScaledCaches() factors still yield a functioning slice; the
+     * aggregate capacity is then slightly above l2SizeBytes, which is
+     * the conservative direction for hit rates at tiny scales.
+     */
+    int
+    l2SliceBytes() const
+    {
+        return std::max(l2SizeBytes / resolvedL2Slices(),
+                        l2Assoc * lineBytes);
+    }
 
     // --- Derived rates ----------------------------------------------------
 

@@ -1,21 +1,65 @@
 #include "gpu/device.hh"
 
 #include <algorithm>
+#include <bit>
 
+#include "common/host_alloc.hh"
 #include "common/logging.hh"
 
+namespace cactus {
+
+/**
+ * Weak fallback for binaries that do not link the cactus_hostalign
+ * OBJECT library: no arena exists, so traced host addresses translate
+ * as themselves and the first-touch frame mapping alone absorbs
+ * placement differences.
+ */
+__attribute__((weak)) bool
+canonicalRange(const void *, CanonicalRange &)
+{
+    return false;
+}
+
+} // namespace cactus
+
 namespace cactus::gpu {
+
+namespace {
+
+/** One L1 miss bound for an L2 slice, with its global ordering key.
+ *  Slices replay their merged streams in ascending (block, seq) order,
+ *  which is the order a monolithic in-order replay would present. */
+struct SliceRef
+{
+    std::uint64_t block;  ///< Linear block id of the emitting block.
+    std::uint64_t sector; ///< Slice-local sector address
+                          ///< (l2SliceLocalAddr of the miss address).
+    std::uint32_t seq;    ///< Emission ordinal within the block.
+    bool isWrite;
+};
+
+} // namespace
 
 Device::Device(DeviceConfig cfg)
     : config_(std::move(cfg)),
       coalescer_(config_.sectorBytes),
-      l1_(config_.l1SizeBytes, config_.l1Assoc, config_.lineBytes,
-          config_.sectorBytes),
-      l2_(config_.l2SizeBytes, config_.l2Assoc, config_.lineBytes,
-          config_.sectorBytes),
-      streamBuffer_(8 * 1024, 4, config_.lineBytes,
-                    config_.sectorBytes)
+      lineShift_(std::countr_zero(
+          static_cast<unsigned>(config_.lineBytes)))
 {
+    const int units = config_.resolvedL1Units();
+    l1s_.reserve(units);
+    streamBuffers_.reserve(units);
+    for (int u = 0; u < units; ++u) {
+        l1s_.emplace_back(config_.l1SizeBytes, config_.l1Assoc,
+                          config_.lineBytes, config_.sectorBytes);
+        streamBuffers_.emplace_back(8 * 1024, 4, config_.lineBytes,
+                                    config_.sectorBytes);
+    }
+    const int slices = config_.resolvedL2Slices();
+    l2Slices_.reserve(slices);
+    for (int s = 0; s < slices; ++s)
+        l2Slices_.emplace_back(config_.l2SliceBytes(), config_.l2Assoc,
+                               config_.lineBytes, config_.sectorBytes);
 }
 
 void
@@ -23,6 +67,33 @@ Device::clearHistory()
 {
     launches_.clear();
     elapsedSeconds_ = 0.0;
+}
+
+void
+Device::setHostThreads(int n)
+{
+    config_.hostThreads = n;
+    const int resolved =
+        n > 0 ? n : DeviceConfig::defaultHostThreads();
+    if (pool_ && pool_->workers() != resolved)
+        pool_.reset();
+}
+
+void
+Device::flushCaches()
+{
+    for (auto &l1 : l1s_)
+        l1.flush();
+    for (auto &sb : streamBuffers_)
+        sb.flush();
+    for (auto &slice : l2Slices_)
+        slice.flush();
+    // Also restart the canonical address numbering: the next cold run
+    // re-derives it from its own first-touch order, so two cold runs
+    // of the same access pattern translate identically even when the
+    // allocator moved the underlying buffers.
+    lineFrames_.clear();
+    nextFrame_ = 0;
 }
 
 Device::LaunchState
@@ -55,10 +126,13 @@ Device::beginLaunch(const KernelDesc &desc, Dim3 grid, Dim3 block)
     state.sampledBlockBudget = static_cast<std::int64_t>(
         std::max<std::uint64_t>(1, max_sampled / state.warpsPerBlock));
 
-    // L1 contents do not survive kernel boundaries; L2 does.
-    l1_.flush();
-    l1_.resetStats();
-    l2_.resetStats();
+    // L1 contents do not survive kernel boundaries; L2 slices do.
+    for (auto &l1 : l1s_) {
+        l1.flush();
+        l1.resetStats();
+    }
+    for (auto &slice : l2Slices_)
+        slice.resetStats();
     return state;
 }
 
@@ -71,6 +145,18 @@ Device::resolveWorkerCount(std::uint64_t num_blocks) const
     const std::uint64_t cap = std::max<std::uint64_t>(1, num_blocks);
     return static_cast<int>(
         std::min<std::uint64_t>(static_cast<std::uint64_t>(n), cap));
+}
+
+WorkerPool &
+Device::workerPool()
+{
+    if (!pool_) {
+        int n = config_.hostThreads;
+        if (n <= 0)
+            n = DeviceConfig::defaultHostThreads();
+        pool_ = std::make_unique<WorkerPool>(n);
+    }
+    return *pool_;
 }
 
 bool
@@ -149,40 +235,193 @@ Device::mergeScratch(LaunchState &state, const WorkerScratch &ws)
 }
 
 void
-Device::replayBlock(LaunchState &state,
-                    const std::vector<CoalescedAccess> &insts)
+Device::replayHierarchy(
+    LaunchState &state,
+    std::vector<std::vector<CoalescedAccess>> &block_traces)
 {
-    state.sampledMemInsts += insts.size();
-    for (const auto &wi : insts) {
-        // Streaming (evict-first) loads run through a small dedicated
-        // buffer: within-line spatial reuse is captured, but the
-        // stream never displaces reused data from L1/L2.
-        if (wi.kind == AccessKind::StreamLoad) {
-            for (std::uint64_t sector : wi.sectors) {
-                if (streamBuffer_.access(sector, false) !=
-                    CacheOutcome::Hit)
-                    ++state.sampledDramRead;
+    const int units = config_.resolvedL1Units();
+    const int slices = config_.resolvedL2Slices();
+
+    // --- Canonical-address pre-pass --------------------------------------
+    // Rewrite every traced host address into the canonical device
+    // address space in two steps. First the host pointer is mapped to
+    // its arena logical address (see common/host_alloc.hh) — logical
+    // bases are never recycled, so a freed-and-reallocated buffer can
+    // never alias a dead buffer's cached lines. Then each logical line
+    // gets a sequential frame in first-touch order; the pass is serial
+    // and walks blocks in ascending order, so the mapping — and
+    // therefore every set index, slice hash, and LRU decision
+    // downstream — depends only on the access pattern, never on where
+    // the host allocator placed the workload's buffers.
+    const std::uint64_t offset_mask = config_.lineBytes - 1;
+    CanonicalRange range{0, 0, 0};
+    std::uint64_t last_line = ~std::uint64_t{0};
+    std::uint64_t last_frame = 0;
+    for (auto &trace : block_traces) {
+        for (auto &wi : trace) {
+            for (auto &sector : wi.sectors) {
+                std::uint64_t logical = sector;
+                if (sector >= range.begin && sector < range.end) {
+                    logical =
+                        range.logicalBase + (sector - range.begin);
+                } else if (canonicalRange(
+                               reinterpret_cast<const void *>(sector),
+                               range)) {
+                    logical =
+                        range.logicalBase + (sector - range.begin);
+                } else {
+                    range = CanonicalRange{0, 0, 0};
+                }
+                const std::uint64_t line = logical >> lineShift_;
+                if (line != last_line) {
+                    const auto [it, inserted] =
+                        lineFrames_.try_emplace(line, nextFrame_);
+                    if (inserted)
+                        ++nextFrame_;
+                    last_line = line;
+                    last_frame = it->second;
+                }
+                sector = (last_frame << lineShift_) |
+                         (logical & offset_mask);
             }
-            continue;
         }
-        const bool is_write = wi.kind == AccessKind::Store;
-        for (std::uint64_t sector : wi.sectors) {
-            ++state.sampledL1Accesses;
-            const CacheOutcome l1_out = l1_.access(sector, is_write);
-            if (l1_out == CacheOutcome::Hit)
-                continue;
-            ++state.sampledL1Misses;
-            ++state.sampledL2Accesses;
-            const CacheOutcome l2_out = l2_.access(sector, is_write);
-            if (l2_out == CacheOutcome::Hit)
-                continue;
-            ++state.sampledL2Misses;
-            // Write-allocate-no-fetch: a missing store dirties the
-            // sector and reaches DRAM later as a write-back (counted
-            // via the L2 eviction/drain statistics).
-            if (!is_write)
-                ++state.sampledDramRead;
+    }
+
+    // Deterministic round-robin block-to-SM assignment: sampled block
+    // ordinal o is block o * stride, living on SM (o * stride) % units.
+    // Ordinals are gathered in ascending order, so every unit replays
+    // its blocks in ascending block order.
+    std::vector<std::vector<std::uint32_t>> unit_ordinals(units);
+    for (std::uint32_t o = 0;
+         o < static_cast<std::uint32_t>(block_traces.size()); ++o) {
+        const std::uint64_t b = o * state.blockSampleStride;
+        unit_ordinals[b % units].push_back(o);
+        state.sampledMemInsts += block_traces[o].size();
+    }
+    std::vector<int> active_units;
+    for (int u = 0; u < units; ++u)
+        if (!unit_ordinals[u].empty())
+            active_units.push_back(u);
+
+    // --- Stage 1: per-SM L1 replay --------------------------------------
+    // Each SM's L1 and stream buffer see only that SM's blocks, so
+    // units replay concurrently; L1 misses are emitted as per-slice
+    // streams tagged with (block, seq) ordering keys.
+    struct UnitResult
+    {
+        std::uint64_t l1Accesses = 0;
+        std::uint64_t l1Misses = 0;
+        std::uint64_t dramRead = 0; ///< Stream-buffer misses.
+        std::vector<std::vector<SliceRef>> perSlice;
+    };
+    std::vector<UnitResult> unit_results(active_units.size());
+    for (auto &r : unit_results)
+        r.perSlice.resize(slices);
+
+    workerPool().run(
+        active_units.size(), [&](std::uint64_t task, int) {
+            const int u = active_units[task];
+            UnitResult &r = unit_results[task];
+            SectorCache &l1 = l1s_[u];
+            SectorCache &stream_buffer = streamBuffers_[u];
+            for (const std::uint32_t o : unit_ordinals[u]) {
+                const std::uint64_t b = o * state.blockSampleStride;
+                std::uint32_t seq = 0;
+                for (const auto &wi : block_traces[o]) {
+                    // Streaming (evict-first) loads run through the
+                    // SM's dedicated buffer: within-line spatial reuse
+                    // is captured, but the stream never displaces
+                    // reused data from L1/L2.
+                    if (wi.kind == AccessKind::StreamLoad) {
+                        for (const std::uint64_t sector : wi.sectors) {
+                            if (stream_buffer.access(sector, false) !=
+                                CacheOutcome::Hit)
+                                ++r.dramRead;
+                        }
+                        continue;
+                    }
+                    const bool is_write = wi.kind == AccessKind::Store;
+                    for (const std::uint64_t sector : wi.sectors) {
+                        ++r.l1Accesses;
+                        if (l1.access(sector, is_write) ==
+                            CacheOutcome::Hit)
+                            continue;
+                        ++r.l1Misses;
+                        const int s = l2SliceIndex(sector, lineShift_,
+                                                   slices);
+                        r.perSlice[s].push_back(SliceRef{
+                            b,
+                            l2SliceLocalAddr(sector, lineShift_, slices),
+                            seq++, is_write});
+                    }
+                }
+            }
+        });
+
+    // --- Stage 2: per-slice L2 replay -----------------------------------
+    // Slices cache disjoint addresses, so they replay concurrently;
+    // each merges the streams aimed at it and replays in ascending
+    // (block, seq) order — the schedule-independent reference order.
+    std::vector<int> active_slices;
+    for (int s = 0; s < slices; ++s) {
+        for (const auto &r : unit_results) {
+            if (!r.perSlice[s].empty()) {
+                active_slices.push_back(s);
+                break;
+            }
         }
+    }
+    struct SliceResult
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t dramRead = 0;
+    };
+    std::vector<SliceResult> slice_results(active_slices.size());
+
+    workerPool().run(
+        active_slices.size(), [&](std::uint64_t task, int) {
+            const int s = active_slices[task];
+            std::size_t total = 0;
+            for (const auto &r : unit_results)
+                total += r.perSlice[s].size();
+            std::vector<SliceRef> stream;
+            stream.reserve(total);
+            for (const auto &r : unit_results)
+                stream.insert(stream.end(), r.perSlice[s].begin(),
+                              r.perSlice[s].end());
+            std::sort(stream.begin(), stream.end(),
+                      [](const SliceRef &a, const SliceRef &b) {
+                          return a.block != b.block ? a.block < b.block
+                                                    : a.seq < b.seq;
+                      });
+            SectorCache &l2 = l2Slices_[s];
+            SliceResult &res = slice_results[task];
+            for (const auto &e : stream) {
+                ++res.accesses;
+                if (l2.access(e.sector, e.isWrite) == CacheOutcome::Hit)
+                    continue;
+                ++res.misses;
+                // Write-allocate-no-fetch: a missing store dirties the
+                // sector and reaches DRAM later as a write-back
+                // (counted via the slice eviction/drain statistics).
+                if (!e.isWrite)
+                    ++res.dramRead;
+            }
+        });
+
+    // Fixed-order integer merges: identical for every schedule.
+    for (const auto &r : unit_results) {
+        state.sampledL1Accesses += r.l1Accesses;
+        state.sampledL1Misses += r.l1Misses;
+        state.sampledDramRead += r.dramRead;
+    }
+    for (const auto &res : slice_results) {
+        state.sampledL2Accesses += res.accesses;
+        state.sampledL2Misses += res.misses;
+        state.sampledDramRead += res.dramRead;
+        state.sampledL2SliceMax =
+            std::max(state.sampledL2SliceMax, res.accesses);
     }
 }
 
@@ -206,6 +445,18 @@ Device::endLaunch(LaunchState &state)
     if (state.sampledMemInsts > 0) {
         scale = static_cast<double>(total_mem_insts) /
                 static_cast<double>(state.sampledMemInsts);
+        stats.sampleCoverage = std::min(
+            1.0, static_cast<double>(state.sampledMemInsts) /
+                     std::max<std::uint64_t>(1, total_mem_insts));
+    } else if (total_mem_insts > 0) {
+        // No memory instruction fell into a sampled block (e.g. only
+        // late blocks touch memory): the extrapolation has nothing to
+        // scale from and reports zero traffic.
+        stats.sampleCoverage = 0.0;
+        warn("kernel '", state.desc.name, "': ", total_mem_insts,
+             " warp-level memory instructions but none were sampled; "
+             "memory traffic extrapolates to zero (raise "
+             "DeviceConfig::maxSampledWarps)");
     }
     auto scaled = [scale](std::uint64_t v) {
         return static_cast<std::uint64_t>(
@@ -215,11 +466,15 @@ Device::endLaunch(LaunchState &state)
     stats.l1Misses = scaled(state.sampledL1Misses);
     stats.l2Accesses = scaled(state.sampledL2Accesses);
     stats.l2Misses = scaled(state.sampledL2Misses);
+    stats.l2SliceMaxAccesses = scaled(state.sampledL2SliceMax);
     stats.dramReadSectors = scaled(state.sampledDramRead);
     // DRAM writes are the L2 write-backs: dirty evictions during the
     // launch plus the dirty sectors drained at the kernel boundary.
-    stats.dramWriteSectors = scaled(l2_.stats().writebackSectors +
-                                    l2_.drainDirty());
+    std::uint64_t writeback_sectors = 0;
+    for (auto &slice : l2Slices_)
+        writeback_sectors +=
+            slice.stats().writebackSectors + slice.drainDirty();
+    stats.dramWriteSectors = scaled(writeback_sectors);
 
     TimingInputs in;
     in.counts = state.totals;
@@ -231,6 +486,7 @@ Device::endLaunch(LaunchState &state)
     in.l1Misses = stats.l1Misses;
     in.l2Accesses = stats.l2Accesses;
     in.l2Misses = stats.l2Misses;
+    in.busiestL2SliceAccesses = stats.l2SliceMaxAccesses;
     in.dramReadSectors = stats.dramReadSectors;
     in.dramWriteSectors = stats.dramWriteSectors;
 

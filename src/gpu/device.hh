@@ -7,28 +7,46 @@
  * hierarchy, and evaluates the interval timing model to produce a
  * LaunchStats record per launch.
  *
- * The L2 cache persists across launches within a device (modeling
- * producer-consumer reuse between dependent kernels); the L1 is flushed
- * at each launch boundary.
+ * The memory hierarchy is organized the way the modeled hardware is:
+ * every SM owns a private L1 (DeviceConfig::numL1Units, blocks assigned
+ * round-robin, block b on SM b % units) and the L2 is split into
+ * address-interleaved slices (DeviceConfig::numL2Slices). L2 slice
+ * contents persist across launches within a device (modeling
+ * producer-consumer reuse between dependent kernels); the L1s are
+ * flushed at each launch boundary.
  *
- * Execution is block-parallel on the host when DeviceConfig::hostThreads
- * allows it: thread blocks are fanned out across a worker pool, each
- * worker accumulating private instruction counters and recording sampled
- * warps' traces into per-block storage. The stateful part of the model —
- * the coalesced traces' replay through the shared stream-buffer/L1/L2
- * hierarchy — happens after the functional sweep, in ascending block
- * order, so per-launch LaunchStats are bit-identical to the serial
- * (hostThreads = 1) path regardless of how blocks were scheduled.
+ * Execution and replay are both host-parallel (DeviceConfig::
+ * hostThreads) yet bit-deterministic:
+ *  1. The functional sweep fans thread blocks across a persistent
+ *     worker pool, each worker accumulating private counters and
+ *     recording sampled blocks' coalesced traces into per-block
+ *     storage.
+ *  2. A serial pre-pass translates every traced host address into the
+ *     canonical device address space: line addresses map to
+ *     sequential frames in first-touch order (ascending block order),
+ *     so cache statistics do not depend on where the host allocator
+ *     happened to place the workload's buffers.
+ *  3. Replay stage 1 runs per-SM: each SM replays its sampled blocks'
+ *     traces (ascending block order) through its own L1 and stream
+ *     buffer, emitting its L1 misses as per-slice streams tagged with
+ *     (block, seq) ordering keys. SMs are independent, so they replay
+ *     concurrently.
+ *  4. Replay stage 2 runs per-L2-slice: each slice merges the streams
+ *     aimed at it and replays them in ascending (block, seq) order.
+ *     Slices cache disjoint addresses, so they replay concurrently.
+ * Every aggregate is an integer sum over fixed index spaces, so
+ * LaunchStats are bit-identical for any hostThreads value; 1 runs the
+ * same algorithm inline and serves as the reference schedule.
  */
 
 #ifndef CACTUS_GPU_DEVICE_HH
 #define CACTUS_GPU_DEVICE_HH
 
 #include <algorithm>
-#include <atomic>
+#include <bit>
 #include <cstdint>
-#include <mutex>
-#include <thread>
+#include <memory>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -36,6 +54,7 @@
 #include "gpu/cache.hh"
 #include "gpu/coalescer.hh"
 #include "gpu/config.hh"
+#include "gpu/host_pool.hh"
 #include "gpu/metrics.hh"
 #include "gpu/occupancy.hh"
 #include "gpu/thread_ctx.hh"
@@ -43,6 +62,50 @@
 #include "gpu/types.hh"
 
 namespace cactus::gpu {
+
+/**
+ * L2 slice owning an address. The hash input is the 128-byte line
+ * address, so consecutive lines interleave across slices while a
+ * line's sectors all live in one slice — hashing at sector granularity
+ * would scatter each line over ~4 slices and duplicate its tag in
+ * every one of them, fragmenting the aggregate capacity (transactions
+ * remain 32-byte sectors either way). The XOR fold keeps power-of-two
+ * strided streams from resonating onto a single slice while
+ * consecutive lines still spread round-robin.
+ */
+inline int
+l2SliceIndex(std::uint64_t addr, int line_shift, int num_slices)
+{
+    const std::uint64_t line = addr >> line_shift;
+    const std::uint64_t folded = line ^ (line >> 9) ^ (line >> 18);
+    return static_cast<int>(folded %
+                            static_cast<std::uint64_t>(num_slices));
+}
+
+/**
+ * Translate @p addr into the address space local to its L2 slice: the
+ * log2(num_slices) slice-selection bits are dropped from the line
+ * part, exactly as interleaved hardware excludes bank-select bits from
+ * the index/tag path. Without this the hash constraint freezes the low
+ * line bits within any local window, so a slice's set index would
+ * collapse onto a couple of sets.
+ *
+ * The translation is collision-free within one slice: two lines in the
+ * same 2^k-line group (identical high bits) differ only in their low k
+ * bits, and the XOR fold then assigns them different slices, so
+ * (slice, line >> k) identifies the line uniquely. This argument needs
+ * num_slices to be a power of two, which resolvedL2Slices() enforces.
+ */
+inline std::uint64_t
+l2SliceLocalAddr(std::uint64_t addr, int line_shift, int num_slices)
+{
+    const int k = std::countr_zero(
+        static_cast<unsigned>(num_slices));
+    const std::uint64_t line = addr >> line_shift;
+    const std::uint64_t offset =
+        addr & ((std::uint64_t{1} << line_shift) - 1);
+    return ((line >> k) << line_shift) | offset;
+}
 
 /** A simulated GPU-compute device. */
 class Device
@@ -58,7 +121,7 @@ class Device
      * call concurrently for threads of different blocks. Kernels
      * following the thread-independent contract of DESIGN.md already
      * are; cross-block communication must go through the ThreadCtx
-     * atomics, which the device linearizes.
+     * atomics, which the device linearizes per address.
      *
      * @param desc Kernel metadata (name, registers, shared memory).
      * @param grid Grid dimensions in blocks.
@@ -75,58 +138,42 @@ class Device
         const int workers =
             desc.serialOrdered ? 1 : resolveWorkerCount(num_blocks);
 
-        if (workers <= 1) {
-            // Serial path: execute and replay block by block, in order.
-            WorkerScratch ws = makeScratch();
-            std::vector<CoalescedAccess> block_trace;
-            for (std::uint64_t b = 0; b < num_blocks; ++b) {
-                const bool sampled = blockIsSampled(state, b);
-                block_trace.clear();
-                runBlock(state, b, sampled, ws,
-                         sampled ? &block_trace : nullptr, nullptr, body);
-                if (sampled)
-                    replayBlock(state, block_trace);
-            }
-            mergeScratch(state, ws);
-            return endLaunch(state);
-        }
-
-        // Parallel path: fan the functional sweep out across workers,
-        // each with private counter/trace scratch, then replay the
-        // sampled blocks' coalesced traces through the shared cache
-        // hierarchy in ascending block order. Replay order — not
-        // execution order — determines the cache statistics, so the
-        // resulting LaunchStats are bit-identical to the serial path.
-        std::vector<WorkerScratch> scratch(workers, makeScratch());
+        // Functional sweep: execute every block, recording sampled
+        // blocks' coalesced traces into per-block storage keyed by
+        // sample ordinal. Replay happens afterwards, so the sweep's
+        // schedule cannot influence the cache statistics.
         std::vector<std::vector<CoalescedAccess>> block_traces(
             sampledBlockCount(state, num_blocks));
-        std::atomic<std::uint64_t> next_block{0};
-        auto work = [&](int wi) {
-            WorkerScratch &ws = scratch[wi];
-            for (;;) {
-                const std::uint64_t b =
-                    next_block.fetch_add(1, std::memory_order_relaxed);
-                if (b >= num_blocks)
-                    break;
+        if (workers <= 1) {
+            WorkerScratch ws = makeScratch();
+            for (std::uint64_t b = 0; b < num_blocks; ++b) {
                 const bool sampled = blockIsSampled(state, b);
                 auto *trace = sampled
                     ? &block_traces[b / state.blockSampleStride]
                     : nullptr;
-                runBlock(state, b, sampled, ws, trace, &atomicMutex_,
-                         body);
+                runBlock(state, b, sampled, ws, trace, nullptr, body);
             }
-        };
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (int wi = 0; wi < workers; ++wi)
-            pool.emplace_back(work, wi);
-        for (auto &t : pool)
-            t.join();
-
-        for (const auto &ws : scratch)
             mergeScratch(state, ws);
-        for (const auto &trace : block_traces)
-            replayBlock(state, trace);
+        } else {
+            WorkerPool &pool = workerPool();
+            std::vector<WorkerScratch> scratch(pool.workers(),
+                                               makeScratch());
+            pool.run(num_blocks, [&](std::uint64_t b, int wi) {
+                WorkerScratch &ws = scratch[wi];
+                const bool sampled = blockIsSampled(state, b);
+                auto *trace = sampled
+                    ? &block_traces[b / state.blockSampleStride]
+                    : nullptr;
+                runBlock(state, b, sampled, ws, trace, &atomicLocks_,
+                         body);
+            });
+            // Integer sums merged in fixed worker order: exact and
+            // independent of how blocks were scheduled.
+            for (const auto &ws : scratch)
+                mergeScratch(state, ws);
+        }
+
+        replayHierarchy(state, block_traces);
         return endLaunch(state);
     }
 
@@ -150,6 +197,24 @@ class Device
     }
 
     const DeviceConfig &config() const { return config_; }
+
+    /**
+     * Change the host worker-thread count between launches. An
+     * existing pool of a different size is torn down and lazily
+     * rebuilt on the next parallel launch. LaunchStats are
+     * schedule-independent, so this never changes results — it exists
+     * so callers (and the determinism tests) can compare thread
+     * counts on one device without reallocating the workload.
+     */
+    void setHostThreads(int n);
+
+    /**
+     * Drop all cached contents (L1s, stream buffers, L2 slices)
+     * without counting write-backs, returning the hierarchy to its
+     * post-construction cold state. Launch statistics already
+     * recorded are unaffected.
+     */
+    void flushCaches();
 
     /** All launches recorded since construction or clearHistory(). */
     const std::vector<LaunchStats> &launches() const { return launches_; }
@@ -185,6 +250,7 @@ class Device
         std::uint64_t sampledL1Misses = 0;
         std::uint64_t sampledL2Accesses = 0;
         std::uint64_t sampledL2Misses = 0;
+        std::uint64_t sampledL2SliceMax = 0; ///< Busiest-slice accesses.
         std::uint64_t sampledDramRead = 0;
         std::uint64_t sampledDramWrite = 0;
     };
@@ -206,6 +272,9 @@ class Device
     /** Number of host workers to use for a launch of @p num_blocks. */
     int resolveWorkerCount(std::uint64_t num_blocks) const;
 
+    /** The persistent worker pool, created on first parallel use. */
+    WorkerPool &workerPool();
+
     /** Whether block @p b records address traces. Pure function of the
      *  launch geometry, identical for every execution schedule. */
     static bool blockIsSampled(const LaunchState &state, std::uint64_t b);
@@ -219,10 +288,19 @@ class Device
     static void countWarp(WorkerScratch &ws, int lanes, bool sampled);
     static void mergeScratch(LaunchState &state, const WorkerScratch &ws);
 
-    /** Replay one sampled block's coalesced accesses (in warp order)
-     *  through the stream-buffer/L1/L2 hierarchy. Main thread only. */
-    void replayBlock(LaunchState &state,
-                     const std::vector<CoalescedAccess> &insts);
+    /**
+     * Replay the sampled blocks' coalesced traces through the
+     * hierarchy. A serial pre-pass first rewrites every traced host
+     * address into the canonical device address space (sequential
+     * line frames in first-touch order), then two deterministic
+     * parallel stages run: per-SM L1 replay emitting keyed per-slice
+     * miss streams, and per-slice L2 replay in (block, seq) key
+     * order. Both stages fan out over the worker pool; results are
+     * bit-identical for any hostThreads value.
+     */
+    void replayHierarchy(
+        LaunchState &state,
+        std::vector<std::vector<CoalescedAccess>> &block_traces);
 
     /**
      * Execute every warp of block @p b functionally, accumulating
@@ -235,14 +313,14 @@ class Device
     void
     runBlock(const LaunchState &state, std::uint64_t b, bool sampled,
              WorkerScratch &ws, std::vector<CoalescedAccess> *block_trace,
-             std::mutex *atomic_lock, F &body)
+             AtomicLockTable *atomic_locks, F &body)
     {
         const Dim3 grid = state.grid;
         const Dim3 block = state.block;
         ThreadCtx ctx;
         ctx.blockDim = block;
         ctx.gridDim = grid;
-        ctx.atomicLock_ = atomic_lock;
+        ctx.atomicLocks_ = atomic_locks;
         ctx.blockIdx.x = static_cast<unsigned>(b % grid.x);
         ctx.blockIdx.y = static_cast<unsigned>((b / grid.x) % grid.y);
         ctx.blockIdx.z = static_cast<unsigned>(
@@ -278,15 +356,35 @@ class Device
 
     DeviceConfig config_;
     Coalescer coalescer_;
-    SectorCache l1_;
-    SectorCache l2_;
-    /** Small evict-first buffer for streaming (__ldcs) loads: captures
-     *  their within-line spatial reuse without polluting L1/L2. */
-    SectorCache streamBuffer_;
+    int lineShift_; ///< log2(lineBytes), for translation and slicing.
 
-    /** Linearizes ThreadCtx atomics across concurrently executing
-     *  blocks; unused (never handed to ThreadCtx) on the serial path. */
-    std::mutex atomicMutex_;
+    /**
+     * Canonical device address map: host line address -> sequential
+     * frame, assigned in first-touch order during the (deterministic)
+     * replay pre-pass. Cache set indexing, slice hashing, and LRU
+     * state therefore never see raw host pointers, making every
+     * traffic statistic reproducible for a given access pattern no
+     * matter where the host allocator placed the buffers. Persists
+     * across launches (L2 slices cache translated addresses);
+     * flushCaches() clears it together with the cached contents.
+     */
+    std::unordered_map<std::uint64_t, std::uint64_t> lineFrames_;
+    std::uint64_t nextFrame_ = 0;
+
+    std::vector<SectorCache> l1s_;      ///< One private L1 per SM.
+    /** Small evict-first buffers for streaming (__ldcs) loads, one per
+     *  SM: capture within-line spatial reuse without polluting L1/L2. */
+    std::vector<SectorCache> streamBuffers_;
+    std::vector<SectorCache> l2Slices_; ///< Address-interleaved banks.
+
+    /** Striped locks linearizing ThreadCtx atomics per address across
+     *  concurrently executing blocks; unused (never handed to
+     *  ThreadCtx) on the serial path. */
+    AtomicLockTable atomicLocks_;
+
+    /** Persistent worker pool shared by the sweep and both replay
+     *  stages; null until the first parallel launch. */
+    std::unique_ptr<WorkerPool> pool_;
 
     std::vector<LaunchStats> launches_;
     double elapsedSeconds_ = 0.0;

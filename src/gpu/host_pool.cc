@@ -1,0 +1,91 @@
+#include "gpu/host_pool.hh"
+
+namespace cactus::gpu {
+
+WorkerPool::WorkerPool(int workers)
+{
+    const int helpers = workers > 1 ? workers - 1 : 0;
+    threads_.reserve(helpers);
+    for (int i = 0; i < helpers; ++i)
+        threads_.emplace_back(&WorkerPool::helperLoop, this, i + 1);
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+WorkerPool::run(std::uint64_t num_tasks,
+                const std::function<void(std::uint64_t, int)> &fn)
+{
+    if (threads_.empty() || num_tasks <= 1) {
+        for (std::uint64_t t = 0; t < num_tasks; ++t)
+            fn(t, 0);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &fn;
+        numTasks_ = num_tasks;
+        nextTask_.store(0, std::memory_order_relaxed);
+        active_ = static_cast<int>(threads_.size());
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    // The caller is worker 0 and drains tasks alongside the helpers.
+    for (;;) {
+        const std::uint64_t t =
+            nextTask_.fetch_add(1, std::memory_order_relaxed);
+        if (t >= num_tasks)
+            break;
+        fn(t, 0);
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return active_ == 0; });
+    job_ = nullptr;
+}
+
+void
+WorkerPool::helperLoop(int worker_index)
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        const std::function<void(std::uint64_t, int)> *job;
+        std::uint64_t num_tasks;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stop_ || generation_ != seen_generation;
+            });
+            if (stop_)
+                return;
+            seen_generation = generation_;
+            job = job_;
+            num_tasks = numTasks_;
+        }
+        for (;;) {
+            const std::uint64_t t =
+                nextTask_.fetch_add(1, std::memory_order_relaxed);
+            if (t >= num_tasks)
+                break;
+            (*job)(t, worker_index);
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--active_ == 0)
+                done_.notify_one();
+        }
+    }
+}
+
+} // namespace cactus::gpu

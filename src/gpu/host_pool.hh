@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Persistent host worker pool for the simulator's parallel stages. The
+ * block-parallel functional sweep and the two replay stages (per-SM L1,
+ * per-slice L2) each fan an index space out across the same pool;
+ * keeping the threads alive across launches avoids a thread
+ * create/join cycle per launch, which dominates for the many small
+ * launches the ML workloads issue.
+ */
+
+#ifndef CACTUS_GPU_HOST_POOL_HH
+#define CACTUS_GPU_HOST_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cactus::gpu {
+
+/**
+ * A fixed-size pool of host worker threads executing an indexed task
+ * space. run() dispatches tasks [0, numTasks) to the pool plus the
+ * calling thread; tasks are claimed from a shared atomic counter, so
+ * any worker can pick up any task (callers must not depend on the
+ * task-to-worker mapping for correctness — the simulator's stages are
+ * written so only *aggregation order*, not execution order, matters).
+ */
+class WorkerPool
+{
+  public:
+    /**
+     * @param workers Total worker count including the calling thread;
+     *                workers - 1 helper threads are spawned. Values
+     *                <= 1 create no threads and run() executes inline.
+     */
+    explicit WorkerPool(int workers);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /**
+     * Execute @p fn(task, worker) for every task in [0, numTasks).
+     * The caller participates as worker 0; helpers are 1..workers-1.
+     * Returns when every task has finished. Not reentrant.
+     */
+    void run(std::uint64_t num_tasks,
+             const std::function<void(std::uint64_t, int)> &fn);
+
+    /** Total workers (helpers + caller) this pool dispatches to. */
+    int workers() const { return static_cast<int>(threads_.size()) + 1; }
+
+  private:
+    void helperLoop(int worker_index);
+
+    std::vector<std::thread> threads_;
+    std::mutex mutex_;
+    std::condition_variable wake_;  ///< Signals a new generation.
+    std::condition_variable done_;  ///< Signals active_ reaching zero.
+    const std::function<void(std::uint64_t, int)> *job_ = nullptr;
+    std::atomic<std::uint64_t> nextTask_{0};
+    std::uint64_t numTasks_ = 0;
+    std::uint64_t generation_ = 0;
+    int active_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace cactus::gpu
+
+#endif // CACTUS_GPU_HOST_POOL_HH

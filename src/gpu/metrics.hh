@@ -73,8 +73,20 @@ struct LaunchStats
     std::uint64_t l1Misses = 0;
     std::uint64_t l2Accesses = 0;
     std::uint64_t l2Misses = 0;
+    /** Extrapolated accesses into the busiest L2 slice: the slice-level
+     *  bottleneck the timing model's L2-bandwidth term uses. */
+    std::uint64_t l2SliceMaxAccesses = 0;
     std::uint64_t dramReadSectors = 0;
     std::uint64_t dramWriteSectors = 0;
+
+    /**
+     * Fraction of the launch's warp-level memory instructions covered
+     * by the replayed sample (1 when every warp was traced or the
+     * launch has no memory instructions; 0 when memory instructions
+     * exist but none fell into a sampled block — the extrapolation
+     * then reports no traffic, see Device::endLaunch).
+     */
+    double sampleCoverage = 1.0;
 
     double occupancyFraction = 0;
     int residentWarpsPerSm = 0;

@@ -15,24 +15,75 @@
  * thread-independent; block-level cooperation uses multi-kernel patterns
  * or atomics. Lanes of one warp always execute sequentially on one host
  * thread, but distinct blocks may run concurrently on a worker pool
- * (DeviceConfig::hostThreads), so the atomic operations take a
- * device-wide lock when blocks execute in parallel — they stay
- * linearizable (and thus functionally exact for commutative updates)
- * under any schedule.
+ * (DeviceConfig::hostThreads), so the atomic operations take a lock
+ * striped by target address when blocks execute in parallel — every
+ * access to one address serializes on one stripe, so atomics stay
+ * linearizable per address under any schedule, while atomics to
+ * unrelated addresses proceed concurrently. Linearization makes
+ * *integer* accumulation exact for any schedule; floating-point
+ * addition commutes but does not associate, so kernels that accumulate
+ * FP values across blocks (or consume atomic return values as store
+ * indices) must declare KernelDesc::serial() to keep their results —
+ * and everything data-dependent downstream — schedule-independent.
  */
 
 #ifndef CACTUS_GPU_THREAD_CTX_HH
 #define CACTUS_GPU_THREAD_CTX_HH
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <type_traits>
 #include <vector>
 
+#include "common/logging.hh"
 #include "gpu/types.hh"
 
 namespace cactus::gpu {
 
 class Device;
+
+/** One-shot process-wide warning for schedule-dependent FP atomics
+ *  reaching the parallel sweep (see the file comment). */
+inline void
+warnParallelFpAtomic()
+{
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed))
+        warn("floating-point atomic executed in a parallel block "
+             "sweep; the accumulation order is schedule-dependent — "
+             "mark the kernel KernelDesc::serial() to keep its "
+             "results reproducible across hostThreads settings");
+}
+
+/**
+ * Address-striped lock array linearizing ThreadCtx atomics across
+ * concurrently executing blocks. A single device-wide mutex serializes
+ * every worker of an atomic-heavy kernel (histogram, frontier push) on
+ * one cache line; striping by target address keeps same-address
+ * operations mutually exclusive — which is all linearizability needs —
+ * while updates to distinct counters spread over independent stripes.
+ */
+class AtomicLockTable
+{
+  public:
+    static constexpr int kStripes = 64;
+
+    /** The stripe guarding @p addr. Addresses within one 16-byte
+     *  granule share a stripe, so any torn-access window of a scalar
+     *  update is covered by a single lock. */
+    std::mutex &
+    forAddr(std::uint64_t addr)
+    {
+        std::uint64_t h = addr >> 4;
+        h *= 0x9E3779B97F4A7C15ull; // Fibonacci hash: mix low bits up.
+        return stripes_[(h >> 58) & (kStripes - 1)];
+    }
+
+  private:
+    std::array<std::mutex, kStripes> stripes_;
+};
 
 /** Per-thread execution context handed to kernel bodies. */
 class ThreadCtx
@@ -104,17 +155,24 @@ class ThreadCtx
 
     /**
      * Functional atomic add returning the old value. Linearized across
-     * concurrently executing blocks via the device atomic lock; within
-     * one block, lanes already execute sequentially.
+     * concurrently executing blocks via the address-striped atomic
+     * locks; within one block, lanes already execute sequentially.
      */
     template <typename T>
     T
     atomicAdd(T *p, T v)
     {
         counters_->add(OpClass::ATOMIC, 1);
-        record(reinterpret_cast<std::uint64_t>(p), sizeof(T),
-               AccessKind::Atomic);
-        const auto guard = lockAtomics();
+        const auto addr = reinterpret_cast<std::uint64_t>(p);
+        record(addr, sizeof(T), AccessKind::Atomic);
+        if constexpr (std::is_floating_point_v<T>) {
+            // FP addition does not associate, so the accumulation
+            // order — and hence the sum — would depend on the host
+            // schedule. Kernels doing this must run serial-ordered.
+            if (atomicLocks_)
+                warnParallelFpAtomic();
+        }
+        const auto guard = lockAtomics(addr);
         T old = *p;
         *p = old + v;
         return old;
@@ -126,9 +184,9 @@ class ThreadCtx
     atomicMax(T *p, T v)
     {
         counters_->add(OpClass::ATOMIC, 1);
-        record(reinterpret_cast<std::uint64_t>(p), sizeof(T),
-               AccessKind::Atomic);
-        const auto guard = lockAtomics();
+        const auto addr = reinterpret_cast<std::uint64_t>(p);
+        record(addr, sizeof(T), AccessKind::Atomic);
+        const auto guard = lockAtomics(addr);
         T old = *p;
         if (v > old)
             *p = v;
@@ -141,9 +199,9 @@ class ThreadCtx
     atomicCAS(T *p, T expected, T desired)
     {
         counters_->add(OpClass::ATOMIC, 1);
-        record(reinterpret_cast<std::uint64_t>(p), sizeof(T),
-               AccessKind::Atomic);
-        const auto guard = lockAtomics();
+        const auto addr = reinterpret_cast<std::uint64_t>(p);
+        record(addr, sizeof(T), AccessKind::Atomic);
+        const auto guard = lockAtomics(addr);
         T old = *p;
         if (old == expected)
             *p = desired;
@@ -186,20 +244,21 @@ class ThreadCtx
         trace_->push_back(acc);
     }
 
-    /** Lock the device-wide atomic mutex when blocks run in parallel;
-     *  a no-op (empty lock) on the serial path, where atomicLock_ is
+    /** Lock the stripe guarding @p addr when blocks run in parallel;
+     *  a no-op (empty lock) on the serial path, where atomicLocks_ is
      *  null and plain read-modify-write is already linearizable. */
     std::unique_lock<std::mutex>
-    lockAtomics()
+    lockAtomics(std::uint64_t addr)
     {
-        return atomicLock_ ? std::unique_lock<std::mutex>(*atomicLock_)
-                           : std::unique_lock<std::mutex>();
+        return atomicLocks_
+            ? std::unique_lock<std::mutex>(atomicLocks_->forAddr(addr))
+            : std::unique_lock<std::mutex>();
     }
 
     LaneCounters *counters_ = nullptr;
     std::vector<MemAccess> *trace_ = nullptr; ///< Null if not sampled.
-    /** Device atomic mutex; non-null only under parallel execution. */
-    std::mutex *atomicLock_ = nullptr;
+    /** Striped atomic locks; non-null only under parallel execution. */
+    AtomicLockTable *atomicLocks_ = nullptr;
     int lane_ = 0;
 };
 

@@ -64,8 +64,18 @@ evaluateTiming(const DeviceConfig &cfg, const TimingInputs &in)
         static_cast<double>(in.dramReadSectors + in.dramWriteSectors) *
         cfg.sectorBytes;
     t.dramCycles = dram_bytes / cfg.dramBytesPerCycle();
-    const double l2_bytes =
+    // The L2's aggregate bandwidth comes from its address-interleaved
+    // slices; when the hash is uneven, the busiest slice bounds the
+    // transfer (with a perfectly even split this reduces to the
+    // aggregate formula).
+    double l2_bytes =
         static_cast<double>(in.l2Accesses) * cfg.sectorBytes;
+    if (in.busiestL2SliceAccesses > 0) {
+        const double slice_bound =
+            static_cast<double>(in.busiestL2SliceAccesses) *
+            cfg.resolvedL2Slices() * cfg.sectorBytes;
+        l2_bytes = std::max(l2_bytes, slice_bound);
+    }
     t.l2Cycles = l2_bytes / cfg.l2BytesPerCycle;
 
     // --- Latency-exposure component -------------------------------------

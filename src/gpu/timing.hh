@@ -29,6 +29,11 @@ struct TimingInputs
     std::uint64_t l1Misses = 0;
     std::uint64_t l2Accesses = 0;
     std::uint64_t l2Misses = 0;
+    /** Accesses into the busiest L2 slice. The L2's aggregate bandwidth
+     *  is provided by its slices, so an uneven address hash makes the
+     *  hottest slice the bottleneck; 0 means "assume even" (e.g. for
+     *  traces recorded before slicing existed). */
+    std::uint64_t busiestL2SliceAccesses = 0;
     std::uint64_t dramReadSectors = 0;
     std::uint64_t dramWriteSectors = 0;
 

@@ -52,6 +52,19 @@ class RecordView
                            nullptr);
     }
 
+    /** number() for keys added after the format shipped: traces
+     *  recorded by older builds fall back to @p fallback. */
+    double
+    numberOr(const char *key, double fallback) const
+    {
+        const std::string needle = std::string("\"") + key + "\":";
+        const auto pos = line_.find(needle);
+        if (pos == std::string::npos)
+            return fallback;
+        return std::strtod(line_.c_str() + pos + needle.size(),
+                           nullptr);
+    }
+
     std::string
     text(const char *key) const
     {
@@ -104,8 +117,10 @@ writeLaunchTrace(std::ostream &out,
             << ",\"l1_miss\":" << l.l1Misses
             << ",\"l2_acc\":" << l.l2Accesses
             << ",\"l2_miss\":" << l.l2Misses
+            << ",\"l2_slice_max\":" << l.l2SliceMaxAccesses
             << ",\"dram_read\":" << l.dramReadSectors
             << ",\"dram_write\":" << l.dramWriteSectors
+            << ",\"sample_coverage\":" << l.sampleCoverage
             << ",\"seconds\":" << l.timing.seconds
             << ",\"gips\":" << l.metrics.gips
             << ",\"ii\":" << l.metrics.instIntensity << "}\n";
@@ -174,10 +189,13 @@ readLaunchTrace(std::istream &in)
         l.l2Accesses =
             static_cast<std::uint64_t>(rec.number("l2_acc"));
         l.l2Misses = static_cast<std::uint64_t>(rec.number("l2_miss"));
+        l.l2SliceMaxAccesses = static_cast<std::uint64_t>(
+            rec.numberOr("l2_slice_max", 0));
         l.dramReadSectors =
             static_cast<std::uint64_t>(rec.number("dram_read"));
         l.dramWriteSectors =
             static_cast<std::uint64_t>(rec.number("dram_write"));
+        l.sampleCoverage = rec.numberOr("sample_coverage", 1.0);
         l.timing.seconds = rec.number("seconds");
         l.metrics.gips = rec.number("gips");
         l.metrics.instIntensity = rec.number("ii");
@@ -211,6 +229,7 @@ retimeLaunch(const DeviceConfig &cfg, LaunchStats launch)
     in.l1Misses = launch.l1Misses;
     in.l2Accesses = launch.l2Accesses;
     in.l2Misses = launch.l2Misses;
+    in.busiestL2SliceAccesses = launch.l2SliceMaxAccesses;
     in.dramReadSectors = launch.dramReadSectors;
     in.dramWriteSectors = launch.dramWriteSectors;
 

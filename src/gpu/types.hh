@@ -11,9 +11,40 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 
 namespace cactus::gpu {
+
+/**
+ * A scalar (or small aggregate) living in simulated device global
+ * memory. Kernel-visible reduction targets — energy accumulators,
+ * frontier cursors, convergence flags — must not live on the host
+ * stack: a traced stack address shifts with ASLR and call depth, so
+ * its cache-line placement (line sharing, set index) would leak into
+ * the traffic statistics run to run. Heap storage is served by the
+ * canonical-address arena instead (see common/host_alloc.hh), which
+ * gives the value a stable, 128-byte-aligned modeled placement —
+ * exactly the role of a small cudaMalloc'd buffer in real CUDA code.
+ */
+template <typename T>
+class DeviceScalar
+{
+  public:
+    explicit DeviceScalar(T v = T{}) : p_(new T(std::move(v))) {}
+
+    /** Device address of the value, for ThreadCtx accesses. */
+    T *get() { return p_.get(); }
+
+    T &operator*() { return *p_; }
+    const T &operator*() const { return *p_; }
+    T *operator->() { return p_.get(); }
+    const T *operator->() const { return p_.get(); }
+
+  private:
+    std::unique_ptr<T> p_;
+};
 
 /** CUDA-style three-dimensional launch geometry. */
 struct Dim3

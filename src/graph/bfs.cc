@@ -35,7 +35,7 @@ advanceThread(gpu::Device &dev, const CsrGraph &g, BfsState &st,
 {
     const auto &offsets = g.offsets();
     const auto &targets = g.targets();
-    int cursor = 0;
+    gpu::DeviceScalar<int> cursor(0);
     dev.launchLinear(
         KernelDesc("advance_twc_thread", 32).serial(), st.frontierSize,
         opts.threadsPerBlock, [&](ThreadCtx &ctx) {
@@ -51,11 +51,11 @@ advanceThread(gpu::Device &dev, const CsrGraph &g, BfsState &st,
                 ctx.intOp(1);
                 if (lvl >= 0)
                     continue;
-                const int slot = ctx.atomicAdd(&cursor, 1);
+                const int slot = ctx.atomicAdd(cursor.get(), 1);
                 ctx.st(&st.edgeFrontier[slot], u);
             }
         });
-    st.edgeFrontierSize = cursor;
+    st.edgeFrontierSize = *cursor;
 }
 
 /**
@@ -68,7 +68,7 @@ advanceWarp(gpu::Device &dev, const CsrGraph &g, BfsState &st,
 {
     const auto &offsets = g.offsets();
     const auto &targets = g.targets();
-    int cursor = 0;
+    gpu::DeviceScalar<int> cursor(0);
     const std::uint64_t threads =
         static_cast<std::uint64_t>(st.frontierSize) * 32;
     dev.launchLinear(
@@ -88,11 +88,11 @@ advanceWarp(gpu::Device &dev, const CsrGraph &g, BfsState &st,
                 ctx.intOp(2);
                 if (lvl >= 0)
                     continue;
-                const int slot = ctx.atomicAdd(&cursor, 1);
+                const int slot = ctx.atomicAdd(cursor.get(), 1);
                 ctx.st(&st.edgeFrontier[slot], u);
             }
         });
-    st.edgeFrontierSize = cursor;
+    st.edgeFrontierSize = *cursor;
 }
 
 /**
@@ -105,7 +105,7 @@ advanceCta(gpu::Device &dev, const CsrGraph &g, BfsState &st,
 {
     const auto &offsets = g.offsets();
     const auto &targets = g.targets();
-    int cursor = 0;
+    gpu::DeviceScalar<int> cursor(0);
     const int cta = opts.threadsPerBlock;
     dev.launch(
         KernelDesc("advance_twc_cta", 40, 1024).serial(),
@@ -125,11 +125,11 @@ advanceCta(gpu::Device &dev, const CsrGraph &g, BfsState &st,
                 ctx.intOp(2);
                 if (lvl >= 0)
                     continue;
-                const int slot = ctx.atomicAdd(&cursor, 1);
+                const int slot = ctx.atomicAdd(cursor.get(), 1);
                 ctx.st(&st.edgeFrontier[slot], u);
             }
         });
-    st.edgeFrontierSize = cursor;
+    st.edgeFrontierSize = *cursor;
 }
 
 /**
@@ -225,7 +225,7 @@ bottomUpStep(gpu::Device &dev, const CsrGraph &g, BfsState &st,
     const auto &offsets = g.offsets();
     const auto &targets = g.targets();
     const int n = g.numVertices();
-    int cursor = 0;
+    gpu::DeviceScalar<int> cursor(0);
     dev.launchLinear(
         KernelDesc("bfs_bottom_up", 32).serial(), n,
         opts.threadsPerBlock,
@@ -245,13 +245,13 @@ bottomUpStep(gpu::Device &dev, const CsrGraph &g, BfsState &st,
                 ctx.intOp(1);
                 if (ul == depth - 1) {
                     ctx.st(&st.levels[v], depth);
-                    const int slot = ctx.atomicAdd(&cursor, 1);
+                    const int slot = ctx.atomicAdd(cursor.get(), 1);
                     ctx.st(&st.nextFrontier[slot], v);
                     break;
                 }
             }
         });
-    st.nextSize = cursor;
+    st.nextSize = *cursor;
 }
 
 /** Sum of out-degrees over the frontier (device reduction). */
@@ -260,7 +260,7 @@ frontierDegree(gpu::Device &dev, const CsrGraph &g, BfsState &st,
                const BfsOptions &opts)
 {
     const auto &offsets = g.offsets();
-    long long total = 0;
+    gpu::DeviceScalar<long long> total(0);
     dev.launchLinear(
         KernelDesc("frontier_reduce_degree", 16), st.frontierSize,
         opts.threadsPerBlock, [&](ThreadCtx &ctx) {
@@ -268,9 +268,9 @@ frontierDegree(gpu::Device &dev, const CsrGraph &g, BfsState &st,
             const int v = ctx.ld(&st.frontier[f]);
             const int deg = ctx.ld(&offsets[v + 1]) - ctx.ld(&offsets[v]);
             ctx.intOp(2);
-            ctx.atomicAdd(&total, static_cast<long long>(deg));
+            ctx.atomicAdd(total.get(), static_cast<long long>(deg));
         });
-    return total;
+    return *total;
 }
 
 } // namespace

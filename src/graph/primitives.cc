@@ -71,7 +71,7 @@ gunrockSssp(gpu::Device &dev, const CsrGraph &g, int source,
     int frontier_size = 1;
 
     while (frontier_size > 0 && result.iterations < 4 * n) {
-        int next_size = 0;
+        gpu::DeviceScalar<int> next_size(0);
         // Kernel: relax all edges out of the frontier; push improved
         // vertices into the next worklist (claimed via CAS on a flag).
         dev.launchLinear(
@@ -101,15 +101,15 @@ gunrockSssp(gpu::Device &dev, const CsrGraph &g, int source,
                         std::uint8_t{1});
                     if (old == 0) {
                         const int slot =
-                            ctx.atomicAdd(&next_size, 1);
+                            ctx.atomicAdd(next_size.get(), 1);
                         ctx.st(&next_frontier[slot], u);
                     }
                 }
             });
         // Kernel: clear the membership flags for the next round.
-        if (next_size > 0) {
+        if (*next_size > 0) {
             dev.launchLinear(
-                KernelDesc("sssp_clear_flags", 8), next_size,
+                KernelDesc("sssp_clear_flags", 8), *next_size,
                 threads_per_block, [&](ThreadCtx &ctx) {
                     const int i = static_cast<int>(ctx.globalId());
                     const int u = ctx.ld(&next_frontier[i]);
@@ -117,7 +117,7 @@ gunrockSssp(gpu::Device &dev, const CsrGraph &g, int source,
                 });
         }
         std::swap(frontier, next_frontier);
-        frontier_size = next_size;
+        frontier_size = *next_size;
         ++result.iterations;
     }
     return result;
@@ -169,9 +169,9 @@ gunrockPageRank(gpu::Device &dev, const CsrGraph &g, double damping,
     for (int iter = 0; iter < max_iterations; ++iter) {
         // Kernel: collect the dangling (degree-0) mass so it can be
         // redistributed instead of leaking out of the distribution.
-        double dangling = 0;
+        gpu::DeviceScalar<double> dangling(0.0);
         dev.launchLinear(
-            KernelDesc("pr_dangling_reduce", 16), n,
+            KernelDesc("pr_dangling_reduce", 16).serial(), n,
             threads_per_block, [&](ThreadCtx &ctx) {
                 const int v = static_cast<int>(ctx.globalId());
                 const int deg = ctx.ld(&offsets[v + 1]) -
@@ -179,12 +179,12 @@ gunrockPageRank(gpu::Device &dev, const CsrGraph &g, double damping,
                 ctx.intOp(2);
                 ctx.branch(1);
                 if (deg == 0)
-                    ctx.atomicAdd(&dangling,
+                    ctx.atomicAdd(dangling.get(),
                                   static_cast<double>(
                                       ctx.ld(&rank[v])));
             });
         const float teleport = base + static_cast<float>(
-            damping * dangling / n);
+            damping * *dangling / n);
 
         // Kernel: reset accumulators to the teleport + dangling term.
         dev.launchLinear(
@@ -194,7 +194,7 @@ gunrockPageRank(gpu::Device &dev, const CsrGraph &g, double damping,
             });
         // Kernel: push each vertex's rank share to its neighbors.
         dev.launchLinear(
-            KernelDesc("pr_push", 32), n, threads_per_block,
+            KernelDesc("pr_push", 32).serial(), n, threads_per_block,
             [&](ThreadCtx &ctx) {
                 const int v = static_cast<int>(ctx.globalId());
                 const int begin = ctx.ld(&offsets[v]);
@@ -214,21 +214,21 @@ gunrockPageRank(gpu::Device &dev, const CsrGraph &g, double damping,
                 }
             });
         // Kernel: L1 delta reduction + swap into rank.
-        double delta = 0;
+        gpu::DeviceScalar<double> delta(0.0);
         dev.launchLinear(
-            KernelDesc("pr_delta_swap", 24), n, threads_per_block,
+            KernelDesc("pr_delta_swap", 24).serial(), n, threads_per_block,
             [&](ThreadCtx &ctx) {
                 const int v = static_cast<int>(ctx.globalId());
                 const float old = ctx.ld(&rank[v]);
                 const float nv = ctx.ld(&next[v]);
                 ctx.fp32(2);
-                ctx.atomicAdd(&delta, std::fabs(
+                ctx.atomicAdd(delta.get(), std::fabs(
                     static_cast<double>(nv) - old));
                 ctx.st(&rank[v], nv);
             });
         ++result.iterations;
-        result.finalDelta = delta;
-        if (delta < tolerance)
+        result.finalDelta = *delta;
+        if (*delta < tolerance)
             break;
     }
     return result;
@@ -254,9 +254,9 @@ gunrockConnectedComponents(gpu::Device &dev, const CsrGraph &g,
             ctx.st(&label[v], v);
         });
 
-    int changed = 1;
-    while (changed && result.iterations < n) {
-        changed = 0;
+    gpu::DeviceScalar<int> changed(1);
+    while (*changed && result.iterations < n) {
+        *changed = 0;
         // Kernel: hook - adopt the smallest neighboring label.
         dev.launchLinear(
             KernelDesc("cc_hook", 28).serial(), n, threads_per_block,
@@ -277,7 +277,7 @@ gunrockConnectedComponents(gpu::Device &dev, const CsrGraph &g,
                 ctx.branch(1);
                 if (best < ctx.ld(&label[v])) {
                     ctx.st(&label[v], best);
-                    ctx.atomicMax(&changed, 1);
+                    ctx.atomicMax(changed.get(), 1);
                 }
             });
         // Kernel: compress - pointer-jump labels toward the roots.
@@ -337,9 +337,9 @@ gunrockBetweenness(gpu::Device &dev, const CsrGraph &g, int source,
 
     // Forward phase: level-synchronous BFS accumulating sigma.
     int depth = 0;
-    int advanced = 1;
-    while (advanced) {
-        advanced = 0;
+    gpu::DeviceScalar<int> advanced(1);
+    while (*advanced) {
+        *advanced = 0;
         dev.launchLinear(
             KernelDesc("bc_forward", 32).serial(), n, threads_per_block,
             [&](ThreadCtx &ctx) {
@@ -357,7 +357,7 @@ gunrockBetweenness(gpu::Device &dev, const CsrGraph &g, int source,
                     ctx.branch(1);
                     if (lu == -1) {
                         ctx.st(&level[u], depth + 1);
-                        ctx.atomicMax(&advanced, 1);
+                        ctx.atomicMax(advanced.get(), 1);
                     }
                     if (lu == -1 || lu == depth + 1) {
                         ctx.atomicAdd(&sigma[u], sv);
@@ -372,7 +372,7 @@ gunrockBetweenness(gpu::Device &dev, const CsrGraph &g, int source,
     // Backward phase: accumulate dependencies from the deepest level.
     for (int d = depth - 1; d > 0; --d) {
         dev.launchLinear(
-            KernelDesc("bc_backward", 40), n, threads_per_block,
+            KernelDesc("bc_backward", 40).serial(), n, threads_per_block,
             [&](ThreadCtx &ctx) {
                 const int v = static_cast<int>(ctx.globalId());
                 ctx.branch(1);

@@ -112,9 +112,9 @@ Simulation::applyConstraints(gpu::Device &dev)
 double
 Simulation::reduceKinetic(gpu::Device &dev)
 {
-    double ke = 0;
+    gpu::DeviceScalar<double> ke(0.0);
     dev.launchLinear(
-        KernelDesc("reduce_kinetic", 24), sys_.numAtoms(),
+        KernelDesc("reduce_kinetic", 24).serial(), sys_.numAtoms(),
         cfg_.threadsPerBlock, [&](ThreadCtx &ctx) {
             const int i = static_cast<int>(ctx.globalId());
             const Vec3 v = ctx.ld(&sys_.vel[i]);
@@ -122,9 +122,9 @@ Simulation::reduceKinetic(gpu::Device &dev)
             const float e =
                 0.5f * m * (v.x * v.x + v.y * v.y + v.z * v.z);
             ctx.fp32(7);
-            ctx.atomicAdd(&ke, static_cast<double>(e));
+            ctx.atomicAdd(ke.get(), static_cast<double>(e));
         });
-    return ke;
+    return *ke;
 }
 
 void

@@ -44,9 +44,10 @@ computePairForces(gpu::Device &dev, ParticleSystem &sys,
 
     const int n = sys.numAtoms();
     const float cutoff2 = cutoff * cutoff;
-    ForceAccumulators acc;
+    gpu::DeviceScalar<ForceAccumulators> acc;
 
-    const KernelDesc desc(pairKernelName(style), pairKernelRegs(style));
+    const KernelDesc desc =
+        KernelDesc(pairKernelName(style), pairKernelRegs(style)).serial();
     dev.launchLinear(desc, n, threads_per_block, [&](ThreadCtx &ctx) {
         const int i = static_cast<int>(ctx.globalId());
         const Vec3 pi = ctx.ld(&sys.pos[i]);
@@ -194,11 +195,11 @@ computePairForces(gpu::Device &dev, ParticleSystem &sys,
         ctx.st(&sys.force[i], fi);
         // Per-atom scalar reductions; halved because each pair is
         // visited from both sides.
-        ctx.atomicAdd(&acc.potential, 0.5 * static_cast<double>(e_local));
-        ctx.atomicAdd(&acc.virial, 0.5 * static_cast<double>(w_local));
+        ctx.atomicAdd(&acc->potential, 0.5 * static_cast<double>(e_local));
+        ctx.atomicAdd(&acc->virial, 0.5 * static_cast<double>(w_local));
         ctx.fp32(2);
     });
-    return acc;
+    return *acc;
 }
 
 double
@@ -208,11 +209,11 @@ computeBondedForces(gpu::Device &dev, ParticleSystem &sys,
     using gpu::KernelDesc;
     using gpu::ThreadCtx;
 
-    double energy = 0;
+    gpu::DeviceScalar<double> energy(0.0);
 
     if (!sys.bonds.empty()) {
         dev.launchLinear(
-            KernelDesc("bonded_bonds", 32), sys.bonds.size(),
+            KernelDesc("bonded_bonds", 32).serial(), sys.bonds.size(),
             threads_per_block, [&](ThreadCtx &ctx) {
                 const auto b = ctx.ld(&sys.bonds[ctx.globalId()]);
                 const Vec3 pi = ctx.ld(&sys.pos[b.i]);
@@ -232,14 +233,14 @@ computeBondedForces(gpu::Device &dev, ParticleSystem &sys,
                 ctx.atomicAdd(&sys.force[b.j].y, -fmag * dy);
                 ctx.atomicAdd(&sys.force[b.j].z, -fmag * dz);
                 ctx.fp32(6);
-                ctx.atomicAdd(&energy,
+                ctx.atomicAdd(energy.get(),
                               static_cast<double>(b.k) * dr * dr);
             });
     }
 
     if (!sys.angles.empty()) {
         dev.launchLinear(
-            KernelDesc("bonded_angles", 48), sys.angles.size(),
+            KernelDesc("bonded_angles", 48).serial(), sys.angles.size(),
             threads_per_block, [&](ThreadCtx &ctx) {
                 const auto a = ctx.ld(&sys.angles[ctx.globalId()]);
                 const Vec3 pi = ctx.ld(&sys.pos[a.i]);
@@ -292,14 +293,14 @@ computeBondedForces(gpu::Device &dev, ParticleSystem &sys,
                 ctx.atomicAdd(&sys.force[a.j].x, -f1x - f3x);
                 ctx.atomicAdd(&sys.force[a.j].y, -f1y - f3y);
                 ctx.atomicAdd(&sys.force[a.j].z, -f1z - f3z);
-                ctx.atomicAdd(&energy, static_cast<double>(a.kf) *
+                ctx.atomicAdd(energy.get(), static_cast<double>(a.kf) *
                                            dtheta * dtheta);
             });
     }
 
     if (!sys.dihedrals.empty()) {
         dev.launchLinear(
-            KernelDesc("bonded_dihedrals", 64), sys.dihedrals.size(),
+            KernelDesc("bonded_dihedrals", 64).serial(), sys.dihedrals.size(),
             threads_per_block, [&](ThreadCtx &ctx) {
                 const auto d = ctx.ld(&sys.dihedrals[ctx.globalId()]);
                 const Vec3 pi = ctx.ld(&sys.pos[d.i]);
@@ -344,12 +345,12 @@ computeBondedForces(gpu::Device &dev, ParticleSystem &sys,
                 ctx.atomicAdd(&sys.force[d.l].y, -fy);
                 ctx.atomicAdd(&sys.force[d.l].z, -fz);
                 ctx.atomicAdd(
-                    &energy,
+                    energy.get(),
                     static_cast<double>(d.kf) *
                         (1.0 + std::cos(d.n * phi)));
             });
     }
-    return energy;
+    return *energy;
 }
 
 } // namespace cactus::md

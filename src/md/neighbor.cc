@@ -98,7 +98,7 @@ NeighborList::build(gpu::Device &dev, const ParticleSystem &sys,
                                  cell_start.end() - 1);
     std::vector<int> sorted_atoms(n, 0);
     dev.launchLinear(
-        KernelDesc("nb_cell_fill", 20), n, threads_per_block,
+        KernelDesc("nb_cell_fill", 20).serial(), n, threads_per_block,
         [&](ThreadCtx &ctx) {
             const int i = static_cast<int>(ctx.globalId());
             const int cell = ctx.ld(&cell_of[i]);

@@ -129,7 +129,7 @@ PmeSolver::compute(gpu::Device &dev, ParticleSystem &sys,
 
     // --- Kernel: spread charges with trilinear (order-2) weights -------
     dev.launchLinear(
-        KernelDesc("pme_spread", 40), natoms, threads_per_block,
+        KernelDesc("pme_spread", 40).serial(), natoms, threads_per_block,
         [&](ThreadCtx &ctx) {
             const int i = static_cast<int>(ctx.globalId());
             const Vec3 p = ctx.ld(&sys.pos[i]);
@@ -179,9 +179,9 @@ PmeSolver::compute(gpu::Device &dev, ParticleSystem &sys,
     const std::size_t cells =
         static_cast<std::size_t>(n) * n * n;
     const float beta = 3.0f / sys.box; ///< Ewald splitting parameter.
-    double energy_acc = 0;
+    gpu::DeviceScalar<double> energy_acc(0.0);
     dev.launchLinear(
-        KernelDesc("pme_solve", 32), cells, threads_per_block,
+        KernelDesc("pme_solve", 32).serial(), cells, threads_per_block,
         [&](ThreadCtx &ctx) {
             const std::size_t c = ctx.globalId();
             const int kx0 = static_cast<int>(c % n);
@@ -211,7 +211,7 @@ PmeSolver::compute(gpu::Device &dev, ParticleSystem &sys,
             ctx.st(&grid_[c], scaled);
             const float e = 0.5f * green *
                             (v.real() * v.real() + v.imag() * v.imag());
-            ctx.atomicAdd(&energy_acc, static_cast<double>(e));
+            ctx.atomicAdd(energy_acc.get(), static_cast<double>(e));
         });
 
     // --- Inverse 3-D FFT --------------------------------------------------
@@ -220,7 +220,7 @@ PmeSolver::compute(gpu::Device &dev, ParticleSystem &sys,
 
     // --- Kernel: gather per-atom forces from the potential grid ---------
     dev.launchLinear(
-        KernelDesc("pme_gather", 48), natoms, threads_per_block,
+        KernelDesc("pme_gather", 48).serial(), natoms, threads_per_block,
         [&](ThreadCtx &ctx) {
             const int i = static_cast<int>(ctx.globalId());
             const float q = ctx.ld(&sys.charge[i]);
@@ -260,7 +260,7 @@ PmeSolver::compute(gpu::Device &dev, ParticleSystem &sys,
             ctx.atomicAdd(&sys.force[i].z, q * ez);
         });
 
-    return energy_acc;
+    return *energy_acc;
 }
 
 } // namespace cactus::md

@@ -60,10 +60,10 @@ class PbBfs : public ParboilBenchmark
         const auto &targets = g.targets();
         std::vector<int> cost(n, -1);
         cost[0] = 0;
-        int changed = 1;
+        gpu::DeviceScalar<int> changed(1);
         int level = 0;
-        while (changed && level < 50) {
-            changed = 0;
+        while (*changed && level < 50) {
+            *changed = 0;
             dev.launchLinear(
                 KernelDesc("bfs_kernel", 24).serial(), n, 256,
                 [&](ThreadCtx &ctx) {
@@ -79,7 +79,7 @@ class PbBfs : public ParboilBenchmark
                         ctx.intOp(2);
                         if (ctx.ld(&cost[u]) == -1) {
                             ctx.st(&cost[u], level + 1);
-                            ctx.atomicMax(&changed, 1);
+                            ctx.atomicMax(changed.get(), 1);
                         }
                     }
                 });
@@ -223,7 +223,7 @@ class PbMriGridding : public ParboilBenchmark
         std::vector<float> out(
             static_cast<std::size_t>(grid) * grid * grid, 0.f);
         dev.launchLinear(
-            KernelDesc("gridding_scatter", 32), samples, 256,
+            KernelDesc("gridding_scatter", 32).serial(), samples, 256,
             [&](ThreadCtx &ctx) {
                 const auto i = ctx.globalId();
                 const float v = ctx.ld(&data[i]);

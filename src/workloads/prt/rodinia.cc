@@ -165,9 +165,9 @@ class RdBfs : public RodiniaBenchmark
         mask[0] = 1;
         visited[0] = 1;
         cost[0] = 0;
-        int active = 1;
-        while (active > 0) {
-            active = 0;
+        gpu::DeviceScalar<int> active(1);
+        while (*active > 0) {
+            *active = 0;
             dev.launchLinear(
                 KernelDesc("Kernel", 24), n, 256,
                 [&](ThreadCtx &ctx) {
@@ -199,7 +199,7 @@ class RdBfs : public RodiniaBenchmark
                     ctx.st(&mask[v], std::uint8_t{1});
                     ctx.st(&visited[v], std::uint8_t{1});
                     ctx.st(&next_mask[v], std::uint8_t{0});
-                    ctx.atomicAdd(&active, 1);
+                    ctx.atomicAdd(active.get(), 1);
                 });
         }
     }
@@ -442,15 +442,15 @@ class RdHuffman : public RodiniaBenchmark
             codelens[s] = 4 + s % 12;
         }
         std::vector<int> out(n, 0);
-        int total_bits = 0;
+        gpu::DeviceScalar<int> total_bits(0);
         dev.launchLinear(
-            KernelDesc("vlc_encode_kernel_sm64huff", 32), n, 256,
+            KernelDesc("vlc_encode_kernel_sm64huff", 32).serial(), n, 256,
             [&](ThreadCtx &ctx) {
                 const auto i = ctx.globalId();
                 const int s = ctx.ld(&symbols[i]);
                 const int cw = ctx.ld(&codewords[s]);
                 const int len = ctx.ld(&codelens[s]);
-                const int pos = ctx.atomicAdd(&total_bits, len);
+                const int pos = ctx.atomicAdd(total_bits.get(), len);
                 ctx.intOp(6);
                 ctx.st(&out[i], cw ^ pos);
             });

@@ -254,8 +254,10 @@ expectIdenticalStats(const LaunchStats &a, const LaunchStats &b)
     EXPECT_EQ(a.l1Misses, b.l1Misses);
     EXPECT_EQ(a.l2Accesses, b.l2Accesses);
     EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.l2SliceMaxAccesses, b.l2SliceMaxAccesses);
     EXPECT_EQ(a.dramReadSectors, b.dramReadSectors);
     EXPECT_EQ(a.dramWriteSectors, b.dramWriteSectors);
+    EXPECT_EQ(a.sampleCoverage, b.sampleCoverage);
     // Timing and metrics derive from the integer inputs above, so exact
     // (not approximate) floating-point equality is expected.
     EXPECT_EQ(a.timing.totalCycles, b.timing.totalCycles);

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Host-side throughput benchmark: measures the wall-clock cost of
+ * *simulating* each workload (functional sweep + hierarchy replay) at
+ * several host worker-thread counts and writes the measurements to
+ * BENCH_host.json, so the speedup from parallel-replay work is
+ * tracked in-repo across PRs. Simulated GPU time is a model output
+ * and is identical at every thread count; this tool times the
+ * simulator itself.
+ *
+ * Usage:
+ *   bench_throughput [--suite SUITE] [--bench NAME] [--small]
+ *                    [--threads N[,M...]] [--repeats R]
+ *                    [--out BENCH_host.json]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/benchmark.hh"
+#include "gpu/device.hh"
+
+namespace {
+
+using namespace cactus;
+using core::Registry;
+using core::Scale;
+
+double
+timeOneRun(const core::BenchmarkInfo &info, Scale scale, int threads)
+{
+    gpu::DeviceConfig cfg = gpu::DeviceConfig::scaledExperiment();
+    cfg.hostThreads = threads;
+    gpu::Device dev(cfg);
+    auto bench = Registry::instance().create(info.name, scale);
+    const auto start = std::chrono::steady_clock::now();
+    bench->run(dev);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+}
+
+struct Row
+{
+    std::string name;
+    std::string suite;
+    std::vector<double> seconds; ///< Aligned with the thread list.
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string suite;
+    std::string bench_name;
+    std::string out_path = "BENCH_host.json";
+    std::vector<int> thread_counts = {1, 8};
+    Scale scale = Scale::Tiny;
+    int repeats = 3;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--suite") {
+            suite = next();
+        } else if (arg == "--bench") {
+            bench_name = next();
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--small") {
+            scale = Scale::Small;
+        } else if (arg == "--repeats") {
+            repeats = std::atoi(next());
+        } else if (arg == "--threads") {
+            thread_counts.clear();
+            for (const char *tok = std::strtok(
+                     const_cast<char *>(next()), ",");
+                 tok; tok = std::strtok(nullptr, ","))
+                thread_counts.push_back(std::atoi(tok));
+        } else {
+            fatal("unknown argument: %s", arg.c_str());
+        }
+    }
+    if (thread_counts.empty() || repeats < 1)
+        fatal("need at least one thread count and one repeat");
+
+    std::vector<Row> rows;
+    for (const auto *info : Registry::instance().list(suite)) {
+        if (!bench_name.empty() && info->name != bench_name)
+            continue;
+        Row row{info->name, info->suite, {}};
+        for (const int threads : thread_counts) {
+            double best = 0;
+            for (int r = 0; r < repeats; ++r) {
+                const double s = timeOneRun(*info, scale, threads);
+                if (r == 0 || s < best)
+                    best = s;
+            }
+            row.seconds.push_back(best);
+        }
+        rows.push_back(row);
+        std::printf("%-14s", row.name.c_str());
+        for (std::size_t t = 0; t < thread_counts.size(); ++t)
+            std::printf("  t%d %8.3f ms", thread_counts[t],
+                        row.seconds[t] * 1e3);
+        if (thread_counts.size() > 1 && row.seconds.back() > 0)
+            std::printf("  speedup %.2fx",
+                        row.seconds.front() / row.seconds.back());
+        std::printf("\n");
+    }
+    if (rows.empty())
+        fatal("no benchmarks matched");
+
+    std::FILE *out = std::fopen(out_path.c_str(), "w");
+    if (!out)
+        fatal("cannot open %s for writing", out_path.c_str());
+    std::fprintf(out, "{\n  \"scale\": \"%s\",\n",
+                 scale == Scale::Tiny ? "tiny" : "small");
+    std::fprintf(out, "  \"repeats\": %d,\n", repeats);
+    std::fprintf(out, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(out, "  \"thread_counts\": [");
+    for (std::size_t t = 0; t < thread_counts.size(); ++t)
+        std::fprintf(out, "%s%d", t ? ", " : "", thread_counts[t]);
+    std::fprintf(out, "],\n  \"benchmarks\": [\n");
+    std::vector<double> totals(thread_counts.size(), 0.0);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        std::fprintf(out,
+                     "    {\"name\": \"%s\", \"suite\": \"%s\", "
+                     "\"seconds\": [",
+                     row.name.c_str(), row.suite.c_str());
+        for (std::size_t t = 0; t < row.seconds.size(); ++t) {
+            std::fprintf(out, "%s%.6f", t ? ", " : "",
+                         row.seconds[t]);
+            totals[t] += row.seconds[t];
+        }
+        std::fprintf(out, "]}%s\n",
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"total_seconds\": [");
+    for (std::size_t t = 0; t < totals.size(); ++t)
+        std::fprintf(out, "%s%.6f", t ? ", " : "", totals[t]);
+    std::fprintf(out, "]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s (%zu benchmarks)\n", out_path.c_str(),
+                rows.size());
+    return 0;
+}
