@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Cooperative cancellation. A CancelToken is a cheap shared handle a
+ * watchdog (or signal handler) can flip from another thread; long
+ * computations poll it at safe boundaries — the simulated device
+ * checks at every kernel-launch boundary (gpu::Device::beginLaunch)
+ * and raises TimeoutError, unwinding the benchmark cleanly instead of
+ * killing the process mid-campaign.
+ */
+
+#ifndef CACTUS_COMMON_CANCEL_HH
+#define CACTUS_COMMON_CANCEL_HH
+
+#include <atomic>
+#include <memory>
+
+namespace cactus {
+
+/**
+ * Shared cancellation flag. Default-constructed tokens are inert
+ * (never requested, request() is a no-op), so configs that never run
+ * under a watchdog pay nothing. Copies share the flag.
+ */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    /** A live token whose copies all observe request(). */
+    static CancelToken
+    make()
+    {
+        CancelToken token;
+        token.flag_ = std::make_shared<std::atomic<bool>>(false);
+        return token;
+    }
+
+    /** Ask the computation to stop at its next cancellation point. */
+    void
+    request() const
+    {
+        if (flag_)
+            flag_->store(true, std::memory_order_relaxed);
+    }
+
+    /** Polled at cancellation points; false for inert tokens. */
+    bool
+    requested() const
+    {
+        return flag_ && flag_->load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+} // namespace cactus
+
+#endif // CACTUS_COMMON_CANCEL_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The recoverable-error taxonomy. Every error a caller can reasonably
+ * recover from is thrown as a subclass of cactus::Error, so harnesses
+ * (notably the campaign runner, core/campaign.hh) can isolate one
+ * failing benchmark without losing the rest of a long run. Process
+ * aborts are reserved for panic() — internal invariant violations.
+ *
+ * Tools keep the classic "fatal: message" + exit(1) behaviour by
+ * wrapping their main body in guardedMain(), which is the single place
+ * an Error is allowed to end the process.
+ */
+
+#ifndef CACTUS_COMMON_ERROR_HH
+#define CACTUS_COMMON_ERROR_HH
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace cactus {
+
+/** Base class of every recoverable Cactus error. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {
+    }
+};
+
+/** Bad configuration: command-line arguments, environment variables,
+ *  or workload parameters that fail validation. */
+class ConfigError : public Error
+{
+    using Error::Error;
+};
+
+/** Malformed, truncated, or unreadable launch-trace data. Carries the
+ *  1-based line number of the offending record when known. */
+class TraceError : public Error
+{
+  public:
+    explicit TraceError(const std::string &what_arg, long line = 0)
+        : Error(line > 0
+                    ? "line " + std::to_string(line) + ": " + what_arg
+                    : what_arg),
+          line_(line)
+    {
+    }
+
+    /** 1-based line of the bad record, or 0 when not line-specific. */
+    long line() const { return line_; }
+
+  private:
+    long line_ = 0;
+};
+
+/** A benchmark failed to run to completion (including injected
+ *  faults; see common/fault.hh). */
+class BenchmarkError : public Error
+{
+    using Error::Error;
+};
+
+/** A benchmark was cancelled because it exceeded its watchdog
+ *  deadline. A TimeoutError is-a BenchmarkError, so generic handlers
+ *  treat it as a failure while the campaign runner distinguishes it. */
+class TimeoutError : public BenchmarkError
+{
+    using BenchmarkError::BenchmarkError;
+};
+
+/**
+ * Run a tool's main body, converting taxonomy errors into the classic
+ * "fatal:" one-liner and exit status 1 at the process boundary. This
+ * is the only sanctioned place to turn an Error into process exit;
+ * library code must throw and let callers decide.
+ */
+template <typename Fn>
+int
+guardedMain(Fn &&body) noexcept
+{
+    try {
+        return body();
+    } catch (const Error &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "fatal: unhandled exception: %s\n",
+                     e.what());
+    }
+    return 1;
+}
+
+} // namespace cactus
+
+#endif // CACTUS_COMMON_ERROR_HH

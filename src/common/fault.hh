@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deterministic fault injection. The recovery paths of the campaign
+ * runner must themselves be exercised by tests rather than trusted, so
+ * named failure sites in the simulator can be forced to fail with a
+ * seeded pseudo-random decision sequence:
+ *
+ *     CACTUS_FAULT=site:probability:seed
+ *
+ * e.g. CACTUS_FAULT=launch:0.01:42. Each query of the matching site
+ * draws the next value of a counter-based SplitMix64 stream, so the
+ * n-th query fails (or not) as a pure function of (seed, n) — the same
+ * spec reproduces the same failures in any process, at any host
+ * thread count.
+ *
+ * Sites currently wired up:
+ *   alloc       gpu::Device construction (cache-array allocation)
+ *   launch      gpu::Device::beginLaunch (kernel-launch throw)
+ *   trace-write gpu::writeLaunchTrace (short record count)
+ */
+
+#ifndef CACTUS_COMMON_FAULT_HH
+#define CACTUS_COMMON_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/error.hh"
+#include "common/parse.hh"
+
+namespace cactus {
+
+/**
+ * Seeded injector for one named fault site. Default-constructed
+ * injectors are disabled and cost one pointer compare per query.
+ * Copies share the query counter, so a DeviceConfig carried through a
+ * campaign draws one global decision sequence.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+
+    /** Parse "site:probability:seed"; ConfigError on a bad spec. */
+    static FaultInjector
+    parse(const std::string &spec)
+    {
+        const auto c1 = spec.find(':');
+        const auto c2 =
+            c1 == std::string::npos ? c1 : spec.find(':', c1 + 1);
+        if (c1 == std::string::npos || c2 == std::string::npos ||
+            c1 == 0)
+            throw ConfigError("fault spec '" + spec +
+                              "' is not site:probability:seed");
+        FaultInjector injector;
+        injector.state_ = std::make_shared<State>();
+        injector.state_->site = spec.substr(0, c1);
+        injector.state_->probability = parseDouble(
+            spec.substr(c1 + 1, c2 - c1 - 1), "fault probability");
+        if (injector.state_->probability < 0.0 ||
+            injector.state_->probability > 1.0)
+            throw ConfigError("fault probability must be in [0, 1], "
+                              "got " + spec.substr(c1 + 1, c2 - c1 - 1));
+        injector.state_->seed =
+            parseUint64(spec.substr(c2 + 1), "fault seed");
+        return injector;
+    }
+
+    /** The process-wide injector parsed once from CACTUS_FAULT;
+     *  disabled when the variable is unset or empty. */
+    static const FaultInjector &
+    fromEnv()
+    {
+        static const FaultInjector injector = [] {
+            const char *env = std::getenv("CACTUS_FAULT");
+            return env && *env ? parse(env) : FaultInjector{};
+        }();
+        return injector;
+    }
+
+    bool enabled() const { return state_ != nullptr; }
+
+    /** Site this injector targets; empty when disabled. */
+    std::string
+    site() const
+    {
+        return state_ ? state_->site : std::string{};
+    }
+
+    /**
+     * Decide whether the next query of @p site fails. Non-matching
+     * sites never fail and do not advance the decision counter, so
+     * adding a new site upstream cannot shift an existing spec's
+     * failure pattern at its own site.
+     */
+    bool
+    shouldFail(std::string_view site) const
+    {
+        if (!state_ || state_->site != site)
+            return false;
+        const std::uint64_t n =
+            state_->counter.fetch_add(1, std::memory_order_relaxed);
+        return unitValue(state_->seed, n) < state_->probability;
+    }
+
+    /** The [0, 1) draw for query @p n under @p seed (SplitMix64).
+     *  Exposed so tests and seed-hunting scripts can predict the
+     *  decision sequence without consuming injector state. */
+    static double
+    unitValue(std::uint64_t seed, std::uint64_t n)
+    {
+        std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (n + 1);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        return static_cast<double>(z >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    struct State
+    {
+        std::string site;
+        double probability = 0.0;
+        std::uint64_t seed = 0;
+        std::atomic<std::uint64_t> counter{0};
+    };
+
+    std::shared_ptr<State> state_;
+};
+
+} // namespace cactus
+
+#endif // CACTUS_COMMON_FAULT_HH

@@ -42,7 +42,10 @@ constexpr std::uint64_t kLargeMagic = 0x63616374'75734c47ull;
 struct ChunkHeader
 {
     std::uint64_t magic;
-    std::uint64_t logicalBase;
+    /** Atomic: recycling a chunk assigns a fresh logical base while
+     *  canonicalRange() may be reading concurrently from another
+     *  thread; release/acquire keeps that read untorn and current. */
+    std::atomic<std::uint64_t> logicalBase;
     std::uint64_t mapBytes;
     /** Small chunks: outstanding allocations plus one reference held
      *  by the owning thread while it still bump-allocates here. */
@@ -171,8 +174,9 @@ acquireChunk()
         h->mapBytes = kChunkBytes;
         registerRange(h);
     }
-    h->logicalBase =
-        logicalCursor.fetch_add(kChunkBytes, std::memory_order_relaxed);
+    h->logicalBase.store(
+        logicalCursor.fetch_add(kChunkBytes, std::memory_order_relaxed),
+        std::memory_order_release);
     h->refs.store(1, std::memory_order_relaxed);
     h->nextFree = nullptr;
     return h;
@@ -233,8 +237,9 @@ allocateLarge(std::size_t rounded)
         return nullptr;
     h->magic = kLargeMagic;
     h->mapBytes = map_bytes;
-    h->logicalBase =
-        logicalCursor.fetch_add(map_bytes, std::memory_order_relaxed);
+    h->logicalBase.store(
+        logicalCursor.fetch_add(map_bytes, std::memory_order_relaxed),
+        std::memory_order_release);
     h->refs.store(1, std::memory_order_relaxed);
     h->nextFree = nullptr;
     registerRange(h);
@@ -292,7 +297,7 @@ canonicalRange(const void *p, CanonicalRange &out)
     const ChunkHeader *h = reinterpret_cast<const ChunkHeader *>(base);
     out.begin = base;
     out.end = base + h->mapBytes;
-    out.logicalBase = h->logicalBase;
+    out.logicalBase = h->logicalBase.load(std::memory_order_acquire);
     return true;
 }
 

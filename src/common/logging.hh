@@ -2,8 +2,13 @@
  * @file
  * Error and status reporting helpers, following the gem5 discipline:
  * panic() for internal invariant violations (simulator bugs), fatal() for
- * unrecoverable user errors (bad configuration or inputs), warn()/inform()
- * for status messages that do not stop the run.
+ * user errors (bad configuration or inputs), warn()/inform() for status
+ * messages that do not stop the run.
+ *
+ * fatal() throws cactus::Error rather than exiting, so harnesses (the
+ * campaign runner in particular) can recover from one bad input without
+ * losing the whole run; tools regain the classic "fatal: msg" exit(1)
+ * behaviour by wrapping main in guardedMain() (common/error.hh).
  */
 
 #ifndef CACTUS_COMMON_LOGGING_HH
@@ -13,6 +18,8 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+
+#include "common/error.hh"
 
 namespace cactus {
 
@@ -56,16 +63,16 @@ panic(const Args &...args)
 }
 
 /**
- * Exit with an error code: the simulation cannot continue due to a user
- * error (bad configuration, invalid arguments), not a simulator bug.
+ * The current computation cannot continue due to a user error (bad
+ * configuration, invalid arguments), not a simulator bug. Throws
+ * cactus::Error; a caller that cannot recover lets it propagate to
+ * guardedMain(), which prints "fatal: msg" and exits 1.
  */
 template <typename... Args>
 [[noreturn]] void
 fatal(const Args &...args)
 {
-    std::fprintf(stderr, "fatal: %s\n",
-                 detail::formatMessage(args...).c_str());
-    std::exit(1);
+    throw Error(detail::formatMessage(args...));
 }
 
 /** Report a suspicious-but-survivable condition. */

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Strict numeric parsing for command-line and environment input.
+ * std::atoi silently turns garbage into 0 ("--threads abc" used to
+ * mean --threads 0); these helpers require the whole token to parse
+ * and throw ConfigError otherwise, naming the option at fault.
+ */
+
+#ifndef CACTUS_COMMON_PARSE_HH
+#define CACTUS_COMMON_PARSE_HH
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <system_error>
+
+#include "common/error.hh"
+
+namespace cactus {
+
+namespace detail {
+
+template <typename T>
+T
+parseNumber(std::string_view text, const char *what,
+            const char *kind)
+{
+    T value{};
+    const char *first = text.data();
+    const char *last = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (text.empty() || ec != std::errc{} || ptr != last)
+        throw ConfigError(std::string(what) + " expects " + kind +
+                          ", got '" + std::string(text) + "'");
+    return value;
+}
+
+} // namespace detail
+
+/** Parse @p text as a base-10 int; ConfigError on garbage, partial
+ *  consumption, or overflow. @p what names the option in the error. */
+inline int
+parseInt(std::string_view text, const char *what)
+{
+    return detail::parseNumber<int>(text, what, "an integer");
+}
+
+/** parseInt for unsigned 64-bit values (e.g. RNG seeds). */
+inline std::uint64_t
+parseUint64(std::string_view text, const char *what)
+{
+    return detail::parseNumber<std::uint64_t>(
+        text, what, "a non-negative integer");
+}
+
+/** Parse @p text as a floating-point value, same strictness. */
+inline double
+parseDouble(std::string_view text, const char *what)
+{
+    return detail::parseNumber<double>(text, what, "a number");
+}
+
+} // namespace cactus
+
+#endif // CACTUS_COMMON_PARSE_HH

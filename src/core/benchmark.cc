@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace cactus::core {
@@ -44,7 +45,7 @@ Registry::create(const std::string &name, Scale scale) const
     for (const auto &info : benchmarks_)
         if (info.name == name)
             return info.factory(scale);
-    fatal("unknown benchmark '", name, "'");
+    throw ConfigError("unknown benchmark '" + name + "'");
 }
 
 bool

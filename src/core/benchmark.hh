@@ -65,7 +65,7 @@ class Registry
     std::vector<const BenchmarkInfo *> list(
         const std::string &suite = "") const;
 
-    /** Create a benchmark by name; fatal if unknown. */
+    /** Create a benchmark by name; throws ConfigError if unknown. */
     std::unique_ptr<Benchmark> create(const std::string &name,
                                       Scale scale = Scale::Small) const;
 

@@ -1,0 +1,312 @@
+#include "core/campaign.hh"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+
+namespace cactus::core {
+
+namespace {
+
+/**
+ * Arms a steady-clock (monotonic — immune to wall-clock steps) timer
+ * that requests cancellation on @p token when the deadline passes
+ * before disarm. Disarmed and joined by the destructor, so a watchdog
+ * never outlives its attempt, whichever way the attempt exits.
+ */
+class Watchdog
+{
+  public:
+    Watchdog(CancelToken token, double seconds)
+    {
+        if (seconds <= 0)
+            return;
+        const auto deadline = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds));
+        thread_ = std::thread([this, token, deadline] {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (!disarm_.wait_until(lock, deadline,
+                                    [this] { return disarmed_; }))
+                token.request();
+        });
+    }
+
+    ~Watchdog()
+    {
+        if (!thread_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            disarmed_ = true;
+        }
+        disarm_.notify_all();
+        thread_.join();
+    }
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable disarm_;
+    bool disarmed_ = false;
+    std::thread thread_;
+};
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/** Scan "key":value from a flat machine-written manifest line; the
+ *  same discipline as the trace reader (keys are unique per record). */
+bool
+findNumber(const std::string &line, const char *key, double &value)
+{
+    const std::string needle = std::string("\"") + key + "\":";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    const char *start = line.c_str() + pos + needle.size();
+    char *end = nullptr;
+    value = std::strtod(start, &end);
+    return end != start;
+}
+
+bool
+findText(const std::string &line, const char *key, std::string &value)
+{
+    const std::string needle = std::string("\"") + key + "\":\"";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    value.clear();
+    for (std::size_t i = pos + needle.size(); i < line.size(); ++i) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+            value.push_back(line[++i]);
+        } else if (line[i] == '"') {
+            return true;
+        } else {
+            value.push_back(line[i]);
+        }
+    }
+    return false; // Unterminated string: a record cut off mid-write.
+}
+
+void
+appendCheckpointRecord(std::ostream &out, const BenchmarkProfile &p)
+{
+    out.precision(17);
+    out << "{\"name\":\"" << jsonEscape(p.name) << "\""
+        << ",\"suite\":\"" << jsonEscape(p.suite) << "\""
+        << ",\"domain\":\"" << jsonEscape(p.domain) << "\""
+        << ",\"status\":\"ok\""
+        << ",\"kernels\":" << p.kernelCount()
+        << ",\"launches\":" << p.launches
+        << ",\"total_seconds\":" << p.totalSeconds
+        << ",\"total_warp_insts\":" << p.totalWarpInsts
+        << ",\"total_dram_sectors\":" << p.totalDramSectors << "}\n";
+    // One completed benchmark per line, flushed immediately: a kill
+    // between benchmarks loses at most the record being written, and
+    // the lenient reader skips that torn line on resume.
+    out.flush();
+}
+
+} // namespace
+
+const char *
+runStatusName(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::OK:
+        return "OK";
+      case RunStatus::Failed:
+        return "FAILED";
+      case RunStatus::Timeout:
+        return "TIMEOUT";
+      case RunStatus::Skipped:
+        return "SKIPPED";
+    }
+    return "UNKNOWN";
+}
+
+std::vector<CampaignEntry>
+readCheckpoint(const std::string &path)
+{
+    std::vector<CampaignEntry> entries;
+    std::ifstream in(path);
+    if (!in)
+        return entries; // No manifest yet: nothing completed.
+
+    std::string line;
+    long line_number = 0;
+    std::size_t bad_records = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        if (line.empty())
+            continue;
+        CampaignEntry entry;
+        std::string status;
+        double launches = 0, seconds = 0, warp_insts = 0, sectors = 0;
+        if (!findText(line, "name", entry.name) ||
+            !findText(line, "status", status) || status != "ok" ||
+            !findNumber(line, "launches", launches) ||
+            !findNumber(line, "total_seconds", seconds) ||
+            !findNumber(line, "total_warp_insts", warp_insts) ||
+            !findNumber(line, "total_dram_sectors", sectors)) {
+            ++bad_records;
+            continue;
+        }
+        findText(line, "suite", entry.profile.suite);
+        findText(line, "domain", entry.profile.domain);
+        entry.status = RunStatus::OK;
+        entry.profile.name = entry.name;
+        entry.profile.launches =
+            static_cast<std::uint64_t>(launches);
+        entry.profile.totalSeconds = seconds;
+        entry.profile.totalWarpInsts =
+            static_cast<std::uint64_t>(warp_insts);
+        entry.profile.totalDramSectors =
+            static_cast<std::uint64_t>(sectors);
+        entries.push_back(std::move(entry));
+    }
+    if (bad_records > 0)
+        warn("checkpoint '", path, "': skipped ", bad_records,
+             " malformed record", bad_records == 1 ? "" : "s",
+             " (likely torn by an interrupted run)");
+    return entries;
+}
+
+CampaignResult
+runCampaign(const std::vector<BenchmarkInfo> &benchmarks,
+            const CampaignOptions &opts)
+{
+    std::unordered_map<std::string, CampaignEntry> completed;
+    if (!opts.checkpointPath.empty()) {
+        for (auto &entry : readCheckpoint(opts.checkpointPath))
+            completed.emplace(entry.name, std::move(entry));
+    }
+
+    std::ofstream manifest;
+    if (!opts.checkpointPath.empty()) {
+        // A record torn by a kill may have left the file without a
+        // trailing newline; appending onto that line would corrupt
+        // the next record too, so start a fresh line.
+        bool needs_newline = false;
+        if (std::ifstream existing(opts.checkpointPath,
+                                   std::ios::binary);
+            existing) {
+            existing.seekg(0, std::ios::end);
+            if (existing.tellg() > 0) {
+                existing.seekg(-1, std::ios::end);
+                needs_newline = existing.get() != '\n';
+            }
+        }
+        manifest.open(opts.checkpointPath, std::ios::app);
+        if (!manifest)
+            throw ConfigError("cannot open checkpoint '" +
+                              opts.checkpointPath +
+                              "' for appending");
+        if (needs_newline)
+            manifest << '\n';
+    }
+
+    CampaignResult result;
+    for (const auto &info : benchmarks) {
+        CampaignEntry entry;
+        entry.name = info.name;
+
+        if (const auto it = completed.find(info.name);
+            it != completed.end()) {
+            entry = it->second;
+            entry.status = RunStatus::Skipped;
+            entry.attempts = 0;
+        } else {
+            const auto campaign_start =
+                std::chrono::steady_clock::now();
+            const int max_attempts = 1 + std::max(0, opts.retries);
+            for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+                entry.attempts = attempt;
+                if (attempt > 1 && opts.backoffSeconds > 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(
+                            opts.backoffSeconds *
+                            static_cast<double>(1 << (attempt - 2))));
+
+                // Fresh token per attempt: a late-firing watchdog from
+                // a previous attempt can never cancel this one.
+                gpu::DeviceConfig cfg = opts.config;
+                const CancelToken token = CancelToken::make();
+                cfg.cancel = token;
+                Watchdog watchdog(token, opts.timeoutSeconds);
+                try {
+                    auto bench = info.factory(opts.scale);
+                    entry.profile = runProfiled(*bench, cfg);
+                    entry.status = RunStatus::OK;
+                    entry.error.clear();
+                    break;
+                } catch (const TimeoutError &e) {
+                    // Deadline misses are not transient: retrying
+                    // would just spend another full timeout.
+                    entry.status = RunStatus::Timeout;
+                    entry.error = e.what();
+                    break;
+                } catch (const std::exception &e) {
+                    entry.status = RunStatus::Failed;
+                    entry.error = e.what();
+                }
+            }
+            entry.wallSeconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - campaign_start)
+                    .count();
+
+            if (entry.status == RunStatus::OK && manifest.is_open())
+                appendCheckpointRecord(manifest, entry.profile);
+        }
+
+        switch (entry.status) {
+          case RunStatus::OK:
+            ++result.okCount;
+            break;
+          case RunStatus::Failed:
+            ++result.failedCount;
+            break;
+          case RunStatus::Timeout:
+            ++result.timeoutCount;
+            break;
+          case RunStatus::Skipped:
+            ++result.skippedCount;
+            break;
+        }
+        if (opts.onEntry)
+            opts.onEntry(entry);
+        result.entries.push_back(std::move(entry));
+    }
+    return result;
+}
+
+} // namespace cactus::core

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The fault-tolerant campaign runner. The paper's evaluation is a long
+ * multi-benchmark sweep (10 Cactus apps plus 32 Parboil/Rodinia/Tango
+ * workloads, each profiled end-to-end); at that scale one bad input or
+ * hung kernel must not kill the whole process. runCampaign() executes
+ * a benchmark list with:
+ *
+ *  - per-benchmark isolation: a benchmark that throws (any
+ *    cactus::Error or std::exception, including exceptions surfacing
+ *    from worker-pool threads) is recorded as a structured failure and
+ *    the campaign moves on;
+ *  - a monotonic-clock watchdog: a benchmark exceeding its deadline is
+ *    cancelled cooperatively at the next kernel-launch boundary and
+ *    recorded as Timeout;
+ *  - bounded retries with exponential backoff for transient failures
+ *    (timeouts are not retried — a deadline miss is not transient);
+ *  - a JSONL checkpoint manifest recording each completed profile, so
+ *    an interrupted campaign re-runs only the incomplete benchmarks.
+ *    Benchmarks run on fresh devices with deterministic statistics, so
+ *    a resumed campaign's profiles are bit-identical to an
+ *    uninterrupted run's.
+ */
+
+#ifndef CACTUS_CORE_CAMPAIGN_HH
+#define CACTUS_CORE_CAMPAIGN_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/benchmark.hh"
+#include "core/harness.hh"
+
+namespace cactus::core {
+
+/** Outcome of one benchmark within a campaign. */
+enum class RunStatus
+{
+    OK,      ///< Profiled successfully (possibly after retries).
+    Failed,  ///< Every attempt threw; see CampaignEntry::error.
+    Timeout, ///< Cancelled by the watchdog.
+    Skipped  ///< Checkpoint already records a completed run.
+};
+
+/** Display name: "OK", "FAILED", "TIMEOUT", "SKIPPED". */
+const char *runStatusName(RunStatus status);
+
+/** Structured record of one benchmark's campaign outcome. */
+struct CampaignEntry
+{
+    std::string name;
+    RunStatus status = RunStatus::Failed;
+    std::string error;      ///< what() of the final failure, if any.
+    int attempts = 0;       ///< Attempts consumed (0 for Skipped).
+    double wallSeconds = 0; ///< Host wall clock across attempts.
+
+    /**
+     * The profile when status is OK. For Skipped entries the
+     * aggregate fields (name/suite/domain, launches, totalSeconds,
+     * totalWarpInsts, totalDramSectors) are restored from the
+     * checkpoint manifest; the per-kernel rows are not persisted and
+     * stay empty.
+     */
+    BenchmarkProfile profile;
+};
+
+/** Knobs for one campaign. */
+struct CampaignOptions
+{
+    Scale scale = Scale::Small;
+    gpu::DeviceConfig config;
+
+    /** Watchdog deadline per attempt, in wall seconds; 0 disables. */
+    double timeoutSeconds = 0;
+
+    /** Extra attempts after a failed (not timed-out) one. */
+    int retries = 0;
+
+    /** Sleep before retry k is backoffSeconds * 2^(k-1). */
+    double backoffSeconds = 0.05;
+
+    /** JSONL manifest path; empty disables checkpointing. Existing
+     *  entries are honoured (resume), new completions appended. */
+    std::string checkpointPath;
+
+    /** Invoked after each benchmark settles, in campaign order. */
+    std::function<void(const CampaignEntry &)> onEntry;
+};
+
+/** Aggregated campaign outcome. */
+struct CampaignResult
+{
+    std::vector<CampaignEntry> entries;
+    int okCount = 0;
+    int failedCount = 0;
+    int timeoutCount = 0;
+    int skippedCount = 0;
+
+    /** True when nothing failed or timed out (skips are fine). */
+    bool
+    allOk() const
+    {
+        return failedCount == 0 && timeoutCount == 0;
+    }
+};
+
+/**
+ * Run @p benchmarks under the fault-tolerance policy in @p opts.
+ * Never throws for a benchmark failure — those become entries; only
+ * campaign-level misconfiguration (e.g. an unwritable checkpoint
+ * path) raises ConfigError.
+ */
+CampaignResult runCampaign(const std::vector<BenchmarkInfo> &benchmarks,
+                           const CampaignOptions &opts);
+
+/**
+ * Load the completed entries of a checkpoint manifest. Missing files
+ * yield an empty list; malformed lines (e.g. a record truncated by a
+ * kill mid-write) are skipped with a warning, so a damaged manifest
+ * degrades to re-running benchmarks, never to aborting.
+ */
+std::vector<CampaignEntry> readCheckpoint(const std::string &path);
+
+} // namespace cactus::core
+
+#endif // CACTUS_CORE_CAMPAIGN_HH

@@ -16,6 +16,9 @@
 #include <string>
 #include <thread>
 
+#include "common/cancel.hh"
+#include "common/fault.hh"
+
 namespace cactus::gpu {
 
 /** Architectural parameters of the simulated device. */
@@ -108,6 +111,26 @@ struct DeviceConfig
      * Values <= 0 fall back to defaultHostThreads().
      */
     int hostThreads = defaultHostThreads();
+
+    // --- Robustness -------------------------------------------------------
+
+    /**
+     * Cooperative cancellation token, polled at every kernel-launch
+     * boundary (Device::beginLaunch). When a watchdog requests it, the
+     * next launch throws TimeoutError, unwinding the benchmark at a
+     * clean boundary. Default-constructed tokens are inert; the
+     * campaign runner installs a live per-attempt token.
+     */
+    CancelToken cancel;
+
+    /**
+     * Deterministic fault injection, parsed once per process from
+     * CACTUS_FAULT=site:probability:seed (see common/fault.hh). Device
+     * sites: 'alloc' fails device construction, 'launch' throws at a
+     * kernel-launch boundary. Tests install explicit injectors via
+     * FaultInjector::parse without touching the environment.
+     */
+    FaultInjector fault = FaultInjector::fromEnv();
 
     // --- Derived organization ---------------------------------------------
 

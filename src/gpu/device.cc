@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/error.hh"
 #include "common/host_alloc.hh"
 #include "common/logging.hh"
 
@@ -46,6 +47,10 @@ Device::Device(DeviceConfig cfg)
       lineShift_(std::countr_zero(
           static_cast<unsigned>(config_.lineBytes)))
 {
+    if (config_.fault.shouldFail("alloc"))
+        throw BenchmarkError(
+            "injected fault at site 'alloc': device memory-hierarchy "
+            "allocation failed");
     const int units = config_.resolvedL1Units();
     l1s_.reserve(units);
     streamBuffers_.reserve(units);
@@ -99,6 +104,16 @@ Device::flushCaches()
 Device::LaunchState
 Device::beginLaunch(const KernelDesc &desc, Dim3 grid, Dim3 block)
 {
+    // The launch boundary is the device's cancellation point: a
+    // watchdog-cancelled benchmark unwinds here, between kernels,
+    // leaving no launch half-recorded.
+    if (config_.cancel.requested())
+        throw TimeoutError("kernel '" + desc.name +
+                           "' not launched: cancellation requested "
+                           "(watchdog deadline exceeded)");
+    if (config_.fault.shouldFail("launch"))
+        throw BenchmarkError("injected fault at site 'launch': kernel '" +
+                             desc.name + "' failed to launch");
     if (grid.empty())
         fatal("kernel '", desc.name, "' launched with an empty grid");
     if (block.empty())

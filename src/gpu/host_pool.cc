@@ -26,6 +26,8 @@ WorkerPool::run(std::uint64_t num_tasks,
                 const std::function<void(std::uint64_t, int)> &fn)
 {
     if (threads_.empty() || num_tasks <= 1) {
+        // Inline path touches no pool state, so an exception from fn
+        // propagates directly and leaves the pool untouched.
         for (std::uint64_t t = 0; t < num_tasks; ++t)
             fn(t, 0);
         return;
@@ -34,6 +36,7 @@ WorkerPool::run(std::uint64_t num_tasks,
     {
         std::lock_guard<std::mutex> lock(mutex_);
         job_ = &fn;
+        failure_ = nullptr;
         numTasks_ = num_tasks;
         nextTask_.store(0, std::memory_order_relaxed);
         active_ = static_cast<int>(threads_.size());
@@ -41,18 +44,47 @@ WorkerPool::run(std::uint64_t num_tasks,
     }
     wake_.notify_all();
 
-    // The caller is worker 0 and drains tasks alongside the helpers.
-    for (;;) {
-        const std::uint64_t t =
-            nextTask_.fetch_add(1, std::memory_order_relaxed);
-        if (t >= num_tasks)
-            break;
-        fn(t, 0);
+    // The caller is worker 0 and drains tasks alongside the helpers. A
+    // throw here must not leave job_ dangling or skip the active_ wait
+    // (helpers would deadlock the next run on a dead generation), so
+    // the failure is recorded like a helper's and rethrown only after
+    // the generation has fully retired.
+    try {
+        for (;;) {
+            const std::uint64_t t =
+                nextTask_.fetch_add(1, std::memory_order_relaxed);
+            if (t >= num_tasks)
+                break;
+            fn(t, 0);
+        }
+    } catch (...) {
+        recordFailure(std::current_exception(), num_tasks);
     }
 
     std::unique_lock<std::mutex> lock(mutex_);
     done_.wait(lock, [this] { return active_ == 0; });
     job_ = nullptr;
+    if (failure_) {
+        std::exception_ptr error = std::move(failure_);
+        failure_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+void
+WorkerPool::recordFailure(std::exception_ptr error,
+                          std::uint64_t num_tasks)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!failure_)
+            failure_ = std::move(error);
+    }
+    // Exhaust the claim counter: every subsequent fetch_add returns at
+    // least num_tasks, so the remaining tasks become no-ops and all
+    // workers retire promptly. Tasks already in flight still finish.
+    nextTask_.store(num_tasks, std::memory_order_relaxed);
 }
 
 void
@@ -78,7 +110,13 @@ WorkerPool::helperLoop(int worker_index)
                 nextTask_.fetch_add(1, std::memory_order_relaxed);
             if (t >= num_tasks)
                 break;
-            (*job)(t, worker_index);
+            // An exception must never escape helperLoop (that would be
+            // std::terminate); capture the first and drain the rest.
+            try {
+                (*job)(t, worker_index);
+            } catch (...) {
+                recordFailure(std::current_exception(), num_tasks);
+            }
         }
         {
             std::lock_guard<std::mutex> lock(mutex_);

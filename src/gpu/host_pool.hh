@@ -14,6 +14,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -47,6 +48,15 @@ class WorkerPool
      * Execute @p fn(task, worker) for every task in [0, numTasks).
      * The caller participates as worker 0; helpers are 1..workers-1.
      * Returns when every task has finished. Not reentrant.
+     *
+     * Exception-safe: if @p fn throws on any worker (helper or
+     * caller), the first exception is captured, the remaining
+     * unclaimed tasks are drained as no-ops, and the exception is
+     * rethrown here on the calling thread once every helper has gone
+     * idle — the pool is reusable afterwards. Helpers never let an
+     * exception escape to std::terminate. When multiple workers
+     * throw concurrently, one exception is kept and the rest are
+     * discarded.
      */
     void run(std::uint64_t num_tasks,
              const std::function<void(std::uint64_t, int)> &fn);
@@ -57,11 +67,18 @@ class WorkerPool
   private:
     void helperLoop(int worker_index);
 
+    /** Record @p error as the run's failure (first one wins) and push
+     *  the claim counter past @p num_tasks so every worker sees an
+     *  exhausted task space and drains. */
+    void recordFailure(std::exception_ptr error,
+                       std::uint64_t num_tasks);
+
     std::vector<std::thread> threads_;
     std::mutex mutex_;
     std::condition_variable wake_;  ///< Signals a new generation.
     std::condition_variable done_;  ///< Signals active_ reaching zero.
     const std::function<void(std::uint64_t, int)> *job_ = nullptr;
+    std::exception_ptr failure_;    ///< First exception of the run.
     std::atomic<std::uint64_t> nextTask_{0};
     std::uint64_t numTasks_ = 0;
     std::uint64_t generation_ = 0;

@@ -1,9 +1,11 @@
 #include "gpu/trace.hh"
 
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "gpu/occupancy.hh"
 #include "gpu/timing.hh"
@@ -34,12 +36,18 @@ jsonEscape(const std::string &s)
 /**
  * A deliberately small JSON-lines field scanner: the traces are
  * machine-written flat objects, so "key":value lookup by string search
- * is exact as long as keys are unique per record.
+ * is exact as long as keys are unique per record. Malformed records
+ * (missing keys, non-numeric values, unterminated strings — typically
+ * a trace truncated by a killed run) raise TraceError carrying the
+ * record's 1-based line number.
  */
 class RecordView
 {
   public:
-    explicit RecordView(const std::string &line) : line_(line) {}
+    RecordView(const std::string &line, long line_number)
+        : line_(line), lineNumber_(line_number)
+    {
+    }
 
     double
     number(const char *key) const
@@ -47,9 +55,10 @@ class RecordView
         const std::string needle = std::string("\"") + key + "\":";
         const auto pos = line_.find(needle);
         if (pos == std::string::npos)
-            fatal("trace record missing key '", key, "': ", line_);
-        return std::strtod(line_.c_str() + pos + needle.size(),
-                           nullptr);
+            throw TraceError("trace record missing key '" +
+                                 std::string(key) + "'",
+                             lineNumber_);
+        return parseValue(key, pos + needle.size());
     }
 
     /** number() for keys added after the format shipped: traces
@@ -61,8 +70,7 @@ class RecordView
         const auto pos = line_.find(needle);
         if (pos == std::string::npos)
             return fallback;
-        return std::strtod(line_.c_str() + pos + needle.size(),
-                           nullptr);
+        return parseValue(key, pos + needle.size());
     }
 
     std::string
@@ -71,7 +79,9 @@ class RecordView
         const std::string needle = std::string("\"") + key + "\":\"";
         const auto pos = line_.find(needle);
         if (pos == std::string::npos)
-            fatal("trace record missing key '", key, "': ", line_);
+            throw TraceError("trace record missing key '" +
+                                 std::string(key) + "'",
+                             lineNumber_);
         std::string out;
         for (std::size_t i = pos + needle.size(); i < line_.size();
              ++i) {
@@ -83,22 +93,47 @@ class RecordView
                 out.push_back(line_[i]);
             }
         }
-        fatal("unterminated string for key '", key, "'");
+        throw TraceError("unterminated string for key '" +
+                             std::string(key) + "'",
+                         lineNumber_);
     }
 
+    long lineNumber() const { return lineNumber_; }
+
   private:
+    double
+    parseValue(const char *key, std::size_t value_pos) const
+    {
+        const char *start = line_.c_str() + value_pos;
+        char *end = nullptr;
+        const double value = std::strtod(start, &end);
+        if (end == start)
+            throw TraceError("non-numeric value for key '" +
+                                 std::string(key) + "'",
+                             lineNumber_);
+        return value;
+    }
+
     const std::string &line_;
+    const long lineNumber_;
 };
 
 } // namespace
 
 std::size_t
 writeLaunchTrace(std::ostream &out,
-                 const std::vector<LaunchStats> &launches)
+                 const std::vector<LaunchStats> &launches,
+                 const FaultInjector &fault)
 {
     // Full round-trip precision for the floating-point fields.
     out.precision(17);
+    std::size_t written = 0;
     for (const auto &l : launches) {
+        // A stream that went bad (disk full, closed pipe) or an
+        // injected 'trace-write' fault produces a short count rather
+        // than silently "writing" records nobody will ever read back.
+        if (!out || fault.shouldFail("trace-write"))
+            return written;
         out << "{\"kernel\":\"" << jsonEscape(l.desc.name) << "\""
             << ",\"regs\":" << l.desc.regsPerThread
             << ",\"smem\":" << l.desc.sharedBytesPerBlock
@@ -124,8 +159,9 @@ writeLaunchTrace(std::ostream &out,
             << ",\"seconds\":" << l.timing.seconds
             << ",\"gips\":" << l.metrics.gips
             << ",\"ii\":" << l.metrics.instIntensity << "}\n";
+        ++written;
     }
-    return launches.size();
+    return written;
 }
 
 std::size_t
@@ -134,83 +170,122 @@ writeLaunchTrace(const std::string &path,
 {
     std::ofstream out(path);
     if (!out)
-        fatal("cannot open trace file '", path, "' for writing");
+        throw TraceError("cannot open trace file '" + path +
+                         "' for writing");
     return writeLaunchTrace(out, launches);
 }
 
+namespace {
+
+/** Parse one trace line into a launch record; TraceError on damage. */
+LaunchStats
+parseTraceLine(const std::string &line, long line_number)
+{
+    RecordView rec(line, line_number);
+    LaunchStats l;
+    l.desc.name = rec.text("kernel");
+    l.desc.regsPerThread = static_cast<int>(rec.number("regs"));
+    l.desc.sharedBytesPerBlock =
+        static_cast<int>(rec.number("smem"));
+    {
+        // Geometry arrays: parse the three numbers after the key.
+        auto parse3 = [&](const char *key, Dim3 &d) {
+            const std::string needle =
+                std::string("\"") + key + "\":[";
+            const auto pos = line.find(needle);
+            if (pos == std::string::npos)
+                throw TraceError("trace record missing '" +
+                                     std::string(key) + "'",
+                                 line_number);
+            const char *p = line.c_str() + pos + needle.size();
+            char *end = nullptr;
+            d.x = static_cast<unsigned>(std::strtoul(p, &end, 10));
+            if (end == p || *end != ',')
+                throw TraceError("malformed '" + std::string(key) +
+                                     "' geometry array",
+                                 line_number);
+            d.y = static_cast<unsigned>(
+                std::strtoul(end + 1, &end, 10));
+            if (*end != ',')
+                throw TraceError("malformed '" + std::string(key) +
+                                     "' geometry array",
+                                 line_number);
+            d.z = static_cast<unsigned>(
+                std::strtoul(end + 1, &end, 10));
+        };
+        parse3("grid", l.grid);
+        parse3("block", l.block);
+    }
+    for (int c = 0; c < kNumOpClasses; ++c) {
+        const std::string key =
+            std::string("n_") + opClassName(static_cast<OpClass>(c));
+        l.counts.warpInsts[c] = static_cast<std::uint64_t>(
+            rec.number(key.c_str()));
+    }
+    l.counts.threadInsts = static_cast<std::uint64_t>(
+        rec.number("thread_insts"));
+    l.totalWarps =
+        static_cast<std::uint64_t>(rec.number("warps"));
+    l.sampledWarps =
+        static_cast<std::uint64_t>(rec.number("sampled_warps"));
+    l.l1Accesses =
+        static_cast<std::uint64_t>(rec.number("l1_acc"));
+    l.l1Misses = static_cast<std::uint64_t>(rec.number("l1_miss"));
+    l.l2Accesses =
+        static_cast<std::uint64_t>(rec.number("l2_acc"));
+    l.l2Misses = static_cast<std::uint64_t>(rec.number("l2_miss"));
+    l.l2SliceMaxAccesses = static_cast<std::uint64_t>(
+        rec.numberOr("l2_slice_max", 0));
+    l.dramReadSectors =
+        static_cast<std::uint64_t>(rec.number("dram_read"));
+    l.dramWriteSectors =
+        static_cast<std::uint64_t>(rec.number("dram_write"));
+    l.sampleCoverage = rec.numberOr("sample_coverage", 1.0);
+    l.timing.seconds = rec.number("seconds");
+    l.metrics.gips = rec.number("gips");
+    l.metrics.instIntensity = rec.number("ii");
+    return l;
+}
+
+} // namespace
+
 std::vector<LaunchStats>
-readLaunchTrace(std::istream &in)
+readLaunchTrace(std::istream &in, bool lenient, std::size_t *skipped)
 {
     std::vector<LaunchStats> launches;
     std::string line;
+    long line_number = 0;
+    std::size_t bad_records = 0;
     while (std::getline(in, line)) {
+        ++line_number;
         if (line.empty())
             continue;
-        RecordView rec(line);
-        LaunchStats l;
-        l.desc.name = rec.text("kernel");
-        l.desc.regsPerThread = static_cast<int>(rec.number("regs"));
-        l.desc.sharedBytesPerBlock =
-            static_cast<int>(rec.number("smem"));
-        {
-            // Geometry arrays: parse the three numbers after the key.
-            auto parse3 = [&](const char *key, Dim3 &d) {
-                const std::string needle =
-                    std::string("\"") + key + "\":[";
-                const auto pos = line.find(needle);
-                if (pos == std::string::npos)
-                    fatal("trace record missing '", key, "'");
-                const char *p = line.c_str() + pos + needle.size();
-                char *end = nullptr;
-                d.x = static_cast<unsigned>(std::strtoul(p, &end, 10));
-                d.y = static_cast<unsigned>(
-                    std::strtoul(end + 1, &end, 10));
-                d.z = static_cast<unsigned>(
-                    std::strtoul(end + 1, &end, 10));
-            };
-            parse3("grid", l.grid);
-            parse3("block", l.block);
+        if (!lenient) {
+            launches.push_back(parseTraceLine(line, line_number));
+            continue;
         }
-        for (int c = 0; c < kNumOpClasses; ++c) {
-            const std::string key =
-                std::string("n_") + opClassName(static_cast<OpClass>(c));
-            l.counts.warpInsts[c] = static_cast<std::uint64_t>(
-                rec.number(key.c_str()));
+        try {
+            launches.push_back(parseTraceLine(line, line_number));
+        } catch (const TraceError &) {
+            ++bad_records;
         }
-        l.counts.threadInsts = static_cast<std::uint64_t>(
-            rec.number("thread_insts"));
-        l.totalWarps =
-            static_cast<std::uint64_t>(rec.number("warps"));
-        l.sampledWarps =
-            static_cast<std::uint64_t>(rec.number("sampled_warps"));
-        l.l1Accesses =
-            static_cast<std::uint64_t>(rec.number("l1_acc"));
-        l.l1Misses = static_cast<std::uint64_t>(rec.number("l1_miss"));
-        l.l2Accesses =
-            static_cast<std::uint64_t>(rec.number("l2_acc"));
-        l.l2Misses = static_cast<std::uint64_t>(rec.number("l2_miss"));
-        l.l2SliceMaxAccesses = static_cast<std::uint64_t>(
-            rec.numberOr("l2_slice_max", 0));
-        l.dramReadSectors =
-            static_cast<std::uint64_t>(rec.number("dram_read"));
-        l.dramWriteSectors =
-            static_cast<std::uint64_t>(rec.number("dram_write"));
-        l.sampleCoverage = rec.numberOr("sample_coverage", 1.0);
-        l.timing.seconds = rec.number("seconds");
-        l.metrics.gips = rec.number("gips");
-        l.metrics.instIntensity = rec.number("ii");
-        launches.push_back(std::move(l));
     }
+    if (bad_records > 0)
+        warn("lenient trace read: skipped ", bad_records,
+             " malformed record", bad_records == 1 ? "" : "s");
+    if (skipped)
+        *skipped = bad_records;
     return launches;
 }
 
 std::vector<LaunchStats>
-readLaunchTrace(const std::string &path)
+readLaunchTrace(const std::string &path, bool lenient,
+                std::size_t *skipped)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("cannot open trace file '", path, "'");
-    return readLaunchTrace(in);
+        throw TraceError("cannot open trace file '" + path + "'");
+    return readLaunchTrace(in, lenient, skipped);
 }
 
 LaunchStats

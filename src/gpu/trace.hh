@@ -18,32 +18,47 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.hh"
 #include "gpu/config.hh"
 #include "gpu/metrics.hh"
 
 namespace cactus::gpu {
 
 /**
- * Serialize launches as JSON lines (one object per launch).
- * @return Number of records written.
+ * Serialize launches as JSON lines (one object per launch). Stops
+ * early on a stream-write failure or an injected 'trace-write' fault
+ * (see common/fault.hh), so the return value can be short.
+ * @return Number of records written; callers that need the full trace
+ *         must compare it against launches.size().
  */
 std::size_t writeLaunchTrace(std::ostream &out,
-                             const std::vector<LaunchStats> &launches);
+                             const std::vector<LaunchStats> &launches,
+                             const FaultInjector &fault =
+                                 FaultInjector::fromEnv());
 
-/** Convenience file-path overload; fatal on I/O failure. */
+/** Convenience file-path overload; throws TraceError when the file
+ *  cannot be opened. */
 std::size_t writeLaunchTrace(const std::string &path,
                              const std::vector<LaunchStats> &launches);
 
 /**
  * Parse a JSON-lines trace produced by writeLaunchTrace. Unknown keys
- * are ignored; malformed lines are fatal (a trace is machine-written).
- * Only the replayable fields are restored: kernel descriptor, launch
- * geometry, instruction counts, memory traffic and timing.
+ * are ignored. A malformed or truncated record throws TraceError
+ * carrying its 1-based line number — unless @p lenient is set, in
+ * which case bad records are skipped (counted into @p skipped when
+ * non-null) and a single warning summarizes them. Only the replayable
+ * fields are restored: kernel descriptor, launch geometry, instruction
+ * counts, memory traffic and timing.
  */
-std::vector<LaunchStats> readLaunchTrace(std::istream &in);
+std::vector<LaunchStats> readLaunchTrace(std::istream &in,
+                                         bool lenient = false,
+                                         std::size_t *skipped = nullptr);
 
-/** Convenience file-path overload; fatal on I/O failure. */
-std::vector<LaunchStats> readLaunchTrace(const std::string &path);
+/** Convenience file-path overload; throws TraceError when the file
+ *  cannot be opened. */
+std::vector<LaunchStats> readLaunchTrace(const std::string &path,
+                                         bool lenient = false,
+                                         std::size_t *skipped = nullptr);
 
 /**
  * What-if retiming: re-evaluate the timing model for a (possibly

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the common robustness primitives: the recoverable-error
+ * taxonomy, guardedMain's process-boundary conversion, strict numeric
+ * parsing, cooperative cancellation tokens, and deterministic fault
+ * injection.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancel.hh"
+#include "common/error.hh"
+#include "common/fault.hh"
+#include "common/logging.hh"
+#include "common/parse.hh"
+
+namespace {
+
+using namespace cactus;
+
+TEST(ErrorTaxonomy, SubclassesAreCatchableAsError)
+{
+    // Generic recovery code catches cactus::Error; every taxonomy
+    // member must land there.
+    EXPECT_THROW(throw ConfigError("c"), Error);
+    EXPECT_THROW(throw TraceError("t"), Error);
+    EXPECT_THROW(throw BenchmarkError("b"), Error);
+    EXPECT_THROW(throw TimeoutError("w"), Error);
+    EXPECT_THROW(throw Error("e"), std::runtime_error);
+}
+
+TEST(ErrorTaxonomy, TimeoutIsABenchmarkError)
+{
+    // Handlers that treat any benchmark failure uniformly also see
+    // timeouts; only the campaign runner distinguishes them.
+    EXPECT_THROW(throw TimeoutError("late"), BenchmarkError);
+}
+
+TEST(ErrorTaxonomy, TraceErrorCarriesLineNumber)
+{
+    const TraceError with_line("missing key 'grid'", 7);
+    EXPECT_EQ(with_line.line(), 7);
+    EXPECT_EQ(std::string(with_line.what()),
+              "line 7: missing key 'grid'");
+
+    const TraceError no_line("cannot open trace");
+    EXPECT_EQ(no_line.line(), 0);
+    EXPECT_EQ(std::string(no_line.what()), "cannot open trace");
+}
+
+TEST(ErrorTaxonomy, FatalThrowsFormattedError)
+{
+    try {
+        fatal("bad thing ", 42, " happened");
+        FAIL() << "fatal() returned";
+    } catch (const Error &e) {
+        EXPECT_EQ(std::string(e.what()), "bad thing 42 happened");
+    }
+}
+
+TEST(GuardedMain, PassesThroughBodyResult)
+{
+    EXPECT_EQ(guardedMain([] { return 0; }), 0);
+    EXPECT_EQ(guardedMain([] { return 3; }), 3);
+}
+
+TEST(GuardedMain, ConvertsErrorsToExitStatusOne)
+{
+    EXPECT_EQ(guardedMain([]() -> int {
+        throw ConfigError("bad flag");
+    }), 1);
+    EXPECT_EQ(guardedMain([]() -> int {
+        throw std::runtime_error("other");
+    }), 1);
+}
+
+TEST(Parse, AcceptsWellFormedNumbers)
+{
+    EXPECT_EQ(parseInt("42", "--n"), 42);
+    EXPECT_EQ(parseInt("-7", "--n"), -7);
+    EXPECT_EQ(parseUint64("18446744073709551615", "--seed"),
+              18446744073709551615ull);
+    EXPECT_DOUBLE_EQ(parseDouble("2.5", "--timeout"), 2.5);
+    EXPECT_DOUBLE_EQ(parseDouble("1e-3", "--timeout"), 1e-3);
+}
+
+TEST(Parse, RejectsGarbageThatAtoiAcceptedSilently)
+{
+    // std::atoi maps all of these to 0 or truncates; the strict
+    // parsers must refuse them.
+    EXPECT_THROW(parseInt("abc", "--n"), ConfigError);
+    EXPECT_THROW(parseInt("12abc", "--n"), ConfigError);
+    EXPECT_THROW(parseInt("", "--n"), ConfigError);
+    EXPECT_THROW(parseInt("4.5", "--n"), ConfigError);
+    EXPECT_THROW(parseInt("99999999999999999999", "--n"),
+                 ConfigError);
+    EXPECT_THROW(parseUint64("-1", "--seed"), ConfigError);
+    EXPECT_THROW(parseDouble("1.5x", "--timeout"), ConfigError);
+}
+
+TEST(Parse, ErrorNamesTheOptionAtFault)
+{
+    try {
+        parseInt("oops", "--retries");
+        FAIL() << "no throw";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("--retries"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("oops"),
+                  std::string::npos);
+    }
+}
+
+TEST(CancelToken, DefaultConstructedIsInert)
+{
+    const CancelToken token;
+    EXPECT_FALSE(token.requested());
+    token.request(); // Must be a harmless no-op.
+    EXPECT_FALSE(token.requested());
+}
+
+TEST(CancelToken, CopiesShareTheFlag)
+{
+    const CancelToken token = CancelToken::make();
+    const CancelToken copy = token;
+    EXPECT_FALSE(copy.requested());
+    token.request();
+    EXPECT_TRUE(copy.requested());
+}
+
+TEST(FaultInjector, DisabledByDefault)
+{
+    const FaultInjector injector;
+    EXPECT_FALSE(injector.enabled());
+    EXPECT_FALSE(injector.shouldFail("launch"));
+}
+
+TEST(FaultInjector, ParsesSpec)
+{
+    const auto injector = FaultInjector::parse("launch:0.25:42");
+    EXPECT_TRUE(injector.enabled());
+    EXPECT_EQ(injector.site(), "launch");
+}
+
+TEST(FaultInjector, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(FaultInjector::parse("launch"), ConfigError);
+    EXPECT_THROW(FaultInjector::parse("launch:0.5"), ConfigError);
+    EXPECT_THROW(FaultInjector::parse(":0.5:42"), ConfigError);
+    EXPECT_THROW(FaultInjector::parse("launch:huge:42"), ConfigError);
+    EXPECT_THROW(FaultInjector::parse("launch:1.5:42"), ConfigError);
+    EXPECT_THROW(FaultInjector::parse("launch:-0.1:42"), ConfigError);
+    EXPECT_THROW(FaultInjector::parse("launch:0.5:notaseed"),
+                 ConfigError);
+}
+
+TEST(FaultInjector, ProbabilityExtremes)
+{
+    const auto always = FaultInjector::parse("launch:1:9");
+    const auto never = FaultInjector::parse("launch:0:9");
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(always.shouldFail("launch"));
+        EXPECT_FALSE(never.shouldFail("launch"));
+    }
+}
+
+TEST(FaultInjector, DecisionSequenceIsDeterministic)
+{
+    // The same spec reproduces the same failure pattern in any
+    // process — the property the CI smoke test and seed hunts rely on.
+    const auto a = FaultInjector::parse("launch:0.3:1234");
+    const auto b = FaultInjector::parse("launch:0.3:1234");
+    int failures = 0;
+    for (int i = 0; i < 500; ++i) {
+        const bool fa = a.shouldFail("launch");
+        EXPECT_EQ(fa, b.shouldFail("launch"));
+        failures += fa;
+    }
+    // ~30% of 500; generous bounds guard the distribution, exact
+    // equality above guards determinism.
+    EXPECT_GT(failures, 100);
+    EXPECT_LT(failures, 220);
+}
+
+TEST(FaultInjector, MismatchedSiteDoesNotAdvanceTheSequence)
+{
+    const auto probed = FaultInjector::parse("launch:0.5:77");
+    const auto fresh = FaultInjector::parse("launch:0.5:77");
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(probed.shouldFail("alloc"));
+    // Probing a non-matching site consumed no decisions: both
+    // injectors now produce the same stream.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(probed.shouldFail("launch"),
+                  fresh.shouldFail("launch"));
+}
+
+TEST(FaultInjector, CopiesShareTheCounter)
+{
+    // A DeviceConfig copy must continue the campaign-wide sequence,
+    // not restart it.
+    const auto original = FaultInjector::parse("launch:0.5:5");
+    const auto reference = FaultInjector::parse("launch:0.5:5");
+    std::vector<bool> expected;
+    for (int i = 0; i < 20; ++i)
+        expected.push_back(reference.shouldFail("launch"));
+
+    const FaultInjector copy = original;
+    std::vector<bool> interleaved;
+    for (int i = 0; i < 10; ++i) {
+        interleaved.push_back(original.shouldFail("launch"));
+        interleaved.push_back(copy.shouldFail("launch"));
+    }
+    EXPECT_EQ(interleaved, expected);
+}
+
+TEST(FaultInjector, UnitValueIsInRangeAndSeedSensitive)
+{
+    bool differs = false;
+    for (std::uint64_t n = 0; n < 100; ++n) {
+        const double u = FaultInjector::unitValue(1, n);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        differs |= u != FaultInjector::unitValue(2, n);
+    }
+    EXPECT_TRUE(differs);
+}
+
+} // namespace

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Tests for the fault-tolerant campaign runner: per-benchmark failure
+ * isolation, watchdog timeouts on a slow stub, retry recovery of a
+ * flaky stub, checkpoint/resume (including torn manifest lines), and
+ * deterministic fault injection.
+ *
+ * Stubs are plain local BenchmarkInfo entries, never registered
+ * globally — the registry tests assert exact per-suite counts.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/fault.hh"
+#include "core/campaign.hh"
+
+namespace {
+
+using namespace cactus::core;
+using cactus::BenchmarkError;
+using cactus::FaultInjector;
+using cactus::gpu::KernelDesc;
+using cactus::gpu::ThreadCtx;
+
+/** Deterministic well-behaved stub: one small vector-add launch. */
+class OkBenchmark : public Benchmark
+{
+  public:
+    explicit OkBenchmark(std::string name) : name_(std::move(name)) {}
+    std::string name() const override { return name_; }
+    std::string suite() const override { return "Test"; }
+    std::string domain() const override { return "Test"; }
+
+    void
+    run(cactus::gpu::Device &dev) override
+    {
+        const std::size_t n = 4096;
+        std::vector<float> a(n, 1.f), b(n, 2.f), c(n, 0.f);
+        dev.launchLinear(KernelDesc(name_ + "_vadd"), n, 256,
+                         [&](ThreadCtx &ctx) {
+                             const auto i = ctx.globalId();
+                             ctx.fp32();
+                             ctx.st(&c[i],
+                                    ctx.ld(&a[i]) + ctx.ld(&b[i]));
+                         });
+    }
+
+  private:
+    std::string name_;
+};
+
+/** Always throws before launching anything. */
+class BrokenBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "Broken"; }
+    std::string suite() const override { return "Test"; }
+    std::string domain() const override { return "Test"; }
+    void
+    run(cactus::gpu::Device &) override
+    {
+        throw BenchmarkError("synthetic failure");
+    }
+};
+
+/** Fails the first @p failures runs, then behaves. */
+class FlakyBenchmark : public Benchmark
+{
+  public:
+    FlakyBenchmark(std::shared_ptr<std::atomic<int>> runs,
+                   int failures)
+        : runs_(std::move(runs)), failures_(failures)
+    {
+    }
+    std::string name() const override { return "Flaky"; }
+    std::string suite() const override { return "Test"; }
+    std::string domain() const override { return "Test"; }
+
+    void
+    run(cactus::gpu::Device &dev) override
+    {
+        if (runs_->fetch_add(1) < failures_)
+            throw BenchmarkError("transient failure");
+        OkBenchmark("Flaky").run(dev);
+    }
+
+  private:
+    std::shared_ptr<std::atomic<int>> runs_;
+    int failures_;
+};
+
+/** Many launches with host-side sleeps between them, so a watchdog
+ *  deadline always lands between two kernel-launch boundaries. */
+class SlowBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "Slow"; }
+    std::string suite() const override { return "Test"; }
+    std::string domain() const override { return "Test"; }
+
+    void
+    run(cactus::gpu::Device &dev) override
+    {
+        std::vector<float> x(256, 1.f);
+        for (int i = 0; i < 300; ++i) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+            dev.launchLinear(KernelDesc("slow_step"), x.size(), 256,
+                             [&](ThreadCtx &ctx) {
+                                 ctx.fp32();
+                                 ctx.ld(&x[ctx.globalId()]);
+                             });
+        }
+    }
+};
+
+/** Throws from inside a kernel functor under a 4-thread host pool, so
+ *  the failure crosses the worker-pool rethrow path. */
+class ThrowInKernelBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "ThrowInKernel"; }
+    std::string suite() const override { return "Test"; }
+    std::string domain() const override { return "Test"; }
+
+    void
+    run(cactus::gpu::Device &dev) override
+    {
+        std::vector<float> x(1 << 14, 1.f);
+        dev.launchLinear(KernelDesc("poison"), x.size(), 256,
+                         [&](ThreadCtx &ctx) {
+                             if (ctx.globalId() == 4097)
+                                 throw BenchmarkError(
+                                     "poisoned thread");
+                             ctx.ld(&x[ctx.globalId()]);
+                         });
+    }
+};
+
+BenchmarkInfo
+okInfo(const std::string &name)
+{
+    return {name, "Test", "Test", [name](Scale) {
+                return std::unique_ptr<Benchmark>(
+                    new OkBenchmark(name));
+            }};
+}
+
+template <typename B, typename... Args>
+BenchmarkInfo
+stubInfo(const std::string &name, Args... args)
+{
+    return {name, "Test", "Test", [=](Scale) {
+                return std::unique_ptr<Benchmark>(new B(args...));
+            }};
+}
+
+std::string
+tmpPath(const std::string &leaf)
+{
+    const std::string path = "/tmp/" + leaf;
+    std::remove(path.c_str());
+    return path;
+}
+
+TEST(Campaign, FailingBenchmarkDoesNotStopTheSuite)
+{
+    const std::vector<BenchmarkInfo> benchmarks = {
+        okInfo("A"), stubInfo<BrokenBenchmark>("Broken"),
+        okInfo("B")};
+    const auto result = runCampaign(benchmarks, CampaignOptions{});
+
+    ASSERT_EQ(result.entries.size(), 3u);
+    EXPECT_EQ(result.entries[0].status, RunStatus::OK);
+    EXPECT_EQ(result.entries[1].status, RunStatus::Failed);
+    EXPECT_EQ(result.entries[1].error, "synthetic failure");
+    EXPECT_EQ(result.entries[2].status, RunStatus::OK);
+    EXPECT_EQ(result.okCount, 2);
+    EXPECT_EQ(result.failedCount, 1);
+    EXPECT_FALSE(result.allOk());
+}
+
+TEST(Campaign, AllOkSuiteReportsClean)
+{
+    const std::vector<BenchmarkInfo> benchmarks = {okInfo("A"),
+                                                   okInfo("B")};
+    int callbacks = 0;
+    CampaignOptions opts;
+    opts.onEntry = [&](const CampaignEntry &entry) {
+        ++callbacks;
+        EXPECT_EQ(entry.status, RunStatus::OK);
+        EXPECT_GT(entry.profile.launches, 0u);
+    };
+    const auto result = runCampaign(benchmarks, opts);
+    EXPECT_TRUE(result.allOk());
+    EXPECT_EQ(result.okCount, 2);
+    EXPECT_EQ(callbacks, 2);
+}
+
+TEST(Campaign, WatchdogTimesOutSlowBenchmark)
+{
+    const std::vector<BenchmarkInfo> benchmarks = {
+        stubInfo<SlowBenchmark>("Slow"), okInfo("After")};
+    CampaignOptions opts;
+    opts.timeoutSeconds = 0.15;
+    opts.retries = 3; // Must be ignored: timeouts are not retried.
+    const auto result = runCampaign(benchmarks, opts);
+
+    ASSERT_EQ(result.entries.size(), 2u);
+    const auto &slow = result.entries[0];
+    EXPECT_EQ(slow.status, RunStatus::Timeout);
+    EXPECT_EQ(slow.attempts, 1);
+    EXPECT_NE(slow.error.find("watchdog"), std::string::npos)
+        << slow.error;
+    // Cancelled at a launch boundary well before the stub's ~3 s of
+    // sleeps completed.
+    EXPECT_LT(slow.wallSeconds, 2.0);
+    EXPECT_EQ(result.entries[1].status, RunStatus::OK);
+    EXPECT_EQ(result.timeoutCount, 1);
+}
+
+TEST(Campaign, RetriesRecoverAFlakyBenchmark)
+{
+    auto runs = std::make_shared<std::atomic<int>>(0);
+    const std::vector<BenchmarkInfo> benchmarks = {
+        stubInfo<FlakyBenchmark>("Flaky", runs, 2)};
+    CampaignOptions opts;
+    opts.retries = 2;
+    opts.backoffSeconds = 0.001;
+    const auto result = runCampaign(benchmarks, opts);
+
+    EXPECT_EQ(result.entries[0].status, RunStatus::OK);
+    EXPECT_EQ(result.entries[0].attempts, 3);
+    EXPECT_TRUE(result.entries[0].error.empty());
+    EXPECT_TRUE(result.allOk());
+}
+
+TEST(Campaign, ExhaustedRetriesReportTheLastError)
+{
+    auto runs = std::make_shared<std::atomic<int>>(0);
+    const std::vector<BenchmarkInfo> benchmarks = {
+        stubInfo<FlakyBenchmark>("Flaky", runs, 5)};
+    CampaignOptions opts;
+    opts.retries = 1;
+    opts.backoffSeconds = 0.001;
+    const auto result = runCampaign(benchmarks, opts);
+
+    EXPECT_EQ(result.entries[0].status, RunStatus::Failed);
+    EXPECT_EQ(result.entries[0].attempts, 2);
+    EXPECT_EQ(result.entries[0].error, "transient failure");
+    EXPECT_EQ(runs->load(), 2);
+}
+
+TEST(Campaign, PoolExceptionSurfacesAsFailedEntry)
+{
+    const std::vector<BenchmarkInfo> benchmarks = {
+        stubInfo<ThrowInKernelBenchmark>("ThrowInKernel"),
+        okInfo("After")};
+    CampaignOptions opts;
+    opts.config.hostThreads = 4;
+    const auto result = runCampaign(benchmarks, opts);
+
+    EXPECT_EQ(result.entries[0].status, RunStatus::Failed);
+    EXPECT_EQ(result.entries[0].error, "poisoned thread");
+    EXPECT_EQ(result.entries[1].status, RunStatus::OK);
+}
+
+TEST(Campaign, CheckpointResumeSkipsCompletedEntries)
+{
+    const auto path = tmpPath("cactus_campaign_resume.jsonl");
+    const std::vector<BenchmarkInfo> benchmarks = {okInfo("A"),
+                                                   okInfo("B")};
+    CampaignOptions opts;
+    opts.checkpointPath = path;
+
+    const auto first = runCampaign(benchmarks, opts);
+    ASSERT_TRUE(first.allOk());
+
+    const auto second = runCampaign(benchmarks, opts);
+    ASSERT_EQ(second.entries.size(), 2u);
+    EXPECT_EQ(second.skippedCount, 2);
+    EXPECT_TRUE(second.allOk());
+    for (std::size_t i = 0; i < 2; ++i) {
+        const auto &orig = first.entries[i].profile;
+        const auto &restored = second.entries[i].profile;
+        EXPECT_EQ(second.entries[i].status, RunStatus::Skipped);
+        EXPECT_EQ(second.entries[i].attempts, 0);
+        EXPECT_EQ(restored.name, orig.name);
+        EXPECT_EQ(restored.suite, orig.suite);
+        EXPECT_EQ(restored.launches, orig.launches);
+        EXPECT_EQ(restored.totalWarpInsts, orig.totalWarpInsts);
+        EXPECT_EQ(restored.totalDramSectors, orig.totalDramSectors);
+        // precision-17 manifest round-trip is bit-exact.
+        EXPECT_EQ(restored.totalSeconds, orig.totalSeconds);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Campaign, ResumeRunsOnlyTheIncompleteBenchmarks)
+{
+    const auto path = tmpPath("cactus_campaign_partial.jsonl");
+    CampaignOptions opts;
+    opts.checkpointPath = path;
+
+    // First campaign completes only A.
+    const std::vector<BenchmarkInfo> partial = {okInfo("A")};
+    ASSERT_TRUE(runCampaign(partial, opts).allOk());
+
+    // Simulate a kill mid-write: a torn trailing record must be
+    // skipped, not crash the resume.
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "{\"name\":\"B\",\"status\":\"o";
+    }
+
+    const std::vector<BenchmarkInfo> full = {okInfo("A"), okInfo("B")};
+    const auto result = runCampaign(full, opts);
+    ASSERT_EQ(result.entries.size(), 2u);
+    EXPECT_EQ(result.entries[0].status, RunStatus::Skipped);
+    EXPECT_EQ(result.entries[1].status, RunStatus::OK);
+    EXPECT_EQ(result.skippedCount, 1);
+    EXPECT_EQ(result.okCount, 1);
+
+    // The resumed run appended B; a third run skips everything.
+    const auto third = runCampaign(full, opts);
+    EXPECT_EQ(third.skippedCount, 2);
+    std::remove(path.c_str());
+}
+
+TEST(Campaign, ReadCheckpointToleratesMissingFile)
+{
+    EXPECT_TRUE(
+        readCheckpoint("/tmp/cactus_no_such_manifest.jsonl").empty());
+}
+
+TEST(Campaign, UnwritableCheckpointIsAConfigError)
+{
+    const std::vector<BenchmarkInfo> benchmarks = {okInfo("A")};
+    CampaignOptions opts;
+    opts.checkpointPath = "/nonexistent-dir/manifest.jsonl";
+    EXPECT_THROW(runCampaign(benchmarks, opts), cactus::ConfigError);
+}
+
+TEST(Campaign, InjectedLaunchFaultFailsDeterministically)
+{
+    const std::vector<BenchmarkInfo> benchmarks = {
+        okInfo("A"), okInfo("B"), okInfo("C"), okInfo("D")};
+
+    auto statuses = [&](const char *spec) {
+        CampaignOptions opts;
+        opts.config.fault = FaultInjector::parse(spec);
+        std::vector<RunStatus> out;
+        for (const auto &entry : runCampaign(benchmarks, opts).entries)
+            out.push_back(entry.status);
+        return out;
+    };
+
+    // Certain failure at every launch: nothing survives.
+    const auto all_fail = statuses("launch:1:1");
+    for (const auto status : all_fail)
+        EXPECT_EQ(status, RunStatus::Failed);
+
+    // Partial probability: the pattern is a pure function of the
+    // seed, so two campaigns agree benchmark by benchmark.
+    EXPECT_EQ(statuses("launch:0.5:42"), statuses("launch:0.5:42"));
+    // And the error text names the injection site.
+    CampaignOptions opts;
+    opts.config.fault = FaultInjector::parse("launch:1:1");
+    const auto result =
+        runCampaign({okInfo("A")}, opts);
+    EXPECT_NE(result.entries[0].error.find("injected fault"),
+              std::string::npos)
+        << result.entries[0].error;
+}
+
+TEST(Campaign, InjectedAllocFaultFailsDeviceConstruction)
+{
+    CampaignOptions opts;
+    opts.config.fault = FaultInjector::parse("alloc:1:1");
+    const auto result = runCampaign({okInfo("A")}, opts);
+    EXPECT_EQ(result.entries[0].status, RunStatus::Failed);
+    EXPECT_NE(result.entries[0].error.find("alloc"),
+              std::string::npos)
+        << result.entries[0].error;
+}
+
+} // namespace

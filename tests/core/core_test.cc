@@ -9,6 +9,8 @@
 
 #include "core/harness.hh"
 
+#include "../support/expect_error.hh"
+
 namespace {
 
 using namespace cactus::core;
@@ -141,10 +143,11 @@ TEST(Registry, CreateByName)
     EXPECT_FALSE(Registry::instance().contains("no_such"));
 }
 
-TEST(RegistryDeath, UnknownBenchmarkIsFatal)
+TEST(RegistryError, UnknownBenchmarkThrows)
 {
-    EXPECT_EXIT(Registry::instance().create("does_not_exist"),
-                ::testing::ExitedWithCode(1), "unknown benchmark");
+    cactus::test::expectError<cactus::ConfigError>(
+        [] { Registry::instance().create("does_not_exist"); },
+        "unknown benchmark");
 }
 
 } // namespace

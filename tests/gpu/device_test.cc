@@ -14,9 +14,12 @@
 
 #include "gpu/device.hh"
 
+#include "../support/expect_error.hh"
+
 namespace {
 
 using namespace cactus::gpu;
+using cactus::test::expectError;
 
 TEST(Device, VectorAddIsFunctionallyCorrect)
 {
@@ -202,43 +205,58 @@ TEST(Device, ElapsedTimeAccumulatesAndHistoryClears)
     EXPECT_EQ(dev.elapsedSeconds(), 0.0);
 }
 
-TEST(DeviceDeath, EmptyGridIsFatal)
+TEST(DeviceError, EmptyGridThrows)
 {
     Device dev;
-    EXPECT_EXIT(dev.launch(KernelDesc("bad"), Dim3(0), Dim3(32),
-                           [](ThreadCtx &) {}),
-                ::testing::ExitedWithCode(1), "empty grid");
+    expectError(
+        [&] {
+            dev.launch(KernelDesc("bad"), Dim3(0), Dim3(32),
+                       [](ThreadCtx &) {});
+        },
+        "empty grid");
 }
 
-TEST(DeviceDeath, EmptyBlockIsFatal)
+TEST(DeviceError, EmptyBlockThrows)
 {
     // Regression: an all-zero block once divided by zero in the
     // sample-stride computation instead of failing validation.
     Device dev;
-    EXPECT_EXIT(dev.launch(KernelDesc("bad"), Dim3(4), Dim3(0),
-                           [](ThreadCtx &) {}),
-                ::testing::ExitedWithCode(1), "empty block");
+    expectError(
+        [&] {
+            dev.launch(KernelDesc("bad"), Dim3(4), Dim3(0),
+                       [](ThreadCtx &) {});
+        },
+        "empty block");
 }
 
-TEST(DeviceDeath, ZeroDimensionBlockIsFatal)
+TEST(DeviceError, ZeroDimensionBlockThrows)
 {
     Device dev;
-    EXPECT_EXIT(dev.launch(KernelDesc("bad"), Dim3(4), Dim3(32, 0),
-                           [](ThreadCtx &) {}),
-                ::testing::ExitedWithCode(1), "empty block");
+    expectError(
+        [&] {
+            dev.launch(KernelDesc("bad"), Dim3(4), Dim3(32, 0),
+                       [](ThreadCtx &) {});
+        },
+        "empty block");
 }
 
-TEST(DeviceDeath, NonPositiveLinearBlockSizeIsFatal)
+TEST(DeviceError, NonPositiveLinearBlockSizeThrows)
 {
     // Regression: launchLinear once computed a garbage block count from
     // block_size <= 0 and launched a zero-thread block.
     Device dev;
-    EXPECT_EXIT(dev.launchLinear(KernelDesc("bad"), 1024, 0,
-                                 [](ThreadCtx &) {}),
-                ::testing::ExitedWithCode(1), "non-positive block size");
-    EXPECT_EXIT(dev.launchLinear(KernelDesc("bad"), 1024, -128,
-                                 [](ThreadCtx &) {}),
-                ::testing::ExitedWithCode(1), "non-positive block size");
+    expectError(
+        [&] {
+            dev.launchLinear(KernelDesc("bad"), 1024, 0,
+                             [](ThreadCtx &) {});
+        },
+        "non-positive block size");
+    expectError(
+        [&] {
+            dev.launchLinear(KernelDesc("bad"), 1024, -128,
+                             [](ThreadCtx &) {});
+        },
+        "non-positive block size");
 }
 
 /** Field-by-field bitwise comparison of two launch records. */

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Exception-safety tests for the host worker pool: a throwing task
+ * must surface on the calling thread (never std::terminate), the
+ * remaining tasks must drain, and the pool must stay fully usable —
+ * including after the *caller's* own task slice throws, which once
+ * left a dangling job pointer and a dead generation that deadlocked
+ * the next run.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "gpu/host_pool.hh"
+
+namespace {
+
+using cactus::gpu::WorkerPool;
+
+TEST(WorkerPool, RunsEveryTaskExactlyOnce)
+{
+    WorkerPool pool(4);
+    const std::uint64_t n = 10'000;
+    std::atomic<std::uint64_t> sum{0};
+    pool.run(n, [&](std::uint64_t t, int) {
+        sum.fetch_add(t, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(WorkerPool, HelperExceptionRethrowsOnCaller)
+{
+    WorkerPool pool(4);
+    std::atomic<std::uint64_t> executed{0};
+    EXPECT_THROW(
+        pool.run(1000,
+                 [&](std::uint64_t t, int) {
+                     executed.fetch_add(1,
+                                        std::memory_order_relaxed);
+                     if (t == 17)
+                         throw std::runtime_error("task 17 failed");
+                 }),
+        std::runtime_error);
+    // Unclaimed tasks were drained, not executed.
+    EXPECT_LE(executed.load(), 1000u);
+}
+
+TEST(WorkerPool, ExceptionTypeSurvivesTheRethrow)
+{
+    WorkerPool pool(2);
+    try {
+        pool.run(100, [&](std::uint64_t t, int) {
+            if (t == 3)
+                throw cactus::BenchmarkError("typed failure");
+        });
+        FAIL() << "no exception";
+    } catch (const cactus::BenchmarkError &e) {
+        EXPECT_EQ(std::string(e.what()), "typed failure");
+    }
+}
+
+TEST(WorkerPool, PoolIsReusableAfterAThrow)
+{
+    WorkerPool pool(4);
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_THROW(pool.run(500,
+                              [&](std::uint64_t, int) {
+                                  throw std::runtime_error("always");
+                              }),
+                     std::runtime_error);
+        // Regression: a throw on the calling thread's slice once left
+        // job_ dangling and active_ unretired, deadlocking this run.
+        std::atomic<std::uint64_t> count{0};
+        pool.run(500, [&](std::uint64_t, int) {
+            count.fetch_add(1, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(count.load(), 500u);
+    }
+}
+
+TEST(WorkerPool, InlinePoolPropagatesDirectly)
+{
+    // A single-worker pool runs inline; exceptions propagate without
+    // touching pool state.
+    WorkerPool pool(1);
+    EXPECT_THROW(pool.run(10,
+                          [&](std::uint64_t t, int) {
+                              if (t == 5)
+                                  throw std::runtime_error("inline");
+                          }),
+                 std::runtime_error);
+    std::atomic<std::uint64_t> count{0};
+    pool.run(10, [&](std::uint64_t, int) { ++count; });
+    EXPECT_EQ(count.load(), 10u);
+}
+
+TEST(WorkerPool, FirstExceptionWinsWhenAllTasksThrow)
+{
+    // Many concurrent throwers: exactly one exception must surface and
+    // the rest are discarded silently (no terminate, no leak).
+    WorkerPool pool(4);
+    int caught = 0;
+    try {
+        pool.run(64, [&](std::uint64_t t, int) {
+            throw std::runtime_error("task " + std::to_string(t));
+        });
+    } catch (const std::runtime_error &) {
+        ++caught;
+    }
+    EXPECT_EQ(caught, 1);
+}
+
+} // namespace

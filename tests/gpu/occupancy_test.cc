@@ -7,6 +7,8 @@
 
 #include "gpu/occupancy.hh"
 
+#include "../support/expect_error.hh"
+
 namespace {
 
 using cactus::gpu::computeOccupancy;
@@ -80,8 +82,9 @@ TEST(OccupancyDeath, OversizedBlockIsFatal)
 {
     DeviceConfig cfg;
     KernelDesc desc("k", 32, 0);
-    EXPECT_EXIT(computeOccupancy(cfg, desc, Dim3(2048)),
-                ::testing::ExitedWithCode(1), "thread limit");
+    cactus::test::expectError(
+        [&] { computeOccupancy(cfg, desc, Dim3(2048)); },
+        "thread limit");
 }
 
 /** Property: occupancy is monotonically non-increasing in register use. */

@@ -115,6 +115,85 @@ TEST(Trace, EmptyTraceIsEmpty)
     EXPECT_EQ(writeLaunchTrace(ss, {}), 0u);
 }
 
+TEST(Trace, MalformedLineRaisesTraceErrorWithLineNumber)
+{
+    const auto launches = sampleLaunches();
+    std::stringstream good;
+    writeLaunchTrace(good, launches);
+
+    std::stringstream corrupt;
+    std::string line;
+    std::getline(good, line);
+    corrupt << line << "\n" << "this is not a trace record\n";
+    try {
+        readLaunchTrace(corrupt);
+        FAIL() << "no throw";
+    } catch (const cactus::TraceError &e) {
+        EXPECT_EQ(e.line(), 2);
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Trace, TruncatedRecordRaisesTraceError)
+{
+    // A record cut off mid-write (e.g. a killed process) loses keys
+    // after the cut; the strict reader must say which line.
+    const auto launches = sampleLaunches();
+    std::stringstream good;
+    writeLaunchTrace(good, launches);
+    std::string first, second;
+    std::getline(good, first);
+    std::getline(good, second);
+
+    std::stringstream torn;
+    torn << first << "\n"
+         << second.substr(0, second.size() / 2) << "\n";
+    try {
+        readLaunchTrace(torn);
+        FAIL() << "no throw";
+    } catch (const cactus::TraceError &e) {
+        EXPECT_EQ(e.line(), 2);
+    }
+}
+
+TEST(Trace, LenientReadSkipsBadRecordsAndCountsThem)
+{
+    const auto launches = sampleLaunches();
+    std::stringstream good;
+    writeLaunchTrace(good, launches);
+    std::string first, second;
+    std::getline(good, first);
+    std::getline(good, second);
+
+    std::stringstream mixed;
+    mixed << first << "\n"
+          << "garbage line\n"
+          << second << "\n";
+    std::size_t skipped = 0;
+    const auto loaded =
+        readLaunchTrace(mixed, /*lenient=*/true, &skipped);
+    EXPECT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(skipped, 1u);
+    EXPECT_EQ(loaded[0].desc.name, launches[0].desc.name);
+    EXPECT_EQ(loaded[1].desc.name, launches[1].desc.name);
+}
+
+TEST(Trace, InjectedWriteFaultShortensTheRecordCount)
+{
+    const auto launches = sampleLaunches();
+    std::stringstream ss;
+    const auto written = writeLaunchTrace(
+        ss, launches, cactus::FaultInjector::parse("trace-write:1:1"));
+    EXPECT_EQ(written, 0u);
+
+    std::stringstream ok;
+    const auto all = writeLaunchTrace(
+        ok, launches, cactus::FaultInjector::parse("trace-write:0:1"));
+    EXPECT_EQ(all, launches.size());
+}
+
 TEST(Retime, SameConfigReproducesTiming)
 {
     const auto launches = sampleLaunches();

@@ -12,6 +12,8 @@
 #include "graph/bfs.hh"
 #include "graph/csr.hh"
 
+#include "../support/expect_error.hh"
+
 namespace {
 
 using namespace cactus::graph;
@@ -38,10 +40,10 @@ TEST(CsrGraph, NeighborsSorted)
     EXPECT_EQ(nb[2], 4);
 }
 
-TEST(CsrGraphDeath, OutOfRangeEdgeIsFatal)
+TEST(CsrGraphError, OutOfRangeEdgeThrows)
 {
-    EXPECT_EXIT(CsrGraph::fromEdges(2, {{0, 5}}),
-                ::testing::ExitedWithCode(1), "out of range");
+    cactus::test::expectError(
+        [] { CsrGraph::fromEdges(2, {{0, 5}}); }, "out of range");
 }
 
 TEST(Generators, RmatIsHeavyTailed)

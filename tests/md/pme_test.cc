@@ -13,6 +13,8 @@
 #include "gpu/device.hh"
 #include "md/pme.hh"
 
+#include "../support/expect_error.hh"
+
 namespace {
 
 using namespace cactus::md;
@@ -109,10 +111,10 @@ TEST(Pme, LaunchesFullKernelPipeline)
     EXPECT_EQ(fft_launches, 6);
 }
 
-TEST(PmeDeath, NonPowerOfTwoGridIsFatal)
+TEST(PmeError, NonPowerOfTwoGridThrows)
 {
-    EXPECT_EXIT(PmeSolver bad(48), ::testing::ExitedWithCode(1),
-                "power of two");
+    cactus::test::expectError([] { PmeSolver bad(48); },
+                              "power of two");
 }
 
 } // namespace

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared assertion for recoverable-error paths: since fatal() raises
+ * cactus::Error instead of aborting, the old EXPECT_EXIT death tests
+ * became throw tests. expectError() checks both the exception type and
+ * a what() substring, mirroring the old exit-code + message match.
+ */
+
+#ifndef CACTUS_TESTS_SUPPORT_EXPECT_ERROR_HH
+#define CACTUS_TESTS_SUPPORT_EXPECT_ERROR_HH
+
+#include <exception>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+
+namespace cactus::test {
+
+/** Expect fn() to throw E (default cactus::Error) whose what()
+ *  contains @p substr. */
+template <typename E = cactus::Error, typename Fn>
+void
+expectError(Fn &&fn, const std::string &substr)
+{
+    try {
+        fn();
+        ADD_FAILURE() << "expected an error containing '" << substr
+                      << "', but nothing was thrown";
+    } catch (const E &e) {
+        EXPECT_NE(std::string(e.what()).find(substr),
+                  std::string::npos)
+            << "error message was: " << e.what();
+    } catch (const std::exception &e) {
+        ADD_FAILURE() << "wrong exception type thrown: " << e.what();
+    }
+}
+
+} // namespace cactus::test
+
+#endif // CACTUS_TESTS_SUPPORT_EXPECT_ERROR_HH

@@ -16,12 +16,13 @@
 
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/logging.hh"
+#include "common/parse.hh"
 #include "core/benchmark.hh"
 #include "gpu/device.hh"
 
@@ -52,10 +53,8 @@ struct Row
     std::vector<double> seconds; ///< Aligned with the thread list.
 };
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     std::string suite;
     std::string bench_name;
@@ -66,9 +65,9 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        const auto next = [&]() -> const char * {
+        const auto next = [&]() -> std::string {
             if (i + 1 >= argc)
-                fatal("missing value for %s", arg.c_str());
+                fatal("missing value for ", arg);
             return argv[++i];
         };
         if (arg == "--suite") {
@@ -80,15 +79,20 @@ main(int argc, char **argv)
         } else if (arg == "--small") {
             scale = Scale::Small;
         } else if (arg == "--repeats") {
-            repeats = std::atoi(next());
+            repeats = parseInt(next(), "--repeats");
         } else if (arg == "--threads") {
             thread_counts.clear();
-            for (const char *tok = std::strtok(
-                     const_cast<char *>(next()), ",");
-                 tok; tok = std::strtok(nullptr, ","))
-                thread_counts.push_back(std::atoi(tok));
+            const std::string list = next();
+            for (std::size_t pos = 0; pos <= list.size();) {
+                auto comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                thread_counts.push_back(parseInt(
+                    list.substr(pos, comma - pos), "--threads"));
+                pos = comma + 1;
+            }
         } else {
-            fatal("unknown argument: %s", arg.c_str());
+            fatal("unknown argument: ", arg);
         }
     }
     if (thread_counts.empty() || repeats < 1)
@@ -123,7 +127,7 @@ main(int argc, char **argv)
 
     std::FILE *out = std::fopen(out_path.c_str(), "w");
     if (!out)
-        fatal("cannot open %s for writing", out_path.c_str());
+        fatal("cannot open ", out_path, " for writing");
     std::fprintf(out, "{\n  \"scale\": \"%s\",\n",
                  scale == Scale::Tiny ? "tiny" : "small");
     std::fprintf(out, "  \"repeats\": %d,\n", repeats);
@@ -156,4 +160,12 @@ main(int argc, char **argv)
     std::printf("wrote %s (%zu benchmarks)\n", out_path.c_str(),
                 rows.size());
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return guardedMain([&] { return runMain(argc, argv); });
 }

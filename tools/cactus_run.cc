@@ -6,22 +6,32 @@
  * with roofline classification, and optionally exports the launch
  * trace for offline analysis.
  *
+ * Suite runs go through the fault-tolerant campaign runner: one
+ * failing or hanging benchmark is recorded in the summary while the
+ * rest of the suite completes, and an interrupted campaign resumed
+ * with the same --checkpoint manifest re-runs only the incomplete
+ * benchmarks. The process exits non-zero only when a benchmark failed
+ * or timed out — never by abort.
+ *
  * Usage:
  *   cactus_run --list
  *   cactus_run --bench GMS [--tiny] [--full-caches] [--trace out.jsonl]
- *   cactus_run --suite Cactus [--tiny]
- *   cactus_run --retime trace.jsonl --platform a100
+ *   cactus_run --suite Cactus [--tiny] [--timeout SEC] [--retries N]
+ *              [--checkpoint manifest.jsonl]
+ *   cactus_run --retime trace.jsonl --platform a100 [--lenient]
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "analysis/report.hh"
 #include "analysis/roofline.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
+#include "common/parse.hh"
+#include "core/campaign.hh"
 #include "core/harness.hh"
 #include "gpu/trace.hh"
 
@@ -48,7 +58,22 @@ printUsage()
         "  --threads N     host worker threads for block execution\n"
         "                  (0 = all hardware threads, 1 = serial;\n"
         "                  results are identical for any N)\n"
-        "  --trace PATH    export the launch trace as JSON lines\n");
+        "  --trace PATH    export the launch trace as JSON lines\n"
+        "  --timeout SEC   (--suite) watchdog deadline per benchmark;\n"
+        "                  a late benchmark is cancelled at its next\n"
+        "                  kernel-launch boundary\n"
+        "  --retries N     (--suite) extra attempts for a failed\n"
+        "                  benchmark, with exponential backoff\n"
+        "  --checkpoint P  (--suite) JSONL manifest of completed\n"
+        "                  benchmarks; an interrupted campaign\n"
+        "                  resumed with the same manifest re-runs\n"
+        "                  only the incomplete ones\n"
+        "  --lenient       (--retime) skip malformed trace records\n"
+        "                  with a warning instead of failing\n"
+        "environment:\n"
+        "  CACTUS_FAULT=site:probability:seed\n"
+        "                  deterministic fault injection at sites\n"
+        "                  alloc | launch | trace-write\n");
 }
 
 void
@@ -85,15 +110,80 @@ printProfile(const core::BenchmarkProfile &profile)
     std::printf("%s", table.render().c_str());
 }
 
-} // namespace
+int
+runSuiteCampaign(const std::vector<const core::BenchmarkInfo *> &infos,
+                 core::Scale scale, const gpu::DeviceConfig &cfg,
+                 double timeout_seconds, int retries,
+                 const std::string &checkpoint_path)
+{
+    core::CampaignOptions opts;
+    opts.scale = scale;
+    opts.config = cfg;
+    opts.timeoutSeconds = timeout_seconds;
+    opts.retries = retries;
+    opts.checkpointPath = checkpoint_path;
+    opts.onEntry = [](const core::CampaignEntry &entry) {
+        switch (entry.status) {
+          case core::RunStatus::OK:
+            printProfile(entry.profile);
+            break;
+          case core::RunStatus::Skipped:
+            std::printf("\n%s: skipped (checkpoint records a "
+                        "completed run)\n",
+                        entry.name.c_str());
+            break;
+          case core::RunStatus::Timeout:
+            std::printf("\n%s: TIMEOUT after %.1f s: %s\n",
+                        entry.name.c_str(), entry.wallSeconds,
+                        entry.error.c_str());
+            break;
+          case core::RunStatus::Failed:
+            std::printf("\n%s: FAILED after %d attempt%s: %s\n",
+                        entry.name.c_str(), entry.attempts,
+                        entry.attempts == 1 ? "" : "s",
+                        entry.error.c_str());
+            break;
+        }
+        std::fflush(stdout);
+    };
+
+    std::vector<core::BenchmarkInfo> benchmarks;
+    benchmarks.reserve(infos.size());
+    for (const auto *info : infos)
+        benchmarks.push_back(*info);
+
+    const auto result = core::runCampaign(benchmarks, opts);
+
+    std::printf("\ncampaign summary:\n");
+    analysis::TextTable table(
+        {"benchmark", "status", "attempts", "wall s", "detail"});
+    for (const auto &entry : result.entries) {
+        std::string detail = entry.error;
+        if (detail.size() > 48)
+            detail = detail.substr(0, 45) + "...";
+        table.addRow({entry.name,
+                      core::runStatusName(entry.status),
+                      std::to_string(entry.attempts),
+                      analysis::fmt(entry.wallSeconds, 2), detail});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("campaign: %d ok, %d failed, %d timeout, %d skipped\n",
+                result.okCount, result.failedCount,
+                result.timeoutCount, result.skippedCount);
+    return result.allOk() ? 0 : 1;
+}
 
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     std::string bench_name, suite_name, trace_path, retime_path;
+    std::string checkpoint_path;
     std::string platform = "3080";
     bool list = false;
+    bool lenient = false;
     int host_threads = 0; // 0 = all hardware threads.
+    int retries = 0;
+    double timeout_seconds = 0;
     core::Scale scale = core::Scale::Small;
     gpu::DeviceConfig cfg = gpu::DeviceConfig::scaledExperiment();
 
@@ -121,9 +211,21 @@ main(int argc, char **argv)
         } else if (arg == "--full-caches") {
             cfg = gpu::DeviceConfig{};
         } else if (arg == "--threads") {
-            host_threads = std::atoi(next().c_str());
+            host_threads = parseInt(next(), "--threads");
             if (host_threads < 0)
                 fatal("--threads expects a non-negative count");
+        } else if (arg == "--timeout") {
+            timeout_seconds = parseDouble(next(), "--timeout");
+            if (timeout_seconds < 0)
+                fatal("--timeout expects a non-negative duration");
+        } else if (arg == "--retries") {
+            retries = parseInt(next(), "--retries");
+            if (retries < 0)
+                fatal("--retries expects a non-negative count");
+        } else if (arg == "--checkpoint") {
+            checkpoint_path = next();
+        } else if (arg == "--lenient") {
+            lenient = true;
         } else if (arg == "--help" || arg == "-h") {
             printUsage();
             return 0;
@@ -150,13 +252,18 @@ main(int argc, char **argv)
             target = gpu::DeviceConfig{};
         else
             fatal("unknown platform '", platform, "'");
-        auto launches = gpu::readLaunchTrace(retime_path);
+        std::size_t skipped = 0;
+        auto launches =
+            gpu::readLaunchTrace(retime_path, lenient, &skipped);
         double original = 0;
         for (const auto &l : launches)
             original += l.timing.seconds;
         const double projected = gpu::retimeTrace(target, launches);
         std::printf("trace %s: %zu launches\n", retime_path.c_str(),
                     launches.size());
+        if (skipped > 0)
+            std::printf("  (skipped %zu malformed record%s)\n",
+                        skipped, skipped == 1 ? "" : "s");
         std::printf("  recorded total : %.3f ms\n", original * 1e3);
         std::printf("  on %-12s: %.3f ms (%.2fx)\n",
                     target.name.c_str(), projected * 1e3,
@@ -202,6 +309,12 @@ main(int argc, char **argv)
         if (!trace_path.empty()) {
             const auto n =
                 gpu::writeLaunchTrace(trace_path, dev.launches());
+            if (n < dev.launches().size())
+                throw TraceError(
+                    "short trace write: " + std::to_string(n) +
+                    " of " +
+                    std::to_string(dev.launches().size()) +
+                    " records reached '" + trace_path + "'");
             std::printf("\nwrote %zu launch records to %s\n", n,
                         trace_path.c_str());
         }
@@ -212,11 +325,20 @@ main(int argc, char **argv)
         const auto infos = registry.list(suite_name);
         if (infos.empty())
             fatal("unknown or empty suite '", suite_name, "'");
-        for (const auto *info : infos)
-            printProfile(core::runProfiled(info->name, scale, cfg));
-        return 0;
+        return runSuiteCampaign(infos, scale, cfg, timeout_seconds,
+                                retries, checkpoint_path);
     }
 
     printUsage();
     return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // The single place a cactus::Error may end the process: every
+    // library-level failure below main is a recoverable throw.
+    return guardedMain([&] { return runMain(argc, argv); });
 }
