@@ -22,6 +22,7 @@
 
 #include "analysis/report.hh"
 #include "analysis/roofline.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "dnn/ops.hh"
 #include "gpu/profiler.hh"
@@ -176,8 +177,10 @@ cacheScalingAblation()
 
 } // namespace
 
+namespace {
+
 int
-main()
+runBench()
 {
     std::printf("=== Modeling-decision ablations (see DESIGN.md) "
                 "===\n\n");
@@ -185,4 +188,14 @@ main()
     tensorCoreAblation();
     cacheScalingAblation();
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Reproduction harnesses share the tools' process boundary: any
+    // library Error becomes a "fatal:" line and exit 1, never abort.
+    return cactus::guardedMain(runBench);
 }

@@ -16,6 +16,7 @@
 
 #include "analysis/report.hh"
 #include "analysis/roofline.hh"
+#include "common/error.hh"
 #include "core/harness.hh"
 
 namespace cactus::bench {

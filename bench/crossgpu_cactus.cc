@@ -18,8 +18,10 @@
 #include "analysis/roofline.hh"
 #include "bench/bench_common.hh"
 
+namespace {
+
 int
-main()
+runBench()
 {
     using namespace cactus;
     using analysis::fmt;
@@ -108,4 +110,14 @@ main()
                 "A100's bandwidth than compute-intensive ones\n",
                 mem_speedup > cmp_speedup ? "ok" : "MISS");
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Reproduction harnesses share the tools' process boundary: any
+    // library Error becomes a "fatal:" line and exit 1, never abort.
+    return cactus::guardedMain(runBench);
 }

@@ -12,8 +12,10 @@
 #include "analysis/report.hh"
 #include "bench/bench_common.hh"
 
+namespace {
+
 int
-main()
+runBench()
 {
     using namespace cactus;
     using analysis::fmt;
@@ -61,4 +63,14 @@ main()
                 "dominated\n",
                 one_kernel * 2 >= total ? "ok" : "MISS");
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Reproduction harnesses share the tools' process boundary: any
+    // library Error becomes a "fatal:" line and exit 1, never abort.
+    return cactus::guardedMain(runBench);
 }

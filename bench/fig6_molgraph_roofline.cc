@@ -13,8 +13,10 @@
 #include "analysis/report.hh"
 #include "bench/bench_common.hh"
 
+namespace {
+
 int
-main()
+runBench()
 {
     using namespace cactus;
     using analysis::fmt;
@@ -98,4 +100,14 @@ main()
                 "memory-intensive\n",
                 graph_dominants_memory ? "ok" : "MISS");
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Reproduction harnesses share the tools' process boundary: any
+    // library Error becomes a "fatal:" line and exit 1, never abort.
+    return cactus::guardedMain(runBench);
 }

@@ -84,8 +84,10 @@ analyzeGroup(const char *title,
 
 } // namespace
 
+namespace {
+
 int
-main()
+runBench()
 {
     using namespace cactus;
 
@@ -113,4 +115,14 @@ main()
                 "simulated substrate;\nsee EXPERIMENTS.md for the "
                 "analysis of why the direction flips.\n");
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Reproduction harnesses share the tools' process boundary: any
+    // library Error becomes a "fatal:" line and exit 1, never abort.
+    return cactus::guardedMain(runBench);
 }

@@ -18,8 +18,10 @@
 #include "analysis/report.hh"
 #include "bench/bench_common.hh"
 
+namespace {
+
 int
-main()
+runBench()
 {
     using namespace cactus;
 
@@ -119,4 +121,14 @@ main()
                 cactus_dominated >= 1 ? "ok" : "MISS",
                 cactus_dominated, members.size());
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Reproduction harnesses share the tools' process boundary: any
+    // library Error becomes a "fatal:" line and exit 1, never abort.
+    return cactus::guardedMain(runBench);
 }

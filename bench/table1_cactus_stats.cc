@@ -16,8 +16,10 @@
 #include "analysis/report.hh"
 #include "bench/bench_common.hh"
 
+namespace {
+
 int
-main()
+runBench()
 {
     using namespace cactus;
     using analysis::fmt;
@@ -70,4 +72,14 @@ main()
                 "70%% of time\n",
                 ml_many ? "ok" : "MISS");
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Reproduction harnesses share the tools' process boundary: any
+    // library Error becomes a "fatal:" line and exit 1, never abort.
+    return cactus::guardedMain(runBench);
 }

@@ -10,8 +10,10 @@
 #include "analysis/report.hh"
 #include "bench/bench_common.hh"
 
+namespace {
+
 int
-main()
+runBench()
 {
     using namespace cactus;
     using analysis::fmt;
@@ -55,4 +57,14 @@ main()
                     profiles[i].name.c_str(),
                     profiles[i].kernels[0].name.c_str());
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Reproduction harnesses share the tools' process boundary: any
+    // library Error becomes a "fatal:" line and exit 1, never abort.
+    return cactus::guardedMain(runBench);
 }

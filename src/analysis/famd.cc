@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "analysis/eigen.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace cactus::analysis {
@@ -17,6 +18,23 @@ famd(const MixedData &data, std::size_t n_components)
     for (const auto &q : data.qualitative)
         if (q.size() != n)
             fatal("famd: qualitative column length mismatch");
+
+    // A single NaN/Inf cell would spread through the z-scores into
+    // every factor coordinate; name the offending cell instead.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < data.quantitative.cols(); ++j) {
+            if (std::isfinite(data.quantitative(i, j)))
+                continue;
+            const std::string column =
+                j < data.quantNames.size()
+                    ? data.quantNames[j]
+                    : "#" + std::to_string(j);
+            throw IntegrityError(
+                "famd", "all quantitative cells are finite (row " +
+                            std::to_string(i) + ", column '" + column +
+                            "' is not)");
+        }
+    }
 
     // Count indicator columns.
     std::size_t m = 0;
@@ -39,8 +57,13 @@ famd(const MixedData &data, std::size_t n_components)
     const auto means = data.quantitative.columnMeans();
     const auto sds = data.quantitative.columnStddevs();
     for (std::size_t j = 0; j < p; ++j) {
-        if (sds[j] <= 0.0)
+        if (sds[j] <= 0.0) {
+            warn("famd: quantitative column '",
+                 j < data.quantNames.size() ? data.quantNames[j]
+                                            : std::to_string(j),
+                 "' has zero variance; it contributes no inertia");
             continue;
+        }
         for (std::size_t i = 0; i < n; ++i)
             z(i, j) = (data.quantitative(i, j) - means[j]) / sds[j];
     }

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace cactus::analysis {
@@ -17,6 +18,17 @@ wardLinkage(const Matrix &points)
     linkage.numLeaves = n;
     if (n < 2)
         return linkage;
+
+    // NaN distances make every "closest pair" comparison false, so
+    // the greedy merge would silently pick arbitrary pairs.
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t c = 0; c < points.cols(); ++c)
+            if (!std::isfinite(points(i, c)))
+                throw IntegrityError(
+                    "wardLinkage",
+                    "all coordinates are finite (point " +
+                        std::to_string(i) + ", dimension " +
+                        std::to_string(c) + " is not)");
 
     // Active cluster list: node id and size. Distances kept as a dense
     // symmetric matrix over active indices (O(n^2) memory, n is small).

@@ -1,7 +1,9 @@
 #include "analysis/pearson.hh"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace cactus::analysis {
@@ -18,6 +20,12 @@ pearson(const std::vector<double> &x, const std::vector<double> &y)
 
     double mx = 0.0, my = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
+        // A NaN/Inf sample would silently poison every moment below;
+        // report which observation is bad instead.
+        if (!std::isfinite(x[i]) || !std::isfinite(y[i]))
+            throw IntegrityError(
+                "pearson", "all samples are finite (observation " +
+                               std::to_string(i) + " is not)");
         mx += x[i];
         my += y[i];
     }
@@ -32,9 +40,12 @@ pearson(const std::vector<double> &x, const std::vector<double> &y)
         sxx += dx * dx;
         syy += dy * dy;
     }
+    // A zero-variance series has no defined correlation; report "no
+    // correlation" rather than dividing by zero.
     if (sxx <= 0.0 || syy <= 0.0)
         return 0.0;
-    return sxy / std::sqrt(sxx * syy);
+    // Rounding can push the ratio epsilon past +/-1.
+    return std::clamp(sxy / std::sqrt(sxx * syy), -1.0, 1.0);
 }
 
 Matrix

@@ -136,6 +136,10 @@ asciiScatter(const std::vector<ScatterSeries> &series,
         return (h - 1) - static_cast<int>(std::lround(t * (h - 1)));
     };
     auto plot = [&](double x, double y, char glyph) {
+        // lround(NaN) is undefined; a degenerate point is simply not
+        // drawable, so drop it rather than corrupting the grid.
+        if (!std::isfinite(x) || !std::isfinite(y))
+            return;
         const int cx = xPos(x);
         const int cy = yPos(y);
         if (cx < 0 || cx >= w || cy < 0 || cy >= h)

@@ -73,6 +73,39 @@ class TimeoutError : public BenchmarkError
 };
 
 /**
+ * A result-integrity violation: recorded statistics break a
+ * memory-hierarchy conservation invariant, a functional output
+ * mismatches its golden digest, or an extrapolation is based on too
+ * thin a sample. Deliberately NOT a BenchmarkError: the run may have
+ * completed, but its numbers cannot be trusted — campaigns report it
+ * as CORRUPT rather than FAILED, and never retry (the violation is
+ * deterministic, not transient).
+ */
+class IntegrityError : public Error
+{
+  public:
+    /** @param subject The kernel or benchmark whose result is suspect.
+     *  @param invariant The violated invariant, stated as the
+     *         expression that should have held (e.g.
+     *         "l1Misses <= l1Accesses"). */
+    IntegrityError(const std::string &subject,
+                   const std::string &invariant)
+        : Error("integrity violation in '" + subject +
+                "': " + invariant),
+          subject_(subject),
+          invariant_(invariant)
+    {
+    }
+
+    const std::string &subject() const { return subject_; }
+    const std::string &invariant() const { return invariant_; }
+
+  private:
+    std::string subject_;
+    std::string invariant_;
+};
+
+/**
  * Run a tool's main body, converting taxonomy errors into the classic
  * "fatal:" one-liner and exit status 1 at the process boundary. This
  * is the only sanctioned place to turn an Error into process exit;

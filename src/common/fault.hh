@@ -14,9 +14,12 @@
  * thread count.
  *
  * Sites currently wired up:
- *   alloc       gpu::Device construction (cache-array allocation)
- *   launch      gpu::Device::beginLaunch (kernel-launch throw)
- *   trace-write gpu::writeLaunchTrace (short record count)
+ *   alloc         gpu::Device construction (cache-array allocation)
+ *   launch        gpu::Device::beginLaunch (kernel-launch throw)
+ *   trace-write   gpu::writeLaunchTrace (short record count)
+ *   stats-corrupt gpu::Device::endLaunch (silently breaks a
+ *                 LaunchStats conservation law just before the audit;
+ *                 proves the auditor detects corruption)
  */
 
 #ifndef CACTUS_COMMON_FAULT_HH

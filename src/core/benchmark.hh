@@ -11,9 +11,11 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/verify.hh"
 #include "gpu/device.hh"
 
 namespace cactus::core {
@@ -42,6 +44,53 @@ class Benchmark
 
     /** Execute the full application on @p dev. */
     virtual void run(gpu::Device &dev) = 0;
+
+    /**
+     * The digest of the outputs run() recorded via recordOutput(), or
+     * nullopt when the benchmark records nothing (it is then
+     * "audit-only": its counters are still audited, but no functional
+     * golden is checked). Campaigns call this after run() and compare
+     * against the goldens under tests/goldens/.
+     */
+    virtual std::optional<VerifyResult>
+    verify() const
+    {
+        if (digest_.empty())
+            return std::nullopt;
+        return digest_.result();
+    }
+
+  protected:
+    /** Fold an output buffer into this run's digest; call at the end
+     *  of run() for every buffer that constitutes the application's
+     *  answer. Buffers are indexed from @p base so multiple buffers
+     *  occupy disjoint index ranges of one logical output. */
+    template <typename T>
+    void
+    recordOutput(const std::vector<T> &values, std::uint64_t base = 0)
+    {
+        digest_.addBuffer(values, base);
+    }
+
+    /** Fold a single scalar result (e.g. an energy) into the digest. */
+    void
+    recordOutput(double value, std::uint64_t index = 0)
+    {
+        digest_.add(index, value);
+    }
+
+    /** Fold a raw buffer (e.g. a dnn::Tensor's storage, which does not
+     *  expose its backing vector) into the digest. */
+    void
+    recordOutput(const float *values, std::size_t count,
+                 std::uint64_t base = 0)
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            digest_.add(base + i, static_cast<double>(values[i]));
+    }
+
+  private:
+    OutputDigest digest_;
 };
 
 /** Descriptor + factory for one registered benchmark. */

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <mutex>
@@ -128,11 +129,69 @@ appendCheckpointRecord(std::ostream &out, const BenchmarkProfile &p)
         << ",\"launches\":" << p.launches
         << ",\"total_seconds\":" << p.totalSeconds
         << ",\"total_warp_insts\":" << p.totalWarpInsts
-        << ",\"total_dram_sectors\":" << p.totalDramSectors << "}\n";
+        << ",\"total_dram_sectors\":" << p.totalDramSectors
+        << ",\"min_coverage\":" << p.minSampleCoverage << "}\n";
     // One completed benchmark per line, flushed immediately: a kill
     // between benchmarks loses at most the record being written, and
     // the lenient reader skips that torn line on resume.
     out.flush();
+}
+
+std::string
+fmtCoverage(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4f", value);
+    return buf;
+}
+
+/**
+ * The post-run integrity gate: coverage floor, then golden recording
+ * or checking. Violations throw IntegrityError, which the attempt
+ * loop maps to RunStatus::Corrupt without retrying.
+ */
+void
+enforceIntegrity(const Benchmark &bench,
+                 const BenchmarkProfile &profile,
+                 const CampaignOptions &opts)
+{
+    if (opts.minCoverage > 0 &&
+        profile.minSampleCoverage < opts.minCoverage)
+        throw IntegrityError(
+            profile.name,
+            "sampleCoverage >= --min-coverage (min " +
+                fmtCoverage(profile.minSampleCoverage) +
+                " < floor " + fmtCoverage(opts.minCoverage) + ")");
+
+    const auto digest = bench.verify();
+    if (opts.recordGoldens) {
+        if (digest)
+            opts.recordGoldens->set(profile.name,
+                                    scaleToken(opts.scale), *digest);
+        return;
+    }
+    if (!opts.verifyOutputs)
+        return;
+
+    const std::string scale = scaleToken(opts.scale);
+    if (!digest)
+        throw IntegrityError(profile.name,
+                             "run records an output digest "
+                             "(benchmark recorded nothing to verify)");
+    const auto golden = opts.goldens->find(profile.name, scale);
+    if (!golden)
+        throw IntegrityError(
+            profile.name,
+            "a golden digest exists for scale '" + scale +
+                "' (none recorded; run --update-goldens first)");
+    if (golden->digest != digest->digest ||
+        golden->elements != digest->elements)
+        throw IntegrityError(
+            profile.name,
+            "output digest == golden (got " + digest->hex() + "/" +
+                std::to_string(digest->elements) + " elements, want " +
+                golden->hex() + "/" + std::to_string(golden->elements) +
+                ")");
 }
 
 } // namespace
@@ -147,6 +206,8 @@ runStatusName(RunStatus status)
         return "FAILED";
       case RunStatus::Timeout:
         return "TIMEOUT";
+      case RunStatus::Corrupt:
+        return "CORRUPT";
       case RunStatus::Skipped:
         return "SKIPPED";
     }
@@ -182,6 +243,11 @@ readCheckpoint(const std::string &path)
         }
         findText(line, "suite", entry.profile.suite);
         findText(line, "domain", entry.profile.domain);
+        // Manifests written before coverage tracking lack the key;
+        // default to full coverage rather than rejecting the record.
+        double coverage = 1.0;
+        if (findNumber(line, "min_coverage", coverage))
+            entry.profile.minSampleCoverage = coverage;
         entry.status = RunStatus::OK;
         entry.profile.name = entry.name;
         entry.profile.launches =
@@ -204,6 +270,10 @@ CampaignResult
 runCampaign(const std::vector<BenchmarkInfo> &benchmarks,
             const CampaignOptions &opts)
 {
+    if (opts.verifyOutputs && !opts.goldens && !opts.recordGoldens)
+        throw ConfigError(
+            "campaign verifyOutputs set without a golden table");
+
     std::unordered_map<std::string, CampaignEntry> completed;
     if (!opts.checkpointPath.empty()) {
         for (auto &entry : readCheckpoint(opts.checkpointPath))
@@ -265,6 +335,7 @@ runCampaign(const std::vector<BenchmarkInfo> &benchmarks,
                 try {
                     auto bench = info.factory(opts.scale);
                     entry.profile = runProfiled(*bench, cfg);
+                    enforceIntegrity(*bench, entry.profile, opts);
                     entry.status = RunStatus::OK;
                     entry.error.clear();
                     break;
@@ -272,6 +343,13 @@ runCampaign(const std::vector<BenchmarkInfo> &benchmarks,
                     // Deadline misses are not transient: retrying
                     // would just spend another full timeout.
                     entry.status = RunStatus::Timeout;
+                    entry.error = e.what();
+                    break;
+                } catch (const IntegrityError &e) {
+                    // A violated invariant or a wrong answer is
+                    // deterministic: retrying cannot fix it, and the
+                    // result must not look like a transient failure.
+                    entry.status = RunStatus::Corrupt;
                     entry.error = e.what();
                     break;
                 } catch (const std::exception &e) {
@@ -297,6 +375,9 @@ runCampaign(const std::vector<BenchmarkInfo> &benchmarks,
             break;
           case RunStatus::Timeout:
             ++result.timeoutCount;
+            break;
+          case RunStatus::Corrupt:
+            ++result.corruptCount;
             break;
           case RunStatus::Skipped:
             ++result.skippedCount;

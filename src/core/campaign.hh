@@ -40,10 +40,14 @@ enum class RunStatus
     OK,      ///< Profiled successfully (possibly after retries).
     Failed,  ///< Every attempt threw; see CampaignEntry::error.
     Timeout, ///< Cancelled by the watchdog.
+    Corrupt, ///< Ran to completion but violated an integrity check:
+             ///< a stats-conservation invariant, the golden output
+             ///< digest, or the --min-coverage floor. Never retried —
+             ///< a wrong answer is deterministic, not transient.
     Skipped  ///< Checkpoint already records a completed run.
 };
 
-/** Display name: "OK", "FAILED", "TIMEOUT", "SKIPPED". */
+/** Display name: "OK", "FAILED", "TIMEOUT", "CORRUPT", "SKIPPED". */
 const char *runStatusName(RunStatus status);
 
 /** Structured record of one benchmark's campaign outcome. */
@@ -84,6 +88,29 @@ struct CampaignOptions
      *  entries are honoured (resume), new completions appended. */
     std::string checkpointPath;
 
+    /**
+     * Check every completed benchmark's recorded output digest against
+     * @p goldens (which must then be non-null). A mismatch — or a
+     * benchmark with no golden recorded for this scale — is an
+     * IntegrityError and the entry becomes Corrupt.
+     */
+    bool verifyOutputs = false;
+    const GoldenTable *goldens = nullptr;
+
+    /**
+     * When set, record mode: each completed benchmark's digest is
+     * written into this table (for GoldenTable::save) instead of being
+     * checked. Takes precedence over verifyOutputs.
+     */
+    GoldenTable *recordGoldens = nullptr;
+
+    /**
+     * Reject completed runs whose minSampleCoverage falls below this
+     * floor (their counters lean too heavily on extrapolation to
+     * trust); 0 disables the check. Rejected runs become Corrupt.
+     */
+    double minCoverage = 0;
+
     /** Invoked after each benchmark settles, in campaign order. */
     std::function<void(const CampaignEntry &)> onEntry;
 };
@@ -95,13 +122,16 @@ struct CampaignResult
     int okCount = 0;
     int failedCount = 0;
     int timeoutCount = 0;
+    int corruptCount = 0;
     int skippedCount = 0;
 
-    /** True when nothing failed or timed out (skips are fine). */
+    /** True when nothing failed, timed out, or was found corrupt
+     *  (skips are fine). */
     bool
     allOk() const
     {
-        return failedCount == 0 && timeoutCount == 0;
+        return failedCount == 0 && timeoutCount == 0 &&
+            corruptCount == 0;
     }
 };
 

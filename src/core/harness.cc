@@ -61,11 +61,9 @@ BenchmarkProfile::weightedAvgWarpInstsPerKernel() const
 }
 
 BenchmarkProfile
-runProfiled(Benchmark &bench, const gpu::DeviceConfig &cfg)
+profileFromDevice(const Benchmark &bench, const gpu::Device &dev,
+                  const gpu::DeviceConfig &cfg)
 {
-    gpu::Device dev(cfg);
-    bench.run(dev);
-
     BenchmarkProfile profile;
     profile.name = bench.name();
     profile.suite = bench.suite();
@@ -79,7 +77,18 @@ runProfiled(Benchmark &bench, const gpu::DeviceConfig &cfg)
         profile.totalDramSectors +=
             kp.dramReadSectors + kp.dramWriteSectors;
     }
+    for (const auto &launch : dev.launches())
+        profile.minSampleCoverage =
+            std::min(profile.minSampleCoverage, launch.sampleCoverage);
     return profile;
+}
+
+BenchmarkProfile
+runProfiled(Benchmark &bench, const gpu::DeviceConfig &cfg)
+{
+    gpu::Device dev(cfg);
+    bench.run(dev);
+    return profileFromDevice(bench, dev, cfg);
 }
 
 BenchmarkProfile

@@ -37,6 +37,15 @@ struct BenchmarkProfile
     std::uint64_t totalDramSectors = 0;
     std::uint64_t launches = 0;
 
+    /**
+     * The smallest per-launch sampled-warp coverage across the run
+     * (1.0 when every launch replayed all of its warps, or when the
+     * run had no launches). Low coverage means the published counters
+     * lean heavily on extrapolation; campaigns can reject runs below
+     * a --min-coverage threshold as untrustworthy.
+     */
+    double minSampleCoverage = 1.0;
+
     /** Number of distinct kernels executed (100% of time). */
     int kernelCount() const { return static_cast<int>(kernels.size()); }
 
@@ -59,6 +68,15 @@ struct BenchmarkProfile
      *  (total instructions divided by kernel count). */
     double weightedAvgWarpInstsPerKernel() const;
 };
+
+/**
+ * Aggregate the launches a benchmark has already executed on @p dev
+ * into a profile. Shared by runProfiled() and drivers that own the
+ * device (e.g. to export its raw trace afterwards).
+ */
+BenchmarkProfile profileFromDevice(const Benchmark &bench,
+                                   const gpu::Device &dev,
+                                   const gpu::DeviceConfig &cfg);
 
 /** Run one benchmark under the profiler on a fresh device. */
 BenchmarkProfile runProfiled(Benchmark &bench,

@@ -1,0 +1,107 @@
+#include "core/verify.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hh"
+#include "core/benchmark.hh"
+
+namespace cactus::core {
+
+std::string
+VerifyResult::hex() const
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(digest));
+    return buf;
+}
+
+std::string
+scaleToken(Scale scale)
+{
+    switch (scale) {
+      case Scale::Tiny:
+        return "tiny";
+      case Scale::Small:
+        return "small";
+    }
+    return "unknown";
+}
+
+GoldenTable
+GoldenTable::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw ConfigError("cannot open golden table '" + path + "'");
+    GoldenTable table;
+    std::string line;
+    long line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        const auto start = line.find_first_not_of(" \t");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::string name, scale, digest;
+        std::uint64_t elements = 0;
+        if (!(fields >> name >> scale >> digest >> elements) ||
+            digest.size() != 16 ||
+            digest.find_first_not_of("0123456789abcdef") !=
+                std::string::npos)
+            throw ConfigError("golden table '" + path + "' line " +
+                              std::to_string(line_number) +
+                              ": expected 'name scale digest16 "
+                              "elements', got '" + line + "'");
+        VerifyResult result;
+        result.digest = std::stoull(digest, nullptr, 16);
+        result.elements = elements;
+        table.entries_[{name, scale}] = result;
+    }
+    return table;
+}
+
+GoldenTable
+GoldenTable::loadOrEmpty(const std::string &path)
+{
+    if (std::ifstream probe(path); !probe)
+        return GoldenTable{};
+    return load(path);
+}
+
+std::optional<VerifyResult>
+GoldenTable::find(const std::string &name,
+                  const std::string &scale) const
+{
+    const auto it = entries_.find({name, scale});
+    if (it == entries_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+GoldenTable::set(const std::string &name, const std::string &scale,
+                 const VerifyResult &result)
+{
+    entries_[{name, scale}] = result;
+}
+
+void
+GoldenTable::save(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        throw ConfigError("cannot write golden table '" + path + "'");
+    out << "# Golden output digests (see src/core/verify.hh).\n"
+        << "# name scale digest elements\n";
+    for (const auto &[key, result] : entries_)
+        out << key.first << ' ' << key.second << ' ' << result.hex()
+            << ' ' << result.elements << '\n';
+    if (!out.flush())
+        throw ConfigError("failed writing golden table '" + path +
+                          "'");
+}
+
+} // namespace cactus::core

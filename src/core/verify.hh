@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Golden functional verification. The determinism PRs prove a
+ * parallel run computes the same answer as a serial one; nothing yet
+ * proves either answer is *right*. A benchmark records its output
+ * buffers into an OutputDigest — an order-independent FNV-1a checksum
+ * over (element index, canonical value bits) pairs — and campaigns
+ * compare the digest against goldens recorded under tests/goldens/.
+ * A mismatch is an IntegrityError (campaign outcome CORRUPT): the run
+ * completed, but the answer is wrong.
+ *
+ * The digest is order-independent (per-element hashes combine by
+ * wrapping addition) so recording the same logical output in any
+ * order — or from any number of buffers, each indexed from its own
+ * base — produces the same value. Floating-point values are
+ * canonicalized (-0 folds to +0; non-finite values hash as a fixed
+ * pattern and are counted separately) so the digest is a function of
+ * the mathematical output, not its encoding.
+ */
+
+#ifndef CACTUS_CORE_VERIFY_HH
+#define CACTUS_CORE_VERIFY_HH
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cactus::core {
+
+enum class Scale; // core/benchmark.hh
+
+/** Summary of one benchmark's recorded functional output. */
+struct VerifyResult
+{
+    std::uint64_t digest = 0;    ///< Order-independent FNV-1a sum.
+    std::uint64_t elements = 0;  ///< Values recorded.
+    std::uint64_t nonFinite = 0; ///< NaN/Inf values among them.
+
+    /** Digest as the fixed-width hex token stored in golden tables. */
+    std::string hex() const;
+};
+
+/** Accumulator building a VerifyResult from output buffers. */
+class OutputDigest
+{
+  public:
+    /** Record one value at @p index within the logical output. */
+    void
+    add(std::uint64_t index, double value)
+    {
+        std::uint64_t bits;
+        if (!std::isfinite(value)) {
+            ++nonFinite_;
+            bits = 0x7ff8000000000000ull; // Canonical non-finite.
+        } else {
+            if (value == 0.0)
+                value = 0.0; // Fold -0 into +0.
+            bits = std::bit_cast<std::uint64_t>(value);
+        }
+        addBits(index, bits);
+    }
+
+    void
+    add(std::uint64_t index, std::int64_t value)
+    {
+        addBits(index, static_cast<std::uint64_t>(value));
+    }
+
+    /** Record a whole buffer, elements indexed from @p base. */
+    template <typename T>
+    void
+    addBuffer(const std::vector<T> &values, std::uint64_t base = 0)
+    {
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            if constexpr (std::is_floating_point_v<T>)
+                add(base + i, static_cast<double>(values[i]));
+            else
+                add(base + i, static_cast<std::int64_t>(values[i]));
+        }
+    }
+
+    VerifyResult
+    result() const
+    {
+        return VerifyResult{sum_, elements_, nonFinite_};
+    }
+
+    bool empty() const { return elements_ == 0; }
+
+  private:
+    void
+    addBits(std::uint64_t index, std::uint64_t bits)
+    {
+        // FNV-1a over the 16 bytes (index LE, bits LE); per-element
+        // hashes combine by wrapping addition, so the digest does not
+        // depend on recording order.
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (index >> (8 * byte)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (bits >> (8 * byte)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+        sum_ += h;
+        ++elements_;
+    }
+
+    std::uint64_t sum_ = 0;
+    std::uint64_t elements_ = 0;
+    std::uint64_t nonFinite_ = 0;
+};
+
+/**
+ * The golden digests of a benchmark scale set, persisted as a plain
+ * text table (one "name scale digest elements" line per golden, '#'
+ * comments) under tests/goldens/.
+ */
+class GoldenTable
+{
+  public:
+    /** Parse @p path; ConfigError when unreadable or malformed. */
+    static GoldenTable load(const std::string &path);
+
+    /** Like load(), but an absent file yields an empty table (the
+     *  starting state of --update-goldens). */
+    static GoldenTable loadOrEmpty(const std::string &path);
+
+    /** The golden for (@p name, @p scale), if one is recorded. */
+    std::optional<VerifyResult> find(const std::string &name,
+                                     const std::string &scale) const;
+
+    void set(const std::string &name, const std::string &scale,
+             const VerifyResult &result);
+
+    /** Write the table back, sorted by (name, scale) for stable
+     *  diffs; ConfigError when the file cannot be written. */
+    void save(const std::string &path) const;
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::map<std::pair<std::string, std::string>, VerifyResult>
+        entries_;
+};
+
+/** The canonical token for a Scale in golden tables ("tiny"/"small"). */
+std::string scaleToken(Scale scale);
+
+} // namespace cactus::core
+
+#endif // CACTUS_CORE_VERIFY_HH

@@ -1,0 +1,213 @@
+#include "gpu/audit.hh"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hh"
+
+namespace cactus::gpu {
+
+namespace {
+
+/** Throw the auditor's verdict: the invariant is stated first as the
+ *  law that should have held, then the observed values that broke it. */
+[[noreturn]] void
+violated(const LaunchStats &stats, const std::string &invariant,
+         const std::string &observed)
+{
+    throw IntegrityError(stats.desc.name, invariant + " (" + observed + ")");
+}
+
+void
+checkLe(const LaunchStats &stats, std::uint64_t lhs, std::uint64_t rhs,
+        const char *law)
+{
+    if (lhs > rhs)
+        violated(stats, law,
+                 std::to_string(lhs) + " > " + std::to_string(rhs));
+}
+
+void
+checkEq(const LaunchStats &stats, std::uint64_t lhs, std::uint64_t rhs,
+        const char *law)
+{
+    if (lhs != rhs)
+        violated(stats, law,
+                 std::to_string(lhs) + " != " + std::to_string(rhs));
+}
+
+void
+checkUnit(const LaunchStats &stats, double v, const char *law)
+{
+    if (!std::isfinite(v) || v < 0.0 || v > 1.0)
+        violated(stats, law, "value " + std::to_string(v));
+}
+
+void
+checkFiniteNonNegative(const LaunchStats &stats, double v,
+                       const char *what)
+{
+    if (!std::isfinite(v) || v < 0.0)
+        violated(stats, std::string(what) + " finite and >= 0",
+                 "value " + std::to_string(v));
+}
+
+/** The extrapolation Device::endLaunch applies to sampled counters;
+ *  duplicated here on purpose so the auditor is an independent witness
+ *  rather than a call into the code it checks. */
+std::uint64_t
+scaledCounter(std::uint64_t v, double scale)
+{
+    return static_cast<std::uint64_t>(static_cast<double>(v) * scale +
+                                      0.5);
+}
+
+} // namespace
+
+void
+auditLaunchStats(const LaunchStats &stats, const DeviceConfig &cfg,
+                 const AuditInputs *live)
+{
+    // --- Launch geometry -------------------------------------------------
+    if (stats.grid.empty() || stats.block.empty())
+        violated(stats, "grid and block non-empty",
+                 "grid " + std::to_string(stats.grid.count()) +
+                     ", block " + std::to_string(stats.block.count()));
+    const std::uint64_t warps_per_block =
+        (stats.block.count() + cfg.warpSize - 1) / cfg.warpSize;
+    checkEq(stats, stats.totalWarps,
+            stats.grid.count() * warps_per_block,
+            "totalWarps == gridBlocks * ceil(blockThreads / warpSize)");
+    checkLe(stats, stats.sampledWarps, stats.totalWarps,
+            "sampledWarps <= totalWarps");
+    // A warp instruction bundles at most warpSize thread instructions.
+    checkLe(stats, stats.counts.threadInsts,
+            stats.counts.total() *
+                static_cast<std::uint64_t>(cfg.warpSize),
+            "threadInsts <= warpInsts * warpSize");
+
+    // --- Hierarchy conservation ------------------------------------------
+    // Sector traffic can only shrink on the way down: misses are a
+    // subset of accesses at both levels, and every L1 miss is exactly
+    // one L2 access (streaming loads bypass both caches). The latter
+    // survives extrapolation because equal sampled counters scale to
+    // equal published counters.
+    checkLe(stats, stats.l1Misses, stats.l1Accesses,
+            "l1Misses <= l1Accesses");
+    checkEq(stats, stats.l2Accesses, stats.l1Misses,
+            "l2Accesses == l1Misses");
+    checkLe(stats, stats.l2Misses, stats.l2Accesses,
+            "l2Misses <= l2Accesses");
+    // The busiest slice carries at least its fair share of the total
+    // and never more than all of it. The lower bound gets one sector
+    // of rounding slack per slice: each side of the comparison was
+    // rounded independently during extrapolation.
+    checkLe(stats, stats.l2SliceMaxAccesses, stats.l2Accesses,
+            "l2SliceMaxAccesses <= l2Accesses");
+    const std::uint64_t slices =
+        static_cast<std::uint64_t>(cfg.resolvedL2Slices());
+    if (stats.l2Accesses >
+        stats.l2SliceMaxAccesses * slices + slices)
+        violated(stats,
+                 "l2Accesses <= l2SliceMaxAccesses * numL2Slices "
+                 "(+rounding)",
+                 std::to_string(stats.l2Accesses) + " > " +
+                     std::to_string(stats.l2SliceMaxAccesses) + " * " +
+                     std::to_string(slices) + " + " +
+                     std::to_string(slices));
+
+    // --- Sampling and occupancy ------------------------------------------
+    checkUnit(stats, stats.sampleCoverage, "sampleCoverage in [0, 1]");
+    checkUnit(stats, stats.occupancyFraction,
+              "occupancyFraction in [0, 1]");
+    if (stats.residentWarpsPerSm < 0 ||
+        stats.residentWarpsPerSm > cfg.maxWarpsPerSm)
+        violated(stats, "residentWarpsPerSm in [0, maxWarpsPerSm]",
+                 std::to_string(stats.residentWarpsPerSm) +
+                     " outside [0, " +
+                     std::to_string(cfg.maxWarpsPerSm) + "]");
+
+    // --- Derived metrics and timing --------------------------------------
+    // NaN here propagates straight into Figs. 2-9; every exported
+    // column and every timing term must be finite and non-negative.
+    const auto columns = stats.metrics.toVector();
+    for (std::size_t i = 0; i < columns.size(); ++i)
+        checkFiniteNonNegative(
+            stats, columns[i],
+            KernelMetrics::columnName(static_cast<int>(i)));
+    checkUnit(stats, stats.metrics.l1HitRate, "l1HitRate in [0, 1]");
+    checkUnit(stats, stats.metrics.l2HitRate, "l2HitRate in [0, 1]");
+    checkFiniteNonNegative(stats, stats.timing.pureIssueCycles,
+                           "timing.pureIssueCycles");
+    checkFiniteNonNegative(stats, stats.timing.issueCycles,
+                           "timing.issueCycles");
+    checkFiniteNonNegative(stats, stats.timing.dramCycles,
+                           "timing.dramCycles");
+    checkFiniteNonNegative(stats, stats.timing.l2Cycles,
+                           "timing.l2Cycles");
+    checkFiniteNonNegative(stats, stats.timing.latencyCycles,
+                           "timing.latencyCycles");
+    checkFiniteNonNegative(stats, stats.timing.execCycles,
+                           "timing.execCycles");
+    checkFiniteNonNegative(stats, stats.timing.totalCycles,
+                           "timing.totalCycles");
+    checkFiniteNonNegative(stats, stats.timing.seconds,
+                           "timing.seconds");
+    if (stats.timing.totalCycles + 1e-9 < stats.timing.execCycles)
+        violated(stats, "totalCycles >= execCycles",
+                 std::to_string(stats.timing.totalCycles) + " < " +
+                     std::to_string(stats.timing.execCycles));
+
+    if (live == nullptr)
+        return;
+
+    // --- Sampled-counter replay contract ---------------------------------
+    // Stage 1 (per-SM L1s) and stage 2 (per-slice L2s) must agree:
+    // every L1 miss was handed to exactly one slice and replayed there
+    // exactly once, and only L2 read misses (plus stream-buffer
+    // misses, which bypass the caches entirely) reach DRAM as reads.
+    checkLe(stats, live->sampledL1Misses, live->sampledL1Accesses,
+            "sampled l1Misses <= l1Accesses");
+    checkEq(stats, live->sampledL2Accesses, live->sampledL1Misses,
+            "sampled l2Accesses == l1Misses");
+    checkLe(stats, live->sampledL2Misses, live->sampledL2Accesses,
+            "sampled l2Misses <= l2Accesses");
+    checkLe(stats, live->sampledL2SliceMax, live->sampledL2Accesses,
+            "sampled l2SliceMax <= l2Accesses");
+    checkLe(stats, live->sampledSliceDramRead, live->sampledL2Misses,
+            "sampled slice dramRead <= l2Misses");
+    if (!std::isfinite(live->scale) || live->scale < 0.0)
+        violated(stats, "extrapolation scale finite and >= 0",
+                 "scale " + std::to_string(live->scale));
+
+    // --- Extrapolation conservation --------------------------------------
+    // Each published field must be exactly the deterministic scaling
+    // of its sampled counterpart: any divergence means the record was
+    // altered between replay and publication.
+    const double s = live->scale;
+    checkEq(stats, stats.l1Accesses,
+            scaledCounter(live->sampledL1Accesses, s),
+            "l1Accesses == scaled(sampled l1Accesses)");
+    checkEq(stats, stats.l1Misses,
+            scaledCounter(live->sampledL1Misses, s),
+            "l1Misses == scaled(sampled l1Misses)");
+    checkEq(stats, stats.l2Accesses,
+            scaledCounter(live->sampledL2Accesses, s),
+            "l2Accesses == scaled(sampled l2Accesses)");
+    checkEq(stats, stats.l2Misses,
+            scaledCounter(live->sampledL2Misses, s),
+            "l2Misses == scaled(sampled l2Misses)");
+    checkEq(stats, stats.l2SliceMaxAccesses,
+            scaledCounter(live->sampledL2SliceMax, s),
+            "l2SliceMaxAccesses == scaled(sampled l2SliceMax)");
+    checkEq(stats, stats.dramReadSectors,
+            scaledCounter(live->sampledStreamMisses +
+                              live->sampledSliceDramRead,
+                          s),
+            "dramReadSectors == scaled(stream misses + slice reads)");
+    checkEq(stats, stats.dramWriteSectors,
+            scaledCounter(live->writebackSectors, s),
+            "dramWriteSectors == scaled(writeback sectors)");
+}
+
+} // namespace cactus::gpu

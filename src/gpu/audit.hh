@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Stats-conservation auditor. Every figure and table the suite
+ * reproduces is a pure function of LaunchStats, so a counter that
+ * breaks the memory hierarchy's own conservation laws silently
+ * poisons every downstream result. auditLaunchStats() re-derives the
+ * laws a correct replay must satisfy — sector traffic shrinking
+ * monotonically down the hierarchy, slice decompositions summing to
+ * their aggregates, warp counts matching the launch geometry, every
+ * derived metric finite — and throws IntegrityError naming the first
+ * violated invariant.
+ *
+ * Two audit depths:
+ *  - Recorded stats alone (live == nullptr): the invariants any
+ *    consumer of a LaunchStats record may rely on. Safe to apply to
+ *    stats of unknown provenance (checkpoints, traces, tests).
+ *  - With AuditInputs (live != nullptr): additionally proves the
+ *    extrapolated fields conserve the sampled replay counters they
+ *    were scaled from, and that the sampled counters themselves obey
+ *    the stage-1/stage-2 replay contract. Device::endLaunch audits at
+ *    this depth on every launch.
+ */
+
+#ifndef CACTUS_GPU_AUDIT_HH
+#define CACTUS_GPU_AUDIT_HH
+
+#include <cstdint>
+
+#include "gpu/config.hh"
+#include "gpu/metrics.hh"
+
+namespace cactus::gpu {
+
+/**
+ * The pre-extrapolation replay counters of one launch, captured by
+ * Device::endLaunch so the auditor can prove the published stats are
+ * a faithful scaling of what the replay actually measured.
+ */
+struct AuditInputs
+{
+    std::uint64_t sampledMemInsts = 0;
+    std::uint64_t sampledL1Accesses = 0;
+    std::uint64_t sampledL1Misses = 0;
+    std::uint64_t sampledL2Accesses = 0;
+    std::uint64_t sampledL2Misses = 0;
+    std::uint64_t sampledL2SliceMax = 0;
+    /** Stream-buffer (__ldcs) misses: DRAM reads that bypass L1/L2. */
+    std::uint64_t sampledStreamMisses = 0;
+    /** L2-slice read misses that fetched from DRAM. */
+    std::uint64_t sampledSliceDramRead = 0;
+    /** Dirty sectors written back to DRAM (evictions + drain). */
+    std::uint64_t writebackSectors = 0;
+    /** Extrapolation factor applied to every sampled counter. */
+    double scale = 1.0;
+};
+
+/**
+ * Validate @p stats against the conservation invariants; with @p live
+ * also validate the sampled-counter contract and extrapolation
+ * conservation (see file comment). Throws IntegrityError carrying the
+ * kernel name and the violated invariant; returns normally when every
+ * invariant holds.
+ */
+void auditLaunchStats(const LaunchStats &stats, const DeviceConfig &cfg,
+                      const AuditInputs *live = nullptr);
+
+} // namespace cactus::gpu
+
+#endif // CACTUS_GPU_AUDIT_HH

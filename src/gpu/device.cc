@@ -6,6 +6,7 @@
 #include "common/error.hh"
 #include "common/host_alloc.hh"
 #include "common/logging.hh"
+#include "gpu/audit.hh"
 
 namespace cactus {
 
@@ -429,12 +430,12 @@ Device::replayHierarchy(
     for (const auto &r : unit_results) {
         state.sampledL1Accesses += r.l1Accesses;
         state.sampledL1Misses += r.l1Misses;
-        state.sampledDramRead += r.dramRead;
+        state.sampledStreamMisses += r.dramRead;
     }
     for (const auto &res : slice_results) {
         state.sampledL2Accesses += res.accesses;
         state.sampledL2Misses += res.misses;
-        state.sampledDramRead += res.dramRead;
+        state.sampledSliceDramRead += res.dramRead;
         state.sampledL2SliceMax =
             std::max(state.sampledL2SliceMax, res.accesses);
     }
@@ -482,7 +483,8 @@ Device::endLaunch(LaunchState &state)
     stats.l2Accesses = scaled(state.sampledL2Accesses);
     stats.l2Misses = scaled(state.sampledL2Misses);
     stats.l2SliceMaxAccesses = scaled(state.sampledL2SliceMax);
-    stats.dramReadSectors = scaled(state.sampledDramRead);
+    stats.dramReadSectors = scaled(state.sampledStreamMisses +
+                                   state.sampledSliceDramRead);
     // DRAM writes are the L2 write-backs: dirty evictions during the
     // launch plus the dirty sectors drained at the kernel boundary.
     std::uint64_t writeback_sectors = 0;
@@ -508,6 +510,27 @@ Device::endLaunch(LaunchState &state)
     const TimingOutputs out = evaluateTiming(config_, in);
     stats.timing = out.timing;
     stats.metrics = out.metrics;
+
+    // Fault site 'stats-corrupt': silently break a conservation law in
+    // the record about to be published. The auditor below must catch
+    // it — this is how CI proves corruption is detected, not shipped.
+    if (config_.fault.shouldFail("stats-corrupt"))
+        stats.l1Misses = stats.l1Accesses + 1;
+
+    AuditInputs live;
+    live.sampledMemInsts = state.sampledMemInsts;
+    live.sampledL1Accesses = state.sampledL1Accesses;
+    live.sampledL1Misses = state.sampledL1Misses;
+    live.sampledL2Accesses = state.sampledL2Accesses;
+    live.sampledL2Misses = state.sampledL2Misses;
+    live.sampledL2SliceMax = state.sampledL2SliceMax;
+    live.sampledStreamMisses = state.sampledStreamMisses;
+    live.sampledSliceDramRead = state.sampledSliceDramRead;
+    live.writebackSectors = writeback_sectors;
+    live.scale = scale;
+    // Throws IntegrityError before the record is pushed: a launch that
+    // fails its audit leaves no trace in the device history.
+    auditLaunchStats(stats, config_, &live);
 
     elapsedSeconds_ += stats.timing.seconds;
     launches_.push_back(std::move(stats));

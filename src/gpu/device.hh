@@ -251,8 +251,11 @@ class Device
         std::uint64_t sampledL2Accesses = 0;
         std::uint64_t sampledL2Misses = 0;
         std::uint64_t sampledL2SliceMax = 0; ///< Busiest-slice accesses.
-        std::uint64_t sampledDramRead = 0;
-        std::uint64_t sampledDramWrite = 0;
+        /** DRAM reads from stream-buffer (__ldcs) misses, which bypass
+         *  L1/L2 — kept separate from slice reads so the auditor can
+         *  check each against its own conservation law. */
+        std::uint64_t sampledStreamMisses = 0;
+        std::uint64_t sampledSliceDramRead = 0; ///< L2 read-miss fetches.
     };
 
     /** Private per-worker execution state: lane counters and traces for

@@ -95,6 +95,10 @@ class DcganBenchmark : public Benchmark
             const Tensor dimage = disc.backward(dev, g_grad);
             gen.backward(dev, dimage);
             opt_g.step(dev);
+
+            if (it + 1 == iters)
+                recordOutput(fake2.data(),
+                             static_cast<std::size_t>(fake2.size()));
         }
     }
 

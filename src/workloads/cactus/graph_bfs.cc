@@ -38,7 +38,9 @@ class GstBenchmark : public Benchmark
         const int scale_bits = scale_ == Scale::Tiny ? 10 : 17;
         const int edge_factor = 16;
         auto g = graph::CsrGraph::rmat(scale_bits, edge_factor, rng);
-        graph::gunrockBfs(dev, g, g.highestDegreeVertex());
+        const auto result =
+            graph::gunrockBfs(dev, g, g.highestDegreeVertex());
+        recordOutput(result.levels);
     }
 
   private:
@@ -61,7 +63,8 @@ class GruBenchmark : public Benchmark
         Rng rng(11);
         const int edge = scale_ == Scale::Tiny ? 48 : 320;
         auto g = graph::CsrGraph::roadGrid(edge, edge, rng);
-        graph::gunrockBfs(dev, g, 0);
+        const auto result = graph::gunrockBfs(dev, g, 0);
+        recordOutput(result.levels);
     }
 
   private:

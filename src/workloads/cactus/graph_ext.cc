@@ -39,8 +39,10 @@ class PrkBenchmark : public Benchmark
         Rng rng(12);
         const int scale_bits = scale_ == Scale::Tiny ? 10 : 15;
         auto g = graph::CsrGraph::rmat(scale_bits, 16, rng);
-        graph::gunrockPageRank(dev, g, 0.85, 1e-4,
-                               scale_ == Scale::Tiny ? 5 : 20);
+        const auto result =
+            graph::gunrockPageRank(dev, g, 0.85, 1e-4,
+                                   scale_ == Scale::Tiny ? 5 : 20);
+        recordOutput(result.ranks);
     }
 
   private:
@@ -64,7 +66,8 @@ class SspBenchmark : public Benchmark
         const int edge = scale_ == Scale::Tiny ? 40 : 192;
         auto g = graph::CsrGraph::roadGrid(edge, edge, rng);
         const auto weights = graph::randomEdgeWeights(g, rng);
-        graph::gunrockSssp(dev, g, 0, weights);
+        const auto result = graph::gunrockSssp(dev, g, 0, weights);
+        recordOutput(result.distances);
     }
 
   private:

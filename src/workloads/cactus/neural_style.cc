@@ -141,6 +141,9 @@ class NeuralStyleBenchmark : public Benchmark
             image.grad = grad;
             opt.step(dev);
         }
+
+        recordOutput(image.value.data(),
+                     static_cast<std::size_t>(image.value.size()));
     }
 
   private:

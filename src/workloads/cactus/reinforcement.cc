@@ -204,6 +204,14 @@ class RflBenchmark : public Benchmark
             q.backward(dev, dq);
             opt.step(dev);
         }
+
+        // Golden: the trained network's Q values on the final
+        // observation witness every preceding update.
+        Tensor final_s({1, FlappyEnv::kStack, fr, fr});
+        std::copy(env.observation().begin(), env.observation().end(),
+                  final_s.data());
+        const Tensor qv = q.forward(dev, final_s, false);
+        recordOutput(qv.data(), static_cast<std::size_t>(qv.size()));
     }
 
   private:

@@ -100,6 +100,10 @@ class SptBenchmark : public Benchmark
                                dtheta.data());
             loc.backward(dev, dtheta);
             opt.step(dev);
+
+            if (it + 1 == iters)
+                recordOutput(logits.data(),
+                             static_cast<std::size_t>(logits.size()));
         }
     }
 

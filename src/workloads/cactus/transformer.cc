@@ -184,6 +184,10 @@ class TransformerBenchmark : public Benchmark
             embeddingBackward(dev, dx_total.data(), tokens.data(),
                               embed.grad.data(), rows, dim);
             opt.step(dev);
+
+            if (it + 1 == iters)
+                recordOutput(logits.data(),
+                             static_cast<std::size_t>(logits.size()));
         }
     }
 

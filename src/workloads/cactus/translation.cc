@@ -146,6 +146,12 @@ class TranslationBenchmark : public Benchmark
                                   dst_embed.grad.data(), batch, embed);
 
             opt.step(dev);
+
+            // Golden: the decoder's final hidden state depends on
+            // every encoder/decoder step of the iteration.
+            if (it + 1 == iters)
+                recordOutput(hd.data(),
+                             static_cast<std::size_t>(hd.size()));
         }
     }
 

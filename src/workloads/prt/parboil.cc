@@ -85,6 +85,7 @@ class PbBfs : public ParboilBenchmark
                 });
             ++level;
         }
+        recordOutput(cost);
     }
 };
 
@@ -127,6 +128,7 @@ class PbCutcp : public ParboilBenchmark
                 }
                 ctx.st(&lattice[t], pot);
             });
+        recordOutput(lattice);
     }
 };
 
@@ -161,6 +163,7 @@ class PbHisto : public ParboilBenchmark
                 ctx.intOp(2);
                 ctx.atomicAdd(&bins[v], 1);
             });
+        recordOutput(bins);
     }
 };
 
@@ -196,6 +199,7 @@ class PbLbm : public ParboilBenchmark
                 });
             std::swap(src, dst);
         }
+        recordOutput(src);
     }
 };
 
@@ -232,6 +236,7 @@ class PbMriGridding : public ParboilBenchmark
                 ctx.intOp(3);
                 ctx.atomicAdd(&out[c], v * 0.7f);
             });
+        recordOutput(out);
     }
 };
 
@@ -272,6 +277,8 @@ class PbMriQ : public ParboilBenchmark
                 ctx.st(&qr[v], real);
                 ctx.st(&qi[v], imag);
             });
+        recordOutput(qr);
+        recordOutput(qi, qr.size());
     }
 };
 
@@ -330,6 +337,7 @@ class PbSad : public ParboilBenchmark
                 ctx.st(&sad16[t], ctx.ld(&sad8[2 * t]) +
                                       ctx.ld(&sad8[2 * t + 1]));
             });
+        recordOutput(sad16);
     }
 };
 
@@ -369,6 +377,7 @@ class PbSgemm : public ParboilBenchmark
                 ctx.intOp(2 * n);
                 ctx.st(&c[t], acc);
             });
+        recordOutput(c);
     }
 };
 
@@ -410,6 +419,7 @@ class PbSpmv : public ParboilBenchmark
                 }
                 ctx.st(&y[r], acc);
             });
+        recordOutput(y);
     }
 };
 
@@ -454,6 +464,7 @@ class PbStencil : public ParboilBenchmark
                 });
             std::swap(src, dst);
         }
+        recordOutput(src);
     }
 };
 
@@ -507,6 +518,7 @@ class PbTpacf : public ParboilBenchmark
                     ctx.atomicAdd(&hist[bin], 1);
                 }
             });
+        recordOutput(hist);
     }
 };
 

@@ -99,6 +99,7 @@ class RdBtree : public RodiniaBenchmark
                 }
                 ctx.st(&result[i], acc);
             });
+        recordOutput(result);
     }
 };
 
@@ -141,6 +142,7 @@ class RdBackprop : public RodiniaBenchmark
                 ctx.intOp(1);
                 ctx.st(&weights[i], w + 0.01f * d);
             });
+        recordOutput(weights);
     }
 };
 
@@ -202,6 +204,7 @@ class RdBfs : public RodiniaBenchmark
                     ctx.atomicAdd(active.get(), 1);
                 });
         }
+        recordOutput(cost);
     }
 };
 
@@ -258,6 +261,7 @@ class RdCfd : public RodiniaBenchmark
                     ctx.st(&vars[i], v + 0.01f * f);
                 });
         }
+        recordOutput(vars);
     }
 };
 
@@ -285,6 +289,7 @@ class RdDwt2d : public RodiniaBenchmark
                 ctx.st(&out[t / 2], (a + b) * 0.5f);
                 ctx.st(&out[img.size() / 2 + t / 2], (a - b) * 0.5f);
             });
+        recordOutput(out);
     }
 };
 
@@ -329,6 +334,7 @@ class RdGaussian : public RodiniaBenchmark
                     ctx.st(&m[r * n + c], v - f * pivot_row);
                 });
         }
+        recordOutput(m);
     }
 };
 
@@ -367,6 +373,7 @@ class RdHeartwall : public RodiniaBenchmark
                 }
                 ctx.st(&conv[p], best);
             });
+        recordOutput(conv);
     }
 };
 
@@ -418,6 +425,7 @@ class RdHotspot3d : public RodiniaBenchmark
                 });
             std::swap(temp_in, temp_out);
         }
+        recordOutput(temp_in);
     }
 };
 
@@ -454,6 +462,7 @@ class RdHuffman : public RodiniaBenchmark
                 ctx.intOp(6);
                 ctx.st(&out[i], cw ^ pos);
             });
+        recordOutput(out);
     }
 };
 
@@ -508,6 +517,7 @@ class RdKmeans : public RodiniaBenchmark
                 ctx.intOp(2);
                 ctx.st(&membership[p], (m + 1) % clusters);
             });
+        recordOutput(membership);
     }
 };
 
@@ -555,6 +565,7 @@ class RdLavamd : public RodiniaBenchmark
                 }
                 ctx.st(&force[i * 4], acc);
             });
+        recordOutput(force);
     }
 };
 
@@ -606,6 +617,7 @@ class RdLeukocyte : public RodiniaBenchmark
                 }
                 ctx.st(&dilated[p], best);
             });
+        recordOutput(dilated);
     }
 };
 
@@ -679,6 +691,7 @@ class RdLud : public RodiniaBenchmark
                            v - a * b);
                 });
         }
+        recordOutput(m);
     }
 };
 
@@ -710,6 +723,7 @@ class RdNn : public RodiniaBenchmark
                 ctx.sfu(1);
                 ctx.st(&dist[i], std::sqrt(la * la + lo * lo));
             });
+        recordOutput(dist);
     }
 };
 
@@ -755,6 +769,7 @@ class RdNw : public RodiniaBenchmark
                     });
             }
         }
+        recordOutput(score);
     }
 };
 
@@ -797,6 +812,7 @@ class RdPathfinder : public RodiniaBenchmark
                 });
             std::swap(src, dst);
         }
+        recordOutput(src);
     }
 };
 
@@ -857,6 +873,7 @@ class RdSrad : public RodiniaBenchmark
                            v + 0.05f * (c + cn + ce) * v);
                 });
         }
+        recordOutput(img);
     }
 };
 
@@ -892,6 +909,7 @@ class RdStreamcluster : public RodiniaBenchmark
                 }
                 ctx.st(&cost[p], acc);
             });
+        recordOutput(cost);
     }
 };
 

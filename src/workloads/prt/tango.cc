@@ -153,7 +153,7 @@ class TangoAlexnet : public Benchmark
         auto c = net.convRelu("conv_custom", b, 32, hw / 2, 64, 3);
         auto d = net.pool(c, 64, hw / 2);
         auto e = net.fc(d, 128);
-        net.fc(e, 10);
+        recordOutput(net.fc(e, 10));
     }
 
   private:
@@ -181,7 +181,7 @@ class TangoResnet : public Benchmark
             auto y = net.convRelu("conv_custom", x, 16, hw, 16, 3);
             x = net.convRelu("conv_custom", y, 16, hw, 16, 3);
         }
-        net.fc(x, 10);
+        recordOutput(net.fc(x, 10));
     }
 
   private:
@@ -210,6 +210,7 @@ class TangoSqueezenet : public Benchmark
                 net.convRelu("conv1x1_custom", x, 16, hw, 8, 1);
             x = net.convRelu("conv3x3_custom", squeeze, 8, hw, 16, 3);
         }
+        recordOutput(x);
     }
 
   private:

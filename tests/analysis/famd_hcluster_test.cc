@@ -4,13 +4,18 @@
  * structure, invariants of the decomposition, and dendrogram rendering.
  */
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include <gtest/gtest.h>
 
 #include "analysis/famd.hh"
 #include "analysis/hcluster.hh"
+#include "common/error.hh"
 #include "common/rng.hh"
+
+#include "../support/expect_error.hh"
 
 namespace {
 
@@ -182,6 +187,38 @@ TEST(Dendrogram, SingleLeafRendersLabel)
     Matrix pts(1, 1);
     const auto linkage = wardLinkage(pts);
     EXPECT_EQ(renderDendrogram(linkage, {"only"}), "only\n");
+}
+
+TEST(Famd, NonFiniteCellIsAnIntegrityErrorNamingTheCell)
+{
+    MixedData data;
+    data.quantitative = Matrix(3, 2);
+    data.quantNames = {"gips", "l1_hit"};
+    data.quantitative(0, 0) = 1.0;
+    data.quantitative(1, 1) = std::nan("");
+    data.qualitative.push_back({0, 1, 0});
+    cactus::test::expectError<cactus::IntegrityError>(
+        [&] { famd(data, 2); }, "row 1, column 'l1_hit'");
+}
+
+TEST(WardLinkage, NonFinitePointIsAnIntegrityError)
+{
+    Matrix points(3, 2);
+    points(0, 0) = 1.0;
+    points(2, 1) = std::numeric_limits<double>::infinity();
+    cactus::test::expectError<cactus::IntegrityError>(
+        [&] { wardLinkage(points); }, "point 2, dimension 1");
+}
+
+TEST(WardLinkage, FiniteDegenerateDuplicatesStillCluster)
+{
+    // All-identical points: distances are all zero; the linkage must
+    // still produce n-1 merges at height 0 rather than stalling.
+    Matrix points(4, 2);
+    const Linkage linkage = wardLinkage(points);
+    ASSERT_EQ(linkage.merges.size(), 3u);
+    for (const auto &m : linkage.merges)
+        EXPECT_EQ(m.height, 0.0);
 }
 
 } // namespace

@@ -8,6 +8,9 @@
 #include <gtest/gtest.h>
 
 #include "analysis/pearson.hh"
+#include "common/error.hh"
+
+#include "../support/expect_error.hh"
 
 namespace {
 
@@ -113,5 +116,38 @@ TEST_P(PearsonBoundSweep, AlwaysWithinUnitInterval)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PearsonBoundSweep,
                          ::testing::Range(1, 8));
+
+TEST(Pearson, ZeroVarianceAgainstVaryingSeriesGivesZero)
+{
+    // Regression: a constant series must yield "no correlation", not
+    // a NaN from the zero standard deviation in the denominator.
+    const std::vector<double> flat{3.5, 3.5, 3.5, 3.5};
+    const std::vector<double> rising{1, 2, 3, 4};
+    EXPECT_EQ(pearson(flat, rising), 0.0);
+    EXPECT_EQ(pearson(rising, flat), 0.0);
+    EXPECT_FALSE(std::isnan(pearson(flat, flat)));
+}
+
+TEST(Pearson, NonFiniteSampleIsAnIntegrityError)
+{
+    const std::vector<double> x{1, 2, std::nan(""), 4};
+    const std::vector<double> y{1, 2, 3, 4};
+    cactus::test::expectError<cactus::IntegrityError>(
+        [&] { pearson(x, y); }, "observation 2");
+    cactus::test::expectError<cactus::IntegrityError>(
+        [&] { pearson(y, x); }, "finite");
+}
+
+TEST(Pearson, ResultIsClampedToUnitInterval)
+{
+    // Large nearly-collinear values can round epsilon past 1.
+    std::vector<double> x, y;
+    for (int i = 0; i < 64; ++i) {
+        x.push_back(1e15 + i);
+        y.push_back(2e15 + 2 * i);
+    }
+    const double r = pearson(x, y);
+    EXPECT_LE(std::fabs(r), 1.0);
+}
 
 } // namespace

@@ -3,6 +3,9 @@
  * Tests for the roofline classifier and the report renderers.
  */
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "analysis/report.hh"
@@ -110,6 +113,20 @@ TEST(AsciiScatter, OutOfRangePointsAreDropped)
     s.points = {{1e9, 1e9}};
     const std::string art = asciiScatter({s}, opts);
     EXPECT_EQ(art.find('Z'), std::string::npos);
+}
+
+TEST(AsciiScatter, NonFinitePointsAreSkippedNotPlotted)
+{
+    ScatterOptions opts;
+    ScatterSeries s;
+    s.glyph = 'N';
+    s.points = {{std::nan(""), 10.0},
+                {10.0, std::numeric_limits<double>::infinity()},
+                {std::nan(""), std::nan("")}};
+    const std::string art = asciiScatter({s}, opts);
+    EXPECT_EQ(art.find('N'), std::string::npos);
+    // The frame still renders at full size.
+    EXPECT_NE(art.find('+'), std::string::npos);
 }
 
 } // namespace

@@ -53,6 +53,7 @@ class OkBenchmark : public Benchmark
                              ctx.st(&c[i],
                                     ctx.ld(&a[i]) + ctx.ld(&b[i]));
                          });
+        recordOutput(c);
     }
 
   private:
@@ -392,6 +393,122 @@ TEST(Campaign, InjectedAllocFaultFailsDeviceConstruction)
     EXPECT_NE(result.entries[0].error.find("alloc"),
               std::string::npos)
         << result.entries[0].error;
+}
+
+TEST(Campaign, StatsCorruptFaultBecomesCorruptNotFailed)
+{
+    CampaignOptions opts;
+    opts.config.fault = FaultInjector::parse("stats-corrupt:1:7");
+    opts.retries = 3; // Must be ignored: corruption is deterministic.
+    const auto result = runCampaign({okInfo("A"), okInfo("B")}, opts);
+
+    EXPECT_EQ(result.corruptCount, 2);
+    EXPECT_EQ(result.failedCount, 0);
+    EXPECT_FALSE(result.allOk());
+    for (const auto &entry : result.entries) {
+        EXPECT_EQ(entry.status, RunStatus::Corrupt);
+        EXPECT_EQ(entry.attempts, 1)
+            << "corruption must never be retried";
+        EXPECT_NE(entry.error.find("l1Misses <= l1Accesses"),
+                  std::string::npos)
+            << entry.error;
+    }
+}
+
+TEST(Campaign, GoldenRecordThenVerifyRoundTrips)
+{
+    const std::vector<BenchmarkInfo> benchmarks = {okInfo("A"),
+                                                   okInfo("B")};
+    GoldenTable goldens;
+    CampaignOptions record;
+    record.recordGoldens = &goldens;
+    EXPECT_TRUE(runCampaign(benchmarks, record).allOk());
+    EXPECT_EQ(goldens.size(), 2u);
+
+    CampaignOptions check;
+    check.verifyOutputs = true;
+    check.goldens = &goldens;
+    const auto result = runCampaign(benchmarks, check);
+    EXPECT_TRUE(result.allOk());
+    EXPECT_EQ(result.okCount, 2);
+}
+
+TEST(Campaign, GoldenMismatchIsCorrupt)
+{
+    const std::vector<BenchmarkInfo> benchmarks = {okInfo("A")};
+    GoldenTable goldens;
+    goldens.set("A", scaleToken(Scale::Small),
+                VerifyResult{0xdeadbeefu, 1, 0});
+    CampaignOptions opts;
+    opts.verifyOutputs = true;
+    opts.goldens = &goldens;
+    const auto result = runCampaign(benchmarks, opts);
+    EXPECT_EQ(result.entries[0].status, RunStatus::Corrupt);
+    EXPECT_NE(result.entries[0].error.find("output digest"),
+              std::string::npos)
+        << result.entries[0].error;
+}
+
+TEST(Campaign, MissingGoldenIsCorrupt)
+{
+    const std::vector<BenchmarkInfo> benchmarks = {okInfo("A")};
+    const GoldenTable goldens; // Empty: nothing recorded for "A".
+    CampaignOptions opts;
+    opts.verifyOutputs = true;
+    opts.goldens = &goldens;
+    const auto result = runCampaign(benchmarks, opts);
+    EXPECT_EQ(result.entries[0].status, RunStatus::Corrupt);
+    EXPECT_NE(result.entries[0].error.find("none recorded"),
+              std::string::npos)
+        << result.entries[0].error;
+}
+
+TEST(Campaign, VerifyWithoutGoldenTableIsAConfigError)
+{
+    CampaignOptions opts;
+    opts.verifyOutputs = true;
+    EXPECT_THROW(runCampaign({okInfo("A")}, opts),
+                 cactus::ConfigError);
+}
+
+TEST(Campaign, LowSampleCoverageIsCorruptUnderAFloor)
+{
+    // Force heavy sampling: 4096 threads = 128 warps, but only 8 are
+    // replayed, so coverage is well below 1.
+    CampaignOptions opts;
+    opts.config.maxSampledWarps = 8;
+    opts.minCoverage = 0.99;
+    const auto result = runCampaign({okInfo("A")}, opts);
+    EXPECT_EQ(result.entries[0].status, RunStatus::Corrupt);
+    EXPECT_NE(result.entries[0].error.find("--min-coverage"),
+              std::string::npos)
+        << result.entries[0].error;
+
+    // The same run passes with the floor disabled.
+    CampaignOptions relaxed;
+    relaxed.config.maxSampledWarps = 8;
+    const auto ok = runCampaign({okInfo("A")}, relaxed);
+    EXPECT_EQ(ok.entries[0].status, RunStatus::OK);
+    EXPECT_LT(ok.entries[0].profile.minSampleCoverage, 0.99);
+}
+
+TEST(Campaign, CheckpointRoundTripsMinCoverage)
+{
+    const std::string path =
+        tmpPath("cactus_campaign_coverage.jsonl");
+    CampaignOptions opts;
+    opts.config.maxSampledWarps = 8;
+    opts.checkpointPath = path;
+    const auto first = runCampaign({okInfo("A")}, opts);
+    ASSERT_EQ(first.entries[0].status, RunStatus::OK);
+    const double recorded =
+        first.entries[0].profile.minSampleCoverage;
+    EXPECT_LT(recorded, 1.0);
+
+    const auto restored = readCheckpoint(path);
+    ASSERT_EQ(restored.size(), 1u);
+    EXPECT_DOUBLE_EQ(restored[0].profile.minSampleCoverage, recorded);
+    std::remove(path.c_str());
 }
 
 } // namespace

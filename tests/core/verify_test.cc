@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the golden-verification primitives: order independence
+ * and canonicalization of OutputDigest, and GoldenTable round-trip,
+ * lenient loading, and malformed-table rejection.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "core/verify.hh"
+
+#include "../support/expect_error.hh"
+
+namespace {
+
+using namespace cactus::core;
+using cactus::ConfigError;
+using cactus::test::expectError;
+
+std::string
+tmpPath(const std::string &leaf)
+{
+    const std::string path = "/tmp/" + leaf;
+    std::remove(path.c_str());
+    return path;
+}
+
+TEST(OutputDigest, IsIndependentOfRecordingOrder)
+{
+    OutputDigest forward, backward;
+    const std::vector<double> values{1.5, -2.25, 0.0, 42.0, 1e-9};
+    for (std::size_t i = 0; i < values.size(); ++i)
+        forward.add(i, values[i]);
+    for (std::size_t i = values.size(); i-- > 0;)
+        backward.add(i, values[i]);
+    EXPECT_EQ(forward.result().digest, backward.result().digest);
+    EXPECT_EQ(forward.result().elements, values.size());
+}
+
+TEST(OutputDigest, IndexParticipatesInTheHash)
+{
+    OutputDigest a, b;
+    a.add(0, 1.0);
+    a.add(1, 2.0);
+    b.add(0, 2.0);
+    b.add(1, 1.0);
+    EXPECT_NE(a.result().digest, b.result().digest);
+}
+
+TEST(OutputDigest, NegativeZeroFoldsToPositiveZero)
+{
+    OutputDigest a, b;
+    a.add(0, 0.0);
+    b.add(0, -0.0);
+    EXPECT_EQ(a.result().digest, b.result().digest);
+}
+
+TEST(OutputDigest, NonFiniteValuesAreCountedAndCanonical)
+{
+    OutputDigest a, b;
+    a.add(0, std::numeric_limits<double>::quiet_NaN());
+    b.add(0, std::numeric_limits<double>::infinity());
+    EXPECT_EQ(a.result().digest, b.result().digest);
+    EXPECT_EQ(a.result().nonFinite, 1u);
+    EXPECT_EQ(b.result().nonFinite, 1u);
+}
+
+TEST(OutputDigest, SplitBuffersMatchOneContiguousBuffer)
+{
+    const std::vector<float> all{1.f, 2.f, 3.f, 4.f};
+    const std::vector<float> head{1.f, 2.f}, tail{3.f, 4.f};
+    OutputDigest whole, split;
+    whole.addBuffer(all);
+    split.addBuffer(head, 0);
+    split.addBuffer(tail, head.size());
+    EXPECT_EQ(whole.result().digest, split.result().digest);
+}
+
+TEST(OutputDigest, IntegerAndFloatBuffersDiffer)
+{
+    OutputDigest ints, floats;
+    ints.addBuffer(std::vector<int>{1, 2, 3});
+    floats.addBuffer(std::vector<float>{1.f, 2.f, 3.f});
+    EXPECT_NE(ints.result().digest, floats.result().digest);
+}
+
+TEST(GoldenTable, SaveLoadRoundTrip)
+{
+    const std::string path = tmpPath("goldens_roundtrip.txt");
+    GoldenTable table;
+    OutputDigest d;
+    d.addBuffer(std::vector<float>{1.f, 2.f});
+    table.set("GST", "tiny", d.result());
+    table.set("GST", "small", d.result());
+    table.set("sgemm", "tiny", VerifyResult{42, 7, 0});
+    table.save(path);
+
+    const GoldenTable loaded = GoldenTable::load(path);
+    EXPECT_EQ(loaded.size(), 3u);
+    const auto got = loaded.find("GST", "tiny");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->digest, d.result().digest);
+    EXPECT_EQ(got->elements, 2u);
+    EXPECT_FALSE(loaded.find("GST", "huge").has_value());
+    EXPECT_FALSE(loaded.find("nope", "tiny").has_value());
+    std::remove(path.c_str());
+}
+
+TEST(GoldenTable, LoadRejectsMissingFile)
+{
+    expectError<ConfigError>(
+        [] { GoldenTable::load("/nonexistent/goldens.txt"); },
+        "golden");
+}
+
+TEST(GoldenTable, LoadOrEmptyToleratesMissingFile)
+{
+    const GoldenTable table =
+        GoldenTable::loadOrEmpty("/nonexistent/goldens.txt");
+    EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(GoldenTable, LoadRejectsMalformedDigest)
+{
+    const std::string path = tmpPath("goldens_bad.txt");
+    std::ofstream(path) << "GST tiny nothexnothexnotx 12\n";
+    expectError<ConfigError>([&] { GoldenTable::load(path); },
+                             "expected 'name scale digest16");
+    std::remove(path.c_str());
+}
+
+TEST(GoldenTable, CommentsAndBlankLinesAreSkipped)
+{
+    const std::string path = tmpPath("goldens_comments.txt");
+    std::ofstream(path) << "# header\n\nGST tiny "
+                        << VerifyResult{1, 2, 0}.hex() << " 2\n";
+    const GoldenTable table = GoldenTable::load(path);
+    EXPECT_EQ(table.size(), 1u);
+    std::remove(path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the stats-conservation auditor: every genuine launch
+ * passes the recorded-stats audit, every hand-corrupted field is
+ * caught with the violated invariant named, and the stats-corrupt
+ * fault site proves the end-to-end detection path inside
+ * Device::endLaunch.
+ */
+
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.hh"
+#include "gpu/audit.hh"
+#include "gpu/device.hh"
+
+#include "../support/expect_error.hh"
+
+namespace {
+
+using namespace cactus::gpu;
+using cactus::FaultInjector;
+using cactus::IntegrityError;
+using cactus::test::expectError;
+
+/** Run one canonical streaming kernel and return its stats. */
+LaunchStats
+sampleLaunch(Device &dev, std::size_t n = 1 << 14)
+{
+    std::vector<float> a(n, 1.f), b(n, 0.f);
+    dev.launchLinear(KernelDesc("audit_stream"), n, 256,
+                     [&](ThreadCtx &ctx) {
+                         const auto i = ctx.globalId();
+                         ctx.fp32();
+                         ctx.st(&b[i], ctx.ld(&a[i]) + 1.f);
+                     });
+    return dev.launches().back();
+}
+
+TEST(Audit, GenuineLaunchPassesRecordedStatsAudit)
+{
+    const DeviceConfig cfg;
+    Device dev(cfg);
+    const LaunchStats stats = sampleLaunch(dev);
+    EXPECT_NO_THROW(auditLaunchStats(stats, cfg));
+}
+
+TEST(Audit, EveryLaunchOfAMixedKernelSequencePasses)
+{
+    const DeviceConfig cfg = DeviceConfig::scaledExperiment();
+    Device dev(cfg);
+    sampleLaunch(dev, 1 << 12);
+    sampleLaunch(dev, 1 << 16);
+    for (const auto &stats : dev.launches())
+        EXPECT_NO_THROW(auditLaunchStats(stats, cfg));
+}
+
+TEST(Audit, CaughtL1MissesExceedingAccesses)
+{
+    const DeviceConfig cfg;
+    Device dev(cfg);
+    LaunchStats stats = sampleLaunch(dev);
+    stats.l1Misses = stats.l1Accesses + 1;
+    expectError<IntegrityError>(
+        [&] { auditLaunchStats(stats, cfg); },
+        "l1Misses <= l1Accesses");
+}
+
+TEST(Audit, CaughtL2AccessesDivergingFromL1Misses)
+{
+    const DeviceConfig cfg;
+    Device dev(cfg);
+    LaunchStats stats = sampleLaunch(dev);
+    stats.l2Accesses += 7;
+    expectError<IntegrityError>(
+        [&] { auditLaunchStats(stats, cfg); },
+        "l2Accesses == l1Misses");
+}
+
+TEST(Audit, CaughtL2MissesExceedingAccesses)
+{
+    const DeviceConfig cfg;
+    Device dev(cfg);
+    LaunchStats stats = sampleLaunch(dev);
+    stats.l2Misses = stats.l2Accesses + 1;
+    expectError<IntegrityError>(
+        [&] { auditLaunchStats(stats, cfg); },
+        "l2Misses <= l2Accesses");
+}
+
+TEST(Audit, CaughtImpossibleWarpTotals)
+{
+    const DeviceConfig cfg;
+    Device dev(cfg);
+    LaunchStats stats = sampleLaunch(dev);
+    stats.totalWarps += 3;
+    expectError<IntegrityError>(
+        [&] { auditLaunchStats(stats, cfg); }, "totalWarps");
+}
+
+TEST(Audit, CaughtOutOfRangeSampleCoverage)
+{
+    const DeviceConfig cfg;
+    Device dev(cfg);
+    LaunchStats stats = sampleLaunch(dev);
+    stats.sampleCoverage = 1.5;
+    expectError<IntegrityError>(
+        [&] { auditLaunchStats(stats, cfg); }, "sampleCoverage");
+}
+
+TEST(Audit, CaughtNonFiniteMetricColumn)
+{
+    const DeviceConfig cfg;
+    Device dev(cfg);
+    LaunchStats stats = sampleLaunch(dev);
+    stats.metrics.gips = std::numeric_limits<double>::quiet_NaN();
+    expectError<IntegrityError>(
+        [&] { auditLaunchStats(stats, cfg); }, "finite");
+}
+
+TEST(Audit, CaughtNegativeTiming)
+{
+    const DeviceConfig cfg;
+    Device dev(cfg);
+    LaunchStats stats = sampleLaunch(dev);
+    stats.timing.seconds = -1.0;
+    expectError<IntegrityError>(
+        [&] { auditLaunchStats(stats, cfg); }, "seconds");
+}
+
+TEST(Audit, ErrorNamesTheKernelAsSubject)
+{
+    const DeviceConfig cfg;
+    Device dev(cfg);
+    LaunchStats stats = sampleLaunch(dev);
+    stats.l1Misses = stats.l1Accesses + 1;
+    try {
+        auditLaunchStats(stats, cfg);
+        FAIL() << "corrupted stats passed the audit";
+    } catch (const IntegrityError &e) {
+        EXPECT_EQ(e.subject(), "audit_stream");
+        EXPECT_NE(e.invariant().find("l1Misses"), std::string::npos);
+    }
+}
+
+TEST(Audit, StatsCorruptFaultIsDetectedInsideEndLaunch)
+{
+    DeviceConfig cfg;
+    cfg.fault = FaultInjector::parse("stats-corrupt:1:7");
+    Device dev(cfg);
+    expectError<IntegrityError>([&] { sampleLaunch(dev); },
+                                "l1Misses <= l1Accesses");
+    // The corrupted launch must not have entered the device history.
+    EXPECT_TRUE(dev.launches().empty());
+}
+
+TEST(Audit, ZeroProbabilityStatsCorruptFaultIsHarmless)
+{
+    DeviceConfig cfg;
+    cfg.fault = FaultInjector::parse("stats-corrupt:0:7");
+    Device dev(cfg);
+    EXPECT_NO_THROW(sampleLaunch(dev));
+    EXPECT_EQ(dev.launches().size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Registry-wide result-integrity checks: every registered benchmark's
+ * every launch passes the recorded-stats conservation audit (the live
+ * audit already ran inside Device::endLaunch — this re-checks the
+ * published records through the public API), records a non-empty
+ * output digest, and produces the same digest at any host thread
+ * count.
+ */
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/benchmark.hh"
+#include "gpu/audit.hh"
+
+namespace {
+
+using namespace cactus::core;
+using cactus::gpu::auditLaunchStats;
+using cactus::gpu::Device;
+using cactus::gpu::DeviceConfig;
+
+class StatsInvariants
+    : public ::testing::TestWithParam<const BenchmarkInfo *>
+{
+};
+
+TEST_P(StatsInvariants, EveryLaunchSatisfiesConservationLaws)
+{
+    const BenchmarkInfo *info = GetParam();
+    const DeviceConfig cfg = DeviceConfig::scaledExperiment();
+    Device dev(cfg);
+    auto bench = info->factory(Scale::Tiny);
+    bench->run(dev);
+
+    ASSERT_FALSE(dev.launches().empty())
+        << info->name << " executed no kernels";
+    for (const auto &stats : dev.launches())
+        EXPECT_NO_THROW(auditLaunchStats(stats, cfg))
+            << info->name << " kernel " << stats.desc.name;
+}
+
+TEST_P(StatsInvariants, RecordsAVerifiableOutputDigest)
+{
+    const BenchmarkInfo *info = GetParam();
+    Device dev(DeviceConfig::scaledExperiment());
+    auto bench = info->factory(Scale::Tiny);
+    bench->run(dev);
+
+    const auto digest = bench->verify();
+    ASSERT_TRUE(digest.has_value())
+        << info->name << " recorded no output";
+    EXPECT_GT(digest->elements, 0u);
+    EXPECT_EQ(digest->nonFinite, 0u)
+        << info->name << " emitted NaN/Inf output values";
+}
+
+TEST_P(StatsInvariants, OutputDigestIsThreadCountInvariant)
+{
+    const BenchmarkInfo *info = GetParam();
+    auto digestAt = [&](int threads) {
+        DeviceConfig cfg = DeviceConfig::scaledExperiment();
+        cfg.hostThreads = threads;
+        Device dev(cfg);
+        auto bench = info->factory(Scale::Tiny);
+        bench->run(dev);
+        const auto digest = bench->verify();
+        return digest ? digest->digest : 0;
+    };
+    EXPECT_EQ(digestAt(1), digestAt(4))
+        << info->name << " output depends on host thread count";
+}
+
+std::string
+paramName(const ::testing::TestParamInfo<const BenchmarkInfo *> &info)
+{
+    std::string name = info.param->name;
+    for (char &c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, StatsInvariants,
+    ::testing::ValuesIn(Registry::instance().list()), paramName);
+
+} // namespace

@@ -48,6 +48,7 @@ printUsage()
         "benchmarks\n"
         "  cactus_run --bench NAME           run one benchmark\n"
         "  cactus_run --suite SUITE          run a whole suite\n"
+        "                                    (SUITE 'all' = registry)\n"
         "  cactus_run --retime TRACE         project a saved trace\n"
         "                                    onto --platform\n"
         "options:\n"
@@ -68,12 +69,26 @@ printUsage()
         "                  benchmarks; an interrupted campaign\n"
         "                  resumed with the same manifest re-runs\n"
         "                  only the incomplete ones\n"
+        "  --verify        check recorded output digests against the\n"
+        "                  golden table; a mismatch is CORRUPT and\n"
+        "                  the process exits non-zero\n"
+        "  --update-goldens\n"
+        "                  record digests into the golden table\n"
+        "                  instead of checking them\n"
+        "  --goldens PATH  golden table location (default:\n"
+        "                  tests/goldens/digests.txt in the source\n"
+        "                  tree)\n"
+        "  --min-coverage X\n"
+        "                  (--suite) treat a run whose smallest\n"
+        "                  per-launch sampled-warp coverage is below\n"
+        "                  X as CORRUPT\n"
         "  --lenient       (--retime) skip malformed trace records\n"
         "                  with a warning instead of failing\n"
         "environment:\n"
         "  CACTUS_FAULT=site:probability:seed\n"
         "                  deterministic fault injection at sites\n"
-        "                  alloc | launch | trace-write\n");
+        "                  alloc | launch | trace-write |\n"
+        "                  stats-corrupt\n");
 }
 
 void
@@ -110,11 +125,21 @@ printProfile(const core::BenchmarkProfile &profile)
     std::printf("%s", table.render().c_str());
 }
 
+/** Verification knobs shared by --suite and --bench runs. */
+struct VerifySettings
+{
+    bool verify = false;         ///< Check digests against goldens.
+    bool updateGoldens = false;  ///< Record digests instead.
+    std::string goldensPath;     ///< Golden table location.
+    double minCoverage = 0;      ///< Coverage floor (0 = off).
+};
+
 int
 runSuiteCampaign(const std::vector<const core::BenchmarkInfo *> &infos,
                  core::Scale scale, const gpu::DeviceConfig &cfg,
                  double timeout_seconds, int retries,
-                 const std::string &checkpoint_path)
+                 const std::string &checkpoint_path,
+                 const VerifySettings &vs)
 {
     core::CampaignOptions opts;
     opts.scale = scale;
@@ -122,6 +147,18 @@ runSuiteCampaign(const std::vector<const core::BenchmarkInfo *> &infos,
     opts.timeoutSeconds = timeout_seconds;
     opts.retries = retries;
     opts.checkpointPath = checkpoint_path;
+    opts.minCoverage = vs.minCoverage;
+
+    core::GoldenTable goldens, updated;
+    if (vs.updateGoldens) {
+        updated = core::GoldenTable::loadOrEmpty(vs.goldensPath);
+        opts.recordGoldens = &updated;
+    } else if (vs.verify) {
+        goldens = core::GoldenTable::load(vs.goldensPath);
+        opts.verifyOutputs = true;
+        opts.goldens = &goldens;
+    }
+
     opts.onEntry = [](const core::CampaignEntry &entry) {
         switch (entry.status) {
           case core::RunStatus::OK:
@@ -135,6 +172,10 @@ runSuiteCampaign(const std::vector<const core::BenchmarkInfo *> &infos,
           case core::RunStatus::Timeout:
             std::printf("\n%s: TIMEOUT after %.1f s: %s\n",
                         entry.name.c_str(), entry.wallSeconds,
+                        entry.error.c_str());
+            break;
+          case core::RunStatus::Corrupt:
+            std::printf("\n%s: CORRUPT: %s\n", entry.name.c_str(),
                         entry.error.c_str());
             break;
           case core::RunStatus::Failed:
@@ -154,22 +195,37 @@ runSuiteCampaign(const std::vector<const core::BenchmarkInfo *> &infos,
 
     const auto result = core::runCampaign(benchmarks, opts);
 
+    if (vs.updateGoldens) {
+        updated.save(vs.goldensPath);
+        std::printf("\nwrote %zu golden digests to %s\n",
+                    updated.size(), vs.goldensPath.c_str());
+    }
+
     std::printf("\ncampaign summary:\n");
-    analysis::TextTable table(
-        {"benchmark", "status", "attempts", "wall s", "detail"});
+    analysis::TextTable table({"benchmark", "status", "attempts",
+                               "wall s", "min cov", "detail"});
     for (const auto &entry : result.entries) {
         std::string detail = entry.error;
         if (detail.size() > 48)
             detail = detail.substr(0, 45) + "...";
-        table.addRow({entry.name,
-                      core::runStatusName(entry.status),
-                      std::to_string(entry.attempts),
-                      analysis::fmt(entry.wallSeconds, 2), detail});
+        const bool has_profile =
+            entry.status == core::RunStatus::OK ||
+            entry.status == core::RunStatus::Skipped;
+        table.addRow(
+            {entry.name, core::runStatusName(entry.status),
+             std::to_string(entry.attempts),
+             analysis::fmt(entry.wallSeconds, 2),
+             has_profile
+                 ? analysis::fmt(entry.profile.minSampleCoverage, 3)
+                 : std::string("-"),
+             detail});
     }
     std::printf("%s", table.render().c_str());
-    std::printf("campaign: %d ok, %d failed, %d timeout, %d skipped\n",
+    std::printf("campaign: %d ok, %d failed, %d timeout, %d corrupt, "
+                "%d skipped\n",
                 result.okCount, result.failedCount,
-                result.timeoutCount, result.skippedCount);
+                result.timeoutCount, result.corruptCount,
+                result.skippedCount);
     return result.allOk() ? 0 : 1;
 }
 
@@ -184,6 +240,13 @@ runMain(int argc, char **argv)
     int host_threads = 0; // 0 = all hardware threads.
     int retries = 0;
     double timeout_seconds = 0;
+    VerifySettings vs;
+#ifdef CACTUS_SOURCE_DIR
+    vs.goldensPath =
+        std::string(CACTUS_SOURCE_DIR) + "/tests/goldens/digests.txt";
+#else
+    vs.goldensPath = "tests/goldens/digests.txt";
+#endif
     core::Scale scale = core::Scale::Small;
     gpu::DeviceConfig cfg = gpu::DeviceConfig::scaledExperiment();
 
@@ -224,6 +287,16 @@ runMain(int argc, char **argv)
                 fatal("--retries expects a non-negative count");
         } else if (arg == "--checkpoint") {
             checkpoint_path = next();
+        } else if (arg == "--verify") {
+            vs.verify = true;
+        } else if (arg == "--update-goldens") {
+            vs.updateGoldens = true;
+        } else if (arg == "--goldens") {
+            vs.goldensPath = next();
+        } else if (arg == "--min-coverage") {
+            vs.minCoverage = parseDouble(next(), "--min-coverage");
+            if (vs.minCoverage < 0 || vs.minCoverage > 1)
+                fatal("--min-coverage expects a fraction in [0, 1]");
         } else if (arg == "--lenient") {
             lenient = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -288,24 +361,46 @@ runMain(int argc, char **argv)
         auto bench = registry.create(bench_name, scale);
         gpu::Device dev(cfg);
         bench->run(dev);
-        core::BenchmarkProfile profile;
-        {
-            // Aggregate through the same harness path.
-            profile.name = bench->name();
-            profile.suite = bench->suite();
-            profile.domain = bench->domain();
-            profile.config = cfg;
-            profile.kernels =
-                gpu::aggregateLaunches(dev.launches(), cfg);
-            profile.launches = dev.launches().size();
-            for (const auto &kp : profile.kernels) {
-                profile.totalSeconds += kp.seconds;
-                profile.totalWarpInsts += kp.warpInsts;
-                profile.totalDramSectors +=
-                    kp.dramReadSectors + kp.dramWriteSectors;
+        // Aggregate through the same harness path as campaigns.
+        const auto profile = core::profileFromDevice(*bench, dev, cfg);
+        printProfile(profile);
+
+        if (vs.updateGoldens || vs.verify) {
+            const auto digest = bench->verify();
+            const std::string scale_token = core::scaleToken(scale);
+            if (vs.updateGoldens) {
+                if (!digest)
+                    fatal(bench_name,
+                          " recorded no output to make a golden of");
+                auto table =
+                    core::GoldenTable::loadOrEmpty(vs.goldensPath);
+                table.set(bench_name, scale_token, *digest);
+                table.save(vs.goldensPath);
+                std::printf("\nrecorded golden %s for %s/%s in %s\n",
+                            digest->hex().c_str(), bench_name.c_str(),
+                            scale_token.c_str(),
+                            vs.goldensPath.c_str());
+            } else {
+                const auto table =
+                    core::GoldenTable::load(vs.goldensPath);
+                const auto golden =
+                    table.find(bench_name, scale_token);
+                if (!digest || !golden ||
+                    golden->digest != digest->digest ||
+                    golden->elements != digest->elements) {
+                    std::printf(
+                        "\n%s: CORRUPT: output digest %s does not "
+                        "match golden %s\n",
+                        bench_name.c_str(),
+                        digest ? digest->hex().c_str() : "(none)",
+                        golden ? golden->hex().c_str()
+                               : "(none recorded)");
+                    return 1;
+                }
+                std::printf("\n%s: output digest %s matches golden\n",
+                            bench_name.c_str(), digest->hex().c_str());
             }
         }
-        printProfile(profile);
         if (!trace_path.empty()) {
             const auto n =
                 gpu::writeLaunchTrace(trace_path, dev.launches());
@@ -322,11 +417,12 @@ runMain(int argc, char **argv)
     }
 
     if (!suite_name.empty()) {
-        const auto infos = registry.list(suite_name);
+        const auto infos =
+            registry.list(suite_name == "all" ? "" : suite_name);
         if (infos.empty())
             fatal("unknown or empty suite '", suite_name, "'");
         return runSuiteCampaign(infos, scale, cfg, timeout_seconds,
-                                retries, checkpoint_path);
+                                retries, checkpoint_path, vs);
     }
 
     printUsage();
