@@ -1,6 +1,7 @@
 #include "gpu/cache.hh"
 
 #include <bit>
+#include <vector>
 
 #include "common/logging.hh"
 
@@ -121,6 +122,58 @@ void
 SectorCache::resetStats()
 {
     stats_ = CacheStats{};
+}
+
+std::uint64_t
+SectorCache::stateDigest(std::uint64_t h) const
+{
+    // Word-wise multiply fold: this digest runs over every way of
+    // every stream buffer and L2 slice at each fully replayed launch
+    // boundary, so it must stay cheap relative to the replay itself.
+    const auto fold = [&h](std::uint64_t v) {
+        h = (h ^ v) * 0x100000001b3ull;
+    };
+    // Scratch for one set's valid way indices, LRU order.
+    std::vector<int> order(static_cast<std::size_t>(assoc_));
+    for (int set = 0; set < numSets_; ++set) {
+        const Way *base = &ways_[static_cast<std::size_t>(set) * assoc_];
+        // Hole positions are behavioral state: the victim scan takes
+        // the first invalid way by index before consulting stamps.
+        std::uint64_t valid_mask = 0;
+        int nvalid = 0;
+        for (int w = 0; w < assoc_; ++w) {
+            if (base[w].valid) {
+                valid_mask |= std::uint64_t{1} << (w & 63);
+                order[nvalid++] = w;
+            }
+        }
+        fold(valid_mask);
+        // Fold lines in LRU order, not way order. A full set's victim
+        // is its LRU line and lookup is fully associative, so which
+        // way index holds which line is unobservable — and it does
+        // drift: each eviction refills the LRU line at its victim's
+        // index, permuting the set launch over launch even once the
+        // resident lines and their ranks have converged. Rank order
+        // is the canonical form under that permutation; stamps are
+        // unique (one global counter), so it is a total order.
+        for (int i = 1; i < nvalid; ++i) {
+            const int w = order[i];
+            int j = i;
+            while (j > 0 &&
+                   base[order[j - 1]].lruStamp > base[w].lruStamp) {
+                order[j] = order[j - 1];
+                --j;
+            }
+            order[j] = w;
+        }
+        for (int i = 0; i < nvalid; ++i) {
+            const Way &way = base[order[i]];
+            fold(way.tag);
+            fold(way.sectorValid |
+                 (static_cast<std::uint64_t>(way.dirty) << 32));
+        }
+    }
+    return h;
 }
 
 } // namespace cactus::gpu

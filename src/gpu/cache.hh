@@ -81,6 +81,20 @@ class SectorCache
     /** Reset statistics; contents are preserved. */
     void resetStats();
 
+    /**
+     * Fold this cache's *behavioral* state into the running FNV-1a
+     * digest @p h and return the result. Two caches with equal digests
+     * respond identically to any future access sequence (modulo hash
+     * collisions): the fold covers, per way in index order, the tag,
+     * sector-valid mask, dirty bit, and the way's LRU *rank* among the
+     * valid ways of its set — never the absolute lruStamp values,
+     * which grow monotonically and would differ between two
+     * behaviorally identical states reached at different times.
+     * Statistics are excluded. Used by the steady-state fast-forward
+     * periodicity check (see gpu/fastforward.hh).
+     */
+    std::uint64_t stateDigest(std::uint64_t h) const;
+
     const CacheStats &stats() const { return stats_; }
     int numSets() const { return numSets_; }
     int assoc() const { return assoc_; }

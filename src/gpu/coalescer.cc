@@ -4,66 +4,107 @@
 
 namespace cactus::gpu {
 
-std::vector<CoalescedAccess>
-Coalescer::coalesce(
-    const std::vector<std::vector<MemAccess>> &lane_accesses) const
+void
+Coalescer::coalesce(const LaneTraceArena &lanes, CoalesceScratch &scratch,
+                    TraceArena &out) const
 {
     // Align the k-th access *of each kind* across lanes: under
     // divergence, lanes may interleave loads, streaming loads and
     // stores differently, and mixing kinds in one warp instruction
     // would mis-route sectors in the memory hierarchy.
-    constexpr int kNumKinds = 4;
-    std::vector<std::vector<const MemAccess *>> per_kind[kNumKinds];
-    for (auto &v : per_kind)
-        v.resize(lane_accesses.size());
-    for (std::size_t lane = 0; lane < lane_accesses.size(); ++lane)
-        for (const MemAccess &acc : lane_accesses[lane])
-            per_kind[static_cast<int>(acc.kind)][lane].push_back(&acc);
-
-    std::vector<CoalescedAccess> result;
-    std::vector<std::uint64_t> sectors;
+    constexpr int kNumKinds = CoalesceScratch::kNumKinds;
+    const int num_lanes = lanes.lanes();
     for (int kind = 0; kind < kNumKinds; ++kind) {
-        const auto &lanes = per_kind[kind];
-        std::size_t max_len = 0;
-        for (const auto &lane : lanes)
-            max_len = std::max(max_len, lane.size());
-        for (std::size_t k = 0; k < max_len; ++k) {
-            sectors.clear();
-            for (const auto &lane : lanes) {
-                if (k >= lane.size())
+        scratch.idx[kind].clear();
+        scratch.laneOff[kind].clear();
+        scratch.laneOff[kind].push_back(0);
+    }
+    // Lanes are stored lane-major, so one in-order pass fills every
+    // kind's CSR rows contiguously.
+    for (int lane = 0; lane < num_lanes; ++lane) {
+        const std::uint32_t begin = lanes.laneBegin(lane);
+        const std::uint32_t end = lanes.laneEnd[lane];
+        for (std::uint32_t a = begin; a < end; ++a)
+            scratch.idx[static_cast<int>(lanes.accesses[a].kind)]
+                .push_back(a);
+        for (int kind = 0; kind < kNumKinds; ++kind)
+            scratch.laneOff[kind].push_back(
+                static_cast<std::uint32_t>(scratch.idx[kind].size()));
+    }
+
+    for (int kind = 0; kind < kNumKinds; ++kind) {
+        const auto &idx = scratch.idx[kind];
+        const auto &off = scratch.laneOff[kind];
+        std::uint32_t max_len = 0;
+        for (int lane = 0; lane < num_lanes; ++lane)
+            max_len = std::max(max_len, off[lane + 1] - off[lane]);
+        for (std::uint32_t k = 0; k < max_len; ++k) {
+            const std::uint32_t sector_begin =
+                static_cast<std::uint32_t>(out.sectors.size());
+            for (int lane = 0; lane < num_lanes; ++lane) {
+                if (k >= off[lane + 1] - off[lane])
                     continue;
-                const MemAccess &acc = *lane[k];
+                const MemAccess &acc = lanes.accesses[idx[off[lane] + k]];
                 // A lane reference may straddle sector boundaries.
                 const std::uint64_t first = acc.addr / sectorBytes_;
                 const std::uint64_t last =
                     (acc.addr + (acc.size ? acc.size - 1 : 0)) /
                     sectorBytes_;
-                for (std::uint64_t s = first; s <= last; ++s)
-                    sectors.push_back(s * sectorBytes_);
+                for (std::uint64_t s = first; s <= last; ++s) {
+                    // Deduplicate in first-touch (lane) order rather
+                    // than by address: a divergent warp instruction can
+                    // span distinct buffers, and address order would
+                    // then depend on where the host allocator placed
+                    // them — placement noise, not access pattern. Lane
+                    // order is a pure function of the program. Sector
+                    // counts are tiny (<= a few per lane), so the
+                    // quadratic scan is cheaper than sorting.
+                    const std::uint64_t addr = s * sectorBytes_;
+                    bool seen = false;
+                    for (std::size_t t = sector_begin;
+                         t < out.sectors.size(); ++t)
+                        if (out.sectors[t] == addr) {
+                            seen = true;
+                            break;
+                        }
+                    if (!seen)
+                        out.sectors.push_back(addr);
+                }
             }
-            if (sectors.empty())
+            const std::uint32_t count =
+                static_cast<std::uint32_t>(out.sectors.size()) -
+                sector_begin;
+            if (count == 0)
                 continue;
-            // Deduplicate in first-touch (lane) order rather than by
-            // address: a divergent warp instruction can span distinct
-            // buffers, and address order would then depend on where
-            // the host allocator placed them — placement noise, not
-            // access pattern. Lane order is a pure function of the
-            // program. Sector counts are tiny (<= a few per lane), so
-            // the quadratic scan is cheaper than sorting.
-            CoalescedAccess ca;
-            for (const std::uint64_t s : sectors) {
-                bool seen = false;
-                for (const std::uint64_t t : ca.sectors)
-                    if (t == s) {
-                        seen = true;
-                        break;
-                    }
-                if (!seen)
-                    ca.sectors.push_back(s);
-            }
-            ca.kind = static_cast<AccessKind>(kind);
-            result.push_back(std::move(ca));
+            out.insts.push_back(TraceInst{sector_begin, count,
+                                          static_cast<AccessKind>(kind)});
         }
+    }
+}
+
+std::vector<CoalescedAccess>
+Coalescer::coalesce(
+    const std::vector<std::vector<MemAccess>> &lane_accesses) const
+{
+    LaneTraceArena lanes;
+    for (const auto &lane : lane_accesses) {
+        lanes.accesses.insert(lanes.accesses.end(), lane.begin(),
+                              lane.end());
+        lanes.endLane();
+    }
+    CoalesceScratch scratch;
+    TraceArena out;
+    coalesce(lanes, scratch, out);
+
+    std::vector<CoalescedAccess> result;
+    result.reserve(out.insts.size());
+    for (const TraceInst &inst : out.insts) {
+        CoalescedAccess ca;
+        ca.kind = inst.kind;
+        ca.sectors.assign(
+            out.sectors.begin() + inst.sectorBegin,
+            out.sectors.begin() + inst.sectorBegin + inst.sectorCount);
+        result.push_back(std::move(ca));
     }
     return result;
 }

@@ -5,11 +5,19 @@
  * ranges into the minimal set of 32-byte sectors, which is exactly the
  * unit the paper's instruction-roofline model counts ("warp instructions
  * per DRAM transaction", 32-byte transactions).
+ *
+ * The hot path works on flat SoA arenas instead of nested vectors:
+ * lanes append into one shared LaneTraceArena buffer with per-lane end
+ * offsets, and coalesced instructions land in a TraceArena as spans
+ * into one flat sector buffer. Arenas are cleared, never freed, so a
+ * device replaying thousands of near-identical launches performs no
+ * per-warp allocation once the buffers reach steady-state capacity.
  */
 
 #ifndef CACTUS_GPU_COALESCER_HH
 #define CACTUS_GPU_COALESCER_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -17,12 +25,96 @@
 
 namespace cactus::gpu {
 
-/** One coalesced warp-level memory instruction. */
+/** One coalesced warp-level memory instruction (legacy nested-vector
+ *  form, kept for tests and ad-hoc callers; the device's hot path uses
+ *  TraceArena spans instead). */
 struct CoalescedAccess
 {
     /** Distinct sector-aligned addresses touched by the warp. */
     std::vector<std::uint64_t> sectors;
     AccessKind kind = AccessKind::Load;
+};
+
+/** One coalesced warp-level memory instruction inside a TraceArena:
+ *  a span of the arena's flat sector buffer. */
+struct TraceInst
+{
+    std::uint32_t sectorBegin = 0; ///< Offset into TraceArena::sectors.
+    std::uint32_t sectorCount = 0;
+    AccessKind kind = AccessKind::Load;
+};
+
+/**
+ * Flat coalesced-trace storage for one sampled block: every warp-level
+ * memory instruction is a TraceInst span into one shared sector
+ * buffer. clear() keeps the capacity, so arenas owned by the device
+ * stop allocating once a workload's steady-state trace size is
+ * reached.
+ */
+struct TraceArena
+{
+    std::vector<std::uint64_t> sectors; ///< Flat, instruction-major.
+    std::vector<TraceInst> insts;
+
+    void
+    clear()
+    {
+        sectors.clear();
+        insts.clear();
+    }
+
+    bool empty() const { return insts.empty(); }
+};
+
+/**
+ * Flat per-lane access storage for the warp in flight. Lanes execute
+ * sequentially on one host thread and append to the shared flat
+ * buffer; laneEnd() records each lane's end offset, so lane i's
+ * accesses occupy [laneEnd[i-1], laneEnd[i]) (from 0 for lane 0).
+ */
+struct LaneTraceArena
+{
+    std::vector<MemAccess> accesses; ///< Flat, lane-major.
+    std::vector<std::uint32_t> laneEnd;
+
+    /** Start a new warp: drop the previous warp's spans, keep capacity. */
+    void
+    beginWarp()
+    {
+        accesses.clear();
+        laneEnd.clear();
+    }
+
+    /** Close the current lane's span. Call once per lane, in order. */
+    void
+    endLane()
+    {
+        laneEnd.push_back(static_cast<std::uint32_t>(accesses.size()));
+    }
+
+    int lanes() const { return static_cast<int>(laneEnd.size()); }
+
+    std::uint32_t
+    laneBegin(int lane) const
+    {
+        return lane == 0 ? 0 : laneEnd[lane - 1];
+    }
+};
+
+/**
+ * Reusable per-worker scratch for Coalescer::coalesce: the per-kind
+ * lane grouping in flat CSR form (indices into the LaneTraceArena plus
+ * per-lane offsets). Cleared per warp, never freed.
+ */
+class CoalesceScratch
+{
+  private:
+    friend class Coalescer;
+    static constexpr int kNumKinds = 4;
+    /** Per kind: indices into LaneTraceArena::accesses, lane-major. */
+    std::array<std::vector<std::uint32_t>, kNumKinds> idx;
+    /** Per kind: laneOff[l]..laneOff[l+1] bounds lane l's entries. */
+    std::array<std::vector<std::uint32_t>, kNumKinds> laneOff;
 };
 
 /**
@@ -39,7 +131,17 @@ class Coalescer
     explicit Coalescer(int sector_bytes) : sectorBytes_(sector_bytes) {}
 
     /**
-     * Coalesce one warp's sampled accesses.
+     * Coalesce one warp's sampled accesses, appending the warp's
+     * instructions to @p out. @p scratch is caller-owned reusable
+     * state; the call performs no allocation once the arenas' and the
+     * scratch's capacities have grown to the workload's steady state.
+     */
+    void coalesce(const LaneTraceArena &lanes, CoalesceScratch &scratch,
+                  TraceArena &out) const;
+
+    /**
+     * Legacy nested-vector entry point (tests, ad-hoc callers): builds
+     * arenas internally and converts the result.
      * @param lane_accesses Per-lane ordered access lists (up to 32 lanes).
      * @return One CoalescedAccess per warp-level memory instruction.
      */

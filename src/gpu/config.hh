@@ -112,6 +112,43 @@ struct DeviceConfig
      */
     int hostThreads = defaultHostThreads();
 
+    /**
+     * Floor on sampled warps per worker before the sweep and replay
+     * fan out. Tiny launches (a handful of blocks at reduced scale)
+     * cost more in pool wakeups and scratch merging than the work they
+     * distribute, so the device uses
+     * min(hostThreads, blocks, sampledWarps / minWarpsPerWorker)
+     * workers (floored at one) and runs fully inline — no pool
+     * involvement at all — when that resolves to one. 0 disables the
+     * gate and fans out on raw block count as before. Has no effect on
+     * results; only on wall-clock.
+     */
+    int minWarpsPerWorker = 256;
+
+    // --- Steady-state fast-forward ---------------------------------------
+
+    /**
+     * Opt-in launch-replay fast-forward. When true, the device digests
+     * every launch's canonical coalesced trace and the persistent
+     * hierarchy state at launch boundaries; once a window of launches
+     * repeats verbatim with a matching boundary state, subsequent
+     * repeats of the window are verified by digest and their
+     * LaunchStats synthesized instead of replayed. Bit-identical to a
+     * full run (each skipped launch is digest-verified first and the
+     * hierarchy state is provably periodic; see gpu/fastforward.hh),
+     * assuming no 64-bit FNV-1a collisions. The functional sweep —
+     * and therefore all kernel outputs — always runs in full.
+     */
+    bool fastForward = false;
+
+    /**
+     * Longest repetition period searched by the fast-forward detector,
+     * in launches. Iterative workloads commonly run several kernels
+     * per timestep/iteration, so the window must cover one full
+     * iteration. Values <= 0 are treated as 1.
+     */
+    int fastForwardWindow = 64;
+
     // --- Robustness -------------------------------------------------------
 
     /**

@@ -19,8 +19,10 @@
  * hostThreads) yet bit-deterministic:
  *  1. The functional sweep fans thread blocks across a persistent
  *     worker pool, each worker accumulating private counters and
- *     recording sampled blocks' coalesced traces into per-block
- *     storage.
+ *     recording sampled blocks' coalesced traces into per-block trace
+ *     arenas (flat sector buffers; see gpu/coalescer.hh). Arenas and
+ *     per-worker scratch persist across launches, so a workload
+ *     relaunching similar kernels allocates nothing per warp.
  *  2. A serial pre-pass translates every traced host address into the
  *     canonical device address space: line addresses map to
  *     sequential frames in first-touch order (ascending block order),
@@ -35,8 +37,16 @@
  *     aimed at it and replays them in ascending (block, seq) order.
  *     Slices cache disjoint addresses, so they replay concurrently.
  * Every aggregate is an integer sum over fixed index spaces, so
- * LaunchStats are bit-identical for any hostThreads value; 1 runs the
- * same algorithm inline and serves as the reference schedule.
+ * LaunchStats are bit-identical for any hostThreads value; the serial
+ * path runs the same algorithm inline and serves as the reference
+ * schedule. Fan-out is work-gated (DeviceConfig::minWarpsPerWorker):
+ * launches too small to amortize pool wakeups run fully inline.
+ *
+ * With DeviceConfig::fastForward, the device additionally digests each
+ * launch's canonical trace and the persistent hierarchy state at launch
+ * boundaries; once a window of launches provably repeats, further
+ * repeats are verified by digest and their LaunchStats synthesized
+ * instead of replayed (see gpu/fastforward.hh for the argument).
  */
 
 #ifndef CACTUS_GPU_DEVICE_HH
@@ -54,6 +64,7 @@
 #include "gpu/cache.hh"
 #include "gpu/coalescer.hh"
 #include "gpu/config.hh"
+#include "gpu/fastforward.hh"
 #include "gpu/host_pool.hh"
 #include "gpu/metrics.hh"
 #include "gpu/occupancy.hh"
@@ -135,46 +146,53 @@ class Device
     {
         LaunchState state = beginLaunch(desc, grid, block);
         const std::uint64_t num_blocks = grid.count();
-        const int workers =
-            desc.serialOrdered ? 1 : resolveWorkerCount(num_blocks);
+        state.sampledBlocks = sampledBlockCount(state, num_blocks);
+        // Fan-out gate: distributing a launch that traces only a
+        // handful of warps costs more in pool wakeups and scratch
+        // merging than it saves, so tiny launches run fully inline.
+        // Sampled-warp volume is exact before the sweep (sampling is
+        // a pure function of the geometry), so the gate is too.
+        const int gated = resolveWorkerCount(
+            num_blocks,
+            state.sampledBlocks *
+                static_cast<std::uint64_t>(state.warpsPerBlock));
+        state.replayParallel = gated > 1;
+        const int workers = desc.serialOrdered ? 1 : gated;
 
         // Functional sweep: execute every block, recording sampled
-        // blocks' coalesced traces into per-block storage keyed by
-        // sample ordinal. Replay happens afterwards, so the sweep's
-        // schedule cannot influence the cache statistics.
-        std::vector<std::vector<CoalescedAccess>> block_traces(
-            sampledBlockCount(state, num_blocks));
+        // blocks' coalesced traces into the persistent per-block
+        // arenas keyed by sample ordinal. Replay happens afterwards,
+        // so the sweep's schedule cannot influence cache statistics.
         if (workers <= 1) {
-            WorkerScratch ws = makeScratch();
+            prepareSweep(state, 1);
+            WorkerScratch &ws = scratch_[0];
             for (std::uint64_t b = 0; b < num_blocks; ++b) {
                 const bool sampled = blockIsSampled(state, b);
-                auto *trace = sampled
-                    ? &block_traces[b / state.blockSampleStride]
+                TraceArena *trace = sampled
+                    ? &blockArenas_[b / state.blockSampleStride]
                     : nullptr;
                 runBlock(state, b, sampled, ws, trace, nullptr, body);
             }
             mergeScratch(state, ws);
         } else {
             WorkerPool &pool = workerPool();
-            std::vector<WorkerScratch> scratch(pool.workers(),
-                                               makeScratch());
+            prepareSweep(state, pool.workers());
             pool.run(num_blocks, [&](std::uint64_t b, int wi) {
-                WorkerScratch &ws = scratch[wi];
+                WorkerScratch &ws = scratch_[wi];
                 const bool sampled = blockIsSampled(state, b);
-                auto *trace = sampled
-                    ? &block_traces[b / state.blockSampleStride]
+                TraceArena *trace = sampled
+                    ? &blockArenas_[b / state.blockSampleStride]
                     : nullptr;
                 runBlock(state, b, sampled, ws, trace, &atomicLocks_,
                          body);
             });
             // Integer sums merged in fixed worker order: exact and
             // independent of how blocks were scheduled.
-            for (const auto &ws : scratch)
-                mergeScratch(state, ws);
+            for (int wi = 0; wi < pool.workers(); ++wi)
+                mergeScratch(state, scratch_[wi]);
         }
 
-        replayHierarchy(state, block_traces);
-        return endLaunch(state);
+        return finishLaunch(state);
     }
 
     /** Convenience 1-D launch over @p n threads with given block size. */
@@ -212,7 +230,9 @@ class Device
      * Drop all cached contents (L1s, stream buffers, L2 slices)
      * without counting write-backs, returning the hierarchy to its
      * post-construction cold state. Launch statistics already
-     * recorded are unaffected.
+     * recorded are unaffected. Also resets the fast-forward detector:
+     * the hierarchy state changed outside the launch sequence, so any
+     * established periodicity no longer holds.
      */
     void flushCaches();
 
@@ -224,6 +244,14 @@ class Device
 
     /** Forget recorded launches (e.g., after a warm-up phase). */
     void clearHistory();
+
+    /** Fast-forward activity counters (all zero unless
+     *  DeviceConfig::fastForward is set). */
+    const FastForwardSummary &
+    fastForwardSummary() const
+    {
+        return ff_.summary;
+    }
 
   private:
     /** Per-launch bookkeeping shared between begin/finish/end. */
@@ -238,6 +266,14 @@ class Device
          *  beginLaunch; sampling decisions derive from it and the
          *  stride alone, independent of execution order). */
         std::int64_t sampledBlockBudget = 0;
+        /** Blocks actually sampled this launch: the first
+         *  sampledBlocks entries of blockArenas_ are live. */
+        std::uint64_t sampledBlocks = 0;
+        /** Whether the replay stages fan out over the worker pool.
+         *  Gated like the sweep but independent of serialOrdered —
+         *  replay consumes recorded traces, so it parallelizes even
+         *  when the sweep could not. */
+        bool replayParallel = false;
         Occupancy occ;
 
         WarpCounts totals;
@@ -256,24 +292,43 @@ class Device
          *  check each against its own conservation law. */
         std::uint64_t sampledStreamMisses = 0;
         std::uint64_t sampledSliceDramRead = 0; ///< L2 read-miss fetches.
+
+        /** Launch digest over the canonical trace (fast-forward only). */
+        std::uint64_t ffDigest = 0;
     };
 
-    /** Private per-worker execution state: lane counters and traces for
-     *  the warp in flight plus the worker's partial launch totals. */
+    /** Private per-worker execution state: flat lane-trace and
+     *  coalescer arenas for the warp in flight plus the worker's
+     *  partial launch totals. Owned by the device and reused across
+     *  launches, so steady-state sweeps allocate nothing per warp. */
     struct WorkerScratch
     {
         std::vector<LaneCounters> laneCounters;
-        std::vector<std::vector<MemAccess>> laneTraces;
+        LaneTraceArena lanes;
+        CoalesceScratch coalesce;
         WarpCounts totals;
         std::uint64_t totalWarps = 0;
         std::uint64_t sampledWarps = 0;
     };
 
     LaunchState beginLaunch(const KernelDesc &desc, Dim3 grid, Dim3 block);
+
+    /**
+     * Everything after the functional sweep: canonical-address
+     * translation, hierarchy replay (or fast-forward synthesis), and
+     * the LaunchStats record. Non-template so the heavy tail of the
+     * launch path is compiled once, not per kernel body.
+     */
+    const LaunchStats &finishLaunch(LaunchState &state);
     const LaunchStats &endLaunch(LaunchState &state);
 
-    /** Number of host workers to use for a launch of @p num_blocks. */
-    int resolveWorkerCount(std::uint64_t num_blocks) const;
+    /**
+     * Number of host workers for a launch of @p num_blocks tracing
+     * @p sampled_warps warps: min(hostThreads, blocks,
+     * sampled_warps / minWarpsPerWorker), floored at one.
+     */
+    int resolveWorkerCount(std::uint64_t num_blocks,
+                           std::uint64_t sampled_warps) const;
 
     /** The persistent worker pool, created on first parallel use. */
     WorkerPool &workerPool();
@@ -286,24 +341,76 @@ class Device
     static std::uint64_t sampledBlockCount(const LaunchState &state,
                                            std::uint64_t num_blocks);
 
-    WorkerScratch makeScratch() const;
+    /** Clear the first sampledBlocks trace arenas and ready
+     *  @p scratch_count workers' scratch (capacity preserved). */
+    void prepareSweep(const LaunchState &state, int scratch_count);
+
     static void beginWarp(WorkerScratch &ws, bool sampled);
     static void countWarp(WorkerScratch &ws, int lanes, bool sampled);
     static void mergeScratch(LaunchState &state, const WorkerScratch &ws);
 
     /**
-     * Replay the sampled blocks' coalesced traces through the
-     * hierarchy. A serial pre-pass first rewrites every traced host
-     * address into the canonical device address space (sequential
-     * line frames in first-touch order), then two deterministic
-     * parallel stages run: per-SM L1 replay emitting keyed per-slice
-     * miss streams, and per-slice L2 replay in (block, seq) key
-     * order. Both stages fan out over the worker pool; results are
-     * bit-identical for any hostThreads value.
+     * Serial pre-pass rewriting every traced host address in the live
+     * block arenas into the canonical device address space (sequential
+     * line frames in first-touch order) and counting the sampled
+     * warp-level memory instructions.
      */
-    void replayHierarchy(
-        LaunchState &state,
-        std::vector<std::vector<CoalescedAccess>> &block_traces);
+    void canonicalizeTraces(LaunchState &state);
+
+    /**
+     * Replay the canonicalized block arenas through the hierarchy: the
+     * per-SM L1 stage emits keyed per-slice miss streams and the
+     * per-slice L2 stage replays them in (block, seq) key order. The
+     * stages fan out over the worker pool when state.replayParallel,
+     * and run inline otherwise; results are bit-identical either way.
+     */
+    void replayHierarchy(LaunchState &state);
+
+    // --- Fast-forward (DeviceConfig::fastForward) -----------------------
+
+    /** Digest of the launch identity: kernel desc, geometry, warp
+     *  counters, and the canonicalized trace arenas. */
+    std::uint64_t launchDigest(const LaunchState &state) const;
+
+    /** Digest of the hierarchy state that survives launch boundaries:
+     *  stream buffers and L2 slices, in unit order. L1s are flushed at
+     *  every beginLaunch, so their boundary state is always empty and
+     *  carries no information. */
+    std::uint64_t hierarchyTagDigest() const;
+
+    /** Record a fully replayed launch with the detector; on window
+     *  establishment, snapshot the last W records as the window. */
+    void recordFullLaunch(const LaunchState &state,
+                          const LaunchStats &stats,
+                          const AuditInputs &live);
+
+    /** Copy the canonicalized live arenas into @p rec for later
+     *  catch-up replay. */
+    void captureWindowTrace(const LaunchState &state,
+                            FastForwardRecord &rec);
+
+    /** Synthesize the current launch's stats from verified phase
+     *  record @p rec without replaying. */
+    const LaunchStats &synthesizeLaunch(const FastForwardRecord &rec);
+
+    /**
+     * The workload diverged at phase @p diverged_phase of the
+     * established window: replay the stored traces of the skipped
+     * phases [0, diverged_phase) — including the L1 flush and dirty
+     * drain each launch boundary performs — so the hierarchy reaches
+     * exactly the state a never-fast-forwarded run would be in, then
+     * restore the clean-boundary invariants for the current launch's
+     * full replay.
+     */
+    void ffCatchUp(int diverged_phase);
+
+    /** Serial stats-free replay of one stored window trace (used only
+     *  by ffCatchUp; mirrors replayHierarchy's access order). */
+    void replayStoredTrace(const FastForwardRecord &rec);
+
+    /** Grow launches_ in large steps so long campaigns do not
+     *  reallocate the history vector every few launches. */
+    void reserveLaunchRecord();
 
     /**
      * Execute every warp of block @p b functionally, accumulating
@@ -315,7 +422,7 @@ class Device
     template <typename F>
     void
     runBlock(const LaunchState &state, std::uint64_t b, bool sampled,
-             WorkerScratch &ws, std::vector<CoalescedAccess> *block_trace,
+             WorkerScratch &ws, TraceArena *block_trace,
              AtomicLockTable *atomic_locks, F &body)
     {
         const Dim3 grid = state.grid;
@@ -343,17 +450,14 @@ class Device
                     t / (static_cast<std::uint64_t>(block.x) * block.y));
                 ctx.lane_ = lane;
                 ctx.counters_ = &ws.laneCounters[lane];
-                ctx.trace_ = sampled ? &ws.laneTraces[lane] : nullptr;
+                ctx.trace_ = sampled ? &ws.lanes.accesses : nullptr;
                 body(ctx);
+                if (sampled)
+                    ws.lanes.endLane();
             }
             countWarp(ws, lanes, sampled);
-            if (sampled && block_trace) {
-                auto warp_insts = coalescer_.coalesce(ws.laneTraces);
-                block_trace->insert(
-                    block_trace->end(),
-                    std::make_move_iterator(warp_insts.begin()),
-                    std::make_move_iterator(warp_insts.end()));
-            }
+            if (sampled && block_trace)
+                coalescer_.coalesce(ws.lanes, ws.coalesce, *block_trace);
         }
     }
 
@@ -388,6 +492,26 @@ class Device
     /** Persistent worker pool shared by the sweep and both replay
      *  stages; null until the first parallel launch. */
     std::unique_ptr<WorkerPool> pool_;
+
+    /** Persistent per-sampled-block coalesced trace arenas (cleared,
+     *  never freed, per launch) and per-worker sweep scratch. */
+    std::vector<TraceArena> blockArenas_;
+    std::vector<WorkerScratch> scratch_;
+
+    /** Fast-forward machinery (inert unless config_.fastForward). */
+    struct FastForward
+    {
+        explicit FastForward(int max_window) : detector(max_window) {}
+
+        PeriodicityDetector detector;
+        /** Established window, phase-indexed; empty while detecting. */
+        std::vector<FastForwardRecord> window;
+        /** Last <= maxWindow fully replayed launches (no traces),
+         *  from which an established window is snapshotted. */
+        std::vector<FastForwardRecord> history;
+        FastForwardSummary summary;
+    };
+    FastForward ff_;
 
     std::vector<LaunchStats> launches_;
     double elapsedSeconds_ = 0.0;

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Deterministic steady-state fast-forward for launch replay.
+ *
+ * Real-life workloads concentrate GPU time in a handful of kernels
+ * relaunched thousands of times (MD timesteps, training iterations),
+ * so in steady state the simulator re-replays near-identical launches
+ * through the memory hierarchy. Replay is a deterministic function:
+ * given the hierarchy state at a launch boundary and the launch's
+ * canonical-address coalesced trace, the resulting LaunchStats — and
+ * the next boundary state — are fixed. The fast-forward layer exploits
+ * that:
+ *
+ *  - every fully replayed launch gets a *launch digest* (FNV-1a over
+ *    the kernel identity, geometry, warp counters, and the
+ *    canonical-address coalesced trace) and a *tag digest* of the
+ *    persistent hierarchy state (stream buffers + L2 slices; L1s are
+ *    flushed at every launch boundary and never carry state across);
+ *  - the PeriodicityDetector watches the digest sequence; when the
+ *    last two windows of W launches have pairwise equal launch digests
+ *    AND the tag digests at the two window boundaries are equal, the
+ *    hierarchy state is a fixed point of one window's replay, so the
+ *    whole system is provably periodic with period W;
+ *  - from then on the device verifies each incoming launch's digest
+ *    against the expected phase of the window and, on a match,
+ *    synthesizes its LaunchStats as an exact copy of the recorded
+ *    phase (still routed through the stats auditor) instead of
+ *    replaying it. The functional sweep always executes — outputs,
+ *    and hence golden digests, are untouched.
+ *  - a digest mismatch mid-window means the workload left its loop:
+ *    the device replays the *stored* window traces for the phases it
+ *    skipped since the last boundary (bringing the hierarchy to
+ *    exactly the state a full replay would have produced) and falls
+ *    back to full replay. Results are therefore bit-identical to a
+ *    non-fast-forwarded run in every case; digest equality is trusted
+ *    as trace equality (64-bit FNV-1a collision risk).
+ */
+
+#ifndef CACTUS_GPU_FASTFORWARD_HH
+#define CACTUS_GPU_FASTFORWARD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/audit.hh"
+#include "gpu/coalescer.hh"
+#include "gpu/metrics.hh"
+
+namespace cactus::gpu {
+
+/** FNV-1a 64-bit offset basis, the digests' seed. */
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+/** Fold one 64-bit word into an FNV-1a digest, byte-wise LE. Used for
+ *  the (small) hierarchy state digests, matching the OutputDigest
+ *  idiom of core/verify.hh. */
+inline std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t v)
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (8 * byte)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** Word-wise FNV-1a step for bulk trace digests: one XOR and one
+ *  multiply per 64-bit word instead of eight, because the launch
+ *  digest runs over every traced sector and must stay far cheaper
+ *  than the replay it lets the device skip. Weaker per-bit diffusion
+ *  than the byte-wise fold, but the full 64-bit digest is compared,
+ *  and the multiply propagates every input bit into the high half. */
+inline std::uint64_t
+mix64(std::uint64_t h, std::uint64_t v)
+{
+    return (h ^ v) * 0x100000001b3ull;
+}
+
+/**
+ * Watches the per-launch digest stream for a repeating window backed
+ * by a repeating hierarchy boundary state. Digest-domain only — the
+ * device owns the payloads (stats, traces) keyed by phase.
+ *
+ * Lifecycle: recordFull() after every fully replayed launch until it
+ * returns a window length W > 0; the detector is then steady() and
+ * tracks the expected phase, which the device advances with advance()
+ * after each synthesized launch. reset() drops everything (divergence,
+ * cache flush).
+ */
+class PeriodicityDetector
+{
+  public:
+    /** @param max_window Longest period searched, in launches. */
+    explicit PeriodicityDetector(int max_window)
+        : maxWindow_(max_window > 0 ? max_window : 1)
+    {
+    }
+
+    /**
+     * Record a fully replayed launch. @p launch_digest identifies the
+     * launch (kernel identity + counters + canonical trace);
+     * @p tag_digest is the hierarchy state digest at the boundary
+     * *after* it. Returns the established window length W when this
+     * record completes two consecutive identical windows whose
+     * boundary states match, 0 otherwise. On establishment the
+     * detector enters steady state expecting phase 0 next; the last W
+     * recorded launches are the window, oldest first.
+     */
+    int
+    recordFull(std::uint64_t launch_digest, std::uint64_t tag_digest)
+    {
+        digests_.push_back(launch_digest);
+        tags_.push_back(tag_digest);
+        const std::size_t cap = 2 * static_cast<std::size_t>(maxWindow_);
+        if (digests_.size() > cap) {
+            digests_.erase(digests_.begin());
+            tags_.erase(tags_.begin());
+        }
+        const std::size_t n = digests_.size();
+        for (int w = 1; w <= maxWindow_; ++w) {
+            const std::size_t ww = static_cast<std::size_t>(w);
+            if (n < 2 * ww)
+                break;
+            // State after the last launch must equal the state one
+            // window earlier: the boundary state is then a fixed
+            // point of one window's replay.
+            if (tags_[n - 1] != tags_[n - 1 - ww])
+                continue;
+            bool match = true;
+            for (std::size_t j = 0; j < ww && match; ++j)
+                match = digests_[n - 1 - j] == digests_[n - 1 - ww - j];
+            if (!match)
+                continue;
+            window_ = w;
+            phase_ = 0;
+            return w;
+        }
+        return 0;
+    }
+
+    bool steady() const { return window_ > 0; }
+
+    /** Established period in launches (0 when not steady). */
+    int window() const { return window_; }
+
+    /** Next expected phase in [0, window), meaningful when steady. */
+    int phase() const { return phase_; }
+
+    /** Advance past one verified (synthesized) launch. */
+    void
+    advance()
+    {
+        phase_ = (phase_ + 1) % window_;
+    }
+
+    /** Drop steady state and all history (divergence, cache flush). */
+    void
+    reset()
+    {
+        digests_.clear();
+        tags_.clear();
+        window_ = 0;
+        phase_ = 0;
+    }
+
+    int maxWindow() const { return maxWindow_; }
+
+  private:
+    int maxWindow_;
+    int window_ = 0;
+    int phase_ = 0;
+    std::vector<std::uint64_t> digests_; ///< Last <= 2*maxWindow_.
+    std::vector<std::uint64_t> tags_;    ///< Parallel to digests_.
+};
+
+/**
+ * One phase of an established window: everything needed to synthesize
+ * the launch again (stats + audit inputs) and, once captured, the
+ * canonical trace needed to catch the hierarchy up when the workload
+ * diverges mid-window.
+ */
+struct FastForwardRecord
+{
+    /** Launch digest: kernel identity, geometry, warp counters, and
+     *  the canonical-address coalesced trace. */
+    std::uint64_t digest = 0;
+    LaunchStats stats;
+    AuditInputs live;
+
+    /** Canonical trace, stored per block for catch-up replay. Captured
+     *  during the first steady cycle (traces of the detection window
+     *  itself were consumed by their own replays). */
+    struct BlockSpan
+    {
+        std::uint64_t block;     ///< Linear block id.
+        std::uint32_t instBegin; ///< Span into insts.
+        std::uint32_t instEnd;
+    };
+    std::vector<std::uint64_t> sectors; ///< Canonical, flat.
+    std::vector<TraceInst> insts;
+    std::vector<BlockSpan> blocks;
+    bool hasTrace = false;
+};
+
+/** Counters reported by Device::fastForwardSummary(). */
+struct FastForwardSummary
+{
+    std::uint64_t replayedLaunches = 0; ///< Fully replayed.
+    std::uint64_t skippedLaunches = 0;  ///< Synthesized from a window.
+    std::uint64_t windowsEstablished = 0;
+    std::uint64_t divergences = 0; ///< Mid-window digest mismatches.
+    int window = 0;                ///< Current period (0 = detecting).
+};
+
+} // namespace cactus::gpu
+
+#endif // CACTUS_GPU_FASTFORWARD_HH

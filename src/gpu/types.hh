@@ -116,8 +116,9 @@ struct MemAccess
     std::uint64_t addr = 0;
     std::uint32_t size = 0;
     AccessKind kind = AccessKind::Load;
-    /** Ordinal of this access within its lane; used to group the k-th
-     *  access of every lane into one warp-level memory instruction. */
+    /** Recording ordinal: offset of this access in the flat per-warp
+     *  lane arena at the time it was recorded (lane grouping itself
+     *  comes from LaneTraceArena's per-lane spans). Diagnostic only. */
     std::uint32_t index = 0;
 };
 

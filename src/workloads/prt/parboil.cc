@@ -181,7 +181,12 @@ class PbLbm : public ParboilBenchmark
         std::vector<float> src(static_cast<std::size_t>(cells) * 19,
                                1.f);
         std::vector<float> dst(src.size(), 0.f);
-        for (int step = 0; step < 2; ++step) {
+        // The real lbm times many lattice updates (the Parboil long
+        // run is 3000), ping-ponging src/dst each step: a long run of
+        // identical launches whose replay the steady-state
+        // fast-forward layer elides.
+        const int steps = scaled(scale_, 48, 96);
+        for (int step = 0; step < steps; ++step) {
             dev.launchLinear(
                 KernelDesc("lbm_stream_collide", 56), cells, 128,
                 [&](ThreadCtx &ctx) {
@@ -404,21 +409,28 @@ class PbSpmv : public ParboilBenchmark
         }
         for (auto &v : x)
             v = static_cast<float>(rng.uniform());
-        dev.launchLinear(
-            KernelDesc("spmv_jds", 32), rows, 256,
-            [&](ThreadCtx &ctx) {
-                const auto r = ctx.globalId();
-                float acc = 0.f;
-                for (int k = 0; k < nnz_per_row; ++k) {
-                    const std::size_t e = r * nnz_per_row + k;
-                    const float v = ctx.ld(&vals[e]);
-                    const int c = ctx.ld(&cols[e]);
-                    acc += v * ctx.ld(&x[c]); // Random gather.
-                    ctx.fp32(1);
-                    ctx.intOp(2);
-                }
-                ctx.st(&y[r], acc);
-            });
+        // The real Parboil spmv times 50 back-to-back launches of the
+        // same multiply over unchanged inputs; the repeat count is
+        // part of the benchmark's definition, and the identical
+        // launches are what the steady-state fast-forward layer
+        // elides.
+        for (int it = 0; it < 50; ++it) {
+            dev.launchLinear(
+                KernelDesc("spmv_jds", 32), rows, 256,
+                [&](ThreadCtx &ctx) {
+                    const auto r = ctx.globalId();
+                    float acc = 0.f;
+                    for (int k = 0; k < nnz_per_row; ++k) {
+                        const std::size_t e = r * nnz_per_row + k;
+                        const float v = ctx.ld(&vals[e]);
+                        const int c = ctx.ld(&cols[e]);
+                        acc += v * ctx.ld(&x[c]); // Random gather.
+                        ctx.fp32(1);
+                        ctx.intOp(2);
+                    }
+                    ctx.st(&y[r], acc);
+                });
+        }
         recordOutput(y);
     }
 };

@@ -300,6 +300,7 @@ TEST(DeviceParallel, LaunchStatsAreBitIdenticalToSerial)
         std::fill(c.begin(), c.end(), 0.f);
         DeviceConfig cfg = DeviceConfig::scaledExperiment();
         cfg.hostThreads = host_threads;
+        cfg.minWarpsPerWorker = 0; // Force the parallel path.
         cfg.maxSampledWarps = 512; // Force a sparse sample stride.
         Device dev(cfg);
         dev.launchLinear(KernelDesc("produce"), n, 192,
@@ -340,6 +341,7 @@ TEST(DeviceParallel, GeometryCoversEveryThreadOnce)
 {
     DeviceConfig cfg;
     cfg.hostThreads = 3;
+    cfg.minWarpsPerWorker = 0; // Force the parallel path.
     Device dev(cfg);
     const unsigned gx = 5, gy = 3, bx = 8, by = 4, bz = 2;
     std::vector<int> hits(gx * gy * bx * by * bz, 0);
@@ -366,6 +368,7 @@ TEST(DeviceParallel, MoreWorkersThanBlocksIsSafe)
 {
     DeviceConfig cfg;
     cfg.hostThreads = 16;
+    cfg.minWarpsPerWorker = 0; // Force the parallel path.
     Device dev(cfg);
     std::vector<float> x(64, 0.f);
     dev.launchLinear(KernelDesc("tiny"), x.size(), 32,

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Fast-forward tests: PeriodicityDetector window detection in the
+ * digest domain, and device-level bit-identity of synthesized
+ * steady-state launches against a fully replaying device — including
+ * divergence out of an established window.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gpu/device.hh"
+#include "gpu/fastforward.hh"
+
+namespace {
+
+using namespace cactus::gpu;
+
+// --- PeriodicityDetector ----------------------------------------------
+
+TEST(PeriodicityDetector, FindsWindowOfOne)
+{
+    PeriodicityDetector det(8);
+    EXPECT_EQ(det.recordFull(0xA, 0x1), 0); // No prior window yet.
+    EXPECT_EQ(det.recordFull(0xA, 0x1), 1); // Tag is a fixed point.
+    EXPECT_TRUE(det.steady());
+    EXPECT_EQ(det.window(), 1);
+    EXPECT_EQ(det.phase(), 0);
+}
+
+TEST(PeriodicityDetector, FindsWindowOfThree)
+{
+    PeriodicityDetector det(8);
+    // Digests A B C A B C; the tag after the sixth launch matches the
+    // tag after the third, so one window maps that state to itself.
+    EXPECT_EQ(det.recordFull(0xA, 0x10), 0);
+    EXPECT_EQ(det.recordFull(0xB, 0x11), 0);
+    EXPECT_EQ(det.recordFull(0xC, 0x12), 0);
+    EXPECT_EQ(det.recordFull(0xA, 0x13), 0);
+    EXPECT_EQ(det.recordFull(0xB, 0x14), 0);
+    EXPECT_EQ(det.recordFull(0xC, 0x12), 3);
+    EXPECT_EQ(det.window(), 3);
+}
+
+TEST(PeriodicityDetector, RepeatingDigestsAloneAreNotEnough)
+{
+    PeriodicityDetector det(8);
+    // Identical launches whose boundary state keeps evolving (e.g. a
+    // cache still warming up) must not establish a window.
+    for (std::uint64_t i = 0; i < 16; ++i)
+        EXPECT_EQ(det.recordFull(0xA, /*tag=*/0x100 + i), 0);
+    EXPECT_FALSE(det.steady());
+}
+
+TEST(PeriodicityDetector, BrokenDigestSequenceIsNotAWindow)
+{
+    PeriodicityDetector det(8);
+    // A B C A X C with a repeating tag: digests must match pairwise
+    // across the two candidate windows, and X != B breaks that.
+    det.recordFull(0xA, 0x12);
+    det.recordFull(0xB, 0x12);
+    det.recordFull(0xC, 0x12);
+    det.recordFull(0xA, 0x12);
+    det.recordFull(0xE, 0x99);
+    EXPECT_EQ(det.recordFull(0xC, 0x12), 0);
+    // (The same-tag prefix above establishes w=1 windows only when
+    // consecutive digests repeat, which they never do here.)
+    EXPECT_FALSE(det.steady());
+}
+
+TEST(PeriodicityDetector, PrefersTheShortestWindow)
+{
+    PeriodicityDetector det(8);
+    det.recordFull(0xA, 0x1);
+    det.recordFull(0xA, 0x1);
+    // A period-1 sequence is also period-2; the detector must report
+    // the fundamental period.
+    EXPECT_EQ(det.window(), 1);
+    det.recordFull(0xA, 0x1);
+    EXPECT_EQ(det.window(), 1);
+}
+
+TEST(PeriodicityDetector, AdvanceWrapsThePhase)
+{
+    PeriodicityDetector det(8);
+    det.recordFull(0xA, 0x10);
+    det.recordFull(0xB, 0x11);
+    det.recordFull(0xA, 0x10);
+    ASSERT_EQ(det.recordFull(0xB, 0x11), 2);
+    EXPECT_EQ(det.phase(), 0);
+    det.advance();
+    EXPECT_EQ(det.phase(), 1);
+    det.advance();
+    EXPECT_EQ(det.phase(), 0);
+}
+
+TEST(PeriodicityDetector, ResetDropsSteadyStateAndHistory)
+{
+    PeriodicityDetector det(8);
+    det.recordFull(0xA, 0x1);
+    ASSERT_EQ(det.recordFull(0xA, 0x1), 1);
+    det.reset();
+    EXPECT_FALSE(det.steady());
+    EXPECT_EQ(det.window(), 0);
+    // History is gone too: one more record is not enough to re-arm.
+    EXPECT_EQ(det.recordFull(0xA, 0x1), 0);
+    EXPECT_EQ(det.recordFull(0xA, 0x1), 1);
+}
+
+TEST(PeriodicityDetector, WindowLongerThanMaxIsNeverFound)
+{
+    PeriodicityDetector det(2);
+    // Period-3 pattern, maxWindow 2: must never trigger.
+    const std::uint64_t digests[] = {0xA, 0xB, 0xC};
+    for (int i = 0; i < 30; ++i)
+        EXPECT_EQ(det.recordFull(digests[i % 3], 0x40 + i % 3), 0);
+    EXPECT_FALSE(det.steady());
+}
+
+// --- Device-level bit-identity ----------------------------------------
+
+void
+expectLaunchesEqual(const std::vector<LaunchStats> &plain,
+                    const std::vector<LaunchStats> &ff)
+{
+    ASSERT_EQ(plain.size(), ff.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        SCOPED_TRACE("launch " + std::to_string(i) + ": " +
+                     plain[i].desc.name);
+        const auto &s = plain[i];
+        const auto &f = ff[i];
+        EXPECT_EQ(s.desc.name, f.desc.name);
+        EXPECT_EQ(s.counts.warpInsts, f.counts.warpInsts);
+        EXPECT_EQ(s.counts.threadInsts, f.counts.threadInsts);
+        EXPECT_EQ(s.totalWarps, f.totalWarps);
+        EXPECT_EQ(s.sampledWarps, f.sampledWarps);
+        EXPECT_EQ(s.l1Accesses, f.l1Accesses);
+        EXPECT_EQ(s.l1Misses, f.l1Misses);
+        EXPECT_EQ(s.l2Accesses, f.l2Accesses);
+        EXPECT_EQ(s.l2Misses, f.l2Misses);
+        EXPECT_EQ(s.l2SliceMaxAccesses, f.l2SliceMaxAccesses);
+        EXPECT_EQ(s.dramReadSectors, f.dramReadSectors);
+        EXPECT_EQ(s.dramWriteSectors, f.dramWriteSectors);
+        EXPECT_EQ(s.sampleCoverage, f.sampleCoverage);
+        EXPECT_EQ(s.timing.seconds, f.timing.seconds);
+        EXPECT_EQ(s.metrics.gips, f.metrics.gips);
+        EXPECT_EQ(s.metrics.l1HitRate, f.metrics.l1HitRate);
+        EXPECT_EQ(s.metrics.l2HitRate, f.metrics.l2HitRate);
+    }
+}
+
+/** Pseudo-random but fixed gather: enough L1/L2 misses per launch for
+ *  the hierarchy state to matter, yet identical launch over launch. */
+void
+gatherLaunch(Device &dev, const std::vector<float> &src,
+             std::vector<float> &dst)
+{
+    dev.launchLinear(KernelDesc("gather"), dst.size(), 128,
+                     [&](ThreadCtx &ctx) {
+                         const auto i = ctx.globalId();
+                         const std::size_t j =
+                             (i * 2654435761u) % src.size();
+                         ctx.st(&dst[i], ctx.ld(&src[j]));
+                     });
+}
+
+/** A second kernel with a different trace, to force divergence. */
+void
+strideLaunch(Device &dev, const std::vector<float> &src,
+             std::vector<float> &dst)
+{
+    dev.launchLinear(KernelDesc("stride"), dst.size(), 128,
+                     [&](ThreadCtx &ctx) {
+                         const auto i = ctx.globalId();
+                         ctx.st(&dst[i],
+                                ctx.ld(&src[(i * 7) % src.size()]));
+                     });
+}
+
+DeviceConfig
+ffConfig(bool fast_forward)
+{
+    DeviceConfig cfg = DeviceConfig::scaledExperiment();
+    cfg.fastForward = fast_forward;
+    return cfg;
+}
+
+TEST(FastForwardDevice, SteadyStateStatsAreBitIdentical)
+{
+    std::vector<float> src(1 << 15, 1.f);
+    std::vector<float> dst(1 << 11, 0.f);
+
+    Device plain(ffConfig(false));
+    Device ff(ffConfig(true));
+    for (int it = 0; it < 12; ++it) {
+        gatherLaunch(plain, src, dst);
+        gatherLaunch(ff, src, dst);
+    }
+
+    expectLaunchesEqual(plain.launches(), ff.launches());
+    const auto sum = ff.fastForwardSummary();
+    EXPECT_GE(sum.window, 1);
+    EXPECT_GT(sum.skippedLaunches, 0u);
+    EXPECT_EQ(sum.replayedLaunches + sum.skippedLaunches, 12u);
+    EXPECT_EQ(sum.divergences, 0u);
+
+    // The plain device never skips anything.
+    const auto plain_sum = plain.fastForwardSummary();
+    EXPECT_EQ(plain_sum.skippedLaunches, 0u);
+    EXPECT_EQ(plain_sum.window, 0);
+}
+
+TEST(FastForwardDevice, DivergenceOutOfTheWindowStaysBitIdentical)
+{
+    std::vector<float> src(1 << 15, 1.f);
+    std::vector<float> dst(1 << 11, 0.f);
+
+    Device plain(ffConfig(false));
+    Device ff(ffConfig(true));
+    // Settle into steady state, break out of it with a different
+    // kernel (forcing catch-up replay of the skipped phases), then
+    // settle again: stats must match full replay throughout.
+    const auto run = [&](Device &dev) {
+        for (int it = 0; it < 8; ++it)
+            gatherLaunch(dev, src, dst);
+        strideLaunch(dev, src, dst);
+        for (int it = 0; it < 8; ++it)
+            gatherLaunch(dev, src, dst);
+    };
+    run(plain);
+    run(ff);
+
+    expectLaunchesEqual(plain.launches(), ff.launches());
+    const auto sum = ff.fastForwardSummary();
+    EXPECT_GE(sum.divergences, 1u);
+    EXPECT_GT(sum.skippedLaunches, 0u);
+}
+
+TEST(FastForwardDevice, CacheFlushResetsTheDetector)
+{
+    std::vector<float> src(1 << 15, 1.f);
+    std::vector<float> dst(1 << 11, 0.f);
+
+    Device ff(ffConfig(true));
+    for (int it = 0; it < 8; ++it)
+        gatherLaunch(ff, src, dst);
+    ASSERT_GE(ff.fastForwardSummary().window, 1);
+
+    // A flush invalidates the recorded boundary states: the detector
+    // must restart from scratch rather than synthesize against a
+    // stale window.
+    ff.flushCaches();
+    EXPECT_EQ(ff.fastForwardSummary().window, 0);
+
+    // And it must be able to re-establish afterwards.
+    Device plain(ffConfig(false));
+    for (int it = 0; it < 8; ++it)
+        gatherLaunch(plain, src, dst);
+    plain.flushCaches();
+    for (int it = 0; it < 8; ++it) {
+        gatherLaunch(plain, src, dst);
+        gatherLaunch(ff, src, dst);
+    }
+    expectLaunchesEqual(
+        std::vector<LaunchStats>(plain.launches().begin() + 8,
+                                 plain.launches().end()),
+        std::vector<LaunchStats>(ff.launches().begin() + 8,
+                                 ff.launches().end()));
+    EXPECT_GE(ff.fastForwardSummary().window, 1);
+}
+
+} // namespace

@@ -160,6 +160,7 @@ TEST(SlicedHierarchy, ReplayIsBitIdenticalAcrossHostThreadCounts)
     cfg.numL1Units = 4;
     cfg.numL2Slices = 4;
     cfg.hostThreads = 1;
+    cfg.minWarpsPerWorker = 0; // Force the parallel path.
     Device dev(cfg);
 
     std::vector<float> buf(1 << 14, 2.f);
@@ -194,6 +195,7 @@ TEST(StripedAtomics, ContendedIntegerAtomicsStayExact)
     // regardless of which stripe serializes which address.
     DeviceConfig cfg;
     cfg.hostThreads = 8;
+    cfg.minWarpsPerWorker = 0; // Force the parallel path.
     Device dev(cfg);
 
     const int blocks = 64, threads = 128;

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Registry-wide fast-forward bit-identity: every registered benchmark
+ * must produce the same output digest and the same per-launch stats
+ * with DeviceConfig::fastForward on as with full replay. Workloads
+ * that never settle into a periodic launch window (fresh allocations
+ * per iteration, data-dependent minibatch loops) simply never skip —
+ * the guarantee is unconditional, not limited to iterative kernels.
+ */
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/benchmark.hh"
+#include "gpu/device.hh"
+
+namespace {
+
+using namespace cactus;
+
+struct RunResult
+{
+    std::vector<gpu::LaunchStats> launches;
+    std::uint64_t outputDigest = 0;
+    gpu::FastForwardSummary summary;
+};
+
+RunResult
+runOnce(const std::string &name, bool fast_forward)
+{
+    gpu::DeviceConfig cfg = gpu::DeviceConfig::scaledExperiment();
+    cfg.fastForward = fast_forward;
+    gpu::Device dev(cfg);
+    const auto bench =
+        core::Registry::instance().create(name, core::Scale::Tiny);
+    bench->run(dev);
+    RunResult run;
+    run.launches = dev.launches();
+    if (const auto digest = bench->verify())
+        run.outputDigest = digest->digest;
+    run.summary = dev.fastForwardSummary();
+    return run;
+}
+
+class FastForwardRegistry
+    : public ::testing::TestWithParam<const core::BenchmarkInfo *>
+{
+};
+
+TEST_P(FastForwardRegistry, StatsAndOutputMatchFullReplay)
+{
+    const std::string name = GetParam()->name;
+    const RunResult plain = runOnce(name, false);
+    const RunResult ff = runOnce(name, true);
+
+    // The functional sweep always executes, so outputs must agree
+    // even before considering the stats path.
+    EXPECT_EQ(plain.outputDigest, ff.outputDigest);
+
+    ASSERT_EQ(plain.launches.size(), ff.launches.size());
+    EXPECT_EQ(ff.summary.replayedLaunches + ff.summary.skippedLaunches,
+              static_cast<std::uint64_t>(ff.launches.size()));
+    for (std::size_t i = 0; i < plain.launches.size(); ++i) {
+        SCOPED_TRACE("launch " + std::to_string(i) + ": " +
+                     plain.launches[i].desc.name);
+        const auto &s = plain.launches[i];
+        const auto &f = ff.launches[i];
+        EXPECT_EQ(s.desc.name, f.desc.name);
+        EXPECT_EQ(s.grid.count(), f.grid.count());
+        EXPECT_EQ(s.block.count(), f.block.count());
+        EXPECT_EQ(s.counts.warpInsts, f.counts.warpInsts);
+        EXPECT_EQ(s.counts.threadInsts, f.counts.threadInsts);
+        EXPECT_EQ(s.counts.activeLanes, f.counts.activeLanes);
+        EXPECT_EQ(s.totalWarps, f.totalWarps);
+        EXPECT_EQ(s.sampledWarps, f.sampledWarps);
+
+        // Address-based traffic counters, bit-exact: a synthesized
+        // launch is an exact copy of its recorded phase.
+        EXPECT_EQ(s.l1Accesses, f.l1Accesses);
+        EXPECT_EQ(s.l1Misses, f.l1Misses);
+        EXPECT_EQ(s.l2Accesses, f.l2Accesses);
+        EXPECT_EQ(s.l2Misses, f.l2Misses);
+        EXPECT_EQ(s.l2SliceMaxAccesses, f.l2SliceMaxAccesses);
+        EXPECT_EQ(s.dramReadSectors, f.dramReadSectors);
+        EXPECT_EQ(s.dramWriteSectors, f.dramWriteSectors);
+
+        // Derived floating-point results: identical inputs through
+        // identical expressions, so exact equality is required.
+        EXPECT_EQ(s.sampleCoverage, f.sampleCoverage);
+        EXPECT_EQ(s.timing.seconds, f.timing.seconds);
+        EXPECT_EQ(s.metrics.gips, f.metrics.gips);
+        EXPECT_EQ(s.metrics.instIntensity, f.metrics.instIntensity);
+        EXPECT_EQ(s.metrics.l1HitRate, f.metrics.l1HitRate);
+        EXPECT_EQ(s.metrics.l2HitRate, f.metrics.l2HitRate);
+    }
+}
+
+std::string
+benchName(const ::testing::TestParamInfo<const core::BenchmarkInfo *> &info)
+{
+    std::string n = info.param->name;
+    for (auto &c : n)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, FastForwardRegistry,
+    ::testing::ValuesIn(core::Registry::instance().list()), benchName);
+
+} // namespace

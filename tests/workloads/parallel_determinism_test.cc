@@ -49,6 +49,10 @@ TEST_P(ParallelDeterminism, LaunchStatsAreBitIdenticalToSerial)
     const std::string name = GetParam()->name;
     gpu::DeviceConfig cfg = gpu::DeviceConfig::scaledExperiment();
     cfg.hostThreads = 1;
+    // Disable the work gate: tiny-scale launches would otherwise be
+    // small enough to run serially in both runs, and this suite exists
+    // precisely to drive the parallel replay path.
+    cfg.minWarpsPerWorker = 0;
     gpu::Device dev(cfg);
     // Warm-up run: spawns the worker pool and exercises the workload
     // once end-to-end; its results are discarded. Canonical

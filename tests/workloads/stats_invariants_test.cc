@@ -65,6 +65,9 @@ TEST_P(StatsInvariants, OutputDigestIsThreadCountInvariant)
     auto digestAt = [&](int threads) {
         DeviceConfig cfg = DeviceConfig::scaledExperiment();
         cfg.hostThreads = threads;
+        // Disable the work gate so the multi-threaded run genuinely
+        // sweeps blocks concurrently at tiny scale.
+        cfg.minWarpsPerWorker = 0;
         Device dev(cfg);
         auto bench = info->factory(Scale::Tiny);
         bench->run(dev);

@@ -11,11 +11,22 @@
  * Usage:
  *   bench_throughput [--suite SUITE] [--bench NAME] [--small]
  *                    [--threads N[,M...]] [--repeats R]
+ *                    [--fast-forward]
+ *                    [--baseline BENCH_host.json]
  *                    [--out BENCH_host.json]
+ *
+ * --baseline compares the fresh measurements against a previously
+ * written BENCH_host.json: per-benchmark speedup ratios are printed
+ * for every thread count the two runs share, and any benchmark that
+ * regressed by more than 10% beyond run-to-run noise is flagged (and
+ * counted in the exit status summary line, without failing the run —
+ * wall-clock measurements on shared CI hosts are advisory).
  */
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,10 +44,12 @@ using core::Registry;
 using core::Scale;
 
 double
-timeOneRun(const core::BenchmarkInfo &info, Scale scale, int threads)
+timeOneRun(const core::BenchmarkInfo &info, Scale scale, int threads,
+           bool fast_forward)
 {
     gpu::DeviceConfig cfg = gpu::DeviceConfig::scaledExperiment();
     cfg.hostThreads = threads;
+    cfg.fastForward = fast_forward;
     gpu::Device dev(cfg);
     auto bench = Registry::instance().create(info.name, scale);
     const auto start = std::chrono::steady_clock::now();
@@ -53,15 +66,170 @@ struct Row
     std::vector<double> seconds; ///< Aligned with the thread list.
 };
 
+/** A previously written BENCH_host.json, reduced to what the compare
+ *  mode needs: the thread-count list and per-benchmark timings. */
+struct Baseline
+{
+    std::vector<int> threadCounts;
+    std::vector<Row> rows;
+
+    const Row *
+    find(const std::string &name) const
+    {
+        for (const auto &row : rows)
+            if (row.name == name)
+                return &row;
+        return nullptr;
+    }
+};
+
+/** Extract the bracketed list following "key": [ in @p text. */
+std::string
+bracketList(const std::string &text, const std::string &key,
+            std::size_t from, const std::string &path)
+{
+    const std::size_t k = text.find("\"" + key + "\"", from);
+    if (k == std::string::npos)
+        throw ConfigError("baseline " + path + ": missing \"" + key +
+                          "\"");
+    const std::size_t open = text.find('[', k);
+    const std::size_t close = text.find(']', open);
+    if (open == std::string::npos || close == std::string::npos)
+        throw ConfigError("baseline " + path + ": malformed \"" + key +
+                          "\" list");
+    return text.substr(open + 1, close - open - 1);
+}
+
+/**
+ * Parse a BENCH_host.json previously written by this tool. The format
+ * is this tool's own fixed output — a purpose-built scanner keeps the
+ * comparison dependency-free; anything unexpected throws ConfigError.
+ */
+Baseline
+loadBaseline(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw ConfigError("cannot open baseline '" + path + "'");
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    Baseline base;
+    {
+        std::stringstream list(
+            bracketList(text, "thread_counts", 0, path));
+        std::string tok;
+        while (std::getline(list, tok, ','))
+            base.threadCounts.push_back(
+                parseInt(tok.find_first_not_of(" \t") == std::string::npos
+                             ? tok
+                             : tok.substr(tok.find_first_not_of(" \t")),
+                         "baseline thread_counts"));
+    }
+
+    std::size_t pos = text.find("\"benchmarks\"");
+    if (pos == std::string::npos)
+        throw ConfigError("baseline " + path +
+                          ": missing \"benchmarks\"");
+    while ((pos = text.find("{\"name\": \"", pos)) !=
+           std::string::npos) {
+        const std::size_t name_begin = pos + 10;
+        const std::size_t name_end = text.find('"', name_begin);
+        if (name_end == std::string::npos)
+            throw ConfigError("baseline " + path +
+                              ": unterminated benchmark name");
+        Row row;
+        row.name = text.substr(name_begin, name_end - name_begin);
+        std::stringstream list(
+            bracketList(text, "seconds", name_end, path));
+        std::string tok;
+        while (std::getline(list, tok, ','))
+            row.seconds.push_back(parseDouble(
+                tok.find_first_not_of(" \t") == std::string::npos
+                    ? tok
+                    : tok.substr(tok.find_first_not_of(" \t")),
+                "baseline seconds"));
+        if (row.seconds.size() != base.threadCounts.size())
+            throw ConfigError("baseline " + path + ": benchmark '" +
+                              row.name +
+                              "' has a seconds list that does not "
+                              "match thread_counts");
+        base.rows.push_back(std::move(row));
+        pos = name_end;
+    }
+    if (base.rows.empty())
+        throw ConfigError("baseline " + path +
+                          ": no benchmark entries");
+    return base;
+}
+
+/** Fractional regression beyond which a benchmark is called out. */
+constexpr double kRegressionTolerance = 0.10;
+
+int
+compareAgainstBaseline(const Baseline &base,
+                       const std::vector<Row> &rows,
+                       const std::vector<int> &thread_counts)
+{
+    // Columns shared by both runs, as (current index, baseline index).
+    std::vector<std::pair<std::size_t, std::size_t>> cols;
+    for (std::size_t t = 0; t < thread_counts.size(); ++t)
+        for (std::size_t b = 0; b < base.threadCounts.size(); ++b)
+            if (thread_counts[t] == base.threadCounts[b])
+                cols.emplace_back(t, b);
+    if (cols.empty()) {
+        warn("baseline has no thread counts in common with this run; "
+             "nothing to compare");
+        return 0;
+    }
+
+    std::printf("\nvs baseline (speedup = baseline / current; > 1 is "
+                "faster now):\n");
+    int regressions = 0, missing = 0;
+    for (const auto &row : rows) {
+        const Row *ref = base.find(row.name);
+        if (!ref) {
+            ++missing;
+            continue;
+        }
+        std::printf("%-14s", row.name.c_str());
+        bool regressed = false;
+        for (const auto &[t, b] : cols) {
+            const double cur = row.seconds[t];
+            const double old = ref->seconds[b];
+            std::printf("  t%d %6.2fx", thread_counts[t],
+                        cur > 0 ? old / cur : 0.0);
+            if (cur > old * (1.0 + kRegressionTolerance))
+                regressed = true;
+        }
+        if (regressed) {
+            ++regressions;
+            std::printf("  <-- regression > %.0f%%",
+                        kRegressionTolerance * 100);
+        }
+        std::printf("\n");
+    }
+    if (missing > 0)
+        std::printf("(%d benchmark%s not present in the baseline)\n",
+                    missing, missing == 1 ? "" : "s");
+    std::printf("%d regression%s beyond %.0f%% tolerance\n",
+                regressions, regressions == 1 ? "" : "s",
+                kRegressionTolerance * 100);
+    return regressions;
+}
+
 int
 runMain(int argc, char **argv)
 {
     std::string suite;
     std::string bench_name;
     std::string out_path = "BENCH_host.json";
+    std::string baseline_path;
     std::vector<int> thread_counts = {1, 8};
     Scale scale = Scale::Tiny;
     int repeats = 3;
+    bool fast_forward = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -76,8 +244,12 @@ runMain(int argc, char **argv)
             bench_name = next();
         } else if (arg == "--out") {
             out_path = next();
+        } else if (arg == "--baseline") {
+            baseline_path = next();
         } else if (arg == "--small") {
             scale = Scale::Small;
+        } else if (arg == "--fast-forward") {
+            fast_forward = true;
         } else if (arg == "--repeats") {
             repeats = parseInt(next(), "--repeats");
         } else if (arg == "--threads") {
@@ -98,6 +270,10 @@ runMain(int argc, char **argv)
     if (thread_counts.empty() || repeats < 1)
         fatal("need at least one thread count and one repeat");
 
+    Baseline base;
+    if (!baseline_path.empty())
+        base = loadBaseline(baseline_path);
+
     std::vector<Row> rows;
     for (const auto *info : Registry::instance().list(suite)) {
         if (!bench_name.empty() && info->name != bench_name)
@@ -106,7 +282,8 @@ runMain(int argc, char **argv)
         for (const int threads : thread_counts) {
             double best = 0;
             for (int r = 0; r < repeats; ++r) {
-                const double s = timeOneRun(*info, scale, threads);
+                const double s =
+                    timeOneRun(*info, scale, threads, fast_forward);
                 if (r == 0 || s < best)
                     best = s;
             }
@@ -131,6 +308,8 @@ runMain(int argc, char **argv)
     std::fprintf(out, "{\n  \"scale\": \"%s\",\n",
                  scale == Scale::Tiny ? "tiny" : "small");
     std::fprintf(out, "  \"repeats\": %d,\n", repeats);
+    std::fprintf(out, "  \"fast_forward\": %s,\n",
+                 fast_forward ? "true" : "false");
     std::fprintf(out, "  \"hardware_threads\": %u,\n",
                  std::thread::hardware_concurrency());
     std::fprintf(out, "  \"thread_counts\": [");
@@ -159,6 +338,9 @@ runMain(int argc, char **argv)
     std::fclose(out);
     std::printf("wrote %s (%zu benchmarks)\n", out_path.c_str(),
                 rows.size());
+
+    if (!baseline_path.empty())
+        compareAgainstBaseline(base, rows, thread_counts);
     return 0;
 }
 

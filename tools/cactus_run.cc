@@ -60,6 +60,9 @@ printUsage()
         "                  (0 = all hardware threads, 1 = serial;\n"
         "                  results are identical for any N)\n"
         "  --trace PATH    export the launch trace as JSON lines\n"
+        "  --fast-forward  skip replay of launches proven periodic\n"
+        "                  (steady-state fast-forward; results are\n"
+        "                  bit-identical to a full replay)\n"
         "  --timeout SEC   (--suite) watchdog deadline per benchmark;\n"
         "                  a late benchmark is cancelled at its next\n"
         "                  kernel-launch boundary\n"
@@ -237,6 +240,7 @@ runMain(int argc, char **argv)
     std::string platform = "3080";
     bool list = false;
     bool lenient = false;
+    bool fast_forward = false;
     int host_threads = 0; // 0 = all hardware threads.
     int retries = 0;
     double timeout_seconds = 0;
@@ -273,6 +277,8 @@ runMain(int argc, char **argv)
             scale = core::Scale::Tiny;
         } else if (arg == "--full-caches") {
             cfg = gpu::DeviceConfig{};
+        } else if (arg == "--fast-forward") {
+            fast_forward = true;
         } else if (arg == "--threads") {
             host_threads = parseInt(next(), "--threads");
             if (host_threads < 0)
@@ -309,9 +315,10 @@ runMain(int argc, char **argv)
         }
     }
 
-    // Applied after option parsing so it composes with --full-caches
+    // Applied after option parsing so they compose with --full-caches
     // in either order.
     cfg.hostThreads = host_threads;
+    cfg.fastForward = fast_forward;
 
     const auto &registry = core::Registry::instance();
 
@@ -364,6 +371,21 @@ runMain(int argc, char **argv)
         // Aggregate through the same harness path as campaigns.
         const auto profile = core::profileFromDevice(*bench, dev, cfg);
         printProfile(profile);
+        if (cfg.fastForward) {
+            const auto &ffs = dev.fastForwardSummary();
+            std::printf("fast-forward: %llu replayed, %llu skipped, "
+                        "%llu window%s, %llu divergence%s\n",
+                        static_cast<unsigned long long>(
+                            ffs.replayedLaunches),
+                        static_cast<unsigned long long>(
+                            ffs.skippedLaunches),
+                        static_cast<unsigned long long>(
+                            ffs.windowsEstablished),
+                        ffs.windowsEstablished == 1 ? "" : "s",
+                        static_cast<unsigned long long>(
+                            ffs.divergences),
+                        ffs.divergences == 1 ? "" : "s");
+        }
 
         if (vs.updateGoldens || vs.verify) {
             const auto digest = bench->verify();
