@@ -1,0 +1,263 @@
+/**
+ * @file
+ * The one JSON string escaper/unescaper in the tree, shared by every
+ * machine-readable JSON surface: campaign checkpoint manifests
+ * (core/campaign.cc), BENCH_host.json (tools/bench_throughput.cc),
+ * and the serve layer's request/response lines (core/serve.cc).
+ *
+ * History note: the checkpoint writer and reader used to disagree —
+ * jsonEscape wrote a newline as the two-character sequence \n, but the
+ * reader unescaped \<c> by pushing <c> verbatim, so a stored newline
+ * round-tripped to a literal 'n'. Control characters below 0x20 were
+ * not escaped at all, letting a bare CR or ESC into a "one record per
+ * line" file. This header is the corrected pair, with the invariant
+ * the tests assert: jsonUnescape(jsonEscape(s)) == s for every byte
+ * string, and jsonEscape(s) never contains an unescaped quote,
+ * backslash, or byte below 0x20.
+ *
+ * Scope: RFC 8259 strings as produced and consumed by this
+ * repository's flat, machine-written records. The scanning helpers
+ * (jsonFindText / jsonFindNumber) deliberately do not implement a
+ * general JSON parser — records are single-line objects with unique
+ * keys, and a torn line (a record cut off mid-write by a kill) must
+ * degrade to "not found", never to an exception.
+ */
+
+#ifndef CACTUS_COMMON_JSON_HH
+#define CACTUS_COMMON_JSON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace cactus {
+
+/** Escape @p s for embedding between double quotes in a JSON string:
+ *  quote, backslash, the C escapes (\n \r \t \b \f), and \u00XX for
+ *  every other control byte below 0x20. */
+inline std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          default:
+            if (u < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", u);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+namespace detail {
+
+/** Parse one hex digit; -1 on anything else. */
+inline int
+hexValue(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+/** Parse the 4 hex digits of a \uXXXX escape at s[i..i+3]. */
+inline bool
+hex4(std::string_view s, std::size_t i, std::uint32_t &value)
+{
+    if (i + 4 > s.size())
+        return false;
+    value = 0;
+    for (std::size_t k = 0; k < 4; ++k) {
+        const int d = hexValue(s[i + k]);
+        if (d < 0)
+            return false;
+        value = value << 4 | static_cast<std::uint32_t>(d);
+    }
+    return true;
+}
+
+/** Append @p cp as UTF-8. Assumes a valid scalar value. */
+inline void
+appendUtf8(std::string &out, std::uint32_t cp)
+{
+    if (cp < 0x80) {
+        out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+        out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+        out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+        out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+}
+
+} // namespace detail
+
+/**
+ * Unescape the *contents* of a JSON string (no surrounding quotes)
+ * into @p out. Returns false — leaving @p out unspecified — on a
+ * malformed escape: a trailing backslash, an unknown \<c>, bad hex in
+ * \uXXXX, or an unpaired surrogate. The strictness is deliberate:
+ * the callers' inputs are machine-written, so a bad escape means a
+ * torn or corrupted record, and the record reader must skip it rather
+ * than resurrect mangled text.
+ */
+inline bool
+jsonUnescape(std::string_view s, std::string &out)
+{
+    out.clear();
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\') {
+            out.push_back(s[i]);
+            continue;
+        }
+        if (++i >= s.size())
+            return false; // Trailing backslash.
+        switch (s[i]) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            std::uint32_t cp = 0;
+            if (!detail::hex4(s, i + 1, cp))
+                return false;
+            i += 4;
+            if (cp >= 0xdc00 && cp <= 0xdfff)
+                return false; // Lone low surrogate.
+            if (cp >= 0xd800 && cp <= 0xdbff) {
+                // High surrogate: require the paired \uDC00-\uDFFF.
+                std::uint32_t lo = 0;
+                if (i + 2 >= s.size() || s[i + 1] != '\\' ||
+                    s[i + 2] != 'u' || !detail::hex4(s, i + 3, lo) ||
+                    lo < 0xdc00 || lo > 0xdfff)
+                    return false;
+                i += 6;
+                cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+            }
+            detail::appendUtf8(out, cp);
+            break;
+          }
+          default:
+            return false; // Unknown escape.
+        }
+    }
+    return true;
+}
+
+/**
+ * Scan "key":value from a flat machine-written record line (keys are
+ * unique per record, numbers are bare). False when the key is absent
+ * or the value does not parse — the torn-record discipline of the
+ * checkpoint reader.
+ */
+inline bool
+jsonFindNumber(const std::string &line, const char *key, double &value)
+{
+    const std::string needle = std::string("\"") + key + "\":";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    const char *start = line.c_str() + pos + needle.size();
+    char *end = nullptr;
+    value = std::strtod(start, &end);
+    return end != start;
+}
+
+/**
+ * Scan "key":"string" from a flat record line and unescape it into
+ * @p value. False when the key is absent, the string is unterminated
+ * (a record cut off mid-write), or an escape is malformed.
+ */
+inline bool
+jsonFindText(const std::string &line, const char *key,
+             std::string &value)
+{
+    const std::string needle = std::string("\"") + key + "\":\"";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    const std::size_t begin = pos + needle.size();
+    // Find the closing quote, honouring escapes: a backslash always
+    // consumes the next character, whatever it is (validity is the
+    // unescaper's job).
+    std::size_t i = begin;
+    while (i < line.size()) {
+        if (line[i] == '\\') {
+            if (i + 1 >= line.size())
+                return false; // Torn mid-escape.
+            i += 2;
+        } else if (line[i] == '"') {
+            return jsonUnescape(
+                std::string_view(line).substr(begin, i - begin), value);
+        } else {
+            ++i;
+        }
+    }
+    return false; // Unterminated string: a record cut off mid-write.
+}
+
+} // namespace cactus
+
+#endif // CACTUS_COMMON_JSON_HH

@@ -46,6 +46,34 @@ parseInt(std::string_view text, const char *what)
     return detail::parseNumber<int>(text, what, "an integer");
 }
 
+/** parseInt that additionally rejects values below 1 — for counts
+ *  where zero is not a sentinel (worker threads, repeats): a
+ *  non-positive count would only misbehave later inside the pool, so
+ *  it is rejected here, naming the option. */
+inline int
+parsePositiveInt(std::string_view text, const char *what)
+{
+    const int value = parseInt(text, what);
+    if (value < 1)
+        throw ConfigError(std::string(what) +
+                          " expects a positive integer, got '" +
+                          std::string(text) + "'");
+    return value;
+}
+
+/** parseInt that rejects values below 0 — for counts where 0 is a
+ *  documented sentinel (e.g. --threads 0 = all hardware threads). */
+inline int
+parseNonNegativeInt(std::string_view text, const char *what)
+{
+    const int value = parseInt(text, what);
+    if (value < 0)
+        throw ConfigError(std::string(what) +
+                          " expects a non-negative integer, got '" +
+                          std::string(text) + "'");
+    return value;
+}
+
 /** parseInt for unsigned 64-bit values (e.g. RNG seeds). */
 inline std::uint64_t
 parseUint64(std::string_view text, const char *what)

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/error.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace cactus::core {
@@ -63,59 +64,6 @@ class Watchdog
     bool disarmed_ = false;
     std::thread thread_;
 };
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\') {
-            out.push_back('\\');
-            out.push_back(c);
-        } else if (c == '\n') {
-            out += "\\n";
-        } else {
-            out.push_back(c);
-        }
-    }
-    return out;
-}
-
-/** Scan "key":value from a flat machine-written manifest line; the
- *  same discipline as the trace reader (keys are unique per record). */
-bool
-findNumber(const std::string &line, const char *key, double &value)
-{
-    const std::string needle = std::string("\"") + key + "\":";
-    const auto pos = line.find(needle);
-    if (pos == std::string::npos)
-        return false;
-    const char *start = line.c_str() + pos + needle.size();
-    char *end = nullptr;
-    value = std::strtod(start, &end);
-    return end != start;
-}
-
-bool
-findText(const std::string &line, const char *key, std::string &value)
-{
-    const std::string needle = std::string("\"") + key + "\":\"";
-    const auto pos = line.find(needle);
-    if (pos == std::string::npos)
-        return false;
-    value.clear();
-    for (std::size_t i = pos + needle.size(); i < line.size(); ++i) {
-        if (line[i] == '\\' && i + 1 < line.size()) {
-            value.push_back(line[++i]);
-        } else if (line[i] == '"') {
-            return true;
-        } else {
-            value.push_back(line[i]);
-        }
-    }
-    return false; // Unterminated string: a record cut off mid-write.
-}
 
 void
 appendCheckpointRecord(std::ostream &out, const BenchmarkProfile &p)
@@ -232,21 +180,21 @@ readCheckpoint(const std::string &path)
         CampaignEntry entry;
         std::string status;
         double launches = 0, seconds = 0, warp_insts = 0, sectors = 0;
-        if (!findText(line, "name", entry.name) ||
-            !findText(line, "status", status) || status != "ok" ||
-            !findNumber(line, "launches", launches) ||
-            !findNumber(line, "total_seconds", seconds) ||
-            !findNumber(line, "total_warp_insts", warp_insts) ||
-            !findNumber(line, "total_dram_sectors", sectors)) {
+        if (!jsonFindText(line, "name", entry.name) ||
+            !jsonFindText(line, "status", status) || status != "ok" ||
+            !jsonFindNumber(line, "launches", launches) ||
+            !jsonFindNumber(line, "total_seconds", seconds) ||
+            !jsonFindNumber(line, "total_warp_insts", warp_insts) ||
+            !jsonFindNumber(line, "total_dram_sectors", sectors)) {
             ++bad_records;
             continue;
         }
-        findText(line, "suite", entry.profile.suite);
-        findText(line, "domain", entry.profile.domain);
+        jsonFindText(line, "suite", entry.profile.suite);
+        jsonFindText(line, "domain", entry.profile.domain);
         // Manifests written before coverage tracking lack the key;
         // default to full coverage rather than rejecting the record.
         double coverage = 1.0;
-        if (findNumber(line, "min_coverage", coverage))
+        if (jsonFindNumber(line, "min_coverage", coverage))
             entry.profile.minSampleCoverage = coverage;
         entry.status = RunStatus::OK;
         entry.profile.name = entry.name;

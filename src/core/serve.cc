@@ -1,0 +1,599 @@
+#include "core/serve.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hh"
+#include "common/json.hh"
+#include "core/benchmark.hh"
+#include "core/harness.hh"
+#include "core/verify.hh"
+
+namespace cactus::core {
+
+// ---------------------------------------------------------------------------
+// ResultCache
+
+ResultCache::ResultCache(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1)
+{
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+}
+
+std::vector<std::string>
+ResultCache::keysMruFirst() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> keys;
+    keys.reserve(lru_.size());
+    for (const auto &entry : lru_)
+        keys.push_back(entry.key);
+    return keys;
+}
+
+std::size_t
+ResultCache::inflightWaiters(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = inflight_.find(key);
+    return it == inflight_.end()
+        ? 0
+        : static_cast<std::size_t>(it->second->waiters);
+}
+
+ResultCache::Lookup
+ResultCache::getOrCompute(const std::string &key,
+                          const std::function<std::string()> &compute)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+
+    if (const auto it = index_.find(key); it != index_.end()) {
+        // Completed entry: refresh its recency and serve its bytes.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++hits_;
+        return {it->second->body, Source::Cache};
+    }
+
+    if (const auto it = inflight_.find(key); it != inflight_.end()) {
+        // An identical request is already simulating: wait for its
+        // result instead of spending a second simulation.
+        auto fl = it->second;
+        ++fl->waiters;
+        ++coalesced_;
+        fl->cv.wait(lock, [&] { return fl->done; });
+        if (fl->error)
+            std::rethrow_exception(fl->error);
+        return {fl->body, Source::Coalesced};
+    }
+
+    // First asker: compute outside the lock so distinct keys overlap.
+    auto fl = std::make_shared<Inflight>();
+    inflight_.emplace(key, fl);
+    ++misses_;
+    lock.unlock();
+
+    std::string body;
+    std::exception_ptr error;
+    try {
+        body = compute();
+    } catch (...) {
+        error = std::current_exception();
+    }
+
+    lock.lock();
+    if (!error) {
+        while (lru_.size() >= capacity_) {
+            index_.erase(lru_.back().key);
+            lru_.pop_back();
+            ++evictions_;
+        }
+        lru_.push_front(Entry{key, body});
+        index_[key] = lru_.begin();
+    }
+    fl->done = true;
+    fl->error = error;
+    fl->body = body;
+    inflight_.erase(key);
+    fl->cv.notify_all();
+    lock.unlock();
+
+    if (error)
+        std::rethrow_exception(error);
+    return {std::move(body), Source::Computed};
+}
+
+// ---------------------------------------------------------------------------
+// Request processing
+
+namespace {
+
+/** Arms a deadline + server-shutdown forwarder for one simulation:
+ *  requests @p victim when the deadline passes or @p server is
+ *  requested, polling the latter at a coarse period (shutdown
+ *  latency, not correctness — the simulation itself still cancels at
+ *  its next launch boundary). Mirrors the campaign Watchdog. */
+class RequestGuard
+{
+  public:
+    RequestGuard(CancelToken victim, CancelToken server,
+                 double seconds)
+    {
+        // A shutdown that already happened must win deterministically
+        // — check synchronously before the simulation even starts,
+        // not at the poller's first tick.
+        if (server.requested()) {
+            victim.request();
+            return;
+        }
+        const bool deadline_armed = seconds > 0;
+        const auto deadline = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(
+                    deadline_armed ? seconds : 0));
+        thread_ = std::thread([this, victim, server, deadline,
+                               deadline_armed] {
+            std::unique_lock<std::mutex> lock(mutex_);
+            for (;;) {
+                if (server.requested() ||
+                    (deadline_armed &&
+                     std::chrono::steady_clock::now() >= deadline)) {
+                    victim.request();
+                    return;
+                }
+                if (disarm_.wait_for(lock,
+                                     std::chrono::milliseconds(50),
+                                     [this] { return disarmed_; }))
+                    return;
+            }
+        });
+    }
+
+    ~RequestGuard()
+    {
+        if (!thread_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            disarmed_ = true;
+        }
+        disarm_.notify_all();
+        thread_.join();
+    }
+
+    RequestGuard(const RequestGuard &) = delete;
+    RequestGuard &operator=(const RequestGuard &) = delete;
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable disarm_;
+    bool disarmed_ = false;
+    std::thread thread_;
+};
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+/** A positive integer knob; throws ConfigError naming the key. */
+int
+positiveKnob(const std::string &line, const char *key, int fallback)
+{
+    double v = 0;
+    if (!jsonFindNumber(line, key, v))
+        return fallback;
+    const int n = static_cast<int>(v);
+    if (n < 1 || static_cast<double>(n) != v)
+        throw ConfigError(std::string("request \"") + key +
+                          "\" expects a positive integer");
+    return n;
+}
+
+bool
+flagKnob(const std::string &line, const char *key, bool fallback)
+{
+    double v = 0;
+    if (!jsonFindNumber(line, key, v))
+        return fallback;
+    return v != 0;
+}
+
+/**
+ * Run one characterization and serialize the result object. The
+ * serialization is deterministic byte-for-byte: the profile is a pure
+ * function of (benchmark, config digest, scale) and every double is
+ * printed with %.17g — so two independent runs of the same key yield
+ * identical bytes, which the load generator asserts against cached
+ * responses.
+ */
+std::string
+runCharacterization(const std::string &bench_name, Scale scale,
+                    const std::string &scale_tok,
+                    gpu::DeviceConfig cfg, const RequestContext &ctx)
+{
+    const CancelToken token = CancelToken::make();
+    cfg.cancel = token;
+    RequestGuard guard(token, ctx.cancel, ctx.timeoutSeconds);
+
+    auto bench = Registry::instance().create(bench_name, scale);
+    const BenchmarkProfile profile = runProfiled(*bench, cfg);
+    const auto digest = bench->verify();
+
+    std::string out;
+    out.reserve(384);
+    out += "{\"benchmark\":\"" + jsonEscape(profile.name) + "\"";
+    out += ",\"suite\":\"" + jsonEscape(profile.suite) + "\"";
+    out += ",\"domain\":\"" + jsonEscape(profile.domain) + "\"";
+    out += ",\"scale\":\"" + jsonEscape(scale_tok) + "\"";
+    out += ",\"config_digest\":\"" + hex16(cfg.digest()) + "\"";
+    out += ",\"kernels\":" + std::to_string(profile.kernelCount());
+    out += ",\"launches\":" + std::to_string(profile.launches);
+    out += ",\"total_seconds\":" + fmtDouble(profile.totalSeconds);
+    out += ",\"total_warp_insts\":" +
+        std::to_string(profile.totalWarpInsts);
+    out += ",\"total_dram_sectors\":" +
+        std::to_string(profile.totalDramSectors);
+    out += ",\"min_coverage\":" +
+        fmtDouble(profile.minSampleCoverage);
+    out += ",\"aggregate_gips\":" + fmtDouble(profile.aggregateGips());
+    out += ",\"aggregate_intensity\":" +
+        fmtDouble(profile.aggregateIntensity());
+    if (digest) {
+        out += ",\"output_digest\":\"" + digest->hex() + "\"";
+        out += ",\"output_elements\":" +
+            std::to_string(digest->elements);
+    } else {
+        out += ",\"output_digest\":null";
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+errorResponse(const char *taxonomy, const std::string &message)
+{
+    return std::string("{\"status\":\"error\",\"taxonomy\":\"") +
+        taxonomy + "\",\"error\":\"" + jsonEscape(message) + "\"}";
+}
+
+const char *
+sourceName(ResultCache::Source source)
+{
+    switch (source) {
+      case ResultCache::Source::Computed:
+        return "computed";
+      case ResultCache::Source::Cache:
+        return "cache";
+      case ResultCache::Source::Coalesced:
+        return "coalesced";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+RequestOutcome
+processRequest(const std::string &line, ResultCache &cache,
+               const RequestContext &ctx)
+{
+    try {
+        std::string cmd;
+        if (jsonFindText(line, "cmd", cmd)) {
+            if (cmd == "ping")
+                return {"{\"status\":\"ok\",\"pong\":true}", false};
+            throw ConfigError("unknown cmd '" + cmd + "'");
+        }
+
+        std::string bench;
+        if (!jsonFindText(line, "bench", bench))
+            throw ConfigError(
+                "request needs \"bench\" (or \"cmd\":\"ping\")");
+        if (!Registry::instance().contains(bench))
+            throw ConfigError("unknown benchmark '" + bench + "'");
+
+        std::string scale_tok = "small";
+        jsonFindText(line, "scale", scale_tok);
+        Scale scale;
+        if (scale_tok == "tiny")
+            scale = Scale::Tiny;
+        else if (scale_tok == "small")
+            scale = Scale::Small;
+        else
+            throw ConfigError("request \"scale\" must be "
+                              "\"tiny\" or \"small\", got '" +
+                              scale_tok + "'");
+
+        // Model knobs: start from the reproduction experiments'
+        // scaled configuration, optionally reset to the full device,
+        // then apply the per-request geometry overrides. All of this
+        // lands in DeviceConfig::digest(), i.e. in the cache key.
+        gpu::DeviceConfig cfg = gpu::DeviceConfig::scaledExperiment();
+        if (flagKnob(line, "full_caches", false))
+            cfg = gpu::DeviceConfig{};
+        cfg.l1SizeBytes =
+            positiveKnob(line, "l1_kb", cfg.l1SizeBytes / 1024) * 1024;
+        cfg.l2SizeBytes =
+            positiveKnob(line, "l2_kb", cfg.l2SizeBytes / 1024) * 1024;
+        cfg.numL2Slices =
+            positiveKnob(line, "l2_slices", cfg.numL2Slices);
+        cfg.maxSampledWarps =
+            positiveKnob(line, "sampled_warps", cfg.maxSampledWarps);
+
+        // Execution knobs: results are invariant to them (PRs 1/2/5),
+        // so they deliberately do NOT enter the key — a fast-forward
+        // request can be answered by a cached full-replay result.
+        double threads = ctx.defaultHostThreads;
+        jsonFindNumber(line, "threads", threads);
+        if (threads < 0)
+            throw ConfigError(
+                "request \"threads\" expects a non-negative count");
+        cfg.hostThreads = static_cast<int>(threads);
+        cfg.fastForward = flagKnob(line, "fast_forward", false);
+
+        const std::string key =
+            bench + "/" + scale_tok + "/" + hex16(cfg.digest());
+        const auto lookup = cache.getOrCompute(key, [&] {
+            return runCharacterization(bench, scale, scale_tok, cfg,
+                                       ctx);
+        });
+        return {"{\"status\":\"ok\",\"key\":\"" + key +
+                    "\",\"source\":\"" + sourceName(lookup.source) +
+                    "\",\"result\":" + lookup.body + "}",
+                false};
+    } catch (const TimeoutError &e) {
+        return {errorResponse("timeout", e.what()), true};
+    } catch (const IntegrityError &e) {
+        return {errorResponse("corrupt", e.what()), true};
+    } catch (const ConfigError &e) {
+        return {errorResponse("config", e.what()), true};
+    } catch (const std::exception &e) {
+        return {errorResponse("failed", e.what()), true};
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+namespace {
+
+/** send() the whole buffer; false on a broken connection. */
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+Server::Server(ServeOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.cacheCapacity)
+{
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    if (started_)
+        throw ConfigError("server already started");
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        throw ConfigError(std::string("socket: ") +
+                          std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port =
+        htons(static_cast<std::uint16_t>(opts_.port));
+    if (::inet_pton(AF_INET, opts_.bindAddress.c_str(),
+                    &addr.sin_addr) != 1) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw ConfigError("bad bind address '" + opts_.bindAddress +
+                          "'");
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listenFd_, 64) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw ConfigError("cannot listen on " + opts_.bindAddress +
+                          ":" + std::to_string(opts_.port) + ": " +
+                          why);
+    }
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound),
+                  &len);
+    port_ = ntohs(bound.sin_port);
+
+    if (::pipe(wakePipe_) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw ConfigError(std::string("pipe: ") +
+                          std::strerror(errno));
+    }
+
+    started_ = true;
+    acceptor_ = std::thread(&Server::acceptLoop, this);
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        pollfd fds[2] = {{listenFd_, POLLIN, 0},
+                         {wakePipe_[0], POLLIN, 0}};
+        const int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        if (fds[1].revents != 0)
+            return; // stop() wrote the wake byte.
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+        const int client = ::accept(listenFd_, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        std::lock_guard<std::mutex> lock(mutex_);
+        conns_.push_back(client);
+        threads_.emplace_back(&Server::connectionLoop, this, client);
+    }
+}
+
+void
+Server::connectionLoop(int fd)
+{
+    RequestContext ctx;
+    ctx.cancel = cancel_;
+    ctx.timeoutSeconds = opts_.timeoutSeconds;
+    ctx.defaultHostThreads = opts_.defaultHostThreads;
+
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+
+        std::size_t nl;
+        bool closed = false;
+        while ((nl = buffer.find('\n')) != std::string::npos) {
+            std::string line = buffer.substr(0, nl);
+            buffer.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            const auto outcome = processRequest(line, cache_, ctx);
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.requests;
+                if (outcome.error)
+                    ++stats_.errors;
+            }
+            if (!sendAll(fd, outcome.response + "\n")) {
+                closed = true;
+                break;
+            }
+        }
+        if (closed)
+            break;
+    }
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = conns_.begin(); it != conns_.end(); ++it) {
+        if (*it == fd) {
+            conns_.erase(it);
+            break;
+        }
+    }
+}
+
+void
+Server::stop()
+{
+    if (!started_ || stopped_)
+        return;
+    stopped_ = true;
+
+    // Cancel in-flight simulations (observed at the next launch
+    // boundary) and wake the acceptor.
+    cancel_.request();
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t w =
+        ::write(wakePipe_[1], &byte, 1);
+    acceptor_.join();
+    ::close(listenFd_);
+    listenFd_ = -1;
+
+    // Unblock every connection thread's recv(); they close their own
+    // fds on the way out.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const int fd : conns_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    // threads_ only grows under mutex_ from the acceptor, which has
+    // exited — safe to walk without the lock (join would deadlock
+    // against connectionLoop's final erase otherwise).
+    for (auto &t : threads_)
+        t.join();
+    threads_.clear();
+
+    ::close(wakePipe_[0]);
+    ::close(wakePipe_[1]);
+    wakePipe_[0] = wakePipe_[1] = -1;
+}
+
+ServeStats
+Server::stats() const
+{
+    ServeStats out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out = stats_;
+    }
+    out.computed = cache_.misses();
+    out.cacheHits = cache_.hits();
+    out.coalesced = cache_.coalesced();
+    out.evictions = cache_.evictions();
+    return out;
+}
+
+} // namespace cactus::core

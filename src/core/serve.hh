@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Characterization-as-a-service: a long-running daemon that accepts
+ * profiling requests (benchmark x DeviceConfig knobs x scale) over a
+ * local TCP socket speaking newline-delimited JSON and answers
+ * repeats from a content-addressed LRU result cache.
+ *
+ * Correct by construction: PRs 1-5 made every characterization result
+ * a pure, digest-keyed function of (benchmark, config, scale) — the
+ * profile is bit-identical across host thread counts, ASLR, replay
+ * fast-forward, and process restarts. A cache entry keyed by
+ * benchmark name + scale token + DeviceConfig::digest() is therefore
+ * provably equivalent to a fresh run, and the load generator asserts
+ * exactly that: cache-hit responses are byte-identical to fresh-run
+ * responses.
+ *
+ * Three layers:
+ *
+ *  - ResultCache: an LRU map from content-address key to the
+ *    serialized result body, with in-flight request coalescing — N
+ *    concurrent identical requests trigger exactly one simulation;
+ *    the N-1 latecomers block on the first request's completion and
+ *    share its bytes (and its exception, if it fails).
+ *
+ *  - processRequest(): one request line in, one response line out.
+ *    Pure with respect to the socket layer, so tests drive it
+ *    directly. Failures map onto the campaign error taxonomy
+ *    (config / failed / timeout / corrupt) instead of tearing down
+ *    the connection.
+ *
+ *  - Server: the socket plumbing — an acceptor thread plus one
+ *    thread per connection (the YCSB-style closed-loop clients of
+ *    tools/cactus_load.cc supply the concurrency). Shutdown is
+ *    cooperative: stop() cancels in-flight simulations through the
+ *    same CancelToken machinery the campaign watchdog uses, at the
+ *    next kernel-launch boundary.
+ */
+
+#ifndef CACTUS_CORE_SERVE_HH
+#define CACTUS_CORE_SERVE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cancel.hh"
+
+namespace cactus::core {
+
+/**
+ * Content-addressed LRU result cache with in-flight coalescing.
+ * Thread-safe; compute callbacks run outside the lock, so slow
+ * simulations of *different* keys proceed in parallel while identical
+ * ones coalesce.
+ */
+class ResultCache
+{
+  public:
+    /** @param capacity Entry cap; at least one is enforced. */
+    explicit ResultCache(std::size_t capacity);
+
+    /** Where a body came from, reported to the client verbatim. */
+    enum class Source
+    {
+        Computed, ///< This call ran the simulation.
+        Cache,    ///< Served from a completed cache entry.
+        Coalesced ///< Waited on an identical in-flight request.
+    };
+
+    struct Lookup
+    {
+        std::string body;
+        Source source;
+    };
+
+    /**
+     * Return the cached body for @p key, or run @p compute exactly
+     * once — however many threads ask concurrently — and cache its
+     * result. If compute throws, the exception propagates to the
+     * computing caller and every coalesced waiter, and nothing is
+     * cached (errors are not content: a transient failure must not
+     * shadow a future success).
+     */
+    Lookup getOrCompute(const std::string &key,
+                        const std::function<std::string()> &compute);
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const;
+
+    /** Keys most-recently-used first — the LRU eviction order is the
+     *  reverse. For tests and the stats endpoint. */
+    std::vector<std::string> keysMruFirst() const;
+
+    /** Threads currently blocked on an in-flight computation of
+     *  @p key. Lets a test hold its compute callback open until every
+     *  concurrent request has provably coalesced. */
+    std::size_t inflightWaiters(const std::string &key) const;
+
+    std::uint64_t hits() const { return counter(hits_); }
+    std::uint64_t misses() const { return counter(misses_); }
+    std::uint64_t coalesced() const { return counter(coalesced_); }
+    std::uint64_t evictions() const { return counter(evictions_); }
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::string body;
+    };
+
+    /** One in-flight computation; waiters block on cv under mutex_. */
+    struct Inflight
+    {
+        bool done = false;
+        std::exception_ptr error;
+        std::string body;
+        int waiters = 0;
+        std::condition_variable cv;
+    };
+
+    std::uint64_t
+    counter(const std::uint64_t &c) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return c;
+    }
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_; ///< Front = most recently used.
+    std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+    std::unordered_map<std::string, std::shared_ptr<Inflight>>
+        inflight_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t coalesced_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+/** Execution context threaded through request processing. */
+struct RequestContext
+{
+    /** Server-lifetime token: requested on shutdown, cancelling
+     *  in-flight simulations at their next launch boundary. */
+    CancelToken cancel;
+
+    /** Per-request watchdog deadline in wall seconds; 0 disables. */
+    double timeoutSeconds = 0;
+
+    /** Host threads for request simulations when the request does not
+     *  say (its "threads" key overrides); 0 = all hardware threads.
+     *  Results are identical either way (PR 1/2) — this knob only
+     *  balances per-request fan-out against cross-request
+     *  concurrency. */
+    int defaultHostThreads = 1;
+};
+
+struct RequestOutcome
+{
+    std::string response; ///< One JSON object, no trailing newline.
+    bool error = false;   ///< True when response carries status:error.
+};
+
+/**
+ * Process one request line against @p cache. Never throws: every
+ * failure becomes a {"status":"error","taxonomy":...} response, with
+ * the taxonomy mirroring campaign outcomes — "config" (bad request),
+ * "failed" (benchmark error), "timeout" (watchdog), "corrupt"
+ * (integrity violation).
+ *
+ * Request schema (one JSON object per line; unknown keys ignored):
+ *   {"bench":"GMS","scale":"tiny"}                    — minimal
+ *   {"cmd":"ping"}                                    — liveness
+ *   optional model knobs (all folded into the cache key through
+ *   DeviceConfig::digest()): "l1_kb", "l2_kb", "l2_slices",
+ *   "sampled_warps", "full_caches"; optional execution knobs (NOT in
+ *   the key — results are invariant to them): "threads",
+ *   "fast_forward".
+ *
+ * Response: {"status":"ok","key":K,"source":S,"result":{...}} where
+ * S is "computed", "cache", or "coalesced" and the result object's
+ * bytes are stored in — and served verbatim from — the cache.
+ */
+RequestOutcome processRequest(const std::string &line,
+                              ResultCache &cache,
+                              const RequestContext &ctx);
+
+/** Knobs for one server instance. */
+struct ServeOptions
+{
+    std::string bindAddress = "127.0.0.1";
+    int port = 0; ///< 0 = ephemeral; see Server::port().
+    std::size_t cacheCapacity = 128;
+    double timeoutSeconds = 0;  ///< Per-request watchdog; 0 = off.
+    int defaultHostThreads = 1; ///< See RequestContext.
+};
+
+/** Aggregate request counters, snapshot via Server::stats(). */
+struct ServeStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t computed = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t evictions = 0;
+};
+
+/**
+ * The newline-delimited-JSON TCP server. start() binds and spawns the
+ * acceptor; stop() (idempotent, also run by the destructor) cancels
+ * in-flight simulations, unblocks every connection, and joins all
+ * threads before returning.
+ */
+class Server
+{
+  public:
+    explicit Server(ServeOptions opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and start accepting. ConfigError on failure. */
+    void start();
+
+    /** Cooperative shutdown; safe to call twice. */
+    void stop();
+
+    /** The bound port (resolves port 0 after start()). */
+    int port() const { return port_; }
+
+    ServeStats stats() const;
+    const ResultCache &cache() const { return cache_; }
+
+  private:
+    void acceptLoop();
+    void connectionLoop(int fd);
+
+    const ServeOptions opts_;
+    ResultCache cache_;
+    CancelToken cancel_ = CancelToken::make();
+
+    int listenFd_ = -1;
+    int wakePipe_[2] = {-1, -1};
+    int port_ = 0;
+    bool started_ = false;
+    bool stopped_ = false;
+
+    std::thread acceptor_;
+    mutable std::mutex mutex_; ///< Guards conns_/threads_/stats_.
+    std::vector<int> conns_;
+    std::vector<std::thread> threads_;
+    ServeStats stats_;
+};
+
+} // namespace cactus::core
+
+#endif // CACTUS_CORE_SERVE_HH

@@ -13,11 +13,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdint>
 #include <string>
 #include <thread>
 
 #include "common/cancel.hh"
 #include "common/fault.hh"
+#include "gpu/digest.hh"
 
 namespace cactus::gpu {
 
@@ -237,6 +239,66 @@ struct DeviceConfig
     clockHz() const
     {
         return clockGhz * 1e9;
+    }
+
+    /**
+     * FNV-1a digest over every parameter that can change simulated
+     * results. Two configs with equal digests produce bit-identical
+     * LaunchStats, profiles, and output digests for the same
+     * (benchmark, scale) — the content-address the serve layer's
+     * result cache keys on.
+     *
+     * Deliberately excluded, because results are proven invariant to
+     * them (PRs 1/2/5) or they never reach the model:
+     *  - hostThreads / minWarpsPerWorker (host execution fan-out);
+     *  - fastForward / fastForwardWindow (digest-verified skip is
+     *    bit-identical to full replay);
+     *  - name (cosmetic), cancel, fault (control plane, not model).
+     * Derived values (resolvedL1Units, resolvedL2Slices) are folded
+     * instead of their raw knobs so e.g. numL1Units = 0 and an
+     * explicit numL1Units = numSms hash identically.
+     */
+    std::uint64_t
+    digest() const
+    {
+        std::uint64_t h = kFnvOffset;
+        const auto fi = [&h](std::int64_t v) {
+            h = fnv1a(h, static_cast<std::uint64_t>(v));
+        };
+        const auto fd = [&h](double v) {
+            h = fnv1a(h, std::bit_cast<std::uint64_t>(v));
+        };
+        fi(numSms);
+        fi(warpSchedulersPerSm);
+        fi(warpSize);
+        fd(clockGhz);
+        fi(maxWarpsPerSm);
+        fi(maxThreadsPerSm);
+        fi(maxBlocksPerSm);
+        fi(regsPerSm);
+        fi(sharedBytesPerSm);
+        fd(fp32PerCycle);
+        fd(intPerCycle);
+        fd(sfuPerCycle);
+        fd(ldstPerCycle);
+        fd(sharedPerCycle);
+        fd(branchPerCycle);
+        fi(l1SizeBytes);
+        fi(l1Assoc);
+        fi(l2SizeBytes);
+        fi(l2Assoc);
+        fi(lineBytes);
+        fi(sectorBytes);
+        fi(resolvedL1Units());
+        fi(resolvedL2Slices());
+        fd(l1LatencyCycles);
+        fd(l2LatencyCycles);
+        fd(dramLatencyCycles);
+        fd(dramBandwidthGBps);
+        fd(l2BytesPerCycle);
+        fd(launchOverheadCycles);
+        fi(maxSampledWarps);
+        return h;
     }
 
     /**

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The FNV-1a digest primitives shared by every digest in the
+ * simulator: launch/trace digests and hierarchy tags (fastforward.hh),
+ * cache state digests (cache.hh), and the DeviceConfig digest that
+ * content-addresses characterization results (config.hh, serve layer).
+ * One header so every digest agrees on the offset basis and folding
+ * discipline — two subsystems hashing the same bytes produce the same
+ * 64-bit value.
+ */
+
+#ifndef CACTUS_GPU_DIGEST_HH
+#define CACTUS_GPU_DIGEST_HH
+
+#include <cstdint>
+
+namespace cactus::gpu {
+
+/** FNV-1a 64-bit offset basis, the digests' seed. */
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+/** Fold one 64-bit word into an FNV-1a digest, byte-wise LE. Used for
+ *  the (small) hierarchy state digests, matching the OutputDigest
+ *  idiom of core/verify.hh. */
+inline std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t v)
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (8 * byte)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** Word-wise FNV-1a step for bulk trace digests: one XOR and one
+ *  multiply per 64-bit word instead of eight, because the launch
+ *  digest runs over every traced sector and must stay far cheaper
+ *  than the replay it lets the device skip. Weaker per-bit diffusion
+ *  than the byte-wise fold, but the full 64-bit digest is compared,
+ *  and the multiply propagates every input bit into the high half. */
+inline std::uint64_t
+mix64(std::uint64_t h, std::uint64_t v)
+{
+    return (h ^ v) * 0x100000001b3ull;
+}
+
+} // namespace cactus::gpu
+
+#endif // CACTUS_GPU_DIGEST_HH

@@ -44,37 +44,10 @@
 
 #include "gpu/audit.hh"
 #include "gpu/coalescer.hh"
+#include "gpu/digest.hh"
 #include "gpu/metrics.hh"
 
 namespace cactus::gpu {
-
-/** FNV-1a 64-bit offset basis, the digests' seed. */
-inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
-
-/** Fold one 64-bit word into an FNV-1a digest, byte-wise LE. Used for
- *  the (small) hierarchy state digests, matching the OutputDigest
- *  idiom of core/verify.hh. */
-inline std::uint64_t
-fnv1a(std::uint64_t h, std::uint64_t v)
-{
-    for (int byte = 0; byte < 8; ++byte) {
-        h ^= (v >> (8 * byte)) & 0xff;
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-/** Word-wise FNV-1a step for bulk trace digests: one XOR and one
- *  multiply per 64-bit word instead of eight, because the launch
- *  digest runs over every traced sector and must stay far cheaper
- *  than the replay it lets the device skip. Weaker per-bit diffusion
- *  than the byte-wise fold, but the full 64-bit digest is compared,
- *  and the multiply propagates every input bit into the high half. */
-inline std::uint64_t
-mix64(std::uint64_t h, std::uint64_t v)
-{
-    return (h ^ v) * 0x100000001b3ull;
-}
 
 /**
  * Watches the per-launch digest stream for a repeating window backed

@@ -338,6 +338,40 @@ TEST(Campaign, ResumeRunsOnlyTheIncompleteBenchmarks)
     std::remove(path.c_str());
 }
 
+TEST(Campaign, CheckpointRoundTripsNewlineInBenchmarkName)
+{
+    // Regression: the old campaign-local unescaper dropped the
+    // backslash of \n and kept the 'n', so a stored newline came back
+    // as a literal 'n' and the resume re-ran (or mislabelled) the
+    // benchmark. The shared escaper in common/json.hh round-trips it.
+    const auto path = tmpPath("cactus_campaign_newline.jsonl");
+    const std::string weird = "A\nB\t\"C\"\\D\r";
+    const std::vector<BenchmarkInfo> benchmarks = {okInfo(weird)};
+    CampaignOptions opts;
+    opts.checkpointPath = path;
+
+    const auto first = runCampaign(benchmarks, opts);
+    ASSERT_TRUE(first.allOk());
+
+    // The manifest must still be one record per line: the newline in
+    // the name is escaped, not written raw.
+    {
+        std::ifstream in(path);
+        std::string line;
+        int lines = 0;
+        while (std::getline(in, line))
+            ++lines;
+        EXPECT_EQ(lines, 1);
+    }
+
+    const auto second = runCampaign(benchmarks, opts);
+    ASSERT_EQ(second.entries.size(), 1u);
+    EXPECT_EQ(second.entries[0].status, RunStatus::Skipped);
+    EXPECT_EQ(second.entries[0].profile.name, weird);
+    EXPECT_EQ(second.skippedCount, 1);
+    std::remove(path.c_str());
+}
+
 TEST(Campaign, ReadCheckpointToleratesMissingFile)
 {
     EXPECT_TRUE(

@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Tests for the characterization service: ResultCache semantics (LRU
+ * order, in-flight coalescing, error propagation), processRequest's
+ * schema and taxonomy, the cache-hit == fresh-run byte-identity
+ * guarantee, and an end-to-end socket round trip against a live
+ * Server on an ephemeral port.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "core/serve.hh"
+
+namespace cactus::core {
+
+namespace {
+
+using Source = ResultCache::Source;
+
+TEST(ResultCache, ComputesOnceThenServesFromCache)
+{
+    ResultCache cache(4);
+    int calls = 0;
+    const auto compute = [&] {
+        ++calls;
+        return std::string("body");
+    };
+
+    const auto first = cache.getOrCompute("k", compute);
+    EXPECT_EQ(first.source, Source::Computed);
+    EXPECT_EQ(first.body, "body");
+
+    const auto second = cache.getOrCompute("k", compute);
+    EXPECT_EQ(second.source, Source::Cache);
+    EXPECT_EQ(second.body, "body");
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedInOrder)
+{
+    ResultCache cache(3);
+    const auto body = [](const std::string &k) {
+        return [k] { return "body-" + k; };
+    };
+    cache.getOrCompute("a", body("a"));
+    cache.getOrCompute("b", body("b"));
+    cache.getOrCompute("c", body("c"));
+
+    // Touch "a": it becomes MRU, so "b" is now the eviction victim.
+    cache.getOrCompute("a", body("a"));
+    EXPECT_EQ(cache.keysMruFirst(),
+              (std::vector<std::string>{"a", "c", "b"}));
+
+    cache.getOrCompute("d", body("d"));
+    EXPECT_EQ(cache.keysMruFirst(),
+              (std::vector<std::string>{"d", "a", "c"}));
+    EXPECT_EQ(cache.evictions(), 1u);
+
+    // "b" was evicted: asking again recomputes.
+    EXPECT_EQ(cache.getOrCompute("b", body("b")).source,
+              Source::Computed);
+    EXPECT_EQ(cache.keysMruFirst(),
+              (std::vector<std::string>{"b", "d", "a"}));
+    EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(ResultCache, CoalescesConcurrentIdenticalRequests)
+{
+    constexpr int kWaiters = 4;
+    ResultCache cache(4);
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool release = false;
+    std::atomic<int> calls{0};
+
+    // The first asker blocks inside compute until the test releases
+    // it — after proving that every other thread has coalesced.
+    std::thread first([&] {
+        const auto lookup = cache.getOrCompute("k", [&] {
+            calls.fetch_add(1);
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [&] { return release; });
+            return std::string("slow-body");
+        });
+        EXPECT_EQ(lookup.source, Source::Computed);
+    });
+
+    // Wait until the computation is registered in-flight.
+    while (cache.misses() == 0)
+        std::this_thread::yield();
+
+    std::vector<std::thread> waiters;
+    std::atomic<int> coalesced{0};
+    for (int i = 0; i < kWaiters; ++i) {
+        waiters.emplace_back([&] {
+            const auto lookup = cache.getOrCompute("k", [&] {
+                calls.fetch_add(1);
+                return std::string("wrong-body");
+            });
+            EXPECT_EQ(lookup.body, "slow-body");
+            if (lookup.source == Source::Coalesced)
+                coalesced.fetch_add(1);
+        });
+    }
+
+    // Deterministic rendezvous: don't release the computation until
+    // every waiter is provably blocked on the in-flight entry.
+    while (cache.inflightWaiters("k") <
+           static_cast<std::size_t>(kWaiters))
+        std::this_thread::yield();
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        release = true;
+    }
+    cv.notify_all();
+
+    first.join();
+    for (auto &t : waiters)
+        t.join();
+
+    // N concurrent identical requests -> exactly 1 simulation.
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(coalesced.load(), kWaiters);
+    EXPECT_EQ(cache.coalesced(), static_cast<std::uint64_t>(kWaiters));
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, ErrorsPropagateToWaitersAndAreNotCached)
+{
+    ResultCache cache(4);
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool release = false;
+
+    std::thread first([&] {
+        EXPECT_THROW(
+            cache.getOrCompute("k",
+                               [&]() -> std::string {
+                                   std::unique_lock<std::mutex> lock(
+                                       mutex);
+                                   cv.wait(lock,
+                                           [&] { return release; });
+                                   throw std::runtime_error("boom");
+                               }),
+            std::runtime_error);
+    });
+    while (cache.misses() == 0)
+        std::this_thread::yield();
+
+    std::thread waiter([&] {
+        EXPECT_THROW(cache.getOrCompute(
+                         "k", [] { return std::string("x"); }),
+                     std::runtime_error);
+    });
+    while (cache.inflightWaiters("k") < 1)
+        std::this_thread::yield();
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        release = true;
+    }
+    cv.notify_all();
+    first.join();
+    waiter.join();
+
+    // A transient failure must not shadow a future success.
+    EXPECT_EQ(cache.size(), 0u);
+    const auto retry =
+        cache.getOrCompute("k", [] { return std::string("ok"); });
+    EXPECT_EQ(retry.source, Source::Computed);
+    EXPECT_EQ(retry.body, "ok");
+}
+
+// ---------------------------------------------------------------------------
+// processRequest
+
+RequestContext
+testContext()
+{
+    RequestContext ctx;
+    ctx.cancel = CancelToken::make();
+    ctx.defaultHostThreads = 1;
+    return ctx;
+}
+
+TEST(ProcessRequest, PingPongs)
+{
+    ResultCache cache(4);
+    const auto out =
+        processRequest("{\"cmd\":\"ping\"}", cache, testContext());
+    EXPECT_FALSE(out.error);
+    EXPECT_NE(out.response.find("\"pong\":true"), std::string::npos);
+}
+
+TEST(ProcessRequest, BadRequestsMapToConfigTaxonomy)
+{
+    ResultCache cache(4);
+    const auto ctx = testContext();
+    const char *bad[] = {
+        "{}",
+        "{\"bench\":\"NoSuchBenchmark\"}",
+        "{\"bench\":\"GMS\",\"scale\":\"huge\"}",
+        "{\"bench\":\"GMS\",\"scale\":\"tiny\",\"l2_kb\":0}",
+        "{\"bench\":\"GMS\",\"scale\":\"tiny\",\"l2_kb\":1.5}",
+        "{\"cmd\":\"selfdestruct\"}",
+    };
+    for (const char *line : bad) {
+        const auto out = processRequest(line, cache, ctx);
+        EXPECT_TRUE(out.error) << line;
+        std::string taxonomy;
+        ASSERT_TRUE(
+            jsonFindText(out.response, "taxonomy", taxonomy))
+            << out.response;
+        EXPECT_EQ(taxonomy, "config") << line;
+    }
+    EXPECT_EQ(cache.size(), 0u); // Errors are never cached.
+}
+
+TEST(ProcessRequest, CacheHitIsByteIdenticalToFreshRun)
+{
+    // Two *independent* caches each compute the result from scratch;
+    // the bodies must agree byte-for-byte (the determinism the cache
+    // is built on). Within one cache, the repeat must be a hit with
+    // the exact same bytes.
+    const std::string req =
+        "{\"bench\":\"GMS\",\"scale\":\"tiny\",\"l2_kb\":512}";
+    const auto ctx = testContext();
+
+    ResultCache fresh1(4), fresh2(4);
+    const auto a = processRequest(req, fresh1, ctx);
+    const auto b = processRequest(req, fresh2, ctx);
+    const auto c = processRequest(req, fresh1, ctx);
+    ASSERT_FALSE(a.error) << a.response;
+    ASSERT_FALSE(b.error);
+    ASSERT_FALSE(c.error);
+
+    std::string sa, sb, sc;
+    ASSERT_TRUE(jsonFindText(a.response, "source", sa));
+    ASSERT_TRUE(jsonFindText(b.response, "source", sb));
+    ASSERT_TRUE(jsonFindText(c.response, "source", sc));
+    EXPECT_EQ(sa, "computed");
+    EXPECT_EQ(sb, "computed");
+    EXPECT_EQ(sc, "cache");
+
+    // Strip the (intentionally different) "source" field; everything
+    // else — key and result bytes — must be identical.
+    const auto stripSource = [](std::string s) {
+        const auto at = s.find(",\"source\":\"");
+        const auto end = s.find('"', at + 11);
+        return s.erase(at, end + 1 - at);
+    };
+    EXPECT_EQ(stripSource(a.response), stripSource(b.response));
+    EXPECT_EQ(stripSource(a.response), stripSource(c.response));
+}
+
+TEST(ProcessRequest, ExecutionKnobsDoNotChangeTheKeyOrBytes)
+{
+    // threads and fast_forward affect how the simulation executes,
+    // not what it computes (PRs 1/2/5) — so they share a cache entry.
+    const auto ctx = testContext();
+    ResultCache cache(4);
+    const auto cold = processRequest(
+        "{\"bench\":\"GMS\",\"scale\":\"tiny\",\"threads\":1}",
+        cache, ctx);
+    const auto hit = processRequest(
+        "{\"bench\":\"GMS\",\"scale\":\"tiny\",\"threads\":2,"
+        "\"fast_forward\":1}",
+        cache, ctx);
+    ASSERT_FALSE(cold.error) << cold.response;
+    ASSERT_FALSE(hit.error);
+
+    std::string source;
+    ASSERT_TRUE(jsonFindText(hit.response, "source", source));
+    EXPECT_EQ(source, "cache");
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ProcessRequest, ModelKnobsChangeTheKey)
+{
+    const auto ctx = testContext();
+    ResultCache cache(8);
+    const auto a = processRequest(
+        "{\"bench\":\"GMS\",\"scale\":\"tiny\",\"l2_kb\":256}",
+        cache, ctx);
+    const auto b = processRequest(
+        "{\"bench\":\"GMS\",\"scale\":\"tiny\",\"l2_kb\":512}",
+        cache, ctx);
+    ASSERT_FALSE(a.error) << a.response;
+    ASSERT_FALSE(b.error);
+
+    std::string ka, kb;
+    ASSERT_TRUE(jsonFindText(a.response, "key", ka));
+    ASSERT_TRUE(jsonFindText(b.response, "key", kb));
+    EXPECT_NE(ka, kb);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ProcessRequest, ServerShutdownCancelsAsTimeout)
+{
+    // A pre-requested server token is the shutdown race distilled:
+    // the request must come back as a timeout-taxonomy error, not
+    // hang or crash.
+    RequestContext ctx;
+    ctx.cancel = CancelToken::make();
+    ctx.cancel.request();
+    ResultCache cache(4);
+    const auto out = processRequest(
+        "{\"bench\":\"GMS\",\"scale\":\"tiny\"}", cache, ctx);
+    EXPECT_TRUE(out.error);
+    std::string taxonomy;
+    ASSERT_TRUE(jsonFindText(out.response, "taxonomy", taxonomy))
+        << out.response;
+    EXPECT_EQ(taxonomy, "timeout");
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over a real socket
+
+class Client
+{
+  public:
+    Client(const std::string &host, int port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<std::uint16_t>(port));
+        ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+        connected_ =
+            fd_ >= 0 &&
+            ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) == 0;
+    }
+
+    ~Client()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    bool connected() const { return connected_; }
+
+    std::string
+    roundTrip(const std::string &request)
+    {
+        const std::string line = request + "\n";
+        if (::send(fd_, line.data(), line.size(), MSG_NOSIGNAL) !=
+            static_cast<ssize_t>(line.size()))
+            return {};
+        std::string response;
+        char c;
+        while (::recv(fd_, &c, 1, 0) == 1) {
+            if (c == '\n')
+                return response;
+            response.push_back(c);
+        }
+        return {};
+    }
+
+  private:
+    int fd_ = -1;
+    bool connected_ = false;
+};
+
+TEST(Server, EndToEndRoundTripWithCacheHit)
+{
+    ServeOptions opts;
+    opts.port = 0; // Ephemeral.
+    opts.cacheCapacity = 8;
+    Server server(opts);
+    server.start();
+    ASSERT_GT(server.port(), 0);
+
+    Client client("127.0.0.1", server.port());
+    ASSERT_TRUE(client.connected());
+
+    EXPECT_NE(client.roundTrip("{\"cmd\":\"ping\"}")
+                  .find("\"pong\":true"),
+              std::string::npos);
+
+    const std::string req =
+        "{\"bench\":\"GMS\",\"scale\":\"tiny\"}";
+    const auto cold = client.roundTrip(req);
+    const auto hit = client.roundTrip(req);
+    ASSERT_FALSE(cold.empty());
+    ASSERT_FALSE(hit.empty());
+
+    std::string coldSource, hitSource;
+    ASSERT_TRUE(jsonFindText(cold, "source", coldSource)) << cold;
+    ASSERT_TRUE(jsonFindText(hit, "source", hitSource));
+    EXPECT_EQ(coldSource, "computed");
+    EXPECT_EQ(hitSource, "cache");
+
+    // Same bytes modulo the source field.
+    const auto stripSource = [](std::string s) {
+        const auto at = s.find(",\"source\":\"");
+        const auto end = s.find('"', at + 11);
+        return s.erase(at, end + 1 - at);
+    };
+    EXPECT_EQ(stripSource(cold), stripSource(hit));
+
+    // A second connection shares the cache.
+    Client other("127.0.0.1", server.port());
+    ASSERT_TRUE(other.connected());
+    const auto third = other.roundTrip(req);
+    std::string thirdSource;
+    ASSERT_TRUE(jsonFindText(third, "source", thirdSource));
+    EXPECT_EQ(thirdSource, "cache");
+
+    server.stop();
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.requests, 4u);
+    EXPECT_EQ(stats.computed, 1u);
+    EXPECT_EQ(stats.cacheHits, 2u);
+    EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(Server, StopIsIdempotentAndUnblocksClients)
+{
+    ServeOptions opts;
+    opts.port = 0;
+    Server server(opts);
+    server.start();
+
+    Client client("127.0.0.1", server.port());
+    ASSERT_TRUE(client.connected());
+    EXPECT_FALSE(client.roundTrip("{\"cmd\":\"ping\"}").empty());
+
+    server.stop();
+    server.stop(); // Second stop is a no-op, not a crash.
+
+    // The connection was shut down server-side: the next round trip
+    // fails instead of hanging.
+    EXPECT_TRUE(client.roundTrip("{\"cmd\":\"ping\"}").empty());
+}
+
+} // namespace
+
+} // namespace cactus::core

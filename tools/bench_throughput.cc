@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/error.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/parse.hh"
 #include "core/benchmark.hh"
@@ -251,7 +252,7 @@ runMain(int argc, char **argv)
         } else if (arg == "--fast-forward") {
             fast_forward = true;
         } else if (arg == "--repeats") {
-            repeats = parseInt(next(), "--repeats");
+            repeats = parsePositiveInt(next(), "--repeats");
         } else if (arg == "--threads") {
             thread_counts.clear();
             const std::string list = next();
@@ -259,7 +260,11 @@ runMain(int argc, char **argv)
                 auto comma = list.find(',', pos);
                 if (comma == std::string::npos)
                     comma = list.size();
-                thread_counts.push_back(parseInt(
+                // A measured run at "0 threads" has no meaning (the
+                // device would silently substitute the hardware
+                // count and mislabel the column), so counts must be
+                // explicit and positive.
+                thread_counts.push_back(parsePositiveInt(
                     list.substr(pos, comma - pos), "--threads"));
                 pos = comma + 1;
             }
@@ -267,8 +272,8 @@ runMain(int argc, char **argv)
             fatal("unknown argument: ", arg);
         }
     }
-    if (thread_counts.empty() || repeats < 1)
-        fatal("need at least one thread count and one repeat");
+    if (thread_counts.empty())
+        fatal("need at least one thread count");
 
     Baseline base;
     if (!baseline_path.empty())
@@ -305,8 +310,14 @@ runMain(int argc, char **argv)
     std::FILE *out = std::fopen(out_path.c_str(), "w");
     if (!out)
         fatal("cannot open ", out_path, " for writing");
+    // Every string reaches the file through jsonEscape: a benchmark
+    // or suite name containing a quote or backslash must not produce
+    // an unparseable BENCH_host.json.
+    const auto jstr = [](const std::string &s) {
+        return jsonEscape(s);
+    };
     std::fprintf(out, "{\n  \"scale\": \"%s\",\n",
-                 scale == Scale::Tiny ? "tiny" : "small");
+                 jstr(scale == Scale::Tiny ? "tiny" : "small").c_str());
     std::fprintf(out, "  \"repeats\": %d,\n", repeats);
     std::fprintf(out, "  \"fast_forward\": %s,\n",
                  fast_forward ? "true" : "false");
@@ -322,7 +333,7 @@ runMain(int argc, char **argv)
         std::fprintf(out,
                      "    {\"name\": \"%s\", \"suite\": \"%s\", "
                      "\"seconds\": [",
-                     row.name.c_str(), row.suite.c_str());
+                     jstr(row.name).c_str(), jstr(row.suite).c_str());
         for (std::size_t t = 0; t < row.seconds.size(); ++t) {
             std::fprintf(out, "%s%.6f", t ? ", " : "",
                          row.seconds[t]);

@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Zipf-skewed closed-loop load generator for cactus_serve. Each
+ * connection thread draws request keys from a Zipf(theta) popularity
+ * distribution over K distinct configurations (YCSB-style: rank-1 is
+ * hottest), sends them as newline-delimited JSON, and measures
+ * per-request latency. Because the server's results are pure
+ * digest-keyed functions of the request, the generator also acts as a
+ * correctness oracle: every response body for a given cache key must
+ * be byte-identical to the first one observed, whether it was
+ * computed fresh, served from cache, or coalesced with a concurrent
+ * identical request. Any divergence is a mismatch and fails the run.
+ *
+ * Usage:
+ *   cactus_load (--port N | --port-file PATH)
+ *               [--host H] [--connections N] [--requests N]
+ *               [--configs K] [--zipf THETA] [--scale tiny|small]
+ *               [--benchmarks A,B,...] [--seed S]
+ *
+ *   --requests N    total requests across all connections (default 200)
+ *   --connections N closed-loop client threads (default 4)
+ *   --configs K     distinct (bench, l2_kb) request configs (default 8)
+ *   --zipf THETA    skew; 0 = uniform, 0.99 = YCSB default
+ *   --benchmarks    comma-separated bench names cycled across configs
+ *
+ * Prints throughput, hit rate, overall/cold/hit latency percentiles,
+ * the cold-to-hit latency ratio, and the mismatch count. Exits
+ * non-zero on any mismatch or error response.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/parse.hh"
+#include "common/rng.hh"
+
+namespace {
+
+using namespace cactus;
+
+/**
+ * Zipf(theta) sampler over ranks [0, n): precomputes the CDF once and
+ * samples by binary search, the standard YCSB construction. theta = 0
+ * degenerates to uniform.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::size_t n, double theta)
+    {
+        cdf_.reserve(n);
+        double sum = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += 1.0 /
+                std::pow(static_cast<double>(i + 1), theta);
+            cdf_.push_back(sum);
+        }
+        for (auto &c : cdf_)
+            c /= sum;
+    }
+
+    std::size_t
+    sample(Rng &rng) const
+    {
+        const double u = rng.uniform();
+        const auto it =
+            std::lower_bound(cdf_.begin(), cdf_.end(), u);
+        return static_cast<std::size_t>(
+            std::min(cdf_.size() - 1,
+                     static_cast<std::size_t>(it - cdf_.begin())));
+    }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+/** One request template: the JSON line sent on the wire. */
+struct ConfigItem
+{
+    std::string line;
+};
+
+struct WorkerResult
+{
+    std::vector<double> coldMs;      ///< source == "computed"
+    std::vector<double> hitMs;       ///< source == "cache"
+    std::vector<double> coalescedMs; ///< source == "coalesced"
+    std::uint64_t errors = 0;
+};
+
+/** Shared byte-identity oracle: key -> first-seen result bytes. */
+struct Oracle
+{
+    std::mutex mutex;
+    std::map<std::string, std::string> firstBody;
+    std::uint64_t mismatches = 0;
+};
+
+int
+connectTo(const std::string &host, int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("socket: ", std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        fatal("bad host address '", host, "'");
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0)
+        fatal("cannot connect to ", host, ":", port, ": ",
+              std::strerror(errno));
+    return fd;
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Read one newline-terminated response (newline stripped). */
+bool
+recvLine(int fd, std::string &buffer, std::string &line)
+{
+    for (;;) {
+        const std::size_t nl = buffer.find('\n');
+        if (nl != std::string::npos) {
+            line = buffer.substr(0, nl);
+            buffer.erase(0, nl + 1);
+            return true;
+        }
+        char chunk[4096];
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+/** The "result":{...} payload — the bytes the server's cache stores
+ *  verbatim; the part of the response that must be key-stable. */
+bool
+resultBody(const std::string &response, std::string &body)
+{
+    const std::size_t at = response.find("\"result\":");
+    if (at == std::string::npos || response.empty() ||
+        response.back() != '}')
+        return false;
+    body = response.substr(at + 9,
+                           response.size() - (at + 9) - 1);
+    return true;
+}
+
+void
+worker(const std::string &host, int port,
+       const std::vector<ConfigItem> &items,
+       const ZipfSampler &zipf, std::uint64_t seed, int requests,
+       WorkerResult &out, Oracle &oracle)
+{
+    Rng rng(seed);
+    const int fd = connectTo(host, port);
+    std::string buffer;
+    std::string response;
+
+    for (int i = 0; i < requests; ++i) {
+        const auto &item = items[zipf.sample(rng)];
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!sendAll(fd, item.line + "\n") ||
+            !recvLine(fd, buffer, response)) {
+            warn("connection lost after ", i, " requests");
+            out.errors += static_cast<std::uint64_t>(requests - i);
+            break;
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+
+        std::string status, source, key, body;
+        if (!jsonFindText(response, "status", status) ||
+            status != "ok" ||
+            !jsonFindText(response, "source", source) ||
+            !jsonFindText(response, "key", key) ||
+            !resultBody(response, body)) {
+            ++out.errors;
+            continue;
+        }
+
+        if (source == "computed")
+            out.coldMs.push_back(ms);
+        else if (source == "cache")
+            out.hitMs.push_back(ms);
+        else
+            out.coalescedMs.push_back(ms);
+
+        // Byte-identity: every response for a key must match the
+        // first one seen, regardless of source.
+        std::lock_guard<std::mutex> lock(oracle.mutex);
+        const auto [it, inserted] =
+            oracle.firstBody.emplace(key, body);
+        if (!inserted && it->second != body)
+            ++oracle.mismatches;
+    }
+    ::close(fd);
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+void
+reportLatency(const char *label, std::vector<double> samples)
+{
+    std::sort(samples.begin(), samples.end());
+    std::printf("  %-10s n=%-6zu p50 %8.3f ms   p95 %8.3f ms   "
+                "p99 %8.3f ms\n",
+                label, samples.size(), percentile(samples, 0.50),
+                percentile(samples, 0.95),
+                percentile(samples, 0.99));
+}
+
+int
+runMain(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    std::string port_file;
+    std::string scale = "tiny";
+    std::string benchmarks = "GMS";
+    int port = 0;
+    int connections = 4;
+    int total_requests = 200;
+    int configs = 8;
+    double zipf_theta = 0.99;
+    std::uint64_t seed = 42;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--host")
+            host = next();
+        else if (arg == "--port")
+            port = parsePositiveInt(next(), "--port");
+        else if (arg == "--port-file")
+            port_file = next();
+        else if (arg == "--connections")
+            connections = parsePositiveInt(next(), "--connections");
+        else if (arg == "--requests")
+            total_requests = parsePositiveInt(next(), "--requests");
+        else if (arg == "--configs")
+            configs = parsePositiveInt(next(), "--configs");
+        else if (arg == "--zipf") {
+            zipf_theta = parseDouble(next(), "--zipf");
+            if (zipf_theta < 0)
+                fatal("--zipf expects a non-negative skew");
+        } else if (arg == "--scale")
+            scale = next();
+        else if (arg == "--benchmarks")
+            benchmarks = next();
+        else if (arg == "--seed")
+            seed = parseUint64(next(), "--seed");
+        else
+            fatal("unknown argument: ", arg);
+    }
+
+    if (!port_file.empty()) {
+        std::FILE *f = std::fopen(port_file.c_str(), "r");
+        if (!f)
+            fatal("cannot read port file '", port_file, "'");
+        if (std::fscanf(f, "%d", &port) != 1)
+            fatal("port file '", port_file,
+                  "' does not hold a port number");
+        std::fclose(f);
+    }
+    if (port < 1)
+        fatal("need --port or --port-file");
+
+    // Build the K distinct request configs: cycle the benchmark list
+    // and vary the L2 capacity so every rank maps to a distinct cache
+    // key on the server.
+    std::vector<std::string> bench_list;
+    for (std::size_t at = 0; at <= benchmarks.size();) {
+        const std::size_t comma = benchmarks.find(',', at);
+        const std::size_t end =
+            comma == std::string::npos ? benchmarks.size() : comma;
+        if (end > at)
+            bench_list.push_back(benchmarks.substr(at, end - at));
+        at = end + 1;
+    }
+    if (bench_list.empty())
+        fatal("--benchmarks expects at least one name");
+
+    std::vector<ConfigItem> items;
+    items.reserve(static_cast<std::size_t>(configs));
+    for (int i = 0; i < configs; ++i) {
+        const auto &bench =
+            bench_list[static_cast<std::size_t>(i) %
+                       bench_list.size()];
+        const int l2_kb = 256 + 128 * i;
+        items.push_back({"{\"bench\":\"" + jsonEscape(bench) +
+                         "\",\"scale\":\"" + jsonEscape(scale) +
+                         "\",\"l2_kb\":" + std::to_string(l2_kb) +
+                         "}"});
+    }
+
+    const ZipfSampler zipf(items.size(), zipf_theta);
+    std::vector<WorkerResult> results(
+        static_cast<std::size_t>(connections));
+    Oracle oracle;
+
+    const int per_conn = total_requests / connections;
+    const int remainder = total_requests % connections;
+    std::vector<std::thread> threads;
+    const auto wall0 = std::chrono::steady_clock::now();
+    for (int c = 0; c < connections; ++c) {
+        const int n = per_conn + (c < remainder ? 1 : 0);
+        threads.emplace_back(worker, std::cref(host), port,
+                             std::cref(items), std::cref(zipf),
+                             seed + 0x9e3779b97f4a7c15ull *
+                                 static_cast<std::uint64_t>(c + 1),
+                             n, std::ref(results[static_cast<
+                                 std::size_t>(c)]),
+                             std::ref(oracle));
+    }
+    for (auto &t : threads)
+        t.join();
+    const double wall_s =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall0)
+            .count();
+
+    std::vector<double> cold, hit, coalesced, all;
+    std::uint64_t errors = 0;
+    for (const auto &r : results) {
+        cold.insert(cold.end(), r.coldMs.begin(), r.coldMs.end());
+        hit.insert(hit.end(), r.hitMs.begin(), r.hitMs.end());
+        coalesced.insert(coalesced.end(), r.coalescedMs.begin(),
+                         r.coalescedMs.end());
+        errors += r.errors;
+    }
+    all = cold;
+    all.insert(all.end(), hit.begin(), hit.end());
+    all.insert(all.end(), coalesced.begin(), coalesced.end());
+
+    const std::uint64_t ok = all.size();
+    const std::uint64_t served = ok - cold.size();
+    const double hit_rate = ok == 0
+        ? 0
+        : static_cast<double>(served) / static_cast<double>(ok);
+
+    std::printf("cactus_load: %llu ok responses in %.2f s "
+                "(%.1f req/s), %d configs, zipf %.2f\n",
+                static_cast<unsigned long long>(ok), wall_s,
+                wall_s > 0 ? static_cast<double>(ok) / wall_s : 0,
+                configs, zipf_theta);
+    std::printf("  hit rate  %.1f%% (%zu computed, %zu cache, "
+                "%zu coalesced)\n",
+                100.0 * hit_rate, cold.size(), hit.size(),
+                coalesced.size());
+    reportLatency("overall", all);
+    reportLatency("cold", cold);
+    reportLatency("hit", hit);
+    if (!coalesced.empty())
+        reportLatency("coalesced", coalesced);
+
+    if (!cold.empty() && !hit.empty()) {
+        auto sc = cold;
+        auto sh = hit;
+        std::sort(sc.begin(), sc.end());
+        std::sort(sh.begin(), sh.end());
+        const double ratio = percentile(sh, 0.50) > 0
+            ? percentile(sc, 0.50) / percentile(sh, 0.50)
+            : 0;
+        std::printf("  cold/hit p50 ratio: %.1fx\n", ratio);
+    }
+    std::printf("  %llu mismatches, %llu errors\n",
+                static_cast<unsigned long long>(oracle.mismatches),
+                static_cast<unsigned long long>(errors));
+
+    if (oracle.mismatches > 0) {
+        warn("cache-hit responses diverged from fresh-run bytes");
+        return 1;
+    }
+    if (errors > 0) {
+        warn("some requests failed");
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return guardedMain([&] { return runMain(argc, argv); });
+}

@@ -280,17 +280,16 @@ runMain(int argc, char **argv)
         } else if (arg == "--fast-forward") {
             fast_forward = true;
         } else if (arg == "--threads") {
-            host_threads = parseInt(next(), "--threads");
-            if (host_threads < 0)
-                fatal("--threads expects a non-negative count");
+            // 0 is the documented "all hardware threads" sentinel;
+            // anything below that is rejected at parse time, before
+            // it can reach the worker pool.
+            host_threads = parseNonNegativeInt(next(), "--threads");
         } else if (arg == "--timeout") {
             timeout_seconds = parseDouble(next(), "--timeout");
             if (timeout_seconds < 0)
                 fatal("--timeout expects a non-negative duration");
         } else if (arg == "--retries") {
-            retries = parseInt(next(), "--retries");
-            if (retries < 0)
-                fatal("--retries expects a non-negative count");
+            retries = parseNonNegativeInt(next(), "--retries");
         } else if (arg == "--checkpoint") {
             checkpoint_path = next();
         } else if (arg == "--verify") {

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The characterization-as-a-service daemon. Binds a local TCP socket,
+ * answers newline-delimited JSON characterization requests
+ * (benchmark x DeviceConfig knobs x scale), and serves repeats from
+ * the content-addressed LRU cache in core/serve.{hh,cc} — a cache hit
+ * is provably equivalent to a fresh run because every result is a
+ * pure, digest-keyed function of (benchmark, config, scale).
+ *
+ * Usage:
+ *   cactus_serve [--port N] [--port-file PATH] [--cache N]
+ *                [--timeout SEC] [--sim-threads N]
+ *
+ *   --port N        TCP port on 127.0.0.1 (0 = ephemeral, default)
+ *   --port-file P   write the bound port to P once listening (lets
+ *                   scripts use --port 0 without racing)
+ *   --cache N       LRU capacity in results (default 128)
+ *   --timeout SEC   per-request watchdog; a simulation over deadline
+ *                   is cancelled at its next launch boundary and the
+ *                   client gets a "timeout" error response
+ *   --sim-threads N host threads per simulation when the request
+ *                   does not say (0 = all hardware threads;
+ *                   default 1 — closed-loop clients supply the
+ *                   concurrency, so per-request fan-out mostly adds
+ *                   oversubscription)
+ *
+ * Shutdown: SIGTERM or SIGINT. In-flight simulations are cancelled
+ * cooperatively (same CancelToken machinery as the campaign
+ * watchdog), every connection is unblocked and joined, and the
+ * process exits 0 after printing a request-count summary.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "common/parse.hh"
+#include "core/serve.hh"
+
+namespace {
+
+using namespace cactus;
+
+/** Self-pipe for async-signal-safe shutdown notification. */
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void
+onSignal(int)
+{
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n =
+        ::write(g_signal_pipe[1], &byte, 1);
+}
+
+int
+runMain(int argc, char **argv)
+{
+    core::ServeOptions opts;
+    std::string port_file;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--port") {
+            opts.port = parseNonNegativeInt(next(), "--port");
+            if (opts.port > 65535)
+                fatal("--port expects a port number <= 65535");
+        } else if (arg == "--port-file") {
+            port_file = next();
+        } else if (arg == "--cache") {
+            opts.cacheCapacity = static_cast<std::size_t>(
+                parsePositiveInt(next(), "--cache"));
+        } else if (arg == "--timeout") {
+            opts.timeoutSeconds = parseDouble(next(), "--timeout");
+            if (opts.timeoutSeconds < 0)
+                fatal("--timeout expects a non-negative duration");
+        } else if (arg == "--sim-threads") {
+            opts.defaultHostThreads =
+                parseNonNegativeInt(next(), "--sim-threads");
+        } else {
+            fatal("unknown argument: ", arg);
+        }
+    }
+
+    if (::pipe(g_signal_pipe) != 0)
+        fatal("cannot create signal pipe");
+    struct sigaction sa = {};
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    core::Server server(opts);
+    server.start();
+    std::printf("cactus_serve: listening on %s:%d "
+                "(cache %zu results, timeout %s)\n",
+                opts.bindAddress.c_str(), server.port(),
+                opts.cacheCapacity,
+                opts.timeoutSeconds > 0
+                    ? (std::to_string(opts.timeoutSeconds) + " s")
+                          .c_str()
+                    : "off");
+    std::fflush(stdout);
+
+    if (!port_file.empty()) {
+        std::FILE *f = std::fopen(port_file.c_str(), "w");
+        if (!f)
+            fatal("cannot write port file '", port_file, "'");
+        std::fprintf(f, "%d\n", server.port());
+        std::fclose(f);
+    }
+
+    // Block until a shutdown signal arrives.
+    char byte;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0) {
+        // EINTR: a signal interrupted the read before writing the
+        // pipe — retry; any other failure means the pipe is gone.
+        if (errno != EINTR)
+            break;
+    }
+
+    server.stop();
+    const auto stats = server.stats();
+    std::printf("cactus_serve: shutdown: %llu requests "
+                "(%llu computed, %llu cache hits, %llu coalesced), "
+                "%llu errors, %llu evictions, %zu cached results\n",
+                static_cast<unsigned long long>(stats.requests),
+                static_cast<unsigned long long>(stats.computed),
+                static_cast<unsigned long long>(stats.cacheHits),
+                static_cast<unsigned long long>(stats.coalesced),
+                static_cast<unsigned long long>(stats.errors),
+                static_cast<unsigned long long>(stats.evictions),
+                server.cache().size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return guardedMain([&] { return runMain(argc, argv); });
+}
