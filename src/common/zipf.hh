@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Zipf(theta) rank sampler, the standard YCSB construction: the CDF
+ * over ranks [0, n) is precomputed once (rank r has unnormalized mass
+ * 1 / (r+1)^theta, rank 0 hottest) and samples are drawn by binary
+ * search on a uniform variate. theta = 0 degenerates to the uniform
+ * distribution. Shared by the cactus_load generator and its frequency
+ * tests; sampling is a pure function of the Rng stream, so a fixed
+ * seed reproduces the exact request sequence.
+ */
+
+#ifndef CACTUS_COMMON_ZIPF_HH
+#define CACTUS_COMMON_ZIPF_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace cactus {
+
+/** Zipf(theta) sampler over ranks [0, n). */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::size_t n, double theta)
+    {
+        cdf_.reserve(n);
+        double sum = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += 1.0 /
+                std::pow(static_cast<double>(i + 1), theta);
+            cdf_.push_back(sum);
+        }
+        for (auto &c : cdf_)
+            c /= sum;
+    }
+
+    std::size_t
+    sample(Rng &rng) const
+    {
+        const double u = rng.uniform();
+        const auto it =
+            std::lower_bound(cdf_.begin(), cdf_.end(), u);
+        return static_cast<std::size_t>(
+            std::min(cdf_.size() - 1,
+                     static_cast<std::size_t>(it - cdf_.begin())));
+    }
+
+    std::size_t size() const { return cdf_.size(); }
+
+    /** P(rank == r): the probability mass the CDF assigns to @p r.
+     *  Exposed so frequency tests compare empirical counts against
+     *  the exact distribution they were drawn from. */
+    double
+    probability(std::size_t r) const
+    {
+        if (r >= cdf_.size())
+            return 0;
+        return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+    }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace cactus
+
+#endif // CACTUS_COMMON_ZIPF_HH

@@ -13,6 +13,9 @@
 #include "common/error.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "core/coord.hh"
+#include "core/serve.hh"
+#include "core/sweep.hh"
 
 namespace cactus::core {
 
@@ -64,26 +67,6 @@ class Watchdog
     bool disarmed_ = false;
     std::thread thread_;
 };
-
-void
-appendCheckpointRecord(std::ostream &out, const BenchmarkProfile &p)
-{
-    out.precision(17);
-    out << "{\"name\":\"" << jsonEscape(p.name) << "\""
-        << ",\"suite\":\"" << jsonEscape(p.suite) << "\""
-        << ",\"domain\":\"" << jsonEscape(p.domain) << "\""
-        << ",\"status\":\"ok\""
-        << ",\"kernels\":" << p.kernelCount()
-        << ",\"launches\":" << p.launches
-        << ",\"total_seconds\":" << p.totalSeconds
-        << ",\"total_warp_insts\":" << p.totalWarpInsts
-        << ",\"total_dram_sectors\":" << p.totalDramSectors
-        << ",\"min_coverage\":" << p.minSampleCoverage << "}\n";
-    // One completed benchmark per line, flushed immediately: a kill
-    // between benchmarks loses at most the record being written, and
-    // the lenient reader skips that torn line on resume.
-    out.flush();
-}
 
 std::string
 fmtCoverage(double value)
@@ -142,6 +125,92 @@ enforceIntegrity(const Benchmark &bench,
                 ")");
 }
 
+/**
+ * The same integrity gate for an entry restored from the result
+ * cache: the cached body carries the coverage and output digest of
+ * the original run, so the floor and golden checks apply unchanged.
+ */
+void
+enforceRestoredIntegrity(const CampaignEntry &entry,
+                         const CampaignOptions &opts)
+{
+    if (opts.minCoverage > 0 &&
+        entry.profile.minSampleCoverage < opts.minCoverage)
+        throw IntegrityError(
+            entry.name,
+            "sampleCoverage >= --min-coverage (min " +
+                fmtCoverage(entry.profile.minSampleCoverage) +
+                " < floor " + fmtCoverage(opts.minCoverage) + ")");
+
+    if (opts.recordGoldens) {
+        if (entry.hasOutputDigest) {
+            VerifyResult digest;
+            digest.digest = std::strtoull(
+                entry.outputDigestHex.c_str(), nullptr, 16);
+            digest.elements = entry.outputElements;
+            opts.recordGoldens->set(entry.name,
+                                    scaleToken(opts.scale), digest);
+        }
+        return;
+    }
+    if (!opts.verifyOutputs)
+        return;
+
+    const std::string scale = scaleToken(opts.scale);
+    if (!entry.hasOutputDigest)
+        throw IntegrityError(entry.name,
+                             "run records an output digest (cached "
+                             "result recorded nothing to verify)");
+    const auto golden = opts.goldens->find(entry.name, scale);
+    if (!golden)
+        throw IntegrityError(
+            entry.name,
+            "a golden digest exists for scale '" + scale +
+                "' (none recorded; run --update-goldens first)");
+    if (golden->hex() != entry.outputDigestHex ||
+        golden->elements != entry.outputElements)
+        throw IntegrityError(
+            entry.name,
+            "output digest == golden (got " + entry.outputDigestHex +
+                "/" + std::to_string(entry.outputElements) +
+                " elements, want " + golden->hex() + "/" +
+                std::to_string(golden->elements) + ")");
+}
+
+/** Rebuild an entry's aggregate profile fields from a canonical
+ *  result body (a cache hit). The per-kernel rows are not serialized
+ *  and stay empty. */
+void
+restoreEntryFromBody(CampaignEntry &entry, const std::string &body)
+{
+    entry.profile.name = entry.name;
+    jsonFindText(body, "suite", entry.profile.suite);
+    jsonFindText(body, "domain", entry.profile.domain);
+    double launches = 0, seconds = 0, warp_insts = 0, sectors = 0,
+           coverage = 1.0, elements = 0;
+    jsonFindNumber(body, "launches", launches);
+    jsonFindNumber(body, "total_seconds", seconds);
+    jsonFindNumber(body, "total_warp_insts", warp_insts);
+    jsonFindNumber(body, "total_dram_sectors", sectors);
+    if (jsonFindNumber(body, "min_coverage", coverage))
+        entry.profile.minSampleCoverage = coverage;
+    entry.profile.launches = static_cast<std::uint64_t>(launches);
+    entry.profile.totalSeconds = seconds;
+    entry.profile.totalWarpInsts =
+        static_cast<std::uint64_t>(warp_insts);
+    entry.profile.totalDramSectors =
+        static_cast<std::uint64_t>(sectors);
+    std::string digest_hex;
+    if (jsonFindText(body, "output_digest", digest_hex)) {
+        entry.hasOutputDigest = true;
+        entry.outputDigestHex = digest_hex;
+        if (jsonFindNumber(body, "output_elements", elements))
+            entry.outputElements =
+                static_cast<std::uint64_t>(elements);
+    }
+    entry.resultBody = body;
+}
+
 } // namespace
 
 const char *
@@ -158,8 +227,18 @@ runStatusName(RunStatus status)
         return "CORRUPT";
       case RunStatus::Skipped:
         return "SKIPPED";
+      case RunStatus::Cached:
+        return "CACHED";
     }
     return "UNKNOWN";
+}
+
+std::string
+checkpointRecordLine(const std::string &taskId,
+                     const std::string &resultBody)
+{
+    return "{\"task\":\"" + jsonEscape(taskId) +
+        "\",\"status\":\"ok\",\"result\":" + resultBody + "}";
 }
 
 std::vector<CampaignEntry>
@@ -171,16 +250,27 @@ readCheckpoint(const std::string &path)
         return entries; // No manifest yet: nothing completed.
 
     std::string line;
-    long line_number = 0;
     std::size_t bad_records = 0;
     while (std::getline(in, line)) {
-        ++line_number;
         if (line.empty())
+            continue;
+        // Coordination logs double as manifests; their lease records
+        // are claims, not results.
+        std::string state;
+        if (jsonFindText(line, "state", state) && state == "lease")
             continue;
         CampaignEntry entry;
         std::string status;
         double launches = 0, seconds = 0, warp_insts = 0, sectors = 0;
-        if (!jsonFindText(line, "name", entry.name) ||
+        // Task-keyed records (PR 7) nest the canonical result body and
+        // name the benchmark "benchmark"; legacy records are flat and
+        // name it "name". The flat scanner reads both.
+        const bool task_keyed =
+            jsonFindText(line, "task", entry.taskId);
+        const bool has_name =
+            jsonFindText(line, "benchmark", entry.name) ||
+            jsonFindText(line, "name", entry.name);
+        if (!has_name ||
             !jsonFindText(line, "status", status) || status != "ok" ||
             !jsonFindNumber(line, "launches", launches) ||
             !jsonFindNumber(line, "total_seconds", seconds) ||
@@ -205,6 +295,23 @@ readCheckpoint(const std::string &path)
             static_cast<std::uint64_t>(warp_insts);
         entry.profile.totalDramSectors =
             static_cast<std::uint64_t>(sectors);
+        std::string digest_hex;
+        if (jsonFindText(line, "output_digest", digest_hex)) {
+            double elements = 0;
+            entry.hasOutputDigest = true;
+            entry.outputDigestHex = digest_hex;
+            if (jsonFindNumber(line, "output_elements", elements))
+                entry.outputElements =
+                    static_cast<std::uint64_t>(elements);
+        }
+        if (task_keyed) {
+            // Recover the embedded body verbatim, so a resumed entry
+            // keeps the canonical bytes (for cache warm-up).
+            const auto at = line.find("\"result\":{");
+            if (at != std::string::npos && line.back() == '}')
+                entry.resultBody =
+                    line.substr(at + 9, line.size() - at - 10);
+        }
         entries.push_back(std::move(entry));
     }
     if (bad_records > 0)
@@ -215,17 +322,35 @@ readCheckpoint(const std::string &path)
 }
 
 CampaignResult
-runCampaign(const std::vector<BenchmarkInfo> &benchmarks,
-            const CampaignOptions &opts)
+runSweep(const std::vector<CampaignTask> &tasks,
+         const CampaignOptions &opts)
 {
     if (opts.verifyOutputs && !opts.goldens && !opts.recordGoldens)
         throw ConfigError(
             "campaign verifyOutputs set without a golden table");
 
-    std::unordered_map<std::string, CampaignEntry> completed;
+    const std::string scale_tok = scaleToken(opts.scale);
+
+    // How many tasks each benchmark name appears in: legacy
+    // (name-keyed) checkpoint records are trusted only when the name
+    // maps to exactly one task — in a sweep a name alone cannot say
+    // WHICH configuration completed, and honouring it would silently
+    // skip unexplored points (the pre-PR-7 resume bug).
+    std::unordered_map<std::string, int> name_task_count;
+    for (const auto &task : tasks)
+        ++name_task_count[task.info.name];
+
+    std::unordered_map<std::string, CampaignEntry> completed_by_task;
+    std::unordered_map<std::string, CampaignEntry> completed_by_name;
     if (!opts.checkpointPath.empty()) {
-        for (auto &entry : readCheckpoint(opts.checkpointPath))
-            completed.emplace(entry.name, std::move(entry));
+        for (auto &entry : readCheckpoint(opts.checkpointPath)) {
+            if (!entry.taskId.empty())
+                completed_by_task.emplace(entry.taskId,
+                                          std::move(entry));
+            else
+                completed_by_name.emplace(entry.name,
+                                          std::move(entry));
+        }
     }
 
     std::ofstream manifest;
@@ -253,16 +378,79 @@ runCampaign(const std::vector<BenchmarkInfo> &benchmarks,
     }
 
     CampaignResult result;
-    for (const auto &info : benchmarks) {
+    for (const auto &task : tasks) {
+        const auto &info = task.info;
         CampaignEntry entry;
         entry.name = info.name;
+        entry.label = task.label;
+        entry.taskId = sweepTaskId(info.name, scale_tok, task.config);
 
-        if (const auto it = completed.find(info.name);
-            it != completed.end()) {
+        bool run_it = false;
+        if (const auto it = completed_by_task.find(entry.taskId);
+            it != completed_by_task.end()) {
+            // Task-keyed resume — also covers a later sweep point
+            // with the same id (execution-knob axes) completed
+            // earlier in this very run.
+            const std::string task_id = entry.taskId;
+            const std::string label = entry.label;
             entry = it->second;
+            entry.taskId = task_id;
+            entry.label = label;
             entry.status = RunStatus::Skipped;
             entry.attempts = 0;
+            entry.error.clear();
+        } else if (const auto legacy =
+                       completed_by_name.find(info.name);
+                   legacy != completed_by_name.end() &&
+                   name_task_count[info.name] == 1) {
+            // Legacy name-keyed record, unambiguous here.
+            const std::string task_id = entry.taskId;
+            const std::string label = entry.label;
+            entry = legacy->second;
+            entry.taskId = task_id;
+            entry.label = label;
+            entry.status = RunStatus::Skipped;
+            entry.attempts = 0;
+            entry.error.clear();
         } else {
+            run_it = true;
+        }
+
+        if (run_it && opts.coordination) {
+            switch (opts.coordination->claim(entry.taskId)) {
+              case CoordinationLog::Claim::Completed:
+                entry.status = RunStatus::Skipped;
+                entry.error = "completed in coordination log";
+                entry.attempts = 0;
+                run_it = false;
+                break;
+              case CoordinationLog::Claim::Leased:
+                entry.status = RunStatus::Skipped;
+                entry.error = "leased by another worker";
+                entry.attempts = 0;
+                run_it = false;
+                break;
+              case CoordinationLog::Claim::Won:
+                break;
+            }
+        }
+
+        if (run_it && opts.cache) {
+            if (auto body = opts.cache->peek(entry.taskId)) {
+                restoreEntryFromBody(entry, *body);
+                entry.status = RunStatus::Cached;
+                entry.attempts = 0;
+                run_it = false;
+                try {
+                    enforceRestoredIntegrity(entry, opts);
+                } catch (const IntegrityError &e) {
+                    entry.status = RunStatus::Corrupt;
+                    entry.error = e.what();
+                }
+            }
+        }
+
+        if (run_it) {
             const auto campaign_start =
                 std::chrono::steady_clock::now();
             const int max_attempts = 1 + std::max(0, opts.retries);
@@ -276,7 +464,7 @@ runCampaign(const std::vector<BenchmarkInfo> &benchmarks,
 
                 // Fresh token per attempt: a late-firing watchdog from
                 // a previous attempt can never cancel this one.
-                gpu::DeviceConfig cfg = opts.config;
+                gpu::DeviceConfig cfg = task.config;
                 const CancelToken token = CancelToken::make();
                 cfg.cancel = token;
                 Watchdog watchdog(token, opts.timeoutSeconds);
@@ -284,6 +472,15 @@ runCampaign(const std::vector<BenchmarkInfo> &benchmarks,
                     auto bench = info.factory(opts.scale);
                     entry.profile = runProfiled(*bench, cfg);
                     enforceIntegrity(*bench, entry.profile, opts);
+                    const auto digest = bench->verify();
+                    entry.resultBody = serializeResultBody(
+                        entry.profile, digest ? &*digest : nullptr,
+                        scale_tok, cfg);
+                    if (digest) {
+                        entry.hasOutputDigest = true;
+                        entry.outputDigestHex = digest->hex();
+                        entry.outputElements = digest->elements;
+                    }
                     entry.status = RunStatus::OK;
                     entry.error.clear();
                     break;
@@ -310,8 +507,28 @@ runCampaign(const std::vector<BenchmarkInfo> &benchmarks,
                     std::chrono::steady_clock::now() - campaign_start)
                     .count();
 
-            if (entry.status == RunStatus::OK && manifest.is_open())
-                appendCheckpointRecord(manifest, entry.profile);
+            if (entry.status == RunStatus::OK && opts.cache)
+                opts.cache->insert(entry.taskId, entry.resultBody);
+        }
+
+        // Record fresh and cache-answered completions: both carry the
+        // canonical body, so the line is byte-identical to what any
+        // other worker would write for this task.
+        if ((entry.status == RunStatus::OK ||
+             entry.status == RunStatus::Cached) &&
+            !entry.resultBody.empty()) {
+            const std::string record =
+                checkpointRecordLine(entry.taskId, entry.resultBody);
+            if (manifest.is_open()) {
+                // One completed task per line, flushed immediately: a
+                // kill loses at most the record being written, and
+                // the lenient reader skips that torn line on resume.
+                manifest << record << '\n';
+                manifest.flush();
+            }
+            if (opts.coordination)
+                opts.coordination->recordDone(record);
+            completed_by_task.emplace(entry.taskId, entry);
         }
 
         switch (entry.status) {
@@ -330,12 +547,26 @@ runCampaign(const std::vector<BenchmarkInfo> &benchmarks,
           case RunStatus::Skipped:
             ++result.skippedCount;
             break;
+          case RunStatus::Cached:
+            ++result.cachedCount;
+            break;
         }
         if (opts.onEntry)
             opts.onEntry(entry);
         result.entries.push_back(std::move(entry));
     }
     return result;
+}
+
+CampaignResult
+runCampaign(const std::vector<BenchmarkInfo> &benchmarks,
+            const CampaignOptions &opts)
+{
+    std::vector<CampaignTask> tasks;
+    tasks.reserve(benchmarks.size());
+    for (const auto &info : benchmarks)
+        tasks.push_back({info, opts.config, ""});
+    return runSweep(tasks, opts);
 }
 
 } // namespace cactus::core

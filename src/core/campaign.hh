@@ -20,11 +20,21 @@
  *    Benchmarks run on fresh devices with deterministic statistics, so
  *    a resumed campaign's profiles are bit-identical to an
  *    uninterrupted run's.
+ *
+ * PR 7 generalizes the runner into a design-space-exploration engine:
+ * runSweep() executes a list of (benchmark, DeviceConfig) tasks, each
+ * identified by the content address bench/scale/hex16(config digest)
+ * — the serve-layer cache key. Checkpoint records are keyed by that
+ * task id (so a sweep resumes per configuration, not per benchmark
+ * name), a ResultCache can answer tasks without simulating, and a
+ * CoordinationLog lets multiple worker processes claim tasks from one
+ * shared matrix dynamically.
  */
 
 #ifndef CACTUS_CORE_CAMPAIGN_HH
 #define CACTUS_CORE_CAMPAIGN_HH
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -33,6 +43,9 @@
 #include "core/harness.hh"
 
 namespace cactus::core {
+
+class ResultCache;
+class CoordinationLog;
 
 /** Outcome of one benchmark within a campaign. */
 enum class RunStatus
@@ -44,29 +57,66 @@ enum class RunStatus
              ///< a stats-conservation invariant, the golden output
              ///< digest, or the --min-coverage floor. Never retried —
              ///< a wrong answer is deterministic, not transient.
-    Skipped  ///< Checkpoint already records a completed run.
+    Skipped, ///< Checkpoint already records a completed run, another
+             ///< worker holds the task's lease, or an earlier sweep
+             ///< point with the same task id already produced the
+             ///< result (execution-knob sweeps).
+    Cached   ///< Answered from the persistent result cache — provably
+             ///< identical to a fresh run (the cache key is the task's
+             ///< full content address).
 };
 
-/** Display name: "OK", "FAILED", "TIMEOUT", "CORRUPT", "SKIPPED". */
+/** Display name: "OK", "FAILED", "TIMEOUT", "CORRUPT", "SKIPPED",
+ *  "CACHED". */
 const char *runStatusName(RunStatus status);
 
 /** Structured record of one benchmark's campaign outcome. */
 struct CampaignEntry
 {
     std::string name;
+
+    /** Content-addressed task id, bench/scale/hex16(config digest) —
+     *  the checkpoint key and the serve-layer cache key. */
+    std::string taskId;
+
+    /** Human-readable sweep point ("l2_kb=512,threads=4"); "" for the
+     *  base configuration. Presentation only — never persisted, so
+     *  checkpoint records stay byte-identical across shards. */
+    std::string label;
+
     RunStatus status = RunStatus::Failed;
     std::string error;      ///< what() of the final failure, if any.
     int attempts = 0;       ///< Attempts consumed (0 for Skipped).
     double wallSeconds = 0; ///< Host wall clock across attempts.
 
     /**
-     * The profile when status is OK. For Skipped entries the
-     * aggregate fields (name/suite/domain, launches, totalSeconds,
-     * totalWarpInsts, totalDramSectors) are restored from the
-     * checkpoint manifest; the per-kernel rows are not persisted and
-     * stay empty.
+     * The profile when status is OK. For Skipped and Cached entries
+     * the aggregate fields (name/suite/domain, launches, totalSeconds,
+     * totalWarpInsts, totalDramSectors, minSampleCoverage) are
+     * restored from the checkpoint manifest or cached result body;
+     * the per-kernel rows are not persisted and stay empty.
      */
     BenchmarkProfile profile;
+
+    /**
+     * The canonical serialized result body (serializeResultBody
+     * bytes) for OK and Cached entries — what the cache stores and
+     * checkpoint records embed. Empty for failures and for entries
+     * restored from legacy (pre-task-id) checkpoints.
+     */
+    std::string resultBody;
+
+    bool hasOutputDigest = false;
+    std::string outputDigestHex; ///< hex16 of the output digest.
+    std::uint64_t outputElements = 0;
+};
+
+/** One unit of sweep work: a benchmark at one device configuration. */
+struct CampaignTask
+{
+    BenchmarkInfo info;
+    gpu::DeviceConfig config;
+    std::string label; ///< SweepPoint label; "" for the base config.
 };
 
 /** Knobs for one campaign. */
@@ -111,6 +161,21 @@ struct CampaignOptions
      */
     double minCoverage = 0;
 
+    /**
+     * Persistent result cache consulted (by task id) before
+     * simulating; hits become RunStatus::Cached and fresh completions
+     * are inserted. Borrowed, not owned; null disables.
+     */
+    ResultCache *cache = nullptr;
+
+    /**
+     * Shared coordination log for dynamic sharding: each task is
+     * claimed before running, tasks leased to other workers or
+     * already completed are Skipped, and completions are appended as
+     * done records. Borrowed, not owned; null disables.
+     */
+    CoordinationLog *coordination = nullptr;
+
     /** Invoked after each benchmark settles, in campaign order. */
     std::function<void(const CampaignEntry &)> onEntry;
 };
@@ -124,6 +189,7 @@ struct CampaignResult
     int timeoutCount = 0;
     int corruptCount = 0;
     int skippedCount = 0;
+    int cachedCount = 0;
 
     /** True when nothing failed, timed out, or was found corrupt
      *  (skips are fine). */
@@ -136,19 +202,43 @@ struct CampaignResult
 };
 
 /**
- * Run @p benchmarks under the fault-tolerance policy in @p opts.
- * Never throws for a benchmark failure — those become entries; only
- * campaign-level misconfiguration (e.g. an unwritable checkpoint
- * path) raises ConfigError.
+ * Run a task matrix under the fault-tolerance policy in @p opts
+ * (opts.config is ignored — each task carries its own). Tasks are
+ * identified by bench/scale/hex16(config digest); a task whose id
+ * already completed — in the checkpoint, in the coordination log, in
+ * the result cache, or earlier in this same matrix (execution-knob
+ * sweep points share an id) — is not simulated again. Never throws
+ * for a benchmark failure — those become entries; only campaign-level
+ * misconfiguration (e.g. an unwritable checkpoint path) raises
+ * ConfigError.
+ */
+CampaignResult runSweep(const std::vector<CampaignTask> &tasks,
+                        const CampaignOptions &opts);
+
+/**
+ * Run @p benchmarks at opts.config: a single-configuration sweep.
+ * Kept as the simple entry point for suite campaigns and tests.
  */
 CampaignResult runCampaign(const std::vector<BenchmarkInfo> &benchmarks,
                            const CampaignOptions &opts);
 
 /**
+ * The canonical checkpoint record for one completed task: the task id
+ * plus the serialized result body, as a single JSONL line (no
+ * trailing newline). Byte-identical for equal inputs — the property
+ * the deterministic merge rests on.
+ */
+std::string checkpointRecordLine(const std::string &taskId,
+                                 const std::string &resultBody);
+
+/**
  * Load the completed entries of a checkpoint manifest. Missing files
  * yield an empty list; malformed lines (e.g. a record truncated by a
  * kill mid-write) are skipped with a warning, so a damaged manifest
- * degrades to re-running benchmarks, never to aborting.
+ * degrades to re-running benchmarks, never to aborting. Task-keyed
+ * records fill CampaignEntry::taskId; legacy name-keyed records leave
+ * it empty (resume honours those only when the name maps to exactly
+ * one task).
  */
 std::vector<CampaignEntry> readCheckpoint(const std::string &path);
 

@@ -1,0 +1,156 @@
+#include "core/coord.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "common/error.hh"
+#include "common/json.hh"
+
+namespace cactus::core {
+
+namespace {
+
+/** A lease record line. Deliberately field-ordered so every worker
+ *  writes byte-wise comparable records; the line is one write(2), so
+ *  concurrent leases never interleave mid-line. */
+std::string
+leaseLine(long gen, const std::string &task, const std::string &worker)
+{
+    return "{\"state\":\"lease\",\"gen\":" + std::to_string(gen) +
+        ",\"task\":\"" + jsonEscape(task) + "\",\"worker\":\"" +
+        jsonEscape(worker) + "\"}";
+}
+
+} // namespace
+
+CoordinationLog::CoordinationLog(std::string path, std::string worker,
+                                 bool newGeneration)
+    : path_(std::move(path)), worker_(std::move(worker))
+{
+    // O_APPEND makes each write land atomically at the current end of
+    // file, giving concurrent workers a total order on records — the
+    // property the claim protocol and the torn-line discipline both
+    // lean on.
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0)
+        throw ConfigError("cannot open coordination log '" + path_ +
+                          "': " + std::strerror(errno));
+
+    // Fix the generation: join the fleet already leasing in this log
+    // (a late-starting worker must honour its peers' leases, not
+    // supersede them), or open the next generation when recovering
+    // from a crashed fleet whose stale leases must stop binding.
+    long max_gen = 0;
+    {
+        std::ifstream in(path_);
+        std::string line;
+        while (std::getline(in, line)) {
+            std::string state;
+            double gen = 0;
+            if (jsonFindText(line, "state", state) &&
+                state == "lease" &&
+                jsonFindNumber(line, "gen", gen) && gen > max_gen)
+                max_gen = static_cast<long>(gen);
+        }
+    }
+    generation_ = newGeneration ? max_gen + 1 : std::max(max_gen, 1L);
+    scan();
+}
+
+CoordinationLog::~CoordinationLog()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+CoordinationLog::appendLine(const std::string &line)
+{
+    const std::string buf = line + "\n";
+    std::size_t off = 0;
+    while (off < buf.size()) {
+        const ssize_t n =
+            ::write(fd_, buf.data() + off, buf.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ConfigError("cannot append to coordination log '" +
+                              path_ + "': " + std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void
+CoordinationLog::scan()
+{
+    completed_.clear();
+    leaseWinner_.clear();
+    std::ifstream in(path_);
+    if (!in)
+        return;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::string state, task, worker, status;
+        double gen = 0;
+        if (jsonFindText(line, "state", state) && state == "lease") {
+            if (!jsonFindText(line, "task", task) ||
+                !jsonFindText(line, "worker", worker) ||
+                !jsonFindNumber(line, "gen", gen))
+                continue; // Torn lease: claims nothing.
+            if (static_cast<long>(gen) != generation_)
+                continue; // A stale pass; its claims do not bind.
+            leaseWinner_.emplace(task, worker); // First lease wins.
+        } else if (jsonFindText(line, "status", status) &&
+                   status == "ok" &&
+                   jsonFindText(line, "task", task)) {
+            completed_.insert(task);
+        }
+        // Anything else: a torn or foreign record; ignore.
+    }
+}
+
+CoordinationLog::Claim
+CoordinationLog::claim(const std::string &taskId)
+{
+    // Cheap pre-check against the last scan — a task another worker
+    // already finished or leased needs no new lease record.
+    if (completed_.count(taskId))
+        return Claim::Completed;
+    if (const auto it = leaseWinner_.find(taskId);
+        it != leaseWinner_.end())
+        return it->second == worker_ ? Claim::Won : Claim::Leased;
+
+    // Stake the claim, then let append order decide: re-read the log
+    // and honour the first lease for this task in our generation.
+    appendLine(leaseLine(generation_, taskId, worker_));
+    scan();
+    if (completed_.count(taskId))
+        return Claim::Completed;
+    const auto it = leaseWinner_.find(taskId);
+    if (it == leaseWinner_.end())
+        // Our own lease must be visible after the rescan; if it is
+        // not, the log is being truncated under us.
+        throw ConfigError("coordination log '" + path_ +
+                          "' lost a lease record for task '" +
+                          taskId + "'");
+    return it->second == worker_ ? Claim::Won : Claim::Leased;
+}
+
+void
+CoordinationLog::recordDone(const std::string &recordLine)
+{
+    appendLine(recordLine);
+    scan();
+}
+
+} // namespace cactus::core

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The shared coordination log for dynamically sharded campaigns: an
+ * append-only JSONL file on a filesystem every worker process can
+ * reach, reusing the torn-line-tolerant checkpoint discipline (one
+ * record per line, each line written by a single O_APPEND write, a
+ * torn trailing line degrades to "not recorded").
+ *
+ * Two record kinds share the file:
+ *
+ *  - lease records, {"state":"lease","gen":G,"task":T,"worker":W}:
+ *    a worker's claim on one sweep task. Claims race by append order:
+ *    after appending its own lease, a worker re-reads the log, and the
+ *    FIRST lease for the task within the highest generation wins —
+ *    O_APPEND gives concurrent appends a total order, so every worker
+ *    agrees on the winner without locks.
+ *
+ *  - done records: ordinary campaign checkpoint records (written by
+ *    the campaign runner through the same canonical serializer as
+ *    --checkpoint manifests), marking a task completed. Done records
+ *    make the log double as the shared checkpoint: resume, merge, and
+ *    cache warm-up all read them.
+ *
+ * Generations make crashed fleets recoverable without letting late
+ * joiners duplicate live work: a worker JOINS the highest generation
+ * already in the log (so workers of one fleet honour each other's
+ * leases whatever order they started in), and only an explicit
+ * new-generation open — the recovery path after a crashed fleet —
+ * bumps to max(gen)+1, which unbinds the dead fleet's leases while
+ * still honouring its done records. A recovery fleet racing a live
+ * one can duplicate in-flight work, which is harmless — results are
+ * deterministic and the merge dedups by task digest.
+ */
+
+#ifndef CACTUS_CORE_COORD_HH
+#define CACTUS_CORE_COORD_HH
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cactus::core {
+
+/** One worker's handle on a shared coordination log. */
+class CoordinationLog
+{
+  public:
+    /**
+     * Open (creating if absent) the log at @p path as @p worker. The
+     * generation is fixed at construction: the highest lease
+     * generation already in the log (1 for a fresh log), or one above
+     * it when @p newGeneration is set — the recovery path that
+     * unbinds a crashed fleet's stale leases. ConfigError when the
+     * file cannot be opened for appending.
+     */
+    CoordinationLog(std::string path, std::string worker,
+                    bool newGeneration = false);
+    ~CoordinationLog();
+
+    CoordinationLog(const CoordinationLog &) = delete;
+    CoordinationLog &operator=(const CoordinationLog &) = delete;
+
+    /** Outcome of one claim attempt. */
+    enum class Claim
+    {
+        Won,      ///< This worker owns the task: run it.
+        Leased,   ///< Another worker's lease won: skip it.
+        Completed ///< A done record already covers it: skip it.
+    };
+
+    /**
+     * Try to claim @p taskId: append a lease record, then re-read the
+     * log and let append order decide. Deterministic across racing
+     * workers — every reader sees the same first-lease-in-generation.
+     */
+    Claim claim(const std::string &taskId);
+
+    /** Append one completed-task checkpoint record (a single line,
+     *  no trailing newline needed) with a single atomic write. */
+    void recordDone(const std::string &recordLine);
+
+    /** Tasks with a done record at the last scan (claim() rescans). */
+    const std::unordered_set<std::string> &
+    completedTasks() const
+    {
+        return completed_;
+    }
+
+    const std::string &path() const { return path_; }
+    const std::string &worker() const { return worker_; }
+    long generation() const { return generation_; }
+
+  private:
+    void appendLine(const std::string &line);
+    void scan();
+
+    std::string path_;
+    std::string worker_;
+    long generation_ = 1;
+    int fd_ = -1;
+
+    std::unordered_set<std::string> completed_;
+
+    /** task -> first-leasing worker within this generation. */
+    std::unordered_map<std::string, std::string> leaseWinner_;
+};
+
+} // namespace cactus::core
+
+#endif // CACTUS_CORE_COORD_HH

@@ -10,13 +10,16 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <utility>
 
 #include "common/error.hh"
 #include "common/json.hh"
+#include "common/logging.hh"
 #include "core/benchmark.hh"
 #include "core/harness.hh"
 #include "core/verify.hh"
+#include "gpu/digest.hh"
 
 namespace cactus::core {
 
@@ -117,6 +120,80 @@ ResultCache::getOrCompute(const std::string &key,
     return {std::move(body), Source::Computed};
 }
 
+std::optional<std::string>
+ResultCache::peek(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return it->second->body;
+}
+
+void
+ResultCache::insert(const std::string &key, std::string body)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = index_.find(key); it != index_.end()) {
+        it->second->body = std::move(body);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    while (lru_.size() >= capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++evictions_;
+    }
+    lru_.push_front(Entry{key, std::move(body)});
+    index_[key] = lru_.begin();
+}
+
+void
+ResultCache::saveNdjson(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        throw ConfigError("cannot write cache file '" + path + "'");
+    std::lock_guard<std::mutex> lock(mutex_);
+    // LRU-first: loadNdjson() pushes each record to the front, so the
+    // last line written (the MRU entry) ends up at the front again.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it)
+        out << "{\"key\":\"" << jsonEscape(it->key)
+            << "\",\"body\":\"" << jsonEscape(it->body) << "\"}\n";
+    if (!out.flush())
+        throw ConfigError("short write to cache file '" + path + "'");
+}
+
+std::size_t
+ResultCache::loadNdjson(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return 0; // Absent cache file: cold start, not an error.
+    std::size_t loaded = 0, skipped = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::string key, body;
+        if (!jsonFindText(line, "key", key) ||
+            !jsonFindText(line, "body", body) || key.empty()) {
+            ++skipped; // Torn trailing line, most likely.
+            continue;
+        }
+        insert(key, std::move(body));
+        ++loaded;
+    }
+    if (skipped > 0)
+        warn("cache file '", path, "': skipped ", skipped,
+             " malformed line", skipped == 1 ? "" : "s");
+    return loaded;
+}
+
 // ---------------------------------------------------------------------------
 // Request processing
 
@@ -187,15 +264,6 @@ class RequestGuard
 };
 
 std::string
-hex16(std::uint64_t v)
-{
-    char buf[24];
-    std::snprintf(buf, sizeof buf, "%016llx",
-                  static_cast<unsigned long long>(v));
-    return buf;
-}
-
-std::string
 fmtDouble(double v)
 {
     char buf[40];
@@ -226,14 +294,8 @@ flagKnob(const std::string &line, const char *key, bool fallback)
     return v != 0;
 }
 
-/**
- * Run one characterization and serialize the result object. The
- * serialization is deterministic byte-for-byte: the profile is a pure
- * function of (benchmark, config digest, scale) and every double is
- * printed with %.17g — so two independent runs of the same key yield
- * identical bytes, which the load generator asserts against cached
- * responses.
- */
+/** Run one characterization and serialize the result object through
+ *  the canonical serializer. */
 std::string
 runCharacterization(const std::string &bench_name, Scale scale,
                     const std::string &scale_tok,
@@ -246,35 +308,8 @@ runCharacterization(const std::string &bench_name, Scale scale,
     auto bench = Registry::instance().create(bench_name, scale);
     const BenchmarkProfile profile = runProfiled(*bench, cfg);
     const auto digest = bench->verify();
-
-    std::string out;
-    out.reserve(384);
-    out += "{\"benchmark\":\"" + jsonEscape(profile.name) + "\"";
-    out += ",\"suite\":\"" + jsonEscape(profile.suite) + "\"";
-    out += ",\"domain\":\"" + jsonEscape(profile.domain) + "\"";
-    out += ",\"scale\":\"" + jsonEscape(scale_tok) + "\"";
-    out += ",\"config_digest\":\"" + hex16(cfg.digest()) + "\"";
-    out += ",\"kernels\":" + std::to_string(profile.kernelCount());
-    out += ",\"launches\":" + std::to_string(profile.launches);
-    out += ",\"total_seconds\":" + fmtDouble(profile.totalSeconds);
-    out += ",\"total_warp_insts\":" +
-        std::to_string(profile.totalWarpInsts);
-    out += ",\"total_dram_sectors\":" +
-        std::to_string(profile.totalDramSectors);
-    out += ",\"min_coverage\":" +
-        fmtDouble(profile.minSampleCoverage);
-    out += ",\"aggregate_gips\":" + fmtDouble(profile.aggregateGips());
-    out += ",\"aggregate_intensity\":" +
-        fmtDouble(profile.aggregateIntensity());
-    if (digest) {
-        out += ",\"output_digest\":\"" + digest->hex() + "\"";
-        out += ",\"output_elements\":" +
-            std::to_string(digest->elements);
-    } else {
-        out += ",\"output_digest\":null";
-    }
-    out += "}";
-    return out;
+    return serializeResultBody(profile, digest ? &*digest : nullptr,
+                               scale_tok, cfg);
 }
 
 std::string
@@ -299,6 +334,42 @@ sourceName(ResultCache::Source source)
 }
 
 } // namespace
+
+std::string
+serializeResultBody(const BenchmarkProfile &profile,
+                    const VerifyResult *outputDigest,
+                    const std::string &scaleTok,
+                    const gpu::DeviceConfig &cfg)
+{
+    std::string out;
+    out.reserve(384);
+    out += "{\"benchmark\":\"" + jsonEscape(profile.name) + "\"";
+    out += ",\"suite\":\"" + jsonEscape(profile.suite) + "\"";
+    out += ",\"domain\":\"" + jsonEscape(profile.domain) + "\"";
+    out += ",\"scale\":\"" + jsonEscape(scaleTok) + "\"";
+    out += ",\"config_digest\":\"" + gpu::hex16(cfg.digest()) + "\"";
+    out += ",\"kernels\":" + std::to_string(profile.kernelCount());
+    out += ",\"launches\":" + std::to_string(profile.launches);
+    out += ",\"total_seconds\":" + fmtDouble(profile.totalSeconds);
+    out += ",\"total_warp_insts\":" +
+        std::to_string(profile.totalWarpInsts);
+    out += ",\"total_dram_sectors\":" +
+        std::to_string(profile.totalDramSectors);
+    out += ",\"min_coverage\":" +
+        fmtDouble(profile.minSampleCoverage);
+    out += ",\"aggregate_gips\":" + fmtDouble(profile.aggregateGips());
+    out += ",\"aggregate_intensity\":" +
+        fmtDouble(profile.aggregateIntensity());
+    if (outputDigest != nullptr) {
+        out += ",\"output_digest\":\"" + outputDigest->hex() + "\"";
+        out += ",\"output_elements\":" +
+            std::to_string(outputDigest->elements);
+    } else {
+        out += ",\"output_digest\":null";
+    }
+    out += "}";
+    return out;
+}
 
 RequestOutcome
 processRequest(const std::string &line, ResultCache &cache,
@@ -359,7 +430,7 @@ processRequest(const std::string &line, ResultCache &cache,
         cfg.fastForward = flagKnob(line, "fast_forward", false);
 
         const std::string key =
-            bench + "/" + scale_tok + "/" + hex16(cfg.digest());
+            bench + "/" + scale_tok + "/" + gpu::hex16(cfg.digest());
         const auto lookup = cache.getOrCompute(key, [&] {
             return runCharacterization(bench, scale, scale_tok, cfg,
                                        ctx);

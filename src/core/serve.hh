@@ -45,6 +45,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -52,7 +53,14 @@
 
 #include "common/cancel.hh"
 
+namespace cactus::gpu {
+struct DeviceConfig;
+}
+
 namespace cactus::core {
+
+struct BenchmarkProfile;
+struct VerifyResult;
 
 /**
  * Content-addressed LRU result cache with in-flight coalescing.
@@ -90,6 +98,34 @@ class ResultCache
      */
     Lookup getOrCompute(const std::string &key,
                         const std::function<std::string()> &compute);
+
+    /**
+     * The completed entry for @p key, if any, refreshing its recency.
+     * Never blocks on an in-flight computation (campaigns use this to
+     * answer sweep points from a warm cache without coalescing
+     * semantics). Counts a hit or a miss.
+     */
+    std::optional<std::string> peek(const std::string &key);
+
+    /** Store @p body under @p key (overwriting any previous entry),
+     *  making it most recently used and evicting beyond capacity. */
+    void insert(const std::string &key, std::string body);
+
+    /**
+     * Persist completed entries as NDJSON, one
+     * {"key":...,"body":...} record per line, least recently used
+     * first — so a loadNdjson() of the file rebuilds both the
+     * contents and the LRU order. ConfigError when unwritable.
+     */
+    void saveNdjson(const std::string &path) const;
+
+    /**
+     * Insert every well-formed record of @p path (absent file: no-op;
+     * torn or malformed lines are skipped with a warning, the
+     * checkpoint reader's discipline). Returns records loaded.
+     * Hit/miss counters are not touched — warming is not traffic.
+     */
+    std::size_t loadNdjson(const std::string &path);
 
     std::size_t capacity() const { return capacity_; }
     std::size_t size() const;
@@ -192,6 +228,19 @@ RequestOutcome processRequest(const std::string &line,
                               ResultCache &cache,
                               const RequestContext &ctx);
 
+/**
+ * Serialize one characterization result as the canonical JSON body —
+ * the bytes the cache stores, the serve layer returns, and campaign
+ * checkpoints embed. Deterministic byte-for-byte: the profile is a
+ * pure function of (benchmark, config digest, scale) and every double
+ * prints with %.17g, so equal inputs always yield equal bytes.
+ * @p outputDigest may be null (benchmark records no output).
+ */
+std::string serializeResultBody(const BenchmarkProfile &profile,
+                                const VerifyResult *outputDigest,
+                                const std::string &scaleTok,
+                                const gpu::DeviceConfig &cfg);
+
 /** Knobs for one server instance. */
 struct ServeOptions
 {
@@ -239,6 +288,7 @@ class Server
 
     ServeStats stats() const;
     const ResultCache &cache() const { return cache_; }
+    ResultCache &cache() { return cache_; } ///< For warm-up/persist.
 
   private:
     void acceptLoop();

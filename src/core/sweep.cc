@@ -1,0 +1,207 @@
+#include "core/sweep.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "common/error.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/parse.hh"
+#include "gpu/digest.hh"
+
+namespace cactus::core {
+
+namespace {
+
+/** Apply one swept value to a config. The keys mirror the serve
+ *  request schema, so "what can be swept" and "what can be requested"
+ *  stay one vocabulary. */
+void
+applySweepValue(gpu::DeviceConfig &cfg, const std::string &key,
+                const std::string &value)
+{
+    const std::string opt = "--sweep " + key;
+    if (key == "threads") {
+        cfg.hostThreads = parseNonNegativeInt(value, opt.c_str());
+    } else if (key == "l1_kb") {
+        cfg.l1SizeBytes =
+            parsePositiveInt(value, opt.c_str()) * 1024;
+    } else if (key == "l2_kb") {
+        cfg.l2SizeBytes =
+            parsePositiveInt(value, opt.c_str()) * 1024;
+    } else if (key == "l2_slices") {
+        cfg.numL2Slices = parsePositiveInt(value, opt.c_str());
+    } else if (key == "sampled_warps") {
+        cfg.maxSampledWarps = parsePositiveInt(value, opt.c_str());
+    } else if (key == "fast_forward") {
+        if (value == "on" || value == "1")
+            cfg.fastForward = true;
+        else if (value == "off" || value == "0")
+            cfg.fastForward = false;
+        else
+            throw ConfigError("--sweep fast_forward expects "
+                              "on|off|1|0, got '" + value + "'");
+    } else {
+        throw ConfigError("unknown sweep key '" + key + "'");
+    }
+}
+
+std::string
+knownKeysList()
+{
+    std::string out;
+    for (const auto &key : sweepKeys()) {
+        if (!out.empty())
+            out += ", ";
+        out += key;
+    }
+    return out;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+sweepKeys()
+{
+    static const std::vector<std::string> keys = {
+        "threads",       "l1_kb",        "l2_kb",
+        "l2_slices",     "sampled_warps", "fast_forward"};
+    return keys;
+}
+
+SweepAxis
+parseSweepAxis(const std::string &spec)
+{
+    const auto eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0)
+        throw ConfigError("--sweep expects key=v1,v2,..., got '" +
+                          spec + "'");
+    SweepAxis axis;
+    axis.key = spec.substr(0, eq);
+    if (std::find(sweepKeys().begin(), sweepKeys().end(), axis.key) ==
+        sweepKeys().end())
+        throw ConfigError("unknown sweep key '" + axis.key +
+                          "' (known: " + knownKeysList() + ")");
+    for (std::size_t at = eq + 1; at <= spec.size();) {
+        auto comma = spec.find(',', at);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        if (comma > at)
+            axis.values.push_back(spec.substr(at, comma - at));
+        at = comma + 1;
+    }
+    if (axis.values.empty())
+        throw ConfigError("--sweep " + axis.key +
+                          " needs at least one value");
+    return axis;
+}
+
+std::vector<SweepPoint>
+expandSweep(const gpu::DeviceConfig &base,
+            const std::vector<SweepAxis> &axes)
+{
+    std::vector<SweepPoint> points{{base, ""}};
+    for (const auto &axis : axes) {
+        std::vector<SweepPoint> next;
+        next.reserve(points.size() * axis.values.size());
+        for (const auto &point : points) {
+            for (const auto &value : axis.values) {
+                SweepPoint expanded = point;
+                applySweepValue(expanded.config, axis.key, value);
+                expanded.label += (expanded.label.empty() ? "" : ",") +
+                    axis.key + "=" + value;
+                next.push_back(std::move(expanded));
+            }
+        }
+        points = std::move(next);
+    }
+    return points;
+}
+
+std::string
+sweepTaskId(const std::string &bench, const std::string &scaleTok,
+            const gpu::DeviceConfig &config)
+{
+    return bench + "/" + scaleTok + "/" + gpu::hex16(config.digest());
+}
+
+bool
+taskInShard(const std::string &taskId, int shards, int shardId)
+{
+    if (shards <= 1)
+        return true;
+    return gpu::fnv1aBytes(taskId) %
+        static_cast<std::uint64_t>(shards) ==
+        static_cast<std::uint64_t>(shardId);
+}
+
+MergeResult
+mergeCheckpoints(const std::vector<std::string> &inputs,
+                 const std::string &outPath)
+{
+    MergeResult result;
+    // task id -> every distinct record line seen for it (in first-seen
+    // order, so the corrupt report is stable).
+    std::map<std::string, std::vector<std::string>> byTask;
+
+    for (const auto &path : inputs) {
+        std::ifstream in(path);
+        if (!in)
+            throw ConfigError("cannot read merge input '" + path +
+                              "'");
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty())
+                continue;
+            std::string state, status, task;
+            if (jsonFindText(line, "state", state) &&
+                state == "lease") {
+                ++result.ignored; // Coordination noise, not results.
+                continue;
+            }
+            if (!jsonFindText(line, "status", status) ||
+                status != "ok") {
+                ++result.ignored; // Torn or foreign line.
+                continue;
+            }
+            if (!jsonFindText(line, "task", task)) {
+                ++result.legacy; // Pre-task-id record: no identity
+                continue;        // to dedup on; merge skips it.
+            }
+            ++result.records;
+            auto &lines = byTask[task];
+            if (std::find(lines.begin(), lines.end(), line) !=
+                lines.end())
+                ++result.duplicates;
+            else
+                lines.push_back(line);
+        }
+    }
+
+    std::ofstream out(outPath, std::ios::trunc);
+    if (!out)
+        throw ConfigError("cannot write merged report '" + outPath +
+                          "'");
+    for (const auto &[task, lines] : byTask) {
+        ++result.tasks;
+        if (lines.size() > 1) {
+            // Same task id means same config digest: two different
+            // record bodies are a determinism violation, not noise.
+            result.corruptTasks.push_back(task);
+            continue;
+        }
+        out << lines.front() << '\n';
+    }
+    if (!out.flush())
+        throw ConfigError("short write to merged report '" + outPath +
+                          "'");
+    if (result.legacy > 0)
+        warn("merge: skipped ", result.legacy, " record",
+             result.legacy == 1 ? "" : "s",
+             " without a task id (written before sweep-aware "
+             "checkpoints)");
+    return result;
+}
+
+} // namespace cactus::core

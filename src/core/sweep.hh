@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Design-space sweeps: expand `--sweep key=v1,v2,...` axes into a
+ * deterministic cartesian matrix of device configurations, identify
+ * each (benchmark, scale, config) task by the same content address
+ * the serve layer caches on, partition the matrix across shards, and
+ * fold shard checkpoints back into one canonical report.
+ *
+ * Task identity is
+ *
+ *   task = <bench> "/" <scale> "/" hex16(DeviceConfig::digest())
+ *
+ * — exactly the ResultCache key, so a sweep point, a serve request,
+ * and a checkpoint record for the same characterization all share one
+ * name. Sweeping an execution knob (threads, fast_forward) therefore
+ * yields points with *equal* task ids: results are provably invariant
+ * to those knobs, and the first point to complete satisfies the rest
+ * (the campaign skips them; the merge dedups them).
+ *
+ * The merge is deterministic by construction: records are re-read
+ * from any number of shard checkpoints or coordination logs, deduped
+ * by task id, and emitted sorted by task id — every record was
+ * written by the same canonical serializer, so the merged bytes are
+ * identical whatever the shard count or completion order. Two records
+ * with the same task id (hence the same config digest) but different
+ * bytes mean a determinism violation; the merge flags the task as
+ * CORRUPT and excludes it from the report.
+ */
+
+#ifndef CACTUS_CORE_SWEEP_HH
+#define CACTUS_CORE_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "gpu/config.hh"
+
+namespace cactus::core {
+
+/** One swept knob and its value list, as parsed from --sweep. */
+struct SweepAxis
+{
+    std::string key;
+    std::vector<std::string> values;
+};
+
+/** The swept keys this engine understands. Model knobs enter the
+ *  config digest (distinct task per value); execution knobs do not
+ *  (all values share one task). */
+const std::vector<std::string> &sweepKeys();
+
+/**
+ * Parse "key=v1,v2,..." into an axis. ConfigError on an unknown key,
+ * a missing '=', or an empty value list.
+ */
+SweepAxis parseSweepAxis(const std::string &spec);
+
+/** One point of the expanded matrix. */
+struct SweepPoint
+{
+    gpu::DeviceConfig config;
+    std::string label; ///< "l2_kb=512,threads=4"; "" for no axes.
+};
+
+/**
+ * Expand the cartesian product of @p axes over @p base. Axis order is
+ * preserved (the first axis varies slowest), so the matrix order — and
+ * everything downstream: shard assignment, claim order, labels — is a
+ * pure function of the command line. No axes yields the single base
+ * point. ConfigError on a value that does not parse for its key.
+ */
+std::vector<SweepPoint> expandSweep(const gpu::DeviceConfig &base,
+                                    const std::vector<SweepAxis> &axes);
+
+/** The content-addressed task id shared with the serve cache. */
+std::string sweepTaskId(const std::string &bench,
+                        const std::string &scaleTok,
+                        const gpu::DeviceConfig &config);
+
+/**
+ * Static partitioning: does @p taskId belong to shard @p shardId of
+ * @p shards? FNV-1a over the task id bytes modulo the shard count, so
+ * every worker computes the same partition with no coordination.
+ */
+bool taskInShard(const std::string &taskId, int shards, int shardId);
+
+/** Outcome of one merge. */
+struct MergeResult
+{
+    std::size_t records = 0;    ///< Completed records read.
+    std::size_t tasks = 0;      ///< Distinct task ids among them.
+    std::size_t duplicates = 0; ///< Byte-identical repeat records.
+    std::size_t legacy = 0;     ///< Pre-task-id records (skipped).
+    std::size_t ignored = 0;    ///< Lease and malformed lines.
+
+    /** Task ids whose records disagree — a determinism violation. */
+    std::vector<std::string> corruptTasks;
+
+    bool clean() const { return corruptTasks.empty(); }
+};
+
+/**
+ * Fold the completed records of @p inputs (shard checkpoints and/or
+ * coordination logs) into @p outPath: deduped by task id, sorted by
+ * task id, one canonical record per line. Bit-identical output for
+ * any shard count and completion order. ConfigError when an input is
+ * unreadable or the output cannot be written.
+ */
+MergeResult mergeCheckpoints(const std::vector<std::string> &inputs,
+                             const std::string &outPath);
+
+} // namespace cactus::core
+
+#endif // CACTUS_CORE_SWEEP_HH

@@ -13,6 +13,9 @@
 #define CACTUS_GPU_DIGEST_HH
 
 #include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
 
 namespace cactus::gpu {
 
@@ -42,6 +45,29 @@ inline std::uint64_t
 mix64(std::uint64_t h, std::uint64_t v)
 {
     return (h ^ v) * 0x100000001b3ull;
+}
+
+/** Byte-wise FNV-1a over a byte string. Content-addresses textual
+ *  identities (e.g. sweep task ids for shard assignment). */
+inline std::uint64_t
+fnv1aBytes(std::string_view s, std::uint64_t h = kFnvOffset)
+{
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** The canonical 16-hex-digit rendering of a 64-bit digest, as it
+ *  appears in cache keys, task ids, and serialized records. */
+inline std::string
+hex16(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
 }
 
 } // namespace cactus::gpu

@@ -16,6 +16,8 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
+#include <fstream>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -186,6 +188,78 @@ TEST(ResultCache, ErrorsPropagateToWaitersAndAreNotCached)
         cache.getOrCompute("k", [] { return std::string("ok"); });
     EXPECT_EQ(retry.source, Source::Computed);
     EXPECT_EQ(retry.body, "ok");
+}
+
+TEST(ResultCache, PeekNeverComputesAndRefreshesRecency)
+{
+    ResultCache cache(3);
+    EXPECT_FALSE(cache.peek("a").has_value());
+    EXPECT_EQ(cache.misses(), 1u);
+
+    cache.insert("a", "body-a");
+    cache.insert("b", "body-b");
+    const auto hit = cache.peek("a");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "body-a");
+    EXPECT_EQ(cache.hits(), 1u);
+    // The peek made "a" most recently used.
+    EXPECT_EQ(cache.keysMruFirst(),
+              (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ResultCache, InsertOverwritesAndEvictsBeyondCapacity)
+{
+    ResultCache cache(2);
+    cache.insert("a", "old");
+    cache.insert("a", "new"); // Overwrite, not a second entry.
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(*cache.peek("a"), "new");
+
+    cache.insert("b", "body-b");
+    cache.insert("c", "body-c"); // Evicts the LRU entry ("a").
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.keysMruFirst(),
+              (std::vector<std::string>{"c", "b"}));
+}
+
+TEST(ResultCache, NdjsonRoundTripPreservesContentsAndOrder)
+{
+    const std::string path = "/tmp/serve_cache_roundtrip.ndjson";
+    std::remove(path.c_str());
+
+    ResultCache cache(8);
+    cache.insert("a", "body-a");
+    cache.insert("b", R"(body with "quotes" and
+newline)");
+    cache.insert("c", "body-c");
+    cache.peek("a"); // Recency: a, c, b.
+    cache.saveNdjson(path);
+
+    ResultCache restored(8);
+    EXPECT_EQ(restored.loadNdjson(path), 3u);
+    EXPECT_EQ(restored.size(), 3u);
+    EXPECT_EQ(restored.keysMruFirst(), cache.keysMruFirst());
+    EXPECT_EQ(*restored.peek("b"), *cache.peek("b"));
+    // Warming is not traffic: only the two explicit peeks counted.
+    EXPECT_EQ(restored.hits(), 1u);
+    EXPECT_EQ(restored.misses(), 0u);
+}
+
+TEST(ResultCache, LoadToleratesAbsentFilesAndTornLines)
+{
+    ResultCache cache(8);
+    EXPECT_EQ(cache.loadNdjson("/nonexistent/warm.ndjson"), 0u);
+
+    const std::string path = "/tmp/serve_cache_torn.ndjson";
+    {
+        std::ofstream f(path, std::ios::trunc);
+        f << R"({"key":"good","body":"intact"})" << '\n'
+          << R"({"key":"torn","bo)"; // Killed mid-write.
+    }
+    EXPECT_EQ(cache.loadNdjson(path), 1u);
+    EXPECT_EQ(*cache.peek("good"), "intact");
+    EXPECT_FALSE(cache.peek("torn").has_value());
+    std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,538 @@
+/**
+ * @file
+ * Tests for the design-space sweep engine: axis parsing, cartesian
+ * expansion, content-addressed task identity, static shard
+ * partitioning, the deterministic checkpoint merge, the append-only
+ * coordination log, and runSweep()'s resume / dedup / cache / claim
+ * behavior on stub benchmarks.
+ *
+ * Stubs are plain local BenchmarkInfo entries, never registered
+ * globally — the registry tests assert exact per-suite counts.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "core/campaign.hh"
+#include "core/coord.hh"
+#include "core/serve.hh"
+#include "core/sweep.hh"
+#include "core/verify.hh"
+
+namespace {
+
+using namespace cactus::core;
+using cactus::ConfigError;
+using cactus::gpu::DeviceConfig;
+using cactus::gpu::KernelDesc;
+using cactus::gpu::ThreadCtx;
+
+/** Deterministic well-behaved stub: one small vector-add launch. */
+class OkBenchmark : public Benchmark
+{
+  public:
+    explicit OkBenchmark(std::string name) : name_(std::move(name)) {}
+    std::string name() const override { return name_; }
+    std::string suite() const override { return "Test"; }
+    std::string domain() const override { return "Test"; }
+
+    void
+    run(cactus::gpu::Device &dev) override
+    {
+        const std::size_t n = 4096;
+        std::vector<float> a(n, 1.f), b(n, 2.f), c(n, 0.f);
+        dev.launchLinear(KernelDesc(name_ + "_vadd"), n, 256,
+                         [&](ThreadCtx &ctx) {
+                             const auto i = ctx.globalId();
+                             ctx.fp32();
+                             ctx.st(&c[i],
+                                    ctx.ld(&a[i]) + ctx.ld(&b[i]));
+                         });
+        recordOutput(c);
+    }
+
+  private:
+    std::string name_;
+};
+
+BenchmarkInfo
+okInfo(const std::string &name)
+{
+    return {name, "Test", "Test", [name](Scale) {
+                return std::unique_ptr<Benchmark>(
+                    new OkBenchmark(name));
+            }};
+}
+
+std::string
+tmpPath(const std::string &leaf)
+{
+    const std::string path = "/tmp/" + leaf;
+    std::remove(path.c_str());
+    return path;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** Expand bench x axes into the runSweep task list, the way
+ *  cactus_run does. */
+std::vector<CampaignTask>
+tasksFor(const std::vector<BenchmarkInfo> &benches,
+         const DeviceConfig &base,
+         const std::vector<SweepAxis> &axes)
+{
+    std::vector<CampaignTask> tasks;
+    for (const auto &info : benches)
+        for (const auto &point : expandSweep(base, axes))
+            tasks.push_back({info, point.config, point.label});
+    return tasks;
+}
+
+// ---------------------------------------------------------------- //
+// Axis parsing and cartesian expansion
+// ---------------------------------------------------------------- //
+
+TEST(Sweep, ParseAxisSplitsKeyAndValues)
+{
+    const auto axis = parseSweepAxis("l2_kb=256,512,1024");
+    EXPECT_EQ(axis.key, "l2_kb");
+    EXPECT_EQ(axis.values,
+              (std::vector<std::string>{"256", "512", "1024"}));
+}
+
+TEST(Sweep, ParseAxisRejectsBadSpecs)
+{
+    EXPECT_THROW(parseSweepAxis("no_equals"), ConfigError);
+    EXPECT_THROW(parseSweepAxis("=256"), ConfigError);
+    EXPECT_THROW(parseSweepAxis("voltage=1,2"), ConfigError);
+    EXPECT_THROW(parseSweepAxis("l2_kb="), ConfigError);
+    EXPECT_THROW(parseSweepAxis("l2_kb=,,"), ConfigError);
+}
+
+TEST(Sweep, ExpandIsOrderedCartesianProduct)
+{
+    const DeviceConfig base;
+    const auto points = expandSweep(
+        base, {parseSweepAxis("l2_kb=256,512"),
+               parseSweepAxis("l2_slices=2,4")});
+    ASSERT_EQ(points.size(), 4u);
+    // First axis varies slowest; labels record the full coordinates.
+    EXPECT_EQ(points[0].label, "l2_kb=256,l2_slices=2");
+    EXPECT_EQ(points[1].label, "l2_kb=256,l2_slices=4");
+    EXPECT_EQ(points[2].label, "l2_kb=512,l2_slices=2");
+    EXPECT_EQ(points[3].label, "l2_kb=512,l2_slices=4");
+    EXPECT_EQ(points[0].config.l2SizeBytes, 256 * 1024);
+    EXPECT_EQ(points[3].config.l2SizeBytes, 512 * 1024);
+    EXPECT_EQ(points[3].config.numL2Slices, 4);
+}
+
+TEST(Sweep, NoAxesYieldsTheBasePoint)
+{
+    const DeviceConfig base;
+    const auto points = expandSweep(base, {});
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].label, "");
+    EXPECT_EQ(points[0].config.digest(), base.digest());
+}
+
+TEST(Sweep, ExecutionKnobsDoNotChangeTaskIdentity)
+{
+    const DeviceConfig base;
+    const auto threads =
+        expandSweep(base, {parseSweepAxis("threads=1,2,4")});
+    ASSERT_EQ(threads.size(), 3u);
+    // Results are invariant to host threading, so all three points
+    // share one content address — the dedup the campaign relies on.
+    EXPECT_EQ(sweepTaskId("SN", "small", threads[0].config),
+              sweepTaskId("SN", "small", threads[1].config));
+    EXPECT_EQ(sweepTaskId("SN", "small", threads[1].config),
+              sweepTaskId("SN", "small", threads[2].config));
+
+    const auto l2 = expandSweep(base, {parseSweepAxis("l2_kb=256,512")});
+    EXPECT_NE(sweepTaskId("SN", "small", l2[0].config),
+              sweepTaskId("SN", "small", l2[1].config));
+    // Different benchmark or scale: different task.
+    EXPECT_NE(sweepTaskId("SN", "small", l2[0].config),
+              sweepTaskId("GMS", "small", l2[0].config));
+    EXPECT_NE(sweepTaskId("SN", "small", l2[0].config),
+              sweepTaskId("SN", "tiny", l2[0].config));
+}
+
+TEST(Sweep, ShardPartitionIsTotalAndDisjoint)
+{
+    const DeviceConfig base;
+    const auto points = expandSweep(
+        base, {parseSweepAxis("l2_kb=128,256,512,1024"),
+               parseSweepAxis("l2_slices=1,2,4")});
+    const int shards = 4;
+    for (const auto &bench : {"SN", "GMS", "LBM", "SPMV"}) {
+        for (const auto &point : points) {
+            const auto id = sweepTaskId(bench, "small", point.config);
+            int owners = 0;
+            for (int shard = 0; shard < shards; ++shard)
+                owners += taskInShard(id, shards, shard) ? 1 : 0;
+            EXPECT_EQ(owners, 1) << id;
+            // A single shard owns everything.
+            EXPECT_TRUE(taskInShard(id, 1, 0));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Deterministic merge
+// ---------------------------------------------------------------- //
+
+std::string
+fakeRecord(const std::string &task, const std::string &marker)
+{
+    return checkpointRecordLine(
+        task,
+        "{\"benchmark\":\"X\",\"suite\":\"T\",\"launches\":1,"
+        "\"total_seconds\":1,\"total_warp_insts\":1,"
+        "\"total_dram_sectors\":1,\"marker\":\"" + marker + "\"}");
+}
+
+TEST(Merge, DedupsSortsAndIsInputOrderInvariant)
+{
+    const auto in_a = tmpPath("merge_a.jsonl");
+    const auto in_b = tmpPath("merge_b.jsonl");
+    {
+        std::ofstream a(in_a), b(in_b);
+        // Overlapping byte-identical records, written out of order.
+        a << fakeRecord("b/small/02", "x") << '\n'
+          << fakeRecord("a/small/01", "x") << '\n';
+        b << fakeRecord("a/small/01", "x") << '\n'
+          << fakeRecord("c/small/03", "x") << '\n';
+    }
+
+    const auto out_ab = tmpPath("merge_ab.jsonl");
+    const auto out_ba = tmpPath("merge_ba.jsonl");
+    const auto mr = mergeCheckpoints({in_a, in_b}, out_ab);
+    EXPECT_TRUE(mr.clean());
+    EXPECT_EQ(mr.records, 4u);
+    EXPECT_EQ(mr.tasks, 3u);
+    EXPECT_EQ(mr.duplicates, 1u);
+    mergeCheckpoints({in_b, in_a}, out_ba);
+
+    const auto merged = slurp(out_ab);
+    EXPECT_EQ(merged, slurp(out_ba)); // Bit-identical either order.
+    // Sorted by task id, one record per task.
+    const auto pos_a = merged.find("a/small/01");
+    const auto pos_b = merged.find("b/small/02");
+    const auto pos_c = merged.find("c/small/03");
+    EXPECT_LT(pos_a, pos_b);
+    EXPECT_LT(pos_b, pos_c);
+    EXPECT_EQ(std::count(merged.begin(), merged.end(), '\n'), 3);
+}
+
+TEST(Merge, FlagsDisagreeingRecordsAsCorrupt)
+{
+    const auto in = tmpPath("merge_corrupt.jsonl");
+    {
+        std::ofstream f(in);
+        f << fakeRecord("a/small/01", "x") << '\n'
+          << fakeRecord("a/small/01", "y") << '\n' // Conflicts!
+          << fakeRecord("b/small/02", "x") << '\n';
+    }
+    const auto out = tmpPath("merge_corrupt_out.jsonl");
+    const auto mr = mergeCheckpoints({in}, out);
+    EXPECT_FALSE(mr.clean());
+    ASSERT_EQ(mr.corruptTasks.size(), 1u);
+    EXPECT_EQ(mr.corruptTasks[0], "a/small/01");
+    // The corrupt task is excluded; the clean one survives.
+    const auto merged = slurp(out);
+    EXPECT_EQ(merged.find("a/small/01"), std::string::npos);
+    EXPECT_NE(merged.find("b/small/02"), std::string::npos);
+}
+
+TEST(Merge, SkipsLeaseLegacyAndTornLines)
+{
+    const auto in = tmpPath("merge_noise.jsonl");
+    {
+        std::ofstream f(in);
+        f << R"({"state":"lease","gen":1,"task":"t","worker":"w"})"
+          << '\n'
+          << R"({"benchmark":"Old","status":"ok","launches":1,)"
+          << R"("total_seconds":1,"total_warp_insts":1,)"
+          << R"("total_dram_sectors":1})" << '\n'
+          << fakeRecord("a/small/01", "x") << '\n'
+          << R"({"task":"torn","sta)" << '\n';
+    }
+    const auto out = tmpPath("merge_noise_out.jsonl");
+    const auto mr = mergeCheckpoints({in}, out);
+    EXPECT_TRUE(mr.clean());
+    EXPECT_EQ(mr.records, 1u);
+    EXPECT_EQ(mr.legacy, 1u);
+    EXPECT_EQ(mr.ignored, 2u); // Lease + torn line.
+}
+
+TEST(Merge, UnreadableInputThrows)
+{
+    EXPECT_THROW(mergeCheckpoints({"/nonexistent/nope.jsonl"},
+                                  tmpPath("merge_unused.jsonl")),
+                 ConfigError);
+}
+
+// ---------------------------------------------------------------- //
+// Coordination log
+// ---------------------------------------------------------------- //
+
+TEST(Coordination, FirstLeaseWinsAcrossWorkers)
+{
+    const auto log = tmpPath("coord_race.jsonl");
+    CoordinationLog a(log, "alice");
+    CoordinationLog b(log, "bob");
+    EXPECT_EQ(a.generation(), 1);
+    EXPECT_EQ(b.generation(), 1);
+
+    EXPECT_EQ(a.claim("t1"), CoordinationLog::Claim::Won);
+    EXPECT_EQ(b.claim("t1"), CoordinationLog::Claim::Leased);
+    EXPECT_EQ(b.claim("t2"), CoordinationLog::Claim::Won);
+    EXPECT_EQ(a.claim("t2"), CoordinationLog::Claim::Leased);
+    // Re-claiming one's own lease still wins: a worker that retries a
+    // task it owns is not blocked by its own record.
+    EXPECT_EQ(a.claim("t1"), CoordinationLog::Claim::Won);
+}
+
+TEST(Coordination, DoneRecordsMarkTasksCompleted)
+{
+    const auto log = tmpPath("coord_done.jsonl");
+    {
+        CoordinationLog a(log, "alice");
+        ASSERT_EQ(a.claim("t1"), CoordinationLog::Claim::Won);
+        a.recordDone(fakeRecord("t1", "x"));
+    }
+    // A fresh worker — any generation — sees the completion.
+    CoordinationLog b(log, "bob");
+    EXPECT_EQ(b.claim("t1"), CoordinationLog::Claim::Completed);
+    EXPECT_TRUE(b.completedTasks().count("t1"));
+    EXPECT_EQ(b.claim("t2"), CoordinationLog::Claim::Won);
+}
+
+TEST(Coordination, LateJoinerHonoursTheLiveFleetsLeases)
+{
+    const auto log = tmpPath("coord_join.jsonl");
+    CoordinationLog a(log, "alice");
+    ASSERT_EQ(a.claim("t1"), CoordinationLog::Claim::Won);
+
+    // Opened AFTER alice leased: joins her generation and respects
+    // the lease (the duplicated-work bug this semantics prevents).
+    CoordinationLog b(log, "bob");
+    EXPECT_EQ(b.generation(), a.generation());
+    EXPECT_EQ(b.claim("t1"), CoordinationLog::Claim::Leased);
+}
+
+TEST(Coordination, NewGenerationUnbindsStaleLeases)
+{
+    const auto log = tmpPath("coord_recover.jsonl");
+    {
+        CoordinationLog crashed(log, "crashed");
+        ASSERT_EQ(crashed.claim("t1"), CoordinationLog::Claim::Won);
+        crashed.recordDone(fakeRecord("t2", "x"));
+        // ...and the fleet dies without completing t1.
+    }
+    CoordinationLog recovery(log, "recovery",
+                             /*newGeneration=*/true);
+    EXPECT_EQ(recovery.generation(), 2);
+    // The stale lease is unbound; the done record still holds.
+    EXPECT_EQ(recovery.claim("t1"), CoordinationLog::Claim::Won);
+    EXPECT_EQ(recovery.claim("t2"),
+              CoordinationLog::Claim::Completed);
+}
+
+// ---------------------------------------------------------------- //
+// runSweep: resume, dedup, cache, coordination
+// ---------------------------------------------------------------- //
+
+TEST(RunSweep, CheckpointResumesPerConfiguration)
+{
+    const auto manifest = tmpPath("sweep_resume.jsonl");
+    const DeviceConfig base;
+    CampaignOptions opts;
+    opts.checkpointPath = manifest;
+
+    const auto two = tasksFor({okInfo("A")}, base,
+                              {parseSweepAxis("l2_kb=256,512")});
+    const auto first = runSweep(two, opts);
+    EXPECT_EQ(first.okCount, 2);
+
+    // Same matrix again: both points resume from the checkpoint.
+    const auto again = runSweep(two, opts);
+    EXPECT_EQ(again.okCount, 0);
+    EXPECT_EQ(again.skippedCount, 2);
+
+    // A wider matrix re-runs only the unexplored configuration.
+    const auto three = tasksFor(
+        {okInfo("A")}, base, {parseSweepAxis("l2_kb=256,512,1024")});
+    const auto extended = runSweep(three, opts);
+    EXPECT_EQ(extended.okCount, 1);
+    EXPECT_EQ(extended.skippedCount, 2);
+    EXPECT_EQ(extended.entries[2].status, RunStatus::OK);
+    EXPECT_EQ(extended.entries[2].label, "l2_kb=1024");
+}
+
+TEST(RunSweep, LegacyNameRecordHonouredOnlyWhenUnambiguous)
+{
+    const auto manifest = tmpPath("sweep_legacy.jsonl");
+    {
+        // A pre-task-id manifest line, as PR 5 campaigns wrote them.
+        std::ofstream f(manifest);
+        f << R"({"benchmark":"A","status":"ok","suite":"Test",)"
+          << R"("domain":"Test","launches":1,"total_seconds":0.5,)"
+          << R"("total_warp_insts":128,"total_dram_sectors":16})"
+          << '\n';
+    }
+    const DeviceConfig base;
+    CampaignOptions opts;
+    opts.checkpointPath = manifest;
+
+    // One task per name: the legacy record is unambiguous — honour it.
+    const auto single = runSweep(tasksFor({okInfo("A")}, base, {}),
+                                 opts);
+    EXPECT_EQ(single.skippedCount, 1);
+    EXPECT_EQ(single.okCount, 0);
+
+    // Two configurations of the same name: the record cannot say
+    // which one completed, so both points run (the pre-sweep resume
+    // bug this keying fixes).
+    const auto swept = runSweep(
+        tasksFor({okInfo("A")}, base,
+                 {parseSweepAxis("l2_kb=256,512")}),
+        opts);
+    EXPECT_EQ(swept.okCount, 2);
+    EXPECT_EQ(swept.skippedCount, 0);
+}
+
+TEST(RunSweep, ExecutionKnobPointsShareOneResult)
+{
+    const DeviceConfig base;
+    CampaignOptions opts;
+    const auto result = runSweep(
+        tasksFor({okInfo("A")}, base,
+                 {parseSweepAxis("threads=1,2,4")}),
+        opts);
+    // One simulation satisfies all three points: equal task ids.
+    EXPECT_EQ(result.okCount, 1);
+    EXPECT_EQ(result.skippedCount, 2);
+    EXPECT_EQ(result.entries[0].taskId, result.entries[1].taskId);
+    EXPECT_EQ(result.entries[1].taskId, result.entries[2].taskId);
+}
+
+TEST(RunSweep, CacheAnswersRepeatSweepsByteIdentically)
+{
+    const DeviceConfig base;
+    ResultCache cache(64);
+    CampaignOptions opts;
+    opts.cache = &cache;
+
+    const auto tasks = tasksFor({okInfo("A"), okInfo("B")}, base,
+                                {parseSweepAxis("l2_kb=256,512")});
+
+    const auto cold_manifest = tmpPath("sweep_cache_cold.jsonl");
+    opts.checkpointPath = cold_manifest;
+    const auto cold = runSweep(tasks, opts);
+    EXPECT_EQ(cold.okCount, 4);
+    EXPECT_EQ(cache.size(), 4u);
+
+    // Warm pass, fresh checkpoint: every task answered by the cache,
+    // and the manifest it writes is byte-identical to the cold one —
+    // a cache hit is provably a fresh run.
+    const auto warm_manifest = tmpPath("sweep_cache_warm.jsonl");
+    opts.checkpointPath = warm_manifest;
+    const auto warm = runSweep(tasks, opts);
+    EXPECT_EQ(warm.okCount, 0);
+    EXPECT_EQ(warm.cachedCount, 4);
+    for (const auto &entry : warm.entries) {
+        EXPECT_EQ(entry.status, RunStatus::Cached);
+        EXPECT_FALSE(entry.resultBody.empty());
+        EXPECT_GT(entry.profile.launches, 0u);
+    }
+    EXPECT_EQ(slurp(cold_manifest), slurp(warm_manifest));
+}
+
+TEST(RunSweep, CachePersistenceSurvivesAProcessBoundary)
+{
+    const DeviceConfig base;
+    const auto cache_file = tmpPath("sweep_cache.ndjson");
+    const auto tasks = tasksFor({okInfo("A")}, base,
+                                {parseSweepAxis("l2_kb=256,512")});
+    {
+        ResultCache cache(64);
+        CampaignOptions opts;
+        opts.cache = &cache;
+        EXPECT_EQ(runSweep(tasks, opts).okCount, 2);
+        cache.saveNdjson(cache_file);
+    }
+    // "New process": a fresh cache warmed from disk answers the whole
+    // sweep without simulating.
+    ResultCache warmed(64);
+    EXPECT_EQ(warmed.loadNdjson(cache_file), 2u);
+    CampaignOptions opts;
+    opts.cache = &warmed;
+    const auto result = runSweep(tasks, opts);
+    EXPECT_EQ(result.okCount, 0);
+    EXPECT_EQ(result.cachedCount, 2);
+}
+
+TEST(RunSweep, CoordinationSplitsWorkAndSharesCompletions)
+{
+    const auto log = tmpPath("sweep_coord.jsonl");
+    const DeviceConfig base;
+    const auto tasks = tasksFor({okInfo("A"), okInfo("B")}, base,
+                                {parseSweepAxis("l2_kb=256,512")});
+
+    CoordinationLog worker_a(log, "alice");
+    CampaignOptions opts;
+    opts.coordination = &worker_a;
+    const auto first = runSweep(tasks, opts);
+    EXPECT_EQ(first.okCount, 4);
+
+    // A second worker on the same log: every task already has a done
+    // record, nothing runs twice.
+    CoordinationLog worker_b(log, "bob");
+    opts.coordination = &worker_b;
+    const auto second = runSweep(tasks, opts);
+    EXPECT_EQ(second.okCount, 0);
+    EXPECT_EQ(second.skippedCount, 4);
+
+    // The log doubles as a checkpoint: merging it yields one record
+    // per task, clean.
+    const auto merged = tmpPath("sweep_coord_merged.jsonl");
+    const auto mr = mergeCheckpoints({log}, merged);
+    EXPECT_TRUE(mr.clean());
+    EXPECT_EQ(mr.tasks, 4u);
+}
+
+TEST(RunSweep, CachedEntriesStillFaceTheIntegrityGate)
+{
+    const DeviceConfig base;
+    ResultCache cache(64);
+    CampaignOptions opts;
+    opts.cache = &cache;
+    const auto tasks = tasksFor({okInfo("A")}, base, {});
+    ASSERT_EQ(runSweep(tasks, opts).okCount, 1);
+
+    // A floor no real run could meet: the cached answer must be
+    // rejected just like a fresh one would be.
+    opts.minCoverage = 2.0;
+    const auto gated = runSweep(tasks, opts);
+    EXPECT_EQ(gated.corruptCount, 1);
+    EXPECT_EQ(gated.entries[0].status, RunStatus::Corrupt);
+}
+
+} // namespace

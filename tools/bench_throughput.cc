@@ -23,6 +23,7 @@
  * wall-clock measurements on shared CI hosts are advisory).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -37,6 +38,7 @@
 #include "common/parse.hh"
 #include "core/benchmark.hh"
 #include "gpu/device.hh"
+#include "gpu/digest.hh"
 
 namespace {
 
@@ -163,6 +165,70 @@ loadBaseline(const std::string &path)
         throw ConfigError("baseline " + path +
                           ": no benchmark entries");
     return base;
+}
+
+/** One prior measurement epoch from an existing BENCH_host.json's
+ *  "runs" history. */
+struct RunRecord
+{
+    int run = 0;
+    std::vector<int> threadCounts;
+    std::vector<double> totalSeconds;
+};
+
+/**
+ * Load the accumulated "runs" history from a previously written
+ * BENCH_host.json, so each rewrite appends this measurement epoch
+ * instead of discarding the trend. Absent file or a pre-history file
+ * (no "runs" key) yields an empty list — the history starts here.
+ */
+std::vector<RunRecord>
+loadRunHistory(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return {};
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    std::vector<RunRecord> runs;
+    std::size_t pos = text.find("\"runs\"");
+    if (pos == std::string::npos)
+        return runs;
+    const auto trimmed = [](const std::string &tok) {
+        const auto at = tok.find_first_not_of(" \t");
+        return at == std::string::npos ? tok : tok.substr(at);
+    };
+    while ((pos = text.find("{\"run\": ", pos)) !=
+           std::string::npos) {
+        const std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            throw ConfigError("history " + path +
+                              ": unterminated run entry");
+        RunRecord rec;
+        rec.run = parseInt(text.substr(pos + 8, comma - pos - 8),
+                           "history run number");
+        {
+            std::stringstream list(
+                bracketList(text, "thread_counts", pos, path));
+            std::string tok;
+            while (std::getline(list, tok, ','))
+                rec.threadCounts.push_back(
+                    parseInt(trimmed(tok), "history thread_counts"));
+        }
+        {
+            std::stringstream list(
+                bracketList(text, "total_seconds", pos, path));
+            std::string tok;
+            while (std::getline(list, tok, ','))
+                rec.totalSeconds.push_back(parseDouble(
+                    trimmed(tok), "history total_seconds"));
+        }
+        runs.push_back(std::move(rec));
+        pos = comma;
+    }
+    return runs;
 }
 
 /** Fractional regression beyond which a benchmark is called out. */
@@ -307,6 +373,10 @@ runMain(int argc, char **argv)
     if (rows.empty())
         fatal("no benchmarks matched");
 
+    // Read the accumulated run history before the rewrite truncates
+    // the file: each epoch appends, so the trend survives across PRs.
+    const auto history = loadRunHistory(out_path);
+
     std::FILE *out = std::fopen(out_path.c_str(), "w");
     if (!out)
         fatal("cannot open ", out_path, " for writing");
@@ -318,6 +388,13 @@ runMain(int argc, char **argv)
     };
     std::fprintf(out, "{\n  \"scale\": \"%s\",\n",
                  jstr(scale == Scale::Tiny ? "tiny" : "small").c_str());
+    // The digest covers the model geometry only (execution knobs like
+    // the thread count sweep are excluded by construction), so it
+    // names the configuration every timing in this file simulated.
+    std::fprintf(out, "  \"config_digest\": \"%s\",\n",
+                 gpu::hex16(gpu::DeviceConfig::scaledExperiment()
+                                .digest())
+                     .c_str());
     std::fprintf(out, "  \"repeats\": %d,\n", repeats);
     std::fprintf(out, "  \"fast_forward\": %s,\n",
                  fast_forward ? "true" : "false");
@@ -345,10 +422,33 @@ runMain(int argc, char **argv)
     std::fprintf(out, "  ],\n  \"total_seconds\": [");
     for (std::size_t t = 0; t < totals.size(); ++t)
         std::fprintf(out, "%s%.6f", t ? ", " : "", totals[t]);
-    std::fprintf(out, "]\n}\n");
+    // The runs history: every prior epoch verbatim, then this one.
+    // Monotonically growing — the one part of the file a rewrite
+    // never shrinks.
+    int next_run = 1;
+    for (const auto &rec : history)
+        next_run = std::max(next_run, rec.run + 1);
+    std::fprintf(out, "],\n  \"runs\": [\n");
+    const auto write_run = [&](int run,
+                               const std::vector<int> &threads,
+                               const std::vector<double> &tot,
+                               bool last) {
+        std::fprintf(out, "    {\"run\": %d, \"thread_counts\": [",
+                     run);
+        for (std::size_t t = 0; t < threads.size(); ++t)
+            std::fprintf(out, "%s%d", t ? ", " : "", threads[t]);
+        std::fprintf(out, "], \"total_seconds\": [");
+        for (std::size_t t = 0; t < tot.size(); ++t)
+            std::fprintf(out, "%s%.6f", t ? ", " : "", tot[t]);
+        std::fprintf(out, "]}%s\n", last ? "" : ",");
+    };
+    for (const auto &rec : history)
+        write_run(rec.run, rec.threadCounts, rec.totalSeconds, false);
+    write_run(next_run, thread_counts, totals, true);
+    std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
-    std::printf("wrote %s (%zu benchmarks)\n", out_path.c_str(),
-                rows.size());
+    std::printf("wrote %s (%zu benchmarks, run %d of the history)\n",
+                out_path.c_str(), rows.size(), next_run);
 
     if (!baseline_path.empty())
         compareAgainstBaseline(base, rows, thread_counts);

@@ -51,46 +51,11 @@
 #include "common/logging.hh"
 #include "common/parse.hh"
 #include "common/rng.hh"
+#include "common/zipf.hh"
 
 namespace {
 
 using namespace cactus;
-
-/**
- * Zipf(theta) sampler over ranks [0, n): precomputes the CDF once and
- * samples by binary search, the standard YCSB construction. theta = 0
- * degenerates to uniform.
- */
-class ZipfSampler
-{
-  public:
-    ZipfSampler(std::size_t n, double theta)
-    {
-        cdf_.reserve(n);
-        double sum = 0;
-        for (std::size_t i = 0; i < n; ++i) {
-            sum += 1.0 /
-                std::pow(static_cast<double>(i + 1), theta);
-            cdf_.push_back(sum);
-        }
-        for (auto &c : cdf_)
-            c /= sum;
-    }
-
-    std::size_t
-    sample(Rng &rng) const
-    {
-        const double u = rng.uniform();
-        const auto it =
-            std::lower_bound(cdf_.begin(), cdf_.end(), u);
-        return static_cast<std::size_t>(
-            std::min(cdf_.size() - 1,
-                     static_cast<std::size_t>(it - cdf_.begin())));
-    }
-
-  private:
-    std::vector<double> cdf_;
-};
 
 /** One request template: the JSON line sent on the wire. */
 struct ConfigItem

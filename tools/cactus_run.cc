@@ -13,16 +13,30 @@
  * benchmarks. The process exits non-zero only when a benchmark failed
  * or timed out — never by abort.
  *
+ * PR 7 turns suite runs into a design-space-exploration engine:
+ * --sweep expands a cartesian configuration matrix, --shards/--shard-id
+ * statically partitions it across processes, --coordinate lets workers
+ * claim tasks dynamically through a shared lease log, --cache answers
+ * repeated tasks from a persistent content-addressed result cache, and
+ * --merge folds shard outputs into one canonical report.
+ *
  * Usage:
  *   cactus_run --list
  *   cactus_run --bench GMS [--tiny] [--full-caches] [--trace out.jsonl]
  *   cactus_run --suite Cactus [--tiny] [--timeout SEC] [--retries N]
  *              [--checkpoint manifest.jsonl]
+ *   cactus_run --suite all --benchmarks lbm,spmv --sweep l2_kb=256,512
+ *              --shards 4 --shard-id 0 --checkpoint shard0.jsonl
+ *   cactus_run --suite all --sweep l2_kb=256,512 --coordinate work.jsonl
+ *   cactus_run --merge report.jsonl --input shard0.jsonl --input ...
  *   cactus_run --retime trace.jsonl --platform a100 [--lenient]
  */
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,7 +46,10 @@
 #include "common/logging.hh"
 #include "common/parse.hh"
 #include "core/campaign.hh"
+#include "core/coord.hh"
 #include "core/harness.hh"
+#include "core/serve.hh"
+#include "core/sweep.hh"
 #include "gpu/trace.hh"
 
 namespace {
@@ -51,6 +68,9 @@ printUsage()
         "                                    (SUITE 'all' = registry)\n"
         "  cactus_run --retime TRACE         project a saved trace\n"
         "                                    onto --platform\n"
+        "  cactus_run --merge OUT --input A [--input B ...]\n"
+        "                                    fold shard checkpoints\n"
+        "                                    into one canonical report\n"
         "options:\n"
         "  --platform P    2080ti | 3080 | a100 (for --retime)\n"
         "  --tiny          use the test-size inputs\n"
@@ -85,6 +105,38 @@ printUsage()
         "                  (--suite) treat a run whose smallest\n"
         "                  per-launch sampled-warp coverage is below\n"
         "                  X as CORRUPT\n"
+        "  --benchmarks CSV\n"
+        "                  (--suite) restrict the campaign to the\n"
+        "                  named benchmarks\n"
+        "  --sweep KEY=V1,V2,...\n"
+        "                  (--suite, repeatable) expand a cartesian\n"
+        "                  task matrix over configuration values;\n"
+        "                  keys: threads, l1_kb, l2_kb, l2_slices,\n"
+        "                  sampled_warps, fast_forward\n"
+        "  --shards N --shard-id I\n"
+        "                  (--suite) run only the tasks statically\n"
+        "                  assigned to shard I of N (by task-digest\n"
+        "                  hash; every shard computes the same\n"
+        "                  partition)\n"
+        "  --coordinate P  (--suite) claim tasks dynamically through\n"
+        "                  the shared lease log at P; completions are\n"
+        "                  appended as checkpoint records, so the log\n"
+        "                  is also a merge input\n"
+        "  --worker NAME   (--coordinate) worker name for lease\n"
+        "                  records (default: pid-based)\n"
+        "  --new-generation\n"
+        "                  (--coordinate) open a new lease generation,\n"
+        "                  unbinding a crashed fleet's stale leases;\n"
+        "                  completed tasks stay completed\n"
+        "  --cache P       (--suite) persistent result cache: loaded\n"
+        "                  before the campaign, consulted before every\n"
+        "                  simulation, saved back after\n"
+        "  --merge OUT     merge mode: dedup task records from every\n"
+        "                  --input by content address and write them\n"
+        "                  sorted; conflicting records for one task\n"
+        "                  are flagged CORRUPT and excluded\n"
+        "  --input P       (--merge, repeatable) a shard checkpoint\n"
+        "                  or coordination log to merge\n"
         "  --lenient       (--retime) skip malformed trace records\n"
         "                  with a warning instead of failing\n"
         "environment:\n"
@@ -137,20 +189,56 @@ struct VerifySettings
     double minCoverage = 0;      ///< Coverage floor (0 = off).
 };
 
+/** Sharding / coordination / caching knobs for a suite campaign. */
+struct ShardSettings
+{
+    std::vector<core::SweepAxis> axes; ///< --sweep, in option order.
+    std::vector<std::string> benchmarks; ///< --benchmarks filter.
+    int shards = 1;      ///< Static partition count.
+    int shardId = 0;     ///< This process's static shard.
+    std::string coordinatePath; ///< Lease log; "" = no coordination.
+    std::string workerName;     ///< Lease identity; "" = pid-based.
+    bool newGeneration = false; ///< Unbind a crashed fleet's leases.
+    std::string cachePath;      ///< Persistent cache; "" = off.
+};
+
 int
-runSuiteCampaign(const std::vector<const core::BenchmarkInfo *> &infos,
-                 core::Scale scale, const gpu::DeviceConfig &cfg,
-                 double timeout_seconds, int retries,
-                 const std::string &checkpoint_path,
-                 const VerifySettings &vs)
+runSuiteCampaign(const std::vector<core::CampaignTask> &tasks,
+                 core::Scale scale, double timeout_seconds,
+                 int retries, const std::string &checkpoint_path,
+                 const VerifySettings &vs, const ShardSettings &ss)
 {
     core::CampaignOptions opts;
     opts.scale = scale;
-    opts.config = cfg;
     opts.timeoutSeconds = timeout_seconds;
     opts.retries = retries;
     opts.checkpointPath = checkpoint_path;
     opts.minCoverage = vs.minCoverage;
+
+    // The persistent cache: warm it from disk, let the campaign
+    // consult and fill it, save it back at the end. Capacity is
+    // generous — a sweep's working set is the whole matrix.
+    std::unique_ptr<core::ResultCache> cache;
+    if (!ss.cachePath.empty()) {
+        cache = std::make_unique<core::ResultCache>(4096);
+        const auto loaded = cache->loadNdjson(ss.cachePath);
+        std::printf("cache: loaded %zu result%s from %s\n", loaded,
+                    loaded == 1 ? "" : "s", ss.cachePath.c_str());
+        opts.cache = cache.get();
+    }
+
+    std::unique_ptr<core::CoordinationLog> coordination;
+    if (!ss.coordinatePath.empty()) {
+        std::string worker = ss.workerName;
+        if (worker.empty())
+            worker = "pid" + std::to_string(::getpid());
+        coordination = std::make_unique<core::CoordinationLog>(
+            ss.coordinatePath, worker, ss.newGeneration);
+        std::printf("coordinating as '%s' (generation %ld) via %s\n",
+                    worker.c_str(), coordination->generation(),
+                    ss.coordinatePath.c_str());
+        opts.coordination = coordination.get();
+    }
 
     core::GoldenTable goldens, updated;
     if (vs.updateGoldens) {
@@ -163,27 +251,36 @@ runSuiteCampaign(const std::vector<const core::BenchmarkInfo *> &infos,
     }
 
     opts.onEntry = [](const core::CampaignEntry &entry) {
+        const std::string shown = entry.label.empty()
+            ? entry.name
+            : entry.name + " [" + entry.label + "]";
         switch (entry.status) {
           case core::RunStatus::OK:
             printProfile(entry.profile);
             break;
+          case core::RunStatus::Cached:
+            std::printf("\n%s: cached (persistent result cache "
+                        "already holds this task)\n",
+                        shown.c_str());
+            break;
           case core::RunStatus::Skipped:
-            std::printf("\n%s: skipped (checkpoint records a "
-                        "completed run)\n",
-                        entry.name.c_str());
+            std::printf("\n%s: skipped (%s)\n", shown.c_str(),
+                        entry.error.empty()
+                            ? "checkpoint records a completed run"
+                            : entry.error.c_str());
             break;
           case core::RunStatus::Timeout:
             std::printf("\n%s: TIMEOUT after %.1f s: %s\n",
-                        entry.name.c_str(), entry.wallSeconds,
+                        shown.c_str(), entry.wallSeconds,
                         entry.error.c_str());
             break;
           case core::RunStatus::Corrupt:
-            std::printf("\n%s: CORRUPT: %s\n", entry.name.c_str(),
+            std::printf("\n%s: CORRUPT: %s\n", shown.c_str(),
                         entry.error.c_str());
             break;
           case core::RunStatus::Failed:
             std::printf("\n%s: FAILED after %d attempt%s: %s\n",
-                        entry.name.c_str(), entry.attempts,
+                        shown.c_str(), entry.attempts,
                         entry.attempts == 1 ? "" : "s",
                         entry.error.c_str());
             break;
@@ -191,12 +288,14 @@ runSuiteCampaign(const std::vector<const core::BenchmarkInfo *> &infos,
         std::fflush(stdout);
     };
 
-    std::vector<core::BenchmarkInfo> benchmarks;
-    benchmarks.reserve(infos.size());
-    for (const auto *info : infos)
-        benchmarks.push_back(*info);
+    const auto result = core::runSweep(tasks, opts);
 
-    const auto result = core::runCampaign(benchmarks, opts);
+    if (cache) {
+        cache->saveNdjson(ss.cachePath);
+        std::printf("cache: saved %zu result%s to %s\n",
+                    cache->size(), cache->size() == 1 ? "" : "s",
+                    ss.cachePath.c_str());
+    }
 
     if (vs.updateGoldens) {
         updated.save(vs.goldensPath);
@@ -205,17 +304,21 @@ runSuiteCampaign(const std::vector<const core::BenchmarkInfo *> &infos,
     }
 
     std::printf("\ncampaign summary:\n");
-    analysis::TextTable table({"benchmark", "status", "attempts",
-                               "wall s", "min cov", "detail"});
+    analysis::TextTable table({"benchmark", "config", "status",
+                               "attempts", "wall s", "min cov",
+                               "detail"});
     for (const auto &entry : result.entries) {
         std::string detail = entry.error;
         if (detail.size() > 48)
             detail = detail.substr(0, 45) + "...";
         const bool has_profile =
             entry.status == core::RunStatus::OK ||
-            entry.status == core::RunStatus::Skipped;
+            entry.status == core::RunStatus::Skipped ||
+            entry.status == core::RunStatus::Cached;
         table.addRow(
-            {entry.name, core::runStatusName(entry.status),
+            {entry.name,
+             entry.label.empty() ? std::string("base") : entry.label,
+             core::runStatusName(entry.status),
              std::to_string(entry.attempts),
              analysis::fmt(entry.wallSeconds, 2),
              has_profile
@@ -225,10 +328,10 @@ runSuiteCampaign(const std::vector<const core::BenchmarkInfo *> &infos,
     }
     std::printf("%s", table.render().c_str());
     std::printf("campaign: %d ok, %d failed, %d timeout, %d corrupt, "
-                "%d skipped\n",
+                "%d skipped, %d cached\n",
                 result.okCount, result.failedCount,
                 result.timeoutCount, result.corruptCount,
-                result.skippedCount);
+                result.skippedCount, result.cachedCount);
     return result.allOk() ? 0 : 1;
 }
 
@@ -236,7 +339,8 @@ int
 runMain(int argc, char **argv)
 {
     std::string bench_name, suite_name, trace_path, retime_path;
-    std::string checkpoint_path;
+    std::string checkpoint_path, merge_path;
+    std::vector<std::string> merge_inputs;
     std::string platform = "3080";
     bool list = false;
     bool lenient = false;
@@ -245,6 +349,7 @@ runMain(int argc, char **argv)
     int retries = 0;
     double timeout_seconds = 0;
     VerifySettings vs;
+    ShardSettings ss;
 #ifdef CACTUS_SOURCE_DIR
     vs.goldensPath =
         std::string(CACTUS_SOURCE_DIR) + "/tests/goldens/digests.txt";
@@ -292,6 +397,37 @@ runMain(int argc, char **argv)
             retries = parseNonNegativeInt(next(), "--retries");
         } else if (arg == "--checkpoint") {
             checkpoint_path = next();
+        } else if (arg == "--sweep") {
+            ss.axes.push_back(core::parseSweepAxis(next()));
+        } else if (arg == "--benchmarks") {
+            const std::string csv = next();
+            for (std::size_t at = 0; at <= csv.size();) {
+                auto comma = csv.find(',', at);
+                if (comma == std::string::npos)
+                    comma = csv.size();
+                if (comma > at)
+                    ss.benchmarks.push_back(
+                        csv.substr(at, comma - at));
+                at = comma + 1;
+            }
+            if (ss.benchmarks.empty())
+                fatal("--benchmarks expects a comma-separated list");
+        } else if (arg == "--shards") {
+            ss.shards = parsePositiveInt(next(), "--shards");
+        } else if (arg == "--shard-id") {
+            ss.shardId = parseNonNegativeInt(next(), "--shard-id");
+        } else if (arg == "--coordinate") {
+            ss.coordinatePath = next();
+        } else if (arg == "--worker") {
+            ss.workerName = next();
+        } else if (arg == "--new-generation") {
+            ss.newGeneration = true;
+        } else if (arg == "--cache") {
+            ss.cachePath = next();
+        } else if (arg == "--merge") {
+            merge_path = next();
+        } else if (arg == "--input") {
+            merge_inputs.push_back(next());
         } else if (arg == "--verify") {
             vs.verify = true;
         } else if (arg == "--update-goldens") {
@@ -320,6 +456,31 @@ runMain(int argc, char **argv)
     cfg.fastForward = fast_forward;
 
     const auto &registry = core::Registry::instance();
+
+    if (!merge_path.empty()) {
+        if (merge_inputs.empty())
+            fatal("--merge needs at least one --input");
+        const auto mr = core::mergeCheckpoints(merge_inputs,
+                                               merge_path);
+        std::printf("merged %zu input%s: %zu record%s, "
+                    "%zu duplicate%s deduped, %zu legacy skipped, "
+                    "%zu line%s ignored\n",
+                    merge_inputs.size(),
+                    merge_inputs.size() == 1 ? "" : "s", mr.records,
+                    mr.records == 1 ? "" : "s", mr.duplicates,
+                    mr.duplicates == 1 ? "" : "s", mr.legacy,
+                    mr.ignored, mr.ignored == 1 ? "" : "s");
+        for (const auto &task : mr.corruptTasks)
+            std::printf("CORRUPT task %s: conflicting records for "
+                        "one content address\n",
+                        task.c_str());
+        std::printf("merge: %zu tasks, %zu corrupt -> %s\n", mr.tasks,
+                    mr.corruptTasks.size(), merge_path.c_str());
+        return mr.clean() ? 0 : 1;
+    }
+
+    if (ss.shardId < 0 || ss.shardId >= ss.shards)
+        fatal("--shard-id must lie in [0, --shards)");
 
     if (!retime_path.empty()) {
         gpu::DeviceConfig target;
@@ -437,13 +598,58 @@ runMain(int argc, char **argv)
         return 0;
     }
 
-    if (!suite_name.empty()) {
-        const auto infos =
+    if (!suite_name.empty() || !ss.benchmarks.empty()) {
+        if (suite_name.empty())
+            suite_name = "all"; // --benchmarks alone selects from all.
+        auto infos =
             registry.list(suite_name == "all" ? "" : suite_name);
         if (infos.empty())
             fatal("unknown or empty suite '", suite_name, "'");
-        return runSuiteCampaign(infos, scale, cfg, timeout_seconds,
-                                retries, checkpoint_path, vs);
+
+        if (!ss.benchmarks.empty()) {
+            std::vector<const core::BenchmarkInfo *> picked;
+            for (const auto &name : ss.benchmarks) {
+                const core::BenchmarkInfo *found = nullptr;
+                for (const auto *info : infos) {
+                    if (info->name == name) {
+                        found = info;
+                        break;
+                    }
+                }
+                if (found == nullptr)
+                    fatal("--benchmarks: '", name,
+                          "' is not in suite '", suite_name, "'");
+                picked.push_back(found);
+            }
+            infos = std::move(picked);
+        }
+
+        // Expand the sweep matrix, then keep this shard's slice. The
+        // matrix order (benchmark-major, first axis slowest) and the
+        // partition are pure functions of the command line, so every
+        // shard agrees on the assignment with no communication.
+        const auto points = core::expandSweep(cfg, ss.axes);
+        const std::string scale_tok = core::scaleToken(scale);
+        std::vector<core::CampaignTask> tasks;
+        std::size_t elsewhere = 0;
+        for (const auto *info : infos) {
+            for (const auto &point : points) {
+                const auto task_id = core::sweepTaskId(
+                    info->name, scale_tok, point.config);
+                if (!core::taskInShard(task_id, ss.shards,
+                                       ss.shardId)) {
+                    ++elsewhere;
+                    continue;
+                }
+                tasks.push_back({*info, point.config, point.label});
+            }
+        }
+        if (ss.shards > 1)
+            std::printf("shard %d/%d: %zu of %zu tasks\n", ss.shardId,
+                        ss.shards, tasks.size(),
+                        tasks.size() + elsewhere);
+        return runSuiteCampaign(tasks, scale, timeout_seconds,
+                                retries, checkpoint_path, vs, ss);
     }
 
     printUsage();

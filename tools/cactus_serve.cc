@@ -9,12 +9,17 @@
  *
  * Usage:
  *   cactus_serve [--port N] [--port-file PATH] [--cache N]
- *                [--timeout SEC] [--sim-threads N]
+ *                [--cache-file PATH] [--timeout SEC] [--sim-threads N]
  *
  *   --port N        TCP port on 127.0.0.1 (0 = ephemeral, default)
  *   --port-file P   write the bound port to P once listening (lets
  *                   scripts use --port 0 without racing)
  *   --cache N       LRU capacity in results (default 128)
+ *   --cache-file P  persistent cache: load results from P before
+ *                   serving (absent file = cold start) and save the
+ *                   cache back to P on shutdown — the same NDJSON
+ *                   format cactus_run --cache reads and writes, so
+ *                   campaigns and the daemon share warm state
  *   --timeout SEC   per-request watchdog; a simulation over deadline
  *                   is cancelled at its next launch boundary and the
  *                   client gets a "timeout" error response
@@ -60,7 +65,7 @@ int
 runMain(int argc, char **argv)
 {
     core::ServeOptions opts;
-    std::string port_file;
+    std::string port_file, cache_file;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -78,6 +83,8 @@ runMain(int argc, char **argv)
         } else if (arg == "--cache") {
             opts.cacheCapacity = static_cast<std::size_t>(
                 parsePositiveInt(next(), "--cache"));
+        } else if (arg == "--cache-file") {
+            cache_file = next();
         } else if (arg == "--timeout") {
             opts.timeoutSeconds = parseDouble(next(), "--timeout");
             if (opts.timeoutSeconds < 0)
@@ -98,6 +105,12 @@ runMain(int argc, char **argv)
     ::sigaction(SIGINT, &sa, nullptr);
 
     core::Server server(opts);
+    if (!cache_file.empty()) {
+        const auto loaded = server.cache().loadNdjson(cache_file);
+        std::printf("cactus_serve: warmed %zu result%s from %s\n",
+                    loaded, loaded == 1 ? "" : "s",
+                    cache_file.c_str());
+    }
     server.start();
     std::printf("cactus_serve: listening on %s:%d "
                 "(cache %zu results, timeout %s)\n",
@@ -127,6 +140,13 @@ runMain(int argc, char **argv)
     }
 
     server.stop();
+    if (!cache_file.empty()) {
+        server.cache().saveNdjson(cache_file);
+        std::printf("cactus_serve: saved %zu result%s to %s\n",
+                    server.cache().size(),
+                    server.cache().size() == 1 ? "" : "s",
+                    cache_file.c_str());
+    }
     const auto stats = server.stats();
     std::printf("cactus_serve: shutdown: %llu requests "
                 "(%llu computed, %llu cache hits, %llu coalesced), "
