@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Crash-safe whole-file replacement: write-temp + fsync + atomic
+ * rename (+ parent-directory fsync), so a reader — or a crash at any
+ * instant — observes either the previous complete file or the new
+ * complete file, never a hybrid or a torn prefix. This is the
+ * persistence discipline behind ResultCache::saveNdjson and the
+ * cactus_serve --port-file handshake; append-only logs (campaign
+ * checkpoints, coordination logs) instead rely on O_APPEND single
+ * writes plus the torn-trailing-line reader discipline.
+ *
+ * The 'cache-write' fault site (CACTUS_FAULT=cache-write:p:s, see
+ * common/fault.hh) deterministically tears the write mid-file: half
+ * the content is written to the temp file, the temp file is removed,
+ * and a ConfigError is thrown before the rename — proving callers
+ * survive a failed save with their previous file intact.
+ */
+
+#ifndef CACTUS_COMMON_ATOMIC_FILE_HH
+#define CACTUS_COMMON_ATOMIC_FILE_HH
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/error.hh"
+#include "common/fault.hh"
+
+namespace cactus {
+
+namespace detail {
+
+/** write(2) the whole buffer, retrying EINTR; false on any failure. */
+inline bool
+writeAll(int fd, std::string_view data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace detail
+
+/**
+ * Atomically replace @p path with @p content. The bytes are written
+ * to "<path>.tmp.<pid>", fsync'd, renamed over @p path, and the
+ * parent directory is fsync'd so the rename itself is durable.
+ * Throws ConfigError on any failure — including an injected
+ * 'cache-write' fault — after removing the temp file, leaving the
+ * destination exactly as it was.
+ */
+inline void
+atomicWriteFile(const std::string &path, std::string_view content,
+                const FaultInjector &fault = FaultInjector::fromEnv())
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        throw ConfigError("cannot write temp file '" + tmp +
+                          "': " + std::strerror(errno));
+
+    const auto fail = [&](const std::string &why) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw ConfigError("cannot save '" + path + "': " + why);
+    };
+
+    if (fault.shouldFail("cache-write")) {
+        // A deterministic torn write: half the bytes land, then the
+        // "process dies" before fsync/rename. The temp file is
+        // removed (a real crash would leave it as harmless litter);
+        // the destination is untouched either way.
+        detail::writeAll(
+            fd, content.substr(0, content.size() / 2));
+        fail("injected cache-write fault");
+    }
+
+    if (!detail::writeAll(fd, content))
+        fail(std::string("write: ") + std::strerror(errno));
+    if (::fsync(fd) != 0)
+        fail(std::string("fsync: ") + std::strerror(errno));
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        throw ConfigError("cannot save '" + path +
+                          "': close: " + std::strerror(errno));
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const std::string why = std::strerror(errno);
+        ::unlink(tmp.c_str());
+        throw ConfigError("cannot save '" + path +
+                          "': rename: " + why);
+    }
+
+    // Make the rename durable: fsync the parent directory. Failure
+    // here is not worth unwinding over (the data is already visible
+    // and complete); it only weakens durability, not atomicity.
+    const auto slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+}
+
+} // namespace cactus
+
+#endif // CACTUS_COMMON_ATOMIC_FILE_HH

@@ -73,6 +73,19 @@ class TimeoutError : public BenchmarkError
 };
 
 /**
+ * The serving layer refused to start a simulation because the
+ * admission queue is saturated or the server is draining for
+ * shutdown. Deliberately NOT a BenchmarkError: nothing ran and
+ * nothing failed — the request is well-formed and would succeed on a
+ * less-loaded server, so clients treat it as retryable (backoff, not
+ * bug report) and the serve layer never caches it.
+ */
+class OverloadedError : public Error
+{
+    using Error::Error;
+};
+
+/**
  * A result-integrity violation: recorded statistics break a
  * memory-hierarchy conservation invariant, a functional output
  * mismatches its golden digest, or an extrapolation is based on too

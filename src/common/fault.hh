@@ -20,6 +20,18 @@
  *   stats-corrupt gpu::Device::endLaunch (silently breaks a
  *                 LaunchStats conservation law just before the audit;
  *                 proves the auditor detects corruption)
+ *   net-accept    core::Server accept loop (a freshly accepted
+ *                 connection is dropped before its first byte, the
+ *                 client sees an immediate reset)
+ *   net-read      core::Server connection reads (a recv() is treated
+ *                 as a connection reset mid-request)
+ *   net-write     core::Server response writes (a send() fails, the
+ *                 response is lost and the connection closed)
+ *   cache-write   atomicWriteFile (common/atomic_file.hh): the
+ *                 persistence write tears mid-file and the atomic
+ *                 rename never happens, so the destination keeps its
+ *                 previous complete contents — the crash-safety
+ *                 property ResultCache::saveNdjson is built on
  */
 
 #ifndef CACTUS_COMMON_FAULT_HH

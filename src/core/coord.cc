@@ -43,6 +43,25 @@ CoordinationLog::CoordinationLog(std::string path, std::string worker,
         throw ConfigError("cannot open coordination log '" + path_ +
                           "': " + std::strerror(errno));
 
+    // Newline guard: a writer that died mid-append leaves a torn
+    // final line with no terminator. Appending our first record
+    // straight after it would weld two records into one unparseable
+    // line — so if the file does not end in '\n', add one now. The
+    // torn fragment then stands alone as a line the scan/load
+    // discipline already skips.
+    {
+        const int rfd = ::open(path_.c_str(), O_RDONLY);
+        if (rfd >= 0) {
+            const off_t size = ::lseek(rfd, 0, SEEK_END);
+            char last = '\n';
+            if (size > 0 &&
+                ::pread(rfd, &last, 1, size - 1) == 1 &&
+                last != '\n')
+                appendLine("");
+            ::close(rfd);
+        }
+    }
+
     // Fix the generation: join the fleet already leasing in this log
     // (a late-starting worker must honour its peers' leases, not
     // supersede them), or open the next generation when recovering
@@ -86,6 +105,11 @@ CoordinationLog::appendLine(const std::string &line)
         }
         off += static_cast<std::size_t>(n);
     }
+    // Durability: a lease or completion record another worker may act
+    // on must survive this process crashing right after the append.
+    if (::fsync(fd_) != 0 && errno != EINVAL && errno != EROFS)
+        throw ConfigError("cannot fsync coordination log '" + path_ +
+                          "': " + std::strerror(errno));
 }
 
 void

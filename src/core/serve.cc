@@ -1,11 +1,13 @@
 #include "core/serve.hh"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -13,6 +15,7 @@
 #include <fstream>
 #include <utility>
 
+#include "common/atomic_file.hh"
 #include "common/error.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -153,45 +156,158 @@ ResultCache::insert(const std::string &key, std::string body)
 }
 
 void
-ResultCache::saveNdjson(const std::string &path) const
+ResultCache::saveNdjson(const std::string &path,
+                        const FaultInjector &fault) const
 {
-    std::ofstream out(path, std::ios::trunc);
-    if (!out)
-        throw ConfigError("cannot write cache file '" + path + "'");
-    std::lock_guard<std::mutex> lock(mutex_);
-    // LRU-first: loadNdjson() pushes each record to the front, so the
-    // last line written (the MRU entry) ends up at the front again.
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it)
-        out << "{\"key\":\"" << jsonEscape(it->key)
-            << "\",\"body\":\"" << jsonEscape(it->body) << "\"}\n";
-    if (!out.flush())
-        throw ConfigError("short write to cache file '" + path + "'");
+    std::string content;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // LRU-first: loadNdjson() pushes each record to the front, so
+        // the last line written (the MRU entry) ends up at the front
+        // again. Each record carries an FNV-1a digest of its body
+        // bytes so the loader can tell a corrupted record from a
+        // merely torn one.
+        for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+            content += "{\"key\":\"" + jsonEscape(it->key) +
+                "\",\"digest\":\"" +
+                gpu::hex16(gpu::fnv1aBytes(it->body)) +
+                "\",\"body\":\"" + jsonEscape(it->body) + "\"}\n";
+        }
+    }
+    // Either the previous complete file or the new complete file —
+    // a crash (or injected cache-write fault) mid-save never tears
+    // the bytes a loader will see.
+    atomicWriteFile(path, content, fault);
 }
 
 std::size_t
-ResultCache::loadNdjson(const std::string &path)
+ResultCache::loadNdjson(const std::string &path, LoadStats *stats)
 {
+    LoadStats local;
+    LoadStats &s = stats ? *stats : local;
+    s = LoadStats{};
     std::ifstream in(path);
     if (!in)
         return 0; // Absent cache file: cold start, not an error.
-    std::size_t loaded = 0, skipped = 0;
     std::string line;
     while (std::getline(in, line)) {
         if (line.empty())
             continue;
-        std::string key, body;
+        std::string key, body, digest;
         if (!jsonFindText(line, "key", key) ||
             !jsonFindText(line, "body", body) || key.empty()) {
-            ++skipped; // Torn trailing line, most likely.
+            ++s.torn; // Torn trailing line, most likely.
+            continue;
+        }
+        // Digest-validated records: a parseable line whose body bytes
+        // do not hash to the recorded digest is silent corruption —
+        // skip it rather than serve wrong bytes as a "cache hit".
+        // Records without a digest field (pre-digest files) are
+        // trusted as before.
+        if (jsonFindText(line, "digest", digest) &&
+            digest != gpu::hex16(gpu::fnv1aBytes(body))) {
+            ++s.corrupt;
             continue;
         }
         insert(key, std::move(body));
-        ++loaded;
+        ++s.loaded;
     }
-    if (skipped > 0)
-        warn("cache file '", path, "': skipped ", skipped,
-             " malformed line", skipped == 1 ? "" : "s");
-    return loaded;
+    if (s.torn > 0)
+        warn("cache file '", path, "': skipped ", s.torn,
+             " torn line", s.torn == 1 ? "" : "s");
+    if (s.corrupt > 0)
+        warn("cache file '", path, "': skipped ", s.corrupt,
+             " corrupt record", s.corrupt == 1 ? "" : "s",
+             " (digest mismatch)");
+    return s.loaded;
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionQueue
+
+AdmissionQueue::AdmissionQueue(int maxInflight, int maxQueue)
+    : maxInflight_(maxInflight > 0 ? maxInflight : 1),
+      maxQueue_(maxQueue > 0 ? maxQueue : 0)
+{
+}
+
+AdmissionQueue::Outcome
+AdmissionQueue::acquire()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_) {
+        ++rejected_;
+        return Outcome::Closed;
+    }
+    if (inflight_ < maxInflight_) {
+        ++inflight_;
+        return Outcome::Admitted;
+    }
+    if (queued_ >= maxQueue_) {
+        // The fast rejection path: never block when saturated.
+        ++rejected_;
+        return Outcome::Rejected;
+    }
+    ++queued_;
+    slotFree_.wait(lock, [&] { return inflight_ < maxInflight_; });
+    --queued_;
+    ++inflight_;
+    return Outcome::Admitted;
+}
+
+void
+AdmissionQueue::release()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    --inflight_;
+    slotFree_.notify_one();
+    if (inflight_ == 0 && queued_ == 0)
+        idle_.notify_all();
+}
+
+void
+AdmissionQueue::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    // Queued waiters are deliberately NOT woken to fail: work the
+    // server already accepted drains to completion; only new work is
+    // refused.
+    if (inflight_ == 0 && queued_ == 0)
+        idle_.notify_all();
+}
+
+bool
+AdmissionQueue::awaitIdle(double seconds)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto idle = [&] { return inflight_ == 0 && queued_ == 0; };
+    if (seconds <= 0)
+        return idle();
+    return idle_.wait_for(lock,
+                          std::chrono::duration<double>(seconds),
+                          idle);
+}
+
+int
+AdmissionQueue::inflight() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inflight_;
+}
+
+int
+AdmissionQueue::queued() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queued_;
+}
+
+std::uint64_t
+AdmissionQueue::rejected() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_;
 }
 
 // ---------------------------------------------------------------------------
@@ -312,11 +428,41 @@ runCharacterization(const std::string &bench_name, Scale scale,
                                scale_tok, cfg);
 }
 
-std::string
-errorResponse(const char *taxonomy, const std::string &message)
+RequestOutcome
+errorOutcome(const char *taxonomy, const std::string &message)
 {
-    return std::string("{\"status\":\"error\",\"taxonomy\":\"") +
-        taxonomy + "\",\"error\":\"" + jsonEscape(message) + "\"}";
+    return {std::string("{\"status\":\"error\",\"taxonomy\":\"") +
+                taxonomy + "\",\"error\":\"" + jsonEscape(message) +
+                "\"}",
+            true, taxonomy};
+}
+
+/** The {"op":"health"} readiness payload. */
+std::string
+healthResponse(const HealthSnapshot &h)
+{
+    const std::uint64_t lookups = h.cacheHits + h.cacheMisses;
+    const double hit_rate = lookups == 0
+        ? 0.0
+        : static_cast<double>(h.cacheHits) /
+            static_cast<double>(lookups);
+    std::string out = "{\"status\":\"ok\",\"health\":{";
+    out += std::string("\"draining\":") +
+        (h.draining ? "true" : "false");
+    out += ",\"inflight\":" + std::to_string(h.inflight);
+    out += ",\"queued\":" + std::to_string(h.queued);
+    out += ",\"max_inflight\":" + std::to_string(h.maxInflight);
+    out += ",\"max_queue\":" + std::to_string(h.maxQueue);
+    out += ",\"uptime_seconds\":" + fmtDouble(h.uptimeSeconds);
+    out += ",\"requests\":" + std::to_string(h.requests);
+    out += ",\"errors\":" + std::to_string(h.errors);
+    out += ",\"overloaded\":" + std::to_string(h.overloaded);
+    out += ",\"cache_size\":" + std::to_string(h.cacheSize);
+    out += ",\"cache_hits\":" + std::to_string(h.cacheHits);
+    out += ",\"cache_misses\":" + std::to_string(h.cacheMisses);
+    out += ",\"hit_rate\":" + fmtDouble(hit_rate);
+    out += "}}";
+    return out;
 }
 
 const char *
@@ -377,9 +523,14 @@ processRequest(const std::string &line, ResultCache &cache,
 {
     try {
         std::string cmd;
-        if (jsonFindText(line, "cmd", cmd)) {
+        if (jsonFindText(line, "cmd", cmd) ||
+            jsonFindText(line, "op", cmd)) {
             if (cmd == "ping")
-                return {"{\"status\":\"ok\",\"pong\":true}", false};
+                return {"{\"status\":\"ok\",\"pong\":true}", false, {}};
+            if (cmd == "health")
+                return {healthResponse(ctx.health ? ctx.health()
+                                                  : HealthSnapshot{}),
+                        false, {}};
             throw ConfigError("unknown cmd '" + cmd + "'");
         }
 
@@ -432,21 +583,43 @@ processRequest(const std::string &line, ResultCache &cache,
         const std::string key =
             bench + "/" + scale_tok + "/" + gpu::hex16(cfg.digest());
         const auto lookup = cache.getOrCompute(key, [&] {
+            // Admission control sits INSIDE the compute callback, so
+            // it prices exactly what is expensive: a fresh
+            // simulation. Cache hits return before reaching here, and
+            // coalesced waiters block on the first asker's condition
+            // variable without consuming a slot — load shedding never
+            // applies to work that is already paid for.
+            if (ctx.admitSimulation) {
+                std::string why;
+                if (!ctx.admitSimulation(why))
+                    throw OverloadedError(why);
+            }
+            struct Release
+            {
+                const RequestContext &ctx;
+                ~Release()
+                {
+                    if (ctx.releaseSimulation)
+                        ctx.releaseSimulation();
+                }
+            } release{ctx};
             return runCharacterization(bench, scale, scale_tok, cfg,
                                        ctx);
         });
         return {"{\"status\":\"ok\",\"key\":\"" + key +
                     "\",\"source\":\"" + sourceName(lookup.source) +
                     "\",\"result\":" + lookup.body + "}",
-                false};
+                false, {}};
+    } catch (const OverloadedError &e) {
+        return errorOutcome("overloaded", e.what());
     } catch (const TimeoutError &e) {
-        return {errorResponse("timeout", e.what()), true};
+        return errorOutcome("timeout", e.what());
     } catch (const IntegrityError &e) {
-        return {errorResponse("corrupt", e.what()), true};
+        return errorOutcome("corrupt", e.what());
     } catch (const ConfigError &e) {
-        return {errorResponse("config", e.what()), true};
+        return errorOutcome("config", e.what());
     } catch (const std::exception &e) {
-        return {errorResponse("failed", e.what()), true};
+        return errorOutcome("failed", e.what());
     }
 }
 
@@ -455,20 +628,65 @@ processRequest(const std::string &line, ResultCache &cache,
 
 namespace {
 
-/** send() the whole buffer; false on a broken connection. */
-bool
-sendAll(int fd, const std::string &data)
+using Clock = std::chrono::steady_clock;
+
+/** The "no deadline, wait forever" sentinel. A plain time_point with
+ *  a sentinel (rather than std::optional) keeps the deadline state
+ *  trivially trackable across the poll loops below. */
+constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+/** poll(2) timeout in ms from @p now until @p deadline; never
+ *  negative. -1 (wait forever) when no deadline applies; capped at
+ *  60 s so a stuck peer is re-examined periodically. */
+int
+pollTimeoutMs(Clock::time_point deadline, Clock::time_point now)
 {
+    if (deadline == kNoDeadline)
+        return -1;
+    const auto left = std::chrono::duration_cast<
+        std::chrono::milliseconds>(deadline - now);
+    return left.count() <= 0
+        ? 0
+        : static_cast<int>(
+              std::min<long long>(left.count(), 60 * 1000));
+}
+
+/**
+ * Write the whole buffer to a (possibly non-blocking) socket,
+ * handling partial writes, EINTR, and EAGAIN via poll(POLLOUT).
+ * False on a broken connection, an expired deadline, or an injected
+ * net-write fault.
+ */
+bool
+sendAll(int fd, const std::string &data, Clock::time_point deadline,
+        const FaultInjector &fault)
+{
+    if (fault.shouldFail("net-write"))
+        return false;
     std::size_t sent = 0;
     while (sent < data.size()) {
         const ssize_t n = ::send(fd, data.data() + sent,
                                  data.size() - sent, MSG_NOSIGNAL);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR)
-                continue;
-            return false;
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
         }
-        sent += static_cast<std::size_t>(n);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            const int timeout = pollTimeoutMs(deadline, Clock::now());
+            if (timeout == 0)
+                return false; // Write deadline expired.
+            pollfd pfd{fd, POLLOUT, 0};
+            const int rc = ::poll(&pfd, 1, timeout);
+            if (rc < 0 && errno != EINTR)
+                return false;
+            if (rc == 0 &&
+                pollTimeoutMs(deadline, Clock::now()) == 0)
+                return false;
+            continue;
+        }
+        return false;
     }
     return true;
 }
@@ -476,7 +694,9 @@ sendAll(int fd, const std::string &data)
 } // namespace
 
 Server::Server(ServeOptions opts)
-    : opts_(std::move(opts)), cache_(opts_.cacheCapacity)
+    : opts_(std::move(opts)),
+      cache_(opts_.cacheCapacity),
+      admission_(opts_.maxInflight, opts_.maxQueue)
 {
 }
 
@@ -535,6 +755,7 @@ Server::start()
     }
 
     started_ = true;
+    started_at_ = Clock::now();
     acceptor_ = std::thread(&Server::acceptLoop, this);
 }
 
@@ -551,12 +772,18 @@ Server::acceptLoop()
             return;
         }
         if (fds[1].revents != 0)
-            return; // stop() wrote the wake byte.
+            return; // stop()/drain() wrote the wake byte.
         if ((fds[0].revents & POLLIN) == 0)
             continue;
         const int client = ::accept(listenFd_, nullptr, nullptr);
         if (client < 0)
             continue;
+        if (opts_.fault.shouldFail("net-accept")) {
+            // Injected accept failure: the client sees an immediate
+            // reset before its first byte.
+            ::close(client);
+            continue;
+        }
         std::lock_guard<std::mutex> lock(mutex_);
         conns_.push_back(client);
         threads_.emplace_back(&Server::connectionLoop, this, client);
@@ -566,45 +793,166 @@ Server::acceptLoop()
 void
 Server::connectionLoop(int fd)
 {
+    // Non-blocking I/O so every read and write can honour a deadline:
+    // a peer that stops reading or trickles bytes cannot park this
+    // thread forever.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
     RequestContext ctx;
     ctx.cancel = cancel_;
     ctx.timeoutSeconds = opts_.timeoutSeconds;
     ctx.defaultHostThreads = opts_.defaultHostThreads;
+    ctx.admitSimulation = [this](std::string &why) {
+        switch (admission_.acquire()) {
+          case AdmissionQueue::Outcome::Admitted:
+            return true;
+          case AdmissionQueue::Outcome::Closed:
+            why = "server draining";
+            return false;
+          case AdmissionQueue::Outcome::Rejected:
+          default:
+            why = "admission queue full (" +
+                std::to_string(admission_.maxInflight()) +
+                " inflight, " +
+                std::to_string(admission_.maxQueue()) + " queued)";
+            return false;
+        }
+    };
+    ctx.releaseSimulation = [this] { admission_.release(); };
+    ctx.health = [this] { return health(); };
+
+    const std::size_t max_line =
+        opts_.maxLineBytes > 0 ? opts_.maxLineBytes : 1;
+
+    // handleLine() returns false when the connection must close. The
+    // activeLines_ span covers processing AND the response write, so
+    // drain() only returns once accepted requests have their bytes on
+    // the wire.
+    const auto handleLine = [&](std::string line) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            return true;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++activeLines_;
+        }
+        const auto outcome = processRequest(line, cache_, ctx);
+        auto wdeadline = kNoDeadline;
+        if (opts_.ioDeadlineSeconds > 0)
+            wdeadline = Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        opts_.ioDeadlineSeconds));
+        const bool sent = sendAll(fd, outcome.response + "\n",
+                                  wdeadline, opts_.fault);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.requests;
+            if (outcome.error)
+                ++stats_.errors;
+            if (outcome.taxonomy == "overloaded")
+                ++stats_.overloaded;
+            --activeLines_;
+            if (activeLines_ == 0)
+                linesIdle_.notify_all();
+        }
+        return sent;
+    };
 
     std::string buffer;
     char chunk[4096];
-    for (;;) {
-        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR)
-                continue;
-            break;
-        }
-        buffer.append(chunk, static_cast<std::size_t>(n));
-
+    auto line_deadline = kNoDeadline;
+    bool open = true;
+    while (open) {
+        // Drain complete lines already buffered.
         std::size_t nl;
-        bool closed = false;
-        while ((nl = buffer.find('\n')) != std::string::npos) {
+        while (open &&
+               (nl = buffer.find('\n')) != std::string::npos) {
             std::string line = buffer.substr(0, nl);
             buffer.erase(0, nl + 1);
-            if (!line.empty() && line.back() == '\r')
-                line.pop_back();
-            if (line.empty())
-                continue;
-            const auto outcome = processRequest(line, cache_, ctx);
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.requests;
-                if (outcome.error)
+            open = handleLine(std::move(line));
+        }
+        if (!open)
+            break;
+        line_deadline = kNoDeadline;
+        if (buffer.empty()) {
+            if (opts_.idleTimeoutSeconds > 0)
+                line_deadline = Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            opts_.idleTimeoutSeconds));
+        } else {
+            if (buffer.size() > max_line) {
+                // The frame boundary is unrecoverable: answer with a
+                // taxonomy-correct error, then close.
+                const auto outcome = errorOutcome(
+                    "config",
+                    "request line exceeds " +
+                        std::to_string(max_line) + " bytes");
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    ++stats_.requests;
                     ++stats_.errors;
+                }
+                sendAll(fd, outcome.response + "\n", kNoDeadline,
+                        opts_.fault);
+                break;
             }
-            if (!sendAll(fd, outcome.response + "\n")) {
-                closed = true;
+            // The slowloris guard: a started line must finish within
+            // the I/O deadline however slowly its bytes trickle in.
+            if (opts_.ioDeadlineSeconds > 0)
+                line_deadline = Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            opts_.ioDeadlineSeconds));
+        }
+
+        // Wait for more bytes under the applicable deadline, then
+        // read. Partial reads are the normal case, not an error.
+        bool got_bytes = false;
+        while (!got_bytes) {
+            const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+            if (n > 0) {
+                if (opts_.fault.shouldFail("net-read")) {
+                    // Injected read failure: treat as a reset.
+                    open = false;
+                    break;
+                }
+                buffer.append(chunk, static_cast<std::size_t>(n));
+                got_bytes = true;
+                break;
+            }
+            if (n == 0) { // Peer closed cleanly.
+                open = false;
+                break;
+            }
+            if (errno == EINTR)
+                continue;
+            if (errno != EAGAIN && errno != EWOULDBLOCK) {
+                open = false;
+                break;
+            }
+            const int timeout =
+                pollTimeoutMs(line_deadline, Clock::now());
+            if (timeout == 0) { // Idle/slowloris deadline expired.
+                open = false;
+                break;
+            }
+            pollfd pfd{fd, POLLIN, 0};
+            const int rc = ::poll(&pfd, 1, timeout);
+            if (rc < 0 && errno != EINTR) {
+                open = false;
+                break;
+            }
+            if (rc == 0 &&
+                pollTimeoutMs(line_deadline, Clock::now()) == 0) {
+                open = false;
                 break;
             }
         }
-        if (closed)
-            break;
     }
     ::close(fd);
     std::lock_guard<std::mutex> lock(mutex_);
@@ -617,6 +965,53 @@ Server::connectionLoop(int fd)
 }
 
 void
+Server::stopAccepting()
+{
+    if (acceptorJoined_.exchange(true))
+        return;
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t w =
+        ::write(wakePipe_[1], &byte, 1);
+    acceptor_.join();
+    ::close(listenFd_);
+    listenFd_ = -1;
+}
+
+bool
+Server::drain(double timeoutSeconds)
+{
+    if (!started_ || stopped_)
+        return true;
+    if (draining_.exchange(true))
+        return true; // Already draining.
+
+    // Refuse new simulations and new connections; queued and
+    // in-flight work keeps running.
+    admission_.close();
+    stopAccepting();
+
+    // Wait for every accepted request to finish — response bytes
+    // written, not merely computed.
+    bool drained;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        const auto idle = [&] { return activeLines_ == 0; };
+        drained = timeoutSeconds > 0
+            ? linesIdle_.wait_for(
+                  lock,
+                  std::chrono::duration<double>(timeoutSeconds),
+                  idle)
+            : idle();
+    }
+
+    // Whatever outlived the deadline is cancelled cooperatively at
+    // its next launch boundary (those clients get timeout errors).
+    if (!drained)
+        cancel_.request();
+    return drained;
+}
+
+void
 Server::stop()
 {
     if (!started_ || stopped_)
@@ -624,14 +1019,10 @@ Server::stop()
     stopped_ = true;
 
     // Cancel in-flight simulations (observed at the next launch
-    // boundary) and wake the acceptor.
+    // boundary) and stop accepting.
     cancel_.request();
-    const char byte = 'x';
-    [[maybe_unused]] const ssize_t w =
-        ::write(wakePipe_[1], &byte, 1);
-    acceptor_.join();
-    ::close(listenFd_);
-    listenFd_ = -1;
+    admission_.close();
+    stopAccepting();
 
     // Unblock every connection thread's recv(); they close their own
     // fds on the way out.
@@ -665,6 +1056,37 @@ Server::stats() const
     out.coalesced = cache_.coalesced();
     out.evictions = cache_.evictions();
     return out;
+}
+
+HealthSnapshot
+Server::health() const
+{
+    HealthSnapshot h;
+    h.draining = draining_.load();
+    h.inflight = admission_.inflight();
+    h.queued = admission_.queued();
+    h.maxInflight = admission_.maxInflight();
+    h.maxQueue = admission_.maxQueue();
+    h.uptimeSeconds = started_
+        ? std::chrono::duration<double>(Clock::now() - started_at_)
+              .count()
+        : 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        h.requests = stats_.requests;
+        h.errors = stats_.errors;
+        h.overloaded = stats_.overloaded;
+    }
+    h.cacheHits = cache_.hits();
+    h.cacheMisses = cache_.misses();
+    h.cacheSize = cache_.size();
+    return h;
+}
+
+bool
+Server::draining() const
+{
+    return draining_.load();
 }
 
 } // namespace cactus::core

@@ -34,11 +34,41 @@
  *    cooperative: stop() cancels in-flight simulations through the
  *    same CancelToken machinery the campaign watchdog uses, at the
  *    next kernel-launch boundary.
+ *
+ * On top of the happy path sits an overload-and-degradation layer:
+ *
+ *  - AdmissionQueue bounds the simulations the daemon will run
+ *    (maxInflight) or queue (maxQueue) at once; beyond that a request
+ *    gets a fast, well-formed {"taxonomy":"overloaded"} rejection —
+ *    retryable by contract, never cached. Cache hits, coalesced
+ *    joins, ping, and health bypass admission entirely: answering
+ *    hot keys in microseconds is the point of the cache, so load
+ *    shedding must never apply to them.
+ *
+ *  - Per-connection limits (maxLineBytes, idleTimeoutSeconds,
+ *    ioDeadlineSeconds) keep a slowloris client or an unbounded
+ *    request line from wedging or OOMing the daemon; all socket I/O
+ *    is partial-read/partial-write-correct under those deadlines.
+ *
+ *  - drain() is the graceful half of shutdown: stop accepting, let
+ *    admitted and queued requests finish (their responses are fully
+ *    written) up to a deadline, then cancel whatever remains.
+ *    {"op":"health"} reports queue depth, inflight count, hit rate,
+ *    and uptime for load-balancer readiness, and keeps answering
+ *    while draining.
+ *
+ *  - Deterministic fault sites (CACTUS_FAULT, common/fault.hh):
+ *    net-accept / net-read / net-write drop connections at the
+ *    named I/O step; cache-write tears the persistence write before
+ *    its atomic rename (common/atomic_file.hh), so saveNdjson leaves
+ *    either the old or the new complete file, never a hybrid.
  */
 
 #ifndef CACTUS_CORE_SERVE_HH
 #define CACTUS_CORE_SERVE_HH
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -52,6 +82,7 @@
 #include <vector>
 
 #include "common/cancel.hh"
+#include "common/fault.hh"
 
 namespace cactus::gpu {
 struct DeviceConfig;
@@ -111,21 +142,41 @@ class ResultCache
      *  making it most recently used and evicting beyond capacity. */
     void insert(const std::string &key, std::string body);
 
-    /**
-     * Persist completed entries as NDJSON, one
-     * {"key":...,"body":...} record per line, least recently used
-     * first — so a loadNdjson() of the file rebuilds both the
-     * contents and the LRU order. ConfigError when unwritable.
-     */
-    void saveNdjson(const std::string &path) const;
+    /** What loadNdjson() found, record by record. */
+    struct LoadStats
+    {
+        std::size_t loaded = 0;  ///< Well-formed records inserted.
+        std::size_t torn = 0;    ///< Unparseable (torn/truncated).
+        std::size_t corrupt = 0; ///< Parsed but digest mismatched.
+    };
 
     /**
-     * Insert every well-formed record of @p path (absent file: no-op;
-     * torn or malformed lines are skipped with a warning, the
-     * checkpoint reader's discipline). Returns records loaded.
-     * Hit/miss counters are not touched — warming is not traffic.
+     * Persist completed entries as NDJSON, one
+     * {"key":...,"digest":...,"body":...} record per line (digest =
+     * hex16 FNV-1a of the body bytes, validated on load), least
+     * recently used first — so a loadNdjson() of the file rebuilds
+     * both the contents and the LRU order. The file is replaced
+     * atomically (write-temp + fsync + rename, common/atomic_file.hh)
+     * so a crash mid-save leaves the previous complete file;
+     * ConfigError when the write fails — including an injected
+     * 'cache-write' fault through @p fault.
      */
-    std::size_t loadNdjson(const std::string &path);
+    void saveNdjson(const std::string &path,
+                    const FaultInjector &fault =
+                        FaultInjector::fromEnv()) const;
+
+    /**
+     * Insert every well-formed record of @p path (absent file: no-op).
+     * Torn or malformed lines are skipped and counted, the checkpoint
+     * reader's discipline; records whose digest field does not match
+     * their body bytes are skipped and counted as corrupt (records
+     * without a digest field — pre-digest files — are trusted).
+     * Returns records loaded; @p stats (optional) receives the full
+     * breakdown. Hit/miss counters are not touched — warming is not
+     * traffic.
+     */
+    std::size_t loadNdjson(const std::string &path,
+                           LoadStats *stats = nullptr);
 
     std::size_t capacity() const { return capacity_; }
     std::size_t size() const;
@@ -180,6 +231,76 @@ class ResultCache
     std::uint64_t evictions_ = 0;
 };
 
+/**
+ * Bounded admission control for simulations. At most maxInflight
+ * computations run concurrently; up to maxQueue more wait for a slot;
+ * anything beyond is rejected immediately (the caller turns that into
+ * an "overloaded" response). close() starts a drain: new acquires are
+ * refused as Closed, but already-queued waiters still get slots, so
+ * accepted work finishes. Thread-safe.
+ */
+class AdmissionQueue
+{
+  public:
+    /** Floors: at least 1 inflight slot; a negative queue cap is 0. */
+    AdmissionQueue(int maxInflight, int maxQueue);
+
+    enum class Outcome
+    {
+        Admitted, ///< Slot acquired; pair with release().
+        Rejected, ///< Queue full: shed this request now.
+        Closed    ///< Draining: refuse new work.
+    };
+
+    /** Acquire a simulation slot, blocking in the bounded queue when
+     *  all slots are busy. Never blocks when the queue is full. */
+    Outcome acquire();
+
+    /** Return a slot acquired via Admitted. */
+    void release();
+
+    /** Begin draining: refuse new acquires, keep serving the queue. */
+    void close();
+
+    /** Block until nothing is inflight or queued, up to @p seconds
+     *  (<= 0: just poll). True when fully idle. */
+    bool awaitIdle(double seconds);
+
+    int maxInflight() const { return maxInflight_; }
+    int maxQueue() const { return maxQueue_; }
+    int inflight() const;
+    int queued() const;
+    std::uint64_t rejected() const;
+
+  private:
+    const int maxInflight_;
+    const int maxQueue_;
+    mutable std::mutex mutex_;
+    std::condition_variable slotFree_;
+    std::condition_variable idle_;
+    int inflight_ = 0;
+    int queued_ = 0;
+    bool closed_ = false;
+    std::uint64_t rejected_ = 0;
+};
+
+/** Point-in-time server health, serialized by {"op":"health"}. */
+struct HealthSnapshot
+{
+    bool draining = false;
+    int inflight = 0;
+    int queued = 0;
+    int maxInflight = 0;
+    int maxQueue = 0;
+    double uptimeSeconds = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t overloaded = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::size_t cacheSize = 0;
+};
+
 /** Execution context threaded through request processing. */
 struct RequestContext
 {
@@ -196,12 +317,31 @@ struct RequestContext
      *  balances per-request fan-out against cross-request
      *  concurrency. */
     int defaultHostThreads = 1;
+
+    /**
+     * Admission hook, called just before a simulation would start —
+     * i.e. only on a cache miss that is not coalescing onto an
+     * in-flight identical request. Returning false (after filling
+     * @p reason) turns the request into an "overloaded" response
+     * without touching the cache. Null: always admit (direct
+     * processRequest callers, tests).
+     */
+    std::function<bool(std::string &reason)> admitSimulation;
+
+    /** Paired with a successful admitSimulation; runs after the
+     *  simulation finishes (success or failure). */
+    std::function<void()> releaseSimulation;
+
+    /** Health provider for {"op":"health"}; null reports a
+     *  default-constructed (all-zero) snapshot. */
+    std::function<HealthSnapshot()> health;
 };
 
 struct RequestOutcome
 {
     std::string response; ///< One JSON object, no trailing newline.
     bool error = false;   ///< True when response carries status:error.
+    std::string taxonomy; ///< Error taxonomy; empty on success.
 };
 
 /**
@@ -209,11 +349,17 @@ struct RequestOutcome
  * failure becomes a {"status":"error","taxonomy":...} response, with
  * the taxonomy mirroring campaign outcomes — "config" (bad request),
  * "failed" (benchmark error), "timeout" (watchdog), "corrupt"
- * (integrity violation).
+ * (integrity violation) — plus "overloaded" (admission refused; the
+ * one retryable-by-contract taxonomy, never cached).
  *
- * Request schema (one JSON object per line; unknown keys ignored):
+ * Request schema (one JSON object per line; unknown keys ignored;
+ * "op" is accepted as a synonym for "cmd"):
  *   {"bench":"GMS","scale":"tiny"}                    — minimal
  *   {"cmd":"ping"}                                    — liveness
+ *   {"op":"health"}                                   — readiness:
+ *     queue depth, inflight count, hit rate, uptime, draining flag;
+ *     bypasses admission so load balancers can probe a saturated or
+ *     draining daemon
  *   optional model knobs (all folded into the cache key through
  *   DeviceConfig::digest()): "l1_kb", "l2_kb", "l2_slices",
  *   "sampled_warps", "full_caches"; optional execution knobs (NOT in
@@ -249,6 +395,34 @@ struct ServeOptions
     std::size_t cacheCapacity = 128;
     double timeoutSeconds = 0;  ///< Per-request watchdog; 0 = off.
     int defaultHostThreads = 1; ///< See RequestContext.
+
+    // --- Overload control -------------------------------------------------
+
+    /** Concurrent simulations admitted; at least 1 is enforced. */
+    int maxInflight = 4;
+
+    /** Simulations allowed to wait for a slot; beyond this a request
+     *  is rejected with taxonomy "overloaded". */
+    int maxQueue = 64;
+
+    /** Longest accepted request line in bytes. A connection that
+     *  exceeds it gets a config-taxonomy error and is closed (the
+     *  frame boundary is lost). Floored at 1. */
+    std::size_t maxLineBytes = 64 * 1024;
+
+    /** Close a connection after this many seconds with no bytes at
+     *  all between requests; 0 = never. */
+    double idleTimeoutSeconds = 0;
+
+    /** Deadline for finishing a started request line (first byte to
+     *  newline) and for writing a response — the slowloris guard;
+     *  0 = none. */
+    double ioDeadlineSeconds = 0;
+
+    /** Fault injection for the net-accept/net-read/net-write sites;
+     *  defaults to the process-wide CACTUS_FAULT spec. Tests install
+     *  explicit injectors via FaultInjector::parse. */
+    FaultInjector fault = FaultInjector::fromEnv();
 };
 
 /** Aggregate request counters, snapshot via Server::stats(). */
@@ -256,6 +430,7 @@ struct ServeStats
 {
     std::uint64_t requests = 0;
     std::uint64_t errors = 0;
+    std::uint64_t overloaded = 0; ///< Subset of errors: shed load.
     std::uint64_t computed = 0;
     std::uint64_t cacheHits = 0;
     std::uint64_t coalesced = 0;
@@ -280,35 +455,59 @@ class Server
     /** Bind, listen, and start accepting. ConfigError on failure. */
     void start();
 
-    /** Cooperative shutdown; safe to call twice. */
+    /**
+     * Graceful degradation: stop accepting connections, refuse new
+     * simulations ("overloaded: server draining" — ping/health still
+     * answer), and wait up to @p timeoutSeconds for every admitted or
+     * queued request to finish AND have its response fully written.
+     * Whatever remains is then cancelled through the CancelToken
+     * path. Returns true when the drain completed within the
+     * deadline. Idempotent; call stop() afterwards to join
+     * connections.
+     */
+    bool drain(double timeoutSeconds);
+
+    /** Cooperative shutdown; safe to call twice (and after drain). */
     void stop();
 
     /** The bound port (resolves port 0 after start()). */
     int port() const { return port_; }
 
     ServeStats stats() const;
+    HealthSnapshot health() const;
+    bool draining() const;
     const ResultCache &cache() const { return cache_; }
     ResultCache &cache() { return cache_; } ///< For warm-up/persist.
 
   private:
     void acceptLoop();
     void connectionLoop(int fd);
+    void stopAccepting(); ///< Idempotent: join acceptor, close fd.
 
     const ServeOptions opts_;
     ResultCache cache_;
+    AdmissionQueue admission_;
     CancelToken cancel_ = CancelToken::make();
+    std::chrono::steady_clock::time_point started_at_;
 
     int listenFd_ = -1;
     int wakePipe_[2] = {-1, -1};
     int port_ = 0;
     bool started_ = false;
     bool stopped_ = false;
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> acceptorJoined_{false};
 
     std::thread acceptor_;
     mutable std::mutex mutex_; ///< Guards conns_/threads_/stats_.
     std::vector<int> conns_;
     std::vector<std::thread> threads_;
     ServeStats stats_;
+
+    /** Request lines being handled right now, response write
+     *  included — what drain() waits to reach zero. */
+    int activeLines_ = 0;
+    std::condition_variable linesIdle_;
 };
 
 } // namespace cactus::core

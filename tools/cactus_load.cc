@@ -16,20 +16,37 @@
  *               [--host H] [--connections N] [--requests N]
  *               [--configs K] [--zipf THETA] [--scale tiny|small]
  *               [--benchmarks A,B,...] [--seed S]
+ *               [--deadline SEC] [--retries N]
  *
  *   --requests N    total requests across all connections (default 200)
  *   --connections N closed-loop client threads (default 4)
  *   --configs K     distinct (bench, l2_kb) request configs (default 8)
  *   --zipf THETA    skew; 0 = uniform, 0.99 = YCSB default
  *   --benchmarks    comma-separated bench names cycled across configs
+ *   --deadline SEC  per-request response deadline (0 = none); an
+ *                   expired deadline abandons the connection (the late
+ *                   response would desynchronise the stream) and
+ *                   reconnects
+ *   --retries N     attempts beyond the first for retryable failures:
+ *                   connection resets, expired deadlines, failed
+ *                   connects, and "overloaded" rejections. Backoff is
+ *                   exponential with decorrelated jitter
+ *                   (sleep = min(cap, uniform(base, 3*prev))), so a
+ *                   thundering herd against a draining or saturated
+ *                   server spreads out. Non-retryable error taxonomies
+ *                   (config, failed, timeout, corrupt) are terminal
+ *                   for that request.
  *
  * Prints throughput, hit rate, overall/cold/hit latency percentiles,
- * the cold-to-hit latency ratio, and the mismatch count. Exits
- * non-zero on any mismatch or error response.
+ * the cold-to-hit latency ratio, a resilience section (retries,
+ * reconnects, deadline expiries, per-taxonomy error counts, attempts
+ * histogram), and the mismatch count. Exits non-zero on any mismatch
+ * or unrecovered request.
  */
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -68,7 +85,20 @@ struct WorkerResult
     std::vector<double> coldMs;      ///< source == "computed"
     std::vector<double> hitMs;       ///< source == "cache"
     std::vector<double> coalescedMs; ///< source == "coalesced"
-    std::uint64_t errors = 0;
+    std::uint64_t errors = 0;     ///< unrecovered after all retries
+    std::uint64_t retries = 0;    ///< extra attempts spent
+    std::uint64_t reconnects = 0; ///< sockets re-established
+    std::uint64_t deadlines = 0;  ///< per-request deadlines expired
+    std::uint64_t resets = 0;     ///< send/recv transport failures
+    std::map<std::string, std::uint64_t> taxonomy; ///< error kinds
+    std::vector<std::uint64_t> attempts; ///< [k] = successes at try k
+};
+
+/** Tuning shared by every worker. */
+struct ClientOptions
+{
+    double deadlineSeconds = 0; ///< 0 = wait forever
+    int retries = 0;            ///< extra attempts per request
 };
 
 /** Shared byte-identity oracle: key -> first-seen result bytes. */
@@ -79,23 +109,26 @@ struct Oracle
     std::uint64_t mismatches = 0;
 };
 
+/** Connect, or -1 on failure (a retryable event under --retries). */
 int
-connectTo(const std::string &host, int port)
+tryConnect(const std::string &host, int port)
 {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
-        fatal("socket: ", std::strerror(errno));
+        return -1;
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(static_cast<std::uint16_t>(port));
     if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
         fatal("bad host address '", host, "'");
     if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof addr) != 0)
-        fatal("cannot connect to ", host, ":", port, ": ",
-              std::strerror(errno));
+                  sizeof addr) != 0) {
+        ::close(fd);
+        return -1;
+    }
     return fd;
 }
+
 
 bool
 sendAll(int fd, const std::string &data)
@@ -114,16 +147,42 @@ sendAll(int fd, const std::string &data)
     return true;
 }
 
-/** Read one newline-terminated response (newline stripped). */
+/**
+ * Read one newline-terminated response (newline stripped), waiting at
+ * most until @p deadline (steady_clock; time_point::max() = forever).
+ * Sets @p expired when the failure was the deadline rather than a
+ * transport error — the caller must drop the connection either way,
+ * but the distinction feeds different counters.
+ */
 bool
-recvLine(int fd, std::string &buffer, std::string &line)
+recvLine(int fd, std::string &buffer, std::string &line,
+         std::chrono::steady_clock::time_point deadline, bool &expired)
 {
+    using SClock = std::chrono::steady_clock;
+    expired = false;
     for (;;) {
         const std::size_t nl = buffer.find('\n');
         if (nl != std::string::npos) {
             line = buffer.substr(0, nl);
             buffer.erase(0, nl + 1);
             return true;
+        }
+        if (deadline != SClock::time_point::max()) {
+            const auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(deadline - SClock::now());
+            if (left.count() <= 0) {
+                expired = true;
+                return false;
+            }
+            pollfd pfd{fd, POLLIN, 0};
+            const int rc = ::poll(
+                &pfd, 1,
+                static_cast<int>(std::min<long long>(
+                    left.count(), 60 * 1000)));
+            if (rc < 0 && errno != EINTR)
+                return false;
+            if (rc == 0)
+                continue; // Re-check the deadline.
         }
         char chunk[4096];
         const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
@@ -154,53 +213,123 @@ void
 worker(const std::string &host, int port,
        const std::vector<ConfigItem> &items,
        const ZipfSampler &zipf, std::uint64_t seed, int requests,
-       WorkerResult &out, Oracle &oracle)
+       const ClientOptions &copts, WorkerResult &out, Oracle &oracle)
 {
+    using SClock = std::chrono::steady_clock;
     Rng rng(seed);
-    const int fd = connectTo(host, port);
+    int fd = tryConnect(host, port);
     std::string buffer;
     std::string response;
+    out.attempts.assign(
+        static_cast<std::size_t>(copts.retries) + 1, 0);
+
+    // Decorrelated jitter: each retry sleeps uniform(base, 3*prev),
+    // capped — concurrent clients retrying into a saturated server
+    // decorrelate instead of stampeding in lockstep.
+    constexpr double kBackoffBase = 0.025, kBackoffCap = 1.0;
+    double prev_sleep = kBackoffBase;
+    const auto backoff = [&] {
+        const double s = std::min(
+            kBackoffCap, rng.uniform(kBackoffBase, prev_sleep * 3));
+        prev_sleep = s;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(s));
+    };
+    const auto dropConnection = [&] {
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+        buffer.clear();
+    };
 
     for (int i = 0; i < requests; ++i) {
         const auto &item = items[zipf.sample(rng)];
-        const auto t0 = std::chrono::steady_clock::now();
-        if (!sendAll(fd, item.line + "\n") ||
-            !recvLine(fd, buffer, response)) {
-            warn("connection lost after ", i, " requests");
-            out.errors += static_cast<std::uint64_t>(requests - i);
-            break;
-        }
-        const double ms =
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - t0)
-                .count();
+        bool done = false;
+        prev_sleep = kBackoffBase;
+        for (int attempt = 0; attempt <= copts.retries && !done;
+             ++attempt) {
+            if (attempt > 0)
+                ++out.retries;
+            if (fd < 0) {
+                fd = tryConnect(host, port);
+                if (fd < 0) {
+                    backoff();
+                    continue;
+                }
+                ++out.reconnects;
+            }
 
-        std::string status, source, key, body;
-        if (!jsonFindText(response, "status", status) ||
-            status != "ok" ||
-            !jsonFindText(response, "source", source) ||
-            !jsonFindText(response, "key", key) ||
-            !resultBody(response, body)) {
+            const auto t0 = SClock::now();
+            const auto deadline = copts.deadlineSeconds > 0
+                ? t0 + std::chrono::duration_cast<SClock::duration>(
+                      std::chrono::duration<double>(
+                          copts.deadlineSeconds))
+                : SClock::time_point::max();
+
+            bool expired = false;
+            if (!sendAll(fd, item.line + "\n") ||
+                !recvLine(fd, buffer, response, deadline, expired)) {
+                // Transport failure or expired deadline: either way
+                // the stream may be desynchronised (a late response
+                // would answer the wrong request), so reconnect.
+                ++(expired ? out.deadlines : out.resets);
+                dropConnection();
+                backoff();
+                continue;
+            }
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    SClock::now() - t0)
+                    .count();
+
+            std::string status, source, key, body, tax;
+            if (!jsonFindText(response, "status", status)) {
+                ++out.resets; // Unparseable frame: treat as reset.
+                dropConnection();
+                backoff();
+                continue;
+            }
+            if (status != "ok") {
+                jsonFindText(response, "taxonomy", tax);
+                if (tax.empty())
+                    tax = "unknown";
+                ++out.taxonomy[tax];
+                if (tax == "overloaded") {
+                    // Retryable by contract: the server shed load,
+                    // nothing ran, a later attempt may be admitted.
+                    backoff();
+                    continue;
+                }
+                break; // Terminal taxonomy for this request.
+            }
+            if (!jsonFindText(response, "source", source) ||
+                !jsonFindText(response, "key", key) ||
+                !resultBody(response, body)) {
+                ++out.taxonomy["malformed"];
+                break;
+            }
+
+            if (source == "computed")
+                out.coldMs.push_back(ms);
+            else if (source == "cache")
+                out.hitMs.push_back(ms);
+            else
+                out.coalescedMs.push_back(ms);
+            ++out.attempts[static_cast<std::size_t>(attempt)];
+            done = true;
+
+            // Byte-identity: every response for a key must match the
+            // first one seen, regardless of source.
+            std::lock_guard<std::mutex> lock(oracle.mutex);
+            const auto [it, inserted] =
+                oracle.firstBody.emplace(key, body);
+            if (!inserted && it->second != body)
+                ++oracle.mismatches;
+        }
+        if (!done)
             ++out.errors;
-            continue;
-        }
-
-        if (source == "computed")
-            out.coldMs.push_back(ms);
-        else if (source == "cache")
-            out.hitMs.push_back(ms);
-        else
-            out.coalescedMs.push_back(ms);
-
-        // Byte-identity: every response for a key must match the
-        // first one seen, regardless of source.
-        std::lock_guard<std::mutex> lock(oracle.mutex);
-        const auto [it, inserted] =
-            oracle.firstBody.emplace(key, body);
-        if (!inserted && it->second != body)
-            ++oracle.mismatches;
     }
-    ::close(fd);
+    dropConnection();
 }
 
 double
@@ -237,6 +366,7 @@ runMain(int argc, char **argv)
     int configs = 8;
     double zipf_theta = 0.99;
     std::uint64_t seed = 42;
+    ClientOptions copts;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -267,6 +397,12 @@ runMain(int argc, char **argv)
             benchmarks = next();
         else if (arg == "--seed")
             seed = parseUint64(next(), "--seed");
+        else if (arg == "--deadline") {
+            copts.deadlineSeconds = parseDouble(next(), "--deadline");
+            if (copts.deadlineSeconds < 0)
+                fatal("--deadline expects a non-negative duration");
+        } else if (arg == "--retries")
+            copts.retries = parseNonNegativeInt(next(), "--retries");
         else
             fatal("unknown argument: ", arg);
     }
@@ -326,7 +462,8 @@ runMain(int argc, char **argv)
                              std::cref(items), std::cref(zipf),
                              seed + 0x9e3779b97f4a7c15ull *
                                  static_cast<std::uint64_t>(c + 1),
-                             n, std::ref(results[static_cast<
+                             n, std::cref(copts),
+                             std::ref(results[static_cast<
                                  std::size_t>(c)]),
                              std::ref(oracle));
     }
@@ -338,13 +475,26 @@ runMain(int argc, char **argv)
             .count();
 
     std::vector<double> cold, hit, coalesced, all;
-    std::uint64_t errors = 0;
+    std::uint64_t errors = 0, retries = 0, reconnects = 0;
+    std::uint64_t deadlines = 0, resets = 0;
+    std::map<std::string, std::uint64_t> taxonomy;
+    std::vector<std::uint64_t> attempts(
+        static_cast<std::size_t>(copts.retries) + 1, 0);
     for (const auto &r : results) {
         cold.insert(cold.end(), r.coldMs.begin(), r.coldMs.end());
         hit.insert(hit.end(), r.hitMs.begin(), r.hitMs.end());
         coalesced.insert(coalesced.end(), r.coalescedMs.begin(),
                          r.coalescedMs.end());
         errors += r.errors;
+        retries += r.retries;
+        reconnects += r.reconnects;
+        deadlines += r.deadlines;
+        resets += r.resets;
+        for (const auto &[tax, n] : r.taxonomy)
+            taxonomy[tax] += n;
+        for (std::size_t k = 0;
+             k < r.attempts.size() && k < attempts.size(); ++k)
+            attempts[k] += r.attempts[k];
     }
     all = cold;
     all.insert(all.end(), hit.begin(), hit.end());
@@ -380,6 +530,25 @@ runMain(int argc, char **argv)
             ? percentile(sc, 0.50) / percentile(sh, 0.50)
             : 0;
         std::printf("  cold/hit p50 ratio: %.1fx\n", ratio);
+    }
+    if (retries + reconnects + deadlines + resets > 0 ||
+        !taxonomy.empty()) {
+        std::printf("  resilience: %llu retries, %llu reconnects, "
+                    "%llu deadline expiries, %llu resets\n",
+                    static_cast<unsigned long long>(retries),
+                    static_cast<unsigned long long>(reconnects),
+                    static_cast<unsigned long long>(deadlines),
+                    static_cast<unsigned long long>(resets));
+        for (const auto &[tax, n] : taxonomy)
+            std::printf("    error taxonomy %-12s %llu\n",
+                        tax.c_str(),
+                        static_cast<unsigned long long>(n));
+        for (std::size_t k = 0; k < attempts.size(); ++k)
+            if (attempts[k] > 0)
+                std::printf("    succeeded on attempt %zu: %llu\n",
+                            k + 1,
+                            static_cast<unsigned long long>(
+                                attempts[k]));
     }
     std::printf("  %llu mismatches, %llu errors\n",
                 static_cast<unsigned long long>(oracle.mismatches),

@@ -221,9 +221,12 @@ runSuiteCampaign(const std::vector<core::CampaignTask> &tasks,
     std::unique_ptr<core::ResultCache> cache;
     if (!ss.cachePath.empty()) {
         cache = std::make_unique<core::ResultCache>(4096);
-        const auto loaded = cache->loadNdjson(ss.cachePath);
-        std::printf("cache: loaded %zu result%s from %s\n", loaded,
-                    loaded == 1 ? "" : "s", ss.cachePath.c_str());
+        core::ResultCache::LoadStats ls;
+        const auto loaded = cache->loadNdjson(ss.cachePath, &ls);
+        std::printf("cache: loaded %zu result%s from %s"
+                    " (%zu torn, %zu corrupt skipped)\n",
+                    loaded, loaded == 1 ? "" : "s",
+                    ss.cachePath.c_str(), ls.torn, ls.corrupt);
         opts.cache = cache.get();
     }
 

@@ -10,16 +10,24 @@
  * Usage:
  *   cactus_serve [--port N] [--port-file PATH] [--cache N]
  *                [--cache-file PATH] [--timeout SEC] [--sim-threads N]
+ *                [--max-inflight N] [--max-queue N] [--max-line BYTES]
+ *                [--idle-timeout SEC] [--io-deadline SEC]
+ *                [--drain-timeout SEC]
  *
  *   --port N        TCP port on 127.0.0.1 (0 = ephemeral, default)
  *   --port-file P   write the bound port to P once listening (lets
- *                   scripts use --port 0 without racing)
+ *                   scripts use --port 0 without racing); written
+ *                   atomically (temp + rename) so a watcher never
+ *                   reads a half-written port
  *   --cache N       LRU capacity in results (default 128)
  *   --cache-file P  persistent cache: load results from P before
  *                   serving (absent file = cold start) and save the
  *                   cache back to P on shutdown — the same NDJSON
  *                   format cactus_run --cache reads and writes, so
- *                   campaigns and the daemon share warm state
+ *                   campaigns and the daemon share warm state. The
+ *                   save is crash-safe (write-temp + fsync + atomic
+ *                   rename) and retried; a save that still fails is a
+ *                   warning, never a dirty exit.
  *   --timeout SEC   per-request watchdog; a simulation over deadline
  *                   is cancelled at its next launch boundary and the
  *                   client gets a "timeout" error response
@@ -29,10 +37,31 @@
  *                   concurrency, so per-request fan-out mostly adds
  *                   oversubscription)
  *
- * Shutdown: SIGTERM or SIGINT. In-flight simulations are cancelled
+ * Overload control (see DESIGN.md §9):
+ *   --max-inflight N   concurrent simulations (default 4); cache
+ *                      hits, coalesced joins, ping and health never
+ *                      consume a slot
+ *   --max-queue N      admission queue depth (default 64); beyond it
+ *                      requests get a fast, well-formed "overloaded"
+ *                      error — never a hang, never a cached entry
+ *   --max-line BYTES   per-connection request-line cap (default 64
+ *                      KiB); an oversized line gets a config error
+ *                      and the connection closes
+ *   --idle-timeout SEC close a connection idle this long between
+ *                      requests (0 = never, default)
+ *   --io-deadline SEC  a started request line must complete, and a
+ *                      response write must finish, within this span
+ *                      (0 = no deadline, default) — the slowloris
+ *                      guard
+ *
+ * Shutdown: SIGTERM or SIGINT triggers graceful drain: the listener
+ * closes, new simulations are refused ("overloaded: server
+ * draining"), queued and in-flight work runs to completion — response
+ * bytes on the wire — for up to --drain-timeout seconds (default 10;
+ * 0 = cancel immediately). Work outliving the deadline is cancelled
  * cooperatively (same CancelToken machinery as the campaign
- * watchdog), every connection is unblocked and joined, and the
- * process exits 0 after printing a request-count summary.
+ * watchdog). Either way the process exits 0 after printing a
+ * request-count summary with the drain result.
  */
 
 #include <csignal>
@@ -41,6 +70,7 @@
 
 #include <unistd.h>
 
+#include "common/atomic_file.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "common/parse.hh"
@@ -66,6 +96,7 @@ runMain(int argc, char **argv)
 {
     core::ServeOptions opts;
     std::string port_file, cache_file;
+    double drain_timeout = 10.0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -92,6 +123,30 @@ runMain(int argc, char **argv)
         } else if (arg == "--sim-threads") {
             opts.defaultHostThreads =
                 parseNonNegativeInt(next(), "--sim-threads");
+        } else if (arg == "--max-inflight") {
+            opts.maxInflight =
+                parsePositiveInt(next(), "--max-inflight");
+        } else if (arg == "--max-queue") {
+            opts.maxQueue = parseNonNegativeInt(next(), "--max-queue");
+        } else if (arg == "--max-line") {
+            opts.maxLineBytes = static_cast<std::size_t>(
+                parsePositiveInt(next(), "--max-line"));
+        } else if (arg == "--idle-timeout") {
+            opts.idleTimeoutSeconds =
+                parseDouble(next(), "--idle-timeout");
+            if (opts.idleTimeoutSeconds < 0)
+                fatal("--idle-timeout expects a non-negative "
+                      "duration");
+        } else if (arg == "--io-deadline") {
+            opts.ioDeadlineSeconds =
+                parseDouble(next(), "--io-deadline");
+            if (opts.ioDeadlineSeconds < 0)
+                fatal("--io-deadline expects a non-negative duration");
+        } else if (arg == "--drain-timeout") {
+            drain_timeout = parseDouble(next(), "--drain-timeout");
+            if (drain_timeout < 0)
+                fatal("--drain-timeout expects a non-negative "
+                      "duration");
         } else {
             fatal("unknown argument: ", arg);
         }
@@ -106,10 +161,13 @@ runMain(int argc, char **argv)
 
     core::Server server(opts);
     if (!cache_file.empty()) {
-        const auto loaded = server.cache().loadNdjson(cache_file);
-        std::printf("cactus_serve: warmed %zu result%s from %s\n",
+        core::ResultCache::LoadStats ls;
+        const auto loaded =
+            server.cache().loadNdjson(cache_file, &ls);
+        std::printf("cactus_serve: warmed %zu result%s from %s"
+                    " (%zu torn, %zu corrupt skipped)\n",
                     loaded, loaded == 1 ? "" : "s",
-                    cache_file.c_str());
+                    cache_file.c_str(), ls.torn, ls.corrupt);
     }
     server.start();
     std::printf("cactus_serve: listening on %s:%d "
@@ -123,11 +181,14 @@ runMain(int argc, char **argv)
     std::fflush(stdout);
 
     if (!port_file.empty()) {
-        std::FILE *f = std::fopen(port_file.c_str(), "w");
-        if (!f)
-            fatal("cannot write port file '", port_file, "'");
-        std::fprintf(f, "%d\n", server.port());
-        std::fclose(f);
+        // Atomic (temp + rename): a watcher polling for this file
+        // either sees nothing or the complete port number, never a
+        // partial write. The injector is deliberately disabled here —
+        // the cache-write chaos site must not be able to break the
+        // port handshake the harness depends on.
+        atomicWriteFile(port_file,
+                        std::to_string(server.port()) + "\n",
+                        FaultInjector{});
     }
 
     // Block until a shutdown signal arrives.
@@ -139,25 +200,54 @@ runMain(int argc, char **argv)
             break;
     }
 
+    // Graceful degradation: drain first (accepted work completes,
+    // response bytes on the wire), then stop. Whatever outlives the
+    // drain deadline is cancelled cooperatively inside drain().
+    const bool drained = server.drain(drain_timeout);
+    if (!drained)
+        warn("drain timeout (", drain_timeout,
+             " s) expired; cancelling in-flight work");
     server.stop();
+
     if (!cache_file.empty()) {
-        server.cache().saveNdjson(cache_file);
-        std::printf("cactus_serve: saved %zu result%s to %s\n",
-                    server.cache().size(),
-                    server.cache().size() == 1 ? "" : "s",
-                    cache_file.c_str());
+        // The save is retried so a chaos run with a cache-write fault
+        // probability does not turn shutdown into a coin flip; a
+        // persistent failure degrades to a warning (the previous
+        // complete file is still intact on disk) rather than a dirty
+        // exit.
+        bool saved = false;
+        for (int attempt = 0; attempt < 3 && !saved; ++attempt) {
+            try {
+                server.cache().saveNdjson(cache_file);
+                saved = true;
+            } catch (const Error &e) {
+                warn("cache save attempt ", attempt + 1,
+                     " failed: ", e.what());
+            }
+        }
+        if (saved)
+            std::printf("cactus_serve: saved %zu result%s to %s\n",
+                        server.cache().size(),
+                        server.cache().size() == 1 ? "" : "s",
+                        cache_file.c_str());
+        else
+            warn("cache not saved; previous '", cache_file,
+                 "' left intact");
     }
     const auto stats = server.stats();
     std::printf("cactus_serve: shutdown: %llu requests "
                 "(%llu computed, %llu cache hits, %llu coalesced), "
-                "%llu errors, %llu evictions, %zu cached results\n",
+                "%llu errors, %llu overloaded, %llu evictions, "
+                "%zu cached results, drain %s\n",
                 static_cast<unsigned long long>(stats.requests),
                 static_cast<unsigned long long>(stats.computed),
                 static_cast<unsigned long long>(stats.cacheHits),
                 static_cast<unsigned long long>(stats.coalesced),
                 static_cast<unsigned long long>(stats.errors),
+                static_cast<unsigned long long>(stats.overloaded),
                 static_cast<unsigned long long>(stats.evictions),
-                server.cache().size());
+                server.cache().size(),
+                drained ? "clean" : "timed out");
     return 0;
 }
 
