@@ -32,6 +32,11 @@
  *                 rename never happens, so the destination keeps its
  *                 previous complete contents — the crash-safety
  *                 property ResultCache::saveNdjson is built on
+ *   coord-append  core::CoordinationLog::appendLine: the shared
+ *                 coordination log tears mid-record (short write /
+ *                 ENOSPC) — the record loses its tail and newline,
+ *                 and the append throws; exercises the newline guard
+ *                 and the torn-line skip on every subsequent reader
  */
 
 #ifndef CACTUS_COMMON_FAULT_HH

@@ -229,6 +229,8 @@ runStatusName(RunStatus status)
         return "SKIPPED";
       case RunStatus::Cached:
         return "CACHED";
+      case RunStatus::Stolen:
+        return "STOLEN";
     }
     return "UNKNOWN";
 }
@@ -378,7 +380,182 @@ runSweep(const std::vector<CampaignTask> &tasks,
     }
 
     CampaignResult result;
-    for (const auto &task : tasks) {
+    result.entries.resize(tasks.size());
+
+    const bool stealing =
+        opts.coordination && opts.coordination->stealingEnabled();
+
+    // Settle one task's entry into its campaign slot: tally, notify,
+    // store. Every task passes through here exactly once.
+    const auto finalize = [&](std::size_t idx, CampaignEntry &&entry) {
+        switch (entry.status) {
+          case RunStatus::OK:
+            ++result.okCount;
+            break;
+          case RunStatus::Failed:
+            ++result.failedCount;
+            break;
+          case RunStatus::Timeout:
+            ++result.timeoutCount;
+            break;
+          case RunStatus::Corrupt:
+            ++result.corruptCount;
+            break;
+          case RunStatus::Skipped:
+            ++result.skippedCount;
+            break;
+          case RunStatus::Cached:
+            ++result.cachedCount;
+            break;
+          case RunStatus::Stolen:
+            ++result.stolenCount;
+            break;
+        }
+        if (opts.onEntry)
+            opts.onEntry(entry);
+        result.entries[idx] = std::move(entry);
+    };
+
+    // Execute one claimed task: answer from the result cache if
+    // possible, otherwise simulate under the attempt/watchdog policy.
+    const auto runTask = [&](const CampaignTask &task,
+                             CampaignEntry &entry) {
+        const auto &info = task.info;
+        if (opts.cache) {
+            if (auto body = opts.cache->peek(entry.taskId)) {
+                restoreEntryFromBody(entry, *body);
+                entry.status = RunStatus::Cached;
+                entry.attempts = 0;
+                try {
+                    enforceRestoredIntegrity(entry, opts);
+                } catch (const IntegrityError &e) {
+                    entry.status = RunStatus::Corrupt;
+                    entry.error = e.what();
+                }
+                return;
+            }
+        }
+
+        const auto campaign_start = std::chrono::steady_clock::now();
+        const int max_attempts = 1 + std::max(0, opts.retries);
+        for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+            entry.attempts = attempt;
+            if (attempt > 1 && opts.backoffSeconds > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(
+                        opts.backoffSeconds *
+                        static_cast<double>(1 << (attempt - 2))));
+
+            // Fresh token per attempt: a late-firing watchdog from
+            // a previous attempt can never cancel this one.
+            gpu::DeviceConfig cfg = task.config;
+            const CancelToken token = CancelToken::make();
+            cfg.cancel = token;
+            if (stealing)
+                // Heartbeat from inside the simulation: every
+                // kernel-launch boundary gives the fleet a (throttled)
+                // liveness proof, so only a worker that died — or
+                // wedged inside one launch — ever goes stale.
+                cfg.onLaunchBoundary = [&opts] {
+                    opts.coordination->maybeBeat();
+                };
+            Watchdog watchdog(token, opts.timeoutSeconds);
+            try {
+                auto bench = info.factory(opts.scale);
+                entry.profile = runProfiled(*bench, cfg);
+                enforceIntegrity(*bench, entry.profile, opts);
+                const auto digest = bench->verify();
+                entry.resultBody = serializeResultBody(
+                    entry.profile, digest ? &*digest : nullptr,
+                    scale_tok, cfg);
+                if (digest) {
+                    entry.hasOutputDigest = true;
+                    entry.outputDigestHex = digest->hex();
+                    entry.outputElements = digest->elements;
+                }
+                entry.status = RunStatus::OK;
+                entry.error.clear();
+                break;
+            } catch (const TimeoutError &e) {
+                // Deadline misses are not transient: retrying
+                // would just spend another full timeout.
+                entry.status = RunStatus::Timeout;
+                entry.error = e.what();
+                break;
+            } catch (const IntegrityError &e) {
+                // A violated invariant or a wrong answer is
+                // deterministic: retrying cannot fix it, and the
+                // result must not look like a transient failure.
+                entry.status = RunStatus::Corrupt;
+                entry.error = e.what();
+                break;
+            } catch (const std::exception &e) {
+                entry.status = RunStatus::Failed;
+                entry.error = e.what();
+            }
+        }
+        entry.wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - campaign_start)
+                .count();
+
+        if (entry.status == RunStatus::OK && opts.cache)
+            opts.cache->insert(entry.taskId, entry.resultBody);
+    };
+
+    // Publish a settled task's outcome. Fresh and cache-answered
+    // completions carry the canonical body, so the record is
+    // byte-identical to what any other worker would write for this
+    // task; failures under coordination release the lease so a peer
+    // can retry the task immediately instead of waiting out the TTL.
+    const auto recordCompletion = [&](CampaignEntry &entry) {
+        const bool completed = (entry.status == RunStatus::OK ||
+                                entry.status == RunStatus::Cached) &&
+            !entry.resultBody.empty();
+        if (!completed) {
+            if (opts.coordination &&
+                (entry.status == RunStatus::Failed ||
+                 entry.status == RunStatus::Timeout ||
+                 entry.status == RunStatus::Corrupt))
+                opts.coordination->release(entry.taskId);
+            return;
+        }
+        if (opts.coordination &&
+            !opts.coordination->recordDone(entry.taskId,
+                                           entry.resultBody)) {
+            // Fenced off while we computed: the thief's completion is
+            // the one of record, ours must leave no trace — not even
+            // in the private manifest, where it could masquerade as a
+            // credited completion on resume.
+            entry.status = RunStatus::Stolen;
+            entry.error =
+                "result abandoned: task stolen (higher lease fence)";
+            return;
+        }
+        if (manifest.is_open()) {
+            // One completed task per line, flushed immediately: a
+            // kill loses at most the record being written, and the
+            // lenient reader skips that torn line on resume.
+            manifest << checkpointRecordLine(entry.taskId,
+                                             entry.resultBody)
+                     << '\n';
+            manifest.flush();
+        }
+        completed_by_task.emplace(entry.taskId, entry);
+    };
+
+    // Tasks whose lease is held by a live peer, parked for the
+    // self-healing retry loop below (only when stealing is enabled;
+    // without it they are Skipped immediately, the PR 7 semantics).
+    struct DeferredTask
+    {
+        std::size_t idx;
+        CampaignEntry entry;
+    };
+    std::vector<DeferredTask> pending;
+
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const auto &task = tasks[i];
         const auto &info = task.info;
         CampaignEntry entry;
         entry.name = info.name;
@@ -417,6 +594,8 @@ runSweep(const std::vector<CampaignTask> &tasks,
         }
 
         if (run_it && opts.coordination) {
+            if (stealing)
+                opts.coordination->maybeBeat();
             switch (opts.coordination->claim(entry.taskId)) {
               case CoordinationLog::Claim::Completed:
                 entry.status = RunStatus::Skipped;
@@ -425,8 +604,21 @@ runSweep(const std::vector<CampaignTask> &tasks,
                 run_it = false;
                 break;
               case CoordinationLog::Claim::Leased:
+                if (stealing) {
+                    // Park it: the holder may yet die or fail, and
+                    // then this worker picks the task up — no manual
+                    // --new-generation recovery.
+                    pending.push_back({i, std::move(entry)});
+                    continue;
+                }
                 entry.status = RunStatus::Skipped;
                 entry.error = "leased by another worker";
+                entry.attempts = 0;
+                run_it = false;
+                break;
+              case CoordinationLog::Claim::Stolen:
+                entry.status = RunStatus::Stolen;
+                entry.error = "lease stolen (higher lease fence)";
                 entry.attempts = 0;
                 run_it = false;
                 break;
@@ -435,125 +627,52 @@ runSweep(const std::vector<CampaignTask> &tasks,
             }
         }
 
-        if (run_it && opts.cache) {
-            if (auto body = opts.cache->peek(entry.taskId)) {
-                restoreEntryFromBody(entry, *body);
-                entry.status = RunStatus::Cached;
+        if (run_it)
+            runTask(task, entry);
+        recordCompletion(entry);
+        finalize(i, std::move(entry));
+    }
+
+    // Self-healing loop: every parked task is leased to a peer. Keep
+    // beating (our beats are the staleness clock) and re-claiming;
+    // each pass a parked task either completes elsewhere, is released
+    // or stolen into our hands and runs here, or stays leased to a
+    // still-live holder. The loop always drains: a holder that makes
+    // no progress stops beating and goes stale within leaseTtl of our
+    // beats, and a holder that fails its task releases the lease.
+    while (!pending.empty()) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            opts.coordination->beatIntervalSeconds()));
+        opts.coordination->beat();
+        for (auto it = pending.begin(); it != pending.end();) {
+            CampaignEntry &entry = it->entry;
+            bool settled = true;
+            switch (opts.coordination->claim(entry.taskId)) {
+              case CoordinationLog::Claim::Leased:
+                settled = false;
+                break;
+              case CoordinationLog::Claim::Completed:
+                entry.status = RunStatus::Skipped;
+                entry.error = "completed by another worker";
                 entry.attempts = 0;
-                run_it = false;
-                try {
-                    enforceRestoredIntegrity(entry, opts);
-                } catch (const IntegrityError &e) {
-                    entry.status = RunStatus::Corrupt;
-                    entry.error = e.what();
-                }
+                break;
+              case CoordinationLog::Claim::Stolen:
+                entry.status = RunStatus::Stolen;
+                entry.error = "lease stolen (higher lease fence)";
+                entry.attempts = 0;
+                break;
+              case CoordinationLog::Claim::Won:
+                runTask(tasks[it->idx], entry);
+                recordCompletion(entry);
+                break;
+            }
+            if (settled) {
+                finalize(it->idx, std::move(entry));
+                it = pending.erase(it);
+            } else {
+                ++it;
             }
         }
-
-        if (run_it) {
-            const auto campaign_start =
-                std::chrono::steady_clock::now();
-            const int max_attempts = 1 + std::max(0, opts.retries);
-            for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-                entry.attempts = attempt;
-                if (attempt > 1 && opts.backoffSeconds > 0)
-                    std::this_thread::sleep_for(
-                        std::chrono::duration<double>(
-                            opts.backoffSeconds *
-                            static_cast<double>(1 << (attempt - 2))));
-
-                // Fresh token per attempt: a late-firing watchdog from
-                // a previous attempt can never cancel this one.
-                gpu::DeviceConfig cfg = task.config;
-                const CancelToken token = CancelToken::make();
-                cfg.cancel = token;
-                Watchdog watchdog(token, opts.timeoutSeconds);
-                try {
-                    auto bench = info.factory(opts.scale);
-                    entry.profile = runProfiled(*bench, cfg);
-                    enforceIntegrity(*bench, entry.profile, opts);
-                    const auto digest = bench->verify();
-                    entry.resultBody = serializeResultBody(
-                        entry.profile, digest ? &*digest : nullptr,
-                        scale_tok, cfg);
-                    if (digest) {
-                        entry.hasOutputDigest = true;
-                        entry.outputDigestHex = digest->hex();
-                        entry.outputElements = digest->elements;
-                    }
-                    entry.status = RunStatus::OK;
-                    entry.error.clear();
-                    break;
-                } catch (const TimeoutError &e) {
-                    // Deadline misses are not transient: retrying
-                    // would just spend another full timeout.
-                    entry.status = RunStatus::Timeout;
-                    entry.error = e.what();
-                    break;
-                } catch (const IntegrityError &e) {
-                    // A violated invariant or a wrong answer is
-                    // deterministic: retrying cannot fix it, and the
-                    // result must not look like a transient failure.
-                    entry.status = RunStatus::Corrupt;
-                    entry.error = e.what();
-                    break;
-                } catch (const std::exception &e) {
-                    entry.status = RunStatus::Failed;
-                    entry.error = e.what();
-                }
-            }
-            entry.wallSeconds =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - campaign_start)
-                    .count();
-
-            if (entry.status == RunStatus::OK && opts.cache)
-                opts.cache->insert(entry.taskId, entry.resultBody);
-        }
-
-        // Record fresh and cache-answered completions: both carry the
-        // canonical body, so the line is byte-identical to what any
-        // other worker would write for this task.
-        if ((entry.status == RunStatus::OK ||
-             entry.status == RunStatus::Cached) &&
-            !entry.resultBody.empty()) {
-            const std::string record =
-                checkpointRecordLine(entry.taskId, entry.resultBody);
-            if (manifest.is_open()) {
-                // One completed task per line, flushed immediately: a
-                // kill loses at most the record being written, and
-                // the lenient reader skips that torn line on resume.
-                manifest << record << '\n';
-                manifest.flush();
-            }
-            if (opts.coordination)
-                opts.coordination->recordDone(record);
-            completed_by_task.emplace(entry.taskId, entry);
-        }
-
-        switch (entry.status) {
-          case RunStatus::OK:
-            ++result.okCount;
-            break;
-          case RunStatus::Failed:
-            ++result.failedCount;
-            break;
-          case RunStatus::Timeout:
-            ++result.timeoutCount;
-            break;
-          case RunStatus::Corrupt:
-            ++result.corruptCount;
-            break;
-          case RunStatus::Skipped:
-            ++result.skippedCount;
-            break;
-          case RunStatus::Cached:
-            ++result.cachedCount;
-            break;
-        }
-        if (opts.onEntry)
-            opts.onEntry(entry);
-        result.entries.push_back(std::move(entry));
     }
     return result;
 }

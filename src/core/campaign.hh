@@ -61,13 +61,17 @@ enum class RunStatus
              ///< worker holds the task's lease, or an earlier sweep
              ///< point with the same task id already produced the
              ///< result (execution-knob sweeps).
-    Cached   ///< Answered from the persistent result cache — provably
+    Cached,  ///< Answered from the persistent result cache — provably
              ///< identical to a fresh run (the cache key is the task's
              ///< full content address).
+    Stolen   ///< This worker's lease was fenced off by another worker
+             ///< (heartbeat TTL steal) and its result was abandoned —
+             ///< the thief's completion is the one that counts. Not a
+             ///< failure: the task IS done, just credited elsewhere.
 };
 
 /** Display name: "OK", "FAILED", "TIMEOUT", "CORRUPT", "SKIPPED",
- *  "CACHED". */
+ *  "CACHED", "STOLEN". */
 const char *runStatusName(RunStatus status);
 
 /** Structured record of one benchmark's campaign outcome. */
@@ -170,13 +174,20 @@ struct CampaignOptions
 
     /**
      * Shared coordination log for dynamic sharding: each task is
-     * claimed before running, tasks leased to other workers or
-     * already completed are Skipped, and completions are appended as
-     * done records. Borrowed, not owned; null disables.
+     * claimed before running, already-completed tasks are Skipped,
+     * and completions are appended as fenced done records. With
+     * heartbeat stealing off (leaseTtl 0) a task leased to another
+     * worker is Skipped immediately; with it on, leased tasks are
+     * DEFERRED — the worker keeps beating and re-claiming them until
+     * the holder completes them, releases them, or goes stale and is
+     * stolen from, so a sweep self-heals past killed workers with no
+     * manual intervention. Borrowed, not owned; null disables.
      */
     CoordinationLog *coordination = nullptr;
 
-    /** Invoked after each benchmark settles, in campaign order. */
+    /** Invoked after each benchmark settles. Settlement is in
+     *  campaign order except for deferred leased tasks (see
+     *  coordination), which settle when the fleet resolves them. */
     std::function<void(const CampaignEntry &)> onEntry;
 };
 
@@ -190,9 +201,11 @@ struct CampaignResult
     int corruptCount = 0;
     int skippedCount = 0;
     int cachedCount = 0;
+    int stolenCount = 0;
 
     /** True when nothing failed, timed out, or was found corrupt
-     *  (skips are fine). */
+     *  (skips and stolen tasks are fine — a stolen task was completed
+     *  and credited to the thief's fence). */
     bool
     allOk() const
     {

@@ -21,18 +21,119 @@ namespace {
  *  writes byte-wise comparable records; the line is one write(2), so
  *  concurrent leases never interleave mid-line. */
 std::string
-leaseLine(long gen, const std::string &task, const std::string &worker)
+leaseLine(long gen, const std::string &task, const std::string &worker,
+          long fence)
 {
     return "{\"state\":\"lease\",\"gen\":" + std::to_string(gen) +
         ",\"task\":\"" + jsonEscape(task) + "\",\"worker\":\"" +
+        jsonEscape(worker) + "\",\"fence\":" + std::to_string(fence) +
+        "}";
+}
+
+std::string
+beatLine(long gen, const std::string &worker, long pid,
+         std::uint64_t seq)
+{
+    return "{\"state\":\"beat\",\"gen\":" + std::to_string(gen) +
+        ",\"worker\":\"" + jsonEscape(worker) +
+        "\",\"pid\":" + std::to_string(pid) +
+        ",\"seq\":" + std::to_string(seq) + "}";
+}
+
+std::string
+releaseLine(long gen, const std::string &task,
+            const std::string &worker)
+{
+    return "{\"state\":\"release\",\"gen\":" + std::to_string(gen) +
+        ",\"task\":\"" + jsonEscape(task) + "\",\"worker\":\"" +
         jsonEscape(worker) + "\"}";
+}
+
+/** Shared per-line classifier used by both the member scan and the
+ *  read-only inspect(): parses one log line and reports what it is.
+ *  Torn lines — truncated by a kill or an injected short write —
+ *  parse as Kind::Torn and must have no effect on any table. */
+struct ParsedLine
+{
+    enum class Kind
+    {
+        Beat,
+        Lease,
+        Release,
+        Done,
+        Ignored, ///< Well-formed but irrelevant (e.g. non-ok status).
+        Torn
+    };
+    Kind kind = Kind::Torn;
+    std::string task;
+    std::string worker;
+    long gen = 0;
+    long fence = 0;      ///< Lease/done fence (0 for legacy records).
+    long pid = 0;        ///< Beat writer pid.
+    std::uint64_t seq = 0;
+};
+
+ParsedLine
+parseLine(const std::string &line)
+{
+    ParsedLine p;
+    std::string state;
+    if (jsonFindText(line, "state", state)) {
+        double gen = 0, num = 0;
+        if (state == "beat") {
+            if (!jsonFindText(line, "worker", p.worker) ||
+                !jsonFindNumber(line, "gen", gen) ||
+                !jsonFindNumber(line, "pid", num))
+                return p;
+            p.pid = static_cast<long>(num);
+            if (!jsonFindNumber(line, "seq", num))
+                return p;
+            p.seq = static_cast<std::uint64_t>(num);
+            p.gen = static_cast<long>(gen);
+            p.kind = ParsedLine::Kind::Beat;
+        } else if (state == "lease") {
+            if (!jsonFindText(line, "task", p.task) ||
+                !jsonFindText(line, "worker", p.worker) ||
+                !jsonFindNumber(line, "gen", gen))
+                return p;
+            p.gen = static_cast<long>(gen);
+            // Legacy (pre-fencing) leases carry no fence: 0.
+            if (jsonFindNumber(line, "fence", num))
+                p.fence = static_cast<long>(num);
+            p.kind = ParsedLine::Kind::Lease;
+        } else if (state == "release") {
+            if (!jsonFindText(line, "task", p.task) ||
+                !jsonFindText(line, "worker", p.worker) ||
+                !jsonFindNumber(line, "gen", gen))
+                return p;
+            p.gen = static_cast<long>(gen);
+            p.kind = ParsedLine::Kind::Release;
+        }
+        return p; // Unknown state: torn/foreign, claims nothing.
+    }
+    std::string status;
+    if (jsonFindText(line, "status", status)) {
+        if (status != "ok" || !jsonFindText(line, "task", p.task)) {
+            p.kind = ParsedLine::Kind::Ignored;
+            return p;
+        }
+        double num = 0;
+        if (jsonFindNumber(line, "fence", num))
+            p.fence = static_cast<long>(num);
+        // Legacy done records carry no worker; that only costs the
+        // liveness tracker one update.
+        jsonFindText(line, "worker", p.worker);
+        p.kind = ParsedLine::Kind::Done;
+    }
+    return p;
 }
 
 } // namespace
 
 CoordinationLog::CoordinationLog(std::string path, std::string worker,
-                                 bool newGeneration)
-    : path_(std::move(path)), worker_(std::move(worker))
+                                 Options options)
+    : path_(std::move(path)), worker_(std::move(worker)),
+      options_(options), pid_(static_cast<long>(::getpid()))
 {
     // O_APPEND makes each write land atomically at the current end of
     // file, giving concurrent workers a total order on records — the
@@ -79,7 +180,8 @@ CoordinationLog::CoordinationLog(std::string path, std::string worker,
                 max_gen = static_cast<long>(gen);
         }
     }
-    generation_ = newGeneration ? max_gen + 1 : std::max(max_gen, 1L);
+    generation_ =
+        options_.newGeneration ? max_gen + 1 : std::max(max_gen, 1L);
     scan();
 }
 
@@ -92,7 +194,15 @@ CoordinationLog::~CoordinationLog()
 void
 CoordinationLog::appendLine(const std::string &line)
 {
-    const std::string buf = line + "\n";
+    std::string buf = line + "\n";
+    // 'coord-append' fault site: the shared filesystem runs out of
+    // space (or tears the write) partway through the record. We leave
+    // a genuinely torn line behind — no terminator — so the recovery
+    // discipline (newline guard + torn-line skip) is what gets
+    // exercised, not a polite failure.
+    const bool torn = fault_.shouldFail("coord-append");
+    if (torn)
+        buf.resize(buf.size() / 2);
     std::size_t off = 0;
     while (off < buf.size()) {
         const ssize_t n =
@@ -105,6 +215,10 @@ CoordinationLog::appendLine(const std::string &line)
         }
         off += static_cast<std::size_t>(n);
     }
+    if (torn)
+        throw ConfigError(
+            "injected fault at site 'coord-append': short write on "
+            "coordination log '" + path_ + "' (ENOSPC)");
     // Durability: a lease or completion record another worker may act
     // on must survive this process crashing right after the append.
     if (::fsync(fd_) != 0 && errno != EINVAL && errno != EROFS)
@@ -117,57 +231,257 @@ CoordinationLog::scan()
 {
     completed_.clear();
     leaseWinner_.clear();
+    leaseCount_.clear();
+    lastActivity_.clear();
+    myBeatLines_.clear();
+    scanStats_ = ScanStats{};
+
+    // Per-task highest fence seen in any generation: a lease below it
+    // is a protocol contradiction (desync) and must never displace or
+    // re-seat a winner, even after a release erased the entry.
+    std::unordered_map<std::string, long> maxFence;
+    // Per-(worker,pid) highest beat seq: regressions are desync.
+    std::unordered_map<std::string, std::uint64_t> maxSeq;
+
+    long foreignPid = 0; // A live process sharing our worker id.
+
     std::ifstream in(path_);
     if (!in)
         return;
     std::string line;
+    std::size_t lineIdx = 0;
     while (std::getline(in, line)) {
+        ++lineIdx;
         if (line.empty())
             continue;
-        std::string state, task, worker, status;
-        double gen = 0;
-        if (jsonFindText(line, "state", state) && state == "lease") {
-            if (!jsonFindText(line, "task", task) ||
-                !jsonFindText(line, "worker", worker) ||
-                !jsonFindNumber(line, "gen", gen))
-                continue; // Torn lease: claims nothing.
-            if (static_cast<long>(gen) != generation_)
+        ++scanStats_.lines;
+        const ParsedLine p = parseLine(line);
+        switch (p.kind) {
+          case ParsedLine::Kind::Torn:
+            ++scanStats_.torn;
+            continue;
+          case ParsedLine::Kind::Ignored:
+            continue;
+          case ParsedLine::Kind::Beat: {
+            ++scanStats_.beats;
+            const std::string key =
+                p.worker + '\0' + std::to_string(p.pid);
+            if (const auto it = maxSeq.find(key);
+                it != maxSeq.end() && p.seq <= it->second)
+                ++scanStats_.desync;
+            else
+                maxSeq[key] = p.seq;
+            lastActivity_[p.worker] = lineIdx;
+            if (p.worker == worker_) {
+                if (p.pid == pid_) {
+                    myBeatLines_.push_back(lineIdx);
+                    mySeq_ = std::max(mySeq_, p.seq);
+                } else if (!myBeatLines_.empty()) {
+                    // Interleaved with our own beats: a concurrent
+                    // process is aliasing our identity. (A foreign
+                    // beat with no own beat before it is a dead
+                    // predecessor that reused the name — harmless.)
+                    foreignPid = p.pid;
+                }
+            }
+            break;
+          }
+          case ParsedLine::Kind::Lease: {
+            ++scanStats_.leases;
+            long &seen = maxFence[p.task];
+            if (p.fence < seen) {
+                ++scanStats_.desync;
+                ++leaseCount_[p.task];
+                lastActivity_[p.worker] = lineIdx;
+                continue; // Never binds.
+            }
+            seen = p.fence;
+            ++leaseCount_[p.task];
+            lastActivity_[p.worker] = lineIdx;
+            if (p.gen != generation_)
                 continue; // A stale pass; its claims do not bind.
-            leaseWinner_.emplace(task, worker); // First lease wins.
-        } else if (jsonFindText(line, "status", status) &&
-                   status == "ok" &&
-                   jsonFindText(line, "task", task)) {
-            completed_.insert(task);
+            const auto it = leaseWinner_.find(p.task);
+            if (it == leaseWinner_.end())
+                leaseWinner_.emplace(
+                    p.task, LeaseInfo{p.worker, p.fence, lineIdx});
+            else if (p.fence > it->second.fence)
+                // A steal: the higher fence supersedes the holder.
+                it->second = LeaseInfo{p.worker, p.fence, lineIdx};
+            // Equal fence: the first lease in append order wins.
+            break;
+          }
+          case ParsedLine::Kind::Release: {
+            ++scanStats_.releases;
+            lastActivity_[p.worker] = lineIdx;
+            if (p.gen != generation_)
+                continue;
+            const auto it = leaseWinner_.find(p.task);
+            // Only the current holder can unbind its own lease — a
+            // release racing a steal must not evict the thief.
+            if (it != leaseWinner_.end() &&
+                it->second.worker == p.worker)
+                leaseWinner_.erase(it);
+            break;
+          }
+          case ParsedLine::Kind::Done:
+            ++scanStats_.dones;
+            completed_.insert(p.task);
+            if (!p.worker.empty())
+                lastActivity_[p.worker] = lineIdx;
+            break;
         }
-        // Anything else: a torn or foreign record; ignore.
     }
+
+    if (foreignPid != 0)
+        throw ConfigError(
+            "coordination log '" + path_ + "': worker id '" + worker_ +
+            "' is shared by two live processes (pid " +
+            std::to_string(pid_) + " and pid " +
+            std::to_string(foreignPid) +
+            "); give each worker a unique --worker id");
+}
+
+long
+CoordinationLog::nextFence(const std::string &taskId) const
+{
+    const auto it = leaseCount_.find(taskId);
+    return it == leaseCount_.end() ? 0 : it->second;
+}
+
+bool
+CoordinationLog::ownerStale(const std::string &owner) const
+{
+    if (options_.leaseTtl <= 0 || owner == worker_)
+        return false;
+    const auto act = lastActivity_.find(owner);
+    if (act == lastActivity_.end())
+        return true; // A lease with no record at all cannot bind.
+    // Staleness is measured on this worker's own clock: the number of
+    // our own beats appended after the owner's last record. That is a
+    // property of the log alone — deterministic for every reader, no
+    // wall-clock comparison across machines.
+    const auto first = std::upper_bound(
+        myBeatLines_.begin(), myBeatLines_.end(), act->second);
+    return myBeatLines_.end() - first >=
+        static_cast<std::ptrdiff_t>(options_.leaseTtl);
+}
+
+std::optional<CoordinationLog::Claim>
+CoordinationLog::decide(const std::string &taskId)
+{
+    if (completed_.count(taskId)) {
+        myLeases_.erase(taskId);
+        return Claim::Completed;
+    }
+    const auto it = leaseWinner_.find(taskId);
+    if (it == leaseWinner_.end())
+        return std::nullopt; // Unclaimed (or released): lease it.
+    if (it->second.worker == worker_) {
+        myLeases_[taskId] = it->second.fence;
+        return Claim::Won;
+    }
+    if (myLeases_.count(taskId)) {
+        // We held this lease and a higher fence displaced it: we are
+        // the zombie. Abandon — our result must not be recorded.
+        myLeases_.erase(taskId);
+        return Claim::Stolen;
+    }
+    if (!ownerStale(it->second.worker))
+        return Claim::Leased;
+    return std::nullopt; // Stale holder: steal with a higher fence.
 }
 
 CoordinationLog::Claim
 CoordinationLog::claim(const std::string &taskId)
 {
-    // Cheap pre-check against the last scan — a task another worker
-    // already finished or leased needs no new lease record.
-    if (completed_.count(taskId))
-        return Claim::Completed;
-    if (const auto it = leaseWinner_.find(taskId);
-        it != leaseWinner_.end())
-        return it->second == worker_ ? Claim::Won : Claim::Leased;
+    // With stealing enabled the cached tables can be stale in the
+    // dangerous direction — believing we still hold a lease a peer
+    // has fenced off — so re-read before deciding. With stealing off
+    // leases never move under us, and the last scan suffices: a task
+    // another worker already finished or holds a live lease on needs
+    // no new record.
+    if (options_.leaseTtl > 0)
+        scan();
+    if (const auto cached = decide(taskId))
+        return *cached;
 
     // Stake the claim, then let append order decide: re-read the log
-    // and honour the first lease for this task in our generation.
-    appendLine(leaseLine(generation_, taskId, worker_));
+    // and honour the first lease at the highest fence for this task
+    // in our generation. nextFence() counts every prior lease, so a
+    // steal always fences the stale holder off.
+    appendLine(
+        leaseLine(generation_, taskId, worker_, nextFence(taskId)));
     scan();
-    if (completed_.count(taskId))
-        return Claim::Completed;
+    if (const auto resolved = decide(taskId))
+        return *resolved;
+    // Our own lease must be visible after the rescan; if it is not,
+    // the log is being truncated under us.
+    throw ConfigError("coordination log '" + path_ +
+                      "' lost a lease record for task '" + taskId +
+                      "'");
+}
+
+void
+CoordinationLog::beat()
+{
+    ++mySeq_;
+    appendLine(beatLine(generation_, worker_, pid_, mySeq_));
+    lastBeat_ = std::chrono::steady_clock::now();
+    everBeat_ = true;
+    scan();
+}
+
+bool
+CoordinationLog::maybeBeat()
+{
+    if (everBeat_) {
+        const auto elapsed =
+            std::chrono::steady_clock::now() - lastBeat_;
+        if (std::chrono::duration<double>(elapsed).count() <
+            options_.beatIntervalSeconds)
+            return false;
+    }
+    beat();
+    return true;
+}
+
+bool
+CoordinationLog::recordDone(const std::string &taskId,
+                            const std::string &resultBody)
+{
+    // Re-read before publishing: a zombie that was fenced off while
+    // it computed must abandon its result here, not overwrite the
+    // thief's. The rescan-then-append order is safe because a done
+    // record is idempotent — if the thief publishes between our scan
+    // and our append, the merge collapses the equal-body duplicate
+    // and attributes the task to the highest fence.
+    scan();
+    if (completed_.count(taskId)) {
+        myLeases_.erase(taskId);
+        return false;
+    }
     const auto it = leaseWinner_.find(taskId);
-    if (it == leaseWinner_.end())
-        // Our own lease must be visible after the rescan; if it is
-        // not, the log is being truncated under us.
-        throw ConfigError("coordination log '" + path_ +
-                          "' lost a lease record for task '" +
-                          taskId + "'");
-    return it->second == worker_ ? Claim::Won : Claim::Leased;
+    if (it != leaseWinner_.end() && it->second.worker != worker_) {
+        myLeases_.erase(taskId);
+        return false;
+    }
+    long fence = 0;
+    if (const auto mine = myLeases_.find(taskId);
+        mine != myLeases_.end())
+        fence = mine->second;
+    else if (it != leaseWinner_.end())
+        fence = it->second.fence;
+    // Fence and worker sit BEFORE "result" so the checkpoint reader's
+    // body extraction ("result":{ ... to end of line) still sees the
+    // canonical tail.
+    appendLine("{\"task\":\"" + jsonEscape(taskId) +
+               "\",\"status\":\"ok\",\"fence\":" +
+               std::to_string(fence) + ",\"worker\":\"" +
+               jsonEscape(worker_) + "\",\"result\":" + resultBody +
+               "}");
+    scan();
+    myLeases_.erase(taskId);
+    return true;
 }
 
 void
@@ -175,6 +489,76 @@ CoordinationLog::recordDone(const std::string &recordLine)
 {
     appendLine(recordLine);
     scan();
+}
+
+void
+CoordinationLog::release(const std::string &taskId)
+{
+    if (!myLeases_.count(taskId))
+        return;
+    appendLine(releaseLine(generation_, taskId, worker_));
+    myLeases_.erase(taskId);
+    scan();
+}
+
+CoordinationLog::Stats
+CoordinationLog::inspect(const std::string &path)
+{
+    Stats stats;
+    std::unordered_map<std::string, long> maxFence;
+    std::unordered_map<std::string, std::uint64_t> maxSeq;
+    std::unordered_set<std::string> workers;
+
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const ParsedLine p = parseLine(line);
+        switch (p.kind) {
+          case ParsedLine::Kind::Torn:
+            ++stats.torn;
+            continue;
+          case ParsedLine::Kind::Ignored:
+            continue;
+          case ParsedLine::Kind::Beat: {
+            ++stats.beats;
+            workers.insert(p.worker);
+            const std::string key =
+                p.worker + '\0' + std::to_string(p.pid);
+            if (const auto it = maxSeq.find(key);
+                it != maxSeq.end() && p.seq <= it->second)
+                ++stats.desync;
+            else
+                maxSeq[key] = p.seq;
+            break;
+          }
+          case ParsedLine::Kind::Lease: {
+            ++stats.leases;
+            workers.insert(p.worker);
+            if (p.fence > 0)
+                ++stats.steals;
+            if (long &seen = maxFence[p.task]; p.fence < seen)
+                ++stats.desync;
+            else
+                seen = p.fence;
+            if (p.gen > stats.maxGeneration)
+                stats.maxGeneration = p.gen;
+            break;
+          }
+          case ParsedLine::Kind::Release:
+            ++stats.releases;
+            workers.insert(p.worker);
+            break;
+          case ParsedLine::Kind::Done:
+            ++stats.dones;
+            if (!p.worker.empty())
+                workers.insert(p.worker);
+            break;
+        }
+    }
+    stats.workers = workers.size();
+    return stats;
 }
 
 } // namespace cactus::core

@@ -6,38 +6,66 @@
  * record per line, each line written by a single O_APPEND write, a
  * torn trailing line degrades to "not recorded").
  *
- * Two record kinds share the file:
+ * Four record kinds share the file:
  *
- *  - lease records, {"state":"lease","gen":G,"task":T,"worker":W}:
- *    a worker's claim on one sweep task. Claims race by append order:
- *    after appending its own lease, a worker re-reads the log, and the
- *    FIRST lease for the task within the highest generation wins —
- *    O_APPEND gives concurrent appends a total order, so every worker
- *    agrees on the winner without locks.
+ *  - lease records, {"state":"lease","gen":G,"task":T,"worker":W,
+ *    "fence":K}: a worker's claim on one sweep task. Claims race by
+ *    append order: after appending its own lease, a worker re-reads
+ *    the log, and within the highest generation the winner is the
+ *    FIRST lease carrying the HIGHEST fence — O_APPEND gives
+ *    concurrent appends a total order, so every worker agrees on the
+ *    winner without locks. K counts the lease records that preceded
+ *    this one for the task, so fences grow monotonically: a steal
+ *    (see below) always carries a fence strictly above the lease it
+ *    supersedes, and a zombie holder re-reading the log can tell its
+ *    claim has been fenced off.
  *
- *  - done records: ordinary campaign checkpoint records (written by
- *    the campaign runner through the same canonical serializer as
- *    --checkpoint manifests), marking a task completed. Done records
- *    make the log double as the shared checkpoint: resume, merge, and
- *    cache warm-up all read them.
+ *  - beat records, {"state":"beat","gen":G,"worker":W,"pid":P,
+ *    "seq":N}: the liveness side-channel. Workers append beats from
+ *    the campaign runner at kernel-launch boundaries (throttled), so
+ *    a worker that is making progress keeps beating and a worker
+ *    that died — or wedged inside a launch — goes silent. A lease
+ *    whose owner has appended nothing while the OBSERVER emitted
+ *    leaseTtl beats of its own is stale and may be stolen. Beats
+ *    carry the writer's pid so two processes sharing one worker id
+ *    are detected (a fail-fast ConfigError) instead of silently
+ *    honouring each other's leases.
  *
- * Generations make crashed fleets recoverable without letting late
- * joiners duplicate live work: a worker JOINS the highest generation
- * already in the log (so workers of one fleet honour each other's
- * leases whatever order they started in), and only an explicit
- * new-generation open — the recovery path after a crashed fleet —
- * bumps to max(gen)+1, which unbinds the dead fleet's leases while
- * still honouring its done records. A recovery fleet racing a live
- * one can duplicate in-flight work, which is harmless — results are
- * deterministic and the merge dedups by task digest.
+ *  - release records, {"state":"release","gen":G,"task":T,
+ *    "worker":W}: a voluntary unbind, appended when a worker's
+ *    attempt at a task failed locally. Peers may re-lease the task
+ *    immediately instead of waiting for the holder to go stale —
+ *    without this, two live workers could wait on each other's
+ *    failed tasks forever.
+ *
+ *  - done records: campaign checkpoint records wrapped with the
+ *    fence they ran under ({"task":T,"status":"ok","fence":K,
+ *    "worker":W,"result":...}), marking a task completed. Done
+ *    records make the log double as the shared checkpoint: resume,
+ *    merge, and cache warm-up all read them. The fence lets the
+ *    merge attribute each recovered task to exactly one winning
+ *    lease and discard a zombie's duplicate deterministically.
+ *
+ * Generations are retained as the coarse manual recovery path: a
+ * worker JOINS the highest generation already in the log, and an
+ * explicit new-generation open bumps to max(gen)+1, unbinding every
+ * stale lease at once. With heartbeat leases enabled (leaseTtl > 0)
+ * generations are rarely needed — dead workers' leases are stolen
+ * one by one with fencing, no human in the loop.
  */
 
 #ifndef CACTUS_CORE_COORD_HH
 #define CACTUS_CORE_COORD_HH
 
+#include <chrono>
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
+
+#include "common/fault.hh"
 
 namespace cactus::core {
 
@@ -45,16 +73,42 @@ namespace cactus::core {
 class CoordinationLog
 {
   public:
+    /** Liveness and recovery knobs. */
+    struct Options
+    {
+        /** Open a new lease generation, unbinding a crashed fleet's
+         *  stale leases (the manual recovery path). */
+        bool newGeneration = false;
+
+        /**
+         * Heartbeat leases: a lease whose owner has appended nothing
+         * to the log while THIS worker emitted leaseTtl beats of its
+         * own is stale and will be stolen by claim() with a fencing
+         * token. 0 disables stealing (the pre-fencing semantics:
+         * stale leases bind until --new-generation).
+         */
+        int leaseTtl = 0;
+
+        /** Minimum seconds between maybeBeat() appends. beat() is
+         *  never throttled. */
+        double beatIntervalSeconds = 0.5;
+    };
+
     /**
      * Open (creating if absent) the log at @p path as @p worker. The
      * generation is fixed at construction: the highest lease
      * generation already in the log (1 for a fresh log), or one above
-     * it when @p newGeneration is set — the recovery path that
-     * unbinds a crashed fleet's stale leases. ConfigError when the
+     * it when options.newGeneration is set. ConfigError when the
      * file cannot be opened for appending.
      */
     CoordinationLog(std::string path, std::string worker,
-                    bool newGeneration = false);
+                    Options options);
+    CoordinationLog(std::string path, std::string worker,
+                    bool newGeneration = false)
+        : CoordinationLog(std::move(path), std::move(worker),
+                          Options{newGeneration})
+    {
+    }
     ~CoordinationLog();
 
     CoordinationLog(const CoordinationLog &) = delete;
@@ -63,21 +117,71 @@ class CoordinationLog
     /** Outcome of one claim attempt. */
     enum class Claim
     {
-        Won,      ///< This worker owns the task: run it.
-        Leased,   ///< Another worker's lease won: skip it.
-        Completed ///< A done record already covers it: skip it.
+        Won,       ///< This worker owns the task: run it.
+        Leased,    ///< Another worker's live lease wins: skip/wait.
+        Completed, ///< A done record already covers it: skip it.
+        Stolen     ///< This worker's own lease was fenced off by a
+                   ///< higher-fence steal: abandon the task.
     };
 
     /**
      * Try to claim @p taskId: append a lease record, then re-read the
-     * log and let append order decide. Deterministic across racing
-     * workers — every reader sees the same first-lease-in-generation.
+     * log and let append order decide. When the current holder is
+     * stale (missed leaseTtl of this worker's beats), the appended
+     * lease is a steal — it carries a fence above every prior lease
+     * for the task, so the holder sees itself superseded on its next
+     * re-read. Deterministic across racing workers: every reader
+     * sees the same first-lease-at-the-highest-fence.
      */
     Claim claim(const std::string &taskId);
 
-    /** Append one completed-task checkpoint record (a single line,
-     *  no trailing newline needed) with a single atomic write. */
+    /**
+     * Append one heartbeat record (monotonic per-worker seq, fsync'd)
+     * and rescan. Throws ConfigError if the rescan finds a beat under
+     * this worker id from a different pid interleaved with ours —
+     * two live processes sharing a worker id must fail fast, not
+     * honour each other's leases.
+     */
+    void beat();
+
+    /** beat(), throttled to one append per beatIntervalSeconds.
+     *  Returns true when a beat was actually appended. */
+    bool maybeBeat();
+
+    /** Seconds between maybeBeat() appends (Options value). */
+    double
+    beatIntervalSeconds() const
+    {
+        return options_.beatIntervalSeconds;
+    }
+
+    /** True when stale leases are stolen (leaseTtl > 0). */
+    bool
+    stealingEnabled() const
+    {
+        return options_.leaseTtl > 0;
+    }
+
+    /**
+     * Record @p taskId completed with the canonical serialized
+     * result body, wrapped with the fence this worker's lease ran
+     * under. Re-reads the log first: if the lease has been fenced
+     * off by a steal — or another worker already completed the task
+     * — the result is ABANDONED (nothing appended) and false is
+     * returned, so a zombie can never claim credit for a task that
+     * was stolen from it.
+     */
+    bool recordDone(const std::string &taskId,
+                    const std::string &resultBody);
+
+    /** Legacy form: append a pre-built checkpoint record verbatim
+     *  (no fence wrapper, no abandonment check). */
     void recordDone(const std::string &recordLine);
+
+    /** Voluntarily unbind this worker's lease on @p taskId after a
+     *  failed attempt, letting peers re-lease it immediately. No-op
+     *  when this worker holds no lease on the task. */
+    void release(const std::string &taskId);
 
     /** Tasks with a done record at the last scan (claim() rescans). */
     const std::unordered_set<std::string> &
@@ -86,23 +190,108 @@ class CoordinationLog
         return completed_;
     }
 
+    /** Line-level health of the last scan. */
+    struct ScanStats
+    {
+        std::size_t lines = 0;    ///< Non-empty lines read.
+        std::size_t beats = 0;    ///< Well-formed beat records.
+        std::size_t leases = 0;   ///< Well-formed lease records.
+        std::size_t releases = 0; ///< Well-formed release records.
+        std::size_t dones = 0;    ///< Completed-task records.
+        std::size_t torn = 0;     ///< Truncated/unparseable lines,
+                                  ///< skipped without effect.
+        std::size_t desync = 0;   ///< Well-formed records that
+                                  ///< contradict the protocol (beat
+                                  ///< seq regression, lease fence
+                                  ///< regression) — 0 in any log
+                                  ///< written only by this code.
+    };
+
+    const ScanStats &lastScan() const { return scanStats_; }
+
+    /** Whole-log summary, read-only — no newline guard, no
+     *  generation join, no records appended. For supervisors and
+     *  post-mortems. */
+    struct Stats
+    {
+        std::size_t beats = 0;
+        std::size_t leases = 0;
+        std::size_t steals = 0; ///< Leases with fence > 0.
+        std::size_t releases = 0;
+        std::size_t dones = 0;
+        std::size_t torn = 0;
+        std::size_t desync = 0;
+        long maxGeneration = 0;
+        std::size_t workers = 0; ///< Distinct worker ids seen.
+    };
+
+    static Stats inspect(const std::string &path);
+
     const std::string &path() const { return path_; }
     const std::string &worker() const { return worker_; }
     long generation() const { return generation_; }
 
+    /** Install an explicit fault injector (tests); the default is
+     *  the process-wide CACTUS_FAULT spec. Site: 'coord-append'
+     *  tears an append mid-record and throws, simulating ENOSPC or
+     *  a short write on the shared filesystem. */
+    void setFaultInjector(FaultInjector injector)
+    {
+        fault_ = std::move(injector);
+    }
+
   private:
+    struct LeaseInfo
+    {
+        std::string worker;
+        long fence = 0;
+        std::size_t line = 0; ///< Log line index of the record.
+    };
+
     void appendLine(const std::string &line);
     void scan();
+    long nextFence(const std::string &taskId) const;
+    bool ownerStale(const std::string &owner) const;
+
+    /** Resolve a claim from the current tables; nullopt means "no
+     *  binding lease — append one (or a steal) and re-decide". */
+    std::optional<Claim> decide(const std::string &taskId);
 
     std::string path_;
     std::string worker_;
+    Options options_;
     long generation_ = 1;
     int fd_ = -1;
+    long pid_ = 0;
+
+    std::uint64_t mySeq_ = 0; ///< Last beat seq this worker emitted.
+    std::chrono::steady_clock::time_point lastBeat_{};
+    bool everBeat_ = false;
 
     std::unordered_set<std::string> completed_;
 
-    /** task -> first-leasing worker within this generation. */
-    std::unordered_map<std::string, std::string> leaseWinner_;
+    /** task -> winning lease (first at the highest fence) within
+     *  this generation. */
+    std::unordered_map<std::string, LeaseInfo> leaseWinner_;
+
+    /** task -> count of lease records in the log (any generation) —
+     *  the next fence value. */
+    std::unordered_map<std::string, long> leaseCount_;
+
+    /** worker -> log line of its most recent record of any kind. */
+    std::unordered_map<std::string, std::size_t> lastActivity_;
+
+    /** Log lines of this process's own beats (worker id AND pid
+     *  match), the observer clock for staleness. */
+    std::vector<std::size_t> myBeatLines_;
+
+    /** Tasks this worker currently believes it holds, and the fence
+     *  its lease carried when it last won the claim. */
+    std::unordered_map<std::string, long> myLeases_;
+
+    ScanStats scanStats_;
+
+    FaultInjector fault_ = FaultInjector::fromEnv();
 };
 
 } // namespace cactus::core

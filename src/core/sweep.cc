@@ -8,6 +8,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/parse.hh"
+#include "core/campaign.hh"
 #include "gpu/digest.hh"
 
 namespace cactus::core {
@@ -141,24 +142,43 @@ mergeCheckpoints(const std::vector<std::string> &inputs,
                  const std::string &outPath)
 {
     MergeResult result;
-    // task id -> every distinct record line seen for it (in first-seen
-    // order, so the corrupt report is stable).
-    std::map<std::string, std::vector<std::string>> byTask;
+    // Everything the merge keeps per task id: the distinct result
+    // bodies seen (in first-seen order, so the corrupt report is
+    // stable) and the fence of every completed record, for zombie
+    // accounting and winning-fence attribution.
+    struct TaskRecords
+    {
+        std::vector<std::string> bodies;
+        std::vector<long> fences;
+        long maxFence = 0;
+    };
+    std::map<std::string, TaskRecords> byTask;
 
     for (const auto &path : inputs) {
-        std::ifstream in(path);
-        if (!in)
-            throw ConfigError("cannot read merge input '" + path +
-                              "'");
+        std::ifstream in(path, std::ios::binary);
+        bool missing = !in;
+        if (!missing) {
+            // A zero-length shard is a worker that died before its
+            // first completion: nothing to merge, same as absent.
+            in.seekg(0, std::ios::end);
+            missing = in.tellg() == 0;
+            in.seekg(0, std::ios::beg);
+        }
+        if (missing) {
+            // A crashed fleet must still merge: skip and count, and
+            // let the caller decide whether missing shards are fatal.
+            warn("merge: input '", path, "' is missing or empty");
+            ++result.missingInputs;
+            continue;
+        }
         std::string line;
         while (std::getline(in, line)) {
             if (line.empty())
                 continue;
             std::string state, status, task;
-            if (jsonFindText(line, "state", state) &&
-                state == "lease") {
-                ++result.ignored; // Coordination noise, not results.
-                continue;
+            if (jsonFindText(line, "state", state)) {
+                ++result.ignored; // Coordination noise (lease, beat,
+                continue;         // release), not results.
             }
             if (!jsonFindText(line, "status", status) ||
                 status != "ok") {
@@ -169,13 +189,31 @@ mergeCheckpoints(const std::vector<std::string> &inputs,
                 ++result.legacy; // Pre-task-id record: no identity
                 continue;        // to dedup on; merge skips it.
             }
+            // Dedup on the result BODY, not the raw line: a done
+            // record from a coordination log wraps the same canonical
+            // body with fence/worker attribution, and must collapse
+            // against the plain checkpoint record for the same run.
+            const auto at = line.find("\"result\":{");
+            if (at == std::string::npos || line.back() != '}') {
+                ++result.ignored; // Body torn off: not a completion.
+                continue;
+            }
+            std::string body =
+                line.substr(at + 9, line.size() - at - 10);
+            double fence = 0;
+            jsonFindNumber(line, "fence", fence);
+
             ++result.records;
-            auto &lines = byTask[task];
-            if (std::find(lines.begin(), lines.end(), line) !=
-                lines.end())
+            auto &records = byTask[task];
+            records.fences.push_back(static_cast<long>(fence));
+            records.maxFence =
+                std::max(records.maxFence, static_cast<long>(fence));
+            if (std::find(records.bodies.begin(),
+                          records.bodies.end(),
+                          body) != records.bodies.end())
                 ++result.duplicates;
             else
-                lines.push_back(line);
+                records.bodies.push_back(std::move(body));
         }
     }
 
@@ -183,15 +221,24 @@ mergeCheckpoints(const std::vector<std::string> &inputs,
     if (!out)
         throw ConfigError("cannot write merged report '" + outPath +
                           "'");
-    for (const auto &[task, lines] : byTask) {
+    for (const auto &[task, records] : byTask) {
         ++result.tasks;
-        if (lines.size() > 1) {
+        if (records.bodies.size() > 1) {
             // Same task id means same config digest: two different
-            // record bodies are a determinism violation, not noise.
+            // record bodies are a determinism violation, not noise —
+            // no fence, however high, can bless a wrong answer.
             result.corruptTasks.push_back(task);
             continue;
         }
-        out << lines.front() << '\n';
+        for (const long fence : records.fences)
+            if (fence < records.maxFence)
+                ++result.zombieDuplicates;
+        if (records.maxFence > 0)
+            result.recoveredTasks.emplace_back(task, records.maxFence);
+        // Re-emit canonically: the fence/worker wrapper is stripped,
+        // so the merged bytes match a serial run's exactly.
+        out << checkpointRecordLine(task, records.bodies.front())
+            << '\n';
     }
     if (!out.flush())
         throw ConfigError("short write to merged report '" + outPath +

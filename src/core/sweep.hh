@@ -31,6 +31,7 @@
 #define CACTUS_CORE_SWEEP_HH
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gpu/config.hh"
@@ -89,9 +90,27 @@ struct MergeResult
 {
     std::size_t records = 0;    ///< Completed records read.
     std::size_t tasks = 0;      ///< Distinct task ids among them.
-    std::size_t duplicates = 0; ///< Byte-identical repeat records.
+    std::size_t duplicates = 0; ///< Repeat records whose result body
+                                ///< is byte-identical to one already
+                                ///< seen for the task.
     std::size_t legacy = 0;     ///< Pre-task-id records (skipped).
-    std::size_t ignored = 0;    ///< Lease and malformed lines.
+    std::size_t ignored = 0;    ///< Coordination records (leases,
+                                ///< beats, releases) and malformed
+                                ///< lines.
+
+    /** Inputs that were missing, unreadable, or zero-length — a
+     *  partially crashed fleet's shards. Warned and skipped, never
+     *  fatal (the caller decides whether that fails the merge). */
+    std::size_t missingInputs = 0;
+
+    /** Completed records carrying a fence below the task's highest —
+     *  a zombie worker's abandoned result, discarded in favour of the
+     *  winning fence. Only counted for clean (non-corrupt) tasks. */
+    std::size_t zombieDuplicates = 0;
+
+    /** Tasks whose winning completion ran under a stolen lease
+     *  (fence > 0), each attributed to exactly one winning fence. */
+    std::vector<std::pair<std::string, long>> recoveredTasks;
 
     /** Task ids whose records disagree — a determinism violation. */
     std::vector<std::string> corruptTasks;
@@ -101,10 +120,18 @@ struct MergeResult
 
 /**
  * Fold the completed records of @p inputs (shard checkpoints and/or
- * coordination logs) into @p outPath: deduped by task id, sorted by
- * task id, one canonical record per line. Bit-identical output for
- * any shard count and completion order. ConfigError when an input is
- * unreadable or the output cannot be written.
+ * coordination logs) into @p outPath: deduped by task id and result
+ * body, sorted by task id, one canonical record per line. Done
+ * records from a coordination log carry fence/worker attribution;
+ * the merge strips it and re-emits the canonical checkpoint record,
+ * so the merged bytes are identical whatever mix of checkpoints and
+ * coordination logs produced them — and identical to a serial run.
+ * Two records for one task id with *different* result bodies are a
+ * determinism violation whatever their fences; the task is flagged
+ * CORRUPT and excluded. Missing, unreadable, or empty inputs are
+ * warned about and counted (MergeResult::missingInputs), never
+ * fatal, so a partially crashed fleet still merges. ConfigError only
+ * when the output cannot be written.
  */
 MergeResult mergeCheckpoints(const std::vector<std::string> &inputs,
                              const std::string &outPath);

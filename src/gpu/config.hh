@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 
@@ -171,6 +172,17 @@ struct DeviceConfig
      */
     FaultInjector fault = FaultInjector::fromEnv();
 
+    /**
+     * Invoked at every kernel-launch boundary (Device::beginLaunch),
+     * before the cancellation poll. Control plane only — must not
+     * affect simulated results. The campaign runner installs a
+     * coordination-log heartbeat here so a fleet worker proves
+     * liveness exactly as often as it reaches a clean boundary: a
+     * worker wedged inside one launch stops beating and its leases
+     * go stale. Null (the default) is a no-op.
+     */
+    std::function<void()> onLaunchBoundary;
+
     // --- Derived organization ---------------------------------------------
 
     /** Number of private L1 units after resolving the 0 default. */
@@ -253,7 +265,8 @@ struct DeviceConfig
      *  - hostThreads / minWarpsPerWorker (host execution fan-out);
      *  - fastForward / fastForwardWindow (digest-verified skip is
      *    bit-identical to full replay);
-     *  - name (cosmetic), cancel, fault (control plane, not model).
+     *  - name (cosmetic), cancel, fault, onLaunchBoundary (control
+     *    plane, not model).
      * Derived values (resolvedL1Units, resolvedL2Slices) are folded
      * instead of their raw knobs so e.g. numL1Units = 0 and an
      * explicit numL1Units = numSms hash identically.

@@ -112,9 +112,12 @@ Device::flushCaches()
 Device::LaunchState
 Device::beginLaunch(const KernelDesc &desc, Dim3 grid, Dim3 block)
 {
-    // The launch boundary is the device's cancellation point: a
-    // watchdog-cancelled benchmark unwinds here, between kernels,
+    // The launch boundary is the device's liveness and cancellation
+    // point: fleet workers prove progress here (heartbeat hook), and
+    // a watchdog-cancelled benchmark unwinds here, between kernels,
     // leaving no launch half-recorded.
+    if (config_.onLaunchBoundary)
+        config_.onLaunchBoundary();
     if (config_.cancel.requested())
         throw TimeoutError("kernel '" + desc.name +
                            "' not launched: cancellation requested "

@@ -1,0 +1,465 @@
+/**
+ * @file
+ * Tests for the self-healing fleet protocol: heartbeat liveness,
+ * TTL-based lease stealing with fencing tokens, zombie abandonment,
+ * voluntary release, torn-record and injected-fault tolerance,
+ * worker-identity aliasing detection, zombie-duplicate discard in the
+ * merge, and runSweep() recovering a sweep whose previous holder died
+ * without a --new-generation restart.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/fault.hh"
+#include "core/campaign.hh"
+#include "core/coord.hh"
+#include "core/sweep.hh"
+
+namespace {
+
+using namespace cactus::core;
+using cactus::ConfigError;
+using cactus::FaultInjector;
+using cactus::gpu::DeviceConfig;
+using cactus::gpu::KernelDesc;
+using cactus::gpu::ThreadCtx;
+
+using Claim = CoordinationLog::Claim;
+using Options = CoordinationLog::Options;
+
+std::string
+tmpPath(const std::string &leaf)
+{
+    const std::string path = "/tmp/" + leaf;
+    std::remove(path.c_str());
+    return path;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+void
+appendRaw(const std::string &path, const std::string &line)
+{
+    std::ofstream out(path, std::ios::app);
+    out << line << '\n';
+}
+
+const std::string kBody =
+    "{\"benchmark\":\"X\",\"suite\":\"T\",\"launches\":1,"
+    "\"total_seconds\":1,\"total_warp_insts\":1,"
+    "\"total_dram_sectors\":1}";
+
+/** Options with stealing on and no beat throttling, so tests drive
+ *  the observer clock one beat() at a time. */
+Options
+stealOpts(int ttl)
+{
+    Options opts;
+    opts.leaseTtl = ttl;
+    opts.beatIntervalSeconds = 0.0;
+    return opts;
+}
+
+// ---------------------------------------------------------------- //
+// Heartbeats
+// ---------------------------------------------------------------- //
+
+TEST(Heartbeat, SeqIsMonotonicAcrossHandlesOfOneWorker)
+{
+    const auto log = tmpPath("fleet_beats.jsonl");
+    {
+        CoordinationLog a(log, "alice", stealOpts(2));
+        a.beat();
+        a.beat();
+        a.beat();
+        EXPECT_EQ(a.lastScan().beats, 3u);
+        EXPECT_EQ(a.lastScan().desync, 0u);
+    }
+    // A second handle in the same process resumes the seq above the
+    // log's high-water mark instead of restarting at 1 — a restart
+    // that reused the id must never look like a seq regression.
+    CoordinationLog again(log, "alice", stealOpts(2));
+    again.beat();
+    EXPECT_EQ(again.lastScan().beats, 4u);
+    EXPECT_EQ(again.lastScan().desync, 0u);
+
+    const auto stats = CoordinationLog::inspect(log);
+    EXPECT_EQ(stats.beats, 4u);
+    EXPECT_EQ(stats.desync, 0u);
+    EXPECT_EQ(stats.workers, 1u);
+}
+
+TEST(Heartbeat, MaybeBeatThrottlesByInterval)
+{
+    const auto log = tmpPath("fleet_throttle.jsonl");
+    Options slow;
+    slow.leaseTtl = 2;
+    slow.beatIntervalSeconds = 1000.0; // Never due again in-test.
+    CoordinationLog a(log, "alice", slow);
+    EXPECT_TRUE(a.maybeBeat());   // First beat is always due.
+    EXPECT_FALSE(a.maybeBeat());  // Throttled.
+    EXPECT_EQ(a.lastScan().beats, 1u);
+
+    CoordinationLog b(log, "bob", stealOpts(2)); // Interval 0.
+    EXPECT_TRUE(b.maybeBeat());
+    EXPECT_TRUE(b.maybeBeat());
+}
+
+TEST(Heartbeat, AliasedWorkerIdIsAConfigError)
+{
+    const auto log = tmpPath("fleet_alias.jsonl");
+    CoordinationLog a(log, "alice", stealOpts(2));
+    a.beat();
+    // A second live process beating under our id: the next rescan
+    // must fail fast, naming both pids, instead of letting the two
+    // processes honour each other's leases.
+    appendRaw(log, "{\"state\":\"beat\",\"gen\":1,"
+                   "\"worker\":\"alice\",\"pid\":999999,\"seq\":1}");
+    try {
+        a.beat();
+        FAIL() << "aliased worker id was not detected";
+    } catch (const ConfigError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("alice"), std::string::npos) << what;
+        EXPECT_NE(what.find("999999"), std::string::npos) << what;
+    }
+}
+
+TEST(Heartbeat, DeadPredecessorsBeatsAreTolerated)
+{
+    const auto log = tmpPath("fleet_alias_dead.jsonl");
+    // All of the foreign pid's beats precede our first record: that
+    // is a dead predecessor that used the same name, not a live
+    // collision — a restarted worker must be able to reuse its id.
+    appendRaw(log, "{\"state\":\"beat\",\"gen\":1,"
+                   "\"worker\":\"alice\",\"pid\":999999,\"seq\":1}");
+    CoordinationLog a(log, "alice", stealOpts(2));
+    EXPECT_NO_THROW(a.beat());
+    EXPECT_NO_THROW(a.beat());
+}
+
+// ---------------------------------------------------------------- //
+// Fenced stealing
+// ---------------------------------------------------------------- //
+
+TEST(Fencing, StaleLeaseIsStolenAfterTtlObserverBeats)
+{
+    const auto log = tmpPath("fleet_steal.jsonl");
+    CoordinationLog alice(log, "alice", stealOpts(2));
+    CoordinationLog bob(log, "bob", stealOpts(2));
+    ASSERT_EQ(alice.claim("t1"), Claim::Won);
+
+    // Not stale yet: bob has emitted no beats since alice's lease.
+    EXPECT_EQ(bob.claim("t1"), Claim::Leased);
+    bob.beat();
+    EXPECT_EQ(bob.claim("t1"), Claim::Leased); // 1 beat < ttl 2.
+    bob.beat();
+
+    // Two of bob's own beats with no sign of alice: the lease is
+    // stale, and bob's re-claim is a steal at fence 1.
+    EXPECT_EQ(bob.claim("t1"), Claim::Won);
+    const auto stats = CoordinationLog::inspect(log);
+    EXPECT_EQ(stats.steals, 1u);
+    EXPECT_EQ(stats.desync, 0u);
+
+    // Alice re-reads: her lease is fenced off.
+    EXPECT_EQ(alice.claim("t1"), Claim::Stolen);
+}
+
+TEST(Fencing, OwnerBeatsKeepTheLeaseAlive)
+{
+    const auto log = tmpPath("fleet_alive.jsonl");
+    CoordinationLog alice(log, "alice", stealOpts(2));
+    CoordinationLog bob(log, "bob", stealOpts(2));
+    ASSERT_EQ(alice.claim("t1"), Claim::Won);
+
+    bob.beat();
+    alice.beat(); // Fresh activity resets bob's staleness window.
+    bob.beat();
+    EXPECT_EQ(bob.claim("t1"), Claim::Leased); // Only 1 beat since.
+    bob.beat();
+    EXPECT_EQ(bob.claim("t1"), Claim::Won); // Now 2: stolen.
+}
+
+TEST(Fencing, ZombieAbandonsItsResultAfterASteal)
+{
+    const auto log = tmpPath("fleet_zombie.jsonl");
+    CoordinationLog alice(log, "alice", stealOpts(2));
+    CoordinationLog bob(log, "bob", stealOpts(2));
+    ASSERT_EQ(alice.claim("t1"), Claim::Won);
+    bob.beat();
+    bob.beat();
+    ASSERT_EQ(bob.claim("t1"), Claim::Won); // Steal at fence 1.
+
+    // Alice finishes her now-fenced-off attempt: the result is
+    // abandoned — nothing appended, no credit claimed.
+    const auto before = CoordinationLog::inspect(log);
+    EXPECT_FALSE(alice.recordDone("t1", kBody));
+    const auto after = CoordinationLog::inspect(log);
+    EXPECT_EQ(after.dones, 0u);
+    EXPECT_EQ(after.leases, before.leases);
+
+    // The thief's completion is the one that lands.
+    EXPECT_TRUE(bob.recordDone("t1", kBody));
+    EXPECT_EQ(CoordinationLog::inspect(log).dones, 1u);
+    EXPECT_EQ(alice.claim("t1"), Claim::Completed);
+}
+
+TEST(Fencing, CompletionBeatsALateZombieEvenWithoutASteal)
+{
+    const auto log = tmpPath("fleet_late.jsonl");
+    CoordinationLog alice(log, "alice", stealOpts(2));
+    ASSERT_EQ(alice.claim("t1"), Claim::Won);
+    ASSERT_TRUE(alice.recordDone("t1", kBody));
+    // A second completion attempt for a task that is already done is
+    // abandoned, whoever makes it.
+    EXPECT_FALSE(alice.recordDone("t1", kBody));
+    EXPECT_EQ(CoordinationLog::inspect(log).dones, 1u);
+}
+
+TEST(Fencing, ReleaseLetsALivePeerRetryImmediately)
+{
+    const auto log = tmpPath("fleet_release.jsonl");
+    CoordinationLog alice(log, "alice", stealOpts(3));
+    CoordinationLog bob(log, "bob", stealOpts(3));
+    ASSERT_EQ(alice.claim("t1"), Claim::Won);
+
+    // Alice's attempt failed locally; she unbinds voluntarily, so bob
+    // re-leases NOW — no waiting out the TTL on a live-but-unlucky
+    // peer (the two-live-workers deadlock this record prevents).
+    alice.release("t1");
+    EXPECT_EQ(bob.claim("t1"), Claim::Won);
+    EXPECT_EQ(CoordinationLog::inspect(log).releases, 1u);
+}
+
+// ---------------------------------------------------------------- //
+// Torn records and injected append faults
+// ---------------------------------------------------------------- //
+
+TEST(TornLog, TornLinesAreSkippedAndCountedWithoutDesync)
+{
+    const auto log = tmpPath("fleet_torn.jsonl");
+    appendRaw(log, "{\"state\":\"lease\",\"gen\":1,"
+                   "\"task\":\"t1\",\"worker\":\"ghost\",\"fence\":0}");
+    // A record that lost its tail mid-append: skipped, counted as
+    // torn, and — critically — not counted as protocol desync.
+    appendRaw(log, "{\"state\":\"lease\",\"gen\":1,\"ta");
+    appendRaw(log, "{\"state\":\"beat\",\"gen\":1,"
+                   "\"worker\":\"ghost\",\"pid\":7,\"seq\":1}");
+
+    CoordinationLog reader(log, "reader", stealOpts(2));
+    EXPECT_EQ(reader.lastScan().torn, 1u);
+    EXPECT_EQ(reader.lastScan().desync, 0u);
+    EXPECT_EQ(reader.lastScan().leases, 1u);
+    // The intact lease still binds; the torn one has no effect.
+    EXPECT_EQ(reader.claim("t1"), Claim::Leased);
+    EXPECT_EQ(reader.claim("t2"), Claim::Won);
+}
+
+TEST(TornLog, InjectedAppendFaultThrowsAndTheLogStaysReadable)
+{
+    const auto log = tmpPath("fleet_fault.jsonl");
+    {
+        CoordinationLog a(log, "alice", stealOpts(2));
+        // Probability 1: the very next append tears mid-record and
+        // throws, as if the shared filesystem hit ENOSPC.
+        a.setFaultInjector(FaultInjector::parse("coord-append:1:1"));
+        EXPECT_THROW(a.claim("a-task-id-long-enough-to-tear"),
+                     ConfigError);
+    }
+    // A fresh worker opens the same log: the newline guard seals the
+    // torn tail, the scan skips it as torn, and claims proceed.
+    CoordinationLog b(log, "bob", stealOpts(2));
+    EXPECT_GE(b.lastScan().torn, 1u);
+    EXPECT_EQ(b.lastScan().desync, 0u);
+    EXPECT_EQ(b.claim("a-task-id-long-enough-to-tear"), Claim::Won);
+    EXPECT_TRUE(b.recordDone("a-task-id-long-enough-to-tear", kBody));
+    EXPECT_EQ(CoordinationLog::inspect(log).dones, 1u);
+}
+
+// ---------------------------------------------------------------- //
+// Merge: fence attribution and zombie-duplicate discard
+// ---------------------------------------------------------------- //
+
+/** A fenced done record exactly as CoordinationLog::recordDone wraps
+ *  it: fence and worker sit before "result". */
+std::string
+fencedDone(const std::string &task, long fence,
+           const std::string &worker, const std::string &body)
+{
+    return "{\"task\":\"" + task + "\",\"status\":\"ok\",\"fence\":" +
+        std::to_string(fence) + ",\"worker\":\"" + worker +
+        "\",\"result\":" + body + "}";
+}
+
+TEST(MergeFencing, ZombieDuplicateIsDiscardedByFence)
+{
+    const auto coord = tmpPath("fleet_merge_zombie.jsonl");
+    // The zombie's fence-0 completion and the thief's fence-1 one,
+    // byte-identical bodies — the deterministic simulator guarantee.
+    appendRaw(coord, fencedDone("t1", 0, "alice", kBody));
+    appendRaw(coord, fencedDone("t1", 1, "bob", kBody));
+
+    const auto out = tmpPath("fleet_merge_zombie_out.jsonl");
+    const auto mr = mergeCheckpoints({coord}, out);
+    EXPECT_TRUE(mr.clean());
+    EXPECT_EQ(mr.tasks, 1u);
+    EXPECT_EQ(mr.duplicates, 1u);        // Equal bodies collapse.
+    EXPECT_EQ(mr.zombieDuplicates, 1u);  // ...and the loser is the
+                                         // lower fence.
+    ASSERT_EQ(mr.recoveredTasks.size(), 1u);
+    EXPECT_EQ(mr.recoveredTasks[0].first, "t1");
+    EXPECT_EQ(mr.recoveredTasks[0].second, 1);
+
+    // The merged bytes are the canonical checkpoint record — exactly
+    // what a serial, never-stolen run would have merged to.
+    const auto serial = tmpPath("fleet_merge_serial.jsonl");
+    appendRaw(serial, checkpointRecordLine("t1", kBody));
+    const auto serial_out = tmpPath("fleet_merge_serial_out.jsonl");
+    mergeCheckpoints({serial}, serial_out);
+    EXPECT_EQ(slurp(out), slurp(serial_out));
+}
+
+TEST(MergeFencing, NoFenceCanBlessADisagreeingBody)
+{
+    const auto coord = tmpPath("fleet_merge_corrupt.jsonl");
+    const std::string other =
+        "{\"benchmark\":\"X\",\"suite\":\"T\",\"launches\":2,"
+        "\"total_seconds\":2,\"total_warp_insts\":2,"
+        "\"total_dram_sectors\":2}";
+    appendRaw(coord, fencedDone("t1", 0, "alice", kBody));
+    appendRaw(coord, fencedDone("t1", 9, "bob", other));
+
+    const auto out = tmpPath("fleet_merge_corrupt_out.jsonl");
+    const auto mr = mergeCheckpoints({coord}, out);
+    // Same task id, different bytes: a determinism violation however
+    // high the winning fence — CORRUPT, excluded from the report.
+    EXPECT_FALSE(mr.clean());
+    ASSERT_EQ(mr.corruptTasks.size(), 1u);
+    EXPECT_EQ(mr.corruptTasks[0], "t1");
+    EXPECT_EQ(slurp(out).find("t1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- //
+// runSweep: self-healing without --new-generation
+// ---------------------------------------------------------------- //
+
+/** Deterministic stub benchmark (same shape as sweep_test's). */
+class OkBenchmark : public Benchmark
+{
+  public:
+    explicit OkBenchmark(std::string name) : name_(std::move(name)) {}
+    std::string name() const override { return name_; }
+    std::string suite() const override { return "Test"; }
+    std::string domain() const override { return "Test"; }
+
+    void
+    run(cactus::gpu::Device &dev) override
+    {
+        const std::size_t n = 4096;
+        std::vector<float> a(n, 1.f), b(n, 2.f), c(n, 0.f);
+        dev.launchLinear(KernelDesc(name_ + "_vadd"), n, 256,
+                         [&](ThreadCtx &ctx) {
+                             const auto i = ctx.globalId();
+                             ctx.fp32();
+                             ctx.st(&c[i],
+                                    ctx.ld(&a[i]) + ctx.ld(&b[i]));
+                         });
+        recordOutput(c);
+    }
+
+  private:
+    std::string name_;
+};
+
+BenchmarkInfo
+okInfo(const std::string &name)
+{
+    return {name, "Test", "Test", [name](Scale) {
+                return std::unique_ptr<Benchmark>(
+                    new OkBenchmark(name));
+            }};
+}
+
+TEST(RunSweepFleet, DeadWorkersLeaseIsStolenWithoutNewGeneration)
+{
+    const auto log = tmpPath("fleet_selfheal.jsonl");
+    const DeviceConfig base;
+    std::vector<CampaignTask> tasks;
+    for (const auto &point :
+         expandSweep(base, {parseSweepAxis("l2_kb=256,512")}))
+        tasks.push_back({okInfo("A"), point.config, point.label});
+
+    // A ghost worker leased the first task and died silently — no
+    // beats, no release, no done record.
+    const auto ghosted =
+        sweepTaskId("A", "small", tasks[0].config);
+    appendRaw(log, "{\"state\":\"lease\",\"gen\":1,\"task\":\"" +
+                       ghosted + "\",\"worker\":\"ghost\","
+                       "\"fence\":0}");
+
+    // A live worker with heartbeat leases on: the campaign defers the
+    // ghosted task, beats past the TTL, steals, and completes the
+    // whole sweep — no --new-generation, no human in the loop.
+    CoordinationLog worker(log, "live", stealOpts(1));
+    CampaignOptions opts;
+    opts.coordination = &worker;
+    const auto result = runSweep(tasks, opts);
+    EXPECT_EQ(result.okCount, 2);
+    EXPECT_EQ(result.skippedCount, 0);
+    EXPECT_EQ(result.stolenCount, 0);
+    EXPECT_TRUE(result.allOk());
+
+    const auto stats = CoordinationLog::inspect(log);
+    EXPECT_EQ(stats.steals, 1u);
+    EXPECT_EQ(stats.desync, 0u);
+
+    const auto merged = tmpPath("fleet_selfheal_merged.jsonl");
+    const auto mr = mergeCheckpoints({log}, merged);
+    EXPECT_TRUE(mr.clean());
+    EXPECT_EQ(mr.tasks, 2u);
+    // The recovered task is attributed to exactly one winning fence.
+    ASSERT_EQ(mr.recoveredTasks.size(), 1u);
+    EXPECT_EQ(mr.recoveredTasks[0].first, ghosted);
+    EXPECT_EQ(mr.recoveredTasks[0].second, 1);
+}
+
+TEST(RunSweepFleet, TtlZeroKeepsTheLegacySkipSemantics)
+{
+    const auto log = tmpPath("fleet_legacy_ttl0.jsonl");
+    const DeviceConfig base;
+    std::vector<CampaignTask> tasks;
+    for (const auto &point : expandSweep(base, {}))
+        tasks.push_back({okInfo("A"), point.config, point.label});
+    const auto ghosted =
+        sweepTaskId("A", "small", tasks[0].config);
+    appendRaw(log, "{\"state\":\"lease\",\"gen\":1,\"task\":\"" +
+                       ghosted + "\",\"worker\":\"ghost\","
+                       "\"fence\":0}");
+
+    // Stealing off: the foreign lease binds until --new-generation,
+    // exactly the pre-fencing behaviour.
+    CoordinationLog worker(log, "live"); // leaseTtl = 0.
+    CampaignOptions opts;
+    opts.coordination = &worker;
+    const auto result = runSweep(tasks, opts);
+    EXPECT_EQ(result.okCount, 0);
+    EXPECT_EQ(result.skippedCount, 1);
+}
+
+} // namespace

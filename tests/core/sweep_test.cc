@@ -281,10 +281,30 @@ TEST(Merge, SkipsLeaseLegacyAndTornLines)
     EXPECT_EQ(mr.ignored, 2u); // Lease + torn line.
 }
 
-TEST(Merge, UnreadableInputThrows)
+TEST(Merge, MissingInputsWarnCountAndNeverAbortTheMerge)
 {
-    EXPECT_THROW(mergeCheckpoints({"/nonexistent/nope.jsonl"},
-                                  tmpPath("merge_unused.jsonl")),
+    // A partially crashed fleet must still merge: an absent input and
+    // a zero-length one (a worker that died before its first
+    // completion) are skipped and counted, not fatal.
+    const auto in = tmpPath("merge_present.jsonl");
+    {
+        std::ofstream f(in);
+        f << fakeRecord("a/small/01", "x") << '\n';
+    }
+    const auto empty = tmpPath("merge_empty.jsonl");
+    {
+        std::ofstream f(empty); // Created, zero bytes.
+    }
+    const auto out = tmpPath("merge_missing_out.jsonl");
+    const auto mr = mergeCheckpoints(
+        {"/nonexistent/nope.jsonl", in, empty}, out);
+    EXPECT_TRUE(mr.clean());
+    EXPECT_EQ(mr.missingInputs, 2u);
+    EXPECT_EQ(mr.tasks, 1u);
+    EXPECT_NE(slurp(out).find("a/small/01"), std::string::npos);
+
+    // The output path is the one merge failure that stays fatal.
+    EXPECT_THROW(mergeCheckpoints({in}, "/nonexistent/dir/out.jsonl"),
                  ConfigError);
 }
 

@@ -1,0 +1,469 @@
+/**
+ * @file
+ * The fleet supervisor: forks N `cactus_run --coordinate` workers
+ * over one shared coordination log, restarts the ones that crash
+ * (with exponential backoff and a fleet-wide restart budget), and
+ * finishes by folding the log into one canonical merged report.
+ *
+ * The supervisor is deliberately dumb about work: it never assigns
+ * tasks, never reads results, never arbitrates. All of that lives in
+ * the coordination log's lease/heartbeat/fencing protocol
+ * (core/coord.hh) — workers claim tasks dynamically, steal from dead
+ * peers after the lease TTL, and fence off zombies, so the sweep
+ * completes even if the supervisor restarts nothing at all. Restarts
+ * only restore parallelism; correctness never depends on them.
+ *
+ * A built-in chaos mode (--chaos-kills) SIGKILLs randomly chosen live
+ * workers mid-sweep on a deterministic schedule (seeded by
+ * --chaos-seed through the same SplitMix64 stream fault injection
+ * uses), which is the kill -9 harness the CI kill-smoke job drives:
+ * after any number of kills the merged report must be byte-identical
+ * to a serial run's, with 0 corrupt tasks and 0 desync records.
+ *
+ * Usage:
+ *   cactus_fleet --workers 4 --coordinate coord.jsonl \
+ *       --out merged.jsonl [--chaos-kills 2 --chaos-seed 7] \
+ *       -- --benchmarks lbm,spmv --tiny --sweep l2_kb=256,512
+ */
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/fault.hh"
+#include "common/logging.hh"
+#include "common/parse.hh"
+#include "core/coord.hh"
+#include "core/sweep.hh"
+
+namespace {
+
+using namespace cactus;
+
+volatile sig_atomic_t g_stop_signal = 0;
+
+void
+onStopSignal(int sig)
+{
+    g_stop_signal = sig;
+}
+
+void
+printUsage()
+{
+    std::printf(
+        "usage:\n"
+        "  cactus_fleet --workers N --coordinate LOG --out MERGED\n"
+        "               [options] -- <cactus_run sweep args>\n"
+        "options:\n"
+        "  --workers N         worker processes to fork (required)\n"
+        "  --coordinate LOG    shared coordination log (required);\n"
+        "                      also the merge input\n"
+        "  --out MERGED        merged canonical report (required)\n"
+        "  --runner PATH       cactus_run binary (default: next to\n"
+        "                      this executable)\n"
+        "  --max-restarts N    fleet-wide crash-restart budget\n"
+        "                      (default 8)\n"
+        "  --restart-backoff SEC\n"
+        "                      base restart delay, doubled per\n"
+        "                      restart of the same slot\n"
+        "                      (default 0.25)\n"
+        "  --lease-ttl N       forwarded to workers (default 3)\n"
+        "  --beat-interval SEC forwarded to workers (default 0.5)\n"
+        "  --chaos-kills K     SIGKILL K randomly chosen live\n"
+        "                      workers mid-sweep (default 0)\n"
+        "  --chaos-seed S      deterministic kill schedule seed\n"
+        "                      (default 1)\n"
+        "  --chaos-interval SEC\n"
+        "                      delay before each chaos kill\n"
+        "                      (default 1.0)\n"
+        "everything after '--' is passed to every cactus_run worker\n"
+        "(e.g. --benchmarks lbm,spmv --tiny --sweep l2_kb=256,512).\n");
+}
+
+/** One worker slot: a restartable seat in the fleet, not a specific
+ *  process. Each incarnation gets a fresh host-pid-epoch worker id
+ *  from cactus_run, so a dead incarnation's leases go stale and are
+ *  stolen instead of being ambiguously inherited. */
+struct Slot
+{
+    pid_t pid = -1;          ///< Live child, or -1.
+    bool done = false;       ///< Exited with status 0.
+    bool abandoned = false;  ///< Crashed with no budget left.
+    int restarts = 0;        ///< Times this slot was restarted.
+    std::chrono::steady_clock::time_point restartAt{};
+    bool restartPending = false;
+};
+
+int
+fleetMain(int argc, char **argv)
+{
+    int workers = 0;
+    int max_restarts = 8;
+    int lease_ttl = 3;
+    int chaos_kills = 0;
+    std::uint64_t chaos_seed = 1;
+    double restart_backoff = 0.25;
+    double beat_interval = 0.5;
+    double chaos_interval = 1.0;
+    std::string coordinate_path, out_path, runner;
+    std::vector<std::string> passthrough;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value after ", arg);
+            return argv[++i];
+        };
+        if (arg == "--") {
+            for (++i; i < argc; ++i)
+                passthrough.push_back(argv[i]);
+            break;
+        } else if (arg == "--workers") {
+            workers = parsePositiveInt(next(), "--workers");
+        } else if (arg == "--coordinate") {
+            coordinate_path = next();
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--runner") {
+            runner = next();
+        } else if (arg == "--max-restarts") {
+            max_restarts =
+                parseNonNegativeInt(next(), "--max-restarts");
+        } else if (arg == "--restart-backoff") {
+            restart_backoff = parseDouble(next(), "--restart-backoff");
+            if (restart_backoff < 0)
+                fatal("--restart-backoff expects a non-negative "
+                      "duration");
+        } else if (arg == "--lease-ttl") {
+            lease_ttl = parseNonNegativeInt(next(), "--lease-ttl");
+        } else if (arg == "--beat-interval") {
+            beat_interval = parseDouble(next(), "--beat-interval");
+            if (beat_interval < 0)
+                fatal("--beat-interval expects a non-negative "
+                      "duration");
+        } else if (arg == "--chaos-kills") {
+            chaos_kills = parseNonNegativeInt(next(), "--chaos-kills");
+        } else if (arg == "--chaos-seed") {
+            chaos_seed = parseUint64(next(), "--chaos-seed");
+        } else if (arg == "--chaos-interval") {
+            chaos_interval = parseDouble(next(), "--chaos-interval");
+            if (chaos_interval < 0)
+                fatal("--chaos-interval expects a non-negative "
+                      "duration");
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            printUsage();
+            return 1;
+        }
+    }
+
+    if (workers <= 0 || coordinate_path.empty() || out_path.empty()) {
+        printUsage();
+        return 1;
+    }
+    if (passthrough.empty())
+        fatal("no worker arguments given after '--' (the workers "
+              "would have nothing to sweep)");
+
+    if (runner.empty()) {
+        // Default: the cactus_run next to this executable.
+        std::string self = argv[0];
+        const auto slash = self.find_last_of('/');
+        runner = (slash == std::string::npos
+                      ? std::string()
+                      : self.substr(0, slash + 1)) +
+            "cactus_run";
+    }
+    if (::access(runner.c_str(), X_OK) != 0)
+        fatal("runner '", runner, "' is not executable (",
+              std::strerror(errno), "); pass --runner");
+
+    // The worker command line: the sweep definition from the caller
+    // plus this fleet's coordination settings. No --worker id: each
+    // incarnation derives its own unique host-pid-epoch identity.
+    std::vector<std::string> worker_args;
+    worker_args.push_back(runner);
+    worker_args.push_back("--coordinate");
+    worker_args.push_back(coordinate_path);
+    worker_args.push_back("--lease-ttl");
+    worker_args.push_back(std::to_string(lease_ttl));
+    worker_args.push_back("--beat-interval");
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%g", beat_interval);
+        worker_args.push_back(buf);
+    }
+    for (const auto &arg : passthrough)
+        worker_args.push_back(arg);
+
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = onStopSignal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+
+    std::vector<Slot> slots(static_cast<std::size_t>(workers));
+
+    const auto spawn = [&](int slot_idx) -> pid_t {
+        const std::string log_path = coordinate_path + ".w" +
+            std::to_string(slot_idx) + ".log";
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            fatal("fork failed: ", std::strerror(errno));
+        if (pid == 0) {
+            // Child: quiet stdin, per-slot output log (append, so a
+            // restarted incarnation's output follows its
+            // predecessor's), then exec the worker.
+            const int devnull = ::open("/dev/null", O_RDONLY);
+            if (devnull >= 0)
+                ::dup2(devnull, STDIN_FILENO);
+            const int logfd = ::open(log_path.c_str(),
+                                     O_WRONLY | O_CREAT | O_APPEND,
+                                     0644);
+            if (logfd >= 0) {
+                ::dup2(logfd, STDOUT_FILENO);
+                ::dup2(logfd, STDERR_FILENO);
+            }
+            std::vector<char *> cargv;
+            cargv.reserve(worker_args.size() + 1);
+            for (auto &a : worker_args)
+                cargv.push_back(const_cast<char *>(a.c_str()));
+            cargv.push_back(nullptr);
+            ::execv(runner.c_str(), cargv.data());
+            std::fprintf(stderr, "exec '%s' failed: %s\n",
+                         runner.c_str(), std::strerror(errno));
+            ::_exit(127);
+        }
+        return pid;
+    };
+
+    std::printf("fleet: %d workers over %s (lease ttl %d, beat "
+                "interval %gs, restart budget %d)\n",
+                workers, coordinate_path.c_str(), lease_ttl,
+                beat_interval, max_restarts);
+    for (int s = 0; s < workers; ++s) {
+        slots[static_cast<std::size_t>(s)].pid = spawn(s);
+        std::printf("fleet: worker %d started (pid %ld) -> %s.w%d."
+                    "log\n",
+                    s, static_cast<long>(
+                           slots[static_cast<std::size_t>(s)].pid),
+                    coordinate_path.c_str(), s);
+    }
+    std::fflush(stdout);
+
+    const auto start = std::chrono::steady_clock::now();
+    auto next_chaos = start + std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(chaos_interval));
+    auto next_progress = start + std::chrono::seconds(2);
+    int restarts_used = 0;
+    int kills_done = 0;
+    bool budget_exhausted = false;
+
+    const auto live_count = [&] {
+        int n = 0;
+        for (const auto &slot : slots)
+            n += slot.pid > 0 ? 1 : 0;
+        return n;
+    };
+    const auto all_settled = [&] {
+        for (const auto &slot : slots)
+            if (!slot.done && !slot.abandoned)
+                return false;
+        return true;
+    };
+
+    while (!all_settled() && g_stop_signal == 0) {
+        const auto now = std::chrono::steady_clock::now();
+
+        // Reap exits and schedule restarts.
+        for (std::size_t s = 0; s < slots.size(); ++s) {
+            Slot &slot = slots[s];
+            if (slot.pid <= 0)
+                continue;
+            int status = 0;
+            const pid_t reaped =
+                ::waitpid(slot.pid, &status, WNOHANG);
+            if (reaped != slot.pid)
+                continue;
+            const pid_t old_pid = slot.pid;
+            slot.pid = -1;
+            if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+                slot.done = true;
+                std::printf("fleet: worker %zu (pid %ld) finished\n",
+                            s, static_cast<long>(old_pid));
+                std::fflush(stdout);
+                continue;
+            }
+            const std::string why = WIFSIGNALED(status)
+                ? "killed by signal " +
+                    std::to_string(WTERMSIG(status))
+                : "exited with status " +
+                    std::to_string(WIFEXITED(status)
+                                       ? WEXITSTATUS(status)
+                                       : status);
+            if (restarts_used >= max_restarts) {
+                slot.abandoned = true;
+                budget_exhausted = true;
+                std::printf("fleet: worker %zu (pid %ld) %s; restart "
+                            "budget exhausted (%d/%d) — abandoning "
+                            "the slot (surviving workers will steal "
+                            "its leases)\n",
+                            s, static_cast<long>(old_pid),
+                            why.c_str(), restarts_used, max_restarts);
+                std::fflush(stdout);
+                continue;
+            }
+            ++restarts_used;
+            ++slot.restarts;
+            const double backoff = restart_backoff *
+                static_cast<double>(1 << std::min(slot.restarts - 1,
+                                                  16));
+            slot.restartPending = true;
+            slot.restartAt = now + std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(backoff));
+            std::printf("fleet: worker %zu (pid %ld) %s; restarting "
+                        "(restart %d/%d, backoff %.2fs)\n",
+                        s, static_cast<long>(old_pid), why.c_str(),
+                        restarts_used, max_restarts, backoff);
+            std::fflush(stdout);
+        }
+
+        // Launch due restarts.
+        for (std::size_t s = 0; s < slots.size(); ++s) {
+            Slot &slot = slots[s];
+            if (!slot.restartPending || now < slot.restartAt)
+                continue;
+            slot.restartPending = false;
+            slot.pid = spawn(static_cast<int>(s));
+            std::printf("fleet: worker %zu restarted (pid %ld)\n", s,
+                        static_cast<long>(slot.pid));
+            std::fflush(stdout);
+        }
+
+        // Chaos: SIGKILL a deterministically chosen live worker.
+        if (kills_done < chaos_kills && now >= next_chaos) {
+            const int live = live_count();
+            if (live > 0) {
+                const double u = FaultInjector::unitValue(
+                    chaos_seed,
+                    static_cast<std::uint64_t>(kills_done));
+                int pick = static_cast<int>(
+                    u * static_cast<double>(live));
+                pick = std::min(pick, live - 1);
+                for (std::size_t s = 0; s < slots.size(); ++s) {
+                    if (slots[s].pid <= 0)
+                        continue;
+                    if (pick-- == 0) {
+                        std::printf("fleet: chaos kill %d/%d: "
+                                    "SIGKILL worker %zu (pid %ld)\n",
+                                    kills_done + 1, chaos_kills, s,
+                                    static_cast<long>(slots[s].pid));
+                        std::fflush(stdout);
+                        ::kill(slots[s].pid, SIGKILL);
+                        break;
+                    }
+                }
+                ++kills_done;
+                next_chaos = now + std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(chaos_interval));
+            }
+        }
+
+        // Periodic progress from the log — read-only, no records.
+        if (now >= next_progress) {
+            try {
+                const auto stats =
+                    core::CoordinationLog::inspect(coordinate_path);
+                std::printf("fleet: progress: %zu done, %zu leases "
+                            "(%zu steals), %zu beats, %zu torn, "
+                            "%zu desync\n",
+                            stats.dones, stats.leases, stats.steals,
+                            stats.beats, stats.torn, stats.desync);
+                std::fflush(stdout);
+            } catch (const Error &) {
+                // The log may not exist yet; progress is cosmetic.
+            }
+            next_progress = now + std::chrono::seconds(2);
+        }
+
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    if (g_stop_signal != 0) {
+        std::printf("fleet: signal %d: stopping workers\n",
+                    static_cast<int>(g_stop_signal));
+        for (auto &slot : slots)
+            if (slot.pid > 0)
+                ::kill(slot.pid, SIGTERM);
+        for (auto &slot : slots) {
+            if (slot.pid <= 0)
+                continue;
+            int status = 0;
+            ::waitpid(slot.pid, &status, 0);
+            slot.pid = -1;
+        }
+        return 130;
+    }
+
+    // The fleet has settled: fold the coordination log into the
+    // canonical merged report — byte-identical to a serial run when
+    // the protocol held (the CI kill-smoke job cmp-checks exactly
+    // that).
+    const auto mr = core::mergeCheckpoints({coordinate_path},
+                                           out_path);
+    const auto stats =
+        core::CoordinationLog::inspect(coordinate_path);
+
+    std::printf("fleet: coordination log: %zu beats, %zu leases "
+                "(%zu steals), %zu releases, %zu dones, %zu torn, "
+                "%zu desync, %zu workers, generation %ld\n",
+                stats.beats, stats.leases, stats.steals,
+                stats.releases, stats.dones, stats.torn, stats.desync,
+                stats.workers, stats.maxGeneration);
+    for (const auto &[task, fence] : mr.recoveredTasks)
+        std::printf("fleet: recovered task %s: fence %ld wins\n",
+                    task.c_str(), fence);
+    std::printf("fleet: merge: %zu tasks, %zu corrupt, %zu zombie "
+                "duplicate%s discarded -> %s\n",
+                mr.tasks, mr.corruptTasks.size(), mr.zombieDuplicates,
+                mr.zombieDuplicates == 1 ? "" : "s",
+                out_path.c_str());
+    std::printf("fleet: %d restart%s used, %d chaos kill%s "
+                "delivered\n",
+                restarts_used, restarts_used == 1 ? "" : "s",
+                kills_done, kills_done == 1 ? "" : "s");
+
+    const bool ok = !budget_exhausted && mr.clean() &&
+        stats.desync == 0;
+    std::printf("fleet: %s\n", ok ? "OK" : "FAILED");
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return guardedMain([&] { return fleetMain(argc, argv); });
+}

@@ -36,6 +36,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <memory>
 #include <string>
 #include <vector>
@@ -123,11 +124,22 @@ printUsage()
         "                  appended as checkpoint records, so the log\n"
         "                  is also a merge input\n"
         "  --worker NAME   (--coordinate) worker name for lease\n"
-        "                  records (default: pid-based)\n"
+        "                  records (default: host-pid-epoch, unique\n"
+        "                  per process; two live processes sharing a\n"
+        "                  name fail fast)\n"
+        "  --lease-ttl N   (--coordinate) steal a task whose holder\n"
+        "                  missed N of this worker's heartbeats, with\n"
+        "                  a fencing token so the zombie's late\n"
+        "                  result is abandoned (default 3; 0 disables\n"
+        "                  stealing and skips leased tasks)\n"
+        "  --beat-interval SEC\n"
+        "                  (--coordinate) seconds between heartbeat\n"
+        "                  records (default 0.5)\n"
         "  --new-generation\n"
         "                  (--coordinate) open a new lease generation,\n"
         "                  unbinding a crashed fleet's stale leases;\n"
-        "                  completed tasks stay completed\n"
+        "                  completed tasks stay completed (rarely\n"
+        "                  needed with --lease-ttl > 0)\n"
         "  --cache P       (--suite) persistent result cache: loaded\n"
         "                  before the campaign, consulted before every\n"
         "                  simulation, saved back after\n"
@@ -136,14 +148,18 @@ printUsage()
         "                  sorted; conflicting records for one task\n"
         "                  are flagged CORRUPT and excluded\n"
         "  --input P       (--merge, repeatable) a shard checkpoint\n"
-        "                  or coordination log to merge\n"
+        "                  or coordination log to merge; missing or\n"
+        "                  empty inputs are warned about and counted,\n"
+        "                  not fatal\n"
+        "  --strict-inputs (--merge) exit non-zero when any --input\n"
+        "                  was missing or empty\n"
         "  --lenient       (--retime) skip malformed trace records\n"
         "                  with a warning instead of failing\n"
         "environment:\n"
         "  CACTUS_FAULT=site:probability:seed\n"
         "                  deterministic fault injection at sites\n"
         "                  alloc | launch | trace-write |\n"
-        "                  stats-corrupt\n");
+        "                  stats-corrupt | coord-append\n");
 }
 
 void
@@ -197,10 +213,32 @@ struct ShardSettings
     int shards = 1;      ///< Static partition count.
     int shardId = 0;     ///< This process's static shard.
     std::string coordinatePath; ///< Lease log; "" = no coordination.
-    std::string workerName;     ///< Lease identity; "" = pid-based.
+    std::string workerName;     ///< Lease identity; "" = derived.
     bool newGeneration = false; ///< Unbind a crashed fleet's leases.
+    int leaseTtl = 3;           ///< Missed beats before a steal;
+                                ///< 0 = no stealing (PR 7 behavior).
+    double beatInterval = 0.5;  ///< Seconds between heartbeats.
     std::string cachePath;      ///< Persistent cache; "" = off.
 };
+
+/** Globally unique default worker identity: host-pid-epoch. Two
+ *  processes can never alias each other (the coordination log fails
+ *  fast if they somehow do — see CoordinationLog::beat), and a
+ *  supervisor-restarted worker gets a fresh identity, so its dead
+ *  predecessor's leases go stale and are stolen rather than
+ *  ambiguously inherited. */
+std::string
+defaultWorkerId()
+{
+    char host[256] = "host";
+    if (::gethostname(host, sizeof host - 1) != 0)
+        std::strcpy(host, "host");
+    host[sizeof host - 1] = '\0';
+    return std::string(host) + "-" + std::to_string(::getpid()) +
+        "-" +
+        std::to_string(
+            static_cast<long long>(::time(nullptr)));
+}
 
 int
 runSuiteCampaign(const std::vector<core::CampaignTask> &tasks,
@@ -234,11 +272,17 @@ runSuiteCampaign(const std::vector<core::CampaignTask> &tasks,
     if (!ss.coordinatePath.empty()) {
         std::string worker = ss.workerName;
         if (worker.empty())
-            worker = "pid" + std::to_string(::getpid());
+            worker = defaultWorkerId();
+        core::CoordinationLog::Options copts;
+        copts.newGeneration = ss.newGeneration;
+        copts.leaseTtl = ss.leaseTtl;
+        copts.beatIntervalSeconds = ss.beatInterval;
         coordination = std::make_unique<core::CoordinationLog>(
-            ss.coordinatePath, worker, ss.newGeneration);
-        std::printf("coordinating as '%s' (generation %ld) via %s\n",
+            ss.coordinatePath, worker, copts);
+        std::printf("coordinating as '%s' (generation %ld, lease "
+                    "ttl %d beat%s) via %s\n",
                     worker.c_str(), coordination->generation(),
+                    ss.leaseTtl, ss.leaseTtl == 1 ? "" : "s",
                     ss.coordinatePath.c_str());
         opts.coordination = coordination.get();
     }
@@ -287,6 +331,10 @@ runSuiteCampaign(const std::vector<core::CampaignTask> &tasks,
                         entry.attempts == 1 ? "" : "s",
                         entry.error.c_str());
             break;
+          case core::RunStatus::Stolen:
+            std::printf("\n%s: stolen (%s)\n", shown.c_str(),
+                        entry.error.c_str());
+            break;
         }
         std::fflush(stdout);
     };
@@ -331,10 +379,11 @@ runSuiteCampaign(const std::vector<core::CampaignTask> &tasks,
     }
     std::printf("%s", table.render().c_str());
     std::printf("campaign: %d ok, %d failed, %d timeout, %d corrupt, "
-                "%d skipped, %d cached\n",
+                "%d skipped, %d cached, %d stolen\n",
                 result.okCount, result.failedCount,
                 result.timeoutCount, result.corruptCount,
-                result.skippedCount, result.cachedCount);
+                result.skippedCount, result.cachedCount,
+                result.stolenCount);
     return result.allOk() ? 0 : 1;
 }
 
@@ -347,6 +396,7 @@ runMain(int argc, char **argv)
     std::string platform = "3080";
     bool list = false;
     bool lenient = false;
+    bool strict_inputs = false;
     bool fast_forward = false;
     int host_threads = 0; // 0 = all hardware threads.
     int retries = 0;
@@ -425,12 +475,21 @@ runMain(int argc, char **argv)
             ss.workerName = next();
         } else if (arg == "--new-generation") {
             ss.newGeneration = true;
+        } else if (arg == "--lease-ttl") {
+            ss.leaseTtl = parseNonNegativeInt(next(), "--lease-ttl");
+        } else if (arg == "--beat-interval") {
+            ss.beatInterval = parseDouble(next(), "--beat-interval");
+            if (ss.beatInterval < 0)
+                fatal("--beat-interval expects a non-negative "
+                      "duration");
         } else if (arg == "--cache") {
             ss.cachePath = next();
         } else if (arg == "--merge") {
             merge_path = next();
         } else if (arg == "--input") {
             merge_inputs.push_back(next());
+        } else if (arg == "--strict-inputs") {
+            strict_inputs = true;
         } else if (arg == "--verify") {
             vs.verify = true;
         } else if (arg == "--update-goldens") {
@@ -465,20 +524,37 @@ runMain(int argc, char **argv)
             fatal("--merge needs at least one --input");
         const auto mr = core::mergeCheckpoints(merge_inputs,
                                                merge_path);
-        std::printf("merged %zu input%s: %zu record%s, "
-                    "%zu duplicate%s deduped, %zu legacy skipped, "
+        std::printf("merged %zu input%s (%zu missing): %zu record%s, "
+                    "%zu duplicate%s deduped, %zu zombie%s "
+                    "discarded, %zu legacy skipped, "
                     "%zu line%s ignored\n",
                     merge_inputs.size(),
-                    merge_inputs.size() == 1 ? "" : "s", mr.records,
+                    merge_inputs.size() == 1 ? "" : "s",
+                    mr.missingInputs, mr.records,
                     mr.records == 1 ? "" : "s", mr.duplicates,
-                    mr.duplicates == 1 ? "" : "s", mr.legacy,
+                    mr.duplicates == 1 ? "" : "s",
+                    mr.zombieDuplicates,
+                    mr.zombieDuplicates == 1 ? "" : "s", mr.legacy,
                     mr.ignored, mr.ignored == 1 ? "" : "s");
+        // Every task completed under a stolen lease is attributed to
+        // exactly one winning fence — the self-healing audit trail.
+        for (const auto &[task, fence] : mr.recoveredTasks)
+            std::printf("recovered task %s: fence %ld wins\n",
+                        task.c_str(), fence);
         for (const auto &task : mr.corruptTasks)
             std::printf("CORRUPT task %s: conflicting records for "
                         "one content address\n",
                         task.c_str());
         std::printf("merge: %zu tasks, %zu corrupt -> %s\n", mr.tasks,
                     mr.corruptTasks.size(), merge_path.c_str());
+        if (strict_inputs && mr.missingInputs > 0) {
+            std::fprintf(stderr,
+                         "merge: %zu input%s missing and "
+                         "--strict-inputs set\n",
+                         mr.missingInputs,
+                         mr.missingInputs == 1 ? "" : "s");
+            return 1;
+        }
         return mr.clean() ? 0 : 1;
     }
 
